@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper
+ * (see DESIGN.md §3 for the index). These helpers wrap the DFX
+ * simulator and the GPU baseline behind one-call latency probes.
+ */
+#ifndef DFX_BENCH_COMMON_HPP
+#define DFX_BENCH_COMMON_HPP
+
+#include <vector>
+
+#include "appliance/appliance.hpp"
+#include "baseline/gpu.hpp"
+
+namespace dfx {
+namespace bench {
+
+/** The paper's per-model device counts (345M:1, 774M:2, 1.5B:4). */
+inline size_t
+paperDeviceCount(const GptConfig &cfg)
+{
+    if (cfg.name == "345M")
+        return 1;
+    if (cfg.name == "774M")
+        return 2;
+    if (cfg.name == "1.5B")
+        return 4;
+    return 1;
+}
+
+/** Runs a timing-only DFX generation and returns the result. */
+inline GenerationResult
+runDfx(const GptConfig &model, size_t n_cores, size_t n_in, size_t n_out)
+{
+    DfxSystemConfig cfg;
+    cfg.model = model;
+    cfg.nCores = n_cores;
+    cfg.functional = false;
+    DfxAppliance appliance(cfg);
+    return appliance.generate(std::vector<int32_t>(n_in, 0), n_out);
+}
+
+/** Runs the GPU baseline estimate. */
+inline GpuEstimate
+runGpu(const GptConfig &model, size_t n_gpus, size_t n_in, size_t n_out)
+{
+    return GpuApplianceModel(model, n_gpus).estimate(n_in, n_out);
+}
+
+/** The Fig. 14 / Fig. 16 workload grid. */
+inline std::vector<std::pair<size_t, size_t>>
+workloadGrid()
+{
+    std::vector<std::pair<size_t, size_t>> grid;
+    for (size_t in : {32, 64, 128})
+        for (size_t out : {1, 4, 16, 64, 256})
+            grid.push_back({in, out});
+    return grid;
+}
+
+}  // namespace bench
+}  // namespace dfx
+
+#endif  // DFX_BENCH_COMMON_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Figure 3: GPU text-generation latency as input
+ * tokens grow (leftward) vs output tokens grow (rightward), GPT-2
+ * 1.5B. The paper's point: each extra output token costs ~75.45 ms
+ * while each extra input token costs ~0.02 ms.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+
+int
+main()
+{
+    printHeader("Figure 3 — GPU latency vs input/output token counts",
+                "Fig. 3 (GPT-2 1.5B on the 4x V100 appliance)");
+
+    GptConfig model = GptConfig::gpt2_1_5B();
+    GpuApplianceModel gpu(model, 4);
+
+    struct Point { size_t in, out; };
+    Point points[] = {{128, 1}, {96, 1}, {64, 1}, {32, 1},
+                      {32, 2}, {32, 3}, {32, 4}};
+
+    Table t({"[in:out]", "summ (ms)", "gen (ms)", "total (ms)"});
+    for (const auto &p : points) {
+        GpuEstimate est = gpu.estimate(p.in, p.out);
+        t.addRow({workloadLabel(p.in, p.out),
+                  fmt(est.summarizationSeconds * 1e3),
+                  fmt(est.generationSeconds * 1e3),
+                  fmt(est.totalSeconds() * 1e3)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    // The headline slopes.
+    double out_slope = (gpu.estimate(32, 4).totalSeconds() -
+                        gpu.estimate(32, 1).totalSeconds()) / 3.0 * 1e3;
+    double in_slope = (gpu.estimate(128, 1).totalSeconds() -
+                       gpu.estimate(32, 1).totalSeconds()) / 96.0 * 1e3;
+    std::printf("per-output-token latency: %.2f ms   (paper: 75.45 ms)\n",
+                out_slope);
+    std::printf("per-input-token latency:  %.4f ms  (paper: 0.02 ms)\n",
+                in_slope);
+    return 0;
+}

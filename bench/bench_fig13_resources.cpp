@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: per-module FPGA resource utilization of
+ * one DFX core on the Xilinx Alveo U280 (d = 64, l = 16).
+ */
+#include <cstdio>
+
+#include "perf/report.hpp"
+#include "perf/resource.hpp"
+
+using namespace dfx;
+
+int
+main()
+{
+    printHeader("Figure 13 — U280 resource utilization per module",
+                "Fig. 13 (d=64, l=16 DFX core)");
+
+    ResourceModel rm(64, 16);
+    Table t({"component", "LUT", "LUT %", "FF", "FF %", "BRAM",
+             "BRAM %", "URAM %", "DSP", "DSP %"});
+    for (const auto &m : rm.modules()) {
+        t.addRow({m.module, fmt(m.lut / 1000.0, 0) + "K",
+                  fmt(ResourceModel::lutPct(m), 2),
+                  fmt(m.ff / 1000.0, 0) + "K",
+                  fmt(ResourceModel::ffPct(m), 2), fmt(m.bram, 1),
+                  fmt(ResourceModel::bramPct(m), 2),
+                  fmt(ResourceModel::uramPct(m), 2), fmt(m.dsp, 0),
+                  fmt(ResourceModel::dspPct(m), 2)});
+    }
+    ResourceUsage total = rm.total();
+    t.addRow({"Total", fmt(total.lut / 1000.0, 0) + "K",
+              fmt(ResourceModel::lutPct(total), 2),
+              fmt(total.ff / 1000.0, 0) + "K",
+              fmt(ResourceModel::ffPct(total), 2), fmt(total.bram, 1),
+              fmt(ResourceModel::bramPct(total), 2),
+              fmt(ResourceModel::uramPct(total), 2), fmt(total.dsp, 0),
+              fmt(ResourceModel::dspPct(total), 2)});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("paper totals: 39.93%% LUT, 42.52%% FF, 59.13%% BRAM, "
+                "10.83%% URAM, 39.15%% DSP\n");
+    std::printf("paper MPU: 3136 DSP; VPU: 390 DSP (exact formula "
+                "match)\n");
+    std::printf("fits U280: %s\n", rm.fits() ? "yes" : "NO");
+    return 0;
+}

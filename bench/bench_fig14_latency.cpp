@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: end-to-end text-generation latency of
+ * DFX vs the GPU appliance across all three GPT-2 models and the
+ * full input/output grid. Headline: DFX is 3.20x / 4.46x / 5.58x
+ * faster on 345M / 774M / 1.5B with equal device counts, and up to
+ * ~10x on output-heavy workloads ([32:256]).
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+using namespace dfx::bench;
+
+int
+main()
+{
+    printHeader("Figure 14 — DFX vs GPU appliance latency",
+                "Fig. 14 (345M 1v1, 774M 2v2, 1.5B 4v4)");
+
+    // Paper's published per-model average speedups for reference.
+    struct ModelCase { GptConfig cfg; double paper_speedup; };
+    ModelCase cases[] = {{GptConfig::gpt2_345M(), 3.20},
+                         {GptConfig::gpt2_774M(), 4.46},
+                         {GptConfig::gpt2_1_5B(), 5.58}};
+
+    for (const auto &mc : cases) {
+        size_t devices = paperDeviceCount(mc.cfg);
+        std::printf("--- GPT-2 %s: %zu GPU(s) vs %zu FPGA(s) ---\n\n",
+                    mc.cfg.name.c_str(), devices, devices);
+        Table t({"[in:out]", "GPU (ms)", "DFX (ms)", "speedup"});
+        double gpu_sum = 0.0, dfx_sum = 0.0;
+        double best_speedup = 0.0;
+        std::string best_label;
+        for (const auto &[n_in, n_out] : workloadGrid()) {
+            double gpu_ms =
+                runGpu(mc.cfg, devices, n_in, n_out).totalSeconds() * 1e3;
+            double dfx_ms =
+                runDfx(mc.cfg, devices, n_in, n_out).totalSeconds() * 1e3;
+            gpu_sum += gpu_ms;
+            dfx_sum += dfx_ms;
+            double speedup = gpu_ms / dfx_ms;
+            if (speedup > best_speedup) {
+                best_speedup = speedup;
+                best_label = workloadLabel(n_in, n_out);
+            }
+            t.addRow({workloadLabel(n_in, n_out), fmt(gpu_ms, 1),
+                      fmt(dfx_ms, 1), fmt(speedup, 2) + "x"});
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("average latency: GPU %.1f ms, DFX %.1f ms -> "
+                    "%.2fx speedup (paper: %.2fx)\n",
+                    gpu_sum / 15.0, dfx_sum / 15.0, gpu_sum / dfx_sum,
+                    mc.paper_speedup);
+        std::printf("largest win: %s at %.2fx (paper: [32:256] at "
+                    "10.03x on 1.5B)\n\n",
+                    best_label.c_str(), best_speedup);
+    }
+    return 0;
+}

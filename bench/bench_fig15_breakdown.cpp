@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: latency breakdown of the 1.5B model on
+ * 4 FPGAs. Paper: Self-Attention 43.0%, FFN 29.6%, Synchronization
+ * 17.3%, LayerNorm 9.3%, Residual 0.8%.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+using namespace dfx::bench;
+
+int
+main()
+{
+    printHeader("Figure 15 — DFX latency breakdown (1.5B, 4 FPGAs)",
+                "Fig. 15");
+
+    GenerationResult r = runDfx(GptConfig::gpt2_1_5B(), 4, 32, 256);
+
+    // The paper's breakdown covers the decoder-layer work; embedding
+    // and LM head are excluded (they are per-token constants outside
+    // the layer loop).
+    using isa::Category;
+    Category cats[] = {Category::kAttention, Category::kFfn,
+                       Category::kSync, Category::kLayerNorm,
+                       Category::kResidual};
+    double paper[] = {43.0, 29.6, 17.3, 9.3, 0.8};
+    double denom = 0.0;
+    for (Category c : cats)
+        denom += r.categorySeconds[static_cast<size_t>(c)];
+
+    Table t({"component", "share %", "paper %"});
+    for (size_t i = 0; i < 5; ++i) {
+        double share =
+            r.categorySeconds[static_cast<size_t>(cats[i])] / denom *
+            100.0;
+        t.addRow({isa::categoryName(cats[i]), fmt(share, 1),
+                  fmt(paper[i], 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("(measured on the [32:256] workload; attention + FFN "
+                "dominate as in the paper, synchronization is the cost "
+                "of model parallelism)\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces paper Figure 16: throughput (tokens/s) and normalized
+ * energy efficiency of DFX vs the GPU appliance on the 1.5B model.
+ * Paper: 3.78x average throughput, 3.99x energy efficiency.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perf/energy.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+using namespace dfx::bench;
+
+int
+main()
+{
+    printHeader(
+        "Figure 16 — throughput and energy efficiency (1.5B, 4v4)",
+        "Fig. 16");
+
+    GptConfig model = GptConfig::gpt2_1_5B();
+    EnergyModel energy;
+    GpuApplianceModel gpu(model, 4);
+
+    const double dfx_watts = energy.dfxPowerWatts(4);
+
+    Table t({"[in:out]", "GPU tok/s", "DFX tok/s", "speedup",
+             "GPU tok/s/W", "DFX tok/s/W", "eff ratio"});
+    double tp_ratio_sum = 0.0, eff_ratio_sum = 0.0;
+    double gpu_tp_sum = 0.0, dfx_tp_sum = 0.0;
+    size_t count = 0;
+    for (const auto &[n_in, n_out] : workloadGrid()) {
+        GpuEstimate ge = gpu.estimate(n_in, n_out);
+        GenerationResult dr = runDfx(model, 4, n_in, n_out);
+        double gpu_tp = ge.tokensPerSecond(n_out);
+        double dfx_tp = dr.tokensPerSecond(n_out);
+        // GPU power from achieved utilization (lands near the paper's
+        // measured 47.5 W per device).
+        double gpu_util = (ge.summarizationFlops + ge.generationFlops) /
+                          ge.totalSeconds() /
+                          (gpu.params().tensorPeakFlops * 4);
+        double gpu_watts = energy.gpuPowerWatts(4, gpu_util);
+        double gpu_eff = EnergyModel::tokensPerSecPerWatt(gpu_tp,
+                                                          gpu_watts);
+        double dfx_eff = EnergyModel::tokensPerSecPerWatt(dfx_tp,
+                                                          dfx_watts);
+        t.addRow({workloadLabel(n_in, n_out), fmt(gpu_tp, 2),
+                  fmt(dfx_tp, 2), fmt(dfx_tp / gpu_tp, 2) + "x",
+                  fmt(gpu_eff, 3), fmt(dfx_eff, 3),
+                  fmt(dfx_eff / gpu_eff, 2) + "x"});
+        tp_ratio_sum += dfx_tp / gpu_tp;
+        eff_ratio_sum += dfx_eff / gpu_eff;
+        gpu_tp_sum += gpu_tp;
+        dfx_tp_sum += dfx_tp;
+        ++count;
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\naverage throughput speedup:      %.2fx (paper: "
+                "3.78x)\n",
+                tp_ratio_sum / count);
+    std::printf("average energy-efficiency ratio: %.2fx (paper: "
+                "3.99x)\n",
+                eff_ratio_sum / count);
+    std::printf("GPU throughput stays flat with output length "
+                "(launch-bound); DFX throughput: %.1f vs GPU %.1f "
+                "tokens/s average\n",
+                dfx_tp_sum / count, gpu_tp_sum / count);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces paper Figure 17: sustained GFLOPS by stage on the 345M
+ * model (64:64) for GPU, TPU and DFX (1 FPGA). Paper: GPU
+ * 1632/40.6/80.4, TPU 674.5/8.2/16.1, DFX 185.6/181.8/184.1 —
+ * DFX is the only platform whose throughput holds in the generation
+ * stage.
+ */
+#include <cstdio>
+
+#include "baseline/tpu.hpp"
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+using namespace dfx::bench;
+
+int
+main()
+{
+    printHeader("Figure 17 — GFLOPS by stage: GPU vs TPU vs DFX",
+                "Fig. 17 (GPT-2 345M, 64:64 tokens)");
+
+    GptConfig model = GptConfig::gpt2_345M();
+    const size_t n_in = 64, n_out = 64;
+
+    GpuEstimate g = GpuApplianceModel(model, 1).estimate(n_in, n_out);
+    TpuEstimate t = TpuModel(model).estimate(n_in, n_out);
+    GenerationResult d = runDfx(model, 1, n_in, n_out);
+
+    auto gflops = [](double flops, double sec) {
+        return flops / sec / 1e9;
+    };
+    double g_total = gflops(g.summarizationFlops + g.generationFlops,
+                            g.totalSeconds());
+    double t_total = gflops(t.summarizationFlops + t.generationFlops,
+                            t.totalSeconds());
+    double d_total = gflops(d.summarizationFlops + d.generationFlops,
+                            d.summarizationSeconds + d.generationSeconds);
+
+    Table table({"platform", "summarization", "generation", "total",
+                 "paper (s/g/t)"});
+    table.addRow({"GPU (V100)",
+                  fmt(gflops(g.summarizationFlops,
+                             g.summarizationSeconds), 1),
+                  fmt(gflops(g.generationFlops, g.generationSeconds), 1),
+                  fmt(g_total, 1), "1632.1 / 40.6 / 80.4"});
+    table.addRow({"TPU",
+                  fmt(gflops(t.summarizationFlops,
+                             t.summarizationSeconds), 1),
+                  fmt(gflops(t.generationFlops, t.generationSeconds), 1),
+                  fmt(t_total, 1), "674.5 / 8.2 / 16.1"});
+    table.addRow({"DFX (1 FPGA)",
+                  fmt(d.summarizationFlopsPerSec() / 1e9, 1),
+                  fmt(d.generationFlopsPerSec() / 1e9, 1),
+                  fmt(d_total, 1), "185.6 / 181.8 / 184.1"});
+    std::printf("%s\n", table.render().c_str());
+
+    double dfx_ratio = d.generationFlopsPerSec() /
+                       d.summarizationFlopsPerSec();
+    std::printf("DFX generation/summarization ratio: %.3f (paper: "
+                "0.980 — flat across stages)\n",
+                dfx_ratio);
+    std::printf("GPU and TPU collapse by >20x in the generation "
+                "stage; DFX's single-token dataflow does not.\n");
+    return 0;
+}

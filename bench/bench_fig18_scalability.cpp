@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces paper Figure 18: DFX throughput scaling with cluster
+ * size on the 345M model (64:64). Paper: 93.10 -> 146.25 (1.57x) ->
+ * 207.56 tokens/s (1.42x) for 1 -> 2 -> 4 FPGAs; sublinear because
+ * LayerNorm/Residual are not parallelized and each extra device adds
+ * synchronization hops.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+using namespace dfx::bench;
+
+int
+main()
+{
+    printHeader("Figure 18 — DFX scalability (345M, 64:64)", "Fig. 18");
+
+    GptConfig model = GptConfig::gpt2_345M();
+    double paper[] = {93.10, 146.25, 207.56};
+    double tp[3];
+    size_t cores[] = {1, 2, 4};
+
+    Table t({"FPGAs", "tokens/s", "step speedup", "paper tokens/s",
+             "paper step"});
+    for (int i = 0; i < 3; ++i) {
+        GenerationResult r = runDfx(model, cores[i], 64, 64);
+        tp[i] = r.tokensPerSecond(64);
+        std::string step =
+            i == 0 ? "-" : fmt(tp[i] / tp[i - 1], 2) + "x";
+        std::string paper_step =
+            i == 0 ? "-" : fmt(paper[i] / paper[i - 1], 2) + "x";
+        t.addRow({std::to_string(cores[i]), fmt(tp[i], 2), step,
+                  fmt(paper[i], 2), paper_step});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("scaling is sublinear (paper: 1.57x, 1.42x): LayerNorm "
+                "and Residual run redundantly on every core, and each "
+                "sync crosses more ring hops.\n");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot paths:
+ * FP16 soft-float ops, the MPU MAC-tree, functional Conv1D, program
+ * codegen, a full timing-only token step, and a reference-model step.
+ * These track simulator performance (host wall time), not modeled
+ * DFX time — useful when extending the simulator.
+ */
+#include <benchmark/benchmark.h>
+
+#include "appliance/appliance.hpp"
+#include "isa/codegen.hpp"
+#include "model/reference.hpp"
+
+namespace dfx {
+namespace {
+
+void
+BM_Fp16RoundTrip(benchmark::State &state)
+{
+    double x = 1.2345;
+    for (auto _ : state) {
+        Half h = Half::fromDouble(x);
+        benchmark::DoNotOptimize(h.toDouble());
+        x += 1e-9;
+    }
+}
+BENCHMARK(BM_Fp16RoundTrip);
+
+void
+BM_Fp16Arithmetic(benchmark::State &state)
+{
+    Half a = Half::fromDouble(1.5), b = Half::fromDouble(0.333);
+    for (auto _ : state) {
+        Half c = a * b + a - b;
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_Fp16Arithmetic);
+
+void
+BM_MpuTreeReduce(benchmark::State &state)
+{
+    std::vector<Half> vals(64);
+    for (size_t i = 0; i < vals.size(); ++i)
+        vals[i] = Half::fromDouble(0.01 * static_cast<double>(i));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(Mpu::treeReduce(vals.data(), 64));
+}
+BENCHMARK(BM_MpuTreeReduce);
+
+void
+BM_CodegenLayerPhases(benchmark::State &state)
+{
+    GptConfig cfg = GptConfig::gpt2_1_5B();
+    ClusterGeometry geo{4};
+    OffchipMemory hbm = makeHbm(0, 0.5, false);
+    OffchipMemory ddr = makeDdr(0, 0.7, false);
+    MemoryLayout layout = MemoryLayout::build(cfg, geo, 16, hbm, ddr);
+    isa::ProgramBuilder builder(cfg, geo, layout, 0);
+    for (auto _ : state) {
+        auto phases = builder.layerPhases(17, 100);
+        benchmark::DoNotOptimize(phases);
+    }
+}
+BENCHMARK(BM_CodegenLayerPhases);
+
+void
+BM_TimingTokenStep1_5B(benchmark::State &state)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::gpt2_1_5B();
+    cfg.nCores = 4;
+    cfg.functional = false;
+    DfxCluster cluster(cfg);
+    for (auto _ : state) {
+        if (cluster.position() + 1 >= cfg.model.maxSeq)
+            cluster.reset();
+        TokenStats stats;
+        cluster.stepToken(0, &stats);
+        benchmark::DoNotOptimize(stats.seconds);
+    }
+}
+BENCHMARK(BM_TimingTokenStep1_5B)->Unit(benchmark::kMillisecond);
+
+void
+BM_FunctionalTokenStepToy(benchmark::State &state)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 7);
+    DfxSystemConfig cfg;
+    cfg.model = w.config;
+    cfg.nCores = 2;
+    cfg.functional = true;
+    DfxCluster cluster(cfg);
+    cluster.loadWeights(w);
+    for (auto _ : state) {
+        if (cluster.position() + 1 >= cfg.model.maxSeq)
+            cluster.reset();
+        benchmark::DoNotOptimize(cluster.stepToken(3, nullptr));
+    }
+}
+BENCHMARK(BM_FunctionalTokenStepToy)->Unit(benchmark::kMillisecond);
+
+void
+BM_ReferenceModelStep(benchmark::State &state)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 7);
+    ReferenceModel ref(w);
+    for (auto _ : state) {
+        if (ref.position() + 1 >= w.config.maxSeq)
+            ref.reset();
+        benchmark::DoNotOptimize(ref.step(3));
+    }
+}
+BENCHMARK(BM_ReferenceModelStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dfx
+
+BENCHMARK_MAIN();

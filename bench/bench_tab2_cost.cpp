@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces paper Table II: appliance cost analysis. Performance is
+ * tokens/s on the 1.5B model at 64:64 (the chatbot-representative
+ * ratio); cost counts accelerators only, at the paper's cited retail
+ * prices. Paper: 283.86 vs 2330.98 tokens/s/M$, an 8.21x advantage.
+ */
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "perf/cost.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+using namespace dfx::bench;
+
+int
+main()
+{
+    printHeader("Table II — appliance cost analysis", "Table II");
+
+    GptConfig model = GptConfig::gpt2_1_5B();
+    double gpu_tp = runGpu(model, 4, 64, 64).tokensPerSecond(64);
+    double dfx_tp = runDfx(model, 4, 64, 64).tokensPerSecond(64);
+
+    CostModel cost;
+    CostRow gpu = cost.gpuAppliance(4, gpu_tp);
+    CostRow dfx = cost.dfxAppliance(4, dfx_tp);
+
+    Table t({"", "GPU Appliance", "DFX", "paper (GPU / DFX)"});
+    t.addRow({"accelerators", "4x V100 32GB", "4x Alveo U280", "same"});
+    t.addRow({"performance (tokens/s)", fmt(gpu.tokensPerSecond, 2),
+              fmt(dfx.tokensPerSecond, 2), "13.01 / 72.68"});
+    t.addRow({"cost (USD)", fmt(gpu.totalCost(), 0),
+              fmt(dfx.totalCost(), 0), "45832 / 31180"});
+    t.addRow({"tokens/s per M$", fmt(gpu.perfPerMillionDollars(), 2),
+              fmt(dfx.perfPerMillionDollars(), 2),
+              "283.86 / 2330.98"});
+    std::printf("%s\n", t.render().c_str());
+    std::printf("cost-effectiveness ratio: %.2fx (paper: 8.21x)\n",
+                dfx.perfPerMillionDollars() /
+                    gpu.perfPerMillionDollars());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Command-line latency explorer: run any (model, cluster size,
+ * input:output) point on the DFX timing simulator and the GPU
+ * baseline, with the full per-category breakdown.
+ *
+ * Usage:
+ *   latency_explorer [model] [fpgas] [n_in] [n_out]
+ *   latency_explorer 1.5B 4 32 256
+ *
+ * Models: 345M, 774M, 1.5B, mini, toy.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "appliance/appliance.hpp"
+#include "baseline/gpu.hpp"
+#include "perf/energy.hpp"
+
+using namespace dfx;
+
+int
+main(int argc, char **argv)
+{
+    std::string model_name = argc > 1 ? argv[1] : "1.5B";
+    size_t fpgas = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+    size_t n_in = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 32;
+    size_t n_out = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 64;
+
+    GptConfig model = GptConfig::byName(model_name);
+    std::printf("model %s | %zu FPGA(s) | [%zu:%zu]\n\n",
+                model.name.c_str(), fpgas, n_in, n_out);
+
+    DfxSystemConfig cfg;
+    cfg.model = model;
+    cfg.nCores = fpgas;
+    cfg.functional = false;
+    DfxAppliance appliance(cfg);
+    GenerationResult r =
+        appliance.generate(std::vector<int32_t>(n_in, 0), n_out);
+
+    std::printf("DFX (simulated):\n");
+    std::printf("  summarization  %10.2f ms\n",
+                r.summarizationSeconds * 1e3);
+    std::printf("  generation     %10.2f ms\n",
+                r.generationSeconds * 1e3);
+    std::printf("  PCIe           %10.3f ms\n", r.pcieSeconds * 1e3);
+    std::printf("  total          %10.2f ms  (%.1f tokens/s)\n",
+                r.totalSeconds() * 1e3, r.tokensPerSecond(n_out));
+    std::printf("  breakdown:\n");
+    double stage = r.summarizationSeconds + r.generationSeconds;
+    for (size_t c = 0; c < kNumCategories; ++c) {
+        if (r.categorySeconds[c] <= 0.0)
+            continue;
+        std::printf("    %-22s %8.2f ms (%4.1f%%)\n",
+                    isa::categoryName(static_cast<isa::Category>(c)),
+                    r.categorySeconds[c] * 1e3,
+                    100.0 * r.categorySeconds[c] / stage);
+    }
+
+    if (model.heads % fpgas == 0) {
+        GpuEstimate g =
+            GpuApplianceModel(model, fpgas).estimate(n_in, n_out);
+        std::printf("\nGPU appliance (%zu V100s, modeled):\n", fpgas);
+        std::printf("  total          %10.2f ms  (%.1f tokens/s)\n",
+                    g.totalSeconds() * 1e3, g.tokensPerSecond(n_out));
+        std::printf("  DFX speedup    %10.2fx\n",
+                    g.totalSeconds() / r.totalSeconds());
+        EnergyModel energy;
+        double dfx_eff = EnergyModel::tokensPerSecPerWatt(
+            r.tokensPerSecond(n_out), energy.dfxPowerWatts(fpgas));
+        double gpu_eff = EnergyModel::tokensPerSecPerWatt(
+            g.tokensPerSecond(n_out),
+            energy.gpuPowerWatts(fpgas, 0.03));
+        std::printf("  energy-efficiency ratio %.2fx\n",
+                    dfx_eff / gpu_eff);
+    }
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * DFX appliance implementation.
+ */
+#include "appliance/appliance.hpp"
+
+namespace dfx {
+
+DfxAppliance::DfxAppliance(const DfxSystemConfig &config)
+    : cluster_(config)
+{
+}
+
+void
+DfxAppliance::loadWeights(const GptWeights &weights)
+{
+    cluster_.loadWeights(weights);
+}
+
+GenerationResult
+DfxAppliance::generate(const std::vector<int32_t> &prompt, size_t n_out)
+{
+    DFX_ASSERT(!prompt.empty(), "empty prompt");
+    DFX_ASSERT(n_out >= 1, "need at least one output token");
+    DFX_ASSERT(prompt.size() + n_out <= cluster_.config().model.maxSeq,
+               "request %zu+%zu exceeds max context %zu", prompt.size(),
+               n_out, cluster_.config().model.maxSeq);
+    cluster_.reset();
+    GenerationResult result;
+
+    // Host -> device: input ids + system configuration (core count,
+    // layer count, token counts; §V-A "Controller").
+    result.pcieSeconds +=
+        pcie_.transferSeconds(prompt.size() * 4 + 64);
+
+    // --- Summarization stage: the input context, token by token ------
+    int32_t next = -1;
+    for (size_t i = 0; i < prompt.size(); ++i) {
+        TokenStats stats;
+        next = cluster_.stepToken(prompt[i], &stats);
+        result.summarizationSeconds += stats.seconds;
+        result.summarizationFlops += stats.flops;
+        result.hbmBytes += stats.hbmBytes;
+        result.instructions += stats.instructions;
+        for (size_t c = 0; c < kNumCategories; ++c)
+            result.categorySeconds[c] += stats.categorySeconds[c];
+    }
+
+    // --- Generation stage: feed each output token back ----------------
+    for (size_t i = 0; i < n_out; ++i) {
+        // In timing-only mode the argmax is unknown; use a synthetic
+        // id (timing is token-value independent).
+        int32_t tok = next >= 0 ? next : 0;
+        result.tokens.push_back(tok);
+        TokenStats stats;
+        next = cluster_.stepToken(tok, &stats);
+        result.generationSeconds += stats.seconds;
+        result.generationFlops += stats.flops;
+        result.hbmBytes += stats.hbmBytes;
+        result.instructions += stats.instructions;
+        for (size_t c = 0; c < kNumCategories; ++c)
+            result.categorySeconds[c] += stats.categorySeconds[c];
+    }
+
+    // Device -> host: generated ids.
+    result.pcieSeconds += pcie_.transferSeconds(n_out * 4);
+    return result;
+}
+
+}  // namespace dfx

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The DFX appliance: host-facing text-generation API.
+ *
+ * Mirrors the paper's service model: the host sends the input context
+ * and the system configuration over PCIe, the cluster runs the
+ * summarization stage (the n_in input tokens, one at a time — the DFX
+ * dataflow is single-token in both stages, §V "optimized for single
+ * token processing") and then the generation stage (n_out output
+ * tokens, each fed back as the next input), and the host reads the
+ * generated ids back.
+ *
+ * Stage accounting matches the paper's measurements: total latency
+ * covers n_in + n_out token steps (the final generated token is also
+ * processed, keeping the service ready for continuation) — this is
+ * what makes Fig. 14's latency exactly linear in both token counts.
+ */
+#ifndef DFX_APPLIANCE_APPLIANCE_HPP
+#define DFX_APPLIANCE_APPLIANCE_HPP
+
+#include <vector>
+
+#include "appliance/cluster.hpp"
+#include "appliance/pcie.hpp"
+
+namespace dfx {
+
+/** End-to-end result of one text-generation request. */
+struct GenerationResult
+{
+    std::vector<int32_t> tokens;       ///< generated ids (functional)
+    double summarizationSeconds = 0.0;
+    double generationSeconds = 0.0;
+    double pcieSeconds = 0.0;
+    std::array<double, kNumCategories> categorySeconds{};
+    double summarizationFlops = 0.0;
+    double generationFlops = 0.0;
+    uint64_t hbmBytes = 0;
+    uint64_t instructions = 0;
+
+    double
+    totalSeconds() const
+    {
+        return summarizationSeconds + generationSeconds + pcieSeconds;
+    }
+
+    /** Output tokens per second (the paper's throughput metric). */
+    double
+    tokensPerSecond(size_t n_out) const
+    {
+        return static_cast<double>(n_out) / totalSeconds();
+    }
+
+    /** Sustained FLOP/s in the summarization stage. */
+    double
+    summarizationFlopsPerSec() const
+    {
+        return summarizationFlops / summarizationSeconds;
+    }
+
+    /** Sustained FLOP/s in the generation stage. */
+    double
+    generationFlopsPerSec() const
+    {
+        return generationFlops / generationSeconds;
+    }
+};
+
+/** A DFX server appliance (one cluster behind a PCIe switch). */
+class DfxAppliance
+{
+  public:
+    explicit DfxAppliance(const DfxSystemConfig &config);
+
+    /** Loads weights into the cluster (functional mode only). */
+    void loadWeights(const GptWeights &weights);
+
+    /**
+     * Runs a full text-generation request. In functional mode the
+     * returned tokens are the greedy continuation; in timing-only
+     * mode token values are synthetic but the timing is exact.
+     */
+    GenerationResult generate(const std::vector<int32_t> &prompt,
+                              size_t n_out);
+
+    DfxCluster &cluster() { return cluster_; }
+    const DfxSystemConfig &config() const { return cluster_.config(); }
+
+  private:
+    DfxCluster cluster_;
+    PcieModel pcie_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_APPLIANCE_HPP

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Cluster orchestration implementation.
+ */
+#include "appliance/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "isa/encoding.hpp"
+#include "network/router.hpp"
+
+namespace dfx {
+
+void
+TokenStats::accumulate(const TokenStats &other)
+{
+    seconds += other.seconds;
+    for (size_t i = 0; i < categorySeconds.size(); ++i)
+        categorySeconds[i] += other.categorySeconds[i];
+    flops += other.flops;
+    hbmBytes += other.hbmBytes;
+    ddrBytes += other.ddrBytes;
+    instructions += other.instructions;
+}
+
+DfxCluster::DfxCluster(const DfxSystemConfig &config)
+    : config_(config), ring_(config.ring, config.nCores)
+{
+    config_.model.validate();
+    ClusterGeometry geometry{config_.nCores};
+    geometry.validateFor(config_.model);
+
+    cores_.reserve(config_.nCores);
+    for (size_t i = 0; i < config_.nCores; ++i) {
+        cores_.push_back(std::make_unique<ComputeCore>(
+            i, config_.core, config_.functional));
+    }
+    // All cores run the same allocation sequence; build the layout
+    // against core 0 and replay it on the others so addresses agree.
+    layout_ = MemoryLayout::build(config_.model, geometry,
+                                  config_.core.lanes, cores_[0]->hbm(),
+                                  cores_[0]->ddr());
+    for (size_t i = 1; i < config_.nCores; ++i) {
+        MemoryLayout other = MemoryLayout::build(
+            config_.model, geometry, config_.core.lanes, cores_[i]->hbm(),
+            cores_[i]->ddr());
+        DFX_ASSERT(other.lmHeadW == layout_.lmHeadW &&
+                       other.wte == layout_.wte,
+                   "layout divergence across cores");
+    }
+    builders_.reserve(config_.nCores);
+    for (size_t i = 0; i < config_.nCores; ++i)
+        builders_.emplace_back(config_.model, geometry, layout_, i);
+}
+
+void
+DfxCluster::loadWeights(const GptWeights &weights)
+{
+    DFX_ASSERT(config_.functional,
+               "loadWeights requires a functional-mode cluster");
+    ClusterGeometry geometry{config_.nCores};
+    Partitioner part(weights, geometry, config_.core.lanes);
+    for (size_t i = 0; i < config_.nCores; ++i)
+        part.load(*cores_[i], layout_, i);
+}
+
+void
+DfxCluster::exchange(const isa::Instruction &sync)
+{
+    if (!config_.functional)
+        return;
+    const size_t elems = sync.len;
+    if (config_.nCores == 1) {
+        // Single core: the "sync" is a local buffer move.
+        VecH seg = cores_[0]->vrf().readVec(sync.src1.addr, elems);
+        cores_[0]->vrf().writeVec(sync.dst.addr, seg);
+        return;
+    }
+    std::vector<RouterChunk> chunks;
+    chunks.reserve(config_.nCores);
+    for (size_t i = 0; i < config_.nCores; ++i) {
+        chunks.push_back(
+            {i, cores_[i]->vrf().readVec(sync.src1.addr, elems)});
+    }
+    VecH full = Router::reorder(std::move(chunks));
+    for (size_t i = 0; i < config_.nCores; ++i)
+        cores_[i]->vrf().writeVec(sync.dst.addr, full);
+}
+
+int32_t
+DfxCluster::argmaxExchange(const isa::Instruction &sync)
+{
+    if (!config_.functional)
+        return -1;
+    // Each core holds (max value, local index) in SRF/IRF; the global
+    // winner is the highest value, ties to the lowest core id. `aux`
+    // carries the vocab shard width for local->global translation.
+    float best = -std::numeric_limits<float>::infinity();
+    size_t best_core = 0;
+    int64_t best_local = 0;
+    for (size_t i = 0; i < config_.nCores; ++i) {
+        float v = cores_[i]->srf().read(sync.src1.addr).toFloat();
+        if (v > best) {
+            best = v;
+            best_core = i;
+            best_local = cores_[i]->irf().read(sync.src1.addr);
+        }
+    }
+    int64_t global = static_cast<int64_t>(best_core) * sync.aux +
+                     best_local;
+    for (size_t i = 0; i < config_.nCores; ++i)
+        cores_[i]->irf().write(sync.dst.addr, global);
+    return static_cast<int32_t>(global);
+}
+
+void
+DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
+                     TokenStats *stats)
+{
+    (void)builder_core;
+    // Optionally push the program through the binary instruction
+    // encoding, as the host's PCIe upload into the instruction buffer
+    // does (§IV-C).
+    isa::Program decoded;
+    const isa::Program *program = &phase.program;
+    if (config_.binaryInstructionPath) {
+        decoded = isa::decodeProgram(isa::encodeProgram(phase.program));
+        program = &decoded;
+    }
+    // Execute on every core; the cluster advances at the slowest one.
+    Cycles max_cycles = 0;
+    PhaseStats attribution{};
+    for (size_t i = 0; i < config_.nCores; ++i) {
+        PhaseStats s = cores_[i]->executePhase(*program);
+        max_cycles = std::max(max_cycles, s.cycles);
+        if (i == 0)
+            attribution = s;  // homogeneous: core 0 is representative
+        if (stats) {
+            stats->flops += s.flops;
+            stats->hbmBytes += s.hbmBytes;
+            stats->ddrBytes += s.ddrBytes;
+            stats->instructions += s.instructions;
+        }
+    }
+    const double clock = config_.core.clockHz;
+    if (stats) {
+        stats->seconds += units::cyclesToSeconds(max_cycles, clock);
+        // Scale core 0's per-category cycles so the categories sum to
+        // the charged phase time.
+        if (attribution.cycles > 0) {
+            double scale = static_cast<double>(max_cycles) /
+                           static_cast<double>(attribution.cycles);
+            for (size_t c = 0; c < kNumCategories; ++c) {
+                stats->categorySeconds[c] += units::cyclesToSeconds(
+                    attribution.byCategory[c], clock) * scale;
+            }
+        }
+    }
+
+    if (phase.hasSync()) {
+        const isa::Instruction &sync = phase.sync();
+        double sync_sec;
+        if (sync.flags & isa::kFlagArgmax) {
+            sync_sec = ring_.argmaxReduceSeconds();
+            lastArgmax_ = argmaxExchange(sync);
+        } else {
+            sync_sec = ring_.allGatherSeconds(
+                static_cast<uint64_t>(sync.len) * 2);
+            exchange(sync);
+        }
+        if (stats) {
+            stats->seconds += sync_sec;
+            stats->categorySeconds[static_cast<size_t>(
+                isa::Category::kSync)] += sync_sec;
+        }
+    }
+}
+
+int32_t
+DfxCluster::stepToken(int32_t token, TokenStats *stats)
+{
+    DFX_ASSERT(position_ < config_.model.maxSeq,
+               "context overflow at position %zu", position_);
+    DFX_ASSERT(token >= 0 &&
+                   static_cast<size_t>(token) < config_.model.vocabSize,
+               "token %d out of vocabulary", token);
+    lastArgmax_ = -1;
+
+    // Embedding (identical on every core — token ids are broadcast).
+    isa::Phase embed = builders_[0].embedPhase(token, position_);
+    runPhase(embed, 0, stats);
+
+    // Decoder layers. Phases differ per core only in shard-resident
+    // data; the builders emit structurally identical programs, so we
+    // can reuse core 0's phase list for timing while the functional
+    // path executes each core's own stream. (Programs are identical
+    // in structure and addresses; only the LM-head tail differs.)
+    for (size_t layer = 0; layer < config_.model.layers; ++layer) {
+        std::vector<isa::Phase> phases =
+            builders_[0].layerPhases(layer, position_);
+        for (const auto &phase : phases)
+            runPhase(phase, 0, stats);
+    }
+    position_ += 1;
+
+    // LM head: programs differ per core in the ReduMax length, but the
+    // matrix work is identical; execute core-specific programs.
+    {
+        Cycles max_cycles = 0;
+        PhaseStats attribution{};
+        isa::Phase head0 = builders_[0].lmHeadPhase();
+        for (size_t i = 0; i < config_.nCores; ++i) {
+            isa::Phase head = builders_[i].lmHeadPhase();
+            PhaseStats s = cores_[i]->executePhase(head.program);
+            max_cycles = std::max(max_cycles, s.cycles);
+            if (i == 0)
+                attribution = s;
+            if (stats) {
+                stats->flops += s.flops;
+                stats->hbmBytes += s.hbmBytes;
+                stats->ddrBytes += s.ddrBytes;
+                stats->instructions += s.instructions;
+            }
+        }
+        const double clock = config_.core.clockHz;
+        if (stats) {
+            stats->seconds += units::cyclesToSeconds(max_cycles, clock);
+            if (attribution.cycles > 0) {
+                double scale = static_cast<double>(max_cycles) /
+                               static_cast<double>(attribution.cycles);
+                for (size_t c = 0; c < kNumCategories; ++c) {
+                    stats->categorySeconds[c] += units::cyclesToSeconds(
+                        attribution.byCategory[c], clock) * scale;
+                }
+            }
+        }
+        const isa::Instruction &sync = head0.sync();
+        double sync_sec = ring_.argmaxReduceSeconds();
+        lastArgmax_ = argmaxExchange(sync);
+        if (stats) {
+            stats->seconds += sync_sec;
+            stats->categorySeconds[static_cast<size_t>(
+                isa::Category::kSync)] += sync_sec;
+        }
+    }
+    return lastArgmax_;
+}
+
+}  // namespace dfx

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Homogeneous multi-FPGA cluster (paper §IV-B).
+ *
+ * Owns N compute cores, their per-core program builders, and the ring
+ * network. `stepToken` runs one token through all decoder layers:
+ * every phase executes on all cores (identical structure, different
+ * shards), and at each trailing `sync` the cluster performs the ring
+ * all-gather — exchanging real register-file segments in functional
+ * mode and charging (N-1) hop times in both modes.
+ */
+#ifndef DFX_APPLIANCE_CLUSTER_HPP
+#define DFX_APPLIANCE_CLUSTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "appliance/partition.hpp"
+#include "core/core.hpp"
+#include "isa/codegen.hpp"
+#include "network/ring.hpp"
+
+namespace dfx {
+
+/** Configuration of a DFX system (cluster + cores + ring). */
+struct DfxSystemConfig
+{
+    GptConfig model;
+    size_t nCores = 4;
+    CoreParams core = CoreParams::defaults();
+    RingParams ring;
+    /** Allocate data planes and compute real tokens. */
+    bool functional = false;
+    /**
+     * Round-trip every phase program through the 48-byte binary
+     * encoding before execution, as the host-to-instruction-buffer
+     * PCIe path does. Costs a little host time; proves the encoding
+     * carries full semantics. Off by default.
+     */
+    bool binaryInstructionPath = false;
+};
+
+/** Timing/attribution record for one token step. */
+struct TokenStats
+{
+    double seconds = 0.0;
+    std::array<double, kNumCategories> categorySeconds{};
+    double flops = 0.0;
+    uint64_t hbmBytes = 0;
+    uint64_t ddrBytes = 0;
+    uint64_t instructions = 0;
+
+    void accumulate(const TokenStats &other);
+};
+
+/** A cluster of DFX cores executing one model with intra-layer
+ *  parallelism. */
+class DfxCluster
+{
+  public:
+    explicit DfxCluster(const DfxSystemConfig &config);
+
+    /** Loads partitioned weights into every core (functional mode). */
+    void loadWeights(const GptWeights &weights);
+
+    /** Clears the conversation (KV position back to zero). */
+    void reset() { position_ = 0; }
+
+    size_t position() const { return position_; }
+    size_t nCores() const { return config_.nCores; }
+    const DfxSystemConfig &config() const { return config_; }
+    const MemoryLayout &layout() const { return layout_; }
+    ComputeCore &core(size_t i) { return *cores_[i]; }
+
+    /**
+     * Processes one token through embedding, all decoder layers and
+     * the LM head. Returns the argmax next token in functional mode,
+     * or -1 in timing-only mode. `stats`, when given, receives the
+     * step's timing and attribution.
+     */
+    int32_t stepToken(int32_t token, TokenStats *stats);
+
+  private:
+    /** Runs one phase on all cores; adds time and handles its sync. */
+    void runPhase(const isa::Phase &phase, size_t builder_core,
+                  TokenStats *stats);
+    /** Performs the ring all-gather data exchange (functional). */
+    void exchange(const isa::Instruction &sync);
+    /** Performs the argmax all-reduce; returns the global token. */
+    int32_t argmaxExchange(const isa::Instruction &sync);
+
+    DfxSystemConfig config_;
+    std::vector<std::unique_ptr<ComputeCore>> cores_;
+    MemoryLayout layout_;
+    std::vector<isa::ProgramBuilder> builders_;
+    RingNetwork ring_;
+    size_t position_ = 0;
+    int32_t lastArgmax_ = -1;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_CLUSTER_HPP

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Weight partitioner implementation.
+ */
+#include "appliance/partition.hpp"
+
+namespace dfx {
+
+Partitioner::Partitioner(const GptWeights &weights,
+                         const ClusterGeometry &geometry, size_t lanes)
+    : weights_(weights), geometry_(geometry), lanes_(lanes)
+{
+    geometry.validateFor(weights.config);
+}
+
+void
+Partitioner::writeColSlice(OffchipMemory &mem, uint64_t addr,
+                           const MatH &m, size_t c0, size_t n)
+{
+    DFX_ASSERT(c0 + n <= m.cols(), "col slice [%zu,+%zu) of %zu", c0, n,
+               m.cols());
+    std::vector<Half> row(n);
+    for (size_t r = 0; r < m.rows(); ++r) {
+        for (size_t c = 0; c < n; ++c)
+            row[c] = m.at(r, c0 + c);
+        mem.writeHalf(addr + static_cast<uint64_t>(r) * n * 2, row.data(),
+                      n);
+    }
+}
+
+void
+Partitioner::writeVecSlice(OffchipMemory &mem, uint64_t addr,
+                           const VecH &v, size_t c0, size_t n)
+{
+    DFX_ASSERT(c0 + n <= v.size(), "vec slice [%zu,+%zu) of %zu", c0, n,
+               v.size());
+    std::vector<Half> buf(n);
+    for (size_t i = 0; i < n; ++i)
+        buf[i] = v[c0 + i];
+    mem.writeHalf(addr, buf.data(), n);
+}
+
+void
+Partitioner::writeVec(OffchipMemory &mem, uint64_t addr, const VecH &v)
+{
+    std::vector<Half> buf(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        buf[i] = v[i];
+    mem.writeHalf(addr, buf.data(), v.size());
+}
+
+void
+Partitioner::load(ComputeCore &core, const MemoryLayout &layout,
+                  size_t core_id) const
+{
+    const GptConfig &cfg = weights_.config;
+    OffchipMemory &hbm = core.hbm();
+    OffchipMemory &ddr = core.ddr();
+    const size_t emb_shard = geometry_.embShard(cfg);
+    const size_t ffn_shard = geometry_.ffnShard(cfg);
+    const size_t emb_off = core_id * emb_shard;
+    const size_t ffn_off = core_id * ffn_shard;
+
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        const LayerWeights &lw = weights_.layers[l];
+        const LayerAddrs &a = layout.layers[l];
+        // Head-wise Q/K/V: heads are contiguous column blocks, so the
+        // head-group shard is a column slice.
+        writeColSlice(hbm, a.wq, lw.wq, emb_off, emb_shard);
+        writeColSlice(hbm, a.wk, lw.wk, emb_off, emb_shard);
+        writeColSlice(hbm, a.wv, lw.wv, emb_off, emb_shard);
+        writeColSlice(hbm, a.wproj, lw.wproj, emb_off, emb_shard);
+        writeColSlice(hbm, a.wfc1, lw.wfc1, ffn_off, ffn_shard);
+        writeColSlice(hbm, a.wfc2, lw.wfc2, emb_off, emb_shard);
+        writeVecSlice(ddr, a.bq, lw.bq, emb_off, emb_shard);
+        writeVecSlice(ddr, a.bk, lw.bk, emb_off, emb_shard);
+        writeVecSlice(ddr, a.bv, lw.bv, emb_off, emb_shard);
+        writeVecSlice(ddr, a.bproj, lw.bproj, emb_off, emb_shard);
+        writeVecSlice(ddr, a.bfc1, lw.bfc1, ffn_off, ffn_shard);
+        writeVecSlice(ddr, a.bfc2, lw.bfc2, emb_off, emb_shard);
+        // LN parameters are not parallelized: full copies per core.
+        writeVec(ddr, a.ln1Gamma, lw.ln1Gamma);
+        writeVec(ddr, a.ln1Beta, lw.ln1Beta);
+        writeVec(ddr, a.ln2Gamma, lw.ln2Gamma);
+        writeVec(ddr, a.ln2Beta, lw.ln2Beta);
+    }
+
+    // LM head: transposed WTE shard over this core's vocab slice,
+    // zero-padded to the lane-aligned shard width. (The padded columns
+    // are never read by the ReduMax, whose length is the real count.)
+    const size_t vocab_shard = geometry_.vocabShard(cfg, lanes_);
+    const size_t vocab_off = core_id * vocab_shard;
+    const size_t real = vocab_off >= cfg.vocabSize
+                            ? 0
+                            : std::min(vocab_shard,
+                                       cfg.vocabSize - vocab_off);
+    std::vector<Half> row(vocab_shard, Half::zero());
+    for (size_t r = 0; r < cfg.embedding; ++r) {
+        for (size_t c = 0; c < vocab_shard; ++c) {
+            row[c] = c < real ? weights_.wte.at(vocab_off + c, r)
+                              : Half::zero();
+        }
+        hbm.writeHalf(layout.lmHeadW +
+                          static_cast<uint64_t>(r) * vocab_shard * 2,
+                      row.data(), vocab_shard);
+    }
+
+    // Embedding tables and final LN in DDR (full copies).
+    std::vector<Half> erow(cfg.embedding);
+    for (size_t t = 0; t < cfg.vocabSize; ++t) {
+        for (size_t i = 0; i < cfg.embedding; ++i)
+            erow[i] = weights_.wte.at(t, i);
+        ddr.writeHalf(layout.wte +
+                          static_cast<uint64_t>(t) * cfg.embedding * 2,
+                      erow.data(), erow.size());
+    }
+    for (size_t p = 0; p < cfg.maxSeq; ++p) {
+        for (size_t i = 0; i < cfg.embedding; ++i)
+            erow[i] = weights_.wpe.at(p, i);
+        ddr.writeHalf(layout.wpe +
+                          static_cast<uint64_t>(p) * cfg.embedding * 2,
+                      erow.data(), erow.size());
+    }
+    writeVec(ddr, layout.lnfGamma, weights_.lnfGamma);
+    writeVec(ddr, layout.lnfBeta, weights_.lnfBeta);
+}
+
+}  // namespace dfx

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Model-parallel weight partitioner (paper §IV-B, Fig. 6).
+ *
+ * Intra-layer parallelism: Q/K/V weights are divided head-wise (each
+ * core keeps the columns of its contiguous head group), the attention
+ * projection and both FFN matrices are divided column-wise, and the
+ * LM head is divided vocabulary-wise. LayerNorm parameters, biases'
+ * shards, and the embedding tables are placed in DDR per the memory
+ * mapping. Each core receives only its shard — summed over cores the
+ * partitions reconstruct the full model exactly (tested).
+ */
+#ifndef DFX_APPLIANCE_PARTITION_HPP
+#define DFX_APPLIANCE_PARTITION_HPP
+
+#include "core/core.hpp"
+#include "memory/layout.hpp"
+#include "model/weights.hpp"
+
+namespace dfx {
+
+/** Writes one core's weight shard into its HBM/DDR devices. */
+class Partitioner
+{
+  public:
+    Partitioner(const GptWeights &weights, const ClusterGeometry &geometry,
+                size_t lanes);
+
+    /**
+     * Populates `core`'s memories according to `layout`. `core_id`
+     * selects the shard (column/head/vocab range).
+     */
+    void load(ComputeCore &core, const MemoryLayout &layout,
+              size_t core_id) const;
+
+  private:
+    /** Writes columns [c0, c0+n) of `m` row-major to `mem` at `addr`. */
+    static void writeColSlice(OffchipMemory &mem, uint64_t addr,
+                              const MatH &m, size_t c0, size_t n);
+    /** Writes elements [c0, c0+n) of `v` to `mem` at `addr`. */
+    static void writeVecSlice(OffchipMemory &mem, uint64_t addr,
+                              const VecH &v, size_t c0, size_t n);
+    /** Writes all of `v`. */
+    static void writeVec(OffchipMemory &mem, uint64_t addr, const VecH &v);
+
+    const GptWeights &weights_;
+    ClusterGeometry geometry_;
+    size_t lanes_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_PARTITION_HPP

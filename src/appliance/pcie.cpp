@@ -1,0 +1,6 @@
+/**
+ * @file
+ * PCIe model translation unit (header-only model; kept for symmetry
+ * and future extension).
+ */
+#include "appliance/pcie.hpp"

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Host-FPGA PCIe link model (paper §IV-A).
+ *
+ * PCIe Gen3 x16 at 16 GB/s connects the host CPU to the cluster. The
+ * host's involvement per request is small by design — the controller
+ * runs the whole service on-device ("the controller returns the done
+ * signal back to the host once the entire GPT-2 operation finishes",
+ * §V-A) — but it is modeled so end-to-end latency includes it: the
+ * input token ids and system configuration go down once, each
+ * generated token id comes back up.
+ */
+#ifndef DFX_APPLIANCE_PCIE_HPP
+#define DFX_APPLIANCE_PCIE_HPP
+
+#include <cstdint>
+
+namespace dfx {
+
+/** PCIe link parameters and transfer cost model. */
+struct PcieModel
+{
+    double bytesPerSec = 16e9;      ///< Gen3 x16 effective payload rate
+    double perTransferLatency = 5e-6;  ///< doorbell + DMA setup
+
+    /** Seconds for one host->device or device->host transfer. */
+    double
+    transferSeconds(uint64_t bytes) const
+    {
+        return perTransferLatency +
+               static_cast<double>(bytes) / bytesPerSec;
+    }
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_PCIE_HPP

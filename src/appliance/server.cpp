@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Multi-cluster server implementation.
+ */
+#include "appliance/server.hpp"
+
+#include <algorithm>
+
+namespace dfx {
+
+DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters)
+{
+    DFX_ASSERT(n_clusters >= 1, "server needs at least one cluster");
+    clusters_.reserve(n_clusters);
+    for (size_t i = 0; i < n_clusters; ++i)
+        clusters_.push_back(std::make_unique<DfxAppliance>(config));
+}
+
+void
+DfxServer::loadWeights(const GptWeights &weights)
+{
+    for (auto &c : clusters_)
+        c->loadWeights(weights);
+}
+
+ServerStats
+DfxServer::serve(const std::vector<ServerRequest> &requests)
+{
+    ServerStats stats;
+    stats.requests = requests.size();
+    std::vector<double> queue_time(clusters_.size(), 0.0);
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const ServerRequest &req = requests[i];
+        const size_t c = i % clusters_.size();
+        GenerationResult r =
+            clusters_[c]->generate(req.prompt, req.nOut);
+        queue_time[c] += r.totalSeconds();
+        stats.totalLatencySeconds += r.totalSeconds();
+        stats.totalOutputTokens += r.tokens.size();
+    }
+    stats.makespanSeconds =
+        *std::max_element(queue_time.begin(), queue_time.end());
+    return stats;
+}
+
+}  // namespace dfx

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Multi-cluster DFX server (paper §IV-A, §VI).
+ *
+ * "One CPU and a homogeneous cluster of four FPGAs form a system to
+ * compute an independent workload" — the 4U appliance carries two
+ * such systems behind its dual-socket host ("the appliance itself is
+ * capable of harnessing two sets of these configurations"). The
+ * server dispatches independent text-generation requests across
+ * clusters: latency per request is a single cluster's latency,
+ * aggregate throughput scales with the cluster count.
+ */
+#ifndef DFX_APPLIANCE_SERVER_HPP
+#define DFX_APPLIANCE_SERVER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "appliance/appliance.hpp"
+
+namespace dfx {
+
+/** One queued text-generation request. */
+struct ServerRequest
+{
+    std::vector<int32_t> prompt;
+    size_t nOut = 0;
+};
+
+/** Result of serving a batch of requests. */
+struct ServerStats
+{
+    size_t requests = 0;
+    size_t totalOutputTokens = 0;
+    /** Wall time: per-cluster queues drain in parallel. */
+    double makespanSeconds = 0.0;
+    /** Sum of individual request latencies. */
+    double totalLatencySeconds = 0.0;
+
+    double
+    throughputTokensPerSec() const
+    {
+        return static_cast<double>(totalOutputTokens) / makespanSeconds;
+    }
+
+    double
+    meanLatencySeconds() const
+    {
+        return totalLatencySeconds / static_cast<double>(requests);
+    }
+};
+
+/** A DFX server appliance with one or more independent clusters. */
+class DfxServer
+{
+  public:
+    /**
+     * @param config per-cluster configuration (model, core count, ...)
+     * @param n_clusters independent FPGA clusters in the chassis
+     */
+    DfxServer(const DfxSystemConfig &config, size_t n_clusters);
+
+    /** Loads the same weights into every cluster (functional mode). */
+    void loadWeights(const GptWeights &weights);
+
+    /**
+     * Serves a request queue with round-robin dispatch. Requests on
+     * the same cluster serialize; clusters run in parallel.
+     */
+    ServerStats serve(const std::vector<ServerRequest> &requests);
+
+    size_t nClusters() const { return clusters_.size(); }
+    DfxAppliance &cluster(size_t i) { return *clusters_[i]; }
+
+  private:
+    std::vector<std::unique_ptr<DfxAppliance>> clusters_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_SERVER_HPP

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * GPU appliance model implementation.
+ */
+#include "baseline/gpu.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace {
+
+using isa::Category;
+
+constexpr size_t
+idx(Category c)
+{
+    return static_cast<size_t>(c);
+}
+
+}  // namespace
+
+GpuApplianceModel::GpuApplianceModel(const GptConfig &config, size_t n_gpus,
+                                     const GpuParams &params)
+    : config_(config), nGpus_(n_gpus), params_(params)
+{
+    config.validate();
+    DFX_ASSERT(n_gpus >= 1, "need at least one GPU");
+    DFX_ASSERT(config.heads % n_gpus == 0,
+               "heads %zu not divisible by %zu GPUs", config.heads,
+               n_gpus);
+}
+
+double
+GpuApplianceModel::passSeconds(size_t batch_tokens, size_t kv_len,
+                               GpuBreakdown *breakdown,
+                               double *flops) const
+{
+    const double emb = static_cast<double>(config_.embedding);
+    const double hidden = static_cast<double>(config_.ffnHidden());
+    const double vocab = static_cast<double>(config_.vocabSize);
+    const double n = static_cast<double>(batch_tokens);
+    const double seq = static_cast<double>(kv_len + batch_tokens);
+    const double gpus = static_cast<double>(nGpus_);
+
+    const double peak =
+        params_.tensorPeakFlops * params_.tensorEfficiency * gpus;
+    const double bw = params_.memBandwidth * params_.memEfficiency;
+
+    // Cost of one op group on one GPU's shard.
+    auto group = [&](int n_ops, double group_flops,
+                     double group_bytes) {
+        double overhead = n_ops * params_.opOverheadSec;
+        double compute = group_flops / peak;
+        double memory = group_bytes / (bw);  // per-GPU shard bytes
+        return std::max({overhead, compute, memory});
+    };
+
+    double total = 0.0;
+    double total_flops = 0.0;
+    auto charge = [&](Category cat, double sec, double fl) {
+        total += sec;
+        total_flops += fl;
+        if (breakdown)
+            (*breakdown)[idx(cat)] += sec;
+    };
+
+    const size_t layers = config_.layers;
+    for (size_t l = 0; l < layers; ++l) {
+        (void)l;
+        // Attention: QKV + proj GEMMs (weights sharded), per-head
+        // score/value matmuls over the KV cache.
+        double attn_flops = 2.0 * 4.0 * emb * emb * n +
+                            2.0 * 2.0 * emb * seq * n;
+        double attn_bytes = 4.0 * emb * emb * 2.0 / gpus +
+                            2.0 * emb * seq * 2.0 / gpus;
+        charge(Category::kAttention,
+               group(params_.attentionOps, attn_flops, attn_bytes),
+               attn_flops);
+        // FFN.
+        double ffn_flops = 2.0 * 2.0 * emb * hidden * n;
+        double ffn_bytes = 2.0 * emb * hidden * 2.0 / gpus;
+        charge(Category::kFfn,
+               group(params_.ffnOps, ffn_flops, ffn_bytes), ffn_flops);
+        // LayerNorm and residual: tiny math, full fixed overhead —
+        // the paper's Fig. 4 point.
+        double ln_flops = 2.0 * 8.0 * emb * n;
+        charge(Category::kLayerNorm,
+               group(params_.lnOps, ln_flops, 4.0 * emb * n * 2.0),
+               ln_flops);
+        double res_flops = 2.0 * emb * n;
+        charge(Category::kResidual,
+               group(params_.residualOps, res_flops, 3.0 * emb * n * 2.0),
+               res_flops);
+        // Megatron all-reduces.
+        if (nGpus_ > 1) {
+            double payload = n * emb * 2.0;
+            double ar = params_.allReducesPerLayer *
+                        (params_.allReduceLatencySec +
+                         payload / params_.nvlinkBandwidth);
+            charge(Category::kSync, ar, 0.0);
+        }
+    }
+
+    // Embedding lookup + LM head (logits for the last position only).
+    charge(Category::kEmbed,
+           group(params_.embedOps, 2.0 * emb * n, emb * n * 2.0),
+           2.0 * emb * n);
+    double head_flops = 2.0 * emb * vocab;
+    charge(Category::kLmHead,
+           group(params_.lmHeadOps, head_flops, emb * vocab * 2.0 / gpus),
+           head_flops);
+
+    if (flops)
+        *flops += total_flops;
+    return total;
+}
+
+GpuEstimate
+GpuApplianceModel::estimate(size_t n_in, size_t n_out) const
+{
+    DFX_ASSERT(n_in >= 1 && n_out >= 1, "need tokens on both stages");
+    GpuEstimate est;
+    // Summarization: one batched pass over the whole prompt; its
+    // logits yield the first output token.
+    est.summarizationSeconds = passSeconds(n_in, 0, &est.breakdown,
+                                           &est.summarizationFlops);
+    // Generation: one pass per additional output token.
+    for (size_t i = 1; i < n_out; ++i) {
+        est.generationSeconds += passSeconds(1, n_in + i - 1,
+                                             &est.breakdown,
+                                             &est.generationFlops);
+    }
+    return est;
+}
+
+}  // namespace dfx

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * TPU baseline model implementation.
+ */
+#include "baseline/tpu.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+TpuModel::TpuModel(const GptConfig &config, const TpuParams &params)
+    : config_(config), params_(params)
+{
+    config.validate();
+}
+
+double
+TpuModel::passSeconds(size_t batch_tokens, double overhead,
+                      double *flops) const
+{
+    const double emb = static_cast<double>(config_.embedding);
+    const double hidden = static_cast<double>(config_.ffnHidden());
+    const double n = static_cast<double>(batch_tokens);
+    const double layers = static_cast<double>(config_.layers);
+
+    const double pass_flops =
+        layers * (2.0 * 4.0 * emb * emb + 2.0 * 2.0 * emb * hidden) * n +
+        2.0 * emb * static_cast<double>(config_.vocabSize);
+    const double weight_bytes =
+        layers * 12.0 * emb * emb * 2.0 +
+        emb * static_cast<double>(config_.vocabSize) * 2.0;
+
+    const double compute =
+        pass_flops / (params_.peakFlops * params_.computeEfficiency);
+    const double memory =
+        weight_bytes / (params_.memBandwidth * params_.memEfficiency);
+    if (flops)
+        *flops += pass_flops;
+    return overhead + std::max(compute, memory);
+}
+
+TpuEstimate
+TpuModel::estimate(size_t n_in, size_t n_out) const
+{
+    DFX_ASSERT(n_in >= 1 && n_out >= 1, "need tokens on both stages");
+    TpuEstimate est;
+    est.summarizationSeconds = passSeconds(
+        n_in, params_.prefillOverheadSec, &est.summarizationFlops);
+    for (size_t i = 1; i < n_out; ++i) {
+        est.generationSeconds += passSeconds(1, params_.stepOverheadSec,
+                                             &est.generationFlops);
+    }
+    return est;
+}
+
+}  // namespace dfx

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic model of the cloud-TPU baseline (paper Fig. 17).
+ *
+ * The paper runs the 345M model on a cloud TPU and reports sustained
+ * GFLOPS of 674.5 (summarization), 8.2 (generation) and 16.1 (total)
+ * for a 64:64 request: the systolic array batches the prompt well but
+ * collapses on single-token steps, where the per-step dispatch
+ * (host round trip + XLA executable invocation) dominates.
+ *
+ * Model: one forward pass costs a fixed dispatch overhead plus
+ * compute/memory terms; generation pays a larger per-step overhead
+ * than the one-shot summarization pass (feed/fetch in the token
+ * loop). Constants calibrated to the three published GFLOPS numbers.
+ */
+#ifndef DFX_BASELINE_TPU_HPP
+#define DFX_BASELINE_TPU_HPP
+
+#include <cstddef>
+
+#include "model/config.hpp"
+
+namespace dfx {
+
+/** Cloud TPU (v3-class) parameters. */
+struct TpuParams
+{
+    double peakFlops = 123e12;        ///< bf16 systolic peak
+    double computeEfficiency = 0.45;
+    double memBandwidth = 900e9;
+    double memEfficiency = 0.6;
+    /** One-shot (summarization) dispatch overhead. */
+    double prefillOverheadSec = 62e-3;
+    /** Per-token dispatch overhead in the generation loop. */
+    double stepOverheadSec = 85e-3;
+};
+
+/** Latency estimate on the TPU baseline. */
+struct TpuEstimate
+{
+    double summarizationSeconds = 0.0;
+    double generationSeconds = 0.0;
+    double summarizationFlops = 0.0;
+    double generationFlops = 0.0;
+
+    double
+    totalSeconds() const
+    {
+        return summarizationSeconds + generationSeconds;
+    }
+};
+
+/** Single-device TPU inference model. */
+class TpuModel
+{
+  public:
+    TpuModel(const GptConfig &config, const TpuParams &params = TpuParams());
+
+    /** Full request: batched prefill + per-token generation. */
+    TpuEstimate estimate(size_t n_in, size_t n_out) const;
+
+  private:
+    double passSeconds(size_t batch_tokens, double overhead,
+                       double *flops) const;
+
+    GptConfig config_;
+    TpuParams params_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_BASELINE_TPU_HPP

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * IEEE-754 binary16 soft-float implementation.
+ */
+#include "common/fp16.hpp"
+
+#include <bit>
+#include <cmath>
+#include <ostream>
+
+namespace dfx {
+namespace fp16 {
+namespace {
+
+/**
+ * Rounds an unsigned significand right by `shift` bits using
+ * round-to-nearest-even (guard + sticky).
+ */
+uint64_t
+roundShiftRne(uint64_t v, int shift)
+{
+    if (shift <= 0)
+        return v << -shift;
+    if (shift > 63)
+        return 0;
+    uint64_t res = v >> shift;
+    uint64_t rem = v & ((uint64_t{1} << shift) - 1);
+    uint64_t half = uint64_t{1} << (shift - 1);
+    if (rem > half || (rem == half && (res & 1)))
+        res += 1;
+    return res;
+}
+
+}  // namespace
+
+uint16_t
+doubleToHalfBits(double value)
+{
+    const uint64_t x = std::bit_cast<uint64_t>(value);
+    const uint16_t sign = static_cast<uint16_t>((x >> 48) & 0x8000u);
+    const uint64_t abs = x & 0x7fffffffffffffffull;
+
+    if (abs >= 0x7ff0000000000000ull) {
+        // Inf or NaN. NaNs are canonicalized to a quiet NaN with the
+        // input's sign; payload is not propagated (hardware FP16
+        // operators canonicalize as well).
+        return sign |
+               (abs > 0x7ff0000000000000ull ? uint16_t{0x7e00}
+                                            : uint16_t{0x7c00});
+    }
+    if (abs == 0)
+        return sign;
+
+    int exp = static_cast<int>(abs >> 52) - 1023;  // unbiased exponent
+    uint64_t sig = abs & 0x000fffffffffffffull;    // 52 fraction bits
+    if (abs >= 0x0010000000000000ull) {
+        sig |= 0x0010000000000000ull;  // implicit leading 1
+    } else {
+        // Double subnormal: magnitude < 2^-1022, rounds to +/-0 in half.
+        return sign;
+    }
+
+    // Half keeps 10 fraction bits; the double significand has 52.
+    int shift = 42;
+    if (exp < -14) {
+        shift += -14 - exp;  // denormalize into half-subnormal range
+        exp = -14;
+    }
+    uint64_t sig_h = roundShiftRne(sig, shift);
+    if (sig_h == 0)
+        return sign;
+    if (sig_h >= 0x800u) {
+        // Rounding carried into the next binade (always exactly 2048).
+        sig_h >>= 1;
+        exp += 1;
+    }
+    if (sig_h >= 0x400u) {
+        // Normal half (the subnormal path lands here when it rounds up
+        // into the smallest normal; exp was clamped to -14 so the
+        // biased exponent below is 1, which is correct).
+        int he = exp + 15;
+        if (he >= 31)
+            return sign | uint16_t{0x7c00};  // overflow to infinity
+        return sign | static_cast<uint16_t>(he << 10) |
+               static_cast<uint16_t>(sig_h & 0x3ffu);
+    }
+    // Subnormal half: exponent field 0, value sig_h * 2^-24.
+    return sign | static_cast<uint16_t>(sig_h);
+}
+
+float
+halfBitsToFloat(uint16_t bits)
+{
+    const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+    uint32_t exp = (bits >> 10) & 0x1fu;
+    uint32_t mant = bits & 0x3ffu;
+    uint32_t out;
+    if (exp == 0) {
+        if (mant == 0) {
+            out = sign;  // +/- zero
+        } else {
+            // Subnormal: normalize the significand.
+            int e = -1;
+            do {
+                mant <<= 1;
+                ++e;
+            } while (!(mant & 0x400u));
+            out = sign | ((127u - 15u - e) << 23) | ((mant & 0x3ffu) << 13);
+        }
+    } else if (exp == 31) {
+        out = sign | 0x7f800000u | (mant << 13);  // inf / NaN
+    } else {
+        out = sign | ((exp - 15u + 127u) << 23) | (mant << 13);
+    }
+    return std::bit_cast<float>(out);
+}
+
+}  // namespace fp16
+
+Half
+Half::fromDouble(double value)
+{
+    return fromBits(fp16::doubleToHalfBits(value));
+}
+
+Half
+Half::fromFloat(float value)
+{
+    // float -> double is exact, so this is a single rounding step.
+    return fromBits(fp16::doubleToHalfBits(static_cast<double>(value)));
+}
+
+float
+Half::toFloat() const
+{
+    return fp16::halfBitsToFloat(bits_);
+}
+
+double
+Half::toDouble() const
+{
+    return static_cast<double>(fp16::halfBitsToFloat(bits_));
+}
+
+bool
+Half::isNan() const
+{
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x3ffu) != 0;
+}
+
+bool
+Half::isInf() const
+{
+    return (bits_ & 0x7fffu) == 0x7c00u;
+}
+
+bool
+Half::isZero() const
+{
+    return (bits_ & 0x7fffu) == 0;
+}
+
+bool
+Half::isSubnormal() const
+{
+    return (bits_ & 0x7c00u) == 0 && (bits_ & 0x3ffu) != 0;
+}
+
+Half
+operator+(Half a, Half b)
+{
+    return Half::fromDouble(a.toDouble() + b.toDouble());
+}
+
+Half
+operator-(Half a, Half b)
+{
+    return Half::fromDouble(a.toDouble() - b.toDouble());
+}
+
+Half
+operator*(Half a, Half b)
+{
+    return Half::fromDouble(a.toDouble() * b.toDouble());
+}
+
+Half
+operator/(Half a, Half b)
+{
+    return Half::fromDouble(a.toDouble() / b.toDouble());
+}
+
+bool
+operator==(Half a, Half b)
+{
+    return a.toFloat() == b.toFloat();
+}
+
+bool
+operator!=(Half a, Half b)
+{
+    return a.toFloat() != b.toFloat();
+}
+
+bool
+operator<(Half a, Half b)
+{
+    return a.toFloat() < b.toFloat();
+}
+
+bool
+operator<=(Half a, Half b)
+{
+    return a.toFloat() <= b.toFloat();
+}
+
+bool
+operator>(Half a, Half b)
+{
+    return a.toFloat() > b.toFloat();
+}
+
+bool
+operator>=(Half a, Half b)
+{
+    return a.toFloat() >= b.toFloat();
+}
+
+Half
+hexp(Half x)
+{
+    return Half::fromDouble(std::exp(x.toDouble()));
+}
+
+Half
+hrecip(Half x)
+{
+    return Half::fromDouble(1.0 / x.toDouble());
+}
+
+Half
+hrsqrt(Half x)
+{
+    return Half::fromDouble(1.0 / std::sqrt(x.toDouble()));
+}
+
+Half
+hsqrt(Half x)
+{
+    return Half::fromDouble(std::sqrt(x.toDouble()));
+}
+
+Half
+htanh(Half x)
+{
+    return Half::fromDouble(std::tanh(x.toDouble()));
+}
+
+Half
+habs(Half x)
+{
+    return Half::fromBits(x.bits() & 0x7fffu);
+}
+
+Half
+hmax(Half a, Half b)
+{
+    if (a.isNan())
+        return b;
+    if (b.isNan())
+        return a;
+    return a < b ? b : a;
+}
+
+Half
+hmin(Half a, Half b)
+{
+    if (a.isNan())
+        return b;
+    if (b.isNan())
+        return a;
+    return b < a ? b : a;
+}
+
+std::ostream &
+operator<<(std::ostream &os, Half h)
+{
+    return os << h.toFloat();
+}
+
+}  // namespace dfx

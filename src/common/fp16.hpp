@@ -1,0 +1,142 @@
+/**
+ * @file
+ * IEEE-754 binary16 (half precision) soft-float.
+ *
+ * DFX runs its entire datapath in FP16 "based on IEEE 754 with 1-bit
+ * sign, 5-bit exponent, and 10-bit mantissa" (paper §VII-A). Every
+ * arithmetic operation in the simulated MPU/VPU/SFU goes through this
+ * type so that results carry hardware-faithful rounding behaviour:
+ * each primitive op (multiply, add, ...) rounds to nearest-even
+ * independently, exactly like the Xilinx Floating-Point Operator IP
+ * the paper instantiates (separate DSP multiplier and adder — no fused
+ * multiply-add).
+ */
+#ifndef DFX_COMMON_FP16_HPP
+#define DFX_COMMON_FP16_HPP
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace dfx {
+
+/**
+ * A half-precision floating point value stored as its 16 raw bits.
+ *
+ * Conversions implement correct round-to-nearest-even including
+ * subnormals, infinities and NaN. Binary arithmetic is performed by
+ * widening both operands to double (exact), computing, and rounding the
+ * double result back to half in a single rounding step. For +, - and *
+ * this is exactly the correctly-rounded FP16 result; for / and the
+ * transcendental helpers the intermediate double rounding is far below
+ * half-precision ULP and matches FPGA operator behaviour in practice.
+ */
+class Half
+{
+  public:
+    constexpr Half() : bits_(0) {}
+
+    /** Wraps raw IEEE binary16 bits without conversion. */
+    static constexpr Half
+    fromBits(uint16_t bits)
+    {
+        Half h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    /** Converts a double to half with round-to-nearest-even. */
+    static Half fromDouble(double value);
+
+    /** Converts a float to half with round-to-nearest-even. */
+    static Half fromFloat(float value);
+
+    /** Raw bit pattern. */
+    constexpr uint16_t bits() const { return bits_; }
+
+    /** Exact widening conversion to float. */
+    float toFloat() const;
+
+    /** Exact widening conversion to double. */
+    double toDouble() const;
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const;
+    bool isSubnormal() const;
+
+    /** Sign bit (true when negative, including -0). */
+    constexpr bool signBit() const { return (bits_ & 0x8000u) != 0; }
+
+    // Handy constants.
+    static constexpr Half zero() { return fromBits(0x0000); }
+    static constexpr Half one() { return fromBits(0x3c00); }
+    static constexpr Half negOne() { return fromBits(0xbc00); }
+    /** Largest finite value, 65504. */
+    static constexpr Half max() { return fromBits(0x7bff); }
+    /** Most negative finite value, -65504. */
+    static constexpr Half lowest() { return fromBits(0xfbff); }
+    /** Smallest positive normal, 2^-14. */
+    static constexpr Half minNormal() { return fromBits(0x0400); }
+    /** Smallest positive subnormal, 2^-24. */
+    static constexpr Half minSubnormal() { return fromBits(0x0001); }
+    static constexpr Half infinity() { return fromBits(0x7c00); }
+    static constexpr Half negInfinity() { return fromBits(0xfc00); }
+    static constexpr Half quietNan() { return fromBits(0x7e00); }
+
+    Half operator-() const { return fromBits(bits_ ^ 0x8000u); }
+
+    friend Half operator+(Half a, Half b);
+    friend Half operator-(Half a, Half b);
+    friend Half operator*(Half a, Half b);
+    friend Half operator/(Half a, Half b);
+
+    Half &operator+=(Half o) { *this = *this + o; return *this; }
+    Half &operator-=(Half o) { *this = *this - o; return *this; }
+    Half &operator*=(Half o) { *this = *this * o; return *this; }
+    Half &operator/=(Half o) { *this = *this / o; return *this; }
+
+    // Comparisons follow IEEE semantics (NaN compares false, -0 == +0).
+    friend bool operator==(Half a, Half b);
+    friend bool operator!=(Half a, Half b);
+    friend bool operator<(Half a, Half b);
+    friend bool operator<=(Half a, Half b);
+    friend bool operator>(Half a, Half b);
+    friend bool operator>=(Half a, Half b);
+
+  private:
+    uint16_t bits_;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be exactly 16 bits");
+
+/** e^x rounded to half. Used by the VPU `exp` instruction. */
+Half hexp(Half x);
+/** 1/x rounded to half. Used by the VPU `recip` instruction. */
+Half hrecip(Half x);
+/** 1/sqrt(x) rounded to half. Used by the VPU `recip_sqrt` instruction. */
+Half hrsqrt(Half x);
+/** sqrt(x) rounded to half. */
+Half hsqrt(Half x);
+/** tanh(x) rounded to half (reference GELU only; hardware uses a LUT). */
+Half htanh(Half x);
+/** |x|. */
+Half habs(Half x);
+/** IEEE maxNum: returns the larger operand, preferring numbers to NaN. */
+Half hmax(Half a, Half b);
+/** IEEE minNum. */
+Half hmin(Half a, Half b);
+
+std::ostream &operator<<(std::ostream &os, Half h);
+
+namespace fp16 {
+
+/** Round-to-nearest-even conversion from double bits; core algorithm. */
+uint16_t doubleToHalfBits(double value);
+/** Exact half-to-float conversion. */
+float halfBitsToFloat(uint16_t bits);
+
+}  // namespace fp16
+
+}  // namespace dfx
+
+#endif  // DFX_COMMON_FP16_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error reporting and status messages (gem5-style panic/fatal/warn).
+ *
+ * `panic` flags simulator bugs (aborts); `fatal` flags user/config
+ * errors (clean exit). `warn`/`inform` are non-fatal status messages.
+ */
+#ifndef DFX_COMMON_LOGGING_HPP
+#define DFX_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <string>
+
+namespace dfx {
+
+/** printf-style formatting into a std::string. */
+std::string strFormat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+}  // namespace dfx
+
+/** Simulator bug: print and abort(). */
+#define DFX_PANIC(...) \
+    ::dfx::panicImpl(__FILE__, __LINE__, ::dfx::strFormat(__VA_ARGS__))
+
+/** User/configuration error: print and exit(1). */
+#define DFX_FATAL(...) \
+    ::dfx::fatalImpl(__FILE__, __LINE__, ::dfx::strFormat(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define DFX_WARN(...) ::dfx::warnImpl(::dfx::strFormat(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define DFX_INFORM(...) ::dfx::informImpl(::dfx::strFormat(__VA_ARGS__))
+
+/** Invariant check that survives NDEBUG; panics with a message. */
+#define DFX_ASSERT(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dfx::panicImpl(__FILE__, __LINE__,                           \
+                             std::string("assertion failed: " #cond " — ") \
+                                 + ::dfx::strFormat(__VA_ARGS__));         \
+        }                                                                  \
+    } while (0)
+
+#endif  // DFX_COMMON_LOGGING_HPP

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * xoshiro256** implementation (public-domain algorithm by Blackman &
+ * Vigna), seeded with SplitMix64.
+ */
+#include "common/random.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace {
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(two_pi * u2);
+    haveSpare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    DFX_ASSERT(n != 0, "Rng::below(0)");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % n;
+}
+
+}  // namespace dfx

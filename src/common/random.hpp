@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All synthetic model weights and workload generators draw from this
+ * engine so experiments are exactly reproducible across runs and
+ * platforms (we avoid std::normal_distribution, whose output is
+ * implementation-defined).
+ */
+#ifndef DFX_COMMON_RANDOM_HPP
+#define DFX_COMMON_RANDOM_HPP
+
+#include <cstdint>
+
+namespace dfx {
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64.
+ *
+ * Small, fast and high quality; the reference implementation is public
+ * domain (Blackman & Vigna).
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal via Box-Muller (deterministic, portable). */
+    double normal();
+
+    /** Normal with the given mean / standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Uniform integer in [0, n). n must be nonzero. */
+    uint64_t below(uint64_t n);
+
+  private:
+    uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_COMMON_RANDOM_HPP

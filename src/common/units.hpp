@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Units and conversion helpers used throughout the timing models.
+ *
+ * Convention: core-local time is counted in integer cycles of the
+ * 200 MHz kernel clock; system-level time (cluster, host, baselines)
+ * is double seconds. Bandwidths are bytes/second, sizes are bytes.
+ */
+#ifndef DFX_COMMON_UNITS_HPP
+#define DFX_COMMON_UNITS_HPP
+
+#include <cstdint>
+
+namespace dfx {
+
+/** Core clock cycles (DFX kernel clock, 200 MHz). */
+using Cycles = uint64_t;
+
+namespace units {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kKB = 1e3;
+constexpr double kMB = 1e6;
+constexpr double kGB = 1e9;
+
+constexpr double kMHz = 1e6;
+constexpr double kGHz = 1e9;
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+constexpr double kNano = 1e-9;
+
+/** Converts cycles at the given clock frequency (Hz) to seconds. */
+constexpr double
+cyclesToSeconds(Cycles cycles, double freq_hz)
+{
+    return static_cast<double>(cycles) / freq_hz;
+}
+
+/** Converts seconds to (rounded-up) cycles at the given frequency. */
+constexpr Cycles
+secondsToCycles(double seconds, double freq_hz)
+{
+    double c = seconds * freq_hz;
+    Cycles whole = static_cast<Cycles>(c);
+    return (static_cast<double>(whole) < c) ? whole + 1 : whole;
+}
+
+/** Bytes deliverable per core clock cycle at the given bandwidth. */
+constexpr double
+bytesPerCycle(double bytes_per_sec, double freq_hz)
+{
+    return bytes_per_sec / freq_hz;
+}
+
+/** Seconds to transfer `bytes` at `bytes_per_sec`. */
+constexpr double
+transferSeconds(double bytes, double bytes_per_sec)
+{
+    return bytes / bytes_per_sec;
+}
+
+}  // namespace units
+}  // namespace dfx
+
+#endif  // DFX_COMMON_UNITS_HPP

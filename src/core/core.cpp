@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Compute core implementation: the scheduler's timing walk and the
+ * functional dispatch to the processing units.
+ */
+#include "core/core.hpp"
+
+#include <algorithm>
+
+namespace dfx {
+namespace {
+
+constexpr size_t kIrfRegs = 64;
+
+size_t
+linesFor(size_t elems)
+{
+    return (elems + VectorRegFile::kWidth - 1) / VectorRegFile::kWidth;
+}
+
+}  // namespace
+
+void
+PhaseStats::accumulate(const PhaseStats &other)
+{
+    cycles += other.cycles;
+    for (size_t i = 0; i < byCategory.size(); ++i)
+        byCategory[i] += other.byCategory[i];
+    hbmBytes += other.hbmBytes;
+    ddrBytes += other.ddrBytes;
+    flops += other.flops;
+    instructions += other.instructions;
+}
+
+ComputeCore::ComputeCore(size_t core_id, const CoreParams &params,
+                         bool functional)
+    : coreId_(core_id), params_(params), functional_(functional),
+      hbm_(makeHbm(static_cast<int>(core_id), params.hbmEfficiency,
+                   functional)),
+      ddr_(makeDdr(static_cast<int>(core_id), params.ddrEfficiency,
+                   functional)),
+      vrf_(params.vrfLines, functional),
+      srf_(params.srfRegs, functional), irf_(kIrfRegs),
+      scoreboard_(params.vrfLines, params.srfRegs, kIrfRegs),
+      mpu_(params_, &hbm_, &ddr_), vpu_(params_, &hbm_, &ddr_),
+      dmaUnit_(params_, &hbm_)
+{
+}
+
+Cycles
+ComputeCore::sourceReady(const isa::Instruction &inst) const
+{
+    using isa::Opcode;
+    using isa::Space;
+    Cycles ready = 0;
+    auto consider = [&](const isa::Operand &op, size_t elems) {
+        switch (op.space) {
+          case Space::kVrf:
+            ready = std::max(ready,
+                             scoreboard_.vrfReady(op.addr, linesFor(elems)));
+            break;
+          case Space::kSrf:
+            ready = std::max(ready, scoreboard_.srfReady(op.addr));
+            break;
+          case Space::kIrf:
+            ready = std::max(ready, scoreboard_.irfReady(op.addr));
+            break;
+          default:
+            break;  // memory and immediates have no RF dependency
+        }
+    };
+    switch (inst.op) {
+      case Opcode::kConv1d:
+      case Opcode::kMaskedMm:
+      case Opcode::kMm:
+        consider(inst.src1, inst.len);
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+        consider(inst.src1, inst.len);
+        consider(inst.src2, inst.len);
+        break;
+      case Opcode::kAddScalar:
+      case Opcode::kSubScalar:
+      case Opcode::kMulScalar:
+        consider(inst.src1, inst.len);
+        consider(inst.src2, 1);
+        break;
+      case Opcode::kExp:
+      case Opcode::kStore:
+      case Opcode::kAccum:
+      case Opcode::kReduMax:
+      case Opcode::kDmaStoreKv:
+      case Opcode::kSync:
+        consider(inst.src1, inst.len);
+        break;
+      case Opcode::kScalarAdd:
+      case Opcode::kScalarMul:
+      case Opcode::kScalarRecip:
+      case Opcode::kScalarRsqrt:
+        consider(inst.src1, 1);
+        consider(inst.src2, 1);
+        break;
+      case Opcode::kLoad:
+        break;
+      default:
+        DFX_PANIC("unhandled opcode in sourceReady");
+    }
+    return ready;
+}
+
+void
+ComputeCore::retireDests(const isa::Instruction &inst, Cycles when)
+{
+    using isa::Opcode;
+    using isa::Space;
+    size_t out_elems = inst.len;
+    switch (inst.op) {
+      case Opcode::kConv1d:
+      case Opcode::kMaskedMm:
+      case Opcode::kMm:
+        out_elems = inst.cols;
+        break;
+      default:
+        break;
+    }
+    switch (inst.dst.space) {
+      case Space::kVrf:
+        scoreboard_.setVrfReady(inst.dst.addr, linesFor(out_elems), when);
+        break;
+      case Space::kSrf:
+        scoreboard_.setSrfReady(inst.dst.addr, when);
+        if (inst.op == Opcode::kReduMax)
+            scoreboard_.setIrfReady(inst.dst.addr, when);
+        break;
+      case Space::kIrf:
+        scoreboard_.setIrfReady(inst.dst.addr, when);
+        break;
+      default:
+        break;  // memory destinations tracked by engine ordering only
+    }
+}
+
+PhaseStats
+ComputeCore::executePhase(const isa::Program &prog)
+{
+    PhaseStats stats;
+    scoreboard_.reset();
+    std::array<Cycles, 4> engine_ready{};
+    Cycles phase_end = 0;
+
+    for (const auto &inst : prog) {
+        std::string err;
+        DFX_ASSERT(isa::validate(inst, &err), "invalid instruction: %s",
+                   err.c_str());
+        const isa::Engine engine = isa::engineOf(inst.op);
+        const size_t e = static_cast<size_t>(engine);
+
+        // --- timing --------------------------------------------------
+        Cycles occupancy = 0, latency = 0;
+        switch (engine) {
+          case isa::Engine::kMpu: {
+            MatrixTiming t = mpu_.timing(inst);
+            occupancy = t.occupancy;
+            latency = t.latency;
+            stats.hbmBytes += t.hbmBytes;
+            stats.ddrBytes += t.ddrBytes;
+            stats.flops += t.flops;
+            break;
+          }
+          case isa::Engine::kVpu: {
+            VectorTiming t = vpu_.timing(inst);
+            occupancy = t.occupancy;
+            latency = t.latency;
+            stats.hbmBytes += t.hbmBytes;
+            stats.ddrBytes += t.ddrBytes;
+            stats.flops += t.flops;
+            break;
+          }
+          case isa::Engine::kDma: {
+            DmaTiming t = dmaUnit_.timing(inst);
+            occupancy = t.occupancy;
+            latency = t.latency;
+            stats.hbmBytes += t.hbmBytes;
+            break;
+          }
+          case isa::Engine::kRouter:
+            // Ring transfer time is charged by the cluster, which
+            // knows the full payload and hop count.
+            occupancy = 0;
+            latency = 0;
+            break;
+        }
+
+        const Cycles deps = sourceReady(inst);
+        const Cycles start = std::max(deps, engine_ready[e]);
+        const Cycles complete = start + latency;
+        engine_ready[e] = start + occupancy + params_.issueOverhead;
+        retireDests(inst, complete);
+
+        // Incremental critical-path attribution: only the cycles by
+        // which this instruction extends the phase count toward its
+        // category, so overlapped work is not double counted.
+        if (complete > phase_end) {
+            stats.byCategory[static_cast<size_t>(inst.category)] +=
+                complete - phase_end;
+            phase_end = complete;
+        }
+        stats.instructions += 1;
+
+        // --- functional ----------------------------------------------
+        if (functional_) {
+            switch (engine) {
+              case isa::Engine::kMpu:
+                mpu_.execute(inst, vrf_);
+                break;
+              case isa::Engine::kVpu:
+                vpu_.execute(inst, vrf_, srf_, irf_);
+                break;
+              case isa::Engine::kDma:
+                dmaUnit_.execute(inst, vrf_);
+                break;
+              case isa::Engine::kRouter:
+                break;  // the cluster performs the exchange
+            }
+        }
+    }
+    stats.cycles = phase_end;
+    return stats;
+}
+
+}  // namespace dfx

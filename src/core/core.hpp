@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The DFX compute core (paper §V, Fig. 7).
+ *
+ * One core per FPGA. The core owns its HBM and DDR devices, the
+ * register files, the MPU/VPU/DMA units and the control unit state
+ * (scheduler + scoreboard). `executePhase` runs a straight-line
+ * program the way the hardware does: instructions issue in order, one
+ * per engine at a time, chain through the scoreboard (dependents
+ * dovetail with pipeline latency) and overlap across engines
+ * ("compute processes data, dma fetches data, and router fills the
+ * buffer ... simultaneously", §IV-C).
+ */
+#ifndef DFX_CORE_CORE_HPP
+#define DFX_CORE_CORE_HPP
+
+#include <array>
+#include <memory>
+
+#include "core/core_params.hpp"
+#include "core/dma.hpp"
+#include "core/mpu.hpp"
+#include "core/regfile.hpp"
+#include "core/scoreboard.hpp"
+#include "core/vpu.hpp"
+#include "isa/instruction.hpp"
+#include "memory/offchip.hpp"
+
+namespace dfx {
+
+constexpr size_t kNumCategories =
+    static_cast<size_t>(isa::Category::kNumCategories);
+
+/** Result of executing one phase on one core. */
+struct PhaseStats
+{
+    Cycles cycles = 0;  ///< phase critical path on this core
+    std::array<Cycles, kNumCategories> byCategory{};
+    uint64_t hbmBytes = 0;
+    uint64_t ddrBytes = 0;
+    double flops = 0.0;
+    uint64_t instructions = 0;
+
+    void accumulate(const PhaseStats &other);
+};
+
+/** One DFX compute core with its private off-chip memories. */
+class ComputeCore
+{
+  public:
+    /**
+     * @param core_id this core's position in the ring
+     * @param params timing/structural parameters
+     * @param functional allocate data planes and compute real values
+     */
+    ComputeCore(size_t core_id, const CoreParams &params, bool functional);
+
+    /**
+     * Executes a phase program. In functional mode the data plane is
+     * updated; in both modes the timing model produces cycle counts.
+     * A trailing `sync` instruction is costed by the cluster, not
+     * here.
+     */
+    PhaseStats executePhase(const isa::Program &prog);
+
+    size_t coreId() const { return coreId_; }
+    bool functional() const { return functional_; }
+    const CoreParams &params() const { return params_; }
+
+    OffchipMemory &hbm() { return hbm_; }
+    OffchipMemory &ddr() { return ddr_; }
+    VectorRegFile &vrf() { return vrf_; }
+    ScalarRegFile &srf() { return srf_; }
+    IndexRegFile &irf() { return irf_; }
+
+  private:
+    /** Scoreboard readiness of an instruction's sources. */
+    Cycles sourceReady(const isa::Instruction &inst) const;
+    /** Marks an instruction's destinations ready at `when`. */
+    void retireDests(const isa::Instruction &inst, Cycles when);
+
+    size_t coreId_;
+    CoreParams params_;
+    bool functional_;
+    OffchipMemory hbm_;
+    OffchipMemory ddr_;
+    VectorRegFile vrf_;
+    ScalarRegFile srf_;
+    IndexRegFile irf_;
+    Scoreboard scoreboard_;
+    Mpu mpu_;
+    Vpu vpu_;
+    DmaUnit dmaUnit_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_CORE_CORE_HPP

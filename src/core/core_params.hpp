@@ -1,0 +1,131 @@
+/**
+ * @file
+ * DFX compute-core timing parameters.
+ *
+ * Structural parameters ((d, l), clock, pipeline depths) come straight
+ * from the paper (§V). Two empirical derating factors are calibration
+ * constants, chosen once so the simulated 345M/1-FPGA per-token
+ * latency lands near the paper's measured 5.4 ms/token and frozen:
+ *
+ *  - hbmEfficiency: sustained/peak HBM bandwidth for the DMA's tiled
+ *    streaming pattern. Published HBM2 studies on the U280 measure
+ *    45-65% of peak for multi-channel strided reads; 0.50 here.
+ *  - issueOverhead: scheduler/operand-collector/FSM cycles between
+ *    chained instructions. The paper's LayerNorm share (9.3% of layer
+ *    latency for 0.1% of FLOPs) implies tens of cycles of per-
+ *    instruction overhead around the short vector chains; 55 here.
+ *  - kvStreamChannels: a single head's K/V region lives in few HBM
+ *    pseudo-channels, so the per-head attention matrices stream at a
+ *    fraction of aggregate bandwidth (1 of 32 channels here). This is
+ *    what makes self-attention the largest latency share on DFX
+ *    (Fig. 15: 43%) despite the FFN moving 2x the weight bytes.
+ */
+#ifndef DFX_CORE_CORE_PARAMS_HPP
+#define DFX_CORE_CORE_PARAMS_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "memory/offchip.hpp"
+
+namespace dfx {
+
+/** All tunables of the compute-core timing model. */
+struct CoreParams
+{
+    // --- structural (paper §V, §VI) -----------------------------------
+    double clockHz = 200e6;       ///< kernel clock
+    size_t tileRows = 64;         ///< d: MAC-tree input dimension
+    size_t lanes = 16;            ///< l: parallel MAC trees
+    size_t vectorWidth = 64;      ///< VPU lane width
+    size_t vrfLines = 4096;       ///< vector register file depth
+    size_t srfRegs = 256;         ///< scalar register file depth
+
+    // FP16 operator pipeline depths (paper §V-C).
+    uint32_t mulLatency = 6;      ///< DSP multiplier
+    uint32_t addLatency = 11;     ///< DSP adder (2 DSPs)
+    uint32_t expLatency = 4;
+    uint32_t recipLatency = 14;   ///< SFU reciprocal
+    uint32_t rsqrtLatency = 18;   ///< SFU reciprocal square root
+    uint32_t geluLatency = 4;     ///< SFU_M LUT + interpolation
+    uint32_t reduMaxLatency = 24; ///< comparator tree + index select
+
+    /**
+     * Maximum Conv1D input length the operand collector can hold; a
+     * longer input is processed "through a sliding window" (§IV-C),
+     * costing one extra pipeline fill + partial-sum pass per window.
+     */
+    size_t maxConvInput = 8192;
+
+    // --- calibration (see file comment) --------------------------------
+    double hbmEfficiency = 0.50;
+    double ddrEfficiency = 0.70;
+    uint32_t issueOverhead = 55;
+    size_t hbmChannels = 32;      ///< HbmSpec::kChannels
+    size_t kvStreamChannels = 1;  ///< channels one head's K/V spans
+
+    /** MAC-tree fill: multiplier + log2(d) adder stages + accumulate. */
+    uint32_t
+    mpuFillLatency() const
+    {
+        uint32_t depth = 0;
+        size_t n = tileRows;
+        while (n > 1) {
+            ++depth;
+            n /= 2;
+        }
+        return mulLatency + depth * addLatency + addLatency;
+    }
+
+    /** Adder-tree reduction latency over one 64-wide line (SFU_V). */
+    uint32_t
+    accumTreeLatency() const
+    {
+        uint32_t depth = 0;
+        size_t n = vectorWidth;
+        while (n > 1) {
+            ++depth;
+            n /= 2;
+        }
+        return depth * addLatency;
+    }
+
+    /** Effective HBM bytes per core cycle. */
+    double
+    hbmBytesPerCycle() const
+    {
+        return HbmSpec::kPeakBandwidth * hbmEfficiency / clockHz;
+    }
+
+    /** Effective DDR bytes per core cycle. */
+    double
+    ddrBytesPerCycle() const
+    {
+        return DdrSpec::kPeakBandwidth * ddrEfficiency / clockHz;
+    }
+
+    /** Peak MACs per cycle (d*l). */
+    size_t macsPerCycle() const { return tileRows * lanes; }
+
+    /** Peak throughput in FLOP/s (2 flops per MAC). */
+    double peakFlops() const
+    {
+        return 2.0 * static_cast<double>(macsPerCycle()) * clockHz;
+    }
+
+    static CoreParams defaults() { return {}; }
+
+    /** Variant with a different tiling, for the Fig. 8 DSE. */
+    static CoreParams
+    withTiling(size_t d, size_t l)
+    {
+        CoreParams p;
+        p.tileRows = d;
+        p.lanes = l;
+        return p;
+    }
+};
+
+}  // namespace dfx
+
+#endif  // DFX_CORE_CORE_PARAMS_HPP

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DMA engine implementation.
+ */
+#include "core/dma.hpp"
+
+#include <cmath>
+
+namespace dfx {
+
+DmaUnit::DmaUnit(const CoreParams &params, OffchipMemory *hbm)
+    : params_(params), hbm_(hbm)
+{
+}
+
+DmaTiming
+DmaUnit::timing(const isa::Instruction &inst) const
+{
+    DFX_ASSERT(inst.op == isa::Opcode::kDmaStoreKv, "not a DMA op");
+    DmaTiming t;
+    t.hbmBytes = static_cast<uint64_t>(inst.len) * 2;
+    t.occupancy = std::max<Cycles>(
+        1, static_cast<Cycles>(std::ceil(static_cast<double>(t.hbmBytes) /
+                                         params_.hbmBytesPerCycle())));
+    // The transpose unit adds a small pipeline depth; the cost is
+    // normally hidden by the V-before-Q/K instruction order.
+    t.latency = t.occupancy + 4;
+    return t;
+}
+
+void
+DmaUnit::execute(const isa::Instruction &inst,
+                 const VectorRegFile &vrf) const
+{
+    DFX_ASSERT(inst.op == isa::Opcode::kDmaStoreKv, "not a DMA op");
+    VecH v = vrf.readVec(inst.src1.addr, inst.len);
+    if (inst.flags & isa::kFlagTranspose) {
+        // V^T scatter: element j goes to row j, column `aux` of the
+        // transposed region whose row length is `pitch`.
+        DFX_ASSERT(inst.pitch > 0, "transpose store needs pitch");
+        for (size_t j = 0; j < inst.len; ++j) {
+            hbm_->storeHalf(inst.dst.addr +
+                                (static_cast<uint64_t>(j) * inst.pitch +
+                                 inst.aux) * 2,
+                            v[j]);
+        }
+    } else {
+        // K row append: contiguous write at the row address.
+        hbm_->writeHalf(inst.dst.addr, v.data(), v.size());
+    }
+}
+
+}  // namespace dfx

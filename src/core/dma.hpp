@@ -1,0 +1,49 @@
+/**
+ * @file
+ * DMA engine: Key/Value cache appends with the transpose unit
+ * (paper §V-B).
+ *
+ * The DMA's write path appends the current token's Key row to the
+ * per-head Key region, and scatters the Value vector column-wise into
+ * the transposed V^T region ("DFX transposes the Value matrix while
+ * its partial tiles are being written to the off-chip memory"). The
+ * instruction reordering that hides this latency — Value computed
+ * before Query/Key — is done by the codegen.
+ */
+#ifndef DFX_CORE_DMA_HPP
+#define DFX_CORE_DMA_HPP
+
+#include "core/core_params.hpp"
+#include "core/regfile.hpp"
+#include "isa/instruction.hpp"
+#include "memory/offchip.hpp"
+
+namespace dfx {
+
+/** Cost of a DMA instruction. */
+struct DmaTiming
+{
+    Cycles occupancy = 0;
+    Cycles latency = 0;
+    uint64_t hbmBytes = 0;
+};
+
+/** DMA write engine (KV append + transpose unit). */
+class DmaUnit
+{
+  public:
+    DmaUnit(const CoreParams &params, OffchipMemory *hbm);
+
+    DmaTiming timing(const isa::Instruction &inst) const;
+
+    void execute(const isa::Instruction &inst,
+                 const VectorRegFile &vrf) const;
+
+  private:
+    const CoreParams &params_;
+    OffchipMemory *hbm_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_CORE_DMA_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Matrix processing unit implementation.
+ */
+#include "core/mpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfx {
+
+Mpu::Mpu(const CoreParams &params, OffchipMemory *hbm, OffchipMemory *ddr)
+    : params_(params), hbm_(hbm), ddr_(ddr)
+{
+}
+
+Half
+Mpu::treeReduce(const Half *values, size_t n)
+{
+    // Pairwise reduction, padding to the next power of two with +0.
+    // Matches the parallel adder tree of depth log2(d).
+    size_t width = 1;
+    while (width < n)
+        width <<= 1;
+    std::vector<Half> level(width, Half::zero());
+    for (size_t i = 0; i < n; ++i)
+        level[i] = values[i];
+    while (width > 1) {
+        width /= 2;
+        for (size_t i = 0; i < width; ++i)
+            level[i] = level[2 * i] + level[2 * i + 1];
+    }
+    return level[0];
+}
+
+Half
+Mpu::weightAt(const isa::Instruction &inst, size_t r, size_t c) const
+{
+    const uint32_t pitch = inst.pitch ? inst.pitch : inst.cols;
+    uint64_t offset;
+    if (inst.flags & isa::kFlagWeightRowIsCol) {
+        // Operand stored transposed (K rows, V^T rows): element (r, c)
+        // of the logical weight is at stored position (c, r).
+        offset = (static_cast<uint64_t>(c) * pitch + r) * 2;
+    } else {
+        offset = (static_cast<uint64_t>(r) * pitch + c) * 2;
+    }
+    return hbm_->loadHalf(inst.src2.addr + offset);
+}
+
+MatrixTiming
+Mpu::timing(const isa::Instruction &inst) const
+{
+    const size_t d = params_.tileRows;
+    const size_t l = params_.lanes;
+    const size_t rows = inst.len;
+    const size_t cols = inst.cols;
+    const uint64_t row_tiles = (rows + d - 1) / d;
+    const uint64_t col_tiles = (cols + l - 1) / l;
+
+    MatrixTiming t;
+    // One d x l tile is consumed per cycle when the stream keeps up.
+    const uint64_t compute = row_tiles * col_tiles;
+    // The DMA streams full padded tiles: underutilized trees/lanes
+    // still consume bandwidth (this is what degrades d>64 on K^T and
+    // l>64 on V, Fig. 8a).
+    t.hbmBytes = row_tiles * d * col_tiles * l * 2;
+    // Per-head K/V operands (stored transposed) live in only a couple
+    // of HBM pseudo-channels, so they stream at a fraction of the
+    // aggregate bandwidth; bulk weight matrices are striped across all
+    // channels.
+    double bytes_per_cycle = params_.hbmBytesPerCycle();
+    if (inst.flags & isa::kFlagWeightRowIsCol) {
+        bytes_per_cycle *= static_cast<double>(params_.kvStreamChannels) /
+                           static_cast<double>(params_.hbmChannels);
+    }
+    const Cycles hbm_cycles = static_cast<Cycles>(std::ceil(
+        static_cast<double>(t.hbmBytes) / bytes_per_cycle));
+    Cycles ddr_cycles = 0;
+    if (inst.src3.space == isa::Space::kDdr) {
+        t.ddrBytes = cols * 2;
+        ddr_cycles = static_cast<Cycles>(std::ceil(
+            static_cast<double>(t.ddrBytes) / params_.ddrBytesPerCycle()));
+    }
+    t.occupancy = std::max({compute, hbm_cycles, ddr_cycles});
+    Cycles post = 0;
+    if (inst.flags & isa::kFlagGelu)
+        post += params_.geluLatency;
+    if (inst.flags & isa::kFlagScale)
+        post += params_.mulLatency;
+    // Sliding window for over-long inputs (§IV-C): each extra window
+    // refills the pipeline and reloads the partial sums.
+    const Cycles windows =
+        (rows + params_.maxConvInput - 1) / params_.maxConvInput;
+    const Cycles window_penalty =
+        (windows - 1) * (params_.mpuFillLatency() + params_.addLatency);
+    t.latency = t.occupancy + params_.mpuFillLatency() + post +
+                window_penalty;
+    t.flops = 2.0 * static_cast<double>(rows) * static_cast<double>(cols);
+    if (inst.src3.space == isa::Space::kDdr)
+        t.flops += static_cast<double>(cols);  // bias adds
+    return t;
+}
+
+void
+Mpu::execute(const isa::Instruction &inst, VectorRegFile &vrf) const
+{
+    const size_t d = params_.tileRows;
+    const size_t rows = inst.len;
+    const size_t cols = inst.cols;
+    const size_t in_base = inst.src1.addr * VectorRegFile::kWidth;
+    const size_t out_base = inst.dst.addr * VectorRegFile::kWidth;
+
+    // Preload the input vector (it is broadcast across lanes).
+    std::vector<Half> x(rows);
+    for (size_t r = 0; r < rows; ++r)
+        x[r] = vrf.read(in_base + r);
+
+    const bool masked = (inst.op == isa::Opcode::kMaskedMm) &&
+                        (inst.flags & isa::kFlagMask);
+    Half scale = Half::one();
+    if (inst.flags & isa::kFlagScale)
+        scale = Half::fromBits(static_cast<uint16_t>(inst.src3.addr));
+
+    std::vector<Half> products(d);
+    for (size_t c = 0; c < cols; ++c) {
+        Half acc = Half::zero();
+        for (size_t r0 = 0; r0 < rows; r0 += d) {
+            const size_t chunk = std::min(d, rows - r0);
+            for (size_t i = 0; i < chunk; ++i)
+                products[i] = weightAt(inst, r0 + i, c) * x[r0 + i];
+            for (size_t i = chunk; i < d; ++i)
+                products[i] = Half::zero();
+            acc = acc + treeReduce(products.data(), d);
+        }
+        if (inst.src3.space == isa::Space::kDdr)
+            acc = acc + ddr_->loadHalf(inst.src3.addr + c * 2);
+        if (inst.flags & isa::kFlagScale)
+            acc = acc * scale;
+        if (masked && c > inst.aux)
+            acc = Half::lowest();  // closest representable to -inf
+        if (inst.flags & isa::kFlagGelu)
+            acc = GeluLut::instance().eval(acc);
+        vrf.write(out_base + c, acc);
+    }
+}
+
+}  // namespace dfx

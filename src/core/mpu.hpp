@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Matrix processing unit (paper §V-C, Fig. 10a).
+ *
+ * The MPU holds `l` parallel tree-based MAC lanes, each taking a
+ * d-element input chunk per cycle: d*l FP16 multiplies feed l adder
+ * trees of depth log2(d), and per-lane accumulators sum partial
+ * results across row tiles. The SFU_M behind it applies masking,
+ * scaling (constant multiply), GELU (LUT) and reduce-max.
+ *
+ * Functional execution reproduces the hardware's exact FP16 rounding
+ * order: round after every multiply, after every adder-tree node, and
+ * after every accumulator add. Timing derives from tile counts, the
+ * streaming bandwidth of the weight operand, and pipeline depths.
+ */
+#ifndef DFX_CORE_MPU_HPP
+#define DFX_CORE_MPU_HPP
+
+#include "core/core_params.hpp"
+#include "core/regfile.hpp"
+#include "isa/instruction.hpp"
+#include "memory/offchip.hpp"
+#include "numeric/gelu_lut.hpp"
+
+namespace dfx {
+
+/** Cost of one matrix instruction. */
+struct MatrixTiming
+{
+    Cycles occupancy = 0;   ///< cycles the MPU+DMA stream is busy
+    Cycles latency = 0;     ///< cycles until the result is written back
+    uint64_t hbmBytes = 0;  ///< weight/KV bytes streamed from HBM
+    uint64_t ddrBytes = 0;  ///< bias bytes streamed from DDR
+    double flops = 0.0;     ///< useful FLOPs performed
+};
+
+/** Matrix function unit + SFU_M. */
+class Mpu
+{
+  public:
+    Mpu(const CoreParams &params, OffchipMemory *hbm, OffchipMemory *ddr);
+
+    /** Computes the timing of a matrix instruction (no data access). */
+    MatrixTiming timing(const isa::Instruction &inst) const;
+
+    /** Functionally executes a matrix instruction against the VRF. */
+    void execute(const isa::Instruction &inst, VectorRegFile &vrf) const;
+
+    /**
+     * FP16 pairwise adder-tree reduction, exactly as the MFU hardware
+     * sums lane products (exposed for tests).
+     */
+    static Half treeReduce(const Half *values, size_t n);
+
+  private:
+    Half weightAt(const isa::Instruction &inst, size_t r, size_t c) const;
+
+    const CoreParams &params_;
+    OffchipMemory *hbm_;
+    OffchipMemory *ddr_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_CORE_MPU_HPP

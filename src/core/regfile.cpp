@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Register file implementation.
+ */
+#include "core/regfile.hpp"
+
+namespace dfx {
+
+VectorRegFile::VectorRegFile(size_t lines, bool functional)
+    : lines_(lines), functional_(functional)
+{
+    if (functional_)
+        data_.assign(lines_ * kWidth, Half::zero());
+}
+
+Half
+VectorRegFile::read(size_t elem_index) const
+{
+    DFX_ASSERT(functional_, "VRF data read in timing-only mode");
+    DFX_ASSERT(elem_index < data_.size(), "VRF read elem %zu of %zu",
+               elem_index, data_.size());
+    return data_[elem_index];
+}
+
+void
+VectorRegFile::write(size_t elem_index, Half value)
+{
+    DFX_ASSERT(functional_, "VRF data write in timing-only mode");
+    DFX_ASSERT(elem_index < data_.size(), "VRF write elem %zu of %zu",
+               elem_index, data_.size());
+    data_[elem_index] = value;
+}
+
+VecH
+VectorRegFile::readVec(size_t line0, size_t n) const
+{
+    DFX_ASSERT(functional_, "VRF data read in timing-only mode");
+    size_t base = line0 * kWidth;
+    DFX_ASSERT(base + n <= data_.size(),
+               "VRF readVec line %zu + %zu elems out of range", line0, n);
+    VecH out(n);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = data_[base + i];
+    return out;
+}
+
+void
+VectorRegFile::writeVec(size_t line0, const VecH &v)
+{
+    DFX_ASSERT(functional_, "VRF data write in timing-only mode");
+    size_t base = line0 * kWidth;
+    DFX_ASSERT(base + v.size() <= data_.size(),
+               "VRF writeVec line %zu + %zu elems out of range", line0,
+               v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        data_[base + i] = v[i];
+}
+
+void
+VectorRegFile::clear(size_t line0, size_t n)
+{
+    DFX_ASSERT(functional_, "VRF clear in timing-only mode");
+    size_t base = line0 * kWidth;
+    DFX_ASSERT(base + n <= data_.size(), "VRF clear out of range");
+    for (size_t i = 0; i < n; ++i)
+        data_[base + i] = Half::zero();
+}
+
+ScalarRegFile::ScalarRegFile(size_t regs, bool functional)
+    : regs_(regs), functional_(functional)
+{
+    if (functional_)
+        data_.assign(regs_, Half::zero());
+}
+
+Half
+ScalarRegFile::read(size_t reg) const
+{
+    DFX_ASSERT(functional_, "SRF data read in timing-only mode");
+    DFX_ASSERT(reg < data_.size(), "SRF read %zu of %zu", reg,
+               data_.size());
+    return data_[reg];
+}
+
+void
+ScalarRegFile::write(size_t reg, Half value)
+{
+    DFX_ASSERT(functional_, "SRF data write in timing-only mode");
+    DFX_ASSERT(reg < data_.size(), "SRF write %zu of %zu", reg,
+               data_.size());
+    data_[reg] = value;
+}
+
+}  // namespace dfx

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Register files of the DFX core (paper §V-D).
+ *
+ * The register file manager exposes a vector register file organized
+ * as 64-wide FP16 lines (matching the VPU/MPU datapath width), a
+ * scalar FP16 register file, and a small integer register file the
+ * controller uses for token ids and argmax indices.
+ */
+#ifndef DFX_CORE_REGFILE_HPP
+#define DFX_CORE_REGFILE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/logging.hpp"
+#include "numeric/tensor.hpp"
+
+namespace dfx {
+
+/** Vector register file: `lines` x 64 FP16 elements. */
+class VectorRegFile
+{
+  public:
+    static constexpr size_t kWidth = 64;
+
+    VectorRegFile(size_t lines, bool functional);
+
+    size_t lines() const { return lines_; }
+    bool functional() const { return functional_; }
+
+    /** Reads one element; line = addr / 64, lane = addr % 64. */
+    Half read(size_t elem_index) const;
+
+    /** Writes one element. */
+    void write(size_t elem_index, Half value);
+
+    /** Reads `n` consecutive elements starting at line `line0`. */
+    VecH readVec(size_t line0, size_t n) const;
+
+    /** Writes a vector starting at line `line0`. */
+    void writeVec(size_t line0, const VecH &v);
+
+    /** Zero-fills `n` elements starting at line `line0`. */
+    void clear(size_t line0, size_t n);
+
+  private:
+    size_t lines_;
+    bool functional_;
+    std::vector<Half> data_;
+};
+
+/** Scalar FP16 register file. */
+class ScalarRegFile
+{
+  public:
+    ScalarRegFile(size_t regs, bool functional);
+
+    Half read(size_t reg) const;
+    void write(size_t reg, Half value);
+    size_t size() const { return regs_; }
+
+  private:
+    size_t regs_;
+    bool functional_;
+    std::vector<Half> data_;
+};
+
+/** Integer register file (token ids, argmax indices). */
+class IndexRegFile
+{
+  public:
+    explicit IndexRegFile(size_t regs) : data_(regs, 0) {}
+
+    int64_t
+    read(size_t reg) const
+    {
+        DFX_ASSERT(reg < data_.size(), "IRF read %zu", reg);
+        return data_[reg];
+    }
+
+    void
+    write(size_t reg, int64_t value)
+    {
+        DFX_ASSERT(reg < data_.size(), "IRF write %zu", reg);
+        data_[reg] = value;
+    }
+
+  private:
+    std::vector<int64_t> data_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_CORE_REGFILE_HPP

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Scoreboard implementation.
+ */
+#include "core/scoreboard.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+Scoreboard::Scoreboard(size_t vrf_lines, size_t srf_regs, size_t irf_regs)
+    : vrf_(vrf_lines, 0), srf_(srf_regs, 0), irf_(irf_regs, 0)
+{
+}
+
+void
+Scoreboard::reset()
+{
+    std::fill(vrf_.begin(), vrf_.end(), 0);
+    std::fill(srf_.begin(), srf_.end(), 0);
+    std::fill(irf_.begin(), irf_.end(), 0);
+}
+
+Cycles
+Scoreboard::vrfReady(size_t line0, size_t nlines) const
+{
+    DFX_ASSERT(line0 + nlines <= vrf_.size(),
+               "scoreboard VRF range [%zu,+%zu) out of %zu", line0, nlines,
+               vrf_.size());
+    Cycles worst = 0;
+    for (size_t i = line0; i < line0 + nlines; ++i)
+        worst = std::max(worst, vrf_[i]);
+    return worst;
+}
+
+void
+Scoreboard::setVrfReady(size_t line0, size_t nlines, Cycles when)
+{
+    DFX_ASSERT(line0 + nlines <= vrf_.size(),
+               "scoreboard VRF range [%zu,+%zu) out of %zu", line0, nlines,
+               vrf_.size());
+    for (size_t i = line0; i < line0 + nlines; ++i)
+        vrf_[i] = std::max(vrf_[i], when);
+}
+
+Cycles
+Scoreboard::srfReady(size_t reg) const
+{
+    DFX_ASSERT(reg < srf_.size(), "scoreboard SRF reg %zu", reg);
+    return srf_[reg];
+}
+
+void
+Scoreboard::setSrfReady(size_t reg, Cycles when)
+{
+    DFX_ASSERT(reg < srf_.size(), "scoreboard SRF reg %zu", reg);
+    srf_[reg] = std::max(srf_[reg], when);
+}
+
+Cycles
+Scoreboard::irfReady(size_t reg) const
+{
+    DFX_ASSERT(reg < irf_.size(), "scoreboard IRF reg %zu", reg);
+    return irf_[reg];
+}
+
+void
+Scoreboard::setIrfReady(size_t reg, Cycles when)
+{
+    DFX_ASSERT(reg < irf_.size(), "scoreboard IRF reg %zu", reg);
+    irf_[reg] = std::max(irf_[reg], when);
+}
+
+}  // namespace dfx

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Scoreboard for instruction chaining (paper §V-A).
+ *
+ * "The scoreboard uses a RAM to represent the address space and marks
+ * the current instruction's address with a stale bit when in execution
+ * and with a valid bit when in writeback. If the source and
+ * destination addresses overlap, the next instruction stalls until the
+ * current computation finishes."
+ *
+ * The timing model generalizes the stale/valid bits into per-address
+ * ready *times*: an instruction may start once all its source ranges
+ * are ready; its destination ranges become ready at its writeback
+ * cycle. This yields exactly the chaining behaviour (dependent
+ * instructions dovetail with pipeline latency; independent ones
+ * overlap) without event-driven simulation.
+ */
+#ifndef DFX_CORE_SCOREBOARD_HPP
+#define DFX_CORE_SCOREBOARD_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dfx {
+
+/** Ready-time tracker for VRF lines, SRF and IRF registers. */
+class Scoreboard
+{
+  public:
+    Scoreboard(size_t vrf_lines, size_t srf_regs, size_t irf_regs);
+
+    /** Forgets all dependencies (phase barrier). */
+    void reset();
+
+    /** Latest ready time across VRF lines [line0, line0+nlines). */
+    Cycles vrfReady(size_t line0, size_t nlines) const;
+    /** Marks VRF lines ready at `when`. */
+    void setVrfReady(size_t line0, size_t nlines, Cycles when);
+
+    Cycles srfReady(size_t reg) const;
+    void setSrfReady(size_t reg, Cycles when);
+
+    Cycles irfReady(size_t reg) const;
+    void setIrfReady(size_t reg, Cycles when);
+
+  private:
+    std::vector<Cycles> vrf_;
+    std::vector<Cycles> srf_;
+    std::vector<Cycles> irf_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_CORE_SCOREBOARD_HPP

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Vector processing unit implementation.
+ */
+#include "core/vpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/mpu.hpp"
+
+namespace dfx {
+
+Vpu::Vpu(const CoreParams &params, OffchipMemory *hbm, OffchipMemory *ddr)
+    : params_(params), hbm_(hbm), ddr_(ddr)
+{
+}
+
+Half
+Vpu::scalarOperand(const isa::Operand &op, const ScalarRegFile &srf) const
+{
+    switch (op.space) {
+      case isa::Space::kSrf:
+        return srf.read(op.addr);
+      case isa::Space::kImm:
+        return Half::fromBits(static_cast<uint16_t>(op.addr));
+      default:
+        DFX_PANIC("bad scalar operand space");
+    }
+}
+
+VectorTiming
+Vpu::timing(const isa::Instruction &inst) const
+{
+    using isa::Opcode;
+    const size_t width = params_.vectorWidth;
+    const Cycles lines = (inst.len + width - 1) / width;
+    VectorTiming t;
+    switch (inst.op) {
+      case Opcode::kAdd:
+      case Opcode::kSub:
+        t.occupancy = std::max<Cycles>(lines, 1);
+        t.latency = t.occupancy + params_.addLatency;
+        t.flops = inst.len;
+        break;
+      case Opcode::kAddScalar:
+      case Opcode::kSubScalar:
+        t.occupancy = std::max<Cycles>(lines, 1);
+        t.latency = t.occupancy + params_.addLatency;
+        t.flops = inst.len;
+        break;
+      case Opcode::kMul:
+      case Opcode::kMulScalar:
+        t.occupancy = std::max<Cycles>(lines, 1);
+        t.latency = t.occupancy + params_.mulLatency;
+        t.flops = inst.len;
+        break;
+      case Opcode::kExp:
+        t.occupancy = std::max<Cycles>(lines, 1);
+        t.latency = t.occupancy + params_.expLatency;
+        t.flops = inst.len;
+        break;
+      case Opcode::kLoad: {
+        // Bypass path: one cycle per line, bounded by the source
+        // memory's streaming rate.
+        uint64_t bytes = static_cast<uint64_t>(inst.len) * 2;
+        double bpc;
+        if (inst.src1.space == isa::Space::kHbm) {
+            t.hbmBytes = bytes;
+            bpc = params_.hbmBytesPerCycle();
+        } else {
+            t.ddrBytes = bytes;
+            bpc = params_.ddrBytesPerCycle();
+        }
+        Cycles mem = static_cast<Cycles>(
+            std::ceil(static_cast<double>(bytes) / bpc));
+        t.occupancy = std::max<Cycles>(lines, mem);
+        t.latency = t.occupancy + 1;
+        break;
+      }
+      case Opcode::kStore: {
+        uint64_t bytes = static_cast<uint64_t>(inst.len) * 2;
+        double bpc;
+        if (inst.dst.space == isa::Space::kHbm) {
+            t.hbmBytes = bytes;
+            bpc = params_.hbmBytesPerCycle();
+        } else {
+            t.ddrBytes = bytes;
+            bpc = params_.ddrBytesPerCycle();
+        }
+        Cycles mem = static_cast<Cycles>(
+            std::ceil(static_cast<double>(bytes) / bpc));
+        t.occupancy = std::max<Cycles>(lines, mem);
+        t.latency = t.occupancy + 1;
+        break;
+      }
+      case Opcode::kAccum:
+        // Per line: 64-wide adder tree; partials accumulate across
+        // lines in the scalar accumulator.
+        t.occupancy = std::max<Cycles>(lines, 1);
+        t.latency = t.occupancy + params_.accumTreeLatency() +
+                    params_.addLatency;
+        t.flops = inst.len;
+        break;
+      case Opcode::kReduMax:
+        t.occupancy = std::max<Cycles>(lines, 1);
+        t.latency = t.occupancy + params_.reduMaxLatency;
+        t.flops = inst.len;
+        break;
+      case Opcode::kScalarAdd:
+        t.occupancy = 1;
+        t.latency = params_.addLatency;
+        t.flops = 1;
+        break;
+      case Opcode::kScalarMul:
+        t.occupancy = 1;
+        t.latency = params_.mulLatency;
+        t.flops = 1;
+        break;
+      case Opcode::kScalarRecip:
+        t.occupancy = 1;
+        t.latency = params_.recipLatency;
+        t.flops = 1;
+        break;
+      case Opcode::kScalarRsqrt:
+        t.occupancy = 1;
+        t.latency = params_.rsqrtLatency;
+        t.flops = 1;
+        break;
+      default:
+        DFX_PANIC("opcode %s is not a VPU instruction",
+                  isa::opcodeName(inst.op));
+    }
+    return t;
+}
+
+void
+Vpu::execute(const isa::Instruction &inst, VectorRegFile &vrf,
+             ScalarRegFile &srf, IndexRegFile &irf) const
+{
+    using isa::Opcode;
+    const size_t a_base = inst.src1.addr * VectorRegFile::kWidth;
+    const size_t b_base = inst.src2.addr * VectorRegFile::kWidth;
+    const size_t d_base = inst.dst.addr * VectorRegFile::kWidth;
+
+    switch (inst.op) {
+      case Opcode::kAdd:
+        for (size_t i = 0; i < inst.len; ++i)
+            vrf.write(d_base + i,
+                      vrf.read(a_base + i) + vrf.read(b_base + i));
+        break;
+      case Opcode::kSub:
+        for (size_t i = 0; i < inst.len; ++i)
+            vrf.write(d_base + i,
+                      vrf.read(a_base + i) - vrf.read(b_base + i));
+        break;
+      case Opcode::kMul:
+        for (size_t i = 0; i < inst.len; ++i)
+            vrf.write(d_base + i,
+                      vrf.read(a_base + i) * vrf.read(b_base + i));
+        break;
+      case Opcode::kAddScalar: {
+        Half s = scalarOperand(inst.src2, srf);
+        for (size_t i = 0; i < inst.len; ++i)
+            vrf.write(d_base + i, vrf.read(a_base + i) + s);
+        break;
+      }
+      case Opcode::kSubScalar: {
+        Half s = scalarOperand(inst.src2, srf);
+        for (size_t i = 0; i < inst.len; ++i)
+            vrf.write(d_base + i, vrf.read(a_base + i) - s);
+        break;
+      }
+      case Opcode::kMulScalar: {
+        Half s = scalarOperand(inst.src2, srf);
+        for (size_t i = 0; i < inst.len; ++i)
+            vrf.write(d_base + i, vrf.read(a_base + i) * s);
+        break;
+      }
+      case Opcode::kExp:
+        for (size_t i = 0; i < inst.len; ++i)
+            vrf.write(d_base + i, hexp(vrf.read(a_base + i)));
+        break;
+      case Opcode::kLoad: {
+        VecH buf(inst.len);
+        const OffchipMemory *mem =
+            inst.src1.space == isa::Space::kHbm ? hbm_ : ddr_;
+        mem->readHalf(inst.src1.addr, buf.data(), inst.len);
+        vrf.writeVec(inst.dst.addr, buf);
+        break;
+      }
+      case Opcode::kStore: {
+        VecH buf = vrf.readVec(inst.src1.addr, inst.len);
+        OffchipMemory *mem =
+            inst.dst.space == isa::Space::kHbm ? hbm_ : ddr_;
+        mem->writeHalf(inst.dst.addr, buf.data(), inst.len);
+        break;
+      }
+      case Opcode::kAccum: {
+        // Tree-reduce each 64-wide line, accumulate partials in FP16.
+        const size_t width = params_.vectorWidth;
+        Half acc = Half::zero();
+        std::vector<Half> line(width);
+        for (size_t i0 = 0; i0 < inst.len; i0 += width) {
+            size_t chunk = std::min(width, inst.len - i0);
+            for (size_t i = 0; i < chunk; ++i)
+                line[i] = vrf.read(a_base + i0 + i);
+            for (size_t i = chunk; i < width; ++i)
+                line[i] = Half::zero();
+            acc = acc + Mpu::treeReduce(line.data(), width);
+        }
+        srf.write(inst.dst.addr, acc);
+        break;
+      }
+      case Opcode::kReduMax: {
+        Half best = Half::lowest();
+        int64_t best_idx = 0;
+        for (size_t i = 0; i < inst.len; ++i) {
+            Half v = vrf.read(a_base + i);
+            if (v > best) {
+                best = v;
+                best_idx = static_cast<int64_t>(i);
+            }
+        }
+        srf.write(inst.dst.addr, best);
+        irf.write(inst.dst.addr, best_idx);
+        break;
+      }
+      case Opcode::kScalarAdd:
+        srf.write(inst.dst.addr, scalarOperand(inst.src1, srf) +
+                                     scalarOperand(inst.src2, srf));
+        break;
+      case Opcode::kScalarMul:
+        srf.write(inst.dst.addr, scalarOperand(inst.src1, srf) *
+                                     scalarOperand(inst.src2, srf));
+        break;
+      case Opcode::kScalarRecip:
+        srf.write(inst.dst.addr, hrecip(scalarOperand(inst.src1, srf)));
+        break;
+      case Opcode::kScalarRsqrt:
+        srf.write(inst.dst.addr, hrsqrt(scalarOperand(inst.src1, srf)));
+        break;
+      default:
+        DFX_PANIC("opcode %s is not a VPU instruction",
+                  isa::opcodeName(inst.op));
+    }
+}
+
+}  // namespace dfx

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Vector processing unit + SFU_V (paper §V-C, Fig. 10b).
+ *
+ * The VPU is a 64-wide FP16 ALU for elementwise vector-vector and
+ * vector-scalar operations, with a bypass path that makes load/store
+ * single-cycle per line. The SFU_V behind it provides the adder-tree
+ * accumulation, reciprocal, reciprocal-square-root and the scalar
+ * operations LayerNorm/Softmax are composed from.
+ */
+#ifndef DFX_CORE_VPU_HPP
+#define DFX_CORE_VPU_HPP
+
+#include "core/core_params.hpp"
+#include "core/regfile.hpp"
+#include "isa/instruction.hpp"
+#include "memory/offchip.hpp"
+
+namespace dfx {
+
+/** Cost of one vector/scalar instruction. */
+struct VectorTiming
+{
+    Cycles occupancy = 0;
+    Cycles latency = 0;
+    uint64_t hbmBytes = 0;
+    uint64_t ddrBytes = 0;
+    double flops = 0.0;
+};
+
+/** Vector function unit + SFU_V. */
+class Vpu
+{
+  public:
+    Vpu(const CoreParams &params, OffchipMemory *hbm, OffchipMemory *ddr);
+
+    /** Timing of a vector/scalar instruction. */
+    VectorTiming timing(const isa::Instruction &inst) const;
+
+    /** Functional execution against the register files. */
+    void execute(const isa::Instruction &inst, VectorRegFile &vrf,
+                 ScalarRegFile &srf, IndexRegFile &irf) const;
+
+  private:
+    Half scalarOperand(const isa::Operand &op,
+                       const ScalarRegFile &srf) const;
+
+    const CoreParams &params_;
+    OffchipMemory *hbm_;
+    OffchipMemory *ddr_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_CORE_VPU_HPP

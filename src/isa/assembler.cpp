@@ -1,0 +1,258 @@
+/**
+ * @file
+ * DFX assembler / disassembler implementation.
+ */
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace isa {
+namespace {
+
+struct FlagName
+{
+    uint16_t bit;
+    const char *name;
+};
+
+const FlagName kFlagNames[] = {
+    {kFlagGelu, "gelu"},
+    {kFlagMask, "mask"},
+    {kFlagScale, "scale"},
+    {kFlagTranspose, "transpose"},
+    {kFlagArgmax, "argmax"},
+    {kFlagWeightRowIsCol, "wt"},
+};
+
+struct CatName
+{
+    Category cat;
+    const char *name;
+};
+
+const CatName kCatNames[] = {
+    {Category::kEmbed, "embed"},
+    {Category::kLayerNorm, "ln"},
+    {Category::kAttention, "attn"},
+    {Category::kFfn, "ffn"},
+    {Category::kResidual, "residual"},
+    {Category::kSync, "sync"},
+    {Category::kLmHead, "lmhead"},
+    {Category::kOther, "other"},
+};
+
+std::string
+formatOperand(const Operand &op)
+{
+    if (op.space == Space::kNone)
+        return "-";
+    std::ostringstream os;
+    os << spaceName(op.space) << "[" << op.addr << "]";
+    return os.str();
+}
+
+std::string
+formatFlags(uint16_t flags)
+{
+    std::string out;
+    for (const auto &f : kFlagNames) {
+        if (flags & f.bit) {
+            if (!out.empty())
+                out += '|';
+            out += f.name;
+        }
+    }
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = 0, b = s.size();
+    while (a < b && std::isspace(static_cast<unsigned char>(s[a])))
+        ++a;
+    while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])))
+        --b;
+    return s.substr(a, b - a);
+}
+
+Operand
+parseOperand(const std::string &text)
+{
+    std::string t = trim(text);
+    if (t == "-" || t.empty())
+        return Operand::none();
+    size_t lb = t.find('[');
+    size_t rb = t.find(']');
+    DFX_ASSERT(lb != std::string::npos && rb != std::string::npos && rb > lb,
+               "malformed operand '%s'", t.c_str());
+    std::string space = t.substr(0, lb);
+    std::string addr_s = t.substr(lb + 1, rb - lb - 1);
+    uint64_t addr = std::stoull(addr_s, nullptr, 0);
+    if (space == "v")
+        return Operand::vrf(addr);
+    if (space == "s")
+        return Operand::srf(addr);
+    if (space == "i")
+        return Operand::irf(addr);
+    if (space == "hbm")
+        return Operand::hbm(addr);
+    if (space == "ddr")
+        return Operand::ddr(addr);
+    if (space == "imm")
+        return Operand::imm(static_cast<uint16_t>(addr));
+    DFX_FATAL("unknown operand space '%s'", space.c_str());
+}
+
+uint16_t
+parseFlags(const std::string &text)
+{
+    uint16_t flags = 0;
+    std::stringstream ss(text);
+    std::string part;
+    while (std::getline(ss, part, '|')) {
+        bool found = false;
+        for (const auto &f : kFlagNames) {
+            if (part == f.name) {
+                flags |= f.bit;
+                found = true;
+                break;
+            }
+        }
+        DFX_ASSERT(found, "unknown flag '%s'", part.c_str());
+    }
+    return flags;
+}
+
+Category
+parseCategory(const std::string &text)
+{
+    for (const auto &c : kCatNames) {
+        if (text == c.name)
+            return c.cat;
+    }
+    DFX_FATAL("unknown category '%s'", text.c_str());
+}
+
+}  // namespace
+
+std::string
+format(const Instruction &inst)
+{
+    std::ostringstream os;
+    os << opcodeName(inst.op) << " " << formatOperand(inst.src1) << ", "
+       << formatOperand(inst.src2) << ", " << formatOperand(inst.src3)
+       << " -> " << formatOperand(inst.dst);
+    if (inst.len)
+        os << " len=" << inst.len;
+    if (inst.cols)
+        os << " cols=" << inst.cols;
+    if (inst.aux)
+        os << " aux=" << inst.aux;
+    if (inst.pitch)
+        os << " pitch=" << inst.pitch;
+    if (inst.flags)
+        os << " flags=" << formatFlags(inst.flags);
+    for (const auto &c : kCatNames) {
+        if (c.cat == inst.category) {
+            os << " cat=" << c.name;
+            break;
+        }
+    }
+    return os.str();
+}
+
+Instruction
+parse(const std::string &line)
+{
+    // Split "<op> <src1>, <src2>, <src3> -> <dst> key=value..."
+    std::string text = trim(line);
+    size_t sp = text.find(' ');
+    DFX_ASSERT(sp != std::string::npos, "missing operands in '%s'",
+               text.c_str());
+    Instruction inst;
+    inst.op = opcodeFromName(text.substr(0, sp));
+    std::string rest = trim(text.substr(sp + 1));
+
+    size_t arrow = rest.find("->");
+    DFX_ASSERT(arrow != std::string::npos, "missing '->' in '%s'",
+               line.c_str());
+    std::string srcs = rest.substr(0, arrow);
+    std::string tail = trim(rest.substr(arrow + 2));
+
+    // Sources are comma separated.
+    std::vector<std::string> src_parts;
+    std::stringstream ss(srcs);
+    std::string part;
+    while (std::getline(ss, part, ','))
+        src_parts.push_back(trim(part));
+    DFX_ASSERT(src_parts.size() == 3, "expected 3 sources in '%s'",
+               line.c_str());
+    inst.src1 = parseOperand(src_parts[0]);
+    inst.src2 = parseOperand(src_parts[1]);
+    inst.src3 = parseOperand(src_parts[2]);
+
+    // Destination is the first token of the tail.
+    std::stringstream ts(tail);
+    std::string tok;
+    ts >> tok;
+    inst.dst = parseOperand(tok);
+
+    while (ts >> tok) {
+        size_t eq = tok.find('=');
+        DFX_ASSERT(eq != std::string::npos, "bad attribute '%s'",
+                   tok.c_str());
+        std::string key = tok.substr(0, eq);
+        std::string val = tok.substr(eq + 1);
+        if (key == "len") {
+            inst.len = static_cast<uint32_t>(std::stoul(val, nullptr, 0));
+        } else if (key == "cols") {
+            inst.cols = static_cast<uint32_t>(std::stoul(val, nullptr, 0));
+        } else if (key == "aux") {
+            inst.aux = static_cast<uint32_t>(std::stoul(val, nullptr, 0));
+        } else if (key == "pitch") {
+            inst.pitch = static_cast<uint32_t>(std::stoul(val, nullptr, 0));
+        } else if (key == "flags") {
+            inst.flags = parseFlags(val);
+        } else if (key == "cat") {
+            inst.category = parseCategory(val);
+        } else {
+            DFX_FATAL("unknown attribute '%s'", key.c_str());
+        }
+    }
+    return inst;
+}
+
+std::string
+formatProgram(const Program &prog)
+{
+    std::string out;
+    for (const auto &inst : prog) {
+        out += format(inst);
+        out += '\n';
+    }
+    return out;
+}
+
+Program
+parseProgram(const std::string &text)
+{
+    Program prog;
+    std::stringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) {
+        std::string t = trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        prog.push_back(parse(t));
+    }
+    return prog;
+}
+
+}  // namespace isa
+}  // namespace dfx

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Textual assembly for the DFX ISA.
+ *
+ * One instruction per line:
+ *
+ *     conv1d v[96], hbm[0x1000], ddr[0x40] -> v[128] \
+ *         len=1536 cols=384 flags=gelu cat=ffn
+ *
+ * Operands are `space[addr]` with addr in decimal or 0x-hex; omitted
+ * operands print as `-`. Used for debugging, golden tests, and
+ * round-trip validation against the binary encoder.
+ */
+#ifndef DFX_ISA_ASSEMBLER_HPP
+#define DFX_ISA_ASSEMBLER_HPP
+
+#include <string>
+
+#include "isa/instruction.hpp"
+
+namespace dfx {
+namespace isa {
+
+/** Formats one instruction as assembly text. */
+std::string format(const Instruction &inst);
+
+/** Parses one assembly line; fatal on syntax errors. */
+Instruction parse(const std::string &line);
+
+/** Formats a program, one instruction per line. */
+std::string formatProgram(const Program &prog);
+
+/** Parses a multi-line listing (blank lines and '#' comments ok). */
+Program parseProgram(const std::string &text);
+
+}  // namespace isa
+}  // namespace dfx
+
+#endif  // DFX_ISA_ASSEMBLER_HPP

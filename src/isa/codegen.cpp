@@ -1,0 +1,360 @@
+/**
+ * @file
+ * GPT-2 decoder program generation (paper Algorithm 1).
+ */
+#include "isa/codegen.hpp"
+
+#include <cmath>
+
+#include "common/fp16.hpp"
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace isa {
+namespace {
+
+constexpr size_t kLineWidth = 64;  ///< VRF line width (elements)
+
+size_t
+linesFor(size_t elems)
+{
+    return (elems + kLineWidth - 1) / kLineWidth;
+}
+
+uint16_t
+immBits(double value)
+{
+    return Half::fromDouble(value).bits();
+}
+
+}  // namespace
+
+bool
+Phase::hasSync() const
+{
+    return !program.empty() && program.back().op == Opcode::kSync;
+}
+
+const Instruction &
+Phase::sync() const
+{
+    DFX_ASSERT(hasSync(), "phase has no sync");
+    return program.back();
+}
+
+VrfMap
+VrfMap::build(const GptConfig &config, const ClusterGeometry &geometry,
+              size_t lanes)
+{
+    const size_t emb = config.embedding;
+    const size_t emb_shard = geometry.embShard(config);
+    const size_t ffn_shard = geometry.ffnShard(config);
+    const size_t vocab_shard = geometry.vocabShard(config, lanes);
+
+    VrfMap m{};
+    size_t next = 0;
+    auto take = [&next](size_t elems) {
+        size_t line = next;
+        next += linesFor(elems);
+        return line;
+    };
+    m.x = take(emb);
+    m.ln = take(emb);
+    m.tmp = take(emb);
+    m.tmp2 = take(emb);
+    m.gamma = take(emb);
+    m.beta = take(emb);
+    m.q = take(emb_shard);
+    m.k = take(emb_shard);
+    m.v = take(emb_shard);
+    m.scores = take(config.maxSeq);
+    m.attnLocal = take(emb_shard);
+    m.attnFull = take(emb);
+    m.projLocal = take(emb_shard);
+    m.projFull = take(emb);
+    m.ffn1Local = take(ffn_shard);
+    m.ffn1Full = take(4 * emb);
+    m.ffn2Local = take(emb_shard);
+    m.ffn2Full = take(emb);
+    m.embedTok = take(emb);
+    m.embedPos = take(emb);
+    m.lnfOut = take(emb);
+    m.logits = take(vocab_shard);
+    m.linesUsed = next;
+    return m;
+}
+
+ProgramBuilder::ProgramBuilder(const GptConfig &config,
+                               const ClusterGeometry &geometry,
+                               const MemoryLayout &layout, size_t core_id)
+    : config_(config), geometry_(geometry), layout_(layout),
+      coreId_(core_id), map_(VrfMap::build(config, geometry, layout.lanes))
+{
+    DFX_ASSERT(config.headDim == kLineWidth,
+               "DFX codegen requires headDim == %zu (got %zu); the "
+               "tiling and register-file layout are head-aligned",
+               kLineWidth, config.headDim);
+    DFX_ASSERT(geometry.embShard(config) % kLineWidth == 0,
+               "embedding shard must be line-aligned");
+    const size_t vocab_shard = geometry.vocabShard(config, layout.lanes);
+    const size_t offset = coreId_ * vocab_shard;
+    vocabReal_ = offset >= config.vocabSize
+                     ? 0
+                     : std::min(vocab_shard, config.vocabSize - offset);
+    DFX_ASSERT(vocabReal_ > 0, "core %zu owns no vocabulary slice",
+               coreId_);
+}
+
+void
+ProgramBuilder::emitLayerNorm(Program &prog, size_t src_line,
+                              size_t dst_line, uint64_t gamma_addr,
+                              uint64_t beta_addr, Category cat) const
+{
+    const uint32_t n = static_cast<uint32_t>(config_.embedding);
+    const uint16_t inv_n = immBits(1.0 / static_cast<double>(n));
+    const uint16_t eps = immBits(config_.lnEpsilon);
+    auto v = [](size_t line) { return Operand::vrf(line); };
+    auto s = [](uint64_t reg) { return Operand::srf(reg); };
+
+    // mean = accum(x) / n
+    prog.push_back({Opcode::kAccum, v(src_line), {}, {}, s(kSrfSum), n, 0,
+                    0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kScalarMul, s(kSrfSum), Operand::imm(inv_n),
+                    {}, s(kSrfMean), 0, 0, 0, 0, kFlagNone, cat});
+    // xc = x - mean
+    prog.push_back({Opcode::kSubScalar, v(src_line), s(kSrfMean), {},
+                    v(map_.tmp), n, 0, 0, 0, kFlagNone, cat});
+    // var = accum(xc^2) / n
+    prog.push_back({Opcode::kMul, v(map_.tmp), v(map_.tmp), {},
+                    v(map_.tmp2), n, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kAccum, v(map_.tmp2), {}, {}, s(kSrfVar), n,
+                    0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kScalarMul, s(kSrfVar), Operand::imm(inv_n),
+                    {}, s(kSrfVar), 0, 0, 0, 0, kFlagNone, cat});
+    // inv_sigma = rsqrt(var + eps)
+    prog.push_back({Opcode::kScalarAdd, s(kSrfVar), Operand::imm(eps), {},
+                    s(kSrfVarEps), 0, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kScalarRsqrt, s(kSrfVarEps), {}, {},
+                    s(kSrfInvSigma), 0, 0, 0, 0, kFlagNone, cat});
+    // y = gamma * (xc * inv_sigma) + beta
+    prog.push_back({Opcode::kMulScalar, v(map_.tmp), s(kSrfInvSigma), {},
+                    v(dst_line), n, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kLoad, Operand::ddr(gamma_addr), {}, {},
+                    v(map_.gamma), n, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kLoad, Operand::ddr(beta_addr), {}, {},
+                    v(map_.beta), n, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kMul, v(dst_line), v(map_.gamma), {},
+                    v(dst_line), n, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kAdd, v(dst_line), v(map_.beta), {},
+                    v(dst_line), n, 0, 0, 0, kFlagNone, cat});
+}
+
+void
+ProgramBuilder::emitSoftmax(Program &prog, size_t line, size_t len) const
+{
+    const uint32_t n = static_cast<uint32_t>(len);
+    auto v = [](size_t l) { return Operand::vrf(l); };
+    auto s = [](uint64_t reg) { return Operand::srf(reg); };
+    const Category cat = Category::kAttention;
+
+    // Numerically-stable softmax: x -= max; e = exp(x); e /= sum(e).
+    prog.push_back({Opcode::kReduMax, v(line), {}, {}, s(kSrfRowMax), n, 0,
+                    0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kSubScalar, v(line), s(kSrfRowMax), {},
+                    v(line), n, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kExp, v(line), {}, {}, v(line), n, 0, 0, 0,
+                    kFlagNone, cat});
+    prog.push_back({Opcode::kAccum, v(line), {}, {}, s(kSrfExpSum), n, 0,
+                    0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kScalarRecip, s(kSrfExpSum), {}, {},
+                    s(kSrfInvSum), 0, 0, 0, 0, kFlagNone, cat});
+    prog.push_back({Opcode::kMulScalar, v(line), s(kSrfInvSum), {},
+                    v(line), n, 0, 0, 0, kFlagNone, cat});
+}
+
+Phase
+ProgramBuilder::embedPhase(int32_t token, size_t pos) const
+{
+    DFX_ASSERT(pos < config_.maxSeq, "position %zu exceeds context %zu",
+               pos, config_.maxSeq);
+    const uint32_t emb = static_cast<uint32_t>(config_.embedding);
+    auto v = [](size_t l) { return Operand::vrf(l); };
+    Phase phase;
+    // WTE and WPE rows live in DDR (paper §IV-B): one row each per
+    // token, fetched by the DMA into the embed buffer.
+    const uint64_t wte_row =
+        layout_.wte + static_cast<uint64_t>(token) * emb * 2;
+    const uint64_t wpe_row =
+        layout_.wpe + static_cast<uint64_t>(pos) * emb * 2;
+    phase.program.push_back({Opcode::kLoad, Operand::ddr(wte_row), {}, {},
+                             v(map_.embedTok), emb, 0, 0, 0, kFlagNone,
+                             Category::kEmbed});
+    phase.program.push_back({Opcode::kLoad, Operand::ddr(wpe_row), {}, {},
+                             v(map_.embedPos), emb, 0, 0, 0, kFlagNone,
+                             Category::kEmbed});
+    phase.program.push_back({Opcode::kAdd, v(map_.embedTok),
+                             v(map_.embedPos), {}, v(map_.x), emb, 0, 0, 0,
+                             kFlagNone, Category::kEmbed});
+    return phase;
+}
+
+std::vector<Phase>
+ProgramBuilder::layerPhases(size_t layer, size_t pos) const
+{
+    DFX_ASSERT(layer < config_.layers, "layer %zu out of %zu", layer,
+               config_.layers);
+    DFX_ASSERT(pos < config_.maxSeq, "position %zu exceeds context", pos);
+    const auto &a = layout_.layers[layer];
+    const uint32_t emb = static_cast<uint32_t>(config_.embedding);
+    const uint32_t emb_shard =
+        static_cast<uint32_t>(geometry_.embShard(config_));
+    const uint32_t ffn_shard =
+        static_cast<uint32_t>(geometry_.ffnShard(config_));
+    const uint32_t hidden = static_cast<uint32_t>(config_.ffnHidden());
+    const uint32_t hd = static_cast<uint32_t>(config_.headDim);
+    const uint32_t seq = static_cast<uint32_t>(pos + 1);
+    const size_t local_heads = geometry_.localHeads(config_);
+    const uint32_t max_seq = static_cast<uint32_t>(config_.maxSeq);
+    auto v = [](size_t l) { return Operand::vrf(l); };
+    auto s = [](uint64_t reg) { return Operand::srf(reg); };
+    const Category attn = Category::kAttention;
+
+    std::vector<Phase> phases;
+
+    // ---- Phase A: LN1, QKV, per-head attention; sync attn' ---------
+    Phase pa;
+    emitLayerNorm(pa.program, map_.x, map_.ln, a.ln1Gamma, a.ln1Beta,
+                  Category::kLayerNorm);
+    // Value first so the transpose store is hidden behind K/Q
+    // generation (paper §V-B "Transpose Scheme").
+    pa.program.push_back({Opcode::kConv1d, v(map_.ln),
+                          Operand::hbm(a.wv), Operand::ddr(a.bv),
+                          v(map_.v), emb, emb_shard, 0, emb_shard,
+                          kFlagNone, attn});
+    for (size_t lh = 0; lh < local_heads; ++lh) {
+        pa.program.push_back(
+            {Opcode::kDmaStoreKv, v(map_.v + lh), {}, {},
+             Operand::hbm(layout_.vtHeadBase(layer, lh)), hd, 0,
+             static_cast<uint32_t>(pos), max_seq, kFlagTranspose, attn});
+    }
+    pa.program.push_back({Opcode::kConv1d, v(map_.ln),
+                          Operand::hbm(a.wk), Operand::ddr(a.bk),
+                          v(map_.k), emb, emb_shard, 0, emb_shard,
+                          kFlagNone, attn});
+    for (size_t lh = 0; lh < local_heads; ++lh) {
+        pa.program.push_back(
+            {Opcode::kDmaStoreKv, v(map_.k + lh), {}, {},
+             Operand::hbm(layout_.keyRowAddr(layer, lh, pos)), hd, 0, 0,
+             0, kFlagNone, attn});
+    }
+    pa.program.push_back({Opcode::kConv1d, v(map_.ln),
+                          Operand::hbm(a.wq), Operand::ddr(a.bq),
+                          v(map_.q), emb, emb_shard, 0, emb_shard,
+                          kFlagNone, attn});
+    const uint16_t scale =
+        immBits(1.0 / std::sqrt(static_cast<double>(hd)));
+    for (size_t lh = 0; lh < local_heads; ++lh) {
+        // score = (q . K^T) / sqrt(dk), causal-masked.
+        pa.program.push_back(
+            {Opcode::kMaskedMm, v(map_.q + lh),
+             Operand::hbm(layout_.keyHeadBase(layer, lh)),
+             Operand::imm(scale), v(map_.scores), hd, seq,
+             static_cast<uint32_t>(pos), hd,
+             static_cast<uint16_t>(kFlagMask | kFlagScale |
+                                   kFlagWeightRowIsCol),
+             attn});
+        emitSoftmax(pa.program, map_.scores, seq);
+        // attn'[head] = score x Value (V^T streamed row-wise).
+        pa.program.push_back(
+            {Opcode::kMm, v(map_.scores),
+             Operand::hbm(layout_.vtHeadBase(layer, lh)), {},
+             v(map_.attnLocal + lh), seq, hd, 0, max_seq,
+             kFlagWeightRowIsCol, attn});
+    }
+    pa.program.push_back({Opcode::kSync, v(map_.attnLocal), {}, {},
+                          v(map_.attnFull), emb_shard, 0, 0, 0, kFlagNone,
+                          Category::kSync});
+    phases.push_back(std::move(pa));
+
+    // ---- Phase B: attention projection; sync ------------------------
+    Phase pb;
+    pb.program.push_back({Opcode::kConv1d, v(map_.attnFull),
+                          Operand::hbm(a.wproj), Operand::ddr(a.bproj),
+                          v(map_.projLocal), emb, emb_shard, 0, emb_shard,
+                          kFlagNone, attn});
+    pb.program.push_back({Opcode::kSync, v(map_.projLocal), {}, {},
+                          v(map_.projFull), emb_shard, 0, 0, 0, kFlagNone,
+                          Category::kSync});
+    phases.push_back(std::move(pb));
+
+    // ---- Phase C: residual 1, LN2, FFN fc1 (+GELU); sync ------------
+    Phase pc;
+    pc.program.push_back({Opcode::kAdd, v(map_.x), v(map_.projFull), {},
+                          v(map_.x), emb, 0, 0, 0, kFlagNone,
+                          Category::kResidual});
+    emitLayerNorm(pc.program, map_.x, map_.ln, a.ln2Gamma, a.ln2Beta,
+                  Category::kLayerNorm);
+    pc.program.push_back({Opcode::kConv1d, v(map_.ln),
+                          Operand::hbm(a.wfc1), Operand::ddr(a.bfc1),
+                          v(map_.ffn1Local), emb, ffn_shard, 0, ffn_shard,
+                          kFlagGelu, Category::kFfn});
+    pc.program.push_back({Opcode::kSync, v(map_.ffn1Local), {}, {},
+                          v(map_.ffn1Full), ffn_shard, 0, 0, 0, kFlagNone,
+                          Category::kSync});
+    phases.push_back(std::move(pc));
+
+    // ---- Phase D: FFN fc2; sync --------------------------------------
+    Phase pd;
+    pd.program.push_back({Opcode::kConv1d, v(map_.ffn1Full),
+                          Operand::hbm(a.wfc2), Operand::ddr(a.bfc2),
+                          v(map_.ffn2Local), hidden, emb_shard, 0,
+                          emb_shard, kFlagNone, Category::kFfn});
+    pd.program.push_back({Opcode::kSync, v(map_.ffn2Local), {}, {},
+                          v(map_.ffn2Full), emb_shard, 0, 0, 0, kFlagNone,
+                          Category::kSync});
+    phases.push_back(std::move(pd));
+
+    // ---- Phase E: residual 2 ------------------------------------------
+    Phase pe;
+    pe.program.push_back({Opcode::kAdd, v(map_.x), v(map_.ffn2Full), {},
+                          v(map_.x), emb, 0, 0, 0, kFlagNone,
+                          Category::kResidual});
+    phases.push_back(std::move(pe));
+
+    (void)s;
+    return phases;
+}
+
+Phase
+ProgramBuilder::lmHeadPhase() const
+{
+    const uint32_t emb = static_cast<uint32_t>(config_.embedding);
+    const uint32_t vocab_shard = static_cast<uint32_t>(
+        geometry_.vocabShard(config_, layout_.lanes));
+    auto v = [](size_t l) { return Operand::vrf(l); };
+
+    Phase phase;
+    // Final layer norm (counted toward the LM-head category; Fig. 15's
+    // breakdown covers decoder layers only).
+    emitLayerNorm(phase.program, map_.x, map_.lnfOut, layout_.lnfGamma,
+                  layout_.lnfBeta, Category::kLmHead);
+    // logits = WTE^T x over this core's vocabulary slice (MM, §IV-C).
+    phase.program.push_back({Opcode::kMm, v(map_.lnfOut),
+                             Operand::hbm(layout_.lmHeadW), {},
+                             v(map_.logits), emb, vocab_shard, 0,
+                             vocab_shard, kFlagNone, Category::kLmHead});
+    // Local argmax over the *real* columns (the padded tail is never
+    // read), then an argmax all-reduce across the ring.
+    phase.program.push_back({Opcode::kReduMax, v(map_.logits), {}, {},
+                             Operand::srf(kSrfArgmax),
+                             static_cast<uint32_t>(vocabReal_), 0, 0, 0,
+                             kFlagNone, Category::kLmHead});
+    phase.program.push_back({Opcode::kSync, Operand::srf(kSrfArgmax), {},
+                             {}, Operand::irf(kSrfArgmax), 1, 0,
+                             vocab_shard, 0, kFlagArgmax,
+                             Category::kSync});
+    return phase;
+}
+
+}  // namespace isa
+}  // namespace dfx

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Program generation for GPT-2 inference on DFX (paper Algorithm 1).
+ *
+ * The builder turns one decoder-layer step into instruction phases.
+ * A *phase* is a straight-line program that optionally ends in a
+ * `sync` — the cluster barriers there and performs the ring
+ * all-gather. Per Algorithm 1 there are four syncs per decoder layer:
+ * after the per-head attention outputs, after the attention
+ * projection, and after each FFN matrix.
+ *
+ * The codegen also encodes two dataflow details from §V-B:
+ *  - Value is computed (and its transpose store issued) *before* Key
+ *    and Query, so the transpose-on-store latency is hidden;
+ *  - LayerNorm and Residual are not parallelized: every core computes
+ *    the full vectors redundantly (their sync cost would exceed the
+ *    compute, §VII-B "Scalability").
+ *
+ * Programs are per-core: instruction *structure* is identical across
+ * cores (homogeneous cluster); only shard-resident data and the
+ * LM-head tail length differ, driven by the core id — exactly the
+ * role the paper gives the controller's system configuration.
+ */
+#ifndef DFX_ISA_CODEGEN_HPP
+#define DFX_ISA_CODEGEN_HPP
+
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "memory/layout.hpp"
+
+namespace dfx {
+namespace isa {
+
+/** VRF line map for the decoder dataflow (one allocation per role). */
+struct VrfMap
+{
+    size_t x;          ///< residual stream (emb)
+    size_t ln;         ///< layer-norm output (emb)
+    size_t tmp;        ///< centered input scratch (emb)
+    size_t tmp2;       ///< squared scratch (emb)
+    size_t gamma;      ///< LN gamma staging (emb)
+    size_t beta;       ///< LN beta staging (emb)
+    size_t q, k, v;    ///< local Q/K/V shards (embShard each)
+    size_t scores;     ///< per-head attention scores (maxSeq)
+    size_t attnLocal;  ///< concatenated local head outputs (embShard)
+    size_t attnFull;   ///< synchronized attention vector (emb)
+    size_t projLocal;  ///< local projection output (embShard)
+    size_t projFull;   ///< synchronized projection (emb)
+    size_t ffn1Local;  ///< local FFN hidden shard (ffnShard)
+    size_t ffn1Full;   ///< synchronized FFN hidden (4*emb)
+    size_t ffn2Local;  ///< local FFN output shard (embShard)
+    size_t ffn2Full;   ///< synchronized FFN output (emb)
+    size_t embedTok;   ///< WTE row staging (emb)
+    size_t embedPos;   ///< WPE row staging (emb)
+    size_t lnfOut;     ///< final LN output (emb)
+    size_t logits;     ///< LM-head logits (vocabShard)
+    size_t linesUsed;  ///< high-water mark
+
+    static VrfMap build(const GptConfig &config,
+                        const ClusterGeometry &geometry, size_t lanes);
+};
+
+/** Scalar register assignments. */
+enum SrfReg : uint64_t
+{
+    kSrfSum = 0,
+    kSrfMean = 1,
+    kSrfVar = 2,
+    kSrfVarEps = 3,
+    kSrfInvSigma = 4,
+    kSrfRowMax = 5,
+    kSrfExpSum = 6,
+    kSrfInvSum = 7,
+    kSrfArgmax = 8,
+};
+
+/** One program, optionally ending with a sync instruction. */
+struct Phase
+{
+    Program program;
+    bool hasSync() const;
+    /** The trailing sync instruction (call only when hasSync()). */
+    const Instruction &sync() const;
+};
+
+/** Builds the per-token instruction phases for one core. */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder(const GptConfig &config,
+                   const ClusterGeometry &geometry,
+                   const MemoryLayout &layout, size_t core_id);
+
+    /** Token embedding: WTE[token] + WPE[pos] -> x. */
+    Phase embedPhase(int32_t token, size_t pos) const;
+
+    /**
+     * The phases of decoder layer `layer` for the token at position
+     * `pos` (0-based; the KV cache holds `pos` prior tokens).
+     */
+    std::vector<Phase> layerPhases(size_t layer, size_t pos) const;
+
+    /** Final LN + LM-head logits + argmax; ends in an argmax sync. */
+    Phase lmHeadPhase() const;
+
+    const VrfMap &map() const { return map_; }
+    /** Real (unpadded) vocabulary columns this core's LM head owns. */
+    size_t vocabRealCols() const { return vocabReal_; }
+
+  private:
+    void emitLayerNorm(Program &prog, size_t src_line, size_t dst_line,
+                       uint64_t gamma_addr, uint64_t beta_addr,
+                       Category cat) const;
+    void emitSoftmax(Program &prog, size_t line, size_t len) const;
+
+    const GptConfig &config_;
+    ClusterGeometry geometry_;
+    const MemoryLayout &layout_;
+    size_t coreId_;
+    VrfMap map_;
+    size_t vocabReal_;
+};
+
+}  // namespace isa
+}  // namespace dfx
+
+#endif  // DFX_ISA_CODEGEN_HPP

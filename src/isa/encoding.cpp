@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Binary instruction encoding implementation.
+ */
+#include "isa/encoding.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace isa {
+namespace {
+
+void
+put32(EncodedInstruction &b, size_t off, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[off + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+void
+put64(EncodedInstruction &b, size_t off, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b[off + i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint32_t
+get32(const EncodedInstruction &b, size_t off)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(b[off + i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+get64(const EncodedInstruction &b, size_t off)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(b[off + i]) << (8 * i);
+    return v;
+}
+
+Space
+spaceFromBits(uint8_t bits)
+{
+    DFX_ASSERT(bits <= static_cast<uint8_t>(Space::kImm),
+               "bad space encoding %u", bits);
+    return static_cast<Space>(bits);
+}
+
+}  // namespace
+
+EncodedInstruction
+encode(const Instruction &inst)
+{
+    DFX_ASSERT(inst.src3.addr <= UINT32_MAX,
+               "src3 addr 0x%llx exceeds 32-bit encoding",
+               static_cast<unsigned long long>(inst.src3.addr));
+    DFX_ASSERT(inst.dst.addr <= UINT32_MAX,
+               "dst addr 0x%llx exceeds 32-bit encoding",
+               static_cast<unsigned long long>(inst.dst.addr));
+    EncodedInstruction b{};
+    b[0] = static_cast<uint8_t>(inst.op);
+    b[1] = static_cast<uint8_t>(inst.category);
+    b[2] = static_cast<uint8_t>(inst.flags & 0xff);
+    b[3] = static_cast<uint8_t>(inst.flags >> 8);
+    b[4] = static_cast<uint8_t>(static_cast<uint8_t>(inst.src1.space) |
+                                (static_cast<uint8_t>(inst.src2.space)
+                                 << 4));
+    b[5] = static_cast<uint8_t>(static_cast<uint8_t>(inst.src3.space) |
+                                (static_cast<uint8_t>(inst.dst.space)
+                                 << 4));
+    put32(b, 8, inst.len);
+    put32(b, 12, inst.cols);
+    put32(b, 16, inst.aux);
+    put32(b, 20, inst.pitch);
+    put64(b, 24, inst.src1.addr);
+    put64(b, 32, inst.src2.addr);
+    put32(b, 40, static_cast<uint32_t>(inst.src3.addr));
+    put32(b, 44, static_cast<uint32_t>(inst.dst.addr));
+    return b;
+}
+
+Instruction
+decode(const EncodedInstruction &b)
+{
+    DFX_ASSERT(b[0] < static_cast<uint8_t>(Opcode::kNumOpcodes),
+               "bad opcode byte %u", b[0]);
+    DFX_ASSERT(b[1] < static_cast<uint8_t>(Category::kNumCategories),
+               "bad category byte %u", b[1]);
+    Instruction inst;
+    inst.op = static_cast<Opcode>(b[0]);
+    inst.category = static_cast<Category>(b[1]);
+    inst.flags = static_cast<uint16_t>(b[2] | (b[3] << 8));
+    inst.src1.space = spaceFromBits(b[4] & 0xf);
+    inst.src2.space = spaceFromBits(b[4] >> 4);
+    inst.src3.space = spaceFromBits(b[5] & 0xf);
+    inst.dst.space = spaceFromBits(b[5] >> 4);
+    inst.len = get32(b, 8);
+    inst.cols = get32(b, 12);
+    inst.aux = get32(b, 16);
+    inst.pitch = get32(b, 20);
+    inst.src1.addr = get64(b, 24);
+    inst.src2.addr = get64(b, 32);
+    inst.src3.addr = get32(b, 40);
+    inst.dst.addr = get32(b, 44);
+    return inst;
+}
+
+std::vector<uint8_t>
+encodeProgram(const Program &prog)
+{
+    std::vector<uint8_t> out;
+    out.reserve(prog.size() * kEncodedSize);
+    for (const auto &inst : prog) {
+        EncodedInstruction e = encode(inst);
+        out.insert(out.end(), e.begin(), e.end());
+    }
+    return out;
+}
+
+Program
+decodeProgram(const std::vector<uint8_t> &bytes)
+{
+    DFX_ASSERT(bytes.size() % kEncodedSize == 0,
+               "program byte stream size %zu not a multiple of %zu",
+               bytes.size(), kEncodedSize);
+    Program prog;
+    prog.reserve(bytes.size() / kEncodedSize);
+    for (size_t off = 0; off < bytes.size(); off += kEncodedSize) {
+        EncodedInstruction e;
+        std::memcpy(e.data(), bytes.data() + off, kEncodedSize);
+        prog.push_back(decode(e));
+    }
+    return prog;
+}
+
+}  // namespace isa
+}  // namespace dfx

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Binary encoding of DFX instructions.
+ *
+ * Instructions are stored in the instruction buffer as fixed 48-byte
+ * words (the paper's host transfers instruction streams over PCIe;
+ * a fixed-width little-endian encoding keeps that transfer and the
+ * on-chip buffer simple).
+ *
+ * Layout (little-endian):
+ *   byte  0      opcode
+ *   byte  1      category
+ *   bytes 2-3    flags
+ *   byte  4      src1.space | src2.space << 4
+ *   byte  5      src3.space | dst.space << 4
+ *   bytes 6-7    reserved (zero)
+ *   bytes 8-11   len
+ *   bytes 12-15  cols
+ *   bytes 16-19  aux
+ *   bytes 20-23  pitch
+ *   bytes 24-31  src1.addr
+ *   bytes 32-39  src2.addr
+ *   bytes 40-43  src3.addr (low 32 bits; biases/imms fit)
+ *   bytes 44-47  dst.addr (low 32 bits... see note)
+ *
+ * Note: src3 and dst addresses are stored as 32-bit fields; register
+ * file indices and DDR bias offsets fit comfortably. Encoding checks
+ * this invariant and refuses to encode out-of-range values.
+ */
+#ifndef DFX_ISA_ENCODING_HPP
+#define DFX_ISA_ENCODING_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace dfx {
+namespace isa {
+
+constexpr size_t kEncodedSize = 48;
+using EncodedInstruction = std::array<uint8_t, kEncodedSize>;
+
+/** Encodes one instruction; fatal if a field is out of range. */
+EncodedInstruction encode(const Instruction &inst);
+
+/** Decodes one instruction; fatal on malformed input. */
+Instruction decode(const EncodedInstruction &bytes);
+
+/** Encodes a whole program into a byte stream. */
+std::vector<uint8_t> encodeProgram(const Program &prog);
+
+/** Decodes a byte stream back into a program. */
+Program decodeProgram(const std::vector<uint8_t> &bytes);
+
+}  // namespace isa
+}  // namespace dfx
+
+#endif  // DFX_ISA_ENCODING_HPP

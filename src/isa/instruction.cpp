@@ -1,0 +1,221 @@
+/**
+ * @file
+ * ISA metadata: engines, names, validation.
+ */
+#include "isa/instruction.hpp"
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace isa {
+namespace {
+
+struct OpInfo
+{
+    Opcode op;
+    const char *name;
+    Engine engine;
+};
+
+const OpInfo kOpTable[] = {
+    {Opcode::kConv1d, "conv1d", Engine::kMpu},
+    {Opcode::kMaskedMm, "masked_mm", Engine::kMpu},
+    {Opcode::kMm, "mm", Engine::kMpu},
+    {Opcode::kAdd, "add", Engine::kVpu},
+    {Opcode::kSub, "sub", Engine::kVpu},
+    {Opcode::kMul, "mul", Engine::kVpu},
+    {Opcode::kAddScalar, "add_s", Engine::kVpu},
+    {Opcode::kSubScalar, "sub_s", Engine::kVpu},
+    {Opcode::kMulScalar, "mul_s", Engine::kVpu},
+    {Opcode::kExp, "exp", Engine::kVpu},
+    {Opcode::kLoad, "load", Engine::kVpu},
+    {Opcode::kStore, "store", Engine::kVpu},
+    {Opcode::kAccum, "accum", Engine::kVpu},
+    {Opcode::kReduMax, "redu_max", Engine::kVpu},
+    {Opcode::kScalarAdd, "s_add", Engine::kVpu},
+    {Opcode::kScalarMul, "s_mul", Engine::kVpu},
+    {Opcode::kScalarRecip, "s_recip", Engine::kVpu},
+    {Opcode::kScalarRsqrt, "s_rsqrt", Engine::kVpu},
+    {Opcode::kDmaStoreKv, "dma_store_kv", Engine::kDma},
+    {Opcode::kSync, "sync", Engine::kRouter},
+};
+
+static_assert(sizeof(kOpTable) / sizeof(kOpTable[0]) ==
+                  static_cast<size_t>(Opcode::kNumOpcodes),
+              "opcode table out of sync");
+
+const OpInfo &
+info(Opcode op)
+{
+    auto idx = static_cast<size_t>(op);
+    DFX_ASSERT(idx < static_cast<size_t>(Opcode::kNumOpcodes),
+               "bad opcode %zu", idx);
+    return kOpTable[idx];
+}
+
+}  // namespace
+
+Engine
+engineOf(Opcode op)
+{
+    return info(op).engine;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    return info(op).name;
+}
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    for (const auto &e : kOpTable) {
+        if (name == e.name)
+            return e.op;
+    }
+    DFX_FATAL("unknown opcode mnemonic '%s'", name.c_str());
+}
+
+const char *
+spaceName(Space s)
+{
+    switch (s) {
+      case Space::kNone: return "-";
+      case Space::kVrf: return "v";
+      case Space::kSrf: return "s";
+      case Space::kIrf: return "i";
+      case Space::kHbm: return "hbm";
+      case Space::kDdr: return "ddr";
+      case Space::kImm: return "imm";
+    }
+    return "?";
+}
+
+const char *
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::kEmbed: return "Embedding";
+      case Category::kLayerNorm: return "LayerNorm";
+      case Category::kAttention: return "Self-Attention";
+      case Category::kFfn: return "Feed-Forward Network";
+      case Category::kResidual: return "Residual";
+      case Category::kSync: return "Synchronization";
+      case Category::kLmHead: return "LM Head";
+      case Category::kOther: return "Other";
+      default: return "?";
+    }
+}
+
+bool
+validate(const Instruction &inst, std::string *error)
+{
+    auto fail = [error](const char *msg) {
+        if (error)
+            *error = msg;
+        return false;
+    };
+    switch (inst.op) {
+      case Opcode::kConv1d:
+        if (inst.src1.space != Space::kVrf)
+            return fail("conv1d input must be VRF");
+        if (inst.src2.space != Space::kHbm)
+            return fail("conv1d weights must stream from HBM");
+        if (inst.src3.space != Space::kNone &&
+            inst.src3.space != Space::kDdr)
+            return fail("conv1d bias must come from DDR");
+        if (inst.dst.space != Space::kVrf)
+            return fail("conv1d output must be VRF");
+        if (inst.len == 0 || inst.cols == 0)
+            return fail("conv1d needs len (rows) and cols");
+        break;
+      case Opcode::kMaskedMm:
+      case Opcode::kMm:
+        if (inst.src1.space != Space::kVrf ||
+            inst.dst.space != Space::kVrf)
+            return fail("matrix op input/output must be VRF");
+        if (inst.src2.space != Space::kHbm)
+            return fail("matrix op operand must stream from HBM");
+        if (inst.len == 0 || inst.cols == 0)
+            return fail("matrix op needs len and cols");
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+        if (inst.src1.space != Space::kVrf ||
+            inst.src2.space != Space::kVrf ||
+            inst.dst.space != Space::kVrf)
+            return fail("vector op operands must be VRF");
+        if (inst.len == 0)
+            return fail("vector op needs len");
+        break;
+      case Opcode::kAddScalar:
+      case Opcode::kSubScalar:
+      case Opcode::kMulScalar:
+        if (inst.src1.space != Space::kVrf ||
+            inst.dst.space != Space::kVrf)
+            return fail("vector-scalar op data must be VRF");
+        if (inst.src2.space != Space::kSrf &&
+            inst.src2.space != Space::kImm)
+            return fail("vector-scalar op scalar must be SRF or imm");
+        break;
+      case Opcode::kExp:
+        if (inst.src1.space != Space::kVrf ||
+            inst.dst.space != Space::kVrf)
+            return fail("exp operands must be VRF");
+        break;
+      case Opcode::kLoad:
+        if (inst.src1.space != Space::kDdr &&
+            inst.src1.space != Space::kHbm)
+            return fail("load source must be off-chip");
+        if (inst.dst.space != Space::kVrf)
+            return fail("load destination must be VRF");
+        break;
+      case Opcode::kStore:
+        if (inst.src1.space != Space::kVrf)
+            return fail("store source must be VRF");
+        if (inst.dst.space != Space::kDdr &&
+            inst.dst.space != Space::kHbm)
+            return fail("store destination must be off-chip");
+        break;
+      case Opcode::kAccum:
+      case Opcode::kReduMax:
+        if (inst.src1.space != Space::kVrf)
+            return fail("reduction source must be VRF");
+        if (inst.dst.space != Space::kSrf)
+            return fail("reduction result goes to SRF");
+        break;
+      case Opcode::kScalarAdd:
+      case Opcode::kScalarMul:
+        if (inst.src2.space != Space::kSrf &&
+            inst.src2.space != Space::kImm)
+            return fail("scalar op src2 must be SRF or imm");
+        [[fallthrough]];
+      case Opcode::kScalarRecip:
+      case Opcode::kScalarRsqrt:
+        if (inst.src1.space != Space::kSrf &&
+            inst.src1.space != Space::kImm)
+            return fail("scalar op src1 must be SRF or imm");
+        if (inst.dst.space != Space::kSrf)
+            return fail("scalar op result goes to SRF");
+        break;
+      case Opcode::kDmaStoreKv:
+        if (inst.src1.space != Space::kVrf)
+            return fail("KV append source must be VRF");
+        if (inst.dst.space != Space::kHbm)
+            return fail("KV append destination must be HBM");
+        break;
+      case Opcode::kSync:
+        if (inst.src1.space != Space::kVrf &&
+            inst.src1.space != Space::kSrf)
+            return fail("sync source must be a register file");
+        break;
+      default:
+        return fail("unknown opcode");
+    }
+    return true;
+}
+
+}  // namespace isa
+}  // namespace dfx

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The DFX instruction set architecture (paper §IV-C).
+ *
+ * Three instruction classes:
+ *  - compute: matrix instructions (Conv1D, MaskedMM, MM) that run on
+ *    the matrix processing unit, and vector/scalar instructions (add,
+ *    sub, mul, accum, recip, recip_sqrt, exp, load, store, ...) that
+ *    run on the vector processing unit and its special function unit;
+ *  - dma: moves between off-chip memory (HBM/DDR) and on-chip buffers
+ *    or register files, including the Key/Value append with the
+ *    transpose unit;
+ *  - router: data synchronization across the FPGA ring.
+ *
+ * Matrix instructions are coarse-grained: the operand collectors
+ * expand them into per-tile microcodes at runtime ("the runtime
+ * generation of microcodes decreases the amount of instruction
+ * transfer from the host", §V-D). Vector instructions carry an element
+ * count and are expanded into 64-wide lanes.
+ */
+#ifndef DFX_ISA_INSTRUCTION_HPP
+#define DFX_ISA_INSTRUCTION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfx {
+namespace isa {
+
+/** Opcodes of the DFX ISA. */
+enum class Opcode : uint8_t
+{
+    // --- matrix instructions (MPU) ----------------------------------
+    kConv1d = 0,   ///< dst = W^T x + b, optional fused GELU (SFU_M)
+    kMaskedMm,     ///< score = (K q) * scale with causal masking
+    kMm,           ///< out = V^T s (Score x Value, and LM-head logits)
+
+    // --- vector instructions (VPU) ----------------------------------
+    kAdd,          ///< dst = src1 + src2 (elementwise)
+    kSub,          ///< dst = src1 - src2
+    kMul,          ///< dst = src1 * src2
+    kAddScalar,    ///< dst = src1 + scalar
+    kSubScalar,    ///< dst = src1 - scalar
+    kMulScalar,    ///< dst = src1 * scalar
+    kExp,          ///< dst = exp(src1)
+    kLoad,         ///< DDR/HBM -> VRF (bypass path, no compute)
+    kStore,        ///< VRF -> DDR/HBM
+
+    // --- reductions and scalar ops (SFU_M / SFU_V) -------------------
+    kAccum,        ///< SRF dst = adder-tree sum over src1
+    kReduMax,      ///< SRF dst = max over src1; IRF dst = argmax index
+    kScalarAdd,    ///< SRF dst = s1 + s2
+    kScalarMul,    ///< SRF dst = s1 * s2
+    kScalarRecip,  ///< SRF dst = 1 / s1
+    kScalarRsqrt,  ///< SRF dst = 1 / sqrt(s1)
+
+    // --- dma instructions --------------------------------------------
+    kDmaStoreKv,   ///< append a K row / V^T column to the HBM KV region
+
+    // --- router instructions ------------------------------------------
+    kSync,         ///< ring all-gather of a register-file segment
+
+    kNumOpcodes
+};
+
+/** Which execution engine an opcode occupies. */
+enum class Engine : uint8_t { kMpu, kVpu, kDma, kRouter };
+
+/** Perf attribution categories (paper Fig. 15 breakdown). */
+enum class Category : uint8_t
+{
+    kEmbed = 0,
+    kLayerNorm,
+    kAttention,
+    kFfn,
+    kResidual,
+    kSync,
+    kLmHead,
+    kOther,
+    kNumCategories
+};
+
+/** Address spaces an operand can live in. */
+enum class Space : uint8_t
+{
+    kNone = 0,
+    kVrf,   ///< vector register file, addr = 64-wide line index
+    kSrf,   ///< scalar register file, addr = register index
+    kIrf,   ///< integer (index) register file, addr = register index
+    kHbm,   ///< high-bandwidth memory, addr = byte address
+    kDdr,   ///< DDR4, addr = byte address
+    kImm,   ///< immediate, addr = raw FP16 bits
+};
+
+/** One instruction operand. */
+struct Operand
+{
+    Space space = Space::kNone;
+    uint64_t addr = 0;
+
+    static Operand none() { return {}; }
+    static Operand vrf(uint64_t line) { return {Space::kVrf, line}; }
+    static Operand srf(uint64_t reg) { return {Space::kSrf, reg}; }
+    static Operand irf(uint64_t reg) { return {Space::kIrf, reg}; }
+    static Operand hbm(uint64_t byte_addr) { return {Space::kHbm, byte_addr}; }
+    static Operand ddr(uint64_t byte_addr) { return {Space::kDdr, byte_addr}; }
+    /** FP16 immediate (raw bits). */
+    static Operand imm(uint16_t bits) { return {Space::kImm, bits}; }
+
+    bool operator==(const Operand &) const = default;
+};
+
+/** Instruction flag bits. */
+enum Flags : uint16_t
+{
+    kFlagNone = 0,
+    kFlagGelu = 1 << 0,       ///< Conv1D: fused GELU through the SFU_M LUT
+    kFlagMask = 1 << 1,       ///< MaskedMM: causal mask above `aux`
+    kFlagScale = 1 << 2,      ///< MaskedMM: multiply by imm (1/sqrt(dk))
+    kFlagTranspose = 1 << 3,  ///< DmaStoreKv: write through transpose unit
+    kFlagArgmax = 1 << 4,     ///< Sync: all-reduce (value, index) argmax
+    kFlagWeightRowIsCol = 1 << 5,  ///< MM: operand stored pre-transposed
+};
+
+/**
+ * One DFX instruction.
+ *
+ * Field usage by class:
+ *  - matrix: src1 = input vector (VRF), src2 = weight base (HBM),
+ *    src3 = bias base (DDR) or scale immediate, dst = output (VRF);
+ *    `len` = input rows, `cols` = output columns.
+ *  - vector: src1/src2 = inputs (VRF/SRF/imm), dst = output;
+ *    `len` = element count.
+ *  - dma / router: src/dst + transfer size in elements (`len`);
+ *    `aux` = row index (KV append) or payload elements per core (sync).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::kConv1d;
+    Operand src1, src2, src3, dst;
+    uint32_t len = 0;
+    uint32_t cols = 0;
+    uint32_t aux = 0;
+    /**
+     * Row pitch (elements) of the streamed matrix operand; 0 means
+     * "dense" (pitch == cols). With kFlagWeightRowIsCol the operand is
+     * stored transposed and pitch is the stored row length — this is
+     * how MaskedMM walks K rows and MM walks V^T rows.
+     */
+    uint32_t pitch = 0;
+    uint16_t flags = kFlagNone;
+    Category category = Category::kOther;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** Execution engine for an opcode. */
+Engine engineOf(Opcode op);
+
+/** Mnemonic for an opcode ("conv1d", "masked_mm", ...). */
+const char *opcodeName(Opcode op);
+
+/** Parses a mnemonic; fatal on unknown names. */
+Opcode opcodeFromName(const std::string &name);
+
+/** Short name for an address space ("v", "s", "hbm", ...). */
+const char *spaceName(Space s);
+
+/** Human-readable category name ("Self-Attention", ...). */
+const char *categoryName(Category c);
+
+/** Structural validity check (operand spaces legal for the opcode). */
+bool validate(const Instruction &inst, std::string *error = nullptr);
+
+/** A straight-line instruction sequence. */
+using Program = std::vector<Instruction>;
+
+}  // namespace isa
+}  // namespace dfx
+
+#endif  // DFX_ISA_INSTRUCTION_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Memory layout construction.
+ */
+#include "memory/layout.hpp"
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+void
+ClusterGeometry::validateFor(const GptConfig &c) const
+{
+    if (nCores == 0)
+        DFX_FATAL("cluster needs at least one core");
+    if (c.heads % nCores != 0) {
+        DFX_FATAL("model %s: %zu attention heads not divisible by %zu "
+                  "cores (the paper adjusts head counts for exactly this "
+                  "reason)",
+                  c.name.c_str(), c.heads, nCores);
+    }
+    if (c.embedding % nCores != 0 || c.ffnHidden() % nCores != 0) {
+        DFX_FATAL("model %s: FC dimensions not divisible by %zu cores",
+                  c.name.c_str(), nCores);
+    }
+}
+
+uint64_t
+MemoryLayout::keyHeadBase(size_t layer, size_t lh) const
+{
+    const size_t hd = config.headDim;
+    return layers[layer].keyBase +
+           static_cast<uint64_t>(lh) * config.maxSeq * hd * 2;
+}
+
+uint64_t
+MemoryLayout::keyRowAddr(size_t layer, size_t lh, size_t pos) const
+{
+    return keyHeadBase(layer, lh) +
+           static_cast<uint64_t>(pos) * config.headDim * 2;
+}
+
+uint64_t
+MemoryLayout::vtHeadBase(size_t layer, size_t lh) const
+{
+    const size_t hd = config.headDim;
+    return layers[layer].vtBase +
+           static_cast<uint64_t>(lh) * hd * config.maxSeq * 2;
+}
+
+uint64_t
+MemoryLayout::vtAddr(size_t layer, size_t lh, size_t j, size_t t) const
+{
+    return vtHeadBase(layer, lh) +
+           (static_cast<uint64_t>(j) * config.maxSeq + t) * 2;
+}
+
+MemoryLayout
+MemoryLayout::build(const GptConfig &config,
+                    const ClusterGeometry &geometry, size_t lanes,
+                    OffchipMemory &hbm, OffchipMemory &ddr)
+{
+    config.validate();
+    geometry.validateFor(config);
+
+    MemoryLayout ml;
+    ml.config = config;
+    ml.geometry = geometry;
+    ml.lanes = lanes;
+
+    const uint64_t emb = config.embedding;
+    const uint64_t emb_shard = geometry.embShard(config);
+    const uint64_t ffn_shard = geometry.ffnShard(config);
+    const uint64_t vocab_shard = geometry.vocabShard(config, lanes);
+    const uint64_t hd = config.headDim;
+    const uint64_t local_heads = geometry.localHeads(config);
+
+    const uint64_t hbm_before = hbm.allocated();
+    const uint64_t ddr_before = ddr.allocated();
+
+    ml.layers.resize(config.layers);
+    for (size_t l = 0; l < config.layers; ++l) {
+        LayerAddrs &a = ml.layers[l];
+        // Q/K/V are head-wise shards: emb rows x emb_shard cols.
+        a.wq = hbm.alloc(emb * emb_shard * 2, "wq");
+        a.wk = hbm.alloc(emb * emb_shard * 2, "wk");
+        a.wv = hbm.alloc(emb * emb_shard * 2, "wv");
+        // Attention projection: column split, full emb input.
+        a.wproj = hbm.alloc(emb * emb_shard * 2, "wproj");
+        // FFN: fc1 column split; fc2 column split with full 4emb input.
+        a.wfc1 = hbm.alloc(emb * ffn_shard * 2, "wfc1");
+        a.wfc2 = hbm.alloc(4 * emb * emb_shard * 2, "wfc2");
+        // KV cache regions for the local heads.
+        a.keyBase = hbm.alloc(local_heads * config.maxSeq * hd * 2, "K");
+        a.vtBase = hbm.alloc(local_heads * hd * config.maxSeq * 2, "VT");
+        // DDR: bias shards and LN parameters.
+        a.bq = ddr.alloc(emb_shard * 2, "bq");
+        a.bk = ddr.alloc(emb_shard * 2, "bk");
+        a.bv = ddr.alloc(emb_shard * 2, "bv");
+        a.bproj = ddr.alloc(emb_shard * 2, "bproj");
+        a.bfc1 = ddr.alloc(ffn_shard * 2, "bfc1");
+        a.bfc2 = ddr.alloc(emb_shard * 2, "bfc2");
+        a.ln1Gamma = ddr.alloc(emb * 2, "ln1g");
+        a.ln1Beta = ddr.alloc(emb * 2, "ln1b");
+        a.ln2Gamma = ddr.alloc(emb * 2, "ln2g");
+        a.ln2Beta = ddr.alloc(emb * 2, "ln2b");
+    }
+
+    // LM head: transposed WTE shard in HBM (emb rows x vocab_shard).
+    ml.lmHeadW = hbm.alloc(emb * vocab_shard * 2, "lm_head");
+    // Embedding tables and final LN in DDR.
+    ml.wte = ddr.alloc(config.vocabSize * emb * 2, "wte");
+    ml.wpe = ddr.alloc(config.maxSeq * emb * 2, "wpe");
+    ml.lnfGamma = ddr.alloc(emb * 2, "lnfg");
+    ml.lnfBeta = ddr.alloc(emb * 2, "lnfb");
+
+    ml.hbmBytes_ = hbm.allocated() - hbm_before;
+    ml.ddrBytes_ = ddr.allocated() - ddr_before;
+    return ml;
+}
+
+}  // namespace dfx

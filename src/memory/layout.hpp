@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Per-FPGA memory layout for a partitioned GPT-2 model.
+ *
+ * Implements the paper's memory mapping (§IV-B): weight matrices —
+ * read in bulk every token — live in HBM; tokens, biases, LN
+ * parameters and the embedding tables live in DDR. The Key cache and
+ * the transposed Value cache (§V-B "Transpose Scheme") also live in
+ * HBM. The LM-head weight (WTE transposed) is kept as an HBM copy so
+ * the per-token logit matmul streams at HBM bandwidth; the DDR WTE
+ * copy serves only the per-token embedding row lookups.
+ *
+ * Every core in a cluster runs the same allocation sequence against
+ * its own devices, so shard addresses are identical across cores —
+ * which is what lets all cores execute the *same* instruction stream
+ * (the homogeneous-cluster property of §IV-B).
+ */
+#ifndef DFX_MEMORY_LAYOUT_HPP
+#define DFX_MEMORY_LAYOUT_HPP
+
+#include <vector>
+
+#include "memory/offchip.hpp"
+#include "model/config.hpp"
+
+namespace dfx {
+
+/** How the model is split across the cluster (paper Fig. 6). */
+struct ClusterGeometry
+{
+    size_t nCores = 1;
+
+    /** Heads per core (head-wise split of Q/K/V). */
+    size_t localHeads(const GptConfig &c) const { return c.heads / nCores; }
+    /** Output columns per core for emb-wide FC layers (column split). */
+    size_t embShard(const GptConfig &c) const
+    {
+        return c.embedding / nCores;
+    }
+    /** Output columns per core for the FFN hidden layer. */
+    size_t ffnShard(const GptConfig &c) const
+    {
+        return c.ffnHidden() / nCores;
+    }
+    /**
+     * Vocabulary slice per core for the LM head, padded up to a
+     * multiple of the MPU lane count so tiles stay aligned.
+     */
+    size_t vocabShard(const GptConfig &c, size_t lanes) const
+    {
+        size_t per_core = (c.vocabSize + nCores - 1) / nCores;
+        return (per_core + lanes - 1) / lanes * lanes;
+    }
+
+    /** Checks divisibility constraints; fatal if the model can't split. */
+    void validateFor(const GptConfig &c) const;
+};
+
+/** HBM/DDR byte addresses of one decoder layer's shard. */
+struct LayerAddrs
+{
+    // HBM: weight shards, row-major (rows = input dim, cols = shard).
+    uint64_t wq, wk, wv, wproj, wfc1, wfc2;
+    // HBM: KV cache for the core's local heads.
+    uint64_t keyBase;  ///< [localHead][seq][headDim]
+    uint64_t vtBase;   ///< [localHead][headDim][maxSeq] (transposed)
+    // DDR: bias shards and LN parameters (full vectors).
+    uint64_t bq, bk, bv, bproj, bfc1, bfc2;
+    uint64_t ln1Gamma, ln1Beta, ln2Gamma, ln2Beta;
+};
+
+/** Complete address map for one core. */
+struct MemoryLayout
+{
+    GptConfig config;
+    ClusterGeometry geometry;
+    size_t lanes = 16;  ///< MPU lane count (for vocab padding)
+
+    std::vector<LayerAddrs> layers;
+    uint64_t lmHeadW = 0;     ///< HBM: WTE^T shard, emb x vocabShard
+    uint64_t wte = 0;         ///< DDR: full WTE (embedding lookups)
+    uint64_t wpe = 0;         ///< DDR: full WPE
+    uint64_t lnfGamma = 0;    ///< DDR
+    uint64_t lnfBeta = 0;     ///< DDR
+
+    /** Byte address of K row `pos` for local head `lh` in `layer`. */
+    uint64_t keyRowAddr(size_t layer, size_t lh, size_t pos) const;
+    /** Byte address of V^T element (j, t) for local head `lh`. */
+    uint64_t vtAddr(size_t layer, size_t lh, size_t j, size_t t) const;
+    /** Byte address of the K region for one local head. */
+    uint64_t keyHeadBase(size_t layer, size_t lh) const;
+    /** Byte address of the V^T region for one local head. */
+    uint64_t vtHeadBase(size_t layer, size_t lh) const;
+
+    /** Total HBM bytes this layout allocates (for capacity checks). */
+    uint64_t hbmBytes() const { return hbmBytes_; }
+    uint64_t ddrBytes() const { return ddrBytes_; }
+
+    /**
+     * Runs the allocation sequence against a core's HBM and DDR.
+     * The same sequence yields the same addresses on every core.
+     */
+    static MemoryLayout build(const GptConfig &config,
+                              const ClusterGeometry &geometry,
+                              size_t lanes, OffchipMemory &hbm,
+                              OffchipMemory &ddr);
+
+  private:
+    uint64_t hbmBytes_ = 0;
+    uint64_t ddrBytes_ = 0;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MEMORY_LAYOUT_HPP

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Off-chip memory model implementation.
+ */
+#include "memory/offchip.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+OffchipMemory::OffchipMemory(std::string name, uint64_t capacity_bytes,
+                             double peak_bw_bytes_per_sec,
+                             double efficiency, bool functional)
+    : name_(std::move(name)), capacity_(capacity_bytes),
+      peakBw_(peak_bw_bytes_per_sec), efficiency_(efficiency),
+      functional_(functional)
+{
+    DFX_ASSERT(efficiency_ > 0.0 && efficiency_ <= 1.0,
+               "bandwidth efficiency %f out of (0,1]", efficiency_);
+}
+
+uint64_t
+OffchipMemory::alloc(uint64_t bytes, const char *tag)
+{
+    uint64_t addr = (next_ + 15) & ~uint64_t{15};
+    if (addr + bytes > capacity_) {
+        DFX_FATAL("%s: allocation '%s' of %llu bytes exceeds capacity "
+                  "(%llu used of %llu)",
+                  name_.c_str(), tag,
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(capacity_));
+    }
+    next_ = addr + bytes;
+    return addr;
+}
+
+double
+OffchipMemory::streamSeconds(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / effectiveBandwidth();
+}
+
+Cycles
+OffchipMemory::streamCycles(uint64_t bytes, double freq_hz) const
+{
+    return units::secondsToCycles(streamSeconds(bytes), freq_hz);
+}
+
+void
+OffchipMemory::ensureBacking(uint64_t addr_end)
+{
+    DFX_ASSERT(functional_, "%s: data access in timing-only mode",
+               name_.c_str());
+    size_t words = static_cast<size_t>((addr_end + 1) / 2);
+    if (backing_.size() < words)
+        backing_.resize(words, Half::zero());
+}
+
+void
+OffchipMemory::writeHalf(uint64_t addr, const Half *src, size_t n)
+{
+    DFX_ASSERT(addr % 2 == 0, "%s: unaligned half write at 0x%llx",
+               name_.c_str(), static_cast<unsigned long long>(addr));
+    ensureBacking(addr + 2 * n);
+    for (size_t i = 0; i < n; ++i)
+        backing_[addr / 2 + i] = src[i];
+}
+
+void
+OffchipMemory::readHalf(uint64_t addr, Half *dst, size_t n) const
+{
+    DFX_ASSERT(functional_, "%s: data access in timing-only mode",
+               name_.c_str());
+    DFX_ASSERT(addr % 2 == 0, "%s: unaligned half read at 0x%llx",
+               name_.c_str(), static_cast<unsigned long long>(addr));
+    for (size_t i = 0; i < n; ++i) {
+        size_t word = addr / 2 + i;
+        dst[i] = word < backing_.size() ? backing_[word] : Half::zero();
+    }
+}
+
+Half
+OffchipMemory::loadHalf(uint64_t addr) const
+{
+    Half h;
+    readHalf(addr, &h, 1);
+    return h;
+}
+
+void
+OffchipMemory::storeHalf(uint64_t addr, Half value)
+{
+    writeHalf(addr, &value, 1);
+}
+
+OffchipMemory
+makeHbm(int core_id, double efficiency, bool functional)
+{
+    return OffchipMemory("hbm" + std::to_string(core_id),
+                         HbmSpec::kCapacity, HbmSpec::kPeakBandwidth,
+                         efficiency, functional);
+}
+
+OffchipMemory
+makeDdr(int core_id, double efficiency, bool functional)
+{
+    return OffchipMemory("ddr" + std::to_string(core_id),
+                         DdrSpec::kCapacity, DdrSpec::kPeakBandwidth,
+                         efficiency, functional);
+}
+
+}  // namespace dfx

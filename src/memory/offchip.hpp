@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Off-chip memory models: HBM and DDR (paper §IV-B, §V-B).
+ *
+ * Each U280 FPGA carries 8 GB of HBM (32 channels, 460 GB/s peak) and
+ * 32 GB of DDR4 (38 GB/s). Weights, Key and Value live in HBM;
+ * tokens, biases, embedding tables and LN parameters live in DDR.
+ *
+ * The model is split in two concerns:
+ *  - functional backing store (FP16 words), present only when the
+ *    simulation runs in functional mode — full-size timing runs of
+ *    the 1.5B model do not allocate gigabytes;
+ *  - timing: peak bandwidth derated by a measured-efficiency factor,
+ *    exposed as bytes-per-core-cycle for the DMA cost model.
+ */
+#ifndef DFX_MEMORY_OFFCHIP_HPP
+#define DFX_MEMORY_OFFCHIP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/units.hpp"
+
+namespace dfx {
+
+/** One off-chip memory device with a bump allocator. */
+class OffchipMemory
+{
+  public:
+    /**
+     * @param name device name for diagnostics ("hbm0", "ddr0")
+     * @param capacity_bytes device capacity (allocation limit)
+     * @param peak_bw_bytes_per_sec theoretical peak bandwidth
+     * @param efficiency sustained/peak bandwidth derating
+     * @param functional allocate a backing store for real data
+     */
+    OffchipMemory(std::string name, uint64_t capacity_bytes,
+                  double peak_bw_bytes_per_sec, double efficiency,
+                  bool functional);
+
+    /** Reserves `bytes` (16-byte aligned); returns the byte address. */
+    uint64_t alloc(uint64_t bytes, const char *tag);
+
+    /** Bytes allocated so far. */
+    uint64_t allocated() const { return next_; }
+
+    uint64_t capacity() const { return capacity_; }
+
+    bool functional() const { return functional_; }
+
+    /** Effective (derated) bandwidth in bytes/second. */
+    double effectiveBandwidth() const { return peakBw_ * efficiency_; }
+
+    /** Peak bandwidth in bytes/second. */
+    double peakBandwidth() const { return peakBw_; }
+
+    /** Seconds to stream `bytes` at effective bandwidth. */
+    double streamSeconds(uint64_t bytes) const;
+
+    /** Core cycles (at `freq_hz`) to stream `bytes`, rounded up. */
+    Cycles streamCycles(uint64_t bytes, double freq_hz) const;
+
+    // --- functional data plane (FP16 word granularity) ---------------
+    /** Writes n halves at byte address `addr` (must be 2-aligned). */
+    void writeHalf(uint64_t addr, const Half *src, size_t n);
+    /** Reads n halves from byte address `addr`. */
+    void readHalf(uint64_t addr, Half *dst, size_t n) const;
+    /** Reads one half. */
+    Half loadHalf(uint64_t addr) const;
+    /** Writes one half. */
+    void storeHalf(uint64_t addr, Half value);
+
+    const std::string &name() const { return name_; }
+
+  private:
+    void ensureBacking(uint64_t addr_end);
+
+    std::string name_;
+    uint64_t capacity_;
+    double peakBw_;
+    double efficiency_;
+    bool functional_;
+    uint64_t next_ = 0;
+    std::vector<Half> backing_;  ///< grows to the allocation watermark
+};
+
+/** HBM stack parameters for the Alveo U280. */
+struct HbmSpec
+{
+    static constexpr uint64_t kCapacity = 8ull << 30;        // 8 GB
+    static constexpr double kPeakBandwidth = 460e9;          // B/s
+    static constexpr int kChannels = 32;
+    static constexpr int kChannelBits = 512;  ///< per channel per cycle
+};
+
+/** DDR4 parameters for the Alveo U280 (single used channel). */
+struct DdrSpec
+{
+    static constexpr uint64_t kCapacity = 32ull << 30;       // 32 GB
+    static constexpr double kPeakBandwidth = 38e9;           // B/s
+};
+
+/** Builds the HBM device for one simulated FPGA. */
+OffchipMemory makeHbm(int core_id, double efficiency, bool functional);
+
+/** Builds the DDR device for one simulated FPGA. */
+OffchipMemory makeDdr(int core_id, double efficiency, bool functional);
+
+}  // namespace dfx
+
+#endif  // DFX_MEMORY_OFFCHIP_HPP

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * GPT-2 configuration presets.
+ */
+#include "model/config.hpp"
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+size_t
+GptConfig::layerMatrixParams() const
+{
+    // Q, K, V, attention-projection: 4 * emb^2.
+    // FFN: emb*4emb + 4emb*emb = 8 * emb^2.
+    return 12 * embedding * embedding;
+}
+
+size_t
+GptConfig::parameterCount() const
+{
+    size_t per_layer = layerMatrixParams()   // q/k/v/proj + ffn matrices
+        + 3 * embedding                      // q,k,v biases
+        + embedding                          // proj bias
+        + ffnHidden() + embedding            // fc1, fc2 biases
+        + 4 * embedding;                     // ln1/ln2 gamma+beta
+    size_t emb_params = vocabSize * embedding + maxSeq * embedding;
+    size_t final_ln = 2 * embedding;
+    return layers * per_layer + emb_params + final_ln;
+}
+
+void
+GptConfig::validate() const
+{
+    if (embedding != heads * headDim) {
+        DFX_FATAL("config %s: embedding %zu != heads %zu * headDim %zu",
+                  name.c_str(), embedding, heads, headDim);
+    }
+    if (layers == 0 || vocabSize == 0 || maxSeq == 0)
+        DFX_FATAL("config %s: zero-sized dimension", name.c_str());
+}
+
+GptConfig
+GptConfig::gpt2_345M()
+{
+    GptConfig c;
+    c.name = "345M";
+    c.vocabSize = 50257;
+    c.embedding = 1024;
+    c.heads = 16;
+    c.headDim = 64;
+    c.layers = 24;
+    c.maxSeq = 1024;
+    return c;
+}
+
+GptConfig
+GptConfig::gpt2_774M()
+{
+    GptConfig c;
+    c.name = "774M";
+    c.vocabSize = 50257;
+    c.embedding = 1280;
+    c.heads = 20;
+    c.headDim = 64;
+    c.layers = 36;
+    c.maxSeq = 1024;
+    return c;
+}
+
+GptConfig
+GptConfig::gpt2_1_5B()
+{
+    GptConfig c;
+    c.name = "1.5B";
+    c.vocabSize = 50257;
+    c.embedding = 1536;
+    c.heads = 24;
+    c.headDim = 64;
+    c.layers = 48;
+    c.maxSeq = 1024;
+    return c;
+}
+
+GptConfig
+GptConfig::toy()
+{
+    GptConfig c;
+    c.name = "toy";
+    c.vocabSize = 97;
+    c.embedding = 128;
+    c.heads = 2;
+    c.headDim = 64;
+    c.layers = 2;
+    c.maxSeq = 64;
+    return c;
+}
+
+GptConfig
+GptConfig::mini()
+{
+    GptConfig c;
+    c.name = "mini";
+    c.vocabSize = 211;
+    c.embedding = 256;
+    c.heads = 4;
+    c.headDim = 64;
+    c.layers = 3;
+    c.maxSeq = 128;
+    return c;
+}
+
+GptConfig
+GptConfig::byName(const std::string &name)
+{
+    if (name == "345M")
+        return gpt2_345M();
+    if (name == "774M")
+        return gpt2_774M();
+    if (name == "1.5B")
+        return gpt2_1_5B();
+    if (name == "toy")
+        return toy();
+    if (name == "mini")
+        return mini();
+    DFX_FATAL("unknown model config '%s'", name.c_str());
+}
+
+}  // namespace dfx

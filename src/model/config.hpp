@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GPT-2 model configurations (paper Table I) plus reduced test models.
+ */
+#ifndef DFX_MODEL_CONFIG_HPP
+#define DFX_MODEL_CONFIG_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace dfx {
+
+/**
+ * Hyperparameters of a GPT-2 style decoder-only transformer.
+ *
+ * Matches the paper's Table I; `embedding = heads * headDim` and the
+ * FFN hidden size is 4x the embedding, as in GPT-2.
+ */
+struct GptConfig
+{
+    std::string name;
+    size_t vocabSize = 50257;
+    size_t embedding = 1024;   ///< embedding dimension (emb)
+    size_t heads = 16;         ///< number of attention heads (H)
+    size_t headDim = 64;       ///< per-head dimension
+    size_t layers = 24;        ///< number of decoder layers (N)
+    size_t maxSeq = 1024;      ///< maximum context length
+    float lnEpsilon = 1e-5f;   ///< layer-norm epsilon
+
+    /** FFN hidden dimension (4 * emb for GPT-2). */
+    size_t ffnHidden() const { return 4 * embedding; }
+
+    /** Total parameter count (decoder layers + embeddings + final LN). */
+    size_t parameterCount() const;
+
+    /** Parameter bytes at FP16. */
+    size_t parameterBytes() const { return parameterCount() * 2; }
+
+    /** Per-decoder-layer weight parameters (the 12*emb^2 of §IV-B). */
+    size_t layerMatrixParams() const;
+
+    /** Validates internal consistency; fatal on error. */
+    void validate() const;
+
+    // --- Paper Table I configurations -------------------------------
+    /** GPT-2 345M: emb 1024, 16 heads, 24 layers. */
+    static GptConfig gpt2_345M();
+    /** GPT-2 774M: emb 1280, 20 heads, 36 layers. */
+    static GptConfig gpt2_774M();
+    /** GPT-2 1.5B: emb 1536, 24 heads, 48 layers (paper adjusts OpenAI's
+     *  25 heads to 24 for parallelizability). */
+    static GptConfig gpt2_1_5B();
+
+    // --- Reduced configurations for functional tests ----------------
+    /** Tiny model: emb 128, 2x64 heads, 2 layers, vocab 97. */
+    static GptConfig toy();
+    /** Small model with hardware-sized heads: emb 256, 4x64 heads. */
+    static GptConfig mini();
+    /** Look up any of the above by name ("345M", "774M", "1.5B", ...). */
+    static GptConfig byName(const std::string &name);
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MODEL_CONFIG_HPP

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Reference GPT-2 engine implementation.
+ */
+#include "model/reference.hpp"
+
+#include <cmath>
+
+#include "numeric/functions.hpp"
+
+namespace dfx {
+namespace {
+
+/** y = W^T x + b with FP16 weights widened to float. */
+VecF
+halfMatVec(const MatH &w, const VecF &x, const VecH &b)
+{
+    DFX_ASSERT(w.rows() == x.size(), "halfMatVec dims");
+    VecF y(w.cols());
+    for (size_t c = 0; c < w.cols(); ++c) {
+        double acc = 0.0;
+        for (size_t r = 0; r < w.rows(); ++r)
+            acc += static_cast<double>(w.at(r, c).toFloat()) * x[r];
+        y[c] = static_cast<float>(acc + b[c].toFloat());
+    }
+    return y;
+}
+
+VecF
+widen(const VecH &v)
+{
+    VecF out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = v[i].toFloat();
+    return out;
+}
+
+}  // namespace
+
+ReferenceModel::ReferenceModel(const GptWeights &weights) : w_(weights)
+{
+    const auto &cfg = w_.config;
+    keyCache_.resize(cfg.layers);
+    valueCache_.resize(cfg.layers);
+    reset();
+}
+
+void
+ReferenceModel::reset()
+{
+    const auto &cfg = w_.config;
+    position_ = 0;
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        keyCache_[l].resize(cfg.maxSeq, cfg.embedding);
+        valueCache_[l].resize(cfg.maxSeq, cfg.embedding);
+    }
+}
+
+void
+ReferenceModel::decoderLayer(size_t layer, VecF &x)
+{
+    const auto &cfg = w_.config;
+    const auto &lw = w_.layers[layer];
+    const size_t emb = cfg.embedding;
+    const size_t hd = cfg.headDim;
+    const size_t seq = position_ + 1;  // including the current token
+
+    // --- LayerNorm 1 + self-attention --------------------------------
+    VecF ln1 = layerNorm(x, widen(lw.ln1Gamma), widen(lw.ln1Beta),
+                         cfg.lnEpsilon);
+    VecF q = halfMatVec(lw.wq, ln1, lw.bq);
+    VecF k = halfMatVec(lw.wk, ln1, lw.bk);
+    VecF v = halfMatVec(lw.wv, ln1, lw.bv);
+
+    // Append K/V for the current position.
+    for (size_t i = 0; i < emb; ++i) {
+        keyCache_[layer].at(position_, i) = k[i];
+        valueCache_[layer].at(position_, i) = v[i];
+    }
+
+    // Multi-head attention over the cache (causal: the single query is
+    // the newest token, so the whole cache is visible).
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    VecF attn(emb, 0.0f);
+    for (size_t h = 0; h < cfg.heads; ++h) {
+        const size_t off = h * hd;
+        VecF score(seq);
+        for (size_t t = 0; t < seq; ++t) {
+            double dot = 0.0;
+            for (size_t i = 0; i < hd; ++i)
+                dot += static_cast<double>(q[off + i]) *
+                       keyCache_[layer].at(t, off + i);
+            score[t] = static_cast<float>(dot) * scale;
+        }
+        softmaxInPlace(score);
+        for (size_t i = 0; i < hd; ++i) {
+            double acc = 0.0;
+            for (size_t t = 0; t < seq; ++t)
+                acc += static_cast<double>(score[t]) *
+                       valueCache_[layer].at(t, off + i);
+            attn[off + i] = static_cast<float>(acc);
+        }
+    }
+    VecF proj = halfMatVec(lw.wproj, attn, lw.bproj);
+
+    // --- Residual 1 ---------------------------------------------------
+    for (size_t i = 0; i < emb; ++i)
+        x[i] += proj[i];
+
+    // --- LayerNorm 2 + feed-forward network ---------------------------
+    VecF ln2 = layerNorm(x, widen(lw.ln2Gamma), widen(lw.ln2Beta),
+                         cfg.lnEpsilon);
+    VecF h1 = halfMatVec(lw.wfc1, ln2, lw.bfc1);
+    geluInPlace(h1);
+    VecF h2 = halfMatVec(lw.wfc2, h1, lw.bfc2);
+
+    // --- Residual 2 ---------------------------------------------------
+    for (size_t i = 0; i < emb; ++i)
+        x[i] += h2[i];
+}
+
+VecF
+ReferenceModel::step(TokenId token)
+{
+    const auto &cfg = w_.config;
+    DFX_ASSERT(token >= 0 && static_cast<size_t>(token) < cfg.vocabSize,
+               "token %d out of vocab %zu", token, cfg.vocabSize);
+    DFX_ASSERT(position_ < cfg.maxSeq, "context overflow at %zu", position_);
+
+    // Token embedding: WTE[token] + WPE[position].
+    VecF x(cfg.embedding);
+    for (size_t i = 0; i < cfg.embedding; ++i) {
+        x[i] = w_.wte.at(static_cast<size_t>(token), i).toFloat() +
+               w_.wpe.at(position_, i).toFloat();
+    }
+
+    for (size_t l = 0; l < cfg.layers; ++l)
+        decoderLayer(l, x);
+
+    position_ += 1;
+
+    // Final layer norm, then LM head: logits = WTE * x.
+    VecF xf = layerNorm(x, widen(w_.lnfGamma), widen(w_.lnfBeta),
+                        cfg.lnEpsilon);
+    last_embedding_ = xf;
+    VecF logits(cfg.vocabSize);
+    for (size_t t = 0; t < cfg.vocabSize; ++t) {
+        double acc = 0.0;
+        for (size_t i = 0; i < cfg.embedding; ++i)
+            acc += static_cast<double>(w_.wte.at(t, i).toFloat()) * xf[i];
+        logits[t] = static_cast<float>(acc);
+    }
+    return logits;
+}
+
+std::vector<TokenId>
+ReferenceModel::generate(const std::vector<TokenId> &prompt, size_t n_out)
+{
+    DFX_ASSERT(!prompt.empty(), "empty prompt");
+    reset();
+    VecF logits;
+    // Summarization stage: one token at a time, as DFX does.
+    for (TokenId t : prompt)
+        logits = step(t);
+
+    std::vector<TokenId> out;
+    out.reserve(n_out);
+    for (size_t i = 0; i < n_out; ++i) {
+        TokenId next = static_cast<TokenId>(argmax(logits));
+        out.push_back(next);
+        if (i + 1 < n_out)
+            logits = step(next);
+    }
+    return out;
+}
+
+}  // namespace dfx

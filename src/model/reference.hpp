@@ -1,0 +1,69 @@
+/**
+ * @file
+ * High-precision reference GPT-2 inference engine.
+ *
+ * Computes the exact model function (float32 activations over
+ * FP16-quantized weights) with a KV cache, one token per step — the
+ * same dataflow DFX executes. The simulated hardware is validated
+ * against this engine: logits within FP16 tolerance and matching
+ * greedy tokens.
+ */
+#ifndef DFX_MODEL_REFERENCE_HPP
+#define DFX_MODEL_REFERENCE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "model/weights.hpp"
+
+namespace dfx {
+
+using TokenId = int32_t;
+
+/** Reference decoder with per-layer KV cache. */
+class ReferenceModel
+{
+  public:
+    explicit ReferenceModel(const GptWeights &weights);
+
+    /** Clears the KV cache (new conversation). */
+    void reset();
+
+    /** Number of tokens currently in the context. */
+    size_t position() const { return position_; }
+
+    /**
+     * Runs one token through all decoder layers, appending its K/V to
+     * the cache, and returns the logits over the vocabulary.
+     */
+    VecF step(TokenId token);
+
+    /**
+     * Text-generation service: feeds the prompt token by token
+     * (summarization stage), then greedily generates `n_out` tokens
+     * (generation stage). Returns the generated tokens.
+     */
+    std::vector<TokenId> generate(const std::vector<TokenId> &prompt,
+                                  size_t n_out);
+
+    /**
+     * Returns the pre-LM-head embedding for the last step (used by
+     * tests to compare against DFX register-file contents).
+     */
+    const VecF &lastEmbedding() const { return last_embedding_; }
+
+  private:
+    /** One decoder layer; x is updated in place. */
+    void decoderLayer(size_t layer, VecF &x);
+
+    const GptWeights &w_;
+    size_t position_ = 0;
+    /** Per layer: K and V caches, row t = token t, emb columns. */
+    std::vector<MatF> keyCache_;
+    std::vector<MatF> valueCache_;
+    VecF last_embedding_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MODEL_REFERENCE_HPP

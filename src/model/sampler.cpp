@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Token sampling implementation.
+ */
+#include "model/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "numeric/functions.hpp"
+
+namespace dfx {
+
+TokenId
+sampleGreedy(const VecF &logits)
+{
+    return static_cast<TokenId>(argmax(logits));
+}
+
+TokenId
+sampleTopK(const VecF &logits, size_t k, float temperature, Rng &rng)
+{
+    DFX_ASSERT(k >= 1, "top-k requires k >= 1");
+    DFX_ASSERT(temperature > 0.0f, "temperature must be positive");
+    if (k == 1)
+        return sampleGreedy(logits);
+    k = std::min(k, logits.size());
+
+    // Collect indices of the k largest logits.
+    std::vector<size_t> idx(logits.size());
+    for (size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
+                      idx.end(), [&](size_t a, size_t b) {
+                          return logits[a] > logits[b];
+                      });
+
+    // Softmax over the top-k at the given temperature.
+    std::vector<double> p(k);
+    double mx = logits[idx[0]];
+    double sum = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+        p[i] = std::exp((logits[idx[i]] - mx) / temperature);
+        sum += p[i];
+    }
+    double r = rng.uniform() * sum;
+    double acc = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+        acc += p[i];
+        if (r <= acc)
+            return static_cast<TokenId>(idx[i]);
+    }
+    return static_cast<TokenId>(idx[k - 1]);
+}
+
+}  // namespace dfx

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Token sampling strategies.
+ *
+ * DFX's LM head implements greedy decoding in hardware (the SFU_M
+ * reduce-max unit "finds either max or argmax of the given vector",
+ * §V-C). The reference engine and examples also support top-k sampling
+ * for more interesting generated text; both are deterministic under a
+ * fixed seed.
+ */
+#ifndef DFX_MODEL_SAMPLER_HPP
+#define DFX_MODEL_SAMPLER_HPP
+
+#include <cstdint>
+
+#include "common/random.hpp"
+#include "model/reference.hpp"
+#include "numeric/tensor.hpp"
+
+namespace dfx {
+
+/** Greedy argmax over logits (hardware behaviour). */
+TokenId sampleGreedy(const VecF &logits);
+
+/**
+ * Top-k sampling with temperature over logits; deterministic for a
+ * given RNG state. k == 1 degenerates to greedy.
+ */
+TokenId sampleTopK(const VecF &logits, size_t k, float temperature,
+                   Rng &rng);
+
+}  // namespace dfx
+
+#endif  // DFX_MODEL_SAMPLER_HPP

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Word-level tokenizer implementation.
+ */
+#include "model/tokenizer.hpp"
+
+#include <cctype>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace {
+
+/** Built-in vocabulary: common words and punctuation. */
+const char *const kBuiltinWords[] = {
+    ".", ",", "!", "?", ":", ";", "'", "\"", "-", "(", ")",
+    "the", "a", "an", "and", "or", "but", "of", "to", "in", "on", "at",
+    "for", "with", "by", "from", "as", "is", "are", "was", "were", "be",
+    "been", "being", "it", "its", "this", "that", "these", "those", "he",
+    "she", "they", "we", "you", "i", "my", "your", "his", "her", "their",
+    "our", "me", "him", "them", "us", "who", "what", "when", "where",
+    "why", "how", "which", "all", "any", "both", "each", "few", "more",
+    "most", "other", "some", "such", "no", "not", "only", "own", "same",
+    "so", "than", "too", "very", "can", "will", "just", "should", "now",
+    "hello", "name", "world", "time", "year", "day", "man", "woman",
+    "child", "people", "way", "thing", "life", "hand", "part", "eye",
+    "place", "work", "week", "case", "point", "company", "number",
+    "group", "problem", "fact", "model", "system", "computer", "data",
+    "memory", "chip", "silicon", "language", "text", "token", "word",
+    "sentence", "machine", "learning", "neural", "network", "deep",
+    "attention", "transformer", "generation", "hardware", "software",
+    "design", "architecture", "performance", "latency", "throughput",
+    "energy", "power", "cost", "cloud", "server", "datacenter", "fpga",
+    "gpu", "cpu", "accelerator", "bandwidth", "parallel", "sequential",
+    "fast", "slow", "large", "small", "new", "old", "good", "great",
+    "high", "low", "long", "short", "first", "last", "next", "early",
+    "late", "big", "little", "right", "left", "write", "read", "run",
+    "make", "take", "give", "find", "tell", "ask", "seem", "feel",
+    "leave", "call", "think", "know", "want", "look", "use", "go",
+    "come", "see", "get", "say", "james", "smith", "story", "about",
+    "once", "upon", "there", "lived", "happy", "end", "begin", "start",
+    "king", "queen", "city", "river", "mountain", "forest", "ocean",
+    "light", "dark", "sun", "moon", "star", "sky", "earth", "water",
+    "fire", "air", "house", "home", "door", "window", "road", "garden",
+    "friend", "family", "mother", "father", "brother", "sister", "love",
+    "hope", "dream", "idea", "question", "answer", "because", "before",
+    "after", "during", "between", "under", "over", "through", "into",
+    "out", "up", "down", "one", "two", "three", "four", "five", "six",
+    "seven", "eight", "nine", "ten", "hundred", "thousand", "million",
+};
+
+constexpr size_t kBuiltinCount =
+    sizeof(kBuiltinWords) / sizeof(kBuiltinWords[0]);
+
+bool
+isWordChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(size_t vocab_size) : vocabSize_(vocab_size)
+{
+    DFX_ASSERT(vocab_size >= 64, "vocab too small: %zu", vocab_size);
+    const size_t n_words = std::min(kBuiltinCount, vocab_size - 16);
+    words_.reserve(n_words);
+    for (size_t i = 0; i < n_words; ++i) {
+        words_.emplace_back(kBuiltinWords[i]);
+        index_[words_.back()] = static_cast<TokenId>(i);
+    }
+}
+
+std::vector<TokenId>
+Tokenizer::encode(const std::string &text) const
+{
+    std::vector<TokenId> out;
+    size_t i = 0;
+    const size_t n_oov = vocabSize_ - words_.size();
+    while (i < text.size()) {
+        char c = text[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        std::string tok;
+        if (isWordChar(c)) {
+            while (i < text.size() && isWordChar(text[i]))
+                tok += static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(text[i++])));
+        } else {
+            tok += c;
+            ++i;
+        }
+        auto it = index_.find(tok);
+        if (it != index_.end()) {
+            out.push_back(it->second);
+        } else {
+            // Deterministic OOV hashing into the reserved bucket range.
+            uint64_t h = 1469598103934665603ull;  // FNV-1a
+            for (char ch : tok)
+                h = (h ^ static_cast<unsigned char>(ch)) *
+                    1099511628211ull;
+            out.push_back(static_cast<TokenId>(words_.size() + h % n_oov));
+        }
+    }
+    return out;
+}
+
+std::string
+Tokenizer::wordFor(TokenId id) const
+{
+    DFX_ASSERT(id >= 0 && static_cast<size_t>(id) < vocabSize_,
+               "token id %d out of vocab %zu", id, vocabSize_);
+    if (static_cast<size_t>(id) < words_.size())
+        return words_[static_cast<size_t>(id)];
+    return "<tok" + std::to_string(id) + ">";
+}
+
+std::string
+Tokenizer::decode(const std::vector<TokenId> &tokens) const
+{
+    std::string out;
+    for (TokenId id : tokens) {
+        std::string w = wordFor(id);
+        bool is_punct = w.size() == 1 &&
+                        !isWordChar(w[0]);
+        if (!out.empty() && !is_punct)
+            out += ' ';
+        out += w;
+    }
+    return out;
+}
+
+}  // namespace dfx

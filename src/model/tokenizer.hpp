@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Word-level tokenizer for the example applications.
+ *
+ * GPT-2 proper uses byte-pair encoding with a trained merge table we
+ * do not have offline; the examples instead use a deterministic
+ * word-level tokenizer over a built-in vocabulary (common English
+ * words + punctuation), with out-of-vocabulary words hashed into a
+ * reserved bucket range. Tokenization is irrelevant to every
+ * performance experiment (which are parameterized by token *counts*);
+ * this exists so the examples produce readable round-trip text.
+ */
+#ifndef DFX_MODEL_TOKENIZER_HPP
+#define DFX_MODEL_TOKENIZER_HPP
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/reference.hpp"
+
+namespace dfx {
+
+/** Deterministic word-level tokenizer. */
+class Tokenizer
+{
+  public:
+    /**
+     * Builds the tokenizer for a given vocabulary size. The built-in
+     * word list fills ids [0, nWords); the remainder of the vocabulary
+     * is reserved for OOV hash buckets named "<tokN>".
+     */
+    explicit Tokenizer(size_t vocab_size);
+
+    /** Splits text on whitespace/punctuation and maps words to ids. */
+    std::vector<TokenId> encode(const std::string &text) const;
+
+    /** Maps ids back to words and joins with spaces. */
+    std::string decode(const std::vector<TokenId> &tokens) const;
+
+    /** The word for one id. */
+    std::string wordFor(TokenId id) const;
+
+    size_t vocabSize() const { return vocabSize_; }
+
+  private:
+    size_t vocabSize_;
+    std::vector<std::string> words_;
+    std::unordered_map<std::string, TokenId> index_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MODEL_TOKENIZER_HPP

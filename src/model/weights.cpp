@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Synthetic GPT-2 weight generation.
+ */
+#include "model/weights.hpp"
+
+#include <cmath>
+
+#include "common/random.hpp"
+
+namespace dfx {
+namespace {
+
+MatH
+randomMatrix(Rng &rng, size_t rows, size_t cols, double stddev)
+{
+    MatH m(rows, cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            m.at(r, c) = Half::fromDouble(rng.normal(0.0, stddev));
+    return m;
+}
+
+VecH
+randomVector(Rng &rng, size_t n, double mean, double stddev)
+{
+    VecH v(n);
+    for (size_t i = 0; i < n; ++i)
+        v[i] = Half::fromDouble(rng.normal(mean, stddev));
+    return v;
+}
+
+}  // namespace
+
+GptWeights
+GptWeights::random(const GptConfig &config, uint64_t seed)
+{
+    config.validate();
+    Rng rng(seed);
+    GptWeights w;
+    w.config = config;
+    const size_t emb = config.embedding;
+    const size_t hidden = config.ffnHidden();
+    // GPT-2 init: N(0, 0.02) for embeddings and matrices. Residual
+    // projections are scaled by 1/sqrt(2*layers) in GPT-2's init, which
+    // also keeps activations bounded at depth 48 — important here so
+    // FP16 does not saturate on random weights.
+    const double mat_std = 0.02;
+    const double resid_std =
+        0.02 / std::sqrt(2.0 * static_cast<double>(config.layers));
+
+    w.wte = randomMatrix(rng, config.vocabSize, emb, mat_std);
+    w.wpe = randomMatrix(rng, config.maxSeq, emb, 0.01);
+    w.lnfGamma = randomVector(rng, emb, 1.0, 0.02);
+    w.lnfBeta = randomVector(rng, emb, 0.0, 0.002);
+
+    w.layers.resize(config.layers);
+    for (auto &layer : w.layers) {
+        layer.ln1Gamma = randomVector(rng, emb, 1.0, 0.02);
+        layer.ln1Beta = randomVector(rng, emb, 0.0, 0.002);
+        layer.wq = randomMatrix(rng, emb, emb, mat_std);
+        layer.wk = randomMatrix(rng, emb, emb, mat_std);
+        layer.wv = randomMatrix(rng, emb, emb, mat_std);
+        layer.bq = randomVector(rng, emb, 0.0, 0.002);
+        layer.bk = randomVector(rng, emb, 0.0, 0.002);
+        layer.bv = randomVector(rng, emb, 0.0, 0.002);
+        layer.wproj = randomMatrix(rng, emb, emb, resid_std);
+        layer.bproj = randomVector(rng, emb, 0.0, 0.002);
+        layer.ln2Gamma = randomVector(rng, emb, 1.0, 0.02);
+        layer.ln2Beta = randomVector(rng, emb, 0.0, 0.002);
+        layer.wfc1 = randomMatrix(rng, emb, hidden, mat_std);
+        layer.bfc1 = randomVector(rng, hidden, 0.0, 0.002);
+        layer.wfc2 = randomMatrix(rng, hidden, emb, resid_std);
+        layer.bfc2 = randomVector(rng, emb, 0.0, 0.002);
+    }
+    return w;
+}
+
+size_t
+GptWeights::parameterCount() const
+{
+    size_t total = wte.size() + wpe.size() + lnfGamma.size() +
+                   lnfBeta.size();
+    for (const auto &l : layers) {
+        total += l.ln1Gamma.size() + l.ln1Beta.size() + l.ln2Gamma.size() +
+                 l.ln2Beta.size();
+        total += l.wq.size() + l.wk.size() + l.wv.size() + l.wproj.size();
+        total += l.bq.size() + l.bk.size() + l.bv.size() + l.bproj.size();
+        total += l.wfc1.size() + l.wfc2.size() + l.bfc1.size() +
+                 l.bfc2.size();
+    }
+    return total;
+}
+
+}  // namespace dfx

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * GPT-2 weight container with deterministic synthetic initialization.
+ *
+ * We have no access to trained checkpoints in this environment, so
+ * weights are generated from a seeded PRNG with GPT-2's published
+ * initialization statistics (normal(0, 0.02) for matrices). All
+ * experiments that depend on *numerics* (accuracy, FP16 fidelity,
+ * functional equivalence across cluster sizes) are invariant to the
+ * specific trained values; see DESIGN.md §1 for the substitution note.
+ *
+ * Weights are stored in FP16, exactly as DFX keeps them in HBM/DDR and
+ * as the GPU baseline keeps them for FP16 kernels.
+ */
+#ifndef DFX_MODEL_WEIGHTS_HPP
+#define DFX_MODEL_WEIGHTS_HPP
+
+#include <vector>
+
+#include "model/config.hpp"
+#include "numeric/tensor.hpp"
+
+namespace dfx {
+
+/** Weights of a single decoder layer. Matrices are (in x out). */
+struct LayerWeights
+{
+    VecH ln1Gamma, ln1Beta;
+    MatH wq, wk, wv;         ///< emb x emb each
+    VecH bq, bk, bv;
+    MatH wproj;              ///< emb x emb
+    VecH bproj;
+    VecH ln2Gamma, ln2Beta;
+    MatH wfc1;               ///< emb x 4emb
+    VecH bfc1;
+    MatH wfc2;               ///< 4emb x emb
+    VecH bfc2;
+};
+
+/** Full model weights. */
+struct GptWeights
+{
+    GptConfig config;
+    MatH wte;                ///< vocab x emb word-token embedding
+    MatH wpe;                ///< maxSeq x emb word-position embedding
+    VecH lnfGamma, lnfBeta;  ///< final layer norm
+    std::vector<LayerWeights> layers;
+
+    /**
+     * Builds deterministic synthetic weights for `config` from `seed`.
+     * Matrices ~ N(0, 0.02), biases ~ N(0, 0.002), LN gamma ~ 1 +/-
+     * 0.02, LN beta ~ N(0, 0.002) — small perturbations so the layer
+     * norms are non-trivial.
+     */
+    static GptWeights random(const GptConfig &config, uint64_t seed);
+
+    /** Total stored parameter count (must match config accounting). */
+    size_t parameterCount() const;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MODEL_WEIGHTS_HPP

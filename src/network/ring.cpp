@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ring network timing model implementation.
+ */
+#include "network/ring.hpp"
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+RingNetwork::RingNetwork(const RingParams &params, size_t n_nodes)
+    : params_(params), nodes_(n_nodes)
+{
+    DFX_ASSERT(n_nodes >= 1, "ring needs at least one node");
+}
+
+double
+RingNetwork::hopSeconds(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / params_.effectiveBytesPerSec() +
+           params_.hopLatencySec;
+}
+
+double
+RingNetwork::allGatherSeconds(uint64_t bytes_per_node) const
+{
+    if (nodes_ <= 1)
+        return 0.0;
+    // N-1 pipelined steps; all links are active simultaneously, so the
+    // wall time is (N-1) hops of one chunk each.
+    return static_cast<double>(nodes_ - 1) * hopSeconds(bytes_per_node);
+}
+
+double
+RingNetwork::argmaxReduceSeconds() const
+{
+    if (nodes_ <= 1)
+        return 0.0;
+    return static_cast<double>(nodes_ - 1) * hopSeconds(8);
+}
+
+}  // namespace dfx

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Multi-FPGA ring network model (paper §IV-A, §V-E).
+ *
+ * Each FPGA has two QSFP ports driven by the Aurora 64b/66b IP at
+ * 100 Gb/s; four FPGAs form a ring. Data synchronization is a ring
+ * all-gather: in each of the (N-1) steps every core forwards a chunk
+ * to its right neighbour, so after N-1 steps every core holds every
+ * chunk. Aurora's 64b/66b line code costs 3% of raw bandwidth; a
+ * fixed per-hop latency covers the router control word, TX/RX
+ * buffering and the register-file drain/fill on both ends.
+ */
+#ifndef DFX_NETWORK_RING_HPP
+#define DFX_NETWORK_RING_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dfx {
+
+/** Ring link and hop parameters. */
+struct RingParams
+{
+    /** Raw link rate: QSFP28, 100 Gb/s. */
+    double linkBitsPerSec = 100e9;
+    /** Aurora 64b/66b transmission overhead (paper: "only 3%"). */
+    double encodingOverhead = 0.03;
+    /**
+     * Fixed per-hop latency (seconds): router control, Aurora
+     * framing, serdes, and RF drain/fill. Calibration constant; the
+     * paper's 17.3% sync share on the 1.5B/4-FPGA run (Fig. 15)
+     * implies roughly 1.5-2 us per hop at 4 syncs/layer.
+     */
+    double hopLatencySec = 1.8e-6;
+
+    /** Effective payload bandwidth in bytes/second. */
+    double
+    effectiveBytesPerSec() const
+    {
+        return linkBitsPerSec * (1.0 - encodingOverhead) / 8.0;
+    }
+};
+
+/** Timing model of the FPGA ring. */
+class RingNetwork
+{
+  public:
+    explicit RingNetwork(const RingParams &params, size_t n_nodes);
+
+    size_t nodes() const { return nodes_; }
+    const RingParams &params() const { return params_; }
+
+    /**
+     * Seconds for a ring all-gather in which each node contributes
+     * `bytes_per_node`. N == 1 costs nothing (no network involved).
+     */
+    double allGatherSeconds(uint64_t bytes_per_node) const;
+
+    /**
+     * Seconds for an 8-byte-per-node all-reduce (the LM-head argmax
+     * exchange of (value, index) pairs).
+     */
+    double argmaxReduceSeconds() const;
+
+    /** Seconds for a single point-to-point hop of `bytes`. */
+    double hopSeconds(uint64_t bytes) const;
+
+  private:
+    RingParams params_;
+    size_t nodes_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_NETWORK_RING_HPP

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Router functional implementation.
+ */
+#include "network/router.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+VecH
+Router::reorder(std::vector<RouterChunk> chunks)
+{
+    DFX_ASSERT(!chunks.empty(), "reorder of zero chunks");
+    const size_t n = chunks.size();
+    const size_t chunk_len = chunks[0].payload.size();
+    std::vector<bool> seen(n, false);
+    for (const auto &c : chunks) {
+        DFX_ASSERT(c.sourceCore < n, "chunk from core %zu of %zu",
+                   c.sourceCore, n);
+        DFX_ASSERT(!seen[c.sourceCore], "duplicate chunk from core %zu",
+                   c.sourceCore);
+        DFX_ASSERT(c.payload.size() == chunk_len,
+                   "ragged chunk sizes %zu vs %zu", c.payload.size(),
+                   chunk_len);
+        seen[c.sourceCore] = true;
+    }
+    VecH full(n * chunk_len);
+    for (const auto &c : chunks) {
+        for (size_t i = 0; i < chunk_len; ++i)
+            full[c.sourceCore * chunk_len + i] = c.payload[i];
+    }
+    return full;
+}
+
+std::vector<size_t>
+Router::arrivalOrder(size_t self, size_t n)
+{
+    DFX_ASSERT(self < n, "node %zu of %zu", self, n);
+    std::vector<size_t> order;
+    order.reserve(n);
+    for (size_t hop = 0; hop < n; ++hop)
+        order.push_back((self + n - hop) % n);
+    return order;
+}
+
+}  // namespace dfx

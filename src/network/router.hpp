@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Lightweight router (paper §V-E, Fig. 11).
+ *
+ * The router moves 64x16-bit vectors between peer devices over the
+ * ring and reorders received chunks by core id so every core ends up
+ * with an identically-ordered synchronized vector. There is no packet
+ * encode/decode — the Aurora link layer carries raw flits with a
+ * (core id, type, src, dst, size) control word.
+ *
+ * This class implements the functional data plane used by the cluster
+ * at sync points; link timing lives in RingNetwork.
+ */
+#ifndef DFX_NETWORK_ROUTER_HPP
+#define DFX_NETWORK_ROUTER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/tensor.hpp"
+
+namespace dfx {
+
+/** One in-flight chunk with its control word. */
+struct RouterChunk
+{
+    size_t sourceCore = 0;
+    VecH payload;
+};
+
+/** Functional reorder logic of the router's RX side. */
+class Router
+{
+  public:
+    /**
+     * Gathers chunks (arriving in arbitrary ring order) into the full
+     * vector ordered by source core id. All chunks must be equally
+     * sized and each core id must appear exactly once.
+     */
+    static VecH reorder(std::vector<RouterChunk> chunks);
+
+    /**
+     * Ring arrival order at `self` for a clockwise ring of n nodes:
+     * own chunk first, then neighbours by increasing hop distance.
+     * Exposed for tests; reorder() must be invariant to it.
+     */
+    static std::vector<size_t> arrivalOrder(size_t self, size_t n);
+};
+
+}  // namespace dfx
+
+#endif  // DFX_NETWORK_ROUTER_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reference NN math implementation.
+ */
+#include "numeric/functions.hpp"
+
+#include <cmath>
+
+namespace dfx {
+
+float
+geluExact(float x)
+{
+    const float kSqrt2OverPi = 0.7978845608028654f;
+    const float kCubic = 0.044715f;
+    float inner = kSqrt2OverPi * (x + kCubic * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+void
+geluInPlace(VecF &v)
+{
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] = geluExact(v[i]);
+}
+
+VecF
+softmax(const VecF &v)
+{
+    VecF out = v;
+    softmaxInPlace(out);
+    return out;
+}
+
+void
+softmaxInPlace(VecF &v)
+{
+    DFX_ASSERT(!v.empty(), "softmax of empty vector");
+    float mx = v[0];
+    for (size_t i = 1; i < v.size(); ++i)
+        mx = std::max(mx, v[i]);
+    double sum = 0.0;
+    for (size_t i = 0; i < v.size(); ++i) {
+        v[i] = std::exp(v[i] - mx);
+        sum += v[i];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (size_t i = 0; i < v.size(); ++i)
+        v[i] *= inv;
+}
+
+VecF
+layerNorm(const VecF &x, const VecF &gamma, const VecF &beta, float eps)
+{
+    DFX_ASSERT(x.size() == gamma.size() && x.size() == beta.size(),
+               "layerNorm size mismatch");
+    const size_t n = x.size();
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        mean += x[i];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        double d = x[i] - mean;
+        var += d * d;
+    }
+    var /= static_cast<double>(n);
+    const double inv_sigma = 1.0 / std::sqrt(var + eps);
+    VecF out(n);
+    for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<float>(
+            gamma[i] * (x[i] - mean) * inv_sigma + beta[i]);
+    }
+    return out;
+}
+
+VecF
+matVec(const MatF &w, const VecF &x, const VecF &b)
+{
+    DFX_ASSERT(w.rows() == x.size(), "matVec: W rows %zu != x %zu", w.rows(),
+               x.size());
+    DFX_ASSERT(w.cols() == b.size(), "matVec: W cols %zu != b %zu", w.cols(),
+               b.size());
+    VecF y(w.cols());
+    for (size_t c = 0; c < w.cols(); ++c) {
+        double acc = 0.0;
+        for (size_t r = 0; r < w.rows(); ++r)
+            acc += static_cast<double>(w.at(r, c)) * x[r];
+        y[c] = static_cast<float>(acc + b[c]);
+    }
+    return y;
+}
+
+VecF
+matVec(const MatF &w, const VecF &x)
+{
+    VecF zero(w.cols(), 0.0f);
+    return matVec(w, x, zero);
+}
+
+size_t
+argmax(const VecF &v)
+{
+    DFX_ASSERT(!v.empty(), "argmax of empty vector");
+    size_t best = 0;
+    for (size_t i = 1; i < v.size(); ++i) {
+        if (v[i] > v[best])
+            best = i;
+    }
+    return best;
+}
+
+}  // namespace dfx

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reference (high-precision) neural-network math.
+ *
+ * These float/double implementations define *what* the model computes;
+ * the simulated DFX hardware computes the same functions through FP16
+ * instruction sequences and is validated against these.
+ */
+#ifndef DFX_NUMERIC_FUNCTIONS_HPP
+#define DFX_NUMERIC_FUNCTIONS_HPP
+
+#include "numeric/tensor.hpp"
+
+namespace dfx {
+
+/** Exact tanh-form GELU: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715x^3))). */
+float geluExact(float x);
+
+/** In-place GELU over a vector. */
+void geluInPlace(VecF &v);
+
+/** Numerically-stable softmax (subtracts the running max). */
+VecF softmax(const VecF &v);
+
+/** In-place numerically-stable softmax. */
+void softmaxInPlace(VecF &v);
+
+/**
+ * Layer normalization: y_i = gamma_i * (x_i - mu) / sigma + beta_i.
+ *
+ * Matches GPT-2: sigma = sqrt(mean((x - mu)^2) + eps).
+ */
+VecF layerNorm(const VecF &x, const VecF &gamma, const VecF &beta,
+               float eps = 1e-5f);
+
+/** y = W^T x + b where W is (in x out); returns a length-out vector. */
+VecF matVec(const MatF &w, const VecF &x, const VecF &b);
+
+/** y = W^T x (no bias). */
+VecF matVec(const MatF &w, const VecF &x);
+
+/** Index of the maximum element (first occurrence wins). */
+size_t argmax(const VecF &v);
+
+}  // namespace dfx
+
+#endif  // DFX_NUMERIC_FUNCTIONS_HPP

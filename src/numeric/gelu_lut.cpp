@@ -1,0 +1,71 @@
+/**
+ * @file
+ * GELU lookup-table implementation.
+ */
+#include "numeric/gelu_lut.hpp"
+
+#include <cmath>
+
+#include "numeric/functions.hpp"
+
+namespace dfx {
+
+GeluLut::GeluLut()
+{
+    // Sample points are the segment left edges; segment i spans
+    // [kLo + i*step, kLo + (i+1)*step).
+    const float step = (kHi - kLo) / static_cast<float>(kSamples);
+    for (size_t i = 0; i < kSamples; ++i) {
+        float x = kLo + step * static_cast<float>(i);
+        table_[i] = Half::fromFloat(geluExact(x));
+    }
+}
+
+Half
+GeluLut::eval(Half x) const
+{
+    const float xf = x.toFloat();
+    if (std::isnan(xf))
+        return x;
+    if (xf <= kLo)
+        return Half::zero();
+    if (xf >= kHi)
+        return x;  // identity region: slope has converged to 1
+
+    const float step = (kHi - kLo) / static_cast<float>(kSamples);
+    float pos = (xf - kLo) / step;
+    size_t idx = static_cast<size_t>(pos);
+    if (idx >= kSamples - 1)
+        idx = kSamples - 2;
+    // Linear interpolation computed in FP16, as the SFU does:
+    // y = y0 + t * (y1 - y0), each op rounded.
+    Half y0 = table_[idx];
+    Half y1 = table_[idx + 1];
+    Half t = Half::fromFloat(pos - static_cast<float>(idx));
+    return y0 + t * (y1 - y0);
+}
+
+float
+GeluLut::maxError() const
+{
+    float worst = 0.0f;
+    // Dense sweep at 8x table resolution.
+    const size_t n = kSamples * 8;
+    for (size_t i = 0; i <= n; ++i) {
+        float x = kLo + (kHi - kLo) * static_cast<float>(i) /
+                            static_cast<float>(n);
+        float approx = eval(Half::fromFloat(x)).toFloat();
+        float exact = geluExact(x);
+        worst = std::max(worst, std::fabs(approx - exact));
+    }
+    return worst;
+}
+
+const GeluLut &
+GeluLut::instance()
+{
+    static const GeluLut lut;
+    return lut;
+}
+
+}  // namespace dfx

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Hardware GELU: lookup table with linear interpolation.
+ *
+ * The paper (§V-C, SFU_M): "To support GELU ... the lookup table is
+ * used with linear approximation. We sample 2048 inputs ... and choose
+ * [-8, 8] as the range because the slope converges on either side".
+ * Outside the range the unit clamps: GELU(x) ~= 0 for x <= -8 and
+ * GELU(x) ~= x for x >= 8.
+ */
+#ifndef DFX_NUMERIC_GELU_LUT_HPP
+#define DFX_NUMERIC_GELU_LUT_HPP
+
+#include <array>
+#include <cstddef>
+
+#include "common/fp16.hpp"
+
+namespace dfx {
+
+/** 2048-entry GELU lookup table over [-8, 8] with linear interpolation. */
+class GeluLut
+{
+  public:
+    static constexpr size_t kSamples = 2048;
+    static constexpr float kLo = -8.0f;
+    static constexpr float kHi = 8.0f;
+
+    GeluLut();
+
+    /**
+     * Evaluates GELU through the table in FP16, modelling the SFU_M
+     * datapath: index computation, two table reads, and an FP16
+     * multiply-add interpolation.
+     */
+    Half eval(Half x) const;
+
+    /** Worst-case |lut - exact| over a dense grid (for validation). */
+    float maxError() const;
+
+    /** Shared singleton (the table is immutable). */
+    static const GeluLut &instance();
+
+  private:
+    std::array<Half, kSamples> table_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_NUMERIC_GELU_LUT_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tensor conversion helpers.
+ */
+#include "numeric/tensor.hpp"
+
+#include <cmath>
+
+namespace dfx {
+
+VecH
+toHalf(const VecF &v)
+{
+    VecH out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = Half::fromFloat(v[i]);
+    return out;
+}
+
+MatH
+toHalf(const MatF &m)
+{
+    MatH out(m.rows(), m.cols());
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            out.at(r, c) = Half::fromFloat(m.at(r, c));
+    return out;
+}
+
+VecF
+toFloat(const VecH &v)
+{
+    VecF out(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        out[i] = v[i].toFloat();
+    return out;
+}
+
+MatF
+toFloat(const MatH &m)
+{
+    MatF out(m.rows(), m.cols());
+    for (size_t r = 0; r < m.rows(); ++r)
+        for (size_t c = 0; c < m.cols(); ++c)
+            out.at(r, c) = m.at(r, c).toFloat();
+    return out;
+}
+
+float
+maxAbsDiff(const VecF &a, const VecF &b)
+{
+    DFX_ASSERT(a.size() == b.size(), "size mismatch %zu vs %zu", a.size(),
+               b.size());
+    float worst = 0.0f;
+    for (size_t i = 0; i < a.size(); ++i)
+        worst = std::max(worst, std::fabs(a[i] - b[i]));
+    return worst;
+}
+
+}  // namespace dfx

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Minimal dense row-major matrix / vector containers.
+ *
+ * These are deliberately simple: contiguous storage, bounds-checked
+ * element access, and just the views the simulator needs (row slices,
+ * column extraction). Heavy math lives in the simulated hardware units
+ * and in `numeric/functions.hpp`, not here.
+ */
+#ifndef DFX_NUMERIC_TENSOR_HPP
+#define DFX_NUMERIC_TENSOR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/logging.hpp"
+
+namespace dfx {
+
+/** Dense vector with bounds-checked access. */
+template <typename T>
+class VectorT
+{
+  public:
+    VectorT() = default;
+    explicit VectorT(size_t n) : data_(n) {}
+    VectorT(size_t n, T fill) : data_(n, fill) {}
+
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+    void resize(size_t n) { data_.resize(n); }
+    void assign(size_t n, T v) { data_.assign(n, v); }
+
+    T &
+    operator[](size_t i)
+    {
+        DFX_ASSERT(i < data_.size(), "vector index %zu >= size %zu", i,
+                   data_.size());
+        return data_[i];
+    }
+
+    const T &
+    operator[](size_t i) const
+    {
+        DFX_ASSERT(i < data_.size(), "vector index %zu >= size %zu", i,
+                   data_.size());
+        return data_[i];
+    }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    auto begin() { return data_.begin(); }
+    auto end() { return data_.end(); }
+    auto begin() const { return data_.begin(); }
+    auto end() const { return data_.end(); }
+
+  private:
+    std::vector<T> data_;
+};
+
+/** Dense row-major matrix with bounds-checked access. */
+template <typename T>
+class MatrixT
+{
+  public:
+    MatrixT() = default;
+    MatrixT(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+        data_(rows * cols) {}
+    MatrixT(size_t rows, size_t cols, T fill) : rows_(rows), cols_(cols),
+        data_(rows * cols, fill) {}
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+
+    void
+    resize(size_t rows, size_t cols)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows * cols, T{});
+    }
+
+    T &
+    at(size_t r, size_t c)
+    {
+        DFX_ASSERT(r < rows_ && c < cols_,
+                   "matrix index (%zu,%zu) out of (%zu,%zu)", r, c, rows_,
+                   cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const T &
+    at(size_t r, size_t c) const
+    {
+        DFX_ASSERT(r < rows_ && c < cols_,
+                   "matrix index (%zu,%zu) out of (%zu,%zu)", r, c, rows_,
+                   cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Pointer to the start of row r. */
+    T *rowPtr(size_t r) { return &at(r, 0); }
+    const T *rowPtr(size_t r) const { return &at(r, 0); }
+
+    /** Copies row r out as a vector. */
+    VectorT<T>
+    row(size_t r) const
+    {
+        VectorT<T> out(cols_);
+        for (size_t c = 0; c < cols_; ++c)
+            out[c] = at(r, c);
+        return out;
+    }
+
+    /** Copies column c out as a vector. */
+    VectorT<T>
+    col(size_t c) const
+    {
+        VectorT<T> out(rows_);
+        for (size_t r = 0; r < rows_; ++r)
+            out[r] = at(r, c);
+        return out;
+    }
+
+    /** Copies columns [c0, c0+n) into a rows x n matrix. */
+    MatrixT<T>
+    colSlice(size_t c0, size_t n) const
+    {
+        DFX_ASSERT(c0 + n <= cols_, "colSlice [%zu,+%zu) out of %zu", c0, n,
+                   cols_);
+        MatrixT<T> out(rows_, n);
+        for (size_t r = 0; r < rows_; ++r)
+            for (size_t c = 0; c < n; ++c)
+                out.at(r, c) = at(r, c0 + c);
+        return out;
+    }
+
+    /** Copies rows [r0, r0+n) into an n x cols matrix. */
+    MatrixT<T>
+    rowSlice(size_t r0, size_t n) const
+    {
+        DFX_ASSERT(r0 + n <= rows_, "rowSlice [%zu,+%zu) out of %zu", r0, n,
+                   rows_);
+        MatrixT<T> out(n, cols_);
+        for (size_t r = 0; r < n; ++r)
+            for (size_t c = 0; c < cols_; ++c)
+                out.at(r, c) = at(r0 + r, c);
+        return out;
+    }
+
+    /** Returns the transpose. */
+    MatrixT<T>
+    transposed() const
+    {
+        MatrixT<T> out(cols_, rows_);
+        for (size_t r = 0; r < rows_; ++r)
+            for (size_t c = 0; c < cols_; ++c)
+                out.at(c, r) = at(r, c);
+        return out;
+    }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<T> data_;
+};
+
+using VecF = VectorT<float>;
+using VecD = VectorT<double>;
+using VecH = VectorT<Half>;
+using MatF = MatrixT<float>;
+using MatD = MatrixT<double>;
+using MatH = MatrixT<Half>;
+
+/** Converts a float vector to FP16 (round-to-nearest-even). */
+VecH toHalf(const VecF &v);
+/** Converts a float matrix to FP16. */
+MatH toHalf(const MatF &m);
+/** Widens an FP16 vector to float. */
+VecF toFloat(const VecH &v);
+/** Widens an FP16 matrix to float. */
+MatF toFloat(const MatH &m);
+
+/** Max absolute elementwise difference between two float vectors. */
+float maxAbsDiff(const VecF &a, const VecF &b);
+
+}  // namespace dfx
+
+#endif  // DFX_NUMERIC_TENSOR_HPP

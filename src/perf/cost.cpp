@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Cost model implementation.
+ */
+#include "perf/cost.hpp"
+
+namespace dfx {
+
+CostRow
+CostModel::gpuAppliance(size_t n_gpus, double tokens_per_sec) const
+{
+    return CostRow{"GPU Appliance", n_gpus, params_.gpuUnitCost,
+                   tokens_per_sec};
+}
+
+CostRow
+CostModel::dfxAppliance(size_t n_fpgas, double tokens_per_sec) const
+{
+    return CostRow{"DFX", n_fpgas, params_.fpgaUnitCost, tokens_per_sec};
+}
+
+}  // namespace dfx

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Appliance cost model (paper Table II).
+ *
+ * Retail prices as cited by the paper (refs [48]-[50]): $11,458 per
+ * V100 and $7,795 per U280; accelerator cost only, as in the paper's
+ * comparison. Performance is tokens/second on the 1.5B model at a
+ * 64:64 input:output ratio (the chatbot-representative workload).
+ */
+#ifndef DFX_PERF_COST_HPP
+#define DFX_PERF_COST_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace dfx {
+
+/** Unit prices (USD) from the paper's citations. */
+struct CostParams
+{
+    double gpuUnitCost = 11458.0;   ///< NVIDIA Tesla V100 32GB
+    double fpgaUnitCost = 7795.0;   ///< Xilinx Alveo U280
+};
+
+/** One appliance's cost/performance summary row. */
+struct CostRow
+{
+    std::string name;
+    size_t devices = 0;
+    double unitCost = 0.0;
+    double tokensPerSecond = 0.0;
+
+    double totalCost() const { return unitCost * devices; }
+
+    /** tokens/sec per million dollars (the paper's metric). */
+    double
+    perfPerMillionDollars() const
+    {
+        return tokensPerSecond / (totalCost() / 1e6);
+    }
+};
+
+/** Builds Table II rows from measured throughputs. */
+class CostModel
+{
+  public:
+    explicit CostModel(const CostParams &params = CostParams())
+        : params_(params)
+    {
+    }
+
+    CostRow gpuAppliance(size_t n_gpus, double tokens_per_sec) const;
+    CostRow dfxAppliance(size_t n_fpgas, double tokens_per_sec) const;
+
+    const CostParams &params() const { return params_; }
+
+  private:
+    CostParams params_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_PERF_COST_HPP

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+#include "perf/energy.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+double
+EnergyModel::dfxPowerWatts(size_t n_fpgas) const
+{
+    DFX_ASSERT(n_fpgas >= 1, "appliance needs devices");
+    return params_.fpgaWatts * static_cast<double>(n_fpgas);
+}
+
+double
+EnergyModel::gpuPowerWatts(size_t n_gpus, double utilization) const
+{
+    DFX_ASSERT(n_gpus >= 1, "appliance needs devices");
+    double u = std::clamp(utilization, 0.0, 1.0);
+    double per_gpu = params_.gpuIdleWatts +
+                     u * (params_.gpuPeakWatts - params_.gpuIdleWatts);
+    return per_gpu * static_cast<double>(n_gpus);
+}
+
+}  // namespace dfx

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Power and energy models (paper §VII-B "Throughput and Energy
+ * Efficiency").
+ *
+ * Measured operating points from the paper:
+ *  - each U280 in DFX draws ~45 W (xbutil), regardless of load — the
+ *    FPGA runs a fixed 200 MHz pipeline;
+ *  - each V100 draws ~47.5 W average during text generation
+ *    (nvidia-smi), far below its 300 W TDP because the generation
+ *    stage leaves the device idle most of the time. Utilization-
+ *    dependent: idle floor plus a compute-proportional term.
+ *
+ * Energy efficiency is tokens/second/watt, reported normalized to the
+ * GPU appliance as in Fig. 16.
+ */
+#ifndef DFX_PERF_ENERGY_HPP
+#define DFX_PERF_ENERGY_HPP
+
+#include <cstddef>
+
+namespace dfx {
+
+/** Device power operating points. */
+struct PowerParams
+{
+    double fpgaWatts = 45.0;        ///< U280 measured under load
+    double gpuIdleWatts = 39.0;     ///< V100 idle floor
+    double gpuPeakWatts = 300.0;    ///< V100 TDP
+    /** Average measured during generation (low utilization). */
+    double gpuMeasuredAvgWatts = 47.5;
+};
+
+/** Appliance-level energy accounting. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const PowerParams &params = PowerParams())
+        : params_(params)
+    {
+    }
+
+    /** DFX appliance power: nDevices x 45 W. */
+    double dfxPowerWatts(size_t n_fpgas) const;
+
+    /**
+     * GPU appliance power given achieved/peak FLOPS utilization
+     * (clamped); at text-generation utilizations this lands on the
+     * measured ~47.5 W per device.
+     */
+    double gpuPowerWatts(size_t n_gpus, double utilization) const;
+
+    /** Joules for a request of `seconds` at `watts`. */
+    static double
+    energyJoules(double watts, double seconds)
+    {
+        return watts * seconds;
+    }
+
+    /** Efficiency metric: tokens per second per watt. */
+    static double
+    tokensPerSecPerWatt(double tokens_per_sec, double watts)
+    {
+        return tokens_per_sec / watts;
+    }
+
+    const PowerParams &params() const { return params_; }
+
+  private:
+    PowerParams params_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_PERF_ENERGY_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Report helpers implementation.
+ */
+#include "perf/report.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    DFX_ASSERT(cells.size() == headers_.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << (c ? "  " : "");
+            os << cells[c];
+            os << std::string(width[c] - cells[c].size(), ' ');
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            os << (c ? "," : "") << cells[c];
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+workloadLabel(size_t n_in, size_t n_out)
+{
+    return "[" + std::to_string(n_in) + ":" + std::to_string(n_out) + "]";
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("\n================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("================================================\n\n");
+}
+
+}  // namespace dfx

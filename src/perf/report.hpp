@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table/series printers shared by the benchmark binaries.
+ *
+ * Every bench regenerates one of the paper's tables or figures; these
+ * helpers print aligned text tables and CSV blocks so EXPERIMENTS.md
+ * can quote the output verbatim.
+ */
+#ifndef DFX_PERF_REPORT_HPP
+#define DFX_PERF_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+namespace dfx {
+
+/** Simple aligned-column text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Adds one row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders with aligned columns. */
+    std::string render() const;
+
+    /** Renders as CSV. */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Formats a double with the given precision. */
+std::string fmt(double value, int precision = 2);
+
+/** Formats "[in:out]" workload labels. */
+std::string workloadLabel(size_t n_in, size_t n_out);
+
+/** Prints a bench section header to stdout. */
+void printHeader(const std::string &title, const std::string &paper_ref);
+
+}  // namespace dfx
+
+#endif  // DFX_PERF_REPORT_HPP

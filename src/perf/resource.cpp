@@ -1,0 +1,143 @@
+/**
+ * @file
+ * FPGA resource model implementation.
+ *
+ * Anchors (paper Fig. 13, d=64, l=16):
+ *   RegFile: 6K LUT, 110K FF, 88.5 BRAM
+ *   MPU:     170K LUT, 381K FF, 56 BRAM, 3136 DSP
+ *   VPU:     36K LUT, 55K FF, 1.5 BRAM, 390 DSP
+ *   DMA:     38K LUT, 97K FF, 134.5 BRAM, 52 URAM
+ *   Router:  3K LUT, 13K FF, 24 BRAM
+ *   Interconnect: 180K LUT, 303K FF, ~204 BRAM, 4 DSP
+ */
+#include "perf/resource.hpp"
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace {
+
+constexpr double kVectorWidth = 64.0;
+
+}  // namespace
+
+ResourceUsage &
+ResourceUsage::operator+=(const ResourceUsage &o)
+{
+    lut += o.lut;
+    ff += o.ff;
+    bram += o.bram;
+    uram += o.uram;
+    dsp += o.dsp;
+    return *this;
+}
+
+ResourceModel::ResourceModel(size_t d, size_t l) : d_(d), l_(l)
+{
+    DFX_ASSERT(d >= 2 && l >= 1, "bad tiling (%zu, %zu)", d, l);
+}
+
+double
+ResourceModel::mpuDsp() const
+{
+    const double d = static_cast<double>(d_);
+    const double l = static_cast<double>(l_);
+    // d*l multipliers (1 DSP) + (d-1)*l tree adders (2 DSPs) + l
+    // scalar adders (2 DSPs) => 3*d*l exactly; SFU_M adds one
+    // multiplier per lane stage for scaling plus the GELU
+    // interpolation datapath (64 at l=16).
+    return 3.0 * d * l + 4.0 * l;
+}
+
+std::vector<ResourceUsage>
+ResourceModel::modules() const
+{
+    const double d = static_cast<double>(d_);
+    const double l = static_cast<double>(l_);
+    const double macs = d * l;
+    std::vector<ResourceUsage> out;
+
+    // Register file: width is fixed (64 lanes); scales mildly with l
+    // for the operand collector ports.
+    out.push_back({"Register File", 5000.0 + 60.0 * l,
+                   100000.0 + 600.0 * l, 80.0 + 0.5 * l, 0.0, 0.0});
+
+    // MPU: datapath scales with d*l; per-lane accumulators, operators
+    // in the special function unit and control logic scale with l —
+    // "with larger l ... the resources in the matrix processing unit
+    // increase linearly" (§V-B).
+    out.push_back({"MPU", 127.0 * macs + 2500.0 * l,
+                   184.6 * macs + 12000.0 * l, 24.0 + 2.0 * l, 0.0,
+                   mpuDsp()});
+
+    // VPU: fixed 64-wide ALU; independent of the MPU tiling.
+    out.push_back({"VPU", 36000.0, 55000.0, 1.5, 0.0,
+                   5.0 * kVectorWidth + (kVectorWidth - 1.0) + 7.0});
+
+    // DMA: channel interfaces fixed (32 HBM channels); tile buffers
+    // scale with the tile footprint.
+    out.push_back({"DMA", 36000.0 + 2000.0 * (macs / 1024.0),
+                   93000.0 + 4000.0 * (macs / 1024.0),
+                   120.0 + 14.5 * (macs / 1024.0),
+                   52.0, 0.0});
+
+    // Router: fixed (two QSFP ports, 64x16-bit flits).
+    out.push_back({"Router", 3000.0, 13000.0, 24.0, 0.0, 0.0});
+
+    // Interconnect (AXI, HBM switch): dominated by the 32x512-bit
+    // crossbar, mildly dependent on lane fan-out.
+    out.push_back({"Interconnect", 175000.0 + 300.0 * l,
+                   298000.0 + 300.0 * l, 200.0 + 0.25 * l, 0.0, 4.0});
+
+    return out;
+}
+
+ResourceUsage
+ResourceModel::total() const
+{
+    ResourceUsage sum;
+    sum.module = "Total";
+    for (const auto &m : modules())
+        sum += m;
+    return sum;
+}
+
+double
+ResourceModel::lutPct(const ResourceUsage &u)
+{
+    return 100.0 * u.lut / U280Device::kLut;
+}
+
+double
+ResourceModel::ffPct(const ResourceUsage &u)
+{
+    return 100.0 * u.ff / U280Device::kFf;
+}
+
+double
+ResourceModel::bramPct(const ResourceUsage &u)
+{
+    return 100.0 * u.bram / U280Device::kBram;
+}
+
+double
+ResourceModel::uramPct(const ResourceUsage &u)
+{
+    return 100.0 * u.uram / U280Device::kUram;
+}
+
+double
+ResourceModel::dspPct(const ResourceUsage &u)
+{
+    return 100.0 * u.dsp / U280Device::kDsp;
+}
+
+bool
+ResourceModel::fits() const
+{
+    ResourceUsage t = total();
+    return lutPct(t) < 90.0 && ffPct(t) < 90.0 && bramPct(t) < 90.0 &&
+           uramPct(t) < 90.0 && dspPct(t) < 90.0;
+}
+
+}  // namespace dfx

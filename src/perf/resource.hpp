@@ -1,0 +1,82 @@
+/**
+ * @file
+ * FPGA resource model (paper §V-C, §VI, Figs. 8b and 13).
+ *
+ * Estimates LUT/FF/BRAM/URAM/DSP per module as a function of the
+ * tiling parameters (d, l). DSP counts follow the paper's explicit
+ * formulas: the MFU maps each FP16 multiplier to 1 DSP and each adder
+ * to 2, giving 3*(d*l) DSPs (d*l multipliers, 2*(d-1)*l adder trees,
+ * 2*l scalar adders), plus the SFU_M's lane hardware; the VPU uses
+ * one DSP per ALU lane per op plus two for exp and the SFU_V tree.
+ *
+ * LUT/FF/BRAM follow linear models in (d*l) (datapath) and l (per-
+ * lane accumulators/control — the reason d=64/l=16 is the cheapest
+ * equal-throughput point, §V-B): coefficients anchored to the
+ * published Fig. 13 utilization at (64, 16).
+ */
+#ifndef DFX_PERF_RESOURCE_HPP
+#define DFX_PERF_RESOURCE_HPP
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dfx {
+
+/** One module's resource usage. */
+struct ResourceUsage
+{
+    std::string module;
+    double lut = 0;
+    double ff = 0;
+    double bram = 0;   ///< BRAM36 blocks
+    double uram = 0;
+    double dsp = 0;
+
+    ResourceUsage &operator+=(const ResourceUsage &o);
+};
+
+/** Alveo U280 (xcu280) device totals. */
+struct U280Device
+{
+    static constexpr double kLut = 1303680;
+    static constexpr double kFf = 2607360;
+    static constexpr double kBram = 2016;
+    static constexpr double kUram = 960;
+    static constexpr double kDsp = 9024;
+};
+
+/** Resource estimator parameterized by the MPU tiling. */
+class ResourceModel
+{
+  public:
+    ResourceModel(size_t d, size_t l);
+
+    /** Per-module usage: RegFile, MPU, VPU, DMA, Router, Interconnect. */
+    std::vector<ResourceUsage> modules() const;
+
+    /** Sum over modules. */
+    ResourceUsage total() const;
+
+    /** DSPs in the matrix processing unit (paper: 3136 at (64,16)). */
+    double mpuDsp() const;
+
+    /** Utilization fraction of the device for a usage record. */
+    static double lutPct(const ResourceUsage &u);
+    static double ffPct(const ResourceUsage &u);
+    static double bramPct(const ResourceUsage &u);
+    static double uramPct(const ResourceUsage &u);
+    static double dspPct(const ResourceUsage &u);
+
+    /** Whether the configuration fits the U280 (all resources < 90%). */
+    bool fits() const;
+
+  private:
+    size_t d_;
+    size_t l_;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_PERF_RESOURCE_HPP

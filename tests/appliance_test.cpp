@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Appliance-level tests: stage accounting, PCIe modeling, GFLOPS
+ * flatness across stages (the Fig. 17 property), and stability of
+ * the generated instruction stream (golden structure).
+ */
+#include <gtest/gtest.h>
+
+#include "appliance/appliance.hpp"
+#include "isa/assembler.hpp"
+#include "isa/codegen.hpp"
+
+namespace dfx {
+namespace {
+
+DfxSystemConfig
+timing345M()
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::gpt2_345M();
+    cfg.nCores = 1;
+    cfg.functional = false;
+    return cfg;
+}
+
+TEST(Appliance, StageAccountingCoversAllSteps)
+{
+    DfxAppliance appliance(timing345M());
+    GenerationResult r =
+        appliance.generate(std::vector<int32_t>(10, 0), 5);
+    // 10 summarization steps + 5 generation steps; per-step time is
+    // nearly constant, so stage times split ~2:1.
+    EXPECT_NEAR(r.summarizationSeconds / r.generationSeconds, 2.0, 0.2);
+    EXPECT_EQ(r.tokens.size(), 5u);
+    EXPECT_GT(r.pcieSeconds, 0.0);
+    EXPECT_LT(r.pcieSeconds, 1e-3);  // host involvement is negligible
+}
+
+TEST(Appliance, PcieModelCharges)
+{
+    PcieModel pcie;
+    // Latency floor.
+    EXPECT_NEAR(pcie.transferSeconds(0), 5e-6, 1e-9);
+    // 16 GB at 16 GB/s ~ 1 s.
+    EXPECT_NEAR(pcie.transferSeconds(16ull << 30), 1.07, 0.08);
+}
+
+TEST(Appliance, DfxGflopsFlatAcrossStages)
+{
+    // Fig. 17's DFX property: the generation-stage GFLOPS stay within
+    // ~20% of summarization (single-token dataflow in both stages).
+    DfxAppliance appliance(timing345M());
+    GenerationResult r =
+        appliance.generate(std::vector<int32_t>(64, 0), 64);
+    double summ = r.summarizationFlopsPerSec();
+    double gen = r.generationFlopsPerSec();
+    EXPECT_NEAR(gen / summ, 1.0, 0.25);
+}
+
+TEST(Appliance, HbmTrafficMatchesWeightFootprint)
+{
+    // Every token step must stream at least the full weight shard
+    // (weights cannot be reused without batching).
+    GptConfig cfg = GptConfig::gpt2_345M();
+    DfxAppliance appliance(timing345M());
+    GenerationResult r =
+        appliance.generate(std::vector<int32_t>(4, 0), 4);
+    double steps = 8.0;
+    double min_bytes =
+        steps * static_cast<double>(cfg.layers) *
+        static_cast<double>(cfg.layerMatrixParams()) * 2.0;  // FP16
+    EXPECT_GE(static_cast<double>(r.hbmBytes), min_bytes);
+}
+
+TEST(Codegen, LayerProgramStructureIsStable)
+{
+    // Golden structural fingerprint of a decoder layer: opcode
+    // sequence of phase A for the 1.5B model on 4 cores. Guards
+    // against silent codegen regressions; update deliberately when
+    // the dataflow changes.
+    GptConfig cfg = GptConfig::gpt2_1_5B();
+    ClusterGeometry geo{4};
+    OffchipMemory hbm = makeHbm(0, 0.5, false);
+    OffchipMemory ddr = makeDdr(0, 0.7, false);
+    MemoryLayout layout = MemoryLayout::build(cfg, geo, 16, hbm, ddr);
+    isa::ProgramBuilder builder(cfg, geo, layout, 0);
+    auto phases = builder.layerPhases(0, 2);
+    ASSERT_EQ(phases.size(), 5u);
+
+    std::string ops;
+    for (const auto &inst : phases[0].program) {
+        ops += isa::opcodeName(inst.op);
+        ops += ' ';
+    }
+    // LayerNorm chain (13) + V conv + 6 VT stores + K conv + 6 K
+    // stores + Q conv + 6 heads x (masked_mm + softmax(6) + mm) + sync.
+    const std::string head =
+        "masked_mm redu_max sub_s exp accum s_recip mul_s mm ";
+    std::string expect =
+        "accum s_mul sub_s mul accum s_mul s_add s_rsqrt mul_s load "
+        "load mul add "
+        "conv1d dma_store_kv dma_store_kv dma_store_kv dma_store_kv "
+        "dma_store_kv dma_store_kv "
+        "conv1d dma_store_kv dma_store_kv dma_store_kv dma_store_kv "
+        "dma_store_kv dma_store_kv "
+        "conv1d ";
+    for (int h = 0; h < 6; ++h)
+        expect += head;
+    expect += "sync ";
+    EXPECT_EQ(ops, expect);
+
+    // Phases B-E structure.
+    EXPECT_EQ(phases[1].program.size(), 2u);  // proj conv + sync
+    EXPECT_EQ(phases[2].program.size(), 16u); // resid + LN(13) + fc1 + sync
+    EXPECT_EQ(phases[3].program.size(), 2u);  // fc2 + sync
+    EXPECT_EQ(phases[4].program.size(), 1u);  // resid
+}
+
+TEST(Codegen, SyncPayloadsMatchShardSizes)
+{
+    GptConfig cfg = GptConfig::gpt2_1_5B();
+    ClusterGeometry geo{4};
+    OffchipMemory hbm = makeHbm(0, 0.5, false);
+    OffchipMemory ddr = makeDdr(0, 0.7, false);
+    MemoryLayout layout = MemoryLayout::build(cfg, geo, 16, hbm, ddr);
+    isa::ProgramBuilder builder(cfg, geo, layout, 0);
+    auto phases = builder.layerPhases(0, 0);
+    // Syncs: attn' (emb/4), proj (emb/4), ffn1 (4emb/4), ffn2 (emb/4).
+    EXPECT_EQ(phases[0].sync().len, 384u);
+    EXPECT_EQ(phases[1].sync().len, 384u);
+    EXPECT_EQ(phases[2].sync().len, 1536u);
+    EXPECT_EQ(phases[3].sync().len, 384u);
+}
+
+TEST(Codegen, EmbeddingReadsTokenAndPositionRows)
+{
+    GptConfig cfg = GptConfig::mini();
+    ClusterGeometry geo{1};
+    OffchipMemory hbm = makeHbm(0, 0.5, false);
+    OffchipMemory ddr = makeDdr(0, 0.7, false);
+    MemoryLayout layout = MemoryLayout::build(cfg, geo, 16, hbm, ddr);
+    isa::ProgramBuilder builder(cfg, geo, layout, 0);
+    isa::Phase embed = builder.embedPhase(42, 7);
+    ASSERT_EQ(embed.program.size(), 3u);
+    EXPECT_EQ(embed.program[0].src1.addr,
+              layout.wte + 42ull * cfg.embedding * 2);
+    EXPECT_EQ(embed.program[1].src1.addr,
+              layout.wpe + 7ull * cfg.embedding * 2);
+    EXPECT_EQ(embed.program[2].op, isa::Opcode::kAdd);
+}
+
+}  // namespace
+}  // namespace dfx

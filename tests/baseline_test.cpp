@@ -1,0 +1,147 @@
+/**
+ * @file
+ * GPU/TPU baseline model tests: the analytic models must reproduce
+ * the paper's measured GPU behaviour (per-token slopes, stage split,
+ * breakdown shape) within tolerance.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/gpu.hpp"
+#include "baseline/tpu.hpp"
+
+namespace dfx {
+namespace {
+
+using isa::Category;
+
+TEST(GpuModel, PerTokenSlopeMatchesPaper)
+{
+    // Paper Fig. 14 slopes: ~37.1 (345M/1GPU), ~62 (774M/2GPU),
+    // ~77.6 ms per output token (1.5B/4GPU). Accept +/-15%.
+    struct Case { GptConfig cfg; size_t gpus; double paper_ms; };
+    Case cases[] = {{GptConfig::gpt2_345M(), 1, 37.1},
+                    {GptConfig::gpt2_774M(), 2, 62.0},
+                    {GptConfig::gpt2_1_5B(), 4, 77.6}};
+    for (const auto &c : cases) {
+        GpuApplianceModel gpu(c.cfg, c.gpus);
+        GpuEstimate a = gpu.estimate(32, 1);
+        GpuEstimate b = gpu.estimate(32, 65);
+        double slope_ms = (b.totalSeconds() - a.totalSeconds()) / 64 * 1e3;
+        EXPECT_NEAR(slope_ms, c.paper_ms, c.paper_ms * 0.15)
+            << c.cfg.name;
+    }
+}
+
+TEST(GpuModel, InputTokensAreCheap)
+{
+    // Paper Fig. 3: each additional input token costs ~0.02 ms vs
+    // ~75 ms per output token (1.5B).
+    GpuApplianceModel gpu(GptConfig::gpt2_1_5B(), 4);
+    double in_slope = (gpu.estimate(128, 1).totalSeconds() -
+                       gpu.estimate(32, 1).totalSeconds()) / 96.0;
+    double out_slope = (gpu.estimate(32, 5).totalSeconds() -
+                        gpu.estimate(32, 1).totalSeconds()) / 4.0;
+    EXPECT_LT(in_slope * 1e3, 0.2);   // well under a millisecond
+    EXPECT_GT(out_slope / in_slope, 100.0);
+}
+
+TEST(GpuModel, Fig14AbsoluteAnchors)
+{
+    // [32:256] on the 1.5B model measured 19873.6 ms; accept 15%.
+    GpuApplianceModel gpu(GptConfig::gpt2_1_5B(), 4);
+    double ms = gpu.estimate(32, 256).totalSeconds() * 1e3;
+    EXPECT_NEAR(ms, 19873.6, 19873.6 * 0.15);
+    // [32:1] measured 86.7 ms.
+    double first = gpu.estimate(32, 1).totalSeconds() * 1e3;
+    EXPECT_NEAR(first, 86.7, 86.7 * 0.15);
+}
+
+TEST(GpuModel, BreakdownMatchesFig4Shape)
+{
+    // Fig. 4 (GPU latency shares): LN 9.9%, attention 56.5%,
+    // residual 12.9%, FFN 20.7%. Check the generation-stage shares of
+    // the decoder-layer categories within a few points.
+    GpuApplianceModel gpu(GptConfig::gpt2_1_5B(), 1);  // Fig.4 is 1 GPU
+    GpuEstimate est = gpu.estimate(32, 129);
+    double ln = est.breakdown[static_cast<size_t>(Category::kLayerNorm)];
+    double at = est.breakdown[static_cast<size_t>(Category::kAttention)];
+    double ff = est.breakdown[static_cast<size_t>(Category::kFfn)];
+    double re = est.breakdown[static_cast<size_t>(Category::kResidual)];
+    double sum = ln + at + ff + re;
+    EXPECT_NEAR(at / sum * 100.0, 56.5, 5.0);
+    EXPECT_NEAR(ff / sum * 100.0, 20.7, 5.0);
+    EXPECT_NEAR(ln / sum * 100.0, 9.9, 3.0);
+    EXPECT_NEAR(re / sum * 100.0, 12.9, 4.0);
+}
+
+TEST(GpuModel, SummarizationEfficientGenerationNot)
+{
+    // Fig. 17 shape: summarization GFLOPS orders of magnitude above
+    // generation GFLOPS.
+    GpuApplianceModel gpu(GptConfig::gpt2_345M(), 1);
+    GpuEstimate est = gpu.estimate(64, 64);
+    double summ = est.summarizationFlops / est.summarizationSeconds;
+    double gen = est.generationFlops / est.generationSeconds;
+    EXPECT_GT(summ / gen, 20.0);
+    EXPECT_GT(summ, 500e9);   // paper: 1632 GFLOPS
+    EXPECT_LT(gen, 100e9);    // paper: 40.6 GFLOPS
+}
+
+TEST(GpuModel, LargeBatchBecomesComputeBound)
+{
+    // For very large prompt batches the pass cost must leave the
+    // launch-overhead floor and scale with n (compute-bound). In the
+    // paper's measured range (n <= 128) the GPU stays launch-bound —
+    // its input-token slope is only ~0.02 ms — so the transition sits
+    // in the thousands of tokens.
+    GpuApplianceModel gpu(GptConfig::gpt2_345M(), 1);
+    GpuBreakdown bd{};
+    double flops = 0.0;
+    double t_4k = gpu.passSeconds(4096, 0, &bd, &flops);
+    double t_8k = gpu.passSeconds(8192, 0, &bd, &flops);
+    double t_small = gpu.passSeconds(32, 0, &bd, &flops);
+    EXPECT_GT(t_4k, t_small * 1.2);
+    EXPECT_GT(t_8k, t_4k * 1.3);  // scaling regime
+}
+
+TEST(GpuModel, ThroughputFlatInOutputLength)
+{
+    // Fig. 16: GPU tokens/sec roughly constant vs output length.
+    GpuApplianceModel gpu(GptConfig::gpt2_1_5B(), 4);
+    double tp16 = gpu.estimate(32, 16).tokensPerSecond(16);
+    double tp256 = gpu.estimate(32, 256).tokensPerSecond(256);
+    EXPECT_NEAR(tp256 / tp16, 1.0, 0.35);
+    // And close to the paper's ~13 tokens/sec at 64:64.
+    double tp = gpu.estimate(64, 64).tokensPerSecond(64);
+    EXPECT_NEAR(tp, 13.01, 13.01 * 0.2);
+}
+
+TEST(TpuModel, Fig17Shape)
+{
+    // 345M, 64:64: summarization ~674.5 GFLOPS, generation ~8.2.
+    TpuModel tpu(GptConfig::gpt2_345M());
+    TpuEstimate est = tpu.estimate(64, 64);
+    double summ = est.summarizationFlops / est.summarizationSeconds;
+    double gen = est.generationFlops / est.generationSeconds;
+    EXPECT_NEAR(summ / 1e9, 674.5, 674.5 * 0.25);
+    EXPECT_NEAR(gen / 1e9, 8.2, 8.2 * 0.35);
+    EXPECT_GT(summ / gen, 10.0);
+}
+
+TEST(GpuModel, MultiGpuReducesComputeBoundPasses)
+{
+    // Parallel speedup only shows once passes are compute-bound; in
+    // the launch-bound regime extra GPUs only add all-reduce cost
+    // (which is why the paper's GPU appliance sees no generation-stage
+    // benefit from more devices).
+    GptConfig cfg = GptConfig::gpt2_345M();
+    GpuBreakdown bd{};
+    double t1 = GpuApplianceModel(cfg, 1).passSeconds(8192, 0, &bd,
+                                                      nullptr);
+    double t4 = GpuApplianceModel(cfg, 4).passSeconds(8192, 0, &bd,
+                                                      nullptr);
+    EXPECT_LT(t4, t1);
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * End-to-end integration tests: the simulated DFX cluster executes
+ * GPT-2 in FP16 through the full ISA/core/ring stack and must agree
+ * with the high-precision reference model — for every cluster size.
+ * This is the central correctness claim of the reproduction.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "appliance/appliance.hpp"
+#include "model/reference.hpp"
+#include "numeric/functions.hpp"
+
+namespace dfx {
+namespace {
+
+DfxSystemConfig
+functionalConfig(const GptConfig &model, size_t n_cores)
+{
+    DfxSystemConfig cfg;
+    cfg.model = model;
+    cfg.nCores = n_cores;
+    cfg.functional = true;
+    return cfg;
+}
+
+/** Fraction of positions where the two token streams agree. */
+double
+agreement(const std::vector<int32_t> &a, const std::vector<int32_t> &b)
+{
+    EXPECT_EQ(a.size(), b.size());
+    size_t same = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        same += a[i] == b[i];
+    return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+TEST(ClusterFunctional, ToyModelMatchesReferenceSingleCore)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 42);
+    DfxAppliance appliance(functionalConfig(w.config, 1));
+    appliance.loadWeights(w);
+    ReferenceModel ref(w);
+
+    std::vector<int32_t> prompt = {3, 14, 15, 92, 6};
+    auto dfx_out = appliance.generate(prompt, 8).tokens;
+    auto ref_out = ref.generate(prompt, 8);
+    // FP16 vs FP32 can diverge on near-ties; with seeded weights the
+    // greedy paths coincide.
+    EXPECT_GE(agreement(dfx_out, ref_out), 0.99)
+        << "dfx and reference disagree";
+}
+
+TEST(ClusterFunctional, ToyModelMatchesReferenceTwoCores)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 43);
+    DfxAppliance appliance(functionalConfig(w.config, 2));
+    appliance.loadWeights(w);
+    ReferenceModel ref(w);
+
+    std::vector<int32_t> prompt = {10, 20, 30};
+    auto dfx_out = appliance.generate(prompt, 10).tokens;
+    auto ref_out = ref.generate(prompt, 10);
+    EXPECT_GE(agreement(dfx_out, ref_out), 0.99);
+}
+
+TEST(ClusterFunctional, MiniModelMatchesReferenceFourCores)
+{
+    GptWeights w = GptWeights::random(GptConfig::mini(), 44);
+    DfxAppliance appliance(functionalConfig(w.config, 4));
+    appliance.loadWeights(w);
+    ReferenceModel ref(w);
+
+    std::vector<int32_t> prompt = {7, 77, 177, 17};
+    auto dfx_out = appliance.generate(prompt, 6).tokens;
+    auto ref_out = ref.generate(prompt, 6);
+    EXPECT_GE(agreement(dfx_out, ref_out), 0.99);
+}
+
+TEST(ClusterFunctional, ClusterSizesAgreeWithEachOther)
+{
+    // Model parallelism must be numerically transparent: 1, 2 and 4
+    // core runs of the same model produce identical tokens (the FP16
+    // reduction order within each output element is identical because
+    // tiling is column-local).
+    GptWeights w = GptWeights::random(GptConfig::mini(), 45);
+    std::vector<int32_t> prompt = {1, 2, 3, 5, 8, 13};
+    std::vector<std::vector<int32_t>> outs;
+    for (size_t cores : {1u, 2u, 4u}) {
+        DfxAppliance appliance(functionalConfig(w.config, cores));
+        appliance.loadWeights(w);
+        outs.push_back(appliance.generate(prompt, 8).tokens);
+    }
+    EXPECT_EQ(outs[0], outs[1]);
+    EXPECT_EQ(outs[0], outs[2]);
+}
+
+TEST(ClusterFunctional, DeterministicAcrossRuns)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 46);
+    DfxAppliance a(functionalConfig(w.config, 2));
+    a.loadWeights(w);
+    DfxAppliance b(functionalConfig(w.config, 2));
+    b.loadWeights(w);
+    std::vector<int32_t> prompt = {9, 8, 7};
+    EXPECT_EQ(a.generate(prompt, 12).tokens, b.generate(prompt, 12).tokens);
+}
+
+TEST(ClusterFunctional, LogitsCloseToReference)
+{
+    // Beyond token agreement: the LM-head input embedding on the DFX
+    // side must match the reference within FP16 accumulation error.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 47);
+    DfxSystemConfig cfg = functionalConfig(w.config, 2);
+    DfxCluster cluster(cfg);
+    cluster.loadWeights(w);
+    ReferenceModel ref(w);
+
+    cluster.stepToken(5, nullptr);
+    int32_t dfx_next = cluster.stepToken(11, nullptr);
+    ref.step(5);
+    VecF ref_logits = ref.step(11);
+    int32_t ref_next = static_cast<int32_t>(argmax(ref_logits));
+    EXPECT_EQ(dfx_next, ref_next);
+}
+
+TEST(ClusterFunctional, KvCacheAppendsPerToken)
+{
+    // Each token step must append a distinct K row and V^T column in
+    // the HBM cache regions of every layer.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 48);
+    DfxSystemConfig cfg = functionalConfig(w.config, 2);
+    DfxCluster cluster(cfg);
+    cluster.loadWeights(w);
+    cluster.stepToken(1, nullptr);
+    cluster.stepToken(2, nullptr);
+
+    const MemoryLayout &ml = cluster.layout();
+    const size_t hd = w.config.headDim;
+    for (size_t layer = 0; layer < w.config.layers; ++layer) {
+        VecH row0(hd), row1(hd);
+        cluster.core(0).hbm().readHalf(ml.keyRowAddr(layer, 0, 0),
+                                       row0.data(), hd);
+        cluster.core(0).hbm().readHalf(ml.keyRowAddr(layer, 0, 1),
+                                       row1.data(), hd);
+        bool nonzero0 = false, differs = false;
+        for (size_t i = 0; i < hd; ++i) {
+            nonzero0 |= !row0[i].isZero();
+            differs |= row0[i].bits() != row1[i].bits();
+        }
+        EXPECT_TRUE(nonzero0) << "layer " << layer;
+        EXPECT_TRUE(differs) << "layer " << layer;
+        // V^T column for position 0 is populated.
+        EXPECT_FALSE(
+            cluster.core(0).hbm().loadHalf(ml.vtAddr(layer, 0, 0, 0))
+                .isZero());
+    }
+}
+
+TEST(ClusterFunctional, ResetClearsContext)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 49);
+    DfxAppliance appliance(functionalConfig(w.config, 1));
+    appliance.loadWeights(w);
+    auto first = appliance.generate({4, 5, 6}, 5).tokens;
+    // generate() resets internally; a second identical call matches.
+    auto second = appliance.generate({4, 5, 6}, 5).tokens;
+    EXPECT_EQ(first, second);
+}
+
+TEST(ClusterTiming, LatencyLinearInTokenCounts)
+{
+    // Timing-only runs: latency must be linear in n_in + n_out (the
+    // paper's Fig. 14 shape).
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::mini();
+    cfg.nCores = 2;
+    cfg.functional = false;
+    DfxAppliance appliance(cfg);
+    double t_8_8 = appliance.generate(std::vector<int32_t>(8, 0), 8)
+                       .totalSeconds();
+    double t_16_16 = appliance.generate(std::vector<int32_t>(16, 0), 16)
+                         .totalSeconds();
+    // Attention grows slightly with sequence length, so allow 2.0-2.6x.
+    EXPECT_GT(t_16_16 / t_8_8, 1.9);
+    EXPECT_LT(t_16_16 / t_8_8, 2.7);
+}
+
+TEST(ClusterTiming, MoreCoresReduceLatencyOnRealModels)
+{
+    // On paper-scale models parallelism wins despite sync overhead
+    // (Fig. 18); on the tiny mini model the sync cost can dominate —
+    // which is exactly the "even larger synchronization overhead"
+    // trade-off the paper cites for not parallelizing small work.
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::gpt2_345M();
+    cfg.functional = false;
+    std::vector<int32_t> prompt(4, 0);
+
+    cfg.nCores = 1;
+    double t1 = DfxAppliance(cfg).generate(prompt, 4).totalSeconds();
+    cfg.nCores = 4;
+    double t4 = DfxAppliance(cfg).generate(prompt, 4).totalSeconds();
+    EXPECT_LT(t4, t1);           // parallelism helps...
+    EXPECT_GT(t4, t1 / 4.0);     // ...but sublinearly (sync overhead)
+}
+
+TEST(ClusterTiming, BreakdownCategoriesSumToStepTime)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::mini();
+    cfg.nCores = 4;
+    cfg.functional = false;
+    DfxCluster cluster(cfg);
+    TokenStats stats;
+    cluster.stepToken(0, &stats);
+    double sum = 0.0;
+    for (double s : stats.categorySeconds)
+        sum += s;
+    EXPECT_NEAR(sum, stats.seconds, stats.seconds * 1e-6);
+}
+
+TEST(ClusterTiming, SyncShareGrowsWithCores)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::mini();
+    cfg.functional = false;
+    auto sync_share = [&cfg](size_t cores) {
+        cfg.nCores = cores;
+        DfxCluster cluster(cfg);
+        TokenStats stats;
+        cluster.stepToken(0, &stats);
+        return stats.categorySeconds[static_cast<size_t>(
+                   isa::Category::kSync)] /
+               stats.seconds;
+    };
+    EXPECT_DOUBLE_EQ(sync_share(1), 0.0);
+    EXPECT_GT(sync_share(4), sync_share(2));
+}
+
+TEST(ClusterFunctional, BinaryInstructionPathPreservesSemantics)
+{
+    // Routing every phase through the 48-byte binary encoding (the
+    // host PCIe upload path) must not change tokens or timing.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 51);
+    DfxSystemConfig cfg = functionalConfig(w.config, 2);
+    DfxAppliance plain(cfg);
+    plain.loadWeights(w);
+    cfg.binaryInstructionPath = true;
+    DfxAppliance encoded(cfg);
+    encoded.loadWeights(w);
+    std::vector<int32_t> prompt = {8, 16, 24};
+    GenerationResult a = plain.generate(prompt, 6);
+    GenerationResult b = encoded.generate(prompt, 6);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_NEAR(a.totalSeconds(), b.totalSeconds(),
+                a.totalSeconds() * 1e-9);
+}
+
+TEST(ClusterTiming, TimingAgreesAcrossFunctionalModes)
+{
+    // The timing model must not depend on whether data planes exist.
+    std::vector<int32_t> prompt = {5, 6, 7};
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 2;
+
+    cfg.functional = true;
+    DfxAppliance f(cfg);
+    GptWeights w = GptWeights::random(cfg.model, 50);
+    f.loadWeights(w);
+    double t_func = f.generate(prompt, 4).totalSeconds();
+
+    cfg.functional = false;
+    DfxAppliance t(cfg);
+    double t_timing = t.generate(prompt, 4).totalSeconds();
+    EXPECT_NEAR(t_func, t_timing, t_func * 1e-9);
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Compute-core unit tests: MPU functional math and tiling-driven
+ * timing, VPU ops, DMA transpose store, scoreboard chaining, and the
+ * scheduler's engine-overlap behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "core/core.hpp"
+#include "numeric/functions.hpp"
+
+namespace dfx {
+namespace {
+
+using isa::Category;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+
+class CoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        core = std::make_unique<ComputeCore>(0, CoreParams::defaults(),
+                                             true);
+    }
+
+    /** Loads a float vector into the VRF at `line`. */
+    void
+    setVec(size_t line, const VecF &v)
+    {
+        core->vrf().writeVec(line, toHalf(v));
+    }
+
+    VecF
+    getVec(size_t line, size_t n)
+    {
+        return toFloat(core->vrf().readVec(line, n));
+    }
+
+    std::unique_ptr<ComputeCore> core;
+};
+
+TEST_F(CoreTest, MpuTreeReduceMatchesSum)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        size_t n = 1 + rng.below(64);
+        std::vector<Half> vals(n);
+        double exact = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            double x = rng.uniform(-2.0, 2.0);
+            vals[i] = Half::fromDouble(x);
+            exact += vals[i].toDouble();
+        }
+        float got = Mpu::treeReduce(vals.data(), n).toFloat();
+        EXPECT_NEAR(got, exact, 0.05 * n) << "n=" << n;
+    }
+}
+
+TEST_F(CoreTest, Conv1dMatchesReferenceMatVec)
+{
+    // W: 96 x 24 in HBM, x: 96, b: 24.
+    const size_t rows = 96, cols = 24;
+    Rng rng(7);
+    MatF w(rows, cols);
+    VecF x(rows), b(cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            w.at(r, c) = static_cast<float>(rng.normal(0, 0.3));
+    for (size_t r = 0; r < rows; ++r)
+        x[r] = static_cast<float>(rng.normal(0, 1.0));
+    for (size_t c = 0; c < cols; ++c)
+        b[c] = static_cast<float>(rng.normal(0, 0.1));
+
+    uint64_t w_addr = core->hbm().alloc(rows * cols * 2, "w");
+    uint64_t b_addr = core->ddr().alloc(cols * 2, "b");
+    MatH wh = toHalf(w);
+    core->hbm().writeHalf(w_addr, wh.data(), wh.size());
+    VecH bh = toHalf(b);
+    core->ddr().writeHalf(b_addr, bh.data(), bh.size());
+    setVec(0, x);
+
+    Instruction inst;
+    inst.op = Opcode::kConv1d;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(w_addr);
+    inst.src3 = Operand::ddr(b_addr);
+    inst.dst = Operand::vrf(8);
+    inst.len = rows;
+    inst.cols = cols;
+    inst.pitch = cols;
+    isa::Program prog{inst};
+    core->executePhase(prog);
+
+    VecF expect = matVec(w, x, b);
+    VecF got = getVec(8, cols);
+    for (size_t c = 0; c < cols; ++c)
+        EXPECT_NEAR(got[c], expect[c], 0.05f) << c;
+}
+
+TEST_F(CoreTest, Conv1dGeluFusion)
+{
+    const size_t rows = 64, cols = 16;
+    MatF w(rows, cols, 0.0f);
+    for (size_t c = 0; c < cols; ++c)
+        w.at(c, c) = 1.0f;  // identity-ish: y_c = x_c
+    uint64_t w_addr = core->hbm().alloc(rows * cols * 2, "w");
+    MatH wh = toHalf(w);
+    core->hbm().writeHalf(w_addr, wh.data(), wh.size());
+    VecF x(rows);
+    for (size_t r = 0; r < rows; ++r)
+        x[r] = -2.0f + 0.25f * static_cast<float>(r % 16);
+    setVec(0, x);
+
+    Instruction inst;
+    inst.op = Opcode::kConv1d;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(w_addr);
+    inst.dst = Operand::vrf(8);
+    inst.len = rows;
+    inst.cols = cols;
+    inst.pitch = cols;
+    inst.flags = isa::kFlagGelu;
+    isa::Program prog{inst};
+    core->executePhase(prog);
+
+    VecF got = getVec(8, cols);
+    for (size_t c = 0; c < cols; ++c)
+        EXPECT_NEAR(got[c], geluExact(x[c]), 6e-3f) << c;
+}
+
+TEST_F(CoreTest, MaskedMmMasksAboveCurrentToken)
+{
+    // K region: 4 stored rows of dim 64; query matches row pattern.
+    const size_t hd = 64, seq = 4;
+    uint64_t k_addr = core->hbm().alloc(seq * hd * 2, "k");
+    for (size_t t = 0; t < seq; ++t) {
+        VecH row(hd);
+        for (size_t i = 0; i < hd; ++i)
+            row[i] = Half::fromDouble(t == i ? 1.0 : 0.0);
+        core->hbm().writeHalf(k_addr + t * hd * 2, row.data(), hd);
+    }
+    VecF q(hd, 0.0f);
+    q[0] = 8.0f;
+    q[1] = 16.0f;
+    q[2] = 24.0f;
+    q[3] = 32.0f;
+    setVec(0, q);
+
+    Instruction inst;
+    inst.op = Opcode::kMaskedMm;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(k_addr);
+    inst.src3 = Operand::imm(Half::fromDouble(0.125).bits());
+    inst.dst = Operand::vrf(4);
+    inst.len = hd;
+    inst.cols = seq;
+    inst.pitch = hd;
+    inst.aux = 2;  // mask positions > 2
+    inst.flags = isa::kFlagMask | isa::kFlagScale |
+                 isa::kFlagWeightRowIsCol;
+    isa::Program prog{inst};
+    core->executePhase(prog);
+
+    VecF got = getVec(4, seq);
+    EXPECT_FLOAT_EQ(got[0], 1.0f);   // 8 * 0.125
+    EXPECT_FLOAT_EQ(got[1], 2.0f);
+    EXPECT_FLOAT_EQ(got[2], 3.0f);
+    EXPECT_FLOAT_EQ(got[3], -65504.0f);  // masked to min half
+}
+
+TEST_F(CoreTest, VpuElementwiseOps)
+{
+    VecF a(70), b(70);
+    for (size_t i = 0; i < 70; ++i) {
+        a[i] = static_cast<float>(i) * 0.5f;
+        b[i] = 1.0f;
+    }
+    setVec(0, a);
+    setVec(2, b);
+    isa::Program prog;
+    Instruction add{Opcode::kAdd, Operand::vrf(0), Operand::vrf(2), {},
+                    Operand::vrf(4), 70, 0, 0, 0, isa::kFlagNone,
+                    Category::kOther};
+    Instruction mul{Opcode::kMulScalar, Operand::vrf(4),
+                    Operand::imm(Half::fromDouble(2.0).bits()), {},
+                    Operand::vrf(6), 70, 0, 0, 0, isa::kFlagNone,
+                    Category::kOther};
+    prog.push_back(add);
+    prog.push_back(mul);
+    core->executePhase(prog);
+    VecF got = getVec(6, 70);
+    for (size_t i = 0; i < 70; ++i)
+        EXPECT_FLOAT_EQ(got[i], (a[i] + 1.0f) * 2.0f);
+}
+
+TEST_F(CoreTest, VpuAccumAndScalarChain)
+{
+    VecF x(100);
+    double sum = 0.0;
+    for (size_t i = 0; i < 100; ++i) {
+        x[i] = 0.25f * static_cast<float>(i % 7);
+        sum += x[i];
+    }
+    setVec(0, x);
+    isa::Program prog;
+    prog.push_back({Opcode::kAccum, Operand::vrf(0), {}, {},
+                    Operand::srf(0), 100, 0, 0, 0, isa::kFlagNone,
+                    Category::kOther});
+    prog.push_back({Opcode::kScalarMul, Operand::srf(0),
+                    Operand::imm(Half::fromDouble(0.01).bits()), {},
+                    Operand::srf(1), 0, 0, 0, 0, isa::kFlagNone,
+                    Category::kOther});
+    prog.push_back({Opcode::kScalarRsqrt, Operand::srf(1), {}, {},
+                    Operand::srf(2), 0, 0, 0, 0, isa::kFlagNone,
+                    Category::kOther});
+    core->executePhase(prog);
+    EXPECT_NEAR(core->srf().read(0).toFloat(), sum, 0.5);
+    EXPECT_NEAR(core->srf().read(2).toFloat(),
+                1.0 / std::sqrt(sum * 0.01), 0.05);
+}
+
+TEST_F(CoreTest, ReduMaxFindsValueAndIndex)
+{
+    VecF x(130, 0.0f);
+    x[77] = 5.0f;
+    x[129] = 4.0f;
+    setVec(0, x);
+    isa::Program prog;
+    prog.push_back({Opcode::kReduMax, Operand::vrf(0), {}, {},
+                    Operand::srf(3), 130, 0, 0, 0, isa::kFlagNone,
+                    Category::kOther});
+    core->executePhase(prog);
+    EXPECT_FLOAT_EQ(core->srf().read(3).toFloat(), 5.0f);
+    EXPECT_EQ(core->irf().read(3), 77);
+}
+
+TEST_F(CoreTest, DmaTransposeStore)
+{
+    const size_t hd = 64, max_seq = 8;
+    uint64_t vt = core->hbm().alloc(hd * max_seq * 2, "vt");
+    VecF v(hd);
+    for (size_t j = 0; j < hd; ++j)
+        v[j] = static_cast<float>(j);
+    setVec(0, v);
+    Instruction st;
+    st.op = Opcode::kDmaStoreKv;
+    st.src1 = Operand::vrf(0);
+    st.dst = Operand::hbm(vt);
+    st.len = hd;
+    st.aux = 3;        // column (position) 3
+    st.pitch = max_seq;
+    st.flags = isa::kFlagTranspose;
+    isa::Program prog{st};
+    core->executePhase(prog);
+    // Element j landed at row j, column 3.
+    for (size_t j = 0; j < hd; ++j) {
+        EXPECT_FLOAT_EQ(
+            core->hbm().loadHalf(vt + (j * max_seq + 3) * 2).toFloat(),
+            static_cast<float>(j));
+    }
+}
+
+TEST_F(CoreTest, MatrixTimingScalesWithTiles)
+{
+    // Timing-only core to probe the cost model.
+    ComputeCore tcore(0, CoreParams::defaults(), false);
+    auto conv = [](uint32_t rows, uint32_t cols) {
+        Instruction i;
+        i.op = Opcode::kConv1d;
+        i.src1 = Operand::vrf(0);
+        i.src2 = Operand::hbm(0);
+        i.dst = Operand::vrf(100);
+        i.len = rows;
+        i.cols = cols;
+        i.pitch = cols;
+        return i;
+    };
+    isa::Program small{conv(512, 512)};
+    isa::Program big{conv(1024, 1024)};
+    Cycles t_small = tcore.executePhase(small).cycles;
+    Cycles t_big = tcore.executePhase(big).cycles;
+    // 4x the data: cost should scale close to 4x (fill amortized).
+    EXPECT_GT(t_big, 3 * t_small);
+    EXPECT_LT(t_big, 5 * t_small);
+}
+
+TEST_F(CoreTest, ScoreboardSerializesDependents)
+{
+    // A reduction has a deep writeback latency (adder tree); a scalar
+    // op reading its SRF result must wait for it, while a scalar op on
+    // an immediate can issue as soon as the engine frees up.
+    ComputeCore tcore(0, CoreParams::defaults(), false);
+    Instruction accum{Opcode::kAccum, Operand::vrf(0), {}, {},
+                      Operand::srf(0), 64, 0, 0, 0, isa::kFlagNone,
+                      Category::kOther};
+    Instruction dep{Opcode::kScalarMul, Operand::srf(0),
+                    Operand::imm(Half::one().bits()), {}, Operand::srf(1),
+                    0, 0, 0, 0, isa::kFlagNone, Category::kOther};
+    Instruction indep{Opcode::kScalarMul,
+                      Operand::imm(Half::one().bits()),
+                      Operand::imm(Half::one().bits()), {},
+                      Operand::srf(1), 0, 0, 0, 0, isa::kFlagNone,
+                      Category::kOther};
+    Cycles chained = tcore.executePhase(isa::Program{accum, dep}).cycles;
+    Cycles overlapped =
+        tcore.executePhase(isa::Program{accum, indep}).cycles;
+    EXPECT_GT(chained, overlapped);
+}
+
+TEST_F(CoreTest, EnginesOverlap)
+{
+    // A matrix op (MPU) and an unrelated vector op (VPU) overlap: the
+    // phase is shorter than the sum of their isolated times.
+    ComputeCore tcore(0, CoreParams::defaults(), false);
+    Instruction conv;
+    conv.op = Opcode::kConv1d;
+    conv.src1 = Operand::vrf(0);
+    conv.src2 = Operand::hbm(0);
+    conv.dst = Operand::vrf(100);
+    conv.len = 1024;
+    conv.cols = 1024;
+    conv.pitch = 1024;
+    Instruction vec{Opcode::kAdd, Operand::vrf(200), Operand::vrf(202),
+                    {}, Operand::vrf(204), 4096, 0, 0, 0, isa::kFlagNone,
+                    Category::kOther};
+    Cycles conv_only = tcore.executePhase(isa::Program{conv}).cycles;
+    Cycles vec_only = tcore.executePhase(isa::Program{vec}).cycles;
+    Cycles both = tcore.executePhase(isa::Program{conv, vec}).cycles;
+    EXPECT_LT(both, conv_only + vec_only);
+    EXPECT_GE(both, std::max(conv_only, vec_only));
+}
+
+TEST_F(CoreTest, CategoryAttributionSumsToPhase)
+{
+    ComputeCore tcore(0, CoreParams::defaults(), false);
+    Instruction a{Opcode::kAdd, Operand::vrf(0), Operand::vrf(2), {},
+                  Operand::vrf(4), 256, 0, 0, 0, isa::kFlagNone,
+                  Category::kResidual};
+    Instruction b{Opcode::kMul, Operand::vrf(4), Operand::vrf(2), {},
+                  Operand::vrf(6), 256, 0, 0, 0, isa::kFlagNone,
+                  Category::kLayerNorm};
+    PhaseStats s = tcore.executePhase(isa::Program{a, b});
+    Cycles sum = 0;
+    for (Cycles c : s.byCategory)
+        sum += c;
+    EXPECT_EQ(sum, s.cycles);
+}
+
+}  // namespace
+}  // namespace dfx

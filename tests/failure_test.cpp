@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Failure-injection and guard-rail tests: configuration errors,
+ * capacity overflows, malformed instructions and out-of-range
+ * accesses must fail loudly, not corrupt state.
+ */
+#include <gtest/gtest.h>
+
+#include "appliance/appliance.hpp"
+#include "appliance/server.hpp"
+#include "isa/assembler.hpp"
+#include "isa/codegen.hpp"
+#include "isa/encoding.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(Failure, IndivisibleHeadsRejected)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::mini();  // 4 heads
+    cfg.nCores = 3;
+    EXPECT_DEATH({ DfxCluster cluster(cfg); }, "not divisible");
+}
+
+TEST(Failure, ContextOverflowRejected)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();  // maxSeq 64
+    cfg.nCores = 1;
+    cfg.functional = false;
+    DfxAppliance appliance(cfg);
+    EXPECT_DEATH(
+        appliance.generate(std::vector<int32_t>(60, 0), 10),
+        "exceeds max context");
+}
+
+TEST(Failure, EmptyPromptRejected)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 1;
+    cfg.functional = false;
+    DfxAppliance appliance(cfg);
+    EXPECT_DEATH(appliance.generate({}, 4), "empty prompt");
+}
+
+TEST(Failure, TokenOutOfVocabularyRejected)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();  // vocab 97
+    cfg.nCores = 1;
+    cfg.functional = false;
+    DfxCluster cluster(cfg);
+    EXPECT_DEATH(cluster.stepToken(97, nullptr), "out of vocabulary");
+    EXPECT_DEATH(cluster.stepToken(-1, nullptr), "out of vocabulary");
+}
+
+TEST(Failure, MemoryCapacityOverflowIsFatal)
+{
+    OffchipMemory tiny("tiny", 1024, 1e9, 0.5, false);
+    tiny.alloc(1000, "a");
+    EXPECT_DEATH(tiny.alloc(1000, "b"), "exceeds capacity");
+}
+
+TEST(Failure, TimingOnlyModeForbidsDataAccess)
+{
+    OffchipMemory mem("m", 1 << 20, 1e9, 0.5, false);
+    Half h = Half::one();
+    EXPECT_DEATH(mem.writeHalf(0, &h, 1), "timing-only");
+    VectorRegFile vrf(16, false);
+    EXPECT_DEATH(vrf.read(0), "timing-only");
+}
+
+TEST(Failure, LoadWeightsRequiresFunctionalMode)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 1;
+    cfg.functional = false;
+    DfxAppliance appliance(cfg);
+    GptWeights w = GptWeights::random(cfg.model, 1);
+    EXPECT_DEATH(appliance.loadWeights(w), "functional");
+}
+
+TEST(Failure, MalformedInstructionRejectedByCore)
+{
+    ComputeCore core(0, CoreParams::defaults(), false);
+    isa::Instruction bad;
+    bad.op = isa::Opcode::kConv1d;
+    bad.src1 = isa::Operand::vrf(0);
+    bad.src2 = isa::Operand::ddr(0);  // weights must come from HBM
+    bad.dst = isa::Operand::vrf(1);
+    bad.len = 64;
+    bad.cols = 16;
+    EXPECT_DEATH(core.executePhase(isa::Program{bad}),
+                 "invalid instruction");
+}
+
+TEST(Failure, AssemblerRejectsGarbage)
+{
+    EXPECT_DEATH(isa::parse("frobnicate v[0], -, - -> v[1]"),
+                 "unknown opcode");
+    EXPECT_DEATH(isa::parse("add v[0], v[1], - -> v[2] flags=bogus"),
+                 "unknown flag");
+    EXPECT_DEATH(isa::parse("add v[0] v[1]"), "");
+}
+
+TEST(Failure, VrfRangeChecked)
+{
+    VectorRegFile vrf(4, true);  // 4 lines = 256 elements
+    EXPECT_DEATH(vrf.read(256), "VRF read");
+    VecH big(300);
+    EXPECT_DEATH(vrf.writeVec(0, big), "out of range");
+}
+
+TEST(Failure, EncoderRejectsOversizedFields)
+{
+    isa::Instruction i;
+    i.op = isa::Opcode::kAdd;
+    i.src1 = isa::Operand::vrf(0);
+    i.src2 = isa::Operand::vrf(1);
+    i.dst = isa::Operand::vrf(uint64_t{1} << 40);  // beyond 32-bit dst
+    i.len = 64;
+    EXPECT_DEATH(isa::encode(i), "32-bit");
+}
+
+TEST(Failure, ServerNeedsClusters)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 1;
+    EXPECT_DEATH(DfxServer(cfg, 0), "at least one cluster");
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * IEEE-754 binary16 conformance tests.
+ *
+ * The FP16 soft-float underpins every numerical result in the
+ * simulator, so it is tested exhaustively: round-trip over all 65536
+ * bit patterns, rounding boundaries, subnormals, and arithmetic
+ * against hardware-independent expectations.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/fp16.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(Fp16, KnownEncodings)
+{
+    EXPECT_EQ(Half::fromDouble(0.0).bits(), 0x0000);
+    EXPECT_EQ(Half::fromDouble(-0.0).bits(), 0x8000);
+    EXPECT_EQ(Half::fromDouble(1.0).bits(), 0x3c00);
+    EXPECT_EQ(Half::fromDouble(-1.0).bits(), 0xbc00);
+    EXPECT_EQ(Half::fromDouble(2.0).bits(), 0x4000);
+    EXPECT_EQ(Half::fromDouble(0.5).bits(), 0x3800);
+    EXPECT_EQ(Half::fromDouble(65504.0).bits(), 0x7bff);   // max finite
+    EXPECT_EQ(Half::fromDouble(-65504.0).bits(), 0xfbff);
+    EXPECT_EQ(Half::fromDouble(6.103515625e-05).bits(), 0x0400);  // 2^-14
+    EXPECT_EQ(Half::fromDouble(5.960464477539063e-08).bits(),
+              0x0001);  // smallest subnormal 2^-24
+}
+
+TEST(Fp16, SpecialValues)
+{
+    EXPECT_EQ(Half::fromDouble(INFINITY).bits(), 0x7c00);
+    EXPECT_EQ(Half::fromDouble(-INFINITY).bits(), 0xfc00);
+    EXPECT_TRUE(Half::fromDouble(NAN).isNan());
+    EXPECT_TRUE(Half::infinity().isInf());
+    EXPECT_FALSE(Half::infinity().isNan());
+    EXPECT_TRUE(Half::zero().isZero());
+    EXPECT_TRUE(Half::fromBits(0x8000).isZero());
+    EXPECT_TRUE(Half::minSubnormal().isSubnormal());
+    EXPECT_FALSE(Half::minNormal().isSubnormal());
+}
+
+TEST(Fp16, OverflowBoundary)
+{
+    // Values below 65520 round down to 65504; 65520 ties to even ->
+    // 65536 which overflows to infinity.
+    EXPECT_EQ(Half::fromDouble(65519.999).bits(), 0x7bff);
+    EXPECT_EQ(Half::fromDouble(65520.0).bits(), 0x7c00);
+    EXPECT_EQ(Half::fromDouble(65536.0).bits(), 0x7c00);
+    EXPECT_EQ(Half::fromDouble(1e30).bits(), 0x7c00);
+    EXPECT_EQ(Half::fromDouble(-1e30).bits(), 0xfc00);
+}
+
+TEST(Fp16, UnderflowBoundary)
+{
+    // 2^-25 ties to even -> 0; slightly above rounds to the smallest
+    // subnormal.
+    EXPECT_EQ(Half::fromDouble(std::ldexp(1.0, -25)).bits(), 0x0000);
+    EXPECT_EQ(Half::fromDouble(std::ldexp(1.0, -25) * 1.0001).bits(),
+              0x0001);
+    EXPECT_EQ(Half::fromDouble(-std::ldexp(1.0, -25)).bits(), 0x8000);
+    EXPECT_EQ(Half::fromDouble(1e-30).bits(), 0x0000);
+}
+
+TEST(Fp16, RoundToNearestEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10: ties to
+    // even (1.0).
+    EXPECT_EQ(Half::fromDouble(1.0 + std::ldexp(1.0, -11)).bits(), 0x3c00);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even
+    // (1+2^-9, bits 0x3c02).
+    EXPECT_EQ(Half::fromDouble(1.0 + 3 * std::ldexp(1.0, -11)).bits(),
+              0x3c02);
+    // Just above / below the tie round correctly.
+    EXPECT_EQ(Half::fromDouble(1.0 + std::ldexp(1.0, -11) * 1.01).bits(),
+              0x3c01);
+    EXPECT_EQ(Half::fromDouble(1.0 + std::ldexp(1.0, -11) * 0.99).bits(),
+              0x3c00);
+}
+
+TEST(Fp16, RoundTripAllBitPatterns)
+{
+    // Every finite half value must survive half -> float -> half.
+    for (uint32_t b = 0; b <= 0xffff; ++b) {
+        Half h = Half::fromBits(static_cast<uint16_t>(b));
+        if (h.isNan()) {
+            EXPECT_TRUE(Half::fromFloat(h.toFloat()).isNan());
+            continue;
+        }
+        Half back = Half::fromFloat(h.toFloat());
+        EXPECT_EQ(back.bits(), h.bits()) << "bit pattern " << b;
+    }
+}
+
+TEST(Fp16, ConversionMatchesCompilerFloat16)
+{
+#ifdef __FLT16_MAX__
+    // Cross-check against the compiler's _Float16 on a dense sample.
+    for (uint32_t b = 0; b <= 0xffff; b += 7) {
+        Half h = Half::fromBits(static_cast<uint16_t>(b));
+        if (h.isNan())
+            continue;
+        _Float16 native;
+        __builtin_memcpy(&native, &b, 2);
+        EXPECT_EQ(h.toFloat(), static_cast<float>(native))
+            << "bits " << b;
+    }
+#else
+    GTEST_SKIP() << "no _Float16 support";
+#endif
+}
+
+TEST(Fp16, ArithmeticMatchesNativeHalf)
+{
+#ifdef __FLT16_MAX__
+    // Our "+ - * /" must round identically to the compiler's _Float16
+    // arithmetic (which is IEEE on x86 via soft-float / F16C).
+    uint64_t state = 12345;
+    auto next_bits = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<uint16_t>(state >> 33);
+    };
+    int checked = 0;
+    for (int i = 0; i < 200000; ++i) {
+        uint16_t ab = next_bits(), bb = next_bits();
+        Half a = Half::fromBits(ab), b = Half::fromBits(bb);
+        if (a.isNan() || b.isNan())
+            continue;
+        _Float16 na, nb;
+        __builtin_memcpy(&na, &ab, 2);
+        __builtin_memcpy(&nb, &bb, 2);
+        struct Case { Half ours; _Float16 native; const char *op; };
+        _Float16 ns = na + nb, nd = na - nb, np = na * nb;
+        Case cases[] = {
+            {a + b, ns, "+"},
+            {a - b, nd, "-"},
+            {a * b, np, "*"},
+        };
+        for (const auto &c : cases) {
+            uint16_t nbits;
+            __builtin_memcpy(&nbits, &c.native, 2);
+            Half nh = Half::fromBits(nbits);
+            if (nh.isNan()) {
+                EXPECT_TRUE(c.ours.isNan()) << c.op;
+            } else {
+                EXPECT_EQ(c.ours.bits(), nbits)
+                    << a.toFloat() << " " << c.op << " " << b.toFloat();
+            }
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 100000);
+#else
+    GTEST_SKIP() << "no _Float16 support";
+#endif
+}
+
+TEST(Fp16, BasicArithmetic)
+{
+    Half a = Half::fromDouble(1.5), b = Half::fromDouble(2.25);
+    EXPECT_FLOAT_EQ((a + b).toFloat(), 3.75f);
+    EXPECT_FLOAT_EQ((a - b).toFloat(), -0.75f);
+    EXPECT_FLOAT_EQ((a * b).toFloat(), 3.375f);
+    EXPECT_FLOAT_EQ((b / a).toFloat(), 1.5f);
+    EXPECT_FLOAT_EQ((-a).toFloat(), -1.5f);
+}
+
+TEST(Fp16, ArithmeticRounds)
+{
+    // 2048 + 1 is not representable (ULP at 2048 is 2): rounds to 2048.
+    Half big = Half::fromDouble(2048.0), one = Half::one();
+    EXPECT_FLOAT_EQ((big + one).toFloat(), 2048.0f);
+    // 2048 + 3 = 2051 is exactly halfway (ULP is 2 here); ties to the
+    // even significand, 2052.
+    EXPECT_FLOAT_EQ((big + Half::fromDouble(3.0)).toFloat(), 2052.0f);
+    // 2048 + 5 = 2053 rounds to the nearest, 2052.
+    EXPECT_FLOAT_EQ((big + Half::fromDouble(5.0)).toFloat(), 2052.0f);
+    // Overflow in arithmetic saturates to infinity.
+    EXPECT_TRUE((Half::max() * Half::fromDouble(2.0)).isInf());
+    EXPECT_TRUE((Half::lowest() * Half::fromDouble(2.0)).isInf());
+}
+
+TEST(Fp16, Comparisons)
+{
+    Half a = Half::fromDouble(1.0), b = Half::fromDouble(2.0);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a <= a);
+    EXPECT_TRUE(a == Half::one());
+    EXPECT_TRUE(a != b);
+    // -0 == +0 per IEEE.
+    EXPECT_TRUE(Half::fromBits(0x8000) == Half::zero());
+    // NaN compares false with everything.
+    EXPECT_FALSE(Half::quietNan() == Half::quietNan());
+    EXPECT_FALSE(Half::quietNan() < a);
+}
+
+TEST(Fp16, HelperFunctions)
+{
+    EXPECT_FLOAT_EQ(hexp(Half::zero()).toFloat(), 1.0f);
+    EXPECT_NEAR(hexp(Half::one()).toFloat(), 2.71828f, 2e-3);
+    EXPECT_FLOAT_EQ(hrecip(Half::fromDouble(4.0)).toFloat(), 0.25f);
+    EXPECT_FLOAT_EQ(hrsqrt(Half::fromDouble(4.0)).toFloat(), 0.5f);
+    EXPECT_FLOAT_EQ(hsqrt(Half::fromDouble(9.0)).toFloat(), 3.0f);
+    EXPECT_FLOAT_EQ(habs(Half::fromDouble(-3.5)).toFloat(), 3.5f);
+    EXPECT_FLOAT_EQ(hmax(Half::one(), Half::fromDouble(2.0)).toFloat(),
+                    2.0f);
+    EXPECT_FLOAT_EQ(hmin(Half::one(), Half::fromDouble(2.0)).toFloat(),
+                    1.0f);
+    // maxNum semantics: prefer the number over NaN.
+    EXPECT_FLOAT_EQ(hmax(Half::quietNan(), Half::one()).toFloat(), 1.0f);
+}
+
+TEST(Fp16, SubnormalArithmetic)
+{
+    Half tiny = Half::minSubnormal();
+    EXPECT_FLOAT_EQ((tiny + tiny).toFloat(), 2 * 5.960464477539063e-08f);
+    // Gradual underflow: min normal / 2 is a subnormal, not zero.
+    Half half_min = Half::minNormal() / Half::fromDouble(2.0);
+    EXPECT_TRUE(half_min.isSubnormal());
+    EXPECT_GT(half_min.toFloat(), 0.0f);
+}
+
+}  // namespace
+}  // namespace dfx

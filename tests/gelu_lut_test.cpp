@@ -1,0 +1,66 @@
+/**
+ * @file
+ * GELU lookup-table tests (paper §V-C: 2048 samples over [-8,8],
+ * linear interpolation, near-zero error in half precision).
+ */
+#include <gtest/gtest.h>
+
+#include "numeric/functions.hpp"
+#include "numeric/gelu_lut.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(GeluLut, MatchesExactWithinHalfPrecision)
+{
+    // The paper reports a mean squared error of 0 in half precision;
+    // in practice linear interpolation over 2048 segments keeps the
+    // absolute error well below one half-precision ULP at the output
+    // magnitude. Verify a conservative bound.
+    EXPECT_LT(GeluLut::instance().maxError(), 5e-3f);
+}
+
+TEST(GeluLut, ClampRegions)
+{
+    const auto &lut = GeluLut::instance();
+    // Below -8: output 0.
+    EXPECT_FLOAT_EQ(lut.eval(Half::fromDouble(-9.0)).toFloat(), 0.0f);
+    EXPECT_FLOAT_EQ(lut.eval(Half::fromDouble(-100.0)).toFloat(), 0.0f);
+    // Above 8: identity.
+    EXPECT_FLOAT_EQ(lut.eval(Half::fromDouble(9.5)).toFloat(), 9.5f);
+    EXPECT_FLOAT_EQ(lut.eval(Half::fromDouble(123.0)).toFloat(), 123.0f);
+}
+
+TEST(GeluLut, KeyPoints)
+{
+    const auto &lut = GeluLut::instance();
+    EXPECT_NEAR(lut.eval(Half::zero()).toFloat(), 0.0f, 1e-3f);
+    EXPECT_NEAR(lut.eval(Half::one()).toFloat(), geluExact(1.0f), 2e-3f);
+    EXPECT_NEAR(lut.eval(Half::fromDouble(-1.0)).toFloat(),
+                geluExact(-1.0f), 2e-3f);
+    EXPECT_NEAR(lut.eval(Half::fromDouble(2.5)).toFloat(),
+                geluExact(2.5f), 3e-3f);
+}
+
+TEST(GeluLut, NanPassthrough)
+{
+    EXPECT_TRUE(GeluLut::instance().eval(Half::quietNan()).isNan());
+}
+
+TEST(GeluLut, MeanSquaredErrorTiny)
+{
+    // MSE over a dense grid, reported in the paper as ~0 at FP16.
+    const auto &lut = GeluLut::instance();
+    double mse = 0.0;
+    const int n = 4096;
+    for (int i = 0; i <= n; ++i) {
+        float x = -8.0f + 16.0f * static_cast<float>(i) / n;
+        double d = lut.eval(Half::fromFloat(x)).toFloat() - geluExact(x);
+        mse += d * d;
+    }
+    mse /= (n + 1);
+    EXPECT_LT(mse, 1e-6);
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * ISA tests: metadata, validation, binary encode/decode round-trips,
+ * assembler round-trips, and codegen structure (Algorithm 1: four
+ * syncs per decoder layer, V before K/Q for transpose hiding).
+ */
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "isa/assembler.hpp"
+#include "isa/codegen.hpp"
+#include "isa/encoding.hpp"
+#include "isa/instruction.hpp"
+
+namespace dfx {
+namespace isa {
+namespace {
+
+Instruction
+sampleConv1d()
+{
+    Instruction i;
+    i.op = Opcode::kConv1d;
+    i.src1 = Operand::vrf(32);
+    i.src2 = Operand::hbm(0x10000);
+    i.src3 = Operand::ddr(0x200);
+    i.dst = Operand::vrf(64);
+    i.len = 1536;
+    i.cols = 384;
+    i.pitch = 384;
+    i.flags = kFlagGelu;
+    i.category = Category::kFfn;
+    return i;
+}
+
+TEST(Isa, EngineMapping)
+{
+    EXPECT_EQ(engineOf(Opcode::kConv1d), Engine::kMpu);
+    EXPECT_EQ(engineOf(Opcode::kMaskedMm), Engine::kMpu);
+    EXPECT_EQ(engineOf(Opcode::kMm), Engine::kMpu);
+    EXPECT_EQ(engineOf(Opcode::kAdd), Engine::kVpu);
+    EXPECT_EQ(engineOf(Opcode::kExp), Engine::kVpu);
+    EXPECT_EQ(engineOf(Opcode::kDmaStoreKv), Engine::kDma);
+    EXPECT_EQ(engineOf(Opcode::kSync), Engine::kRouter);
+}
+
+TEST(Isa, OpcodeNamesRoundTrip)
+{
+    for (size_t i = 0; i < static_cast<size_t>(Opcode::kNumOpcodes); ++i) {
+        Opcode op = static_cast<Opcode>(i);
+        EXPECT_EQ(opcodeFromName(opcodeName(op)), op);
+    }
+}
+
+TEST(Isa, ValidationAcceptsWellFormed)
+{
+    std::string err;
+    EXPECT_TRUE(validate(sampleConv1d(), &err)) << err;
+}
+
+TEST(Isa, ValidationRejectsBadOperands)
+{
+    Instruction i = sampleConv1d();
+    i.src2 = Operand::ddr(0);  // weights must stream from HBM
+    std::string err;
+    EXPECT_FALSE(validate(i, &err));
+    EXPECT_FALSE(err.empty());
+
+    Instruction add;
+    add.op = Opcode::kAdd;
+    add.src1 = Operand::vrf(0);
+    add.src2 = Operand::srf(0);  // vector add needs VRF operands
+    add.dst = Operand::vrf(1);
+    add.len = 64;
+    EXPECT_FALSE(validate(add, &err));
+}
+
+TEST(Isa, EncodeDecodeRoundTrip)
+{
+    Instruction i = sampleConv1d();
+    Instruction back = decode(encode(i));
+    EXPECT_EQ(back, i);
+}
+
+TEST(Isa, EncodeDecodeRandomizedRoundTrip)
+{
+    // Property test over randomized field values.
+    Rng rng(31);
+    for (int n = 0; n < 2000; ++n) {
+        Instruction i;
+        i.op = static_cast<Opcode>(
+            rng.below(static_cast<uint64_t>(Opcode::kNumOpcodes)));
+        auto rand_operand = [&rng]() {
+            Operand op;
+            op.space = static_cast<Space>(rng.below(7));
+            op.addr = rng.below(1u << 30);
+            return op;
+        };
+        i.src1 = rand_operand();
+        i.src2 = rand_operand();
+        i.src3 = rand_operand();
+        i.dst = rand_operand();
+        i.src2.addr = rng.next();  // full 64-bit address field
+        i.len = static_cast<uint32_t>(rng.next());
+        i.cols = static_cast<uint32_t>(rng.next());
+        i.aux = static_cast<uint32_t>(rng.next());
+        i.pitch = static_cast<uint32_t>(rng.next());
+        i.flags = static_cast<uint16_t>(rng.next());
+        i.category = static_cast<Category>(
+            rng.below(static_cast<uint64_t>(Category::kNumCategories)));
+        Instruction back = decode(encode(i));
+        ASSERT_EQ(back, i);
+    }
+}
+
+TEST(Isa, ProgramEncodeDecode)
+{
+    Program prog;
+    for (int k = 0; k < 7; ++k) {
+        Instruction i = sampleConv1d();
+        i.len = 100 + k;
+        prog.push_back(i);
+    }
+    Program back = decodeProgram(encodeProgram(prog));
+    EXPECT_EQ(back, prog);
+}
+
+TEST(Assembler, FormatParseRoundTrip)
+{
+    Instruction i = sampleConv1d();
+    std::string text = format(i);
+    Instruction back = parse(text);
+    EXPECT_EQ(back, i) << text;
+}
+
+TEST(Assembler, ParsesHandWritten)
+{
+    Instruction i = parse(
+        "masked_mm v[96], hbm[0x4000], imm[11878] -> v[192] "
+        "len=64 cols=17 aux=16 pitch=64 flags=mask|scale|wt cat=attn");
+    EXPECT_EQ(i.op, Opcode::kMaskedMm);
+    EXPECT_EQ(i.src2.addr, 0x4000u);
+    EXPECT_EQ(i.cols, 17u);
+    EXPECT_EQ(i.flags, kFlagMask | kFlagScale | kFlagWeightRowIsCol);
+    EXPECT_EQ(i.category, Category::kAttention);
+}
+
+TEST(Assembler, ProgramRoundTripThroughText)
+{
+    Program prog;
+    Instruction a = sampleConv1d();
+    Instruction b;
+    b.op = Opcode::kAccum;
+    b.src1 = Operand::vrf(3);
+    b.dst = Operand::srf(1);
+    b.len = 256;
+    b.category = Category::kLayerNorm;
+    prog.push_back(a);
+    prog.push_back(b);
+    std::string text = "# header comment\n" + formatProgram(prog) + "\n";
+    Program back = parseProgram(text);
+    EXPECT_EQ(back, prog);
+}
+
+class CodegenTest : public ::testing::Test
+{
+  protected:
+    void
+    build(size_t n_cores)
+    {
+        config = GptConfig::toy();
+        geometry = ClusterGeometry{n_cores};
+        hbm = std::make_unique<OffchipMemory>("h", 1ull << 32, 460e9, 0.6,
+                                              false);
+        ddr = std::make_unique<OffchipMemory>("d", 1ull << 32, 38e9, 0.7,
+                                              false);
+        layout = MemoryLayout::build(config, geometry, 16, *hbm, *ddr);
+        builder = std::make_unique<ProgramBuilder>(config, geometry,
+                                                   layout, 0);
+    }
+
+    GptConfig config;
+    ClusterGeometry geometry;
+    std::unique_ptr<OffchipMemory> hbm, ddr;
+    MemoryLayout layout;
+    std::unique_ptr<ProgramBuilder> builder;
+};
+
+TEST_F(CodegenTest, FourSyncsPerDecoderLayer)
+{
+    build(2);
+    auto phases = builder->layerPhases(0, 3);
+    size_t syncs = 0;
+    for (const auto &ph : phases)
+        syncs += ph.hasSync() ? 1 : 0;
+    // Algorithm 1: sync after attention heads, after the projection,
+    // and after each of the two FFN matrices.
+    EXPECT_EQ(syncs, 4u);
+}
+
+TEST_F(CodegenTest, ValueComputedBeforeKeyAndQuery)
+{
+    build(2);
+    auto phases = builder->layerPhases(0, 0);
+    const Program &p = phases[0].program;
+    int v_idx = -1, k_idx = -1, q_idx = -1, vt_store = -1;
+    for (size_t i = 0; i < p.size(); ++i) {
+        if (p[i].op == Opcode::kConv1d) {
+            if (p[i].src2.addr == layout.layers[0].wv)
+                v_idx = static_cast<int>(i);
+            if (p[i].src2.addr == layout.layers[0].wk)
+                k_idx = static_cast<int>(i);
+            if (p[i].src2.addr == layout.layers[0].wq)
+                q_idx = static_cast<int>(i);
+        }
+        if (p[i].op == Opcode::kDmaStoreKv &&
+            (p[i].flags & kFlagTranspose) && vt_store < 0)
+            vt_store = static_cast<int>(i);
+    }
+    ASSERT_GE(v_idx, 0);
+    ASSERT_GE(k_idx, 0);
+    ASSERT_GE(q_idx, 0);
+    ASSERT_GE(vt_store, 0);
+    // Transpose hiding (§V-B): V first, its store overlapped with K/Q.
+    EXPECT_LT(v_idx, k_idx);
+    EXPECT_LT(k_idx, q_idx);
+    EXPECT_LT(vt_store, k_idx);
+}
+
+TEST_F(CodegenTest, AllInstructionsValidate)
+{
+    build(2);
+    std::string err;
+    for (const auto &inst : builder->embedPhase(5, 0).program)
+        EXPECT_TRUE(validate(inst, &err)) << err;
+    for (size_t layer = 0; layer < config.layers; ++layer) {
+        for (const auto &ph : builder->layerPhases(layer, 7)) {
+            for (const auto &inst : ph.program)
+                EXPECT_TRUE(validate(inst, &err)) << err;
+        }
+    }
+    for (const auto &inst : builder->lmHeadPhase().program)
+        EXPECT_TRUE(validate(inst, &err)) << err;
+}
+
+TEST_F(CodegenTest, MaskedMmUsesScaleAndCausalMask)
+{
+    build(1);
+    auto phases = builder->layerPhases(1, 9);
+    bool found = false;
+    for (const auto &inst : phases[0].program) {
+        if (inst.op == Opcode::kMaskedMm) {
+            found = true;
+            EXPECT_TRUE(inst.flags & kFlagMask);
+            EXPECT_TRUE(inst.flags & kFlagScale);
+            EXPECT_TRUE(inst.flags & kFlagWeightRowIsCol);
+            EXPECT_EQ(inst.cols, 10u);  // seq = pos + 1
+            EXPECT_EQ(inst.aux, 9u);    // mask boundary = position
+            // scale = 1/sqrt(64) = 0.125, exact in FP16.
+            EXPECT_EQ(Half::fromBits(
+                          static_cast<uint16_t>(inst.src3.addr))
+                          .toFloat(),
+                      0.125f);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(CodegenTest, VrfMapFitsRegisterFile)
+{
+    build(1);
+    EXPECT_LT(builder->map().linesUsed, 4096u);
+    // And for the largest model at 4 cores.
+    GptConfig big = GptConfig::gpt2_1_5B();
+    ClusterGeometry geo{4};
+    VrfMap m = VrfMap::build(big, geo, 16);
+    EXPECT_LT(m.linesUsed, 4096u);
+    // 345M on one core carries the full vocabulary slice.
+    VrfMap m1 = VrfMap::build(GptConfig::gpt2_345M(), ClusterGeometry{1},
+                              16);
+    EXPECT_LT(m1.linesUsed, 4096u);
+}
+
+TEST_F(CodegenTest, LmHeadEndsInArgmaxSync)
+{
+    build(2);
+    Phase head = builder->lmHeadPhase();
+    ASSERT_TRUE(head.hasSync());
+    EXPECT_TRUE(head.sync().flags & kFlagArgmax);
+    // Real vocab columns: 97 over 2 cores padded to 16 lanes -> 64
+    // per core; core 0 holds 49 -> padded 64, real min(64, 97) = 64?
+    // vocabShard = ceil(ceil(97/2)=49 /16)*16 = 64; core 0 real = 64.
+    EXPECT_EQ(builder->vocabRealCols(), 64u);
+    ProgramBuilder b1(config, geometry, layout, 1);
+    EXPECT_EQ(b1.vocabRealCols(), 97u - 64u);
+}
+
+}  // namespace
+}  // namespace isa
+}  // namespace dfx

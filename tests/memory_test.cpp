@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Off-chip memory and layout tests.
+ */
+#include <gtest/gtest.h>
+
+#include "memory/layout.hpp"
+#include "memory/offchip.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(OffchipMemory, AllocAlignsAndAdvances)
+{
+    OffchipMemory mem("m", 1 << 20, 460e9, 0.6, false);
+    uint64_t a = mem.alloc(10, "a");
+    uint64_t b = mem.alloc(10, "b");
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 16, 0u);
+    EXPECT_GE(b, a + 10);
+    EXPECT_GE(mem.allocated(), b + 10);
+}
+
+TEST(OffchipMemory, FunctionalReadWrite)
+{
+    OffchipMemory mem("m", 1 << 20, 460e9, 0.6, true);
+    uint64_t addr = mem.alloc(64, "buf");
+    Half vals[4] = {Half::fromDouble(1.0), Half::fromDouble(-2.0),
+                    Half::fromDouble(0.5), Half::fromDouble(3.25)};
+    mem.writeHalf(addr, vals, 4);
+    Half back[4];
+    mem.readHalf(addr, back, 4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(back[i].bits(), vals[i].bits());
+    // Unwritten memory reads as zero.
+    EXPECT_TRUE(mem.loadHalf(addr + 32).isZero());
+}
+
+TEST(OffchipMemory, StreamTiming)
+{
+    OffchipMemory mem("m", 1 << 30, 460e9, 0.5, false);
+    // 230 GB/s effective: 230 bytes per ns.
+    EXPECT_NEAR(mem.streamSeconds(230'000'000), 1e-3, 1e-9);
+    // Cycles at 200 MHz: 1150 bytes/cycle.
+    EXPECT_EQ(mem.streamCycles(1150, 200e6), 1u);
+    EXPECT_EQ(mem.streamCycles(1151, 200e6), 2u);
+}
+
+TEST(OffchipMemory, HbmDdrSpecs)
+{
+    OffchipMemory hbm = makeHbm(0, 0.6, false);
+    OffchipMemory ddr = makeDdr(0, 0.7, false);
+    EXPECT_DOUBLE_EQ(hbm.peakBandwidth(), 460e9);
+    EXPECT_DOUBLE_EQ(ddr.peakBandwidth(), 38e9);
+    EXPECT_EQ(hbm.capacity(), 8ull << 30);
+    EXPECT_EQ(ddr.capacity(), 32ull << 30);
+}
+
+TEST(ClusterGeometry, Shards)
+{
+    GptConfig c = GptConfig::gpt2_1_5B();
+    ClusterGeometry g{4};
+    EXPECT_EQ(g.localHeads(c), 6u);
+    EXPECT_EQ(g.embShard(c), 384u);
+    EXPECT_EQ(g.ffnShard(c), 1536u);
+    // 50257 / 4 = 12564.25 -> 12565 -> padded to 16: 12576.
+    EXPECT_EQ(g.vocabShard(c, 16), 12576u);
+    EXPECT_GE(4 * g.vocabShard(c, 16), c.vocabSize);
+}
+
+TEST(ClusterGeometry, RejectsIndivisibleHeads)
+{
+    GptConfig c = GptConfig::toy();  // 2 heads
+    ClusterGeometry g{4};
+    EXPECT_DEATH(g.validateFor(c), "not divisible");
+}
+
+TEST(MemoryLayout, DeterministicAcrossCores)
+{
+    GptConfig c = GptConfig::mini();
+    ClusterGeometry g{2};
+    OffchipMemory h0("h0", 1ull << 33, 460e9, 0.6, false);
+    OffchipMemory d0("d0", 1ull << 33, 38e9, 0.7, false);
+    OffchipMemory h1("h1", 1ull << 33, 460e9, 0.6, false);
+    OffchipMemory d1("d1", 1ull << 33, 38e9, 0.7, false);
+    MemoryLayout a = MemoryLayout::build(c, g, 16, h0, d0);
+    MemoryLayout b = MemoryLayout::build(c, g, 16, h1, d1);
+    EXPECT_EQ(a.lmHeadW, b.lmHeadW);
+    EXPECT_EQ(a.wte, b.wte);
+    for (size_t l = 0; l < c.layers; ++l) {
+        EXPECT_EQ(a.layers[l].wq, b.layers[l].wq);
+        EXPECT_EQ(a.layers[l].keyBase, b.layers[l].keyBase);
+        EXPECT_EQ(a.layers[l].bfc1, b.layers[l].bfc1);
+    }
+}
+
+TEST(MemoryLayout, RegionsDisjoint)
+{
+    GptConfig c = GptConfig::mini();
+    ClusterGeometry g{1};
+    OffchipMemory h("h", 1ull << 33, 460e9, 0.6, false);
+    OffchipMemory d("d", 1ull << 33, 38e9, 0.7, false);
+    MemoryLayout ml = MemoryLayout::build(c, g, 16, h, d);
+    const uint64_t emb = c.embedding;
+    // Weight shard regions must not overlap: check a few adjacencies.
+    EXPECT_GE(ml.layers[0].wk, ml.layers[0].wq + emb * emb * 2);
+    EXPECT_GE(ml.layers[0].wv, ml.layers[0].wk + emb * emb * 2);
+    EXPECT_GE(ml.layers[1].wq,
+              ml.layers[0].vtBase + c.heads * 64 * c.maxSeq * 2);
+}
+
+TEST(MemoryLayout, KvAddressing)
+{
+    GptConfig c = GptConfig::mini();
+    ClusterGeometry g{2};
+    OffchipMemory h("h", 1ull << 33, 460e9, 0.6, false);
+    OffchipMemory d("d", 1ull << 33, 38e9, 0.7, false);
+    MemoryLayout ml = MemoryLayout::build(c, g, 16, h, d);
+    const size_t hd = c.headDim;
+    // Consecutive K rows are hd apart.
+    EXPECT_EQ(ml.keyRowAddr(0, 0, 1) - ml.keyRowAddr(0, 0, 0), hd * 2);
+    // Head regions are maxSeq rows apart.
+    EXPECT_EQ(ml.keyHeadBase(0, 1) - ml.keyHeadBase(0, 0),
+              c.maxSeq * hd * 2);
+    // V^T: element (j, t+1) is adjacent; (j+1, t) is maxSeq away.
+    EXPECT_EQ(ml.vtAddr(0, 0, 0, 1) - ml.vtAddr(0, 0, 0, 0), 2u);
+    EXPECT_EQ(ml.vtAddr(0, 0, 1, 0) - ml.vtAddr(0, 0, 0, 0),
+              c.maxSeq * 2);
+}
+
+TEST(MemoryLayout, FullModelsFitDevices)
+{
+    // The paper's three models must fit 8 GB HBM / 32 GB DDR at their
+    // paper cluster sizes (345M:1, 774M:2, 1.5B:4).
+    struct Case { GptConfig cfg; size_t cores; };
+    Case cases[] = {{GptConfig::gpt2_345M(), 1},
+                    {GptConfig::gpt2_774M(), 2},
+                    {GptConfig::gpt2_1_5B(), 4}};
+    for (const auto &cs : cases) {
+        OffchipMemory h = makeHbm(0, 0.6, false);
+        OffchipMemory d = makeDdr(0, 0.7, false);
+        MemoryLayout ml =
+            MemoryLayout::build(cs.cfg, ClusterGeometry{cs.cores}, 16, h,
+                                d);
+        EXPECT_LT(ml.hbmBytes(), 8ull << 30) << cs.cfg.name;
+        EXPECT_LT(ml.ddrBytes(), 32ull << 30) << cs.cfg.name;
+    }
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * GPT-2 configuration tests (paper Table I).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/config.hpp"
+#include "model/weights.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(GptConfig, TableI_345M)
+{
+    GptConfig c = GptConfig::gpt2_345M();
+    EXPECT_EQ(c.embedding, 1024u);
+    EXPECT_EQ(c.heads, 16u);
+    EXPECT_EQ(c.headDim, 64u);
+    EXPECT_EQ(c.layers, 24u);
+    // "345M" counts parameters: should land within 10% of the name.
+    double params = static_cast<double>(c.parameterCount());
+    EXPECT_NEAR(params / 1e6, 345.0, 45.0);
+}
+
+TEST(GptConfig, TableI_774M)
+{
+    GptConfig c = GptConfig::gpt2_774M();
+    EXPECT_EQ(c.embedding, 1280u);
+    EXPECT_EQ(c.heads, 20u);
+    EXPECT_EQ(c.headDim, 64u);
+    EXPECT_EQ(c.layers, 36u);
+    double params = static_cast<double>(c.parameterCount());
+    EXPECT_NEAR(params / 1e6, 774.0, 80.0);
+}
+
+TEST(GptConfig, TableI_1_5B)
+{
+    GptConfig c = GptConfig::gpt2_1_5B();
+    EXPECT_EQ(c.embedding, 1536u);
+    EXPECT_EQ(c.heads, 24u);
+    EXPECT_EQ(c.headDim, 64u);
+    EXPECT_EQ(c.layers, 48u);
+    double params = static_cast<double>(c.parameterCount());
+    EXPECT_NEAR(params / 1e9, 1.5, 0.2);
+}
+
+TEST(GptConfig, DerivedQuantities)
+{
+    GptConfig c = GptConfig::gpt2_1_5B();
+    EXPECT_EQ(c.ffnHidden(), 4 * 1536u);
+    EXPECT_EQ(c.layerMatrixParams(), 12 * 1536u * 1536u);
+    EXPECT_EQ(c.parameterBytes(), c.parameterCount() * 2);
+}
+
+TEST(GptConfig, ByName)
+{
+    EXPECT_EQ(GptConfig::byName("345M").embedding, 1024u);
+    EXPECT_EQ(GptConfig::byName("774M").layers, 36u);
+    EXPECT_EQ(GptConfig::byName("1.5B").heads, 24u);
+    EXPECT_EQ(GptConfig::byName("toy").name, "toy");
+    EXPECT_EQ(GptConfig::byName("mini").headDim, 64u);
+}
+
+TEST(GptConfig, TestConfigsConsistent)
+{
+    GptConfig::toy().validate();
+    GptConfig::mini().validate();
+}
+
+TEST(GptWeights, CountMatchesConfig)
+{
+    GptConfig c = GptConfig::toy();
+    GptWeights w = GptWeights::random(c, 1);
+    EXPECT_EQ(w.parameterCount(), c.parameterCount());
+}
+
+TEST(GptWeights, DeterministicForSeed)
+{
+    GptConfig c = GptConfig::toy();
+    GptWeights a = GptWeights::random(c, 99);
+    GptWeights b = GptWeights::random(c, 99);
+    EXPECT_EQ(a.wte.at(5, 7).bits(), b.wte.at(5, 7).bits());
+    EXPECT_EQ(a.layers[1].wfc1.at(3, 11).bits(),
+              b.layers[1].wfc1.at(3, 11).bits());
+    GptWeights d = GptWeights::random(c, 100);
+    EXPECT_NE(a.wte.at(5, 7).bits(), d.wte.at(5, 7).bits());
+}
+
+TEST(GptWeights, InitStatistics)
+{
+    GptConfig c = GptConfig::mini();
+    GptWeights w = GptWeights::random(c, 3);
+    // Matrix entries ~ N(0, 0.02): check sample std on a big matrix.
+    double sq = 0.0;
+    size_t n = 0;
+    for (size_t r = 0; r < w.wte.rows(); ++r) {
+        for (size_t col = 0; col < w.wte.cols(); ++col) {
+            double v = w.wte.at(r, col).toFloat();
+            sq += v * v;
+            ++n;
+        }
+    }
+    double std = std::sqrt(sq / static_cast<double>(n));
+    EXPECT_NEAR(std, 0.02, 0.002);
+    // LN gamma near 1.
+    double gsum = 0.0;
+    for (size_t i = 0; i < w.lnfGamma.size(); ++i)
+        gsum += w.lnfGamma[i].toFloat();
+    EXPECT_NEAR(gsum / static_cast<double>(w.lnfGamma.size()), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace dfx

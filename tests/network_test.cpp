@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ring network and router tests.
+ */
+#include <gtest/gtest.h>
+
+#include "network/ring.hpp"
+#include "network/router.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(RingNetwork, SingleNodeIsFree)
+{
+    RingNetwork ring(RingParams{}, 1);
+    EXPECT_DOUBLE_EQ(ring.allGatherSeconds(1 << 20), 0.0);
+    EXPECT_DOUBLE_EQ(ring.argmaxReduceSeconds(), 0.0);
+}
+
+TEST(RingNetwork, AllGatherScalesWithHops)
+{
+    RingParams p;
+    RingNetwork r2(p, 2), r4(p, 4);
+    double t2 = r2.allGatherSeconds(4096);
+    double t4 = r4.allGatherSeconds(4096);
+    EXPECT_NEAR(t4 / t2, 3.0, 1e-9);  // (4-1)/(2-1)
+}
+
+TEST(RingNetwork, BandwidthAndLatencyTerms)
+{
+    RingParams p;
+    p.hopLatencySec = 1e-6;
+    RingNetwork ring(p, 2);
+    // Effective bandwidth: 100 Gb/s * 0.97 / 8 = 12.125 GB/s.
+    EXPECT_NEAR(p.effectiveBytesPerSec(), 12.125e9, 1e6);
+    double small = ring.allGatherSeconds(8);
+    double large = ring.allGatherSeconds(12'125'000);  // ~1 ms of bytes
+    EXPECT_NEAR(small, 1e-6, 1e-7);       // latency dominated
+    EXPECT_NEAR(large, 1e-3 + 1e-6, 1e-5);  // bandwidth dominated
+}
+
+TEST(RingNetwork, EncodingOverheadCosts3Percent)
+{
+    RingParams with{};
+    RingParams without{};
+    without.encodingOverhead = 0.0;
+    EXPECT_NEAR(with.effectiveBytesPerSec() /
+                    without.effectiveBytesPerSec(),
+                0.97, 1e-12);
+}
+
+TEST(Router, ReorderByCoreId)
+{
+    std::vector<RouterChunk> chunks;
+    // Arrival order 2, 0, 1 must not matter.
+    for (size_t core : {2u, 0u, 1u}) {
+        VecH payload(4);
+        for (size_t i = 0; i < 4; ++i)
+            payload[i] = Half::fromDouble(static_cast<double>(
+                core * 10 + i));
+        chunks.push_back({core, payload});
+    }
+    VecH full = Router::reorder(chunks);
+    ASSERT_EQ(full.size(), 12u);
+    for (size_t core = 0; core < 3; ++core)
+        for (size_t i = 0; i < 4; ++i)
+            EXPECT_FLOAT_EQ(full[core * 4 + i].toFloat(),
+                            static_cast<float>(core * 10 + i));
+}
+
+TEST(Router, ReorderInvariantToArrivalOrder)
+{
+    // Property: any permutation of arrivals yields the same result.
+    const size_t n = 4, len = 8;
+    std::vector<RouterChunk> base;
+    for (size_t c = 0; c < n; ++c) {
+        VecH p(len);
+        for (size_t i = 0; i < len; ++i)
+            p[i] = Half::fromDouble(static_cast<double>(c * 100 + i));
+        base.push_back({c, p});
+    }
+    VecH expect = Router::reorder(base);
+    for (size_t rot = 1; rot < n; ++rot) {
+        std::vector<RouterChunk> rotated;
+        for (size_t i = 0; i < n; ++i)
+            rotated.push_back(base[(i + rot) % n]);
+        VecH got = Router::reorder(rotated);
+        for (size_t i = 0; i < expect.size(); ++i)
+            EXPECT_EQ(got[i].bits(), expect[i].bits());
+    }
+}
+
+TEST(Router, ArrivalOrderCoversAllNodes)
+{
+    auto order = Router::arrivalOrder(1, 4);
+    ASSERT_EQ(order.size(), 4u);
+    EXPECT_EQ(order[0], 1u);  // own chunk first
+    std::vector<bool> seen(4, false);
+    for (size_t n : order)
+        seen[n] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tensor and reference NN math tests.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/functions.hpp"
+#include "numeric/tensor.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(Tensor, VectorBasics)
+{
+    VecF v(4, 1.5f);
+    EXPECT_EQ(v.size(), 4u);
+    v[2] = 3.0f;
+    EXPECT_FLOAT_EQ(v[2], 3.0f);
+    EXPECT_FLOAT_EQ(v[0], 1.5f);
+}
+
+TEST(Tensor, MatrixBasics)
+{
+    MatF m(2, 3);
+    for (size_t r = 0; r < 2; ++r)
+        for (size_t c = 0; c < 3; ++c)
+            m.at(r, c) = static_cast<float>(r * 3 + c);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    VecF row1 = m.row(1);
+    EXPECT_FLOAT_EQ(row1[0], 3.0f);
+    EXPECT_FLOAT_EQ(row1[2], 5.0f);
+    VecF col2 = m.col(2);
+    EXPECT_FLOAT_EQ(col2[0], 2.0f);
+    EXPECT_FLOAT_EQ(col2[1], 5.0f);
+}
+
+TEST(Tensor, Slices)
+{
+    MatF m(3, 4);
+    for (size_t r = 0; r < 3; ++r)
+        for (size_t c = 0; c < 4; ++c)
+            m.at(r, c) = static_cast<float>(10 * r + c);
+    MatF cs = m.colSlice(1, 2);
+    EXPECT_EQ(cs.rows(), 3u);
+    EXPECT_EQ(cs.cols(), 2u);
+    EXPECT_FLOAT_EQ(cs.at(2, 0), 21.0f);
+    MatF rs = m.rowSlice(1, 2);
+    EXPECT_EQ(rs.rows(), 2u);
+    EXPECT_FLOAT_EQ(rs.at(0, 3), 13.0f);
+}
+
+TEST(Tensor, Transpose)
+{
+    MatF m(2, 3);
+    m.at(0, 1) = 7.0f;
+    m.at(1, 2) = -2.0f;
+    MatF t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_FLOAT_EQ(t.at(1, 0), 7.0f);
+    EXPECT_FLOAT_EQ(t.at(2, 1), -2.0f);
+}
+
+TEST(Tensor, HalfConversions)
+{
+    VecF v(3);
+    v[0] = 1.0f;
+    v[1] = -2.5f;
+    v[2] = 0.1f;
+    VecH h = toHalf(v);
+    VecF back = toFloat(h);
+    EXPECT_FLOAT_EQ(back[0], 1.0f);
+    EXPECT_FLOAT_EQ(back[1], -2.5f);
+    EXPECT_NEAR(back[2], 0.1f, 1e-4f);
+}
+
+TEST(Functions, GeluKnownValues)
+{
+    EXPECT_NEAR(geluExact(0.0f), 0.0f, 1e-7f);
+    // GELU(x) -> x for large x, -> 0 for very negative x.
+    EXPECT_NEAR(geluExact(8.0f), 8.0f, 1e-4f);
+    EXPECT_NEAR(geluExact(-8.0f), 0.0f, 1e-4f);
+    // Published value: GELU(1) ~= 0.8412 (tanh approximation).
+    EXPECT_NEAR(geluExact(1.0f), 0.84119f, 1e-4f);
+    EXPECT_NEAR(geluExact(-1.0f), -0.15881f, 1e-4f);
+}
+
+TEST(Functions, GeluMonotoneAboveZero)
+{
+    float prev = geluExact(0.0f);
+    for (float x = 0.05f; x < 8.0f; x += 0.05f) {
+        float y = geluExact(x);
+        EXPECT_GE(y, prev);
+        prev = y;
+    }
+}
+
+TEST(Functions, SoftmaxSumsToOne)
+{
+    VecF v(5);
+    v[0] = 1.0f; v[1] = -2.0f; v[2] = 0.5f; v[3] = 3.0f; v[4] = 3.0f;
+    VecF s = softmax(v);
+    float sum = 0.0f;
+    for (size_t i = 0; i < s.size(); ++i) {
+        EXPECT_GT(s[i], 0.0f);
+        sum += s[i];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    // Equal logits get equal probability.
+    EXPECT_FLOAT_EQ(s[3], s[4]);
+    // Ordering is preserved.
+    EXPECT_GT(s[3], s[0]);
+    EXPECT_GT(s[0], s[1]);
+}
+
+TEST(Functions, SoftmaxStableForLargeInputs)
+{
+    VecF v(3);
+    v[0] = 1000.0f; v[1] = 1001.0f; v[2] = 999.0f;
+    VecF s = softmax(v);
+    EXPECT_FALSE(std::isnan(s[0]));
+    float sum = s[0] + s[1] + s[2];
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+    EXPECT_GT(s[1], s[0]);
+}
+
+TEST(Functions, LayerNormZeroMeanUnitVar)
+{
+    const size_t n = 64;
+    VecF x(n), gamma(n, 1.0f), beta(n, 0.0f);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = static_cast<float>(i) * 0.25f - 3.0f;
+    VecF y = layerNorm(x, gamma, beta);
+    double mean = 0.0, var = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        mean += y[i];
+    mean /= n;
+    for (size_t i = 0; i < n; ++i)
+        var += (y[i] - mean) * (y[i] - mean);
+    var /= n;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+}
+
+TEST(Functions, LayerNormGammaBeta)
+{
+    const size_t n = 8;
+    VecF x(n), gamma(n, 2.0f), beta(n, 1.0f);
+    for (size_t i = 0; i < n; ++i)
+        x[i] = static_cast<float>(i);
+    VecF y = layerNorm(x, gamma, beta);
+    // Mean of y should be beta (gamma scales zero-mean values).
+    double mean = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        mean += y[i];
+    EXPECT_NEAR(mean / n, 1.0, 1e-5);
+}
+
+TEST(Functions, MatVec)
+{
+    // W is (in=2 x out=3); y = W^T x + b.
+    MatF w(2, 3);
+    w.at(0, 0) = 1; w.at(0, 1) = 2; w.at(0, 2) = 3;
+    w.at(1, 0) = 4; w.at(1, 1) = 5; w.at(1, 2) = 6;
+    VecF x(2); x[0] = 1.0f; x[1] = 2.0f;
+    VecF b(3); b[0] = 0.5f; b[1] = -0.5f; b[2] = 0.0f;
+    VecF y = matVec(w, x, b);
+    EXPECT_FLOAT_EQ(y[0], 1 * 1 + 4 * 2 + 0.5f);
+    EXPECT_FLOAT_EQ(y[1], 2 * 1 + 5 * 2 - 0.5f);
+    EXPECT_FLOAT_EQ(y[2], 3 * 1 + 6 * 2);
+}
+
+TEST(Functions, Argmax)
+{
+    VecF v(4);
+    v[0] = 0.5f; v[1] = 3.0f; v[2] = 3.0f; v[3] = -1.0f;
+    EXPECT_EQ(argmax(v), 1u);  // first max wins
+}
+
+TEST(Tensor, MaxAbsDiff)
+{
+    VecF a(3), b(3);
+    a[0] = 1; a[1] = 2; a[2] = 3;
+    b[0] = 1; b[1] = 2.5f; b[2] = 2.9f;
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 0.5f);
+}
+
+}  // namespace
+}  // namespace dfx

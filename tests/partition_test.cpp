@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Partitioner tests: the per-core shards written into HBM/DDR must
+ * exactly reconstruct the full model (Fig. 6 intra-layer split), with
+ * head-contiguous Q/K/V columns, zero-padded LM-head tails, and full
+ * LN/embedding copies on every core.
+ */
+#include <gtest/gtest.h>
+
+#include "appliance/partition.hpp"
+
+namespace dfx {
+namespace {
+
+class PartitionTest : public ::testing::TestWithParam<size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        config = GptConfig::mini();
+        weights = std::make_unique<GptWeights>(
+            GptWeights::random(config, 61));
+        nCores = GetParam();
+        geometry = ClusterGeometry{nCores};
+        for (size_t i = 0; i < nCores; ++i) {
+            cores.push_back(std::make_unique<ComputeCore>(
+                i, CoreParams::defaults(), true));
+        }
+        layout = MemoryLayout::build(config, geometry, 16,
+                                     cores[0]->hbm(), cores[0]->ddr());
+        for (size_t i = 1; i < nCores; ++i) {
+            MemoryLayout::build(config, geometry, 16, cores[i]->hbm(),
+                                cores[i]->ddr());
+        }
+        Partitioner part(*weights, geometry, 16);
+        for (size_t i = 0; i < nCores; ++i)
+            part.load(*cores[i], layout, i);
+    }
+
+    GptConfig config;
+    std::unique_ptr<GptWeights> weights;
+    size_t nCores;
+    ClusterGeometry geometry;
+    std::vector<std::unique_ptr<ComputeCore>> cores;
+    MemoryLayout layout;
+};
+
+TEST_P(PartitionTest, WeightShardsReconstructFullMatrices)
+{
+    const size_t emb = config.embedding;
+    const size_t shard = geometry.embShard(config);
+    // Reassemble wq from the core shards; must equal the original.
+    for (size_t l = 0; l < config.layers; ++l) {
+        for (size_t core = 0; core < nCores; ++core) {
+            for (size_t r = 0; r < emb; r += 7) {
+                for (size_t c = 0; c < shard; c += 5) {
+                    Half stored = cores[core]->hbm().loadHalf(
+                        layout.layers[l].wq +
+                        (static_cast<uint64_t>(r) * shard + c) * 2);
+                    Half expect =
+                        weights->layers[l].wq.at(r, core * shard + c);
+                    ASSERT_EQ(stored.bits(), expect.bits())
+                        << "layer " << l << " core " << core;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(PartitionTest, FfnShardsAreColumnSlices)
+{
+    const size_t ffn_shard = geometry.ffnShard(config);
+    for (size_t core = 0; core < nCores; ++core) {
+        Half stored = cores[core]->hbm().loadHalf(
+            layout.layers[0].wfc1 + (3ull * ffn_shard + 2) * 2);
+        Half expect =
+            weights->layers[0].wfc1.at(3, core * ffn_shard + 2);
+        EXPECT_EQ(stored.bits(), expect.bits()) << "core " << core;
+    }
+}
+
+TEST_P(PartitionTest, LnParamsReplicatedOnEveryCore)
+{
+    const size_t emb = config.embedding;
+    for (size_t core = 0; core < nCores; ++core) {
+        for (size_t i = 0; i < emb; i += 17) {
+            Half g = cores[core]->ddr().loadHalf(
+                layout.layers[1].ln2Gamma + i * 2);
+            EXPECT_EQ(g.bits(), weights->layers[1].ln2Gamma[i].bits());
+        }
+    }
+}
+
+TEST_P(PartitionTest, LmHeadIsTransposedWteWithZeroPad)
+{
+    const size_t vocab_shard = geometry.vocabShard(config, 16);
+    const size_t emb = config.embedding;
+    for (size_t core = 0; core < nCores; ++core) {
+        size_t offset = core * vocab_shard;
+        size_t real = offset >= config.vocabSize
+                          ? 0
+                          : std::min(vocab_shard,
+                                     config.vocabSize - offset);
+        for (size_t r = 0; r < emb; r += 31) {
+            // A real column equals WTE transposed.
+            if (real > 0) {
+                Half stored = cores[core]->hbm().loadHalf(
+                    layout.lmHeadW +
+                    (static_cast<uint64_t>(r) * vocab_shard + 0) * 2);
+                EXPECT_EQ(stored.bits(),
+                          weights->wte.at(offset, r).bits());
+            }
+            // Padded tail columns are zero.
+            if (real < vocab_shard) {
+                Half pad = cores[core]->hbm().loadHalf(
+                    layout.lmHeadW +
+                    (static_cast<uint64_t>(r) * vocab_shard +
+                     vocab_shard - 1) * 2);
+                EXPECT_TRUE(pad.isZero());
+            }
+        }
+    }
+}
+
+TEST_P(PartitionTest, EmbeddingTablesFullOnEveryCore)
+{
+    for (size_t core = 0; core < nCores; ++core) {
+        Half wte_val = cores[core]->ddr().loadHalf(
+            layout.wte + (5ull * config.embedding + 9) * 2);
+        EXPECT_EQ(wte_val.bits(), weights->wte.at(5, 9).bits());
+        Half wpe_val = cores[core]->ddr().loadHalf(
+            layout.wpe + (3ull * config.embedding + 1) * 2);
+        EXPECT_EQ(wpe_val.bits(), weights->wpe.at(3, 1).bits());
+    }
+}
+
+TEST_P(PartitionTest, BiasShardsMatchColumns)
+{
+    const size_t shard = geometry.embShard(config);
+    for (size_t core = 0; core < nCores; ++core) {
+        for (size_t c = 0; c < shard; c += 13) {
+            Half b = cores[core]->ddr().loadHalf(
+                layout.layers[2].bproj + c * 2);
+            EXPECT_EQ(b.bits(),
+                      weights->layers[2].bproj[core * shard + c].bits());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, PartitionTest,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<size_t> &i) {
+                             return "cores" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace dfx

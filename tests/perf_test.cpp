@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Energy, cost, resource-model and report tests.
+ */
+#include <gtest/gtest.h>
+
+#include "perf/cost.hpp"
+#include "perf/energy.hpp"
+#include "perf/report.hpp"
+#include "perf/resource.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(EnergyModel, DfxPower)
+{
+    EnergyModel e;
+    EXPECT_DOUBLE_EQ(e.dfxPowerWatts(1), 45.0);
+    EXPECT_DOUBLE_EQ(e.dfxPowerWatts(4), 180.0);
+}
+
+TEST(EnergyModel, GpuPowerAtLowUtilizationMatchesMeasured)
+{
+    EnergyModel e;
+    // At text-generation utilization (~3%) the model should land near
+    // the paper's measured 47.5 W per V100.
+    double p = e.gpuPowerWatts(1, 0.033);
+    EXPECT_NEAR(p, 47.5, 2.0);
+    // Clamped at the extremes.
+    EXPECT_DOUBLE_EQ(e.gpuPowerWatts(1, 2.0), 300.0);
+    EXPECT_DOUBLE_EQ(e.gpuPowerWatts(1, -1.0), 39.0);
+}
+
+TEST(EnergyModel, EfficiencyMetric)
+{
+    EXPECT_DOUBLE_EQ(EnergyModel::tokensPerSecPerWatt(72.68, 180.0),
+                     72.68 / 180.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::energyJoules(100.0, 2.0), 200.0);
+}
+
+TEST(CostModel, TableIIValues)
+{
+    CostModel cost;
+    CostRow gpu = cost.gpuAppliance(4, 13.01);
+    CostRow dfx = cost.dfxAppliance(4, 72.68);
+    EXPECT_DOUBLE_EQ(gpu.totalCost(), 45832.0);   // paper: $45,832
+    EXPECT_DOUBLE_EQ(dfx.totalCost(), 31180.0);   // paper: $31,180
+    EXPECT_NEAR(gpu.perfPerMillionDollars(), 283.86, 0.5);
+    EXPECT_NEAR(dfx.perfPerMillionDollars(), 2330.98, 1.0);
+    // Cost-effectiveness ratio: 8.21x.
+    EXPECT_NEAR(dfx.perfPerMillionDollars() / gpu.perfPerMillionDollars(),
+                8.21, 0.05);
+}
+
+TEST(ResourceModel, MatchesFig13Anchors)
+{
+    ResourceModel rm(64, 16);
+    auto mods = rm.modules();
+    ASSERT_EQ(mods.size(), 6u);
+    // MPU DSP count is the paper's exact formula result.
+    EXPECT_NEAR(mods[1].dsp, 3136.0, 1.0);
+    EXPECT_NEAR(mods[2].dsp, 390.0, 1.0);
+    // LUT/FF anchors within 10%.
+    EXPECT_NEAR(mods[1].lut, 170000.0, 17000.0);
+    EXPECT_NEAR(mods[1].ff, 381000.0, 38100.0);
+    EXPECT_NEAR(mods[0].ff, 110000.0, 11000.0);
+    EXPECT_NEAR(mods[3].bram, 134.5, 13.0);
+    EXPECT_NEAR(mods[3].uram, 52.0, 1.0);
+}
+
+TEST(ResourceModel, TotalsFitU280)
+{
+    ResourceModel rm(64, 16);
+    EXPECT_TRUE(rm.fits());
+    ResourceUsage t = rm.total();
+    // Paper: ~40% LUT, ~43% FF, ~59% BRAM, ~11% URAM, ~39% DSP.
+    EXPECT_LT(ResourceModel::lutPct(t), 55.0);
+    EXPECT_GT(ResourceModel::lutPct(t), 25.0);
+    EXPECT_LT(ResourceModel::dspPct(t), 50.0);
+    EXPECT_GT(ResourceModel::dspPct(t), 30.0);
+}
+
+TEST(ResourceModel, D64L16IsCheapestEqualThroughputPoint)
+{
+    // Fig. 8(b): among the equal-throughput tilings (16,64), (32,32),
+    // (64,16), the (64,16) point uses the least logic.
+    ResourceModel a(16, 64), b(32, 32), c(64, 16);
+    EXPECT_GT(a.total().lut, b.total().lut);
+    EXPECT_GT(b.total().lut, c.total().lut);
+    EXPECT_GT(a.total().ff, b.total().ff);
+    EXPECT_GT(b.total().ff, c.total().ff);
+    // DSP stays roughly constant (same MAC count).
+    EXPECT_NEAR(a.total().dsp / c.total().dsp, 1.0, 0.1);
+}
+
+TEST(Report, TableRendersAligned)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22.5"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22.5"), std::string::npos);
+    // CSV form.
+    EXPECT_EQ(t.csv(), "name,value\nalpha,1\nb,22.5\n");
+}
+
+TEST(Report, Formatters)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(workloadLabel(32, 256), "[32:256]");
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Parameterized end-to-end property tests for the cluster: reference
+ * agreement, cross-cluster-size token identity, timing monotonicity
+ * and breakdown conservation swept over (model, cores, workload).
+ */
+#include <gtest/gtest.h>
+
+#include "appliance/appliance.hpp"
+#include "model/reference.hpp"
+
+namespace dfx {
+namespace {
+
+struct ClusterCase
+{
+    const char *model;
+    size_t cores;
+    uint64_t seed;
+};
+
+class ClusterProperty : public ::testing::TestWithParam<ClusterCase>
+{
+  protected:
+    DfxSystemConfig
+    config(bool functional) const
+    {
+        DfxSystemConfig cfg;
+        cfg.model = GptConfig::byName(GetParam().model);
+        cfg.nCores = GetParam().cores;
+        cfg.functional = functional;
+        return cfg;
+    }
+};
+
+TEST_P(ClusterProperty, MatchesReferenceGreedyTokens)
+{
+    const ClusterCase &cs = GetParam();
+    GptWeights w =
+        GptWeights::random(GptConfig::byName(cs.model), cs.seed);
+    DfxAppliance appliance(config(true));
+    appliance.loadWeights(w);
+    ReferenceModel ref(w);
+    std::vector<int32_t> prompt = {2, 3, 5, 7};
+    auto dfx_out = appliance.generate(prompt, 5).tokens;
+    auto ref_out = ref.generate(prompt, 5);
+    EXPECT_EQ(dfx_out, ref_out);
+}
+
+TEST_P(ClusterProperty, LatencyMonotoneInOutputTokens)
+{
+    DfxAppliance appliance(config(false));
+    std::vector<int32_t> prompt(8, 0);
+    double prev = 0.0;
+    for (size_t out : {1u, 2u, 4u, 8u}) {
+        double t = appliance.generate(prompt, out).totalSeconds();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST_P(ClusterProperty, LatencyMonotoneInInputTokens)
+{
+    DfxAppliance appliance(config(false));
+    double prev = 0.0;
+    for (size_t in : {2u, 4u, 8u, 16u}) {
+        double t = appliance.generate(std::vector<int32_t>(in, 0), 2)
+                       .totalSeconds();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST_P(ClusterProperty, BreakdownSumsToStageTime)
+{
+    DfxAppliance appliance(config(false));
+    GenerationResult r =
+        appliance.generate(std::vector<int32_t>(6, 0), 6);
+    double sum = 0.0;
+    for (double s : r.categorySeconds)
+        sum += s;
+    double stage = r.summarizationSeconds + r.generationSeconds;
+    EXPECT_NEAR(sum, stage, stage * 1e-6);
+}
+
+TEST_P(ClusterProperty, FlopsScaleWithModelWork)
+{
+    DfxAppliance appliance(config(false));
+    GenerationResult r =
+        appliance.generate(std::vector<int32_t>(4, 0), 4);
+    // 8 token steps; each must do at least 2 * (all layer-matrix
+    // params) FLOPs — weights are touched once per token.
+    GptConfig cfg = GptConfig::byName(GetParam().model);
+    double min_flops =
+        8.0 * 2.0 * static_cast<double>(cfg.layerMatrixParams()) *
+        static_cast<double>(cfg.layers);
+    EXPECT_GE(r.summarizationFlops + r.generationFlops, min_flops);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndClusters, ClusterProperty,
+    ::testing::Values(ClusterCase{"toy", 1, 11},
+                      ClusterCase{"toy", 2, 12},
+                      ClusterCase{"mini", 1, 13},
+                      ClusterCase{"mini", 2, 14},
+                      ClusterCase{"mini", 4, 15}),
+    [](const ::testing::TestParamInfo<ClusterCase> &info) {
+        return std::string(info.param.model) + "_c" +
+               std::to_string(info.param.cores);
+    });
+
+// ---------------------------------------------------------------------
+
+class WorkloadProperty
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(WorkloadProperty, DfxLatencyLinearInTotalTokens)
+{
+    // Fig. 14's defining property: DFX latency ~ (n_in + n_out) x
+    // per-token cost, with only a mild attention-driven superlinear
+    // term.
+    const auto [n_in, n_out] = GetParam();
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::mini();
+    cfg.nCores = 2;
+    cfg.functional = false;
+    DfxAppliance appliance(cfg);
+    double t = appliance.generate(std::vector<int32_t>(n_in, 0), n_out)
+                   .totalSeconds();
+    double t1 = appliance.generate(std::vector<int32_t>(2, 0), 2)
+                    .totalSeconds();
+    double per_token = t1 / 4.0;
+    double tokens = static_cast<double>(n_in + n_out);
+    EXPECT_GT(t, 0.9 * per_token * tokens);
+    EXPECT_LT(t, 1.6 * per_token * tokens);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadProperty,
+    ::testing::Values(std::make_pair(4, 4), std::make_pair(8, 16),
+                      std::make_pair(16, 8), std::make_pair(32, 32),
+                      std::make_pair(8, 48)),
+    [](const ::testing::TestParamInfo<std::pair<size_t, size_t>> &info) {
+        return "in" + std::to_string(info.param.first) + "_out" +
+               std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace dfx

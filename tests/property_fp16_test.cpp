@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Parameterized property tests for the FP16 soft-float: algebraic
+ * identities that must hold in every exponent regime (normals,
+ * subnormals, near-overflow), swept via TEST_P.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fp16.hpp"
+#include "common/random.hpp"
+
+namespace dfx {
+namespace {
+
+/** One exponent regime to sweep: values in [2^lo, 2^hi). */
+struct Regime
+{
+    const char *name;
+    int lo;
+    int hi;
+};
+
+class Fp16Property : public ::testing::TestWithParam<Regime>
+{
+  protected:
+    /** Random half in the regime (both signs). */
+    Half
+    sample(Rng &rng) const
+    {
+        const Regime &r = GetParam();
+        double mag = std::ldexp(1.0 + rng.uniform(),
+                                static_cast<int>(rng.below(
+                                    static_cast<uint64_t>(
+                                        r.hi - r.lo))) + r.lo);
+        return Half::fromDouble(rng.uniform() < 0.5 ? -mag : mag);
+    }
+};
+
+TEST_P(Fp16Property, AdditionCommutes)
+{
+    Rng rng(101);
+    for (int i = 0; i < 3000; ++i) {
+        Half a = sample(rng), b = sample(rng);
+        EXPECT_EQ((a + b).bits(), (b + a).bits());
+    }
+}
+
+TEST_P(Fp16Property, MultiplicationCommutes)
+{
+    Rng rng(102);
+    for (int i = 0; i < 3000; ++i) {
+        Half a = sample(rng), b = sample(rng);
+        EXPECT_EQ((a * b).bits(), (b * a).bits());
+    }
+}
+
+TEST_P(Fp16Property, AdditiveIdentity)
+{
+    Rng rng(103);
+    for (int i = 0; i < 2000; ++i) {
+        Half a = sample(rng);
+        EXPECT_EQ((a + Half::zero()).bits(), a.bits());
+        EXPECT_EQ((a - Half::zero()).bits(), a.bits());
+    }
+}
+
+TEST_P(Fp16Property, MultiplicativeIdentity)
+{
+    Rng rng(104);
+    for (int i = 0; i < 2000; ++i) {
+        Half a = sample(rng);
+        EXPECT_EQ((a * Half::one()).bits(), a.bits());
+        EXPECT_EQ((a / Half::one()).bits(), a.bits());
+    }
+}
+
+TEST_P(Fp16Property, SubtractionIsNegatedAddition)
+{
+    Rng rng(105);
+    for (int i = 0; i < 2000; ++i) {
+        Half a = sample(rng), b = sample(rng);
+        EXPECT_EQ((a - b).bits(), (a + (-b)).bits());
+    }
+}
+
+TEST_P(Fp16Property, SelfSubtractionIsZero)
+{
+    Rng rng(106);
+    for (int i = 0; i < 2000; ++i) {
+        Half a = sample(rng);
+        EXPECT_TRUE((a - a).isZero());
+    }
+}
+
+TEST_P(Fp16Property, RoundingIsMonotone)
+{
+    // x <= y implies round(x) <= round(y).
+    Rng rng(107);
+    for (int i = 0; i < 3000; ++i) {
+        double x = sample(rng).toDouble();
+        double y = x * (1.0 + rng.uniform() * 0.01);
+        if (x < 0)
+            std::swap(x, y);
+        Half hx = Half::fromDouble(x), hy = Half::fromDouble(y);
+        EXPECT_LE(hx.toDouble(), hy.toDouble());
+    }
+}
+
+TEST_P(Fp16Property, RoundingErrorWithinHalfUlp)
+{
+    Rng rng(108);
+    for (int i = 0; i < 3000; ++i) {
+        Half a = sample(rng);
+        double x = a.toDouble() * (1.0 + (rng.uniform() - 0.5) * 1e-4);
+        Half h = Half::fromDouble(x);
+        if (h.isInf())
+            continue;
+        // ULP at |x|: distance between the two neighbouring halves.
+        Half up = Half::fromBits(static_cast<uint16_t>(
+            (h.bits() & 0x7fffu) + 1));
+        double ulp = std::fabs(up.toDouble() - std::fabs(h.toDouble()));
+        EXPECT_LE(std::fabs(h.toDouble() - x), ulp * 0.5 * 1.0001);
+    }
+}
+
+TEST_P(Fp16Property, ComparisonsConsistentWithDouble)
+{
+    Rng rng(109);
+    for (int i = 0; i < 3000; ++i) {
+        Half a = sample(rng), b = sample(rng);
+        EXPECT_EQ(a < b, a.toDouble() < b.toDouble());
+        EXPECT_EQ(a == b, a.toDouble() == b.toDouble());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExponentRegimes, Fp16Property,
+    ::testing::Values(Regime{"subnormal", -24, -15},
+                      Regime{"small", -14, -5},
+                      Regime{"unit", -2, 2},
+                      Regime{"large", 5, 12},
+                      Regime{"near_max", 13, 15}),
+    [](const ::testing::TestParamInfo<Regime> &info) {
+        return info.param.name;
+    });
+
+}  // namespace
+}  // namespace dfx

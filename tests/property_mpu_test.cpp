@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Parameterized property tests for the matrix processing unit:
+ * functional agreement with the reference matvec and timing-model
+ * invariants, swept over operand shapes and tilings via TEST_P.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "core/core.hpp"
+#include "numeric/functions.hpp"
+
+namespace dfx {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Operand;
+
+struct Shape
+{
+    size_t rows;
+    size_t cols;
+};
+
+class MpuShapeProperty : public ::testing::TestWithParam<Shape>
+{
+};
+
+TEST_P(MpuShapeProperty, Conv1dMatchesReferenceWithinFp16Error)
+{
+    const auto [rows, cols] = GetParam();
+    ComputeCore core(0, CoreParams::defaults(), true);
+    Rng rng(rows * 131 + cols);
+
+    MatF w(rows, cols);
+    VecF x(rows), b(cols);
+    for (size_t r = 0; r < rows; ++r)
+        for (size_t c = 0; c < cols; ++c)
+            w.at(r, c) = static_cast<float>(rng.normal(0, 0.1));
+    for (size_t r = 0; r < rows; ++r)
+        x[r] = static_cast<float>(rng.normal(0, 1.0));
+    for (size_t c = 0; c < cols; ++c)
+        b[c] = static_cast<float>(rng.normal(0, 0.05));
+
+    uint64_t w_addr = core.hbm().alloc(rows * cols * 2, "w");
+    uint64_t b_addr = core.ddr().alloc(cols * 2, "b");
+    MatH wh = toHalf(w);
+    core.hbm().writeHalf(w_addr, wh.data(), wh.size());
+    VecH bh = toHalf(b);
+    core.ddr().writeHalf(b_addr, bh.data(), bh.size());
+    core.vrf().writeVec(0, toHalf(x));
+
+    Instruction inst;
+    inst.op = Opcode::kConv1d;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(w_addr);
+    inst.src3 = Operand::ddr(b_addr);
+    inst.dst = Operand::vrf(200);
+    inst.len = static_cast<uint32_t>(rows);
+    inst.cols = static_cast<uint32_t>(cols);
+    inst.pitch = static_cast<uint32_t>(cols);
+    core.executePhase(isa::Program{inst});
+
+    VecF got = toFloat(core.vrf().readVec(200, cols));
+    VecF expect = matVec(w, x, b);
+    // FP16 accumulation error grows ~sqrt(rows) * ulp.
+    const float tol =
+        0.004f * std::sqrt(static_cast<float>(rows)) + 0.01f;
+    for (size_t c = 0; c < cols; ++c)
+        EXPECT_NEAR(got[c], expect[c], tol) << rows << "x" << cols
+                                            << " col " << c;
+}
+
+TEST_P(MpuShapeProperty, TimingInvariants)
+{
+    const auto [rows, cols] = GetParam();
+    CoreParams params = CoreParams::defaults();
+    ComputeCore core(0, params, false);
+    Instruction inst;
+    inst.op = Opcode::kConv1d;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(0);
+    inst.dst = Operand::vrf(200);
+    inst.len = static_cast<uint32_t>(rows);
+    inst.cols = static_cast<uint32_t>(cols);
+    inst.pitch = static_cast<uint32_t>(cols);
+    PhaseStats s = core.executePhase(isa::Program{inst});
+
+    // (1) The phase cannot beat the streaming bound of the padded
+    //     weight footprint.
+    const size_t d = params.tileRows, l = params.lanes;
+    uint64_t padded = (rows + d - 1) / d * d * ((cols + l - 1) / l) * l *
+                      2;
+    EXPECT_GE(s.hbmBytes, padded);
+    Cycles stream_bound = static_cast<Cycles>(
+        static_cast<double>(padded) / params.hbmBytesPerCycle());
+    EXPECT_GE(s.cycles, stream_bound);
+    // (2) ...nor the compute bound of one tile per cycle.
+    EXPECT_GE(s.cycles, (rows + d - 1) / d * ((cols + l - 1) / l));
+    // (3) FLOPs are the model's true work.
+    EXPECT_DOUBLE_EQ(s.flops, 2.0 * rows * cols);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MpuShapeProperty,
+    ::testing::Values(Shape{64, 16}, Shape{64, 64}, Shape{100, 24},
+                      Shape{128, 33}, Shape{256, 128}, Shape{500, 7},
+                      Shape{1024, 256}),
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        return std::to_string(info.param.rows) + "x" +
+               std::to_string(info.param.cols);
+    });
+
+// ---------------------------------------------------------------------
+
+class MpuTilingProperty
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>>
+{
+};
+
+TEST_P(MpuTilingProperty, EqualMacCountsGiveEqualBigMatmulThroughput)
+{
+    // All (d, l) with d*l = 1024 tie on large dense matmuls — only
+    // the small attention operands separate them (Fig. 8a).
+    const auto [d, l] = GetParam();
+    CoreParams params = CoreParams::withTiling(d, l);
+    ComputeCore core(0, params, false);
+    Instruction inst;
+    inst.op = Opcode::kConv1d;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(0);
+    inst.dst = Operand::vrf(300);
+    inst.len = 1024;
+    inst.cols = 1024;
+    inst.pitch = 1024;
+    Cycles cycles = core.executePhase(isa::Program{inst}).cycles;
+
+    CoreParams ref_params = CoreParams::withTiling(64, 16);
+    ComputeCore ref(0, ref_params, false);
+    Cycles ref_cycles = ref.executePhase(isa::Program{inst}).cycles;
+    EXPECT_NEAR(static_cast<double>(cycles),
+                static_cast<double>(ref_cycles),
+                0.1 * static_cast<double>(ref_cycles))
+        << "(d,l)=(" << d << "," << l << ")";
+}
+
+TEST_P(MpuTilingProperty, SlidingWindowPenalizesOverlongInputs)
+{
+    const auto [d, l] = GetParam();
+    CoreParams params = CoreParams::withTiling(d, l);
+    params.maxConvInput = 1024;
+    ComputeCore core(0, params, false);
+    auto conv = [](uint32_t rows) {
+        Instruction i;
+        i.op = Opcode::kConv1d;
+        i.src1 = Operand::vrf(0);
+        i.src2 = Operand::hbm(0);
+        i.dst = Operand::vrf(300);
+        i.len = rows;
+        i.cols = 64;
+        i.pitch = 64;
+        return i;
+    };
+    Cycles two_windows =
+        core.executePhase(isa::Program{conv(2048)}).cycles;
+    Cycles one_window_twice =
+        core.executePhase(isa::Program{conv(1024)}).cycles;
+    // 2048 rows in two windows costs more than one 1024-row window
+    // (extra fill) but no more than two sequential instructions.
+    EXPECT_GT(two_windows, one_window_twice);
+    Cycles two_instructions =
+        core.executePhase(isa::Program{conv(1024), conv(1024)}).cycles;
+    EXPECT_LE(two_windows, two_instructions + params.mpuFillLatency());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, MpuTilingProperty,
+    ::testing::Values(std::make_pair(8, 128), std::make_pair(16, 64),
+                      std::make_pair(32, 32), std::make_pair(64, 16),
+                      std::make_pair(128, 8)),
+    [](const ::testing::TestParamInfo<std::pair<size_t, size_t>> &info) {
+        return "d" + std::to_string(info.param.first) + "l" +
+               std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace dfx

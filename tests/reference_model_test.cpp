@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Reference GPT-2 engine tests: KV-cache correctness, determinism,
+ * causality and generation behaviour.
+ */
+#include <gtest/gtest.h>
+
+#include "model/reference.hpp"
+#include "model/sampler.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(ReferenceModel, DeterministicLogits)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 5);
+    ReferenceModel a(w), b(w);
+    VecF la = a.step(3);
+    VecF lb = b.step(3);
+    ASSERT_EQ(la.size(), lb.size());
+    for (size_t i = 0; i < la.size(); ++i)
+        EXPECT_FLOAT_EQ(la[i], lb[i]);
+}
+
+TEST(ReferenceModel, LogitsDependOnContext)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 5);
+    ReferenceModel a(w), b(w);
+    a.step(3);
+    VecF la = a.step(7);
+    b.step(4);  // different first token
+    VecF lb = b.step(7);
+    EXPECT_GT(maxAbsDiff(la, lb), 1e-6f);
+}
+
+TEST(ReferenceModel, PositionAdvances)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 5);
+    ReferenceModel m(w);
+    EXPECT_EQ(m.position(), 0u);
+    m.step(1);
+    EXPECT_EQ(m.position(), 1u);
+    m.step(2);
+    EXPECT_EQ(m.position(), 2u);
+    m.reset();
+    EXPECT_EQ(m.position(), 0u);
+}
+
+TEST(ReferenceModel, ResetForgetsContext)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 5);
+    ReferenceModel m(w);
+    m.step(3);
+    m.step(9);
+    m.reset();
+    VecF after_reset = m.step(3);
+    ReferenceModel fresh(w);
+    VecF fresh_logits = fresh.step(3);
+    EXPECT_FLOAT_EQ(maxAbsDiff(after_reset, fresh_logits), 0.0f);
+}
+
+TEST(ReferenceModel, PositionMattersViaWpe)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 5);
+    ReferenceModel m(w);
+    VecF first = m.step(3);
+    // The same token at position 1 after itself: different logits.
+    VecF second = m.step(3);
+    EXPECT_GT(maxAbsDiff(first, second), 1e-6f);
+}
+
+TEST(ReferenceModel, GenerateProducesRequestedTokens)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 5);
+    ReferenceModel m(w);
+    std::vector<TokenId> prompt = {1, 2, 3, 4};
+    auto out = m.generate(prompt, 6);
+    EXPECT_EQ(out.size(), 6u);
+    for (TokenId t : out) {
+        EXPECT_GE(t, 0);
+        EXPECT_LT(static_cast<size_t>(t), w.config.vocabSize);
+    }
+}
+
+TEST(ReferenceModel, GenerateIsGreedyConsistent)
+{
+    // generate() must equal manual greedy stepping.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 8);
+    ReferenceModel gen(w);
+    auto out = gen.generate({5, 6}, 4);
+
+    ReferenceModel manual(w);
+    VecF logits = manual.step(5);
+    logits = manual.step(6);
+    std::vector<TokenId> expect;
+    for (int i = 0; i < 4; ++i) {
+        TokenId next = sampleGreedy(logits);
+        expect.push_back(next);
+        if (i + 1 < 4)
+            logits = manual.step(next);
+    }
+    EXPECT_EQ(out, expect);
+}
+
+TEST(ReferenceModel, MiniModelRuns)
+{
+    GptWeights w = GptWeights::random(GptConfig::mini(), 21);
+    ReferenceModel m(w);
+    auto out = m.generate({10, 20, 30}, 5);
+    EXPECT_EQ(out.size(), 5u);
+    EXPECT_EQ(m.lastEmbedding().size(), w.config.embedding);
+}
+
+TEST(Sampler, GreedyPicksMax)
+{
+    VecF logits(5, 0.0f);
+    logits[3] = 2.0f;
+    EXPECT_EQ(sampleGreedy(logits), 3);
+}
+
+TEST(Sampler, TopKOneIsGreedy)
+{
+    VecF logits(5, 0.0f);
+    logits[2] = 4.0f;
+    Rng rng(1);
+    EXPECT_EQ(sampleTopK(logits, 1, 1.0f, rng), 2);
+}
+
+TEST(Sampler, TopKStaysInTopK)
+{
+    VecF logits(10, 0.0f);
+    logits[1] = 5.0f;
+    logits[4] = 4.5f;
+    logits[7] = 4.0f;
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        TokenId t = sampleTopK(logits, 3, 1.0f, rng);
+        EXPECT_TRUE(t == 1 || t == 4 || t == 7) << t;
+    }
+}
+
+}  // namespace
+}  // namespace dfx

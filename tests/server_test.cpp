@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Multi-cluster server tests (paper §VI: two independent 4-FPGA
+ * clusters per 4U appliance).
+ */
+#include <gtest/gtest.h>
+
+#include "appliance/server.hpp"
+#include "model/reference.hpp"
+
+namespace dfx {
+namespace {
+
+DfxSystemConfig
+timingConfig()
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::mini();
+    cfg.nCores = 2;
+    cfg.functional = false;
+    return cfg;
+}
+
+std::vector<ServerRequest>
+makeRequests(size_t n)
+{
+    std::vector<ServerRequest> reqs;
+    for (size_t i = 0; i < n; ++i)
+        reqs.push_back({std::vector<int32_t>(8, 0), 8});
+    return reqs;
+}
+
+TEST(DfxServer, TwoClustersHalveMakespan)
+{
+    auto reqs = makeRequests(8);
+    DfxServer one(timingConfig(), 1);
+    DfxServer two(timingConfig(), 2);
+    ServerStats s1 = one.serve(reqs);
+    ServerStats s2 = two.serve(reqs);
+    EXPECT_NEAR(s2.makespanSeconds, s1.makespanSeconds / 2.0,
+                s1.makespanSeconds * 0.05);
+    // Per-request latency is unchanged — clusters are independent.
+    EXPECT_NEAR(s2.meanLatencySeconds(), s1.meanLatencySeconds(),
+                s1.meanLatencySeconds() * 1e-6);
+}
+
+TEST(DfxServer, ThroughputScalesWithClusters)
+{
+    auto reqs = makeRequests(12);
+    double tp1 = DfxServer(timingConfig(), 1).serve(reqs)
+                     .throughputTokensPerSec();
+    double tp3 = DfxServer(timingConfig(), 3).serve(reqs)
+                     .throughputTokensPerSec();
+    EXPECT_NEAR(tp3 / tp1, 3.0, 0.15);
+}
+
+TEST(DfxServer, CountsTokensAndRequests)
+{
+    DfxServer server(timingConfig(), 2);
+    ServerStats s = server.serve(makeRequests(5));
+    EXPECT_EQ(s.requests, 5u);
+    EXPECT_EQ(s.totalOutputTokens, 40u);
+    EXPECT_GT(s.makespanSeconds, 0.0);
+    EXPECT_GE(s.totalLatencySeconds, s.makespanSeconds);
+}
+
+TEST(DfxServer, UnevenQueueMakespanIsLongestQueue)
+{
+    // 3 requests over 2 clusters: cluster 0 gets 2, cluster 1 gets 1.
+    DfxServer server(timingConfig(), 2);
+    ServerStats s = server.serve(makeRequests(3));
+    DfxServer single(timingConfig(), 1);
+    ServerStats one = single.serve(makeRequests(1));
+    EXPECT_NEAR(s.makespanSeconds, 2.0 * one.makespanSeconds,
+                one.makespanSeconds * 0.05);
+}
+
+TEST(DfxServer, FunctionalClustersProduceIdenticalTokens)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 2;
+    cfg.functional = true;
+    GptWeights w = GptWeights::random(cfg.model, 31);
+    DfxServer server(cfg, 2);
+    server.loadWeights(w);
+    // The same request dispatched to either cluster must yield the
+    // same continuation.
+    auto a = server.cluster(0).generate({4, 5, 6}, 6).tokens;
+    auto b = server.cluster(1).generate({4, 5, 6}, 6).tokens;
+    EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace dfx

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Word-level tokenizer tests.
+ */
+#include <gtest/gtest.h>
+
+#include "model/tokenizer.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(Tokenizer, RoundTripKnownWords)
+{
+    Tokenizer tok(50257);
+    auto ids = tok.encode("hello , my name is james .");
+    std::string back = tok.decode(ids);
+    EXPECT_EQ(back, "hello, my name is james.");
+}
+
+TEST(Tokenizer, CaseInsensitive)
+{
+    Tokenizer tok(50257);
+    EXPECT_EQ(tok.encode("Hello"), tok.encode("hello"));
+    EXPECT_EQ(tok.encode("HELLO"), tok.encode("hello"));
+}
+
+TEST(Tokenizer, DeterministicOov)
+{
+    Tokenizer tok(50257);
+    auto a = tok.encode("zyzzogeton");
+    auto b = tok.encode("zyzzogeton");
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a, b);
+    // OOV tokens land in the reserved range.
+    EXPECT_GE(static_cast<size_t>(a[0]), 200u);
+    EXPECT_LT(static_cast<size_t>(a[0]), 50257u);
+}
+
+TEST(Tokenizer, AllIdsInVocab)
+{
+    Tokenizer tok(1000);
+    auto ids = tok.encode(
+        "the quick brown fox jumps over the lazy dog ! unusualword");
+    for (auto id : ids) {
+        EXPECT_GE(id, 0);
+        EXPECT_LT(static_cast<size_t>(id), 1000u);
+    }
+}
+
+TEST(Tokenizer, PunctuationSplit)
+{
+    Tokenizer tok(50257);
+    auto ids = tok.encode("hello,world.");
+    EXPECT_EQ(ids.size(), 4u);  // hello , world .
+}
+
+TEST(Tokenizer, SmallVocabStillWorks)
+{
+    Tokenizer tok(97);  // toy model vocabulary
+    auto ids = tok.encode("the and of hello");
+    for (auto id : ids)
+        EXPECT_LT(static_cast<size_t>(id), 97u);
+    EXPECT_FALSE(tok.decode(ids).empty());
+}
+
+TEST(Tokenizer, WordForRoundTrip)
+{
+    Tokenizer tok(50257);
+    auto ids = tok.encode("transformer");
+    ASSERT_EQ(ids.size(), 1u);
+    EXPECT_EQ(tok.wordFor(ids[0]), "transformer");
+}
+
+}  // namespace
+}  // namespace dfx
