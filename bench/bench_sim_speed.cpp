@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Simulator host-speed benchmark: functional decode-steps/sec.
+ *
+ * Unlike the figure benches (which report *modeled* DFX time), this
+ * one measures how fast the simulator itself runs on the host — the
+ * number that bounds every design-space sweep. It decodes tokens
+ * through a GPT-2-shaped model on an 8-core cluster in functional
+ * mode and reports steps/sec for each host-thread count, writing
+ * `BENCH_sim_speed.json` so the speedup is tracked across PRs.
+ *
+ * The model is GPT-2 architecture (64-dim heads, 4x FFN) scaled down
+ * so a full run finishes in seconds; the per-step arithmetic exercises
+ * exactly the hot paths the full models do (MPU MAC trees, VPU
+ * vector chains, KV streaming, ring exchange).
+ */
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+
+namespace {
+
+/** GPT-2-shaped, 8-head model sized for host benchmarking. */
+GptConfig
+benchModel()
+{
+    GptConfig c;
+    c.name = "gpt2-petite";
+    c.vocabSize = 4096;
+    c.embedding = 512;
+    c.heads = 8;
+    c.headDim = 64;
+    c.layers = 4;
+    c.maxSeq = 128;
+    return c;
+}
+
+struct Sample
+{
+    size_t nThreads;
+    double stepsPerSec;
+    std::vector<int32_t> tokens;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Sample
+run(const GptWeights &weights, size_t n_cores, size_t n_threads,
+    size_t n_in, size_t n_out)
+{
+    DfxSystemConfig cfg;
+    cfg.model = weights.config;
+    cfg.nCores = n_cores;
+    cfg.functional = true;
+    cfg.nThreads = n_threads;
+    DfxAppliance appliance(cfg);
+    appliance.loadWeights(weights);
+
+    std::vector<int32_t> prompt(n_in, 1);
+    appliance.generate(prompt, 2);  // warm-up (touches all backings)
+
+    const double t0 = now();
+    GenerationResult r = appliance.generate(prompt, n_out);
+    const double wall = now() - t0;
+    // Every token (input or generated) is one full decode step through
+    // all layers + LM head.
+    const double steps = static_cast<double>(n_in + n_out);
+    return {n_threads, steps / wall, r.tokens};
+}
+
+}  // namespace
+
+int
+main()
+{
+    printHeader("Simulator speed — functional decode steps/sec",
+                "host perf");
+
+    const GptConfig model = benchModel();
+    const size_t n_cores = 8;
+    const size_t n_in = 8, n_out = 24;
+
+    std::printf("model %s: emb %zu, %zu heads, %zu layers, vocab %zu; "
+                "%zu cores, workload %zu:%zu\n\n",
+                model.name.c_str(), model.embedding, model.heads,
+                model.layers, model.vocabSize, n_cores, n_in, n_out);
+
+    const double tw0 = now();
+    GptWeights weights = GptWeights::random(model, 7);
+    std::printf("weight generation: %.2fs\n", now() - tw0);
+
+    std::vector<Sample> samples;
+    Table t({"host threads", "decode steps/s", "speedup vs 1 thread"});
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        samples.push_back(run(weights, n_cores, threads, n_in, n_out));
+        const Sample &s = samples.back();
+        t.addRow({std::to_string(s.nThreads), fmt(s.stepsPerSec, 3),
+                  fmt(s.stepsPerSec / samples[0].stepsPerSec, 2) + "x"});
+        // Parallel core execution must be bit-transparent.
+        if (s.tokens != samples[0].tokens) {
+            std::fprintf(stderr,
+                         "FATAL: %zu-thread tokens diverge from "
+                         "1-thread tokens\n",
+                         s.nThreads);
+            return 1;
+        }
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("tokens identical across all thread counts.\n");
+
+    FILE *f = std::fopen("BENCH_sim_speed.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_sim_speed.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"sim_speed\",\n");
+    std::fprintf(f, "  \"model\": \"%s\",\n", model.name.c_str());
+    std::fprintf(f, "  \"n_cores\": %zu,\n", n_cores);
+    std::fprintf(f, "  \"workload\": {\"n_in\": %zu, \"n_out\": %zu},\n",
+                 n_in, n_out);
+    std::fprintf(f, "  \"decode_steps_per_sec\": [\n");
+    for (size_t i = 0; i < samples.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"host_threads\": %zu, \"steps_per_sec\": "
+                     "%.4f}%s\n",
+                     samples[i].nThreads, samples[i].stepsPerSec,
+                     i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_sim_speed.json\n");
+    return 0;
+}

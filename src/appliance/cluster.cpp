@@ -52,6 +52,15 @@ DfxCluster::DfxCluster(const DfxSystemConfig &config)
     builders_.reserve(config_.nCores);
     for (size_t i = 0; i < config_.nCores; ++i)
         builders_.emplace_back(config_.model, geometry, layout_, i);
+
+    // Cores are independent between ring synchronization points, so
+    // functional phases can step them concurrently. Timing-only
+    // phases are a few microseconds of bookkeeping — dispatch
+    // overhead would dominate, so they stay sequential.
+    const size_t threads = std::min(
+        ThreadPool::resolveThreads(config_.nThreads), config_.nCores);
+    if (config_.functional && threads > 1 && config_.nCores > 1)
+        pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 void
@@ -115,6 +124,51 @@ DfxCluster::argmaxExchange(const isa::Instruction &sync)
 }
 
 void
+DfxCluster::executeOnCores(
+    const std::vector<const isa::Program *> &programs, TokenStats *stats)
+{
+    const size_t n = config_.nCores;
+    coreStats_.resize(n);
+    auto step = [this, &programs](size_t i) {
+        coreStats_[i] = cores_[i]->executePhase(*programs[i]);
+    };
+    if (pool_) {
+        pool_->run(n, step);
+    } else {
+        for (size_t i = 0; i < n; ++i)
+            step(i);
+    }
+    // Reduce in core order: the accumulation sequence (and therefore
+    // every floating-point sum) is identical to the sequential
+    // schedule regardless of execution interleaving above.
+    // The cluster advances at the slowest core.
+    Cycles max_cycles = 0;
+    for (size_t i = 0; i < n; ++i)
+        max_cycles = std::max(max_cycles, coreStats_[i].cycles);
+    if (!stats)
+        return;
+    for (size_t i = 0; i < n; ++i) {
+        stats->flops += coreStats_[i].flops;
+        stats->hbmBytes += coreStats_[i].hbmBytes;
+        stats->ddrBytes += coreStats_[i].ddrBytes;
+        stats->instructions += coreStats_[i].instructions;
+    }
+    const double clock = config_.core.clockHz;
+    stats->seconds += units::cyclesToSeconds(max_cycles, clock);
+    // Scale core 0's per-category cycles so the categories sum to the
+    // charged phase time (homogeneous: core 0 is representative).
+    const PhaseStats &attribution = coreStats_[0];
+    if (attribution.cycles > 0) {
+        double scale = static_cast<double>(max_cycles) /
+                       static_cast<double>(attribution.cycles);
+        for (size_t c = 0; c < kNumCategories; ++c) {
+            stats->categorySeconds[c] += units::cyclesToSeconds(
+                attribution.byCategory[c], clock) * scale;
+        }
+    }
+}
+
+void
 DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
                      TokenStats *stats)
 {
@@ -128,35 +182,10 @@ DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
         decoded = isa::decodeProgram(isa::encodeProgram(phase.program));
         program = &decoded;
     }
-    // Execute on every core; the cluster advances at the slowest one.
-    Cycles max_cycles = 0;
-    PhaseStats attribution{};
-    for (size_t i = 0; i < config_.nCores; ++i) {
-        PhaseStats s = cores_[i]->executePhase(*program);
-        max_cycles = std::max(max_cycles, s.cycles);
-        if (i == 0)
-            attribution = s;  // homogeneous: core 0 is representative
-        if (stats) {
-            stats->flops += s.flops;
-            stats->hbmBytes += s.hbmBytes;
-            stats->ddrBytes += s.ddrBytes;
-            stats->instructions += s.instructions;
-        }
-    }
-    const double clock = config_.core.clockHz;
-    if (stats) {
-        stats->seconds += units::cyclesToSeconds(max_cycles, clock);
-        // Scale core 0's per-category cycles so the categories sum to
-        // the charged phase time.
-        if (attribution.cycles > 0) {
-            double scale = static_cast<double>(max_cycles) /
-                           static_cast<double>(attribution.cycles);
-            for (size_t c = 0; c < kNumCategories; ++c) {
-                stats->categorySeconds[c] += units::cyclesToSeconds(
-                    attribution.byCategory[c], clock) * scale;
-            }
-        }
-    }
+    // Every core runs the same program (different shard contents).
+    executeOnCores(
+        std::vector<const isa::Program *>(config_.nCores, program),
+        stats);
 
     if (phase.hasSync()) {
         const isa::Instruction &sync = phase.sync();
@@ -205,37 +234,19 @@ DfxCluster::stepToken(int32_t token, TokenStats *stats)
     position_ += 1;
 
     // LM head: programs differ per core in the ReduMax length, but the
-    // matrix work is identical; execute core-specific programs.
+    // matrix work is identical; execute core-specific programs. The
+    // phases are built on this thread before the parallel dispatch.
     {
-        Cycles max_cycles = 0;
-        PhaseStats attribution{};
-        isa::Phase head0 = builders_[0].lmHeadPhase();
-        for (size_t i = 0; i < config_.nCores; ++i) {
-            isa::Phase head = builders_[i].lmHeadPhase();
-            PhaseStats s = cores_[i]->executePhase(head.program);
-            max_cycles = std::max(max_cycles, s.cycles);
-            if (i == 0)
-                attribution = s;
-            if (stats) {
-                stats->flops += s.flops;
-                stats->hbmBytes += s.hbmBytes;
-                stats->ddrBytes += s.ddrBytes;
-                stats->instructions += s.instructions;
-            }
-        }
-        const double clock = config_.core.clockHz;
-        if (stats) {
-            stats->seconds += units::cyclesToSeconds(max_cycles, clock);
-            if (attribution.cycles > 0) {
-                double scale = static_cast<double>(max_cycles) /
-                               static_cast<double>(attribution.cycles);
-                for (size_t c = 0; c < kNumCategories; ++c) {
-                    stats->categorySeconds[c] += units::cyclesToSeconds(
-                        attribution.byCategory[c], clock) * scale;
-                }
-            }
-        }
-        const isa::Instruction &sync = head0.sync();
+        std::vector<isa::Phase> heads;
+        heads.reserve(config_.nCores);
+        for (size_t i = 0; i < config_.nCores; ++i)
+            heads.push_back(builders_[i].lmHeadPhase());
+        std::vector<const isa::Program *> programs;
+        programs.reserve(config_.nCores);
+        for (const isa::Phase &head : heads)
+            programs.push_back(&head.program);
+        executeOnCores(programs, stats);
+        const isa::Instruction &sync = heads[0].sync();
         double sync_sec = ring_.argmaxReduceSeconds();
         lastArgmax_ = argmaxExchange(sync);
         if (stats) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "appliance/partition.hpp"
+#include "common/threadpool.hpp"
 #include "core/core.hpp"
 #include "isa/codegen.hpp"
 #include "network/ring.hpp"
@@ -31,6 +32,14 @@ struct DfxSystemConfig
     RingParams ring;
     /** Allocate data planes and compute real tokens. */
     bool functional = false;
+    /**
+     * Host worker threads stepping independent cores concurrently
+     * between ring synchronization points. 0 picks the hardware
+     * concurrency; 1 runs strictly sequentially. Results are
+     * bit-identical for every value (cores share no mutable state
+     * between syncs and stats reduce in core order).
+     */
+    size_t nThreads = 1;
     /**
      * Round-trip every phase program through the 48-byte binary
      * encoding before execution, as the host-to-instruction-buffer
@@ -84,6 +93,13 @@ class DfxCluster
     /** Runs one phase on all cores; adds time and handles its sync. */
     void runPhase(const isa::Phase &phase, size_t builder_core,
                   TokenStats *stats);
+    /**
+     * Executes per-core programs concurrently (thread pool) or
+     * sequentially, then reduces timing/attribution into `stats` in
+     * core order — bit-identical for every thread count.
+     */
+    void executeOnCores(const std::vector<const isa::Program *> &programs,
+                        TokenStats *stats);
     /** Performs the ring all-gather data exchange (functional). */
     void exchange(const isa::Instruction &sync);
     /** Performs the argmax all-reduce; returns the global token. */
@@ -94,6 +110,8 @@ class DfxCluster
     MemoryLayout layout_;
     std::vector<isa::ProgramBuilder> builders_;
     RingNetwork ring_;
+    std::unique_ptr<ThreadPool> pool_;  ///< null when sequential
+    std::vector<PhaseStats> coreStats_;  ///< per-core scratch
     size_t position_ = 0;
     int32_t lastArgmax_ = -1;
 };

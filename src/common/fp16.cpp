@@ -1,10 +1,15 @@
 /**
  * @file
- * IEEE-754 binary16 soft-float implementation.
+ * IEEE-754 binary16 soft-float: cold paths and reference conversions.
+ *
+ * The hot conversions and the +,-,* operators live inline in the
+ * header (table-driven). This file keeps the double -> half rounding
+ * core (used by division and the transcendental helpers) and the
+ * original branchy conversions, which serve as the oracle for the
+ * exhaustive equivalence tests.
  */
 #include "common/fp16.hpp"
 
-#include <bit>
 #include <cmath>
 #include <ostream>
 
@@ -89,7 +94,7 @@ doubleToHalfBits(double value)
 }
 
 float
-halfBitsToFloat(uint16_t bits)
+referenceHalfBitsToFloat(uint16_t bits)
 {
     const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
     uint32_t exp = (bits >> 10) & 0x1fu;
@@ -115,116 +120,14 @@ halfBitsToFloat(uint16_t bits)
     return std::bit_cast<float>(out);
 }
 
-}  // namespace fp16
-
-Half
-Half::fromDouble(double value)
-{
-    return fromBits(fp16::doubleToHalfBits(value));
-}
-
-Half
-Half::fromFloat(float value)
+uint16_t
+referenceFloatToHalfBits(float value)
 {
     // float -> double is exact, so this is a single rounding step.
-    return fromBits(fp16::doubleToHalfBits(static_cast<double>(value)));
+    return doubleToHalfBits(static_cast<double>(value));
 }
 
-float
-Half::toFloat() const
-{
-    return fp16::halfBitsToFloat(bits_);
-}
-
-double
-Half::toDouble() const
-{
-    return static_cast<double>(fp16::halfBitsToFloat(bits_));
-}
-
-bool
-Half::isNan() const
-{
-    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x3ffu) != 0;
-}
-
-bool
-Half::isInf() const
-{
-    return (bits_ & 0x7fffu) == 0x7c00u;
-}
-
-bool
-Half::isZero() const
-{
-    return (bits_ & 0x7fffu) == 0;
-}
-
-bool
-Half::isSubnormal() const
-{
-    return (bits_ & 0x7c00u) == 0 && (bits_ & 0x3ffu) != 0;
-}
-
-Half
-operator+(Half a, Half b)
-{
-    return Half::fromDouble(a.toDouble() + b.toDouble());
-}
-
-Half
-operator-(Half a, Half b)
-{
-    return Half::fromDouble(a.toDouble() - b.toDouble());
-}
-
-Half
-operator*(Half a, Half b)
-{
-    return Half::fromDouble(a.toDouble() * b.toDouble());
-}
-
-Half
-operator/(Half a, Half b)
-{
-    return Half::fromDouble(a.toDouble() / b.toDouble());
-}
-
-bool
-operator==(Half a, Half b)
-{
-    return a.toFloat() == b.toFloat();
-}
-
-bool
-operator!=(Half a, Half b)
-{
-    return a.toFloat() != b.toFloat();
-}
-
-bool
-operator<(Half a, Half b)
-{
-    return a.toFloat() < b.toFloat();
-}
-
-bool
-operator<=(Half a, Half b)
-{
-    return a.toFloat() <= b.toFloat();
-}
-
-bool
-operator>(Half a, Half b)
-{
-    return a.toFloat() > b.toFloat();
-}
-
-bool
-operator>=(Half a, Half b)
-{
-    return a.toFloat() >= b.toFloat();
-}
+}  // namespace fp16
 
 Half
 hexp(Half x)

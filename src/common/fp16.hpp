@@ -10,25 +10,196 @@
  * independently, exactly like the Xilinx Floating-Point Operator IP
  * the paper instantiates (separate DSP multiplier and adder — no fused
  * multiply-add).
+ *
+ * The conversions are the simulator's hottest scalar path (every MAC
+ * in a functional run performs two half->float widenings and one
+ * float->half rounding), so they are table-driven and fully inline:
+ *
+ *  - half -> float uses precomputed mantissa/exponent/offset tables
+ *    (the classic three-table scheme): one add of two table entries,
+ *    no branches, exact for every encoding including subnormals,
+ *    infinities and NaN payloads.
+ *  - float -> half is a short branch-light integer sequence with
+ *    round-to-nearest-even; a single rounding from the float value,
+ *    bit-identical to rounding the exact real value because
+ *    float -> half is a widening pair (see below).
+ *
+ * Binary +, - and * are computed in the float domain: widening half
+ * operands to float is exact, the float operation result rounds to
+ * half in one step, and double rounding float->half is innocuous
+ * because float's 24-bit significand satisfies p_wide >= 2*p_half + 2
+ * (24 >= 24). Division and the transcendental helpers keep the double
+ * path — the intermediate rounding there is far below half-precision
+ * ULP and matches FPGA operator behaviour in practice.
  */
 #ifndef DFX_COMMON_FP16_HPP
 #define DFX_COMMON_FP16_HPP
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 
 namespace dfx {
+namespace fp16 {
+
+/**
+ * Lookup tables for the branchless half -> float conversion.
+ *
+ * float_bits = mantissa[offset[h >> 10] + (h & 0x3ff)] + exponent[h >> 10]
+ *
+ * The mantissa table normalizes the 1024 subnormal significands (and
+ * passes normal ones through shifted into float position); the
+ * exponent table rebiases the 5-bit exponent for both signs, mapping
+ * exponent 31 to the float inf/NaN exponent; the offset table selects
+ * the subnormal or normal half of the mantissa table.
+ */
+struct ConversionTables
+{
+    std::array<uint32_t, 2048> mantissa;
+    std::array<uint32_t, 64> exponent;
+    std::array<uint32_t, 64> offset;
+};
+
+namespace detail {
+
+/** Normalizes subnormal significand `i` (1..1023) into float bits. */
+constexpr uint32_t
+normalizeSubnormal(uint32_t i)
+{
+    uint32_t m = i << 13;  // significand into float mantissa position
+    uint32_t e = 0;
+    while (!(m & 0x00800000u)) {  // shift until the implicit bit is set
+        e -= 0x00800000u;         // ...decrementing the float exponent
+        m <<= 1;
+    }
+    m &= ~0x00800000u;  // drop the now-implicit leading 1
+    e += 0x38800000u;   // rebias: 2^-14 is the smallest half normal
+    return m | e;
+}
+
+constexpr ConversionTables
+makeTables()
+{
+    ConversionTables t{};
+    t.mantissa[0] = 0;
+    for (uint32_t i = 1; i < 1024; ++i)
+        t.mantissa[i] = normalizeSubnormal(i);
+    for (uint32_t i = 1024; i < 2048; ++i)
+        t.mantissa[i] = 0x38000000u + ((i - 1024) << 13);
+    for (uint32_t e = 0; e < 64; ++e) {
+        const uint32_t sign = (e & 32) ? 0x80000000u : 0;
+        const uint32_t mag = e & 31;
+        if (mag == 0)
+            t.exponent[e] = sign;  // zero/subnormal: mantissa table
+                                   // already carries the exponent
+        else if (mag == 31)
+            t.exponent[e] = sign | 0x47800000u;  // -> 0x7f800000 offset
+        else
+            t.exponent[e] = sign | (mag << 23);
+        t.offset[e] = (mag == 0) ? 0 : 1024;
+    }
+    return t;
+}
+
+}  // namespace detail
+
+inline constexpr ConversionTables kTables = detail::makeTables();
+
+/** Exact half -> float conversion (table lookup, branchless). */
+inline float
+halfBitsToFloat(uint16_t bits)
+{
+    const uint32_t e = bits >> 10;  // sign+exponent, 6 bits
+    const uint32_t u =
+        kTables.mantissa[kTables.offset[e] + (bits & 0x3ffu)] +
+        kTables.exponent[e];
+    return std::bit_cast<float>(u);
+}
+
+/** Round-to-nearest-even float -> half conversion (single rounding). */
+inline uint16_t
+floatToHalfBits(float value)
+{
+    const uint32_t f = std::bit_cast<uint32_t>(value);
+    const uint32_t sign = (f >> 16) & 0x8000u;
+    const uint32_t abs = f & 0x7fffffffu;
+
+    if (abs >= 0x47800000u) {  // |x| >= 2^16: overflow, inf or NaN
+        if (abs > 0x7f800000u)
+            return static_cast<uint16_t>(sign | 0x7e00u);  // quiet NaN
+        return static_cast<uint16_t>(sign | 0x7c00u);
+    }
+    if (abs >= 0x38800000u) {  // normal half range, |x| >= 2^-14
+        // Rebias exponent and truncate the mantissa to 10 bits, then
+        // round on the 13 shifted-out bits. A carry out of the
+        // mantissa propagates into the exponent (and on to infinity
+        // at the very top) by construction of the encoding.
+        uint32_t h = (abs >> 13) - (112u << 10);
+        const uint32_t rem = abs & 0x1fffu;
+        h += (rem > 0x1000u) || (rem == 0x1000u && (h & 1u));
+        return static_cast<uint16_t>(sign | h);
+    }
+    // Subnormal half or zero: shift the significand (implicit bit
+    // included) into the 2^-24-ulp subnormal scale with RNE. Shifts
+    // >= 25 always produce zero, including every float subnormal
+    // input, so the clamp folds those cases in.
+    const uint32_t e = abs >> 23;
+    const uint32_t shift = (126u - e < 25u) ? 126u - e : 25u;
+    const uint32_t sig = 0x800000u | (abs & 0x7fffffu);
+    uint32_t h = sig >> shift;
+    const uint32_t rem = sig & ((1u << shift) - 1);
+    const uint32_t halfway = 1u << (shift - 1);
+    h += (rem > halfway) || (rem == halfway && (h & 1u));
+    return static_cast<uint16_t>(sign | h);
+}
+
+/**
+ * Rounds a float to the nearest representable half, returned as a
+ * float (the widened value of `fromFloat(f).toFloat()`, bit for bit).
+ *
+ * This is the MAC-tree inner-loop primitive: the functional MPU keeps
+ * tree values in the float domain — every element is an exact widened
+ * half — and requantizes after each multiply/add with this fixup, so
+ * the per-node rounding never leaves the registers. The fast path
+ * covers results in the half-normal range below the round-to-infinity
+ * threshold (65520): round-to-nearest-even at mantissa bit 13 is an
+ * integer add + mask, and a carry out of the mantissa moves to the
+ * next binade correctly. Everything else (subnormal, zero, overflow,
+ * inf, NaN) takes the exact conversion pair.
+ */
+inline float
+quantize(float f)
+{
+    uint32_t u = std::bit_cast<uint32_t>(f);
+    const uint32_t abs = u & 0x7fffffffu;
+    if (abs - 0x38800000u < 0x477ff000u - 0x38800000u) {
+        u += 0xfffu + ((u >> 13) & 1u);
+        u &= 0xffffe000u;
+        return std::bit_cast<float>(u);
+    }
+    return halfBitsToFloat(floatToHalfBits(f));
+}
+
+/**
+ * Reference conversions: the original branchy soft-float algorithms.
+ * `doubleToHalfBits` is also the production double -> half path (used
+ * by division and the transcendental helpers, where the operand is
+ * genuinely a double); the reference float path is the oracle the
+ * inline fast path is verified against, exhaustively, in the tests.
+ */
+uint16_t doubleToHalfBits(double value);
+float referenceHalfBitsToFloat(uint16_t bits);
+uint16_t referenceFloatToHalfBits(float value);
+
+}  // namespace fp16
 
 /**
  * A half-precision floating point value stored as its 16 raw bits.
  *
  * Conversions implement correct round-to-nearest-even including
- * subnormals, infinities and NaN. Binary arithmetic is performed by
- * widening both operands to double (exact), computing, and rounding the
- * double result back to half in a single rounding step. For +, - and *
- * this is exactly the correctly-rounded FP16 result; for / and the
- * transcendental helpers the intermediate double rounding is far below
- * half-precision ULP and matches FPGA operator behaviour in practice.
+ * subnormals, infinities and NaN (see the file comment for how the
+ * fast paths keep single-rounding semantics).
  */
 class Half
 {
@@ -45,24 +216,47 @@ class Half
     }
 
     /** Converts a double to half with round-to-nearest-even. */
-    static Half fromDouble(double value);
+    static Half
+    fromDouble(double value)
+    {
+        return fromBits(fp16::doubleToHalfBits(value));
+    }
 
     /** Converts a float to half with round-to-nearest-even. */
-    static Half fromFloat(float value);
+    static Half
+    fromFloat(float value)
+    {
+        return fromBits(fp16::floatToHalfBits(value));
+    }
 
     /** Raw bit pattern. */
     constexpr uint16_t bits() const { return bits_; }
 
     /** Exact widening conversion to float. */
-    float toFloat() const;
+    float toFloat() const { return fp16::halfBitsToFloat(bits_); }
 
     /** Exact widening conversion to double. */
-    double toDouble() const;
+    double
+    toDouble() const
+    {
+        return static_cast<double>(fp16::halfBitsToFloat(bits_));
+    }
 
-    bool isNan() const;
-    bool isInf() const;
-    bool isZero() const;
-    bool isSubnormal() const;
+    constexpr bool
+    isNan() const
+    {
+        return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x3ffu) != 0;
+    }
+
+    constexpr bool isInf() const { return (bits_ & 0x7fffu) == 0x7c00u; }
+
+    constexpr bool isZero() const { return (bits_ & 0x7fffu) == 0; }
+
+    constexpr bool
+    isSubnormal() const
+    {
+        return (bits_ & 0x7c00u) == 0 && (bits_ & 0x3ffu) != 0;
+    }
 
     /** Sign bit (true when negative, including -0). */
     constexpr bool signBit() const { return (bits_ & 0x8000u) != 0; }
@@ -85,10 +279,32 @@ class Half
 
     Half operator-() const { return fromBits(bits_ ^ 0x8000u); }
 
-    friend Half operator+(Half a, Half b);
-    friend Half operator-(Half a, Half b);
-    friend Half operator*(Half a, Half b);
-    friend Half operator/(Half a, Half b);
+    // +, - and * widen to float (exact) and round the float result:
+    // correctly rounded FP16 (see the file comment). / rounds once
+    // from the double quotient.
+    friend Half
+    operator+(Half a, Half b)
+    {
+        return fromFloat(a.toFloat() + b.toFloat());
+    }
+
+    friend Half
+    operator-(Half a, Half b)
+    {
+        return fromFloat(a.toFloat() - b.toFloat());
+    }
+
+    friend Half
+    operator*(Half a, Half b)
+    {
+        return fromFloat(a.toFloat() * b.toFloat());
+    }
+
+    friend Half
+    operator/(Half a, Half b)
+    {
+        return fromDouble(a.toDouble() / b.toDouble());
+    }
 
     Half &operator+=(Half o) { *this = *this + o; return *this; }
     Half &operator-=(Half o) { *this = *this - o; return *this; }
@@ -96,12 +312,22 @@ class Half
     Half &operator/=(Half o) { *this = *this / o; return *this; }
 
     // Comparisons follow IEEE semantics (NaN compares false, -0 == +0).
-    friend bool operator==(Half a, Half b);
-    friend bool operator!=(Half a, Half b);
-    friend bool operator<(Half a, Half b);
-    friend bool operator<=(Half a, Half b);
-    friend bool operator>(Half a, Half b);
-    friend bool operator>=(Half a, Half b);
+    friend bool
+    operator==(Half a, Half b)
+    {
+        return a.toFloat() == b.toFloat();
+    }
+
+    friend bool
+    operator!=(Half a, Half b)
+    {
+        return a.toFloat() != b.toFloat();
+    }
+
+    friend bool operator<(Half a, Half b) { return a.toFloat() < b.toFloat(); }
+    friend bool operator<=(Half a, Half b) { return a.toFloat() <= b.toFloat(); }
+    friend bool operator>(Half a, Half b) { return a.toFloat() > b.toFloat(); }
+    friend bool operator>=(Half a, Half b) { return a.toFloat() >= b.toFloat(); }
 
   private:
     uint16_t bits_;
@@ -127,15 +353,6 @@ Half hmax(Half a, Half b);
 Half hmin(Half a, Half b);
 
 std::ostream &operator<<(std::ostream &os, Half h);
-
-namespace fp16 {
-
-/** Round-to-nearest-even conversion from double bits; core algorithm. */
-uint16_t doubleToHalfBits(double value);
-/** Exact half-to-float conversion. */
-float halfBitsToFloat(uint16_t bits);
-
-}  // namespace fp16
 
 }  // namespace dfx
 

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Thread pool implementation.
+ */
+#include "common/threadpool.hpp"
+
+namespace dfx {
+
+size_t
+ThreadPool::resolveThreads(size_t n_threads)
+{
+    if (n_threads != 0)
+        return n_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t n_threads)
+    : nThreads_(resolveThreads(n_threads))
+{
+    // The calling thread participates in every batch, so spawn one
+    // fewer worker than the requested width.
+    workers_.reserve(nThreads_ - 1);
+    for (size_t i = 0; i + 1 < nThreads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(size_t)> *fn;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [&] { return stop_ || generation_ != seen; });
+            if (stop_)
+                return;
+            seen = generation_;
+            fn = fn_;
+        }
+        for (;;) {
+            const size_t i = nextIndex_.fetch_add(1);
+            if (i >= batchSize_)
+                break;
+            (*fn)(i);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--active_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::run(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        batchSize_ = n;
+        nextIndex_.store(0);
+        active_ = workers_.size();
+        ++generation_;
+    }
+    wake_.notify_all();
+    // The calling thread pulls indices like any worker.
+    for (;;) {
+        const size_t i = nextIndex_.fetch_add(1);
+        if (i >= batchSize_)
+            break;
+        fn(i);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return active_ == 0; });
+    fn_ = nullptr;
+}
+
+}  // namespace dfx

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small persistent thread pool for stepping independent compute cores.
+ *
+ * The cluster's cores share no mutable state between ring
+ * synchronization points, so a phase is an embarrassingly parallel
+ * batch of `nCores` tasks. This pool keeps its workers alive across
+ * phases (a token step dispatches hundreds of phases — spawning
+ * threads per phase would dominate) and exposes exactly one blocking
+ * primitive, `run(n, fn)`: invoke `fn(0..n-1)` across the workers and
+ * the calling thread, returning when every index has finished.
+ *
+ * Determinism: `run` guarantees nothing about execution order, so
+ * callers must make per-index work independent; the cluster keeps
+ * bit-identical results by reducing per-core outputs in core order
+ * after the barrier.
+ */
+#ifndef DFX_COMMON_THREADPOOL_HPP
+#define DFX_COMMON_THREADPOOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dfx {
+
+/** Persistent worker pool with a blocking parallel-for. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param n_threads total workers participating in `run`,
+     *        including the calling thread; 0 picks the hardware
+     *        concurrency. One (or zero) spawns no threads and `run`
+     *        degenerates to a sequential loop.
+     */
+    explicit ThreadPool(size_t n_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers, including the calling thread. */
+    size_t threads() const { return nThreads_; }
+
+    /**
+     * Invokes `fn(i)` for every i in [0, n) across the workers and
+     * the calling thread; returns when all calls completed. Indices
+     * are claimed atomically, one at a time (core steps are coarse
+     * enough that chunking would only hurt balance). Exceptions in
+     * `fn` are not supported (the simulator aborts on error instead).
+     */
+    void run(size_t n, const std::function<void(size_t)> &fn);
+
+    /** Resolves n_threads=0 to the hardware concurrency. */
+    static size_t resolveThreads(size_t n_threads);
+
+  private:
+    void workerLoop();
+
+    size_t nThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;   ///< workers wait for a batch
+    std::condition_variable done_;   ///< run() waits for completion
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t batchSize_ = 0;
+    uint64_t generation_ = 0;        ///< batch sequence number
+    std::atomic<size_t> nextIndex_{0};
+    size_t active_ = 0;              ///< workers still in the batch
+    bool stop_ = false;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_COMMON_THREADPOOL_HPP

@@ -33,20 +33,24 @@ DmaUnit::execute(const isa::Instruction &inst,
                  const VectorRegFile &vrf) const
 {
     DFX_ASSERT(inst.op == isa::Opcode::kDmaStoreKv, "not a DMA op");
-    VecH v = vrf.readVec(inst.src1.addr, inst.len);
+    if (inst.len == 0)
+        return;  // keep the zero-length no-op (span math would underflow)
+    const Half *v =
+        vrf.readSpan(inst.src1.addr * VectorRegFile::kWidth, inst.len);
     if (inst.flags & isa::kFlagTranspose) {
         // V^T scatter: element j goes to row j, column `aux` of the
-        // transposed region whose row length is `pitch`.
+        // transposed region whose row length is `pitch`. One span
+        // covers the whole scatter footprint.
         DFX_ASSERT(inst.pitch > 0, "transpose store needs pitch");
-        for (size_t j = 0; j < inst.len; ++j) {
-            hbm_->storeHalf(inst.dst.addr +
-                                (static_cast<uint64_t>(j) * inst.pitch +
-                                 inst.aux) * 2,
-                            v[j]);
-        }
+        Half *dst = hbm_->storeSpan(
+            inst.dst.addr,
+            (static_cast<uint64_t>(inst.len - 1) * inst.pitch +
+             inst.aux) + 1);
+        for (size_t j = 0; j < inst.len; ++j)
+            dst[static_cast<uint64_t>(j) * inst.pitch + inst.aux] = v[j];
     } else {
         // K row append: contiguous write at the row address.
-        hbm_->writeHalf(inst.dst.addr, v.data(), v.size());
+        hbm_->writeHalf(inst.dst.addr, v, inst.len);
     }
 }
 

@@ -15,37 +15,40 @@ Mpu::Mpu(const CoreParams &params, OffchipMemory *hbm, OffchipMemory *ddr)
 }
 
 Half
+Mpu::reduceInPlace(Half *v, size_t width)
+{
+    // Pairwise reduction over a power-of-two width: one FP16 rounding
+    // per adder-tree node, exactly like the hardware tree.
+    while (width > 1) {
+        width /= 2;
+        for (size_t i = 0; i < width; ++i)
+            v[i] = v[2 * i] + v[2 * i + 1];
+    }
+    return v[0];
+}
+
+float
+Mpu::reduceInPlaceF(float *v, size_t width)
+{
+    while (width > 1) {
+        width /= 2;
+        for (size_t i = 0; i < width; ++i)
+            v[i] = fp16::quantize(v[2 * i] + v[2 * i + 1]);
+    }
+    return v[0];
+}
+
+Half
 Mpu::treeReduce(const Half *values, size_t n)
 {
-    // Pairwise reduction, padding to the next power of two with +0.
-    // Matches the parallel adder tree of depth log2(d).
+    // Pad to the next power of two with +0 (matches the parallel adder
+    // tree of depth log2(d)).
     size_t width = 1;
     while (width < n)
         width <<= 1;
     std::vector<Half> level(width, Half::zero());
-    for (size_t i = 0; i < n; ++i)
-        level[i] = values[i];
-    while (width > 1) {
-        width /= 2;
-        for (size_t i = 0; i < width; ++i)
-            level[i] = level[2 * i] + level[2 * i + 1];
-    }
-    return level[0];
-}
-
-Half
-Mpu::weightAt(const isa::Instruction &inst, size_t r, size_t c) const
-{
-    const uint32_t pitch = inst.pitch ? inst.pitch : inst.cols;
-    uint64_t offset;
-    if (inst.flags & isa::kFlagWeightRowIsCol) {
-        // Operand stored transposed (K rows, V^T rows): element (r, c)
-        // of the logical weight is at stored position (c, r).
-        offset = (static_cast<uint64_t>(c) * pitch + r) * 2;
-    } else {
-        offset = (static_cast<uint64_t>(r) * pitch + c) * 2;
-    }
-    return hbm_->loadHalf(inst.src2.addr + offset);
+    std::copy(values, values + n, level.begin());
+    return reduceInPlace(level.data(), width);
 }
 
 MatrixTiming
@@ -108,40 +111,103 @@ Mpu::execute(const isa::Instruction &inst, VectorRegFile &vrf) const
     const size_t d = params_.tileRows;
     const size_t rows = inst.len;
     const size_t cols = inst.cols;
+    const uint32_t pitch = inst.pitch ? inst.pitch : inst.cols;
     const size_t in_base = inst.src1.addr * VectorRegFile::kWidth;
     const size_t out_base = inst.dst.addr * VectorRegFile::kWidth;
-
-    // Preload the input vector (it is broadcast across lanes).
-    std::vector<Half> x(rows);
-    for (size_t r = 0; r < rows; ++r)
-        x[r] = vrf.read(in_base + r);
-
+    const bool transposed = (inst.flags & isa::kFlagWeightRowIsCol) != 0;
     const bool masked = (inst.op == isa::Opcode::kMaskedMm) &&
                         (inst.flags & isa::kFlagMask);
-    Half scale = Half::one();
-    if (inst.flags & isa::kFlagScale)
-        scale = Half::fromBits(static_cast<uint16_t>(inst.src3.addr));
 
-    std::vector<Half> products(d);
-    for (size_t c = 0; c < cols; ++c) {
-        Half acc = Half::zero();
+    // Widen the input vector out of the VRF once (it is broadcast
+    // across lanes in hardware); the copy also protects against the
+    // destination window aliasing it.
+    {
+        const Half *xin = vrf.readSpan(in_base, rows);
+        x_.resize(rows);
+        for (size_t r = 0; r < rows; ++r)
+            x_[r] = xin[r].toFloat();
+    }
+
+    // One span covers the whole weight operand: its last element is
+    // (rows-1, cols-1) in either storage order.
+    const size_t w_elems = transposed
+                               ? (cols - 1) * size_t{pitch} + rows
+                               : (rows - 1) * size_t{pitch} + cols;
+    const Half *w = hbm_->loadSpan(inst.src2.addr, w_elems);
+
+    // The MAC tree consumes d products per chunk, padded to the next
+    // power of two with +0 (identical rounding to the d-element
+    // treeReduce of the reference path).
+    size_t width = 1;
+    while (width < d)
+        width <<= 1;
+    products_.resize(width);
+
+    acc_.assign(cols, 0.0f);
+    if (transposed) {
+        // Stored (c, r): each output column reads a contiguous run of
+        // the span — stream column by column.
+        for (size_t c = 0; c < cols; ++c) {
+            if (masked && c > inst.aux)
+                continue;  // overwritten by the mask below
+            const Half *col = w + c * size_t{pitch};
+            float acc = 0.0f;
+            for (size_t r0 = 0; r0 < rows; r0 += d) {
+                const size_t chunk = std::min(d, rows - r0);
+                for (size_t i = 0; i < chunk; ++i)
+                    products_[i] = fp16::quantize(col[r0 + i].toFloat() *
+                                                  x_[r0 + i]);
+                for (size_t i = chunk; i < width; ++i)
+                    products_[i] = 0.0f;
+                acc = fp16::quantize(
+                    acc + reduceInPlaceF(products_.data(), width));
+            }
+            acc_[c] = acc;
+        }
+    } else {
+        // Stored (r, c): advance d weight-row cursors in lockstep
+        // across the columns so the big matmuls walk memory row-major.
+        rows_.resize(d);
         for (size_t r0 = 0; r0 < rows; r0 += d) {
             const size_t chunk = std::min(d, rows - r0);
             for (size_t i = 0; i < chunk; ++i)
-                products[i] = weightAt(inst, r0 + i, c) * x[r0 + i];
-            for (size_t i = chunk; i < d; ++i)
-                products[i] = Half::zero();
-            acc = acc + treeReduce(products.data(), d);
+                rows_[i] = w + (r0 + i) * size_t{pitch};
+            const float *xc = x_.data() + r0;
+            for (size_t c = 0; c < cols; ++c) {
+                for (size_t i = 0; i < chunk; ++i)
+                    products_[i] =
+                        fp16::quantize(rows_[i][c].toFloat() * xc[i]);
+                for (size_t i = chunk; i < width; ++i)
+                    products_[i] = 0.0f;
+                acc_[c] = fp16::quantize(
+                    acc_[c] + reduceInPlaceF(products_.data(), width));
+            }
         }
-        if (inst.src3.space == isa::Space::kDdr)
-            acc = acc + ddr_->loadHalf(inst.src3.addr + c * 2);
+    }
+
+    // SFU_M tail: bias, scale, mask, GELU — in hardware order. Runs in
+    // the Half domain (once per output column, off the hot path).
+    const Half *bias = inst.src3.space == isa::Space::kDdr
+                           ? ddr_->loadSpan(inst.src3.addr, cols)
+                           : nullptr;
+    Half scale = Half::one();
+    if (inst.flags & isa::kFlagScale)
+        scale = Half::fromBits(static_cast<uint16_t>(inst.src3.addr));
+    const GeluLut *gelu =
+        (inst.flags & isa::kFlagGelu) ? &GeluLut::instance() : nullptr;
+
+    Half *out = vrf.writeSpan(out_base, cols);
+    for (size_t c = 0; c < cols; ++c) {
+        Half acc = Half::fromFloat(acc_[c]);
+        if (bias)
+            acc = acc + bias[c];
         if (inst.flags & isa::kFlagScale)
             acc = acc * scale;
         if (masked && c > inst.aux)
             acc = Half::lowest();  // closest representable to -inf
-        if (inst.flags & isa::kFlagGelu)
-            acc = GeluLut::instance().eval(acc);
-        vrf.write(out_base + c, acc);
+        if (gelu)
+            acc = gelu->eval(acc);
+        out[c] = acc;
     }
 }
 

@@ -12,9 +12,17 @@
  * order: round after every multiply, after every adder-tree node, and
  * after every accumulator add. Timing derives from tile counts, the
  * streaming bandwidth of the weight operand, and pipeline depths.
+ *
+ * The execute path streams the weight operand through a raw span of
+ * the HBM backing store (one bounds check per instruction) and walks
+ * it row-major — d weight rows advance in lockstep across the output
+ * columns — so the big Conv1D matmuls hit memory sequentially. All
+ * per-instruction scratch lives on the unit and is reused.
  */
 #ifndef DFX_CORE_MPU_HPP
 #define DFX_CORE_MPU_HPP
+
+#include <vector>
 
 #include "core/core_params.hpp"
 #include "core/regfile.hpp"
@@ -48,16 +56,36 @@ class Mpu
 
     /**
      * FP16 pairwise adder-tree reduction, exactly as the MFU hardware
-     * sums lane products (exposed for tests).
+     * sums lane products (exposed for tests). Pads to the next power
+     * of two with +0.
      */
     static Half treeReduce(const Half *values, size_t n);
 
-  private:
-    Half weightAt(const isa::Instruction &inst, size_t r, size_t c) const;
+    /**
+     * Destructive pairwise reduction of `width` values (a power of
+     * two): the shared core of treeReduce and the VPU's kAccum —
+     * callers keep a reusable padded buffer.
+     */
+    static Half reduceInPlace(Half *v, size_t width);
 
+    /**
+     * Float-domain variant: every element is an exact widened half,
+     * and each tree node requantizes through fp16::quantize —
+     * bit-identical rounding to the Half tree, no conversions.
+     */
+    static float reduceInPlaceF(float *v, size_t width);
+
+  private:
     const CoreParams &params_;
     OffchipMemory *hbm_;
     OffchipMemory *ddr_;
+    // Reusable per-instruction scratch (sized on first use; execute is
+    // logically const — the scratch carries no visible state). The
+    // accumulation runs in the float domain (exact widened halves).
+    mutable std::vector<float> x_;         ///< widened input vector
+    mutable std::vector<float> acc_;       ///< per-column accumulators
+    mutable std::vector<float> products_;  ///< one padded MAC-tree chunk
+    mutable std::vector<const Half *> rows_;  ///< weight row cursors
 };
 
 }  // namespace dfx

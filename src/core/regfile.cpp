@@ -56,6 +56,22 @@ VectorRegFile::writeVec(size_t line0, const VecH &v)
         data_[base + i] = v[i];
 }
 
+const Half *
+VectorRegFile::readSpan(size_t e0, size_t n) const
+{
+    return const_cast<VectorRegFile *>(this)->writeSpan(e0, n);
+}
+
+Half *
+VectorRegFile::writeSpan(size_t e0, size_t n)
+{
+    DFX_ASSERT(functional_, "VRF data access in timing-only mode");
+    DFX_ASSERT(e0 + n <= data_.size(),
+               "VRF span elem %zu + %zu out of %zu", e0, n,
+               data_.size());
+    return data_.data() + e0;
+}
+
 void
 VectorRegFile::clear(size_t line0, size_t n)
 {

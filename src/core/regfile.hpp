@@ -45,6 +45,13 @@ class VectorRegFile
     /** Zero-fills `n` elements starting at line `line0`. */
     void clear(size_t line0, size_t n);
 
+    // Bulk spans for the MPU/VPU inner loops: one bounds check per
+    // instruction instead of one per element.
+    /** Read-only view of `n` elements starting at element index `e0`. */
+    const Half *readSpan(size_t e0, size_t n) const;
+    /** Mutable view of `n` elements starting at element index `e0`. */
+    Half *writeSpan(size_t e0, size_t n);
+
   private:
     size_t lines_;
     bool functional_;

@@ -142,83 +142,112 @@ Vpu::execute(const isa::Instruction &inst, VectorRegFile &vrf,
     const size_t a_base = inst.src1.addr * VectorRegFile::kWidth;
     const size_t b_base = inst.src2.addr * VectorRegFile::kWidth;
     const size_t d_base = inst.dst.addr * VectorRegFile::kWidth;
+    const size_t n = inst.len;
 
+    // Elementwise ops stream raw VRF spans: one bounds check per
+    // instruction. Reading element i strictly before writing element i
+    // preserves the previous per-element semantics when the
+    // destination window aliases a source.
     switch (inst.op) {
-      case Opcode::kAdd:
-        for (size_t i = 0; i < inst.len; ++i)
-            vrf.write(d_base + i,
-                      vrf.read(a_base + i) + vrf.read(b_base + i));
+      case Opcode::kAdd: {
+        const Half *a = vrf.readSpan(a_base, n);
+        const Half *b = vrf.readSpan(b_base, n);
+        Half *dst = vrf.writeSpan(d_base, n);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = a[i] + b[i];
         break;
-      case Opcode::kSub:
-        for (size_t i = 0; i < inst.len; ++i)
-            vrf.write(d_base + i,
-                      vrf.read(a_base + i) - vrf.read(b_base + i));
+      }
+      case Opcode::kSub: {
+        const Half *a = vrf.readSpan(a_base, n);
+        const Half *b = vrf.readSpan(b_base, n);
+        Half *dst = vrf.writeSpan(d_base, n);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = a[i] - b[i];
         break;
-      case Opcode::kMul:
-        for (size_t i = 0; i < inst.len; ++i)
-            vrf.write(d_base + i,
-                      vrf.read(a_base + i) * vrf.read(b_base + i));
+      }
+      case Opcode::kMul: {
+        const Half *a = vrf.readSpan(a_base, n);
+        const Half *b = vrf.readSpan(b_base, n);
+        Half *dst = vrf.writeSpan(d_base, n);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = a[i] * b[i];
         break;
+      }
       case Opcode::kAddScalar: {
-        Half s = scalarOperand(inst.src2, srf);
-        for (size_t i = 0; i < inst.len; ++i)
-            vrf.write(d_base + i, vrf.read(a_base + i) + s);
+        const Half s = scalarOperand(inst.src2, srf);
+        const Half *a = vrf.readSpan(a_base, n);
+        Half *dst = vrf.writeSpan(d_base, n);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = a[i] + s;
         break;
       }
       case Opcode::kSubScalar: {
-        Half s = scalarOperand(inst.src2, srf);
-        for (size_t i = 0; i < inst.len; ++i)
-            vrf.write(d_base + i, vrf.read(a_base + i) - s);
+        const Half s = scalarOperand(inst.src2, srf);
+        const Half *a = vrf.readSpan(a_base, n);
+        Half *dst = vrf.writeSpan(d_base, n);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = a[i] - s;
         break;
       }
       case Opcode::kMulScalar: {
-        Half s = scalarOperand(inst.src2, srf);
-        for (size_t i = 0; i < inst.len; ++i)
-            vrf.write(d_base + i, vrf.read(a_base + i) * s);
+        const Half s = scalarOperand(inst.src2, srf);
+        const Half *a = vrf.readSpan(a_base, n);
+        Half *dst = vrf.writeSpan(d_base, n);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = a[i] * s;
         break;
       }
-      case Opcode::kExp:
-        for (size_t i = 0; i < inst.len; ++i)
-            vrf.write(d_base + i, hexp(vrf.read(a_base + i)));
+      case Opcode::kExp: {
+        const Half *a = vrf.readSpan(a_base, n);
+        Half *dst = vrf.writeSpan(d_base, n);
+        for (size_t i = 0; i < n; ++i)
+            dst[i] = hexp(a[i]);
         break;
+      }
       case Opcode::kLoad: {
-        VecH buf(inst.len);
-        const OffchipMemory *mem =
+        OffchipMemory *mem =
             inst.src1.space == isa::Space::kHbm ? hbm_ : ddr_;
-        mem->readHalf(inst.src1.addr, buf.data(), inst.len);
-        vrf.writeVec(inst.dst.addr, buf);
+        const Half *src = mem->loadSpan(inst.src1.addr, n);
+        Half *dst =
+            vrf.writeSpan(inst.dst.addr * VectorRegFile::kWidth, n);
+        std::copy(src, src + n, dst);
         break;
       }
       case Opcode::kStore: {
-        VecH buf = vrf.readVec(inst.src1.addr, inst.len);
+        const Half *src =
+            vrf.readSpan(inst.src1.addr * VectorRegFile::kWidth, n);
         OffchipMemory *mem =
             inst.dst.space == isa::Space::kHbm ? hbm_ : ddr_;
-        mem->writeHalf(inst.dst.addr, buf.data(), inst.len);
+        mem->writeHalf(inst.dst.addr, src, n);
         break;
       }
       case Opcode::kAccum: {
         // Tree-reduce each 64-wide line, accumulate partials in FP16.
         const size_t width = params_.vectorWidth;
+        size_t padded = 1;
+        while (padded < width)
+            padded <<= 1;
+        line_.resize(padded);
+        const Half *a = vrf.readSpan(a_base, n);
         Half acc = Half::zero();
-        std::vector<Half> line(width);
-        for (size_t i0 = 0; i0 < inst.len; i0 += width) {
-            size_t chunk = std::min(width, inst.len - i0);
+        for (size_t i0 = 0; i0 < n; i0 += width) {
+            const size_t chunk = std::min(width, n - i0);
             for (size_t i = 0; i < chunk; ++i)
-                line[i] = vrf.read(a_base + i0 + i);
-            for (size_t i = chunk; i < width; ++i)
-                line[i] = Half::zero();
-            acc = acc + Mpu::treeReduce(line.data(), width);
+                line_[i] = a[i0 + i];
+            for (size_t i = chunk; i < padded; ++i)
+                line_[i] = Half::zero();
+            acc = acc + Mpu::reduceInPlace(line_.data(), padded);
         }
         srf.write(inst.dst.addr, acc);
         break;
       }
       case Opcode::kReduMax: {
+        const Half *a = vrf.readSpan(a_base, n);
         Half best = Half::lowest();
         int64_t best_idx = 0;
-        for (size_t i = 0; i < inst.len; ++i) {
-            Half v = vrf.read(a_base + i);
-            if (v > best) {
-                best = v;
+        for (size_t i = 0; i < n; ++i) {
+            if (a[i] > best) {
+                best = a[i];
                 best_idx = static_cast<int64_t>(i);
             }
         }

@@ -11,6 +11,8 @@
 #ifndef DFX_CORE_VPU_HPP
 #define DFX_CORE_VPU_HPP
 
+#include <vector>
+
 #include "core/core_params.hpp"
 #include "core/regfile.hpp"
 #include "isa/instruction.hpp"
@@ -48,6 +50,8 @@ class Vpu
     const CoreParams &params_;
     OffchipMemory *hbm_;
     OffchipMemory *ddr_;
+    /** Reusable line buffer for the kAccum adder tree. */
+    mutable std::vector<Half> line_;
 };
 
 }  // namespace dfx

@@ -34,6 +34,11 @@ OffchipMemory::alloc(uint64_t bytes, const char *tag)
                   static_cast<unsigned long long>(capacity_));
     }
     next_ = addr + bytes;
+    // Grow the functional backing eagerly to the watermark: spans
+    // handed out between allocations then never dangle, and steady-
+    // state accesses never pay a resize check.
+    if (functional_)
+        ensureBacking(next_);
     return addr;
 }
 
@@ -94,6 +99,21 @@ void
 OffchipMemory::storeHalf(uint64_t addr, Half value)
 {
     writeHalf(addr, &value, 1);
+}
+
+const Half *
+OffchipMemory::loadSpan(uint64_t addr, size_t n)
+{
+    return storeSpan(addr, n);
+}
+
+Half *
+OffchipMemory::storeSpan(uint64_t addr, size_t n)
+{
+    DFX_ASSERT(addr % 2 == 0, "%s: unaligned span at 0x%llx",
+               name_.c_str(), static_cast<unsigned long long>(addr));
+    ensureBacking(addr + 2 * n);
+    return backing_.data() + addr / 2;
 }
 
 OffchipMemory

@@ -72,6 +72,17 @@ class OffchipMemory
     /** Writes one half. */
     void storeHalf(uint64_t addr, Half value);
 
+    // --- bulk span access (the hot-loop API) --------------------------
+    // Spans expose the backing store directly so per-element loads in
+    // the MPU/VPU inner loops cost a pointer index instead of a
+    // function call with assertions. The backing is pre-grown to the
+    // allocation watermark, so a span stays valid until the next
+    // alloc() (which may reallocate the store).
+    /** Read-only view of n halves starting at byte address `addr`. */
+    const Half *loadSpan(uint64_t addr, size_t n);
+    /** Mutable view of n halves starting at byte address `addr`. */
+    Half *storeSpan(uint64_t addr, size_t n);
+
     const std::string &name() const { return name_; }
 
   private:

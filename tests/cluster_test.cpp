@@ -240,6 +240,54 @@ TEST(ClusterTiming, SyncShareGrowsWithCores)
     EXPECT_GT(sync_share(4), sync_share(2));
 }
 
+TEST(ClusterFunctional, MultiThreadedExecutionIsBitIdentical)
+{
+    // Parallel core stepping must be numerically invisible: for every
+    // host thread count, the generated tokens AND the modeled timing
+    // must match the sequential (nThreads=1) run bit for bit. Cores
+    // share no mutable state between syncs and stats reduce in core
+    // order, so this holds by construction — this test is the guard.
+    GptWeights w = GptWeights::random(GptConfig::mini(), 52);
+    std::vector<int32_t> prompt = {3, 5, 21, 34};
+
+    DfxSystemConfig cfg = functionalConfig(w.config, 4);
+    cfg.nThreads = 1;
+    DfxAppliance sequential(cfg);
+    sequential.loadWeights(w);
+    GenerationResult ref = sequential.generate(prompt, 10);
+
+    for (size_t threads : {2u, 3u, 4u, 8u}) {
+        cfg.nThreads = threads;
+        DfxAppliance parallel(cfg);
+        parallel.loadWeights(w);
+        GenerationResult r = parallel.generate(prompt, 10);
+        EXPECT_EQ(r.tokens, ref.tokens) << threads << " threads";
+        EXPECT_EQ(r.totalSeconds(), ref.totalSeconds())
+            << threads << " threads";
+        EXPECT_EQ(r.instructions, ref.instructions)
+            << threads << " threads";
+        for (size_t c = 0; c < ref.categorySeconds.size(); ++c) {
+            EXPECT_EQ(r.categorySeconds[c], ref.categorySeconds[c])
+                << threads << " threads, category " << c;
+        }
+    }
+}
+
+TEST(ClusterFunctional, MultiThreadedRunsAreStableAcrossRepeats)
+{
+    // Repeated multi-threaded generations of the same appliance (with
+    // different worker interleavings every run) stay self-identical.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 53);
+    DfxSystemConfig cfg = functionalConfig(w.config, 2);
+    cfg.nThreads = 4;
+    DfxAppliance appliance(cfg);
+    appliance.loadWeights(w);
+    std::vector<int32_t> prompt = {11, 22, 33};
+    auto first = appliance.generate(prompt, 12).tokens;
+    for (int rep = 0; rep < 3; ++rep)
+        EXPECT_EQ(appliance.generate(prompt, 12).tokens, first);
+}
+
 TEST(ClusterFunctional, BinaryInstructionPathPreservesSemantics)
 {
     // Routing every phase through the 48-byte binary encoding (the

@@ -9,6 +9,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
 
@@ -94,6 +95,143 @@ TEST(Fp16, RoundTripAllBitPatterns)
         }
         Half back = Half::fromFloat(h.toFloat());
         EXPECT_EQ(back.bits(), h.bits()) << "bit pattern " << b;
+    }
+}
+
+TEST(Fp16, TableToFloatMatchesReferenceExhaustively)
+{
+    // The table-driven half -> float fast path must be bit-identical
+    // to the original branchy implementation for all 2^16 encodings
+    // (including every NaN payload).
+    for (uint32_t b = 0; b <= 0xffff; ++b) {
+        const uint16_t bits = static_cast<uint16_t>(b);
+        const uint32_t fast =
+            std::bit_cast<uint32_t>(fp16::halfBitsToFloat(bits));
+        const uint32_t ref =
+            std::bit_cast<uint32_t>(fp16::referenceHalfBitsToFloat(bits));
+        ASSERT_EQ(fast, ref) << "bit pattern " << b;
+    }
+}
+
+TEST(Fp16, FastFromFloatMatchesReferenceOnBoundaries)
+{
+    // Exact equivalence of the fast float -> half rounding against
+    // the double-path reference on every rounding boundary: for each
+    // half value h, the float values just below, at, and just above
+    // the midpoints (h - ulp/2, h, h + ulp/2) and their neighbours.
+    for (uint32_t b = 0; b <= 0xffff; ++b) {
+        const uint16_t bits = static_cast<uint16_t>(b);
+        Half h = Half::fromBits(bits);
+        if (h.isNan() || h.isInf())
+            continue;
+        const uint32_t fb = std::bit_cast<uint32_t>(h.toFloat());
+        // Probe a window of float encodings around the half value and
+        // around its upper rounding midpoint.
+        for (int32_t delta : {-1, 0, 1}) {
+            const uint32_t probe = fb + static_cast<uint32_t>(delta);
+            const float f = std::bit_cast<float>(probe);
+            ASSERT_EQ(fp16::floatToHalfBits(f),
+                      fp16::referenceFloatToHalfBits(f))
+                << "float bits " << probe;
+        }
+        // Midpoint to the next half up: representable exactly in float
+        // for all finite halves (one extra significand bit needed).
+        const float next =
+            fp16::referenceHalfBitsToFloat(
+                static_cast<uint16_t>((bits & 0x7fffu) == 0x7bffu
+                                          ? bits
+                                          : bits + 1));
+        const float mid = 0.5f * (h.toFloat() + next);
+        const uint32_t mb = std::bit_cast<uint32_t>(mid);
+        for (int32_t delta : {-1, 0, 1}) {
+            const uint32_t probe = mb + static_cast<uint32_t>(delta);
+            const float f = std::bit_cast<float>(probe);
+            ASSERT_EQ(fp16::floatToHalfBits(f),
+                      fp16::referenceFloatToHalfBits(f))
+                << "midpoint float bits " << probe;
+        }
+    }
+}
+
+TEST(Fp16, QuantizeMatchesConversionPairExhaustively)
+{
+    // The MAC-tree requantization primitive must equal the exact
+    // float -> half -> float conversion pair bit for bit. Exhaustive
+    // over all widened halves, strided over the full float space, and
+    // dense over the normal/subnormal/overflow transition bands.
+    for (uint32_t b = 0; b <= 0xffff; ++b) {
+        const float f =
+            fp16::halfBitsToFloat(static_cast<uint16_t>(b));
+        const float q = fp16::quantize(f);
+        const float ref =
+            fp16::halfBitsToFloat(fp16::floatToHalfBits(f));
+        ASSERT_EQ(std::bit_cast<uint32_t>(q),
+                  std::bit_cast<uint32_t>(ref))
+            << "half bits " << b;
+    }
+    for (uint64_t u = 0; u <= 0xffffffffull; u += 4099) {
+        const float f = std::bit_cast<float>(static_cast<uint32_t>(u));
+        const float q = fp16::quantize(f);
+        const float ref =
+            fp16::halfBitsToFloat(fp16::floatToHalfBits(f));
+        ASSERT_EQ(std::bit_cast<uint32_t>(q),
+                  std::bit_cast<uint32_t>(ref))
+            << "float bits " << u;
+    }
+    for (uint32_t e : {96u, 102u, 103u, 112u, 113u, 142u, 143u}) {
+        for (uint32_t m = 0; m < (1u << 23); m += 11) {
+            for (uint32_t s : {0u, 0x80000000u}) {
+                const uint32_t bits = s | (e << 23) | m;
+                const float f = std::bit_cast<float>(bits);
+                const float q = fp16::quantize(f);
+                const float ref =
+                    fp16::halfBitsToFloat(fp16::floatToHalfBits(f));
+                ASSERT_EQ(std::bit_cast<uint32_t>(q),
+                          std::bit_cast<uint32_t>(ref))
+                    << "float bits " << bits;
+            }
+        }
+    }
+}
+
+TEST(Fp16, FastFromFloatMatchesReferenceSweep)
+{
+    // Strided sweep across the full float encoding space (all
+    // exponents, both signs): overflow, normal, subnormal-result and
+    // underflow-to-zero regimes all agree with the reference.
+    for (uint64_t u = 0; u <= 0xffffffffull; u += 99991) {
+        const float f = std::bit_cast<float>(static_cast<uint32_t>(u));
+        ASSERT_EQ(fp16::floatToHalfBits(f),
+                  fp16::referenceFloatToHalfBits(f))
+            << "float bits " << u;
+    }
+    // Dense sweep of the exponent band where half results transition
+    // normal -> subnormal -> zero (float exponents 96..116), plus the
+    // overflow band (140..144), every 9th mantissa.
+    auto sweep_band = [](uint32_t e_lo, uint32_t e_hi) {
+        for (uint32_t e = e_lo; e <= e_hi; ++e) {
+            for (uint32_t m = 0; m < (1u << 23); m += 9) {
+                const uint32_t pos = (e << 23) | m;
+                for (uint32_t s : {0u, 0x80000000u}) {
+                    const float f = std::bit_cast<float>(pos | s);
+                    ASSERT_EQ(fp16::floatToHalfBits(f),
+                              fp16::referenceFloatToHalfBits(f))
+                        << "float bits " << (pos | s);
+                }
+            }
+        }
+    };
+    sweep_band(96, 116);
+    sweep_band(140, 144);
+    // Float subnormals and NaN payloads.
+    for (uint32_t u :
+         {0x00000001u, 0x007fffffu, 0x80000001u, 0x807fffffu,
+          0x7f800001u, 0x7fc00000u, 0x7fffffffu, 0xff800001u,
+          0xffffffffu}) {
+        const float f = std::bit_cast<float>(u);
+        ASSERT_EQ(fp16::floatToHalfBits(f),
+                  fp16::referenceFloatToHalfBits(f))
+            << "float bits " << u;
     }
 }
 
