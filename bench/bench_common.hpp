@@ -9,6 +9,7 @@
 #ifndef DFX_BENCH_COMMON_HPP
 #define DFX_BENCH_COMMON_HPP
 
+#include <chrono>
 #include <vector>
 
 #include "appliance/appliance.hpp"
@@ -16,6 +17,34 @@
 
 namespace dfx {
 namespace bench {
+
+/** Monotonic host time in seconds (wall-clock measurements). */
+inline double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * GPT-2-shaped, 8-head model sized for host-speed benchmarking: the
+ * shared workload of `bench_sim_speed` and `bench_serving`, so the
+ * two cross-PR perf records track the same arithmetic.
+ */
+inline GptConfig
+gpt2Petite()
+{
+    GptConfig c;
+    c.name = "gpt2-petite";
+    c.vocabSize = 4096;
+    c.embedding = 512;
+    c.heads = 8;
+    c.headDim = 64;
+    c.layers = 4;
+    c.maxSeq = 128;
+    return c;
+}
 
 /** The paper's per-model device counts (345M:1, 774M:2, 1.5B:4). */
 inline size_t

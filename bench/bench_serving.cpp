@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Serving benchmark: concurrent-request throughput and latency.
+ *
+ * The batching counterpart to `bench_sim_speed`: a fixed pool of
+ * requests is served by one cluster while the number of in-flight
+ * requests (resident KV contexts) sweeps 1..8. Reports the *modeled*
+ * aggregate throughput (output tokens per simulated second), mean and
+ * p99 service latency, and the host wall time, writing
+ * `BENCH_serving.json` as the second cross-PR perf record.
+ *
+ * Two invariants are enforced here (the bench fails hard on either):
+ *  - per-request tokens are bit-identical to serial single-request
+ *    runs at every in-flight level;
+ *  - aggregate throughput grows monotonically with in-flight count
+ *    (weight streams amortize across batch-mates).
+ */
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "appliance/server.hpp"
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+
+namespace {
+
+using bench::now;
+
+struct Sample
+{
+    size_t inFlight;
+    double throughputTokPerSec;  ///< modeled output tokens/sec
+    double meanLatencySec;       ///< modeled mean service latency
+    double p99LatencySec;        ///< modeled p99 service latency
+    double hostWallSec;          ///< host time for the whole serve
+};
+
+std::vector<ServerRequest>
+requestPool(size_t n, size_t n_in, size_t n_out, size_t vocab)
+{
+    std::vector<ServerRequest> reqs;
+    for (size_t i = 0; i < n; ++i) {
+        ServerRequest r;
+        for (size_t j = 0; j < n_in; ++j)
+            r.prompt.push_back(
+                static_cast<int32_t>((i * 131 + j * 17 + 1) % vocab));
+        r.nOut = n_out;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printHeader("Serving — concurrent requests per cluster",
+                "host+model perf");
+
+    const GptConfig model = bench::gpt2Petite();
+    const size_t n_cores = 4;
+    const size_t n_requests = 8, n_in = 8, n_out = 16;
+
+    std::printf("model %s: emb %zu, %zu heads, %zu layers, vocab %zu; "
+                "%zu cores, 1 cluster, %zu requests of %zu:%zu\n\n",
+                model.name.c_str(), model.embedding, model.heads,
+                model.layers, model.vocabSize, n_cores, n_requests, n_in,
+                n_out);
+
+    GptWeights weights = GptWeights::random(model, 7);
+    auto reqs = requestPool(n_requests, n_in, n_out, model.vocabSize);
+
+    DfxSystemConfig cfg;
+    cfg.model = model;
+    cfg.nCores = n_cores;
+    cfg.functional = true;
+    cfg.nThreads = 0;  // host hardware concurrency (bit-transparent)
+
+    // Serial single-request reference: the determinism baseline.
+    std::vector<std::vector<int32_t>> expected;
+    {
+        DfxAppliance serial(cfg);
+        serial.loadWeights(weights);
+        for (const auto &r : reqs)
+            expected.push_back(serial.generate(r.prompt, r.nOut).tokens);
+    }
+
+    std::vector<Sample> samples;
+    Table t({"in-flight", "tok/s (modeled)", "mean lat (ms)",
+             "p99 lat (ms)", "host wall (s)"});
+    for (size_t in_flight : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        cfg.kvContexts = in_flight;
+        DfxServer server(cfg, 1);
+        server.loadWeights(weights);
+        const double t0 = now();
+        ServerStats stats = server.serve(reqs);
+        const double wall = now() - t0;
+
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            if (stats.results[i].tokens != expected[i]) {
+                std::fprintf(stderr,
+                             "FATAL: request %zu tokens diverge from "
+                             "serial run at %zu in-flight\n",
+                             i, in_flight);
+                return 1;
+            }
+        }
+        samples.push_back({in_flight, stats.throughputTokensPerSec(),
+                           stats.meanLatencySeconds(),
+                           stats.p99LatencySeconds, wall});
+        const Sample &s = samples.back();
+        t.addRow({std::to_string(s.inFlight),
+                  fmt(s.throughputTokPerSec, 1),
+                  fmt(s.meanLatencySec * 1e3, 2),
+                  fmt(s.p99LatencySec * 1e3, 2), fmt(s.hostWallSec, 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("tokens identical to serial runs at every level.\n");
+
+    for (size_t i = 1; i < samples.size(); ++i) {
+        if (samples[i].throughputTokPerSec <=
+            samples[i - 1].throughputTokPerSec) {
+            std::fprintf(stderr,
+                         "FATAL: throughput not monotonic: %zu in-flight "
+                         "%.1f tok/s <= %zu in-flight %.1f tok/s\n",
+                         samples[i].inFlight,
+                         samples[i].throughputTokPerSec,
+                         samples[i - 1].inFlight,
+                         samples[i - 1].throughputTokPerSec);
+            return 1;
+        }
+    }
+
+    // Paper-scale sweep (timing-only, so it costs host milliseconds):
+    // on GPT-2 345M the weight streams are the dominant per-step cost,
+    // so batching amortizes a much larger share than on the petite
+    // host-speed model above.
+    std::vector<Sample> paper;
+    {
+        DfxSystemConfig pcfg;
+        pcfg.model = GptConfig::gpt2_345M();
+        pcfg.nCores = 4;
+        pcfg.functional = false;
+        auto preqs = requestPool(8, 32, 64, pcfg.model.vocabSize);
+        Table pt({"in-flight", "tok/s (modeled)", "mean lat (ms)",
+                  "p99 lat (ms)"});
+        for (size_t in_flight :
+             {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+            pcfg.kvContexts = in_flight;
+            DfxServer server(pcfg, 1);
+            ServerStats stats = server.serve(preqs);
+            paper.push_back({in_flight, stats.throughputTokensPerSec(),
+                             stats.meanLatencySeconds(),
+                             stats.p99LatencySeconds, 0.0});
+            pt.addRow({std::to_string(in_flight),
+                       fmt(paper.back().throughputTokPerSec, 1),
+                       fmt(paper.back().meanLatencySec * 1e3, 2),
+                       fmt(paper.back().p99LatencySec * 1e3, 2)});
+            if (paper.size() > 1 &&
+                paper.back().throughputTokPerSec <=
+                    paper[paper.size() - 2].throughputTokPerSec) {
+                std::fprintf(stderr,
+                             "FATAL: 345M throughput not monotonic at "
+                             "%zu in-flight\n",
+                             in_flight);
+                return 1;
+            }
+        }
+        std::printf("\nGPT-2 345M on 4 cores (timing model), "
+                    "8 requests of 32:64:\n%s\n",
+                    pt.render().c_str());
+    }
+
+    FILE *f = std::fopen("BENCH_serving.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_serving.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"serving\",\n");
+    std::fprintf(f, "  \"model\": \"%s\",\n", model.name.c_str());
+    std::fprintf(f, "  \"n_cores\": %zu,\n", n_cores);
+    std::fprintf(f, "  \"n_clusters\": 1,\n");
+    std::fprintf(f,
+                 "  \"workload\": {\"n_requests\": %zu, \"n_in\": %zu, "
+                 "\"n_out\": %zu},\n",
+                 n_requests, n_in, n_out);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < samples.size(); ++i) {
+        const Sample &s = samples[i];
+        std::fprintf(f,
+                     "    {\"in_flight\": %zu, "
+                     "\"throughput_tok_per_sec\": %.4f, "
+                     "\"mean_latency_sec\": %.6f, "
+                     "\"p99_latency_sec\": %.6f, "
+                     "\"host_wall_sec\": %.3f}%s\n",
+                     s.inFlight, s.throughputTokPerSec, s.meanLatencySec,
+                     s.p99LatencySec, s.hostWallSec,
+                     i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"paper_scale\": {\"model\": \"345M\", "
+                    "\"n_cores\": 4, \"workload\": {\"n_requests\": 8, "
+                    "\"n_in\": 32, \"n_out\": 64}, \"sweep\": [\n");
+    for (size_t i = 0; i < paper.size(); ++i) {
+        const Sample &s = paper[i];
+        std::fprintf(f,
+                     "    {\"in_flight\": %zu, "
+                     "\"throughput_tok_per_sec\": %.4f, "
+                     "\"mean_latency_sec\": %.6f, "
+                     "\"p99_latency_sec\": %.6f}%s\n",
+                     s.inFlight, s.throughputTokPerSec, s.meanLatencySec,
+                     s.p99LatencySec,
+                     i + 1 < paper.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]}\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_serving.json\n");
+    return 0;
+}

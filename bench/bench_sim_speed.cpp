@@ -25,20 +25,7 @@ using namespace dfx;
 
 namespace {
 
-/** GPT-2-shaped, 8-head model sized for host benchmarking. */
-GptConfig
-benchModel()
-{
-    GptConfig c;
-    c.name = "gpt2-petite";
-    c.vocabSize = 4096;
-    c.embedding = 512;
-    c.heads = 8;
-    c.headDim = 64;
-    c.layers = 4;
-    c.maxSeq = 128;
-    return c;
-}
+using bench::now;
 
 struct Sample
 {
@@ -46,14 +33,6 @@ struct Sample
     double stepsPerSec;
     std::vector<int32_t> tokens;
 };
-
-double
-now()
-{
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-}
 
 Sample
 run(const GptWeights &weights, size_t n_cores, size_t n_threads,
@@ -87,7 +66,7 @@ main()
     printHeader("Simulator speed — functional decode steps/sec",
                 "host perf");
 
-    const GptConfig model = benchModel();
+    const GptConfig model = bench::gpt2Petite();
     const size_t n_cores = 8;
     const size_t n_in = 8, n_out = 24;
 

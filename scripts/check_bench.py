@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the cross-PR benchmark records.
+
+Runs the host-perf benches (``bench_sim_speed``, ``bench_serving``) in
+the build directory, compares the fresh numbers against the committed
+``BENCH_*.json`` baselines at the repo root, and fails on a
+steps-per-second (or tokens-per-second) regression beyond the
+threshold. Modeled serving throughput is deterministic, so any drop
+there is a real model/scheduler regression; host steps/sec vary with
+the machine, which is what the (generous) threshold absorbs.
+
+Usage:
+  scripts/check_bench.py [--build-dir build] [--threshold 0.25]
+                         [--skip-run] [--update]
+
+``--update`` copies the fresh JSON over the committed baselines
+(run it after an intentional perf change, then commit the files).
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BENCHES = ["bench_sim_speed", "bench_serving"]
+
+
+def run_benches(build_dir: Path) -> None:
+    for bench in BENCHES:
+        exe = build_dir / bench
+        if not exe.exists():
+            sys.exit(f"error: {exe} not built (build the repo first)")
+        print(f"== running {bench} ==", flush=True)
+        subprocess.run([f"./{bench}"], cwd=build_dir, check=True)
+
+
+def load(path: Path) -> dict:
+    if not path.exists():
+        sys.exit(f"error: {path} missing")
+    with path.open() as f:
+        return json.load(f)
+
+
+def check_metric(name: str, base: float, fresh: float,
+                 threshold: float, failures: list) -> None:
+    floor = base * (1.0 - threshold)
+    verdict = "ok" if fresh >= floor else "REGRESSION"
+    print(f"  {name:40s} base {base:10.2f}  fresh {fresh:10.2f}  "
+          f"floor {floor:10.2f}  {verdict}")
+    if fresh < floor:
+        failures.append(f"{name}: {fresh:.2f} < {floor:.2f} "
+                        f"(baseline {base:.2f})")
+
+
+def check_sim_speed(base: dict, fresh: dict, threshold: float,
+                    failures: list) -> None:
+    """Host steps/sec: machine-dependent, so CI passes a looser
+    --host-threshold than the local default."""
+    print("bench_sim_speed (host decode steps/sec):")
+    fresh_by_threads = {e["host_threads"]: e["steps_per_sec"]
+                        for e in fresh["decode_steps_per_sec"]}
+    for entry in base["decode_steps_per_sec"]:
+        threads = entry["host_threads"]
+        if threads not in fresh_by_threads:
+            failures.append(f"sim_speed: no fresh sample for "
+                            f"{threads} host threads")
+            continue
+        check_metric(f"steps/sec @ {threads} host threads",
+                     entry["steps_per_sec"], fresh_by_threads[threads],
+                     threshold, failures)
+
+
+def check_serving_sweep(label: str, base_sweep: list, fresh_sweep: list,
+                        threshold: float, failures: list) -> None:
+    fresh_by_inflight = {e["in_flight"]: e for e in fresh_sweep}
+    prev_tp = 0.0
+    for entry in base_sweep:
+        in_flight = entry["in_flight"]
+        fresh = fresh_by_inflight.get(in_flight)
+        if fresh is None:
+            failures.append(f"{label}: no fresh sample for "
+                            f"{in_flight} in-flight")
+            continue
+        tp = fresh["throughput_tok_per_sec"]
+        check_metric(f"{label} tok/s @ {in_flight} in-flight",
+                     entry["throughput_tok_per_sec"], tp, threshold,
+                     failures)
+        if tp <= prev_tp:
+            failures.append(f"{label}: throughput not monotonic at "
+                            f"{in_flight} in-flight "
+                            f"({tp:.1f} <= {prev_tp:.1f})")
+        prev_tp = tp
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=Path,
+                        default=REPO_ROOT / "build")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression for the "
+                             "deterministic modeled metrics (0.25 = "
+                             "fail below 75%% of baseline)")
+    parser.add_argument("--host-threshold", type=float, default=None,
+                        help="allowed fractional regression for "
+                             "host-machine-dependent metrics (steps/sec)."
+                             " Defaults to --threshold; CI passes a "
+                             "looser value because runner hardware "
+                             "differs from the baseline machine")
+    parser.add_argument("--skip-run", action="store_true",
+                        help="compare existing JSON in the build dir "
+                             "instead of re-running the benches")
+    parser.add_argument("--update", action="store_true",
+                        help="copy fresh JSON over the committed "
+                             "baselines instead of comparing")
+    args = parser.parse_args()
+
+    if not args.skip_run:
+        run_benches(args.build_dir)
+
+    if args.update:
+        for name in ("BENCH_sim_speed.json", "BENCH_serving.json"):
+            shutil.copy(args.build_dir / name, REPO_ROOT / name)
+            print(f"updated {REPO_ROOT / name}")
+        return 0
+
+    host_threshold = (args.host_threshold
+                      if args.host_threshold is not None
+                      else args.threshold)
+
+    failures: list = []
+    check_sim_speed(load(REPO_ROOT / "BENCH_sim_speed.json"),
+                    load(args.build_dir / "BENCH_sim_speed.json"),
+                    host_threshold, failures)
+
+    base_serving = load(REPO_ROOT / "BENCH_serving.json")
+    fresh_serving = load(args.build_dir / "BENCH_serving.json")
+    print("bench_serving (modeled serving throughput):")
+    check_serving_sweep("serving", base_serving["sweep"],
+                        fresh_serving["sweep"], args.threshold, failures)
+    if "paper_scale" in base_serving:
+        if "paper_scale" in fresh_serving:
+            check_serving_sweep("serving-345M",
+                                base_serving["paper_scale"]["sweep"],
+                                fresh_serving["paper_scale"]["sweep"],
+                                args.threshold, failures)
+        else:
+            failures.append("serving: fresh JSON lacks the "
+                            "'paper_scale' sweep the baseline has")
+
+    if failures:
+        print("\nPERF GATE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        print("\nIf the change is intentional, refresh the baselines "
+              "with scripts/check_bench.py --update and commit them.")
+        return 1
+    print("\nperf gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

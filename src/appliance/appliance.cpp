@@ -17,6 +17,35 @@ DfxAppliance::loadWeights(const GptWeights &weights)
     cluster_.loadWeights(weights);
 }
 
+StepOutcome
+DfxAppliance::prefill(size_t ctx, const std::vector<int32_t> &prompt)
+{
+    DFX_ASSERT(!prompt.empty(), "empty prompt");
+    cluster_.resetContext(ctx);
+    StepOutcome out;
+    for (int32_t tok : prompt) {
+        TokenStats stats;
+        out.next = cluster_.stepToken(ctx, tok, &stats);
+        out.stats.accumulate(stats);
+    }
+    return out;
+}
+
+StepOutcome
+DfxAppliance::decodeStep(size_t ctx, int32_t token)
+{
+    StepOutcome out;
+    out.next = cluster_.stepToken(ctx, token, &out.stats);
+    return out;
+}
+
+std::vector<int32_t>
+DfxAppliance::stepBatch(const std::vector<ContextStep> &steps,
+                        TokenStats *batch_stats)
+{
+    return cluster_.stepTokenBatch(steps, batch_stats);
+}
+
 GenerationResult
 DfxAppliance::generate(const std::vector<int32_t> &prompt, size_t n_out)
 {
@@ -25,7 +54,6 @@ DfxAppliance::generate(const std::vector<int32_t> &prompt, size_t n_out)
     DFX_ASSERT(prompt.size() + n_out <= cluster_.config().model.maxSeq,
                "request %zu+%zu exceeds max context %zu", prompt.size(),
                n_out, cluster_.config().model.maxSeq);
-    cluster_.reset();
     GenerationResult result;
 
     // Host -> device: input ids + system configuration (core count,
@@ -34,17 +62,14 @@ DfxAppliance::generate(const std::vector<int32_t> &prompt, size_t n_out)
         pcie_.transferSeconds(prompt.size() * 4 + 64);
 
     // --- Summarization stage: the input context, token by token ------
-    int32_t next = -1;
-    for (size_t i = 0; i < prompt.size(); ++i) {
-        TokenStats stats;
-        next = cluster_.stepToken(prompt[i], &stats);
-        result.summarizationSeconds += stats.seconds;
-        result.summarizationFlops += stats.flops;
-        result.hbmBytes += stats.hbmBytes;
-        result.instructions += stats.instructions;
-        for (size_t c = 0; c < kNumCategories; ++c)
-            result.categorySeconds[c] += stats.categorySeconds[c];
-    }
+    StepOutcome pre = prefill(0, prompt);
+    int32_t next = pre.next;
+    result.summarizationSeconds = pre.stats.seconds;
+    result.summarizationFlops = pre.stats.flops;
+    result.hbmBytes += pre.stats.hbmBytes;
+    result.instructions += pre.stats.instructions;
+    for (size_t c = 0; c < kNumCategories; ++c)
+        result.categorySeconds[c] += pre.stats.categorySeconds[c];
 
     // --- Generation stage: feed each output token back ----------------
     for (size_t i = 0; i < n_out; ++i) {
@@ -52,14 +77,14 @@ DfxAppliance::generate(const std::vector<int32_t> &prompt, size_t n_out)
         // id (timing is token-value independent).
         int32_t tok = next >= 0 ? next : 0;
         result.tokens.push_back(tok);
-        TokenStats stats;
-        next = cluster_.stepToken(tok, &stats);
-        result.generationSeconds += stats.seconds;
-        result.generationFlops += stats.flops;
-        result.hbmBytes += stats.hbmBytes;
-        result.instructions += stats.instructions;
+        StepOutcome step = decodeStep(0, tok);
+        next = step.next;
+        result.generationSeconds += step.stats.seconds;
+        result.generationFlops += step.stats.flops;
+        result.hbmBytes += step.stats.hbmBytes;
+        result.instructions += step.stats.instructions;
         for (size_t c = 0; c < kNumCategories; ++c)
-            result.categorySeconds[c] += stats.categorySeconds[c];
+            result.categorySeconds[c] += step.stats.categorySeconds[c];
     }
 
     // Device -> host: generated ids.

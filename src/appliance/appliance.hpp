@@ -66,6 +66,13 @@ struct GenerationResult
     }
 };
 
+/** Result of one stepwise appliance call (prefill or decode step). */
+struct StepOutcome
+{
+    int32_t next = -1;  ///< argmax next token (-1 in timing-only mode)
+    TokenStats stats;   ///< timing/attribution of the step(s)
+};
+
 /** A DFX server appliance (one cluster behind a PCIe switch). */
 class DfxAppliance
 {
@@ -79,9 +86,39 @@ class DfxAppliance
      * Runs a full text-generation request. In functional mode the
      * returned tokens are the greedy continuation; in timing-only
      * mode token values are synthetic but the timing is exact.
+     * Implemented on top of prefill/decodeStep against context 0, so
+     * stepwise and whole-request execution are identical by
+     * construction.
      */
     GenerationResult generate(const std::vector<int32_t> &prompt,
                               size_t n_out);
+
+    // --- stepwise serving API (scheduler-facing) ----------------------
+    // A scheduler acquires a KV context per admitted request, drives
+    // it one token step at a time (round-robinning contexts between
+    // ring syncs), and releases the context on completion. Contexts
+    // persist in off-chip memory across interleaved steps.
+    size_t kvContexts() const { return cluster_.kvContexts(); }
+    size_t freeContexts() const { return cluster_.freeContexts(); }
+    size_t acquireContext() { return cluster_.acquireContext(); }
+    void releaseContext(size_t ctx) { cluster_.releaseContext(ctx); }
+
+    /** Runs the whole prompt through context `ctx` (summarization
+     *  stage); the context must be fresh. Stats are the summed steps. */
+    StepOutcome prefill(size_t ctx, const std::vector<int32_t> &prompt);
+
+    /** One generation step of context `ctx`. */
+    StepOutcome decodeStep(size_t ctx, int32_t token);
+
+    /** Batched multi-context round (see DfxCluster::stepTokenBatch). */
+    std::vector<int32_t> stepBatch(const std::vector<ContextStep> &steps,
+                                   TokenStats *batch_stats);
+
+    /** Host link cost for `bytes` over PCIe (per-request accounting). */
+    double pcieSeconds(uint64_t bytes) const
+    {
+        return pcie_.transferSeconds(bytes);
+    }
 
     DfxCluster &cluster() { return cluster_; }
     const DfxSystemConfig &config() const { return cluster_.config(); }

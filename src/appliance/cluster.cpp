@@ -22,12 +22,15 @@ TokenStats::accumulate(const TokenStats &other)
     hbmBytes += other.hbmBytes;
     ddrBytes += other.ddrBytes;
     instructions += other.instructions;
+    weightReuseSeconds += other.weightReuseSeconds;
 }
 
 DfxCluster::DfxCluster(const DfxSystemConfig &config)
     : config_(config), ring_(config.ring, config.nCores)
 {
     config_.model.validate();
+    DFX_ASSERT(config_.kvContexts >= 1,
+               "cluster needs at least one KV context");
     ClusterGeometry geometry{config_.nCores};
     geometry.validateFor(config_.model);
 
@@ -40,15 +43,17 @@ DfxCluster::DfxCluster(const DfxSystemConfig &config)
     // against core 0 and replay it on the others so addresses agree.
     layout_ = MemoryLayout::build(config_.model, geometry,
                                   config_.core.lanes, cores_[0]->hbm(),
-                                  cores_[0]->ddr());
+                                  cores_[0]->ddr(), config_.kvContexts);
     for (size_t i = 1; i < config_.nCores; ++i) {
         MemoryLayout other = MemoryLayout::build(
             config_.model, geometry, config_.core.lanes, cores_[i]->hbm(),
-            cores_[i]->ddr());
+            cores_[i]->ddr(), config_.kvContexts);
         DFX_ASSERT(other.lmHeadW == layout_.lmHeadW &&
                        other.wte == layout_.wte,
                    "layout divergence across cores");
     }
+    positions_.assign(config_.kvContexts, 0);
+    ctxInUse_.assign(config_.kvContexts, false);
     builders_.reserve(config_.nCores);
     for (size_t i = 0; i < config_.nCores; ++i)
         builders_.emplace_back(config_.model, geometry, layout_, i);
@@ -155,6 +160,14 @@ DfxCluster::executeOnCores(
     }
     const double clock = config_.core.clockHz;
     stats->seconds += units::cyclesToSeconds(max_cycles, clock);
+    // The cluster advances at the slowest core, so the safely
+    // amortizable weight-stream slack of the phase is the minimum
+    // across cores (they run structurally identical programs; the
+    // values differ only through per-core ReduMax tails).
+    Cycles min_reuse = coreStats_[0].weightReuseCycles;
+    for (size_t i = 1; i < n; ++i)
+        min_reuse = std::min(min_reuse, coreStats_[i].weightReuseCycles);
+    stats->weightReuseSeconds += units::cyclesToSeconds(min_reuse, clock);
     // Scale core 0's per-category cycles so the categories sum to the
     // charged phase time (homogeneous: core 0 is representative).
     const PhaseStats &attribution = coreStats_[0];
@@ -206,18 +219,107 @@ DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
     }
 }
 
+void
+DfxCluster::reset()
+{
+    std::fill(positions_.begin(), positions_.end(), 0);
+}
+
+void
+DfxCluster::resetContext(size_t ctx)
+{
+    DFX_ASSERT(ctx < positions_.size(), "KV context %zu out of %zu", ctx,
+               positions_.size());
+    positions_[ctx] = 0;
+}
+
+size_t
+DfxCluster::freeContexts() const
+{
+    size_t n = 0;
+    for (bool used : ctxInUse_)
+        n += !used;
+    return n;
+}
+
+size_t
+DfxCluster::acquireContext()
+{
+    for (size_t c = 0; c < ctxInUse_.size(); ++c) {
+        if (!ctxInUse_[c]) {
+            ctxInUse_[c] = true;
+            positions_[c] = 0;
+            return c;
+        }
+    }
+    DFX_FATAL("all %zu KV contexts in use", ctxInUse_.size());
+}
+
+void
+DfxCluster::releaseContext(size_t ctx)
+{
+    DFX_ASSERT(ctx < ctxInUse_.size(), "KV context %zu out of %zu", ctx,
+               ctxInUse_.size());
+    ctxInUse_[ctx] = false;
+    positions_[ctx] = 0;
+}
+
 int32_t
 DfxCluster::stepToken(int32_t token, TokenStats *stats)
 {
-    DFX_ASSERT(position_ < config_.model.maxSeq,
-               "context overflow at position %zu", position_);
+    return stepToken(size_t{0}, token, stats);
+}
+
+std::vector<int32_t>
+DfxCluster::stepTokenBatch(const std::vector<ContextStep> &steps,
+                           TokenStats *batch_stats)
+{
+    for (size_t i = 0; i < steps.size(); ++i)
+        for (size_t j = i + 1; j < steps.size(); ++j)
+            DFX_ASSERT(steps[i].ctx != steps[j].ctx,
+                       "context %zu appears twice in one batch round",
+                       steps[i].ctx);
+    std::vector<int32_t> next;
+    next.reserve(steps.size());
+    for (size_t i = 0; i < steps.size(); ++i) {
+        TokenStats s;
+        next.push_back(stepToken(steps[i].ctx, steps[i].token, &s));
+        if (!batch_stats)
+            continue;
+        if (i > 0) {
+            // Batch-mate: the shared weight tiles are already being
+            // streamed for the round, so this step pays its full cost
+            // minus its weight-stream slack. Scale the category
+            // attribution so it still sums to the charged seconds.
+            const double reuse =
+                std::min(s.weightReuseSeconds, s.seconds);
+            const double charged = s.seconds - reuse;
+            const double scale =
+                s.seconds > 0.0 ? charged / s.seconds : 1.0;
+            s.seconds = charged;
+            for (double &c : s.categorySeconds)
+                c *= scale;
+        }
+        batch_stats->accumulate(s);
+    }
+    return next;
+}
+
+int32_t
+DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
+{
+    DFX_ASSERT(ctx < positions_.size(), "KV context %zu out of %zu", ctx,
+               positions_.size());
+    size_t &position = positions_[ctx];
+    DFX_ASSERT(position < config_.model.maxSeq,
+               "context overflow at position %zu", position);
     DFX_ASSERT(token >= 0 &&
                    static_cast<size_t>(token) < config_.model.vocabSize,
                "token %d out of vocabulary", token);
     lastArgmax_ = -1;
 
     // Embedding (identical on every core — token ids are broadcast).
-    isa::Phase embed = builders_[0].embedPhase(token, position_);
+    isa::Phase embed = builders_[0].embedPhase(token, position);
     runPhase(embed, 0, stats);
 
     // Decoder layers. Phases differ per core only in shard-resident
@@ -227,11 +329,11 @@ DfxCluster::stepToken(int32_t token, TokenStats *stats)
     // in structure and addresses; only the LM-head tail differs.)
     for (size_t layer = 0; layer < config_.model.layers; ++layer) {
         std::vector<isa::Phase> phases =
-            builders_[0].layerPhases(layer, position_);
+            builders_[0].layerPhases(layer, position, ctx);
         for (const auto &phase : phases)
             runPhase(phase, 0, stats);
     }
-    position_ += 1;
+    position += 1;
 
     // LM head: programs differ per core in the ReduMax length, but the
     // matrix work is identical; execute core-specific programs. The

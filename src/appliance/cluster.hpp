@@ -33,6 +33,15 @@ struct DfxSystemConfig
     /** Allocate data planes and compute real tokens. */
     bool functional = false;
     /**
+     * Resident KV cache contexts: how many requests can hold their
+     * conversation state in off-chip memory concurrently. Each context
+     * owns an isolated K/V^T region per layer, so the serving
+     * scheduler can interleave decode steps across requests without
+     * evicting anything. 1 reproduces the paper's single-stream
+     * appliance.
+     */
+    size_t kvContexts = 1;
+    /**
      * Host worker threads stepping independent cores concurrently
      * between ring synchronization points. 0 picks the hardware
      * concurrency; 1 runs strictly sequentially. Results are
@@ -58,8 +67,21 @@ struct TokenStats
     uint64_t hbmBytes = 0;
     uint64_t ddrBytes = 0;
     uint64_t instructions = 0;
+    /**
+     * Seconds of this step spent stalled on shared weight streams — an
+     * upper bound on what a batch-mate saves when its step shares the
+     * stream (see PhaseStats::weightReuseCycles).
+     */
+    double weightReuseSeconds = 0.0;
 
     void accumulate(const TokenStats &other);
+};
+
+/** One entry of a batched (multi-context) token step. */
+struct ContextStep
+{
+    size_t ctx = 0;      ///< KV context the step runs in
+    int32_t token = 0;   ///< input token for that context
 };
 
 /** A cluster of DFX cores executing one model with intra-layer
@@ -72,10 +94,23 @@ class DfxCluster
     /** Loads partitioned weights into every core (functional mode). */
     void loadWeights(const GptWeights &weights);
 
-    /** Clears the conversation (KV position back to zero). */
-    void reset() { position_ = 0; }
+    /** Clears every conversation (all KV positions back to zero). */
+    void reset();
 
-    size_t position() const { return position_; }
+    /** Clears one context's conversation. */
+    void resetContext(size_t ctx);
+
+    // --- KV context slots (multi-request residency) -------------------
+    size_t kvContexts() const { return positions_.size(); }
+    size_t freeContexts() const;
+    /** Claims a free context slot (reset to position 0); fatal when
+     *  none is free — check freeContexts() first. */
+    size_t acquireContext();
+    /** Returns a slot to the free pool and clears its conversation. */
+    void releaseContext(size_t ctx);
+
+    size_t position() const { return positions_[0]; }
+    size_t position(size_t ctx) const { return positions_.at(ctx); }
     size_t nCores() const { return config_.nCores; }
     const DfxSystemConfig &config() const { return config_; }
     const MemoryLayout &layout() const { return layout_; }
@@ -85,9 +120,27 @@ class DfxCluster
      * Processes one token through embedding, all decoder layers and
      * the LM head. Returns the argmax next token in functional mode,
      * or -1 in timing-only mode. `stats`, when given, receives the
-     * step's timing and attribution.
+     * step's timing and attribution. Steps context 0.
      */
     int32_t stepToken(int32_t token, TokenStats *stats);
+
+    /** stepToken against an explicit KV context. */
+    int32_t stepToken(size_t ctx, int32_t token, TokenStats *stats);
+
+    /**
+     * Steps several contexts as one batched round: functionally each
+     * entry executes exactly as a lone stepToken would (per-request
+     * tokens are bit-identical to serial execution by construction),
+     * but the charged time amortizes the shared weight streams — the
+     * first entry pays its full step cost, every further entry pays
+     * its cost minus its weight-stream slack (the tile is already on
+     * chip; only the MAC-array pass and its private K/V streams and
+     * ring syncs repeat). Contexts must be distinct. Returns the next
+     * token per entry; `batch_stats` (optional) receives the amortized
+     * round total with category attribution scaled to match.
+     */
+    std::vector<int32_t> stepTokenBatch(
+        const std::vector<ContextStep> &steps, TokenStats *batch_stats);
 
   private:
     /** Runs one phase on all cores; adds time and handles its sync. */
@@ -112,7 +165,8 @@ class DfxCluster
     RingNetwork ring_;
     std::unique_ptr<ThreadPool> pool_;  ///< null when sequential
     std::vector<PhaseStats> coreStats_;  ///< per-core scratch
-    size_t position_ = 0;
+    std::vector<size_t> positions_;      ///< per-context KV position
+    std::vector<bool> ctxInUse_;         ///< context slot occupancy
     int32_t lastArgmax_ = -1;
 };
 

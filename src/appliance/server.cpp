@@ -1,19 +1,45 @@
 /**
  * @file
- * Multi-cluster server implementation.
+ * Concurrent multi-cluster server implementation.
+ *
+ * One scheduler thread per cluster. Shared state (per-cluster FIFO
+ * queues, simulated clocks, results, epoch counters) lives behind a
+ * single mutex; the expensive part of a scheduling round — the
+ * batched token step — runs unlocked, since each worker owns its
+ * appliance exclusively.
  */
 #include "appliance/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace dfx {
 
 DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters)
 {
     DFX_ASSERT(n_clusters >= 1, "server needs at least one cluster");
+    DFX_ASSERT(config.kvContexts >= 1,
+               "server needs at least one KV context per cluster");
+    maxInFlight_ = config.kvContexts;
     clusters_.reserve(n_clusters);
     for (size_t i = 0; i < n_clusters; ++i)
         clusters_.push_back(std::make_unique<DfxAppliance>(config));
+    pending_.resize(n_clusters);
+    simTime_.assign(n_clusters, 0.0);
+    workers_.reserve(n_clusters);
+    for (size_t i = 0; i < n_clusters; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+DfxServer::~DfxServer()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
 }
 
 void
@@ -23,24 +49,170 @@ DfxServer::loadWeights(const GptWeights &weights)
         c->loadWeights(weights);
 }
 
+uint64_t
+DfxServer::submitLocked(ServerRequest request)
+{
+    DFX_ASSERT(!request.prompt.empty(), "empty prompt");
+    DFX_ASSERT(request.nOut >= 1, "need at least one output token");
+    const size_t max_seq = clusters_[0]->config().model.maxSeq;
+    DFX_ASSERT(request.prompt.size() + request.nOut <= max_seq,
+               "request %zu+%zu exceeds max context %zu",
+               request.prompt.size(), request.nOut, max_seq);
+    const uint64_t id = submitted_++;
+    // Deterministic round-robin dispatch: per-request tokens and
+    // per-cluster schedules are reproducible regardless of
+    // host-thread interleaving.
+    InFlight f;
+    f.id = id;
+    f.request = std::move(request);
+    pending_[id % clusters_.size()].push_back(std::move(f));
+    return id;
+}
+
+uint64_t
+DfxServer::submit(ServerRequest request)
+{
+    uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = submitLocked(std::move(request));
+    }
+    workCv_.notify_all();
+    return id;
+}
+
+void
+DfxServer::workerLoop(size_t c)
+{
+    DfxAppliance &appliance = *clusters_[c];
+    std::vector<InFlight> inflight;  // kept in admission (FIFO) order
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        // Admission: claim queued requests up to the KV residency
+        // limit, FIFO. Each admitted request pays its PCIe upload and
+        // takes ownership of a KV context.
+        while (inflight.size() < maxInFlight_ && !pending_[c].empty()) {
+            InFlight f = std::move(pending_[c].front());
+            pending_[c].pop_front();
+            f.admitSim = simTime_[c];
+            simTime_[c] += appliance.pcieSeconds(
+                f.request.prompt.size() * 4 + 64);
+            f.ctx = appliance.acquireContext();
+            inflight.push_back(std::move(f));
+        }
+        if (inflight.empty()) {
+            if (stop_)
+                return;
+            workCv_.wait(lock);
+            continue;
+        }
+        lock.unlock();
+
+        // One scheduling round: every in-flight request advances one
+        // token step (prompt token while summarizing, fed-back argmax
+        // while generating — exactly DfxAppliance::generate's order).
+        std::vector<ContextStep> round;
+        round.reserve(inflight.size());
+        for (InFlight &f : inflight) {
+            int32_t tok;
+            if (f.fed < f.request.prompt.size()) {
+                tok = f.request.prompt[f.fed];
+            } else {
+                tok = f.next >= 0 ? f.next : 0;
+                f.out.push_back(tok);
+            }
+            round.push_back({f.ctx, tok});
+        }
+        TokenStats batch;
+        std::vector<int32_t> next = appliance.stepBatch(round, &batch);
+
+        lock.lock();
+        simTime_[c] += batch.seconds;
+        // Retirement: completed requests release their KV context,
+        // pay the PCIe download and record their result.
+        size_t keep = 0;
+        for (size_t i = 0; i < inflight.size(); ++i) {
+            InFlight &f = inflight[i];
+            if (f.fed < f.request.prompt.size())
+                ++f.fed;
+            f.next = next[i];
+            if (f.out.size() >= f.request.nOut) {
+                simTime_[c] +=
+                    appliance.pcieSeconds(f.request.nOut * 4);
+                appliance.releaseContext(f.ctx);
+                RequestResult r;
+                r.id = f.id;
+                r.cluster = c;
+                r.tokens = std::move(f.out);
+                r.admitSimSeconds = f.admitSim;
+                r.finishSimSeconds = simTime_[c];
+                results_.push_back(std::move(r));
+                ++completed_;
+            } else {
+                if (keep != i)
+                    inflight[keep] = std::move(f);
+                ++keep;
+            }
+        }
+        inflight.resize(keep);
+        if (completed_ == submitted_)
+            idleCv_.notify_all();
+    }
+}
+
+ServerStats
+DfxServer::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [this] { return completed_ == submitted_; });
+
+    ServerStats stats;
+    std::sort(results_.begin(), results_.end(),
+              [](const RequestResult &a, const RequestResult &b) {
+                  return a.id < b.id;
+              });
+    stats.requests = results_.size();
+    for (const RequestResult &r : results_) {
+        stats.totalOutputTokens += r.tokens.size();
+        stats.totalLatencySeconds += r.latencySeconds();
+    }
+    stats.makespanSeconds =
+        *std::max_element(simTime_.begin(), simTime_.end());
+    if (!results_.empty()) {
+        std::vector<double> lat;
+        lat.reserve(results_.size());
+        for (const RequestResult &r : results_)
+            lat.push_back(r.latencySeconds());
+        std::sort(lat.begin(), lat.end());
+        const size_t n = lat.size();
+        const size_t idx =
+            (99 * n + 99) / 100 - 1;  // ceil(0.99 n) - 1
+        stats.p99LatencySeconds = lat[idx];
+    }
+    stats.results = std::move(results_);
+
+    // Reset the epoch: ids and simulated clocks start over.
+    results_.clear();
+    submitted_ = 0;
+    completed_ = 0;
+    std::fill(simTime_.begin(), simTime_.end(), 0.0);
+    return stats;
+}
+
 ServerStats
 DfxServer::serve(const std::vector<ServerRequest> &requests)
 {
-    ServerStats stats;
-    stats.requests = requests.size();
-    std::vector<double> queue_time(clusters_.size(), 0.0);
-    for (size_t i = 0; i < requests.size(); ++i) {
-        const ServerRequest &req = requests[i];
-        const size_t c = i % clusters_.size();
-        GenerationResult r =
-            clusters_[c]->generate(req.prompt, req.nOut);
-        queue_time[c] += r.totalSeconds();
-        stats.totalLatencySeconds += r.totalSeconds();
-        stats.totalOutputTokens += r.tokens.size();
+    // Enqueue the whole batch before waking any scheduler, so round
+    // composition (and therefore the batch-amortized timing) does not
+    // depend on how submission interleaves with the first rounds —
+    // serve() sweeps are bit-reproducible.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const ServerRequest &r : requests)
+            submitLocked(r);
     }
-    stats.makespanSeconds =
-        *std::max_element(queue_time.begin(), queue_time.end());
-    return stats;
+    workCv_.notify_all();
+    return drain();
 }
 
 }  // namespace dfx

@@ -1,19 +1,39 @@
 /**
  * @file
- * Multi-cluster DFX server (paper §IV-A, §VI).
+ * Multi-cluster DFX serving subsystem (paper §IV-A, §VI — and beyond).
  *
- * "One CPU and a homogeneous cluster of four FPGAs form a system to
- * compute an independent workload" — the 4U appliance carries two
- * such systems behind its dual-socket host ("the appliance itself is
- * capable of harnessing two sets of these configurations"). The
- * server dispatches independent text-generation requests across
- * clusters: latency per request is a single cluster's latency,
- * aggregate throughput scales with the cluster count.
+ * The paper's appliance computes "an independent workload" per
+ * cluster: one stream at a time. This server turns that into a
+ * concurrent serving system: a thread-safe admission queue
+ * (`submit()`/`drain()`), a scheduler thread per cluster that
+ * interleaves token steps across its in-flight requests between ring
+ * syncs, and multi-context KV management — each admitted request owns
+ * an isolated KV region in off-chip memory (allocate at admission,
+ * step while resident, retire at completion), so contexts persist
+ * across interleaved steps.
+ *
+ * Batching model: concurrent steps on one cluster share the weight
+ * streams (the dominant HBM traffic of a decode step is the same for
+ * every resident request), so a round of B interleaved steps costs
+ * the first step in full and only the non-amortizable remainder
+ * (MAC-array passes, per-request K/V streams, ring syncs) for each
+ * batch-mate. Per-request tokens are bit-identical to serial
+ * execution: functionally each step runs exactly as it would alone,
+ * against its private KV context.
+ *
+ * Dispatch is deterministic: requests go to clusters round-robin by
+ * submission id, and each cluster admits its queue FIFO — so the
+ * simulated clocks, latencies and tokens are reproducible run to run
+ * regardless of host-thread interleaving.
  */
 #ifndef DFX_APPLIANCE_SERVER_HPP
 #define DFX_APPLIANCE_SERVER_HPP
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "appliance/appliance.hpp"
@@ -27,53 +47,138 @@ struct ServerRequest
     size_t nOut = 0;
 };
 
-/** Result of serving a batch of requests. */
+/** Outcome of one served request. */
+struct RequestResult
+{
+    uint64_t id = 0;          ///< submission order (0-based per epoch)
+    size_t cluster = 0;       ///< cluster that served the request
+    std::vector<int32_t> tokens;  ///< generated ids (functional mode)
+    /** Cluster-simulated time when the request was admitted (its PCIe
+     *  upload began); includes time spent waiting in the queue. */
+    double admitSimSeconds = 0.0;
+    /** Cluster-simulated time when the last token left over PCIe. */
+    double finishSimSeconds = 0.0;
+
+    /** Admission-to-completion latency (excludes queue wait). */
+    double latencySeconds() const
+    {
+        return finishSimSeconds - admitSimSeconds;
+    }
+};
+
+/** Result of serving a batch of requests (one drain epoch). */
 struct ServerStats
 {
     size_t requests = 0;
     size_t totalOutputTokens = 0;
-    /** Wall time: per-cluster queues drain in parallel. */
+    /** Wall time: per-cluster schedules advance in parallel. */
     double makespanSeconds = 0.0;
-    /** Sum of individual request latencies. */
+    /** Sum of individual request service latencies. */
     double totalLatencySeconds = 0.0;
+    /** 99th-percentile service latency across the epoch's requests. */
+    double p99LatencySeconds = 0.0;
+    /** Per-request outcomes, ordered by submission id. */
+    std::vector<RequestResult> results;
 
     double
     throughputTokensPerSec() const
     {
-        return static_cast<double>(totalOutputTokens) / makespanSeconds;
+        return makespanSeconds > 0.0
+                   ? static_cast<double>(totalOutputTokens) /
+                         makespanSeconds
+                   : 0.0;
     }
 
     double
     meanLatencySeconds() const
     {
-        return totalLatencySeconds / static_cast<double>(requests);
+        return requests > 0
+                   ? totalLatencySeconds /
+                         static_cast<double>(requests)
+                   : 0.0;
     }
 };
 
-/** A DFX server appliance with one or more independent clusters. */
+/**
+ * A DFX server appliance: one or more independent clusters, each
+ * driven by its own scheduler thread that serves up to
+ * `config.kvContexts` requests concurrently.
+ */
 class DfxServer
 {
   public:
     /**
-     * @param config per-cluster configuration (model, core count, ...)
+     * @param config per-cluster configuration (model, core count,
+     *        kvContexts = max in-flight requests per cluster, ...)
      * @param n_clusters independent FPGA clusters in the chassis
      */
     DfxServer(const DfxSystemConfig &config, size_t n_clusters);
+    ~DfxServer();
 
-    /** Loads the same weights into every cluster (functional mode). */
+    DfxServer(const DfxServer &) = delete;
+    DfxServer &operator=(const DfxServer &) = delete;
+
+    /** Loads the same weights into every cluster (functional mode).
+     *  Call before submitting requests. */
     void loadWeights(const GptWeights &weights);
 
     /**
-     * Serves a request queue with round-robin dispatch. Requests on
-     * the same cluster serialize; clusters run in parallel.
+     * Enqueues a request (thread-safe); scheduling starts
+     * immediately. Returns the request id — its index into
+     * `ServerStats::results` of the enclosing drain epoch. Tokens are
+     * always deterministic, but the timing of incrementally-submitted
+     * requests depends on how arrival interleaves with the running
+     * rounds; use serve() for bit-reproducible sweeps.
      */
+    uint64_t submit(ServerRequest request);
+
+    /**
+     * Blocks until every submitted request has completed, returns the
+     * epoch's statistics and resets the epoch (ids and simulated
+     * clocks start over).
+     */
+    ServerStats drain();
+
+    /** submit() every request, then drain(). */
     ServerStats serve(const std::vector<ServerRequest> &requests);
 
     size_t nClusters() const { return clusters_.size(); }
     DfxAppliance &cluster(size_t i) { return *clusters_[i]; }
+    /** Requests a cluster's scheduler keeps in flight concurrently. */
+    size_t maxInFlight() const { return maxInFlight_; }
 
   private:
+    /** Enqueue under mutex_; caller notifies workCv_. */
+    uint64_t submitLocked(ServerRequest request);
+
+    /** A request admitted onto a cluster, mid-generation. */
+    struct InFlight
+    {
+        uint64_t id = 0;
+        ServerRequest request;
+        size_t ctx = 0;       ///< KV context owned by this request
+        size_t fed = 0;       ///< prompt tokens consumed so far
+        int32_t next = -1;    ///< last argmax (fed back once prompt ends)
+        std::vector<int32_t> out;  ///< generated ids so far
+        double admitSim = 0.0;
+    };
+
+    void workerLoop(size_t c);
+
     std::vector<std::unique_ptr<DfxAppliance>> clusters_;
+    size_t maxInFlight_ = 1;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;  ///< workers: new work or stop
+    std::condition_variable idleCv_;  ///< drain: epoch complete
+    std::vector<std::deque<InFlight>> pending_;  ///< per-cluster FIFO
+    std::vector<double> simTime_;     ///< per-cluster simulated clock
+    std::vector<RequestResult> results_;
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    bool stop_ = false;
+
+    std::vector<std::thread> workers_;
 };
 
 }  // namespace dfx

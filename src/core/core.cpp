@@ -30,6 +30,7 @@ PhaseStats::accumulate(const PhaseStats &other)
     ddrBytes += other.ddrBytes;
     flops += other.flops;
     instructions += other.instructions;
+    weightReuseCycles += other.weightReuseCycles;
 }
 
 ComputeCore::ComputeCore(size_t core_id, const CoreParams &params,
@@ -167,6 +168,8 @@ ComputeCore::executePhase(const isa::Program &prog)
             stats.hbmBytes += t.hbmBytes;
             stats.ddrBytes += t.ddrBytes;
             stats.flops += t.flops;
+            if (t.sharedStream && t.occupancy > t.computeCycles)
+                stats.weightReuseCycles += t.occupancy - t.computeCycles;
             break;
           }
           case isa::Engine::kVpu: {

@@ -40,6 +40,14 @@ struct PhaseStats
     uint64_t ddrBytes = 0;
     double flops = 0.0;
     uint64_t instructions = 0;
+    /**
+     * Cycles a second concurrently-resident request would *not* pay
+     * if its step were batched with this one: for every MPU
+     * instruction whose HBM operand is a shared weight matrix, the
+     * stream-bound slack (occupancy minus MAC-array cycles). The
+     * serving scheduler uses this to charge batch-mates marginal cost.
+     */
+    Cycles weightReuseCycles = 0;
 
     void accumulate(const PhaseStats &other);
 };

@@ -64,6 +64,11 @@ Mpu::timing(const isa::Instruction &inst) const
     MatrixTiming t;
     // One d x l tile is consumed per cycle when the stream keeps up.
     const uint64_t compute = row_tiles * col_tiles;
+    t.computeCycles = compute;
+    // KV streams (flagged transposed-weight) are per-request; plain
+    // HBM weight operands are shared across resident requests.
+    t.sharedStream = inst.src2.space == isa::Space::kHbm &&
+                     !(inst.flags & isa::kFlagWeightRowIsCol);
     // The DMA streams full padded tiles: underutilized trees/lanes
     // still consume bandwidth (this is what degrades d>64 on K^T and
     // l>64 on V, Fig. 8a).

@@ -40,6 +40,15 @@ struct MatrixTiming
     uint64_t hbmBytes = 0;  ///< weight/KV bytes streamed from HBM
     uint64_t ddrBytes = 0;  ///< bias bytes streamed from DDR
     double flops = 0.0;     ///< useful FLOPs performed
+    Cycles computeCycles = 0;  ///< MAC-array cycles alone (tile count)
+    /**
+     * True when the HBM operand is a model weight matrix — identical
+     * for every concurrently-resident request — rather than a
+     * per-request K/V stream. A batched decode step streams such an
+     * operand once and replays it against every batch-mate's input,
+     * so batch-mates pay only `computeCycles` for this instruction.
+     */
+    bool sharedStream = false;
 };
 
 /** Matrix function unit + SFU_M. */

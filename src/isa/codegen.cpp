@@ -199,11 +199,13 @@ ProgramBuilder::embedPhase(int32_t token, size_t pos) const
 }
 
 std::vector<Phase>
-ProgramBuilder::layerPhases(size_t layer, size_t pos) const
+ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
 {
     DFX_ASSERT(layer < config_.layers, "layer %zu out of %zu", layer,
                config_.layers);
     DFX_ASSERT(pos < config_.maxSeq, "position %zu exceeds context", pos);
+    DFX_ASSERT(ctx < layout_.kvContexts, "KV context %zu out of %zu",
+               ctx, layout_.kvContexts);
     const auto &a = layout_.layers[layer];
     const uint32_t emb = static_cast<uint32_t>(config_.embedding);
     const uint32_t emb_shard =
@@ -234,7 +236,7 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos) const
     for (size_t lh = 0; lh < local_heads; ++lh) {
         pa.program.push_back(
             {Opcode::kDmaStoreKv, v(map_.v + lh), {}, {},
-             Operand::hbm(layout_.vtHeadBase(layer, lh)), hd, 0,
+             Operand::hbm(layout_.vtHeadBase(layer, lh, ctx)), hd, 0,
              static_cast<uint32_t>(pos), max_seq, kFlagTranspose, attn});
     }
     pa.program.push_back({Opcode::kConv1d, v(map_.ln),
@@ -244,8 +246,8 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos) const
     for (size_t lh = 0; lh < local_heads; ++lh) {
         pa.program.push_back(
             {Opcode::kDmaStoreKv, v(map_.k + lh), {}, {},
-             Operand::hbm(layout_.keyRowAddr(layer, lh, pos)), hd, 0, 0,
-             0, kFlagNone, attn});
+             Operand::hbm(layout_.keyRowAddr(layer, lh, pos, ctx)), hd,
+             0, 0, 0, kFlagNone, attn});
     }
     pa.program.push_back({Opcode::kConv1d, v(map_.ln),
                           Operand::hbm(a.wq), Operand::ddr(a.bq),
@@ -257,7 +259,7 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos) const
         // score = (q . K^T) / sqrt(dk), causal-masked.
         pa.program.push_back(
             {Opcode::kMaskedMm, v(map_.q + lh),
-             Operand::hbm(layout_.keyHeadBase(layer, lh)),
+             Operand::hbm(layout_.keyHeadBase(layer, lh, ctx)),
              Operand::imm(scale), v(map_.scores), hd, seq,
              static_cast<uint32_t>(pos), hd,
              static_cast<uint16_t>(kFlagMask | kFlagScale |
@@ -267,7 +269,7 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos) const
         // attn'[head] = score x Value (V^T streamed row-wise).
         pa.program.push_back(
             {Opcode::kMm, v(map_.scores),
-             Operand::hbm(layout_.vtHeadBase(layer, lh)), {},
+             Operand::hbm(layout_.vtHeadBase(layer, lh, ctx)), {},
              v(map_.attnLocal + lh), seq, hd, 0, max_seq,
              kFlagWeightRowIsCol, attn});
     }

@@ -97,9 +97,13 @@ class ProgramBuilder
 
     /**
      * The phases of decoder layer `layer` for the token at position
-     * `pos` (0-based; the KV cache holds `pos` prior tokens).
+     * `pos` (0-based; the KV cache holds `pos` prior tokens). `ctx`
+     * selects which resident KV cache region the K/V stores and the
+     * attention streams address, so interleaved requests never touch
+     * each other's context.
      */
-    std::vector<Phase> layerPhases(size_t layer, size_t pos) const;
+    std::vector<Phase> layerPhases(size_t layer, size_t pos,
+                                   size_t ctx = 0) const;
 
     /** Final LN + LM-head logits + argmax; ends in an argmax sync. */
     Phase lmHeadPhase() const;

@@ -26,47 +26,56 @@ ClusterGeometry::validateFor(const GptConfig &c) const
 }
 
 uint64_t
-MemoryLayout::keyHeadBase(size_t layer, size_t lh) const
+MemoryLayout::keyHeadBase(size_t layer, size_t lh, size_t ctx) const
 {
     const size_t hd = config.headDim;
+    const uint64_t heads = geometry.localHeads(config);
     return layers[layer].keyBase +
-           static_cast<uint64_t>(lh) * config.maxSeq * hd * 2;
+           (ctx * heads + static_cast<uint64_t>(lh)) * config.maxSeq *
+               hd * 2;
 }
 
 uint64_t
-MemoryLayout::keyRowAddr(size_t layer, size_t lh, size_t pos) const
+MemoryLayout::keyRowAddr(size_t layer, size_t lh, size_t pos,
+                         size_t ctx) const
 {
-    return keyHeadBase(layer, lh) +
+    return keyHeadBase(layer, lh, ctx) +
            static_cast<uint64_t>(pos) * config.headDim * 2;
 }
 
 uint64_t
-MemoryLayout::vtHeadBase(size_t layer, size_t lh) const
+MemoryLayout::vtHeadBase(size_t layer, size_t lh, size_t ctx) const
 {
     const size_t hd = config.headDim;
+    const uint64_t heads = geometry.localHeads(config);
     return layers[layer].vtBase +
-           static_cast<uint64_t>(lh) * hd * config.maxSeq * 2;
+           (ctx * heads + static_cast<uint64_t>(lh)) * hd *
+               config.maxSeq * 2;
 }
 
 uint64_t
-MemoryLayout::vtAddr(size_t layer, size_t lh, size_t j, size_t t) const
+MemoryLayout::vtAddr(size_t layer, size_t lh, size_t j, size_t t,
+                     size_t ctx) const
 {
-    return vtHeadBase(layer, lh) +
+    return vtHeadBase(layer, lh, ctx) +
            (static_cast<uint64_t>(j) * config.maxSeq + t) * 2;
 }
 
 MemoryLayout
 MemoryLayout::build(const GptConfig &config,
                     const ClusterGeometry &geometry, size_t lanes,
-                    OffchipMemory &hbm, OffchipMemory &ddr)
+                    OffchipMemory &hbm, OffchipMemory &ddr,
+                    size_t kv_contexts)
 {
     config.validate();
     geometry.validateFor(config);
+    DFX_ASSERT(kv_contexts >= 1, "layout needs at least one KV context");
 
     MemoryLayout ml;
     ml.config = config;
     ml.geometry = geometry;
     ml.lanes = lanes;
+    ml.kvContexts = kv_contexts;
 
     const uint64_t emb = config.embedding;
     const uint64_t emb_shard = geometry.embShard(config);
@@ -90,9 +99,12 @@ MemoryLayout::build(const GptConfig &config,
         // FFN: fc1 column split; fc2 column split with full 4emb input.
         a.wfc1 = hbm.alloc(emb * ffn_shard * 2, "wfc1");
         a.wfc2 = hbm.alloc(4 * emb * emb_shard * 2, "wfc2");
-        // KV cache regions for the local heads.
-        a.keyBase = hbm.alloc(local_heads * config.maxSeq * hd * 2, "K");
-        a.vtBase = hbm.alloc(local_heads * hd * config.maxSeq * 2, "VT");
+        // KV cache regions for the local heads: one full region per
+        // resident context, stacked contiguously.
+        a.keyBase = hbm.alloc(
+            kv_contexts * local_heads * config.maxSeq * hd * 2, "K");
+        a.vtBase = hbm.alloc(
+            kv_contexts * local_heads * hd * config.maxSeq * 2, "VT");
         // DDR: bias shards and LN parameters.
         a.bq = ddr.alloc(emb_shard * 2, "bq");
         a.bk = ddr.alloc(emb_shard * 2, "bk");

@@ -74,7 +74,8 @@ struct MemoryLayout
 {
     GptConfig config;
     ClusterGeometry geometry;
-    size_t lanes = 16;  ///< MPU lane count (for vocab padding)
+    size_t lanes = 16;        ///< MPU lane count (for vocab padding)
+    size_t kvContexts = 1;    ///< resident KV cache contexts (requests)
 
     std::vector<LayerAddrs> layers;
     uint64_t lmHeadW = 0;     ///< HBM: WTE^T shard, emb x vocabShard
@@ -83,14 +84,19 @@ struct MemoryLayout
     uint64_t lnfGamma = 0;    ///< DDR
     uint64_t lnfBeta = 0;     ///< DDR
 
+    // KV addressing: each context owns a full per-layer K/V^T region
+    // (contexts are stacked within a layer's K and V^T allocations),
+    // so concurrent requests never alias each other's cache.
     /** Byte address of K row `pos` for local head `lh` in `layer`. */
-    uint64_t keyRowAddr(size_t layer, size_t lh, size_t pos) const;
+    uint64_t keyRowAddr(size_t layer, size_t lh, size_t pos,
+                        size_t ctx = 0) const;
     /** Byte address of V^T element (j, t) for local head `lh`. */
-    uint64_t vtAddr(size_t layer, size_t lh, size_t j, size_t t) const;
+    uint64_t vtAddr(size_t layer, size_t lh, size_t j, size_t t,
+                    size_t ctx = 0) const;
     /** Byte address of the K region for one local head. */
-    uint64_t keyHeadBase(size_t layer, size_t lh) const;
+    uint64_t keyHeadBase(size_t layer, size_t lh, size_t ctx = 0) const;
     /** Byte address of the V^T region for one local head. */
-    uint64_t vtHeadBase(size_t layer, size_t lh) const;
+    uint64_t vtHeadBase(size_t layer, size_t lh, size_t ctx = 0) const;
 
     /** Total HBM bytes this layout allocates (for capacity checks). */
     uint64_t hbmBytes() const { return hbmBytes_; }
@@ -99,11 +105,13 @@ struct MemoryLayout
     /**
      * Runs the allocation sequence against a core's HBM and DDR.
      * The same sequence yields the same addresses on every core.
+     * `kv_contexts` independent KV cache regions are allocated so up
+     * to that many requests can be resident concurrently.
      */
     static MemoryLayout build(const GptConfig &config,
                               const ClusterGeometry &geometry,
                               size_t lanes, OffchipMemory &hbm,
-                              OffchipMemory &ddr);
+                              OffchipMemory &ddr, size_t kv_contexts = 1);
 
   private:
     uint64_t hbmBytes_ = 0;

@@ -75,6 +75,19 @@ TEST(DfxServer, UnevenQueueMakespanIsLongestQueue)
                 one.makespanSeconds * 0.05);
 }
 
+TEST(DfxServer, EmptyServeReturnsZeroStats)
+{
+    // Regression: throughput/mean-latency used to divide by zero on
+    // an empty request vector; both must come back as a clean 0.0.
+    DfxServer server(timingConfig(), 2);
+    ServerStats s = server.serve({});
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.totalOutputTokens, 0u);
+    EXPECT_EQ(s.makespanSeconds, 0.0);
+    EXPECT_EQ(s.throughputTokensPerSec(), 0.0);
+    EXPECT_EQ(s.meanLatencySeconds(), 0.0);
+}
+
 TEST(DfxServer, FunctionalClustersProduceIdenticalTokens)
 {
     DfxSystemConfig cfg;
