@@ -7,7 +7,11 @@
  *     (32,32), (64,16), (128,8)}: the three middle points tie for
  *     best; d > 64 underutilizes the MAC tree on Query x Key^T (K^T
  *     has only head-dim = 64 rows) and l > 64 underutilizes lanes on
- *     Score x Value (V has 64 columns).
+ *     Score x Value (V has 64 columns). Each head's K and V^T operand
+ *     carries the single pseudo-channel its cache region is pinned to
+ *     (the layout's assignment scheme), so the padded-tile bandwidth
+ *     penalty of a bad tiling emerges from modeled per-channel
+ *     occupancy, not from a static derating factor.
  * (b) Resource utilization for the three equal-throughput points:
  *     d = 64 / l = 16 needs the least logic because per-lane hardware
  *     (accumulators, SFU operators, control) scales with l.
@@ -15,6 +19,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "memory/hbm_channels.hpp"
 #include "perf/report.hpp"
 #include "perf/resource.hpp"
 
@@ -47,7 +52,9 @@ mhaGflops(size_t d, size_t l)
         conv.category = isa::Category::kAttention;
         prog.push_back(conv);
     }
-    // Per-head Score = q K^T and Out = Score V.
+    // Per-head Score = q K^T and Out = Score V. K and V^T regions are
+    // pinned to adjacent single channels per head, as the layout
+    // assigns them.
     for (size_t h = 0; h < heads; ++h) {
         Instruction mm1;
         mm1.op = Opcode::kMaskedMm;
@@ -61,6 +68,8 @@ mhaGflops(size_t d, size_t l)
         mm1.aux = seq - 1;
         mm1.flags = isa::kFlagMask | isa::kFlagScale |
                     isa::kFlagWeightRowIsCol;
+        mm1.hbmChannels =
+            contiguousChannels(h * 2, 1, params.hbmChannels);
         mm1.category = isa::Category::kAttention;
         prog.push_back(mm1);
         Instruction mm2;
@@ -72,6 +81,8 @@ mhaGflops(size_t d, size_t l)
         mm2.cols = hd;
         mm2.pitch = 1024;
         mm2.flags = isa::kFlagWeightRowIsCol;
+        mm2.hbmChannels =
+            contiguousChannels(h * 2 + 1, 1, params.hbmChannels);
         mm2.category = isa::Category::kAttention;
         prog.push_back(mm2);
     }

@@ -13,7 +13,10 @@
  *  - per-request tokens are bit-identical to serial single-request
  *    runs at every in-flight level;
  *  - aggregate throughput grows monotonically with in-flight count
- *    (weight streams amortize across batch-mates).
+ *    (weight streams amortize across batch-mates; each request's K/V
+ *    streams run on the HBM channels its contexts' regions are pinned
+ *    to, and a round is floored by the per-channel occupancy bound —
+ *    see DfxCluster::stepTokenBatch / combineBatchRound).
  */
 #include <chrono>
 #include <cstdio>

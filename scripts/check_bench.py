@@ -28,9 +28,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 BENCHES = ["bench_sim_speed", "bench_serving"]
 
+# Run-only smoke benches: no committed baseline to compare against,
+# but they must keep executing successfully (a non-zero exit fails the
+# gate). bench_fig08 exercises the per-channel HBM timing path of the
+# tiling DSE, which no unit test sweeps end to end.
+SMOKE_BENCHES = ["bench_fig08_tiling_dse"]
+
 
 def run_benches(build_dir: Path) -> None:
-    for bench in BENCHES:
+    for bench in BENCHES + SMOKE_BENCHES:
         exe = build_dir / bench
         if not exe.exists():
             sys.exit(f"error: {exe} not built (build the repo first)")

@@ -23,6 +23,47 @@ TokenStats::accumulate(const TokenStats &other)
     ddrBytes += other.ddrBytes;
     instructions += other.instructions;
     weightReuseSeconds += other.weightReuseSeconds;
+    privateStreamSeconds += other.privateStreamSeconds;
+    for (size_t c = 0; c < kHbmChannels; ++c) {
+        hbmSharedChannelSeconds[c] += other.hbmSharedChannelSeconds[c];
+        hbmPrivateChannelSeconds[c] += other.hbmPrivateChannelSeconds[c];
+    }
+}
+
+BatchRoundTiming
+combineBatchRound(const std::vector<TokenStats> &steps)
+{
+    BatchRoundTiming round;
+    std::array<double, kHbmChannels> channel{};
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const TokenStats &s = steps[i];
+        double charge = s.seconds;
+        if (i > 0) {
+            // Batch-mate: its shared weight streams are already
+            // flowing and its private K/V streams move to the channel
+            // ledger below, so it serializes only its remaining
+            // (compute/sync/DDR) critical path.
+            charge -= std::min(
+                s.weightReuseSeconds + s.privateStreamSeconds,
+                s.seconds);
+        }
+        round.stepChargeSeconds.push_back(charge);
+        round.serialSeconds += charge;
+        for (size_t c = 0; c < kHbmChannels; ++c) {
+            channel[c] += s.hbmPrivateChannelSeconds[c];
+            if (i == 0)
+                channel[c] += s.hbmSharedChannelSeconds[c];
+        }
+    }
+    for (double c : channel)
+        round.channelBoundSeconds = std::max(round.channelBoundSeconds, c);
+    // A lone step keeps its exact serial timing; the channel roofline
+    // only arbitrates between concurrently resident contexts.
+    round.chargedSeconds =
+        steps.size() > 1
+            ? std::max(round.serialSeconds, round.channelBoundSeconds)
+            : round.serialSeconds;
+    return round;
 }
 
 DfxCluster::DfxCluster(const DfxSystemConfig &config)
@@ -41,13 +82,15 @@ DfxCluster::DfxCluster(const DfxSystemConfig &config)
     }
     // All cores run the same allocation sequence; build the layout
     // against core 0 and replay it on the others so addresses agree.
-    layout_ = MemoryLayout::build(config_.model, geometry,
-                                  config_.core.lanes, cores_[0]->hbm(),
-                                  cores_[0]->ddr(), config_.kvContexts);
+    layout_ = MemoryLayout::build(
+        config_.model, geometry, config_.core.lanes, cores_[0]->hbm(),
+        cores_[0]->ddr(), config_.kvContexts, config_.core.hbmChannels,
+        config_.core.kvStreamChannels);
     for (size_t i = 1; i < config_.nCores; ++i) {
         MemoryLayout other = MemoryLayout::build(
             config_.model, geometry, config_.core.lanes, cores_[i]->hbm(),
-            cores_[i]->ddr(), config_.kvContexts);
+            cores_[i]->ddr(), config_.kvContexts,
+            config_.core.hbmChannels, config_.core.kvStreamChannels);
         DFX_ASSERT(other.lmHeadW == layout_.lmHeadW &&
                        other.wte == layout_.wte,
                    "layout divergence across cores");
@@ -165,9 +208,31 @@ DfxCluster::executeOnCores(
     // across cores (they run structurally identical programs; the
     // values differ only through per-core ReduMax tails).
     Cycles min_reuse = coreStats_[0].weightReuseCycles;
-    for (size_t i = 1; i < n; ++i)
+    Cycles min_private = coreStats_[0].privateStreamCycles;
+    for (size_t i = 1; i < n; ++i) {
         min_reuse = std::min(min_reuse, coreStats_[i].weightReuseCycles);
+        min_private =
+            std::min(min_private, coreStats_[i].privateStreamCycles);
+    }
     stats->weightReuseSeconds += units::cyclesToSeconds(min_reuse, clock);
+    stats->privateStreamSeconds +=
+        units::cyclesToSeconds(min_private, clock);
+    // Per-channel occupancy: each core streams from its own HBM stack,
+    // and the programs are structurally identical, so the profiles
+    // agree; take the elementwise max (slowest core) like the cycles.
+    for (size_t c = 0; c < kHbmChannels; ++c) {
+        Cycles shared = 0, priv = 0;
+        for (size_t i = 0; i < n; ++i) {
+            shared = std::max(shared,
+                              coreStats_[i].hbmSharedChannelCycles[c]);
+            priv = std::max(priv,
+                            coreStats_[i].hbmPrivateChannelCycles[c]);
+        }
+        stats->hbmSharedChannelSeconds[c] +=
+            units::cyclesToSeconds(shared, clock);
+        stats->hbmPrivateChannelSeconds[c] +=
+            units::cyclesToSeconds(priv, clock);
+    }
     // Scale core 0's per-category cycles so the categories sum to the
     // charged phase time (homogeneous: core 0 is representative).
     const PhaseStats &attribution = coreStats_[0];
@@ -281,27 +346,55 @@ DfxCluster::stepTokenBatch(const std::vector<ContextStep> &steps,
                        steps[i].ctx);
     std::vector<int32_t> next;
     next.reserve(steps.size());
+    std::vector<TokenStats> step_stats;
+    if (batch_stats)
+        step_stats.reserve(steps.size());
     for (size_t i = 0; i < steps.size(); ++i) {
         TokenStats s;
-        next.push_back(stepToken(steps[i].ctx, steps[i].token, &s));
-        if (!batch_stats)
-            continue;
-        if (i > 0) {
-            // Batch-mate: the shared weight tiles are already being
-            // streamed for the round, so this step pays its full cost
-            // minus its weight-stream slack. Scale the category
-            // attribution so it still sums to the charged seconds.
-            const double reuse =
-                std::min(s.weightReuseSeconds, s.seconds);
-            const double charged = s.seconds - reuse;
-            const double scale =
-                s.seconds > 0.0 ? charged / s.seconds : 1.0;
-            s.seconds = charged;
-            for (double &c : s.categorySeconds)
-                c *= scale;
-        }
-        batch_stats->accumulate(s);
+        next.push_back(stepToken(steps[i].ctx, steps[i].token,
+                                 batch_stats ? &s : nullptr));
+        if (batch_stats)
+            step_stats.push_back(std::move(s));
     }
+    if (!batch_stats)
+        return next;
+
+    // Roofline the round: serial bound with shared-weight and private
+    // K/V streaming amortized, floored by the per-channel occupancy
+    // the streams actually impose (see combineBatchRound).
+    const BatchRoundTiming round = combineBatchRound(step_stats);
+    TokenStats total;
+    for (size_t i = 0; i < step_stats.size(); ++i) {
+        TokenStats s = std::move(step_stats[i]);
+        const double charged = round.stepChargeSeconds[i];
+        // Scale the category attribution so it sums to the charge.
+        const double scale =
+            s.seconds > 0.0 ? charged / s.seconds : 1.0;
+        s.seconds = charged;
+        for (double &c : s.categorySeconds)
+            c *= scale;
+        if (i > 0) {
+            // Batch-mates' weight stripes are not re-streamed; their
+            // channel occupancy was counted with the first step.
+            s.hbmSharedChannelSeconds.fill(0.0);
+        }
+        total.accumulate(s);
+    }
+    const double contention = round.chargedSeconds - total.seconds;
+    if (contention > 0.0) {
+        // The channel bound bit: concurrent K/V streams collided on
+        // their pinned channels. That traffic is self-attention's.
+        total.seconds += contention;
+        total.categorySeconds[static_cast<size_t>(
+            isa::Category::kAttention)] += contention;
+    }
+    // The round consumed its stream slack amortizing batch-mates; a
+    // batched TokenStats must not advertise it again (feeding it back
+    // through combineBatchRound would over-amortize). The channel
+    // ledgers stay: they are the round's actual occupancy.
+    total.weightReuseSeconds = 0.0;
+    total.privateStreamSeconds = 0.0;
+    batch_stats->accumulate(total);
     return next;
 }
 

@@ -50,7 +50,7 @@ struct DfxSystemConfig
      */
     size_t nThreads = 1;
     /**
-     * Round-trip every phase program through the 48-byte binary
+     * Round-trip every phase program through the 56-byte binary
      * encoding before execution, as the host-to-instruction-buffer
      * PCIe path does. Costs a little host time; proves the encoding
      * carries full semantics. Off by default.
@@ -73,9 +73,52 @@ struct TokenStats
      * stream (see PhaseStats::weightReuseCycles).
      */
     double weightReuseSeconds = 0.0;
+    /**
+     * Seconds of this step spent stalled on channel-pinned per-request
+     * (K/V) streams; in a batched round this wait moves to the
+     * per-channel occupancy ledger instead of the serial charge
+     * (see PhaseStats::privateStreamCycles).
+     */
+    double privateStreamSeconds = 0.0;
+    /**
+     * Per-channel HBM occupancy of the step, split into shared weight
+     * traffic (streamed once per batched round) and private K/V
+     * traffic (accumulates across batch-mates). Taken from the slowest
+     * core; cores run structurally identical programs so the profiles
+     * agree across the cluster.
+     */
+    std::array<double, kHbmChannels> hbmSharedChannelSeconds{};
+    std::array<double, kHbmChannels> hbmPrivateChannelSeconds{};
 
     void accumulate(const TokenStats &other);
 };
+
+/**
+ * Roofline accounting of one batched (multi-context) round.
+ *
+ * The serial bound charges the first step in full and every batch-mate
+ * its critical path minus the streaming it no longer waits for (shared
+ * weights are already flowing; its private K/V traffic overlaps other
+ * mates' compute). The channel bound is the per-channel occupancy of
+ * the round: the shared weight stripe once, plus every step's private
+ * streams on the channels their regions are pinned to. The round takes
+ * the slower of the two — disjoint K/V channel sets overlap freely,
+ * overlapping sets serialize on their shared channels.
+ */
+struct BatchRoundTiming
+{
+    double serialSeconds = 0.0;        ///< amortized serial charge sum
+    double channelBoundSeconds = 0.0;  ///< max per-channel occupancy
+    double chargedSeconds = 0.0;       ///< round total: max of the two
+    std::vector<double> stepChargeSeconds;  ///< per-step serial charges
+};
+
+/**
+ * Combines per-step stats into one batched round (exposed for tests;
+ * `DfxCluster::stepTokenBatch` is the production caller). A
+ * single-step "round" is charged exactly its own seconds.
+ */
+BatchRoundTiming combineBatchRound(const std::vector<TokenStats> &steps);
 
 /** One entry of a batched (multi-context) token step. */
 struct ContextStep
@@ -131,13 +174,16 @@ class DfxCluster
      * Steps several contexts as one batched round: functionally each
      * entry executes exactly as a lone stepToken would (per-request
      * tokens are bit-identical to serial execution by construction),
-     * but the charged time amortizes the shared weight streams — the
-     * first entry pays its full step cost, every further entry pays
-     * its cost minus its weight-stream slack (the tile is already on
-     * chip; only the MAC-array pass and its private K/V streams and
-     * ring syncs repeat). Contexts must be distinct. Returns the next
-     * token per entry; `batch_stats` (optional) receives the amortized
-     * round total with category attribution scaled to match.
+     * but the charged time follows the per-channel roofline of
+     * `combineBatchRound` — the first entry pays its full step cost,
+     * every further entry pays its cost minus the streaming it shares
+     * or overlaps (weight stripes flow once; its K/V streams run on
+     * their own pinned channels), and the whole round is floored by
+     * the per-channel occupancy bound, so contexts whose K/V sets
+     * collide serialize on those channels. Contexts must be distinct.
+     * Returns the next token per entry; `batch_stats` (optional)
+     * receives the round total with category attribution scaled to
+     * match (channel contention is attributed to self-attention).
      */
     std::vector<int32_t> stepTokenBatch(
         const std::vector<ContextStep> &steps, TokenStats *batch_stats);

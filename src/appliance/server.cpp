@@ -176,8 +176,13 @@ DfxServer::drain()
         stats.totalOutputTokens += r.tokens.size();
         stats.totalLatencySeconds += r.latencySeconds();
     }
+    // An empty epoch has no makespan: don't report whatever the
+    // simulated clocks happen to hold (admission bumps them before
+    // completion ever would).
     stats.makespanSeconds =
-        *std::max_element(simTime_.begin(), simTime_.end());
+        results_.empty()
+            ? 0.0
+            : *std::max_element(simTime_.begin(), simTime_.end());
     if (!results_.empty()) {
         std::vector<double> lat;
         lat.reserve(results_.size());

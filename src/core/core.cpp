@@ -6,6 +6,7 @@
 #include "core/core.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace dfx {
 namespace {
@@ -16,6 +17,26 @@ size_t
 linesFor(size_t elems)
 {
     return (elems + VectorRegFile::kWidth - 1) / VectorRegFile::kWidth;
+}
+
+/**
+ * Adds one pinned operand's stream time to the channels in its mask.
+ * Striped (mask-0) traffic charges every channel uniformly, so the
+ * caller accumulates it in a scalar and folds it into the ledger once
+ * per phase instead of touching 32 entries per instruction.
+ */
+void
+addChannelCycles(std::array<Cycles, kHbmChannels> &ledger, uint32_t mask,
+                 Cycles stream_cycles)
+{
+    while (mask) {
+        const size_t c =
+            static_cast<size_t>(std::countr_zero(mask));
+        if (c >= kHbmChannels)
+            break;
+        ledger[c] += stream_cycles;
+        mask &= mask - 1;
+    }
 }
 
 }  // namespace
@@ -31,6 +52,11 @@ PhaseStats::accumulate(const PhaseStats &other)
     flops += other.flops;
     instructions += other.instructions;
     weightReuseCycles += other.weightReuseCycles;
+    privateStreamCycles += other.privateStreamCycles;
+    for (size_t c = 0; c < kHbmChannels; ++c) {
+        hbmSharedChannelCycles[c] += other.hbmSharedChannelCycles[c];
+        hbmPrivateChannelCycles[c] += other.hbmPrivateChannelCycles[c];
+    }
 }
 
 ComputeCore::ComputeCore(size_t core_id, const CoreParams &params,
@@ -150,6 +176,11 @@ ComputeCore::executePhase(const isa::Program &prog)
     scoreboard_.reset();
     std::array<Cycles, 4> engine_ready{};
     Cycles phase_end = 0;
+    // Striped (all-channel) stream time, folded into the per-channel
+    // ledgers once at the end of the phase: every channel carries 1/C
+    // of the bytes at 1/C of the bandwidth, so each is busy for the
+    // full aggregate-rate stream time.
+    Cycles shared_striped = 0, private_striped = 0;
 
     for (const auto &inst : prog) {
         std::string err;
@@ -170,6 +201,20 @@ ComputeCore::executePhase(const isa::Program &prog)
             stats.flops += t.flops;
             if (t.sharedStream && t.occupancy > t.computeCycles)
                 stats.weightReuseCycles += t.occupancy - t.computeCycles;
+            if (!t.sharedStream && t.hbmChannelMask != 0 &&
+                t.occupancy > t.computeCycles) {
+                stats.privateStreamCycles +=
+                    t.occupancy - t.computeCycles;
+            }
+            if (t.hbmChannelMask != 0) {
+                addChannelCycles(t.sharedStream
+                                     ? stats.hbmSharedChannelCycles
+                                     : stats.hbmPrivateChannelCycles,
+                                 t.hbmChannelMask, t.hbmStreamCycles);
+            } else {
+                (t.sharedStream ? shared_striped : private_striped) +=
+                    t.hbmStreamCycles;
+            }
             break;
           }
           case isa::Engine::kVpu: {
@@ -179,6 +224,11 @@ ComputeCore::executePhase(const isa::Program &prog)
             stats.hbmBytes += t.hbmBytes;
             stats.ddrBytes += t.ddrBytes;
             stats.flops += t.flops;
+            if (t.hbmChannelMask != 0)
+                addChannelCycles(stats.hbmPrivateChannelCycles,
+                                 t.hbmChannelMask, t.hbmStreamCycles);
+            else
+                private_striped += t.hbmStreamCycles;
             break;
           }
           case isa::Engine::kDma: {
@@ -186,6 +236,11 @@ ComputeCore::executePhase(const isa::Program &prog)
             occupancy = t.occupancy;
             latency = t.latency;
             stats.hbmBytes += t.hbmBytes;
+            if (t.hbmChannelMask != 0)
+                addChannelCycles(stats.hbmPrivateChannelCycles,
+                                 t.hbmChannelMask, t.hbmStreamCycles);
+            else
+                private_striped += t.hbmStreamCycles;
             break;
           }
           case isa::Engine::kRouter:
@@ -227,6 +282,12 @@ ComputeCore::executePhase(const isa::Program &prog)
               case isa::Engine::kRouter:
                 break;  // the cluster performs the exchange
             }
+        }
+    }
+    if (shared_striped != 0 || private_striped != 0) {
+        for (size_t c = 0; c < kHbmChannels; ++c) {
+            stats.hbmSharedChannelCycles[c] += shared_striped;
+            stats.hbmPrivateChannelCycles[c] += private_striped;
         }
     }
     stats.cycles = phase_end;

@@ -31,6 +31,10 @@ namespace dfx {
 constexpr size_t kNumCategories =
     static_cast<size_t>(isa::Category::kNumCategories);
 
+/** HBM pseudo-channels per core (array bound of channel profiles). */
+constexpr size_t kHbmChannels =
+    static_cast<size_t>(HbmSpec::kChannels);
+
 /** Result of executing one phase on one core. */
 struct PhaseStats
 {
@@ -48,6 +52,24 @@ struct PhaseStats
      * serving scheduler uses this to charge batch-mates marginal cost.
      */
     Cycles weightReuseCycles = 0;
+    /**
+     * Like weightReuseCycles but for channel-pinned per-request
+     * streams (K/V): the stream-bound slack of pinned MPU operands.
+     * A batch-mate's K/V traffic moves to the round's per-channel
+     * occupancy ledger instead of serializing on the critical path,
+     * so this is the amortizable share of its private streaming.
+     */
+    Cycles privateStreamCycles = 0;
+    /**
+     * Per-channel occupancy ledger: cycles each HBM pseudo-channel
+     * spends streaming during the phase. Shared (weight) and private
+     * (per-request K/V) traffic are kept apart so a batched round can
+     * count the weight stripe once while private streams accumulate.
+     * Operands striped across all channels charge every channel their
+     * aggregate-rate stream time (uniform interleave).
+     */
+    std::array<Cycles, kHbmChannels> hbmSharedChannelCycles{};
+    std::array<Cycles, kHbmChannels> hbmPrivateChannelCycles{};
 
     void accumulate(const PhaseStats &other);
 };

@@ -14,11 +14,22 @@
  *    chained instructions. The paper's LayerNorm share (9.3% of layer
  *    latency for 0.1% of FLOPs) implies tens of cycles of per-
  *    instruction overhead around the short vector chains; 55 here.
- *  - kvStreamChannels: a single head's K/V region lives in few HBM
- *    pseudo-channels, so the per-head attention matrices stream at a
- *    fraction of aggregate bandwidth (1 of 32 channels here). This is
- *    what makes self-attention the largest latency share on DFX
- *    (Fig. 15: 43%) despite the FFN moving 2x the weight bytes.
+ *  - kvStreamChannels: the width of the pseudo-channel set
+ *    `MemoryLayout` pins each head's K and V^T cache to (1 of 32
+ *    channels here). Those operands stream at their channel set's
+ *    share of aggregate bandwidth — `Mpu::timing` takes the byte
+ *    footprint per touched channel over the per-channel rate — which
+ *    is what makes self-attention the largest latency share on DFX
+ *    (Fig. 15: 43%) despite the FFN moving 2x the weight bytes, and
+ *    what degrades d>64 / l>64 in the Fig. 8 tiling sweep. Bulk
+ *    weights are address-interleaved across all `hbmChannels` (mask
+ *    0) and stream at full bandwidth. Concurrently resident requests
+ *    occupy their own sets; `DfxCluster::stepTokenBatch` accumulates
+ *    per-channel occupancy across a batched round, so K/V streams on
+ *    disjoint sets overlap and colliding sets serialize. For a
+ *    matrix operand without an assigned set, kvStreamChannels doubles
+ *    as the legacy derating width so hand-built programs keep their
+ *    historic timing.
  */
 #ifndef DFX_CORE_CORE_PARAMS_HPP
 #define DFX_CORE_CORE_PARAMS_HPP
@@ -62,7 +73,7 @@ struct CoreParams
     double ddrEfficiency = 0.70;
     uint32_t issueOverhead = 55;
     size_t hbmChannels = 32;      ///< HbmSpec::kChannels
-    size_t kvStreamChannels = 1;  ///< channels one head's K/V spans
+    size_t kvStreamChannels = 1;  ///< channel-set width of one K/V region
 
     /** MAC-tree fill: multiplier + log2(d) adder stages + accumulate. */
     uint32_t

@@ -4,7 +4,10 @@
  */
 #include "core/dma.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "memory/hbm_channels.hpp"
 
 namespace dfx {
 
@@ -19,9 +22,22 @@ DmaUnit::timing(const isa::Instruction &inst) const
     DFX_ASSERT(inst.op == isa::Opcode::kDmaStoreKv, "not a DMA op");
     DmaTiming t;
     t.hbmBytes = static_cast<uint64_t>(inst.len) * 2;
+    // A KV append lands entirely in the region's pinned channels, so
+    // it writes at their share of the aggregate bandwidth. Without a
+    // channel set (hand-built programs) the historic aggregate-rate
+    // cost is kept.
+    double bytes_per_cycle = params_.hbmBytesPerCycle();
+    if (inst.hbmChannels != 0) {
+        t.hbmChannelMask = inst.hbmChannels;
+        const size_t ch = std::min(channelCount(inst.hbmChannels),
+                                   params_.hbmChannels);
+        bytes_per_cycle *= static_cast<double>(ch) /
+                           static_cast<double>(params_.hbmChannels);
+    }
     t.occupancy = std::max<Cycles>(
         1, static_cast<Cycles>(std::ceil(static_cast<double>(t.hbmBytes) /
-                                         params_.hbmBytesPerCycle())));
+                                         bytes_per_cycle)));
+    t.hbmStreamCycles = t.occupancy;
     // The transpose unit adds a small pipeline depth; the cost is
     // normally hidden by the V-before-Q/K instruction order.
     t.latency = t.occupancy + 4;

@@ -26,6 +26,10 @@ struct DmaTiming
     Cycles occupancy = 0;
     Cycles latency = 0;
     uint64_t hbmBytes = 0;
+    /** Cycles the write keeps each of its channels busy. */
+    Cycles hbmStreamCycles = 0;
+    /** Channels the KV region occupies (0 = striped across all). */
+    uint32_t hbmChannelMask = 0;
 };
 
 /** DMA write engine (KV append + transpose unit). */

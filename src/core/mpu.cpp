@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "memory/hbm_channels.hpp"
+
 namespace dfx {
 
 Mpu::Mpu(const CoreParams &params, OffchipMemory *hbm, OffchipMemory *ddr)
@@ -73,17 +75,39 @@ Mpu::timing(const isa::Instruction &inst) const
     // still consume bandwidth (this is what degrades d>64 on K^T and
     // l>64 on V, Fig. 8a).
     t.hbmBytes = row_tiles * d * col_tiles * l * 2;
-    // Per-head K/V operands (stored transposed) live in only a couple
-    // of HBM pseudo-channels, so they stream at a fraction of the
-    // aggregate bandwidth; bulk weight matrices are striped across all
-    // channels.
-    double bytes_per_cycle = params_.hbmBytesPerCycle();
-    if (inst.flags & isa::kFlagWeightRowIsCol) {
-        bytes_per_cycle *= static_cast<double>(params_.kvStreamChannels) /
-                           static_cast<double>(params_.hbmChannels);
+    // Per-channel streaming: the operand's byte footprint spreads
+    // uniformly over its channel set, each channel delivering 1/C of
+    // the aggregate bandwidth — so the stream time is the time of any
+    // one touched channel. Bulk weights stripe across all C channels
+    // (full bandwidth); each head's K/V^T operand is pinned to the few
+    // channels its region lives in. An unannotated transposed operand
+    // falls back to a kvStreamChannels-wide set: its *per-instruction*
+    // timing is bit-identical to the historic static derating, while a
+    // batched round treats all such operands as sharing the default
+    // set (their real placement is unknown, so they conservatively
+    // collide rather than overlap).
+    const size_t total_channels = params_.hbmChannels;
+    size_t stream_channels;
+    if (inst.hbmChannels != 0) {
+        t.hbmChannelMask = inst.hbmChannels;
+        stream_channels =
+            std::min(channelCount(inst.hbmChannels), total_channels);
+    } else if (inst.flags & isa::kFlagWeightRowIsCol) {
+        stream_channels = params_.kvStreamChannels;
+        // Record the default set so the occupancy ledger doesn't
+        // mistake the derated stream for an all-channel stripe (see
+        // the fallback note above).
+        t.hbmChannelMask =
+            contiguousChannels(0, stream_channels, total_channels);
+    } else {
+        stream_channels = total_channels;
     }
+    double bytes_per_cycle = params_.hbmBytesPerCycle();
+    bytes_per_cycle *= static_cast<double>(stream_channels) /
+                       static_cast<double>(total_channels);
     const Cycles hbm_cycles = static_cast<Cycles>(std::ceil(
         static_cast<double>(t.hbmBytes) / bytes_per_cycle));
+    t.hbmStreamCycles = hbm_cycles;
     Cycles ddr_cycles = 0;
     if (inst.src3.space == isa::Space::kDdr) {
         t.ddrBytes = cols * 2;
@@ -97,9 +121,10 @@ Mpu::timing(const isa::Instruction &inst) const
     if (inst.flags & isa::kFlagScale)
         post += params_.mulLatency;
     // Sliding window for over-long inputs (§IV-C): each extra window
-    // refills the pipeline and reloads the partial sums.
-    const Cycles windows =
-        (rows + params_.maxConvInput - 1) / params_.maxConvInput;
+    // refills the pipeline and reloads the partial sums. A zero-length
+    // operand is zero windows of work, not (0 - 1) underflowed ones.
+    const Cycles windows = std::max<Cycles>(
+        1, (rows + params_.maxConvInput - 1) / params_.maxConvInput);
     const Cycles window_penalty =
         (windows - 1) * (params_.mpuFillLatency() + params_.addLatency);
     t.latency = t.occupancy + params_.mpuFillLatency() + post +

@@ -49,6 +49,16 @@ struct MatrixTiming
      * so batch-mates pay only `computeCycles` for this instruction.
      */
     bool sharedStream = false;
+    /**
+     * Cycles the HBM operand keeps each of its channels busy: the
+     * per-channel footprint (hbmBytes spread over the operand's
+     * channel set) at per-channel bandwidth. With the operand striped
+     * across all channels this equals the aggregate-bandwidth stream
+     * time; pinned operands stream slower but occupy fewer channels.
+     */
+    Cycles hbmStreamCycles = 0;
+    /** Channels the operand occupies (0 = striped across all). */
+    uint32_t hbmChannelMask = 0;
 };
 
 /** Matrix function unit + SFU_M. */

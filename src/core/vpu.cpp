@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "core/mpu.hpp"
+#include "memory/hbm_channels.hpp"
 
 namespace dfx {
 
@@ -27,6 +28,20 @@ Vpu::scalarOperand(const isa::Operand &op, const ScalarRegFile &srf) const
       default:
         DFX_PANIC("bad scalar operand space");
     }
+}
+
+double
+Vpu::hbmRate(const isa::Instruction &inst, VectorTiming &t) const
+{
+    double bpc = params_.hbmBytesPerCycle();
+    if (inst.hbmChannels != 0) {
+        t.hbmChannelMask = inst.hbmChannels;
+        const size_t ch = std::min(channelCount(inst.hbmChannels),
+                                   params_.hbmChannels);
+        bpc *= static_cast<double>(ch) /
+               static_cast<double>(params_.hbmChannels);
+    }
+    return bpc;
 }
 
 VectorTiming
@@ -62,18 +77,21 @@ Vpu::timing(const isa::Instruction &inst) const
         break;
       case Opcode::kLoad: {
         // Bypass path: one cycle per line, bounded by the source
-        // memory's streaming rate.
+        // memory's streaming rate (per-channel when the HBM operand is
+        // pinned to a channel set).
         uint64_t bytes = static_cast<uint64_t>(inst.len) * 2;
         double bpc;
         if (inst.src1.space == isa::Space::kHbm) {
             t.hbmBytes = bytes;
-            bpc = params_.hbmBytesPerCycle();
+            bpc = hbmRate(inst, t);
         } else {
             t.ddrBytes = bytes;
             bpc = params_.ddrBytesPerCycle();
         }
         Cycles mem = static_cast<Cycles>(
             std::ceil(static_cast<double>(bytes) / bpc));
+        if (inst.src1.space == isa::Space::kHbm)
+            t.hbmStreamCycles = mem;
         t.occupancy = std::max<Cycles>(lines, mem);
         t.latency = t.occupancy + 1;
         break;
@@ -83,13 +101,15 @@ Vpu::timing(const isa::Instruction &inst) const
         double bpc;
         if (inst.dst.space == isa::Space::kHbm) {
             t.hbmBytes = bytes;
-            bpc = params_.hbmBytesPerCycle();
+            bpc = hbmRate(inst, t);
         } else {
             t.ddrBytes = bytes;
             bpc = params_.ddrBytesPerCycle();
         }
         Cycles mem = static_cast<Cycles>(
             std::ceil(static_cast<double>(bytes) / bpc));
+        if (inst.dst.space == isa::Space::kHbm)
+            t.hbmStreamCycles = mem;
         t.occupancy = std::max<Cycles>(lines, mem);
         t.latency = t.occupancy + 1;
         break;

@@ -28,6 +28,10 @@ struct VectorTiming
     uint64_t hbmBytes = 0;
     uint64_t ddrBytes = 0;
     double flops = 0.0;
+    /** Cycles an HBM load/store keeps each of its channels busy. */
+    Cycles hbmStreamCycles = 0;
+    /** Channels the HBM operand occupies (0 = striped across all). */
+    uint32_t hbmChannelMask = 0;
 };
 
 /** Vector function unit + SFU_V. */
@@ -46,6 +50,8 @@ class Vpu
   private:
     Half scalarOperand(const isa::Operand &op,
                        const ScalarRegFile &srf) const;
+    /** HBM bytes/cycle for an operand, honoring its channel set. */
+    double hbmRate(const isa::Instruction &inst, VectorTiming &t) const;
 
     const CoreParams &params_;
     OffchipMemory *hbm_;

@@ -158,6 +158,8 @@ format(const Instruction &inst)
         os << " pitch=" << inst.pitch;
     if (inst.flags)
         os << " flags=" << formatFlags(inst.flags);
+    if (inst.hbmChannels)
+        os << " chan=0x" << std::hex << inst.hbmChannels << std::dec;
     for (const auto &c : kCatNames) {
         if (c.cat == inst.category) {
             os << " cat=" << c.name;
@@ -219,6 +221,9 @@ parse(const std::string &line)
             inst.pitch = static_cast<uint32_t>(std::stoul(val, nullptr, 0));
         } else if (key == "flags") {
             inst.flags = parseFlags(val);
+        } else if (key == "chan") {
+            inst.hbmChannels =
+                static_cast<uint32_t>(std::stoul(val, nullptr, 0));
         } else if (key == "cat") {
             inst.category = parseCategory(val);
         } else {

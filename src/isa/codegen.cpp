@@ -233,21 +233,29 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
                           Operand::hbm(a.wv), Operand::ddr(a.bv),
                           v(map_.v), emb, emb_shard, 0, emb_shard,
                           kFlagNone, attn});
+    // KV traffic is pinned: every instruction touching a head's K or
+    // V^T region carries the channel set the layout assigned it, so
+    // the timing model can account per-channel occupancy (the weight
+    // operands above stripe across all channels, mask 0).
     for (size_t lh = 0; lh < local_heads; ++lh) {
-        pa.program.push_back(
-            {Opcode::kDmaStoreKv, v(map_.v + lh), {}, {},
-             Operand::hbm(layout_.vtHeadBase(layer, lh, ctx)), hd, 0,
-             static_cast<uint32_t>(pos), max_seq, kFlagTranspose, attn});
+        Instruction store{
+            Opcode::kDmaStoreKv, v(map_.v + lh), {}, {},
+            Operand::hbm(layout_.vtHeadBase(layer, lh, ctx)), hd, 0,
+            static_cast<uint32_t>(pos), max_seq, kFlagTranspose, attn};
+        store.hbmChannels = layout_.vtChannelMask(lh, ctx);
+        pa.program.push_back(store);
     }
     pa.program.push_back({Opcode::kConv1d, v(map_.ln),
                           Operand::hbm(a.wk), Operand::ddr(a.bk),
                           v(map_.k), emb, emb_shard, 0, emb_shard,
                           kFlagNone, attn});
     for (size_t lh = 0; lh < local_heads; ++lh) {
-        pa.program.push_back(
-            {Opcode::kDmaStoreKv, v(map_.k + lh), {}, {},
-             Operand::hbm(layout_.keyRowAddr(layer, lh, pos, ctx)), hd,
-             0, 0, 0, kFlagNone, attn});
+        Instruction store{
+            Opcode::kDmaStoreKv, v(map_.k + lh), {}, {},
+            Operand::hbm(layout_.keyRowAddr(layer, lh, pos, ctx)), hd,
+            0, 0, 0, kFlagNone, attn};
+        store.hbmChannels = layout_.keyChannelMask(lh, ctx);
+        pa.program.push_back(store);
     }
     pa.program.push_back({Opcode::kConv1d, v(map_.ln),
                           Operand::hbm(a.wq), Operand::ddr(a.bq),
@@ -257,21 +265,25 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
         immBits(1.0 / std::sqrt(static_cast<double>(hd)));
     for (size_t lh = 0; lh < local_heads; ++lh) {
         // score = (q . K^T) / sqrt(dk), causal-masked.
-        pa.program.push_back(
-            {Opcode::kMaskedMm, v(map_.q + lh),
-             Operand::hbm(layout_.keyHeadBase(layer, lh, ctx)),
-             Operand::imm(scale), v(map_.scores), hd, seq,
-             static_cast<uint32_t>(pos), hd,
-             static_cast<uint16_t>(kFlagMask | kFlagScale |
-                                   kFlagWeightRowIsCol),
-             attn});
+        Instruction mm1{
+            Opcode::kMaskedMm, v(map_.q + lh),
+            Operand::hbm(layout_.keyHeadBase(layer, lh, ctx)),
+            Operand::imm(scale), v(map_.scores), hd, seq,
+            static_cast<uint32_t>(pos), hd,
+            static_cast<uint16_t>(kFlagMask | kFlagScale |
+                                  kFlagWeightRowIsCol),
+            attn};
+        mm1.hbmChannels = layout_.keyChannelMask(lh, ctx);
+        pa.program.push_back(mm1);
         emitSoftmax(pa.program, map_.scores, seq);
         // attn'[head] = score x Value (V^T streamed row-wise).
-        pa.program.push_back(
-            {Opcode::kMm, v(map_.scores),
-             Operand::hbm(layout_.vtHeadBase(layer, lh, ctx)), {},
-             v(map_.attnLocal + lh), seq, hd, 0, max_seq,
-             kFlagWeightRowIsCol, attn});
+        Instruction mm2{
+            Opcode::kMm, v(map_.scores),
+            Operand::hbm(layout_.vtHeadBase(layer, lh, ctx)), {},
+            v(map_.attnLocal + lh), seq, hd, 0, max_seq,
+            kFlagWeightRowIsCol, attn};
+        mm2.hbmChannels = layout_.vtChannelMask(lh, ctx);
+        pa.program.push_back(mm2);
     }
     pa.program.push_back({Opcode::kSync, v(map_.attnLocal), {}, {},
                           v(map_.attnFull), emb_shard, 0, 0, 0, kFlagNone,

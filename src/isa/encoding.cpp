@@ -82,6 +82,7 @@ encode(const Instruction &inst)
     put64(b, 32, inst.src2.addr);
     put32(b, 40, static_cast<uint32_t>(inst.src3.addr));
     put32(b, 44, static_cast<uint32_t>(inst.dst.addr));
+    put32(b, 48, inst.hbmChannels);
     return b;
 }
 
@@ -108,6 +109,7 @@ decode(const EncodedInstruction &b)
     inst.src2.addr = get64(b, 32);
     inst.src3.addr = get32(b, 40);
     inst.dst.addr = get32(b, 44);
+    inst.hbmChannels = get32(b, 48);
     return inst;
 }
 

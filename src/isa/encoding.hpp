@@ -2,7 +2,7 @@
  * @file
  * Binary encoding of DFX instructions.
  *
- * Instructions are stored in the instruction buffer as fixed 48-byte
+ * Instructions are stored in the instruction buffer as fixed 56-byte
  * words (the paper's host transfers instruction streams over PCIe;
  * a fixed-width little-endian encoding keeps that transfer and the
  * on-chip buffer simple).
@@ -22,6 +22,8 @@
  *   bytes 32-39  src2.addr
  *   bytes 40-43  src3.addr (low 32 bits; biases/imms fit)
  *   bytes 44-47  dst.addr (low 32 bits... see note)
+ *   bytes 48-51  hbmChannels (pseudo-channel set of the HBM operand)
+ *   bytes 52-55  reserved (zero)
  *
  * Note: src3 and dst addresses are stored as 32-bit fields; register
  * file indices and DDR bias offsets fit comfortably. Encoding checks
@@ -38,7 +40,7 @@
 namespace dfx {
 namespace isa {
 
-constexpr size_t kEncodedSize = 48;
+constexpr size_t kEncodedSize = 56;
 using EncodedInstruction = std::array<uint8_t, kEncodedSize>;
 
 /** Encodes one instruction; fatal if a field is out of range. */

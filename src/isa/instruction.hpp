@@ -151,6 +151,18 @@ struct Instruction
     uint32_t pitch = 0;
     uint16_t flags = kFlagNone;
     Category category = Category::kOther;
+    /**
+     * HBM pseudo-channel set of the streamed HBM operand (bit c =
+     * channel c). 0 means "address-interleaved across all channels" —
+     * bulk weights — and, for kFlagWeightRowIsCol operands without an
+     * explicit set, falls back to the core's default
+     * `kvStreamChannels`-wide set: per-instruction timing matches the
+     * historic static derating bit-for-bit (batched rounds treat the
+     * unplaced operands as sharing that default set). Codegen pins
+     * each head's K and V^T operands (and their DMA appends) to the
+     * channel set `MemoryLayout` assigned the region.
+     */
+    uint32_t hbmChannels = 0;
 
     bool operator==(const Instruction &) const = default;
 };

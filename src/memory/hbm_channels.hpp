@@ -1,0 +1,64 @@
+/**
+ * @file
+ * HBM pseudo-channel sets (paper §IV-B, §V-B).
+ *
+ * The U280's HBM presents 32 pseudo-channels; aggregate bandwidth is
+ * only reachable by an access pattern that keeps all of them busy.
+ * The DFX memory map exploits that asymmetry: bulk weight matrices
+ * are address-interleaved across every channel (one tile row touches
+ * them all), while each head's Key cache and transposed Value cache
+ * are pinned to a few channels so the per-token append stays a single
+ * linear burst.
+ *
+ * A channel set is a bit mask over the pseudo-channels, bit c =
+ * channel c. Mask 0 is reserved to mean "address-interleaved across
+ * all channels" — the degenerate set that streams at aggregate
+ * bandwidth — so default-initialized instructions keep the historic
+ * single-stream timing.
+ */
+#ifndef DFX_MEMORY_HBM_CHANNELS_HPP
+#define DFX_MEMORY_HBM_CHANNELS_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dfx {
+
+/** Bit mask over HBM pseudo-channels; 0 = striped across all. */
+using ChannelMask = uint32_t;
+
+/** Number of channels in a mask. */
+constexpr size_t
+channelCount(ChannelMask mask)
+{
+    return static_cast<size_t>(std::popcount(mask));
+}
+
+/**
+ * A contiguous run of `width` channels starting at `start`, wrapping
+ * modulo `total` (the device's channel count). `width >= total`
+ * yields the full mask.
+ */
+constexpr ChannelMask
+contiguousChannels(size_t start, size_t width, size_t total)
+{
+    if (width >= total)
+        return total >= 32 ? ~ChannelMask{0}
+                           : (ChannelMask{1} << total) - 1;
+    ChannelMask mask = 0;
+    for (size_t i = 0; i < width; ++i)
+        mask |= ChannelMask{1} << ((start + i) % total);
+    return mask;
+}
+
+/** True when the two sets share at least one channel. */
+constexpr bool
+channelsOverlap(ChannelMask a, ChannelMask b)
+{
+    return (a & b) != 0;
+}
+
+}  // namespace dfx
+
+#endif  // DFX_MEMORY_HBM_CHANNELS_HPP

@@ -61,21 +61,55 @@ MemoryLayout::vtAddr(size_t layer, size_t lh, size_t j, size_t t,
            (static_cast<uint64_t>(j) * config.maxSeq + t) * 2;
 }
 
+ChannelMask
+MemoryLayout::kvStreamMask(size_t index) const
+{
+    // Streams enumerate (context, head, {K, V^T}); each gets the next
+    // kvStreamChannels-wide contiguous set, wrapping over the device's
+    // channels — distinct contexts/heads stay disjoint until the wrap.
+    return contiguousChannels(index * kvStreamChannels % hbmChannels,
+                              kvStreamChannels, hbmChannels);
+}
+
+ChannelMask
+MemoryLayout::keyChannelMask(size_t lh, size_t ctx) const
+{
+    return kvStreamMask((ctx * geometry.localHeads(config) + lh) * 2);
+}
+
+ChannelMask
+MemoryLayout::vtChannelMask(size_t lh, size_t ctx) const
+{
+    return kvStreamMask((ctx * geometry.localHeads(config) + lh) * 2 +
+                        1);
+}
+
 MemoryLayout
 MemoryLayout::build(const GptConfig &config,
                     const ClusterGeometry &geometry, size_t lanes,
                     OffchipMemory &hbm, OffchipMemory &ddr,
-                    size_t kv_contexts)
+                    size_t kv_contexts, size_t hbm_channels,
+                    size_t kv_stream_channels)
 {
     config.validate();
     geometry.validateFor(config);
     DFX_ASSERT(kv_contexts >= 1, "layout needs at least one KV context");
+    DFX_ASSERT(hbm_channels >= 1 &&
+                   hbm_channels <= static_cast<size_t>(HbmSpec::kChannels),
+               "HBM channel count %zu out of [1, %d]", hbm_channels,
+               HbmSpec::kChannels);
+    DFX_ASSERT(kv_stream_channels >= 1 &&
+                   kv_stream_channels <= hbm_channels,
+               "KV stream width %zu out of [1, %zu]", kv_stream_channels,
+               hbm_channels);
 
     MemoryLayout ml;
     ml.config = config;
     ml.geometry = geometry;
     ml.lanes = lanes;
     ml.kvContexts = kv_contexts;
+    ml.hbmChannels = hbm_channels;
+    ml.kvStreamChannels = kv_stream_channels;
 
     const uint64_t emb = config.embedding;
     const uint64_t emb_shard = geometry.embShard(config);

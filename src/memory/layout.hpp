@@ -10,6 +10,14 @@
  * the per-token logit matmul streams at HBM bandwidth; the DDR WTE
  * copy serves only the per-token embedding row lookups.
  *
+ * Every HBM region also carries a pseudo-channel set: weight shards
+ * are address-interleaved across all channels (streamed at aggregate
+ * bandwidth), while each head's K and V^T caches are pinned to
+ * `kvStreamChannels` channels, assigned round-robin over
+ * (context, head, K-vs-V^T) so concurrently resident requests land
+ * on disjoint sets until the channels wrap. The per-channel timing
+ * model reads these sets off the generated instructions.
+ *
  * Every core in a cluster runs the same allocation sequence against
  * its own devices, so shard addresses are identical across cores —
  * which is what lets all cores execute the *same* instruction stream
@@ -20,6 +28,7 @@
 
 #include <vector>
 
+#include "memory/hbm_channels.hpp"
 #include "memory/offchip.hpp"
 #include "model/config.hpp"
 
@@ -76,6 +85,8 @@ struct MemoryLayout
     ClusterGeometry geometry;
     size_t lanes = 16;        ///< MPU lane count (for vocab padding)
     size_t kvContexts = 1;    ///< resident KV cache contexts (requests)
+    size_t hbmChannels = static_cast<size_t>(HbmSpec::kChannels);
+    size_t kvStreamChannels = 1;  ///< channels one K / V^T region spans
 
     std::vector<LayerAddrs> layers;
     uint64_t lmHeadW = 0;     ///< HBM: WTE^T shard, emb x vocabShard
@@ -98,6 +109,15 @@ struct MemoryLayout
     /** Byte address of the V^T region for one local head. */
     uint64_t vtHeadBase(size_t layer, size_t lh, size_t ctx = 0) const;
 
+    // Channel sets (identical across layers: a channel holds a region
+    // of every layer, and layers stream sequentially within a step).
+    /** Pseudo-channel set of head `lh`'s K cache in context `ctx`. */
+    ChannelMask keyChannelMask(size_t lh, size_t ctx = 0) const;
+    /** Pseudo-channel set of head `lh`'s V^T cache in context `ctx`. */
+    ChannelMask vtChannelMask(size_t lh, size_t ctx = 0) const;
+    /** Weight shards stripe across all channels (mask 0 = all). */
+    static constexpr ChannelMask weightChannelMask() { return 0; }
+
     /** Total HBM bytes this layout allocates (for capacity checks). */
     uint64_t hbmBytes() const { return hbmBytes_; }
     uint64_t ddrBytes() const { return ddrBytes_; }
@@ -107,13 +127,21 @@ struct MemoryLayout
      * The same sequence yields the same addresses on every core.
      * `kv_contexts` independent KV cache regions are allocated so up
      * to that many requests can be resident concurrently.
+     * `hbm_channels`/`kv_stream_channels` shape the channel sets the
+     * K and V^T regions are pinned to (see the file comment).
      */
-    static MemoryLayout build(const GptConfig &config,
-                              const ClusterGeometry &geometry,
-                              size_t lanes, OffchipMemory &hbm,
-                              OffchipMemory &ddr, size_t kv_contexts = 1);
+    static MemoryLayout build(
+        const GptConfig &config, const ClusterGeometry &geometry,
+        size_t lanes, OffchipMemory &hbm, OffchipMemory &ddr,
+        size_t kv_contexts = 1,
+        size_t hbm_channels = static_cast<size_t>(HbmSpec::kChannels),
+        size_t kv_stream_channels = 1);
 
   private:
+    /** Channel set of KV stream `index` in the round-robin order
+     *  (context, head, K-vs-V^T). */
+    ChannelMask kvStreamMask(size_t index) const;
+
     uint64_t hbmBytes_ = 0;
     uint64_t ddrBytes_ = 0;
 };

@@ -290,7 +290,7 @@ TEST(ClusterFunctional, MultiThreadedRunsAreStableAcrossRepeats)
 
 TEST(ClusterFunctional, BinaryInstructionPathPreservesSemantics)
 {
-    // Routing every phase through the 48-byte binary encoding (the
+    // Routing every phase through the 56-byte binary encoding (the
     // host PCIe upload path) must not change tokens or timing.
     GptWeights w = GptWeights::random(GptConfig::toy(), 51);
     DfxSystemConfig cfg = functionalConfig(w.config, 2);

@@ -1,15 +1,19 @@
 /**
  * @file
  * Compute-core unit tests: MPU functional math and tiling-driven
- * timing, VPU ops, DMA transpose store, scoreboard chaining, and the
- * scheduler's engine-overlap behaviour.
+ * timing, VPU ops, DMA transpose store, scoreboard chaining, the
+ * scheduler's engine-overlap behaviour, and the per-channel HBM
+ * contention model (single-stream closed forms and the batched-round
+ * roofline).
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "appliance/cluster.hpp"
 #include "common/random.hpp"
 #include "core/core.hpp"
+#include "memory/hbm_channels.hpp"
 #include "numeric/functions.hpp"
 
 namespace dfx {
@@ -335,6 +339,144 @@ TEST_F(CoreTest, EnginesOverlap)
     Cycles both = tcore.executePhase(isa::Program{conv, vec}).cycles;
     EXPECT_LT(both, conv_only + vec_only);
     EXPECT_GE(both, std::max(conv_only, vec_only));
+}
+
+TEST_F(CoreTest, ZeroLengthMatrixTimingDoesNotUnderflow)
+{
+    // Regression: a zero-length operand made the sliding-window count
+    // 0, and (windows - 1) underflowed Cycles into an astronomically
+    // large latency. Zero rows must cost no more than the pipeline
+    // fill.
+    CoreParams params = CoreParams::defaults();
+    OffchipMemory hbm = makeHbm(0, params.hbmEfficiency, false);
+    OffchipMemory ddr = makeDdr(0, params.ddrEfficiency, false);
+    Mpu mpu(params, &hbm, &ddr);
+    Instruction inst;
+    inst.op = Opcode::kConv1d;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(0);
+    inst.dst = Operand::vrf(8);
+    inst.len = 0;
+    inst.cols = 16;
+    inst.pitch = 16;
+    MatrixTiming t = mpu.timing(inst);
+    EXPECT_EQ(t.occupancy, 0u);
+    EXPECT_EQ(t.latency, params.mpuFillLatency());
+    // The same holds on every sliding-window boundary shape.
+    inst.len = static_cast<uint32_t>(params.maxConvInput);
+    Cycles one_window = mpu.timing(inst).latency;
+    inst.len = static_cast<uint32_t>(params.maxConvInput) + 1;
+    EXPECT_GT(mpu.timing(inst).latency, one_window);
+}
+
+TEST_F(CoreTest, ChannelMaskSetsStreamRate)
+{
+    // k channels of C deliver k/C of the aggregate bandwidth; the
+    // full mask and the unannotated default agree bit-for-bit.
+    CoreParams params = CoreParams::defaults();
+    OffchipMemory hbm = makeHbm(0, params.hbmEfficiency, false);
+    OffchipMemory ddr = makeDdr(0, params.ddrEfficiency, false);
+    Mpu mpu(params, &hbm, &ddr);
+    Instruction inst;
+    inst.op = Opcode::kMm;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(0);
+    inst.dst = Operand::vrf(8);
+    inst.len = 512;
+    inst.cols = 512;
+    inst.pitch = 512;
+    const MatrixTiming unannotated = mpu.timing(inst);
+    inst.hbmChannels =
+        contiguousChannels(0, params.hbmChannels, params.hbmChannels);
+    EXPECT_EQ(mpu.timing(inst).occupancy, unannotated.occupancy);
+    inst.hbmChannels = contiguousChannels(5, 1, params.hbmChannels);
+    const MatrixTiming pinned = mpu.timing(inst);
+    EXPECT_GT(pinned.occupancy, unannotated.occupancy);
+    EXPECT_EQ(pinned.hbmChannelMask, 1u << 5);
+    // Wider sets stream faster.
+    inst.hbmChannels = contiguousChannels(5, 4, params.hbmChannels);
+    EXPECT_LT(mpu.timing(inst).occupancy, pinned.occupancy);
+    EXPECT_GE(mpu.timing(inst).occupancy, unannotated.occupancy);
+}
+
+namespace {
+
+/** A synthetic step: `seconds` total, `priv` of it waiting on a K/V
+ *  stream pinned to `mask`, `reuse` on shared weight streams. */
+TokenStats
+syntheticStep(double seconds, double reuse, double priv, uint32_t mask)
+{
+    TokenStats s;
+    s.seconds = seconds;
+    s.categorySeconds[static_cast<size_t>(Category::kAttention)] =
+        seconds;
+    s.weightReuseSeconds = reuse;
+    s.privateStreamSeconds = priv;
+    for (size_t c = 0; c < kHbmChannels; ++c) {
+        if (mask & (1u << c))
+            s.hbmPrivateChannelSeconds[c] = priv;
+        s.hbmSharedChannelSeconds[c] = reuse;
+    }
+    return s;
+}
+
+}  // namespace
+
+TEST(BatchRound, SingleStepKeepsExactSerialTiming)
+{
+    // One resident context: the round is the step, bit-for-bit; the
+    // channel roofline only arbitrates between concurrent contexts.
+    BatchRoundTiming r =
+        combineBatchRound({syntheticStep(2.0, 0.5, 0.8, 0x1)});
+    EXPECT_DOUBLE_EQ(r.chargedSeconds, 2.0);
+    EXPECT_DOUBLE_EQ(r.serialSeconds, 2.0);
+}
+
+TEST(BatchRound, DisjointChannelSetsDoNotContend)
+{
+    // Two steps whose K/V streams are pinned to different channels:
+    // the mate's stream overlaps the first step's compute, so the
+    // round is the amortized serial sum and no channel penalty bites.
+    std::vector<TokenStats> steps = {
+        syntheticStep(1.0, 0.0, 0.9, 0x1),
+        syntheticStep(1.0, 0.0, 0.9, 0x2),
+    };
+    BatchRoundTiming r = combineBatchRound(steps);
+    EXPECT_DOUBLE_EQ(r.stepChargeSeconds[0], 1.0);
+    EXPECT_DOUBLE_EQ(r.stepChargeSeconds[1], 0.1);
+    EXPECT_DOUBLE_EQ(r.serialSeconds, 1.1);
+    EXPECT_DOUBLE_EQ(r.channelBoundSeconds, 0.9);
+    EXPECT_DOUBLE_EQ(r.chargedSeconds, 1.1);
+}
+
+TEST(BatchRound, OverlappingChannelSetsSerialize)
+{
+    // Same two steps pinned to the *same* channel: their streams
+    // serialize on it, and the channel bound overtakes the serial sum.
+    std::vector<TokenStats> steps = {
+        syntheticStep(1.0, 0.0, 0.9, 0x1),
+        syntheticStep(1.0, 0.0, 0.9, 0x1),
+    };
+    BatchRoundTiming r = combineBatchRound(steps);
+    EXPECT_DOUBLE_EQ(r.serialSeconds, 1.1);
+    EXPECT_DOUBLE_EQ(r.channelBoundSeconds, 1.8);
+    EXPECT_DOUBLE_EQ(r.chargedSeconds, 1.8);
+}
+
+TEST(BatchRound, SharedWeightStripeCountsOnce)
+{
+    // Weight traffic occupies every channel but streams once per
+    // round: mates amortize it in their serial charge and it is not
+    // re-added to the channel ledger.
+    std::vector<TokenStats> steps = {
+        syntheticStep(1.0, 0.6, 0.0, 0),
+        syntheticStep(1.0, 0.6, 0.0, 0),
+        syntheticStep(1.0, 0.6, 0.0, 0),
+    };
+    BatchRoundTiming r = combineBatchRound(steps);
+    EXPECT_DOUBLE_EQ(r.serialSeconds, 1.0 + 0.4 + 0.4);
+    EXPECT_DOUBLE_EQ(r.channelBoundSeconds, 0.6);
+    EXPECT_DOUBLE_EQ(r.chargedSeconds, 1.8);
 }
 
 TEST_F(CoreTest, CategoryAttributionSumsToPhase)

@@ -106,6 +106,7 @@ TEST(Isa, EncodeDecodeRandomizedRoundTrip)
         i.aux = static_cast<uint32_t>(rng.next());
         i.pitch = static_cast<uint32_t>(rng.next());
         i.flags = static_cast<uint16_t>(rng.next());
+        i.hbmChannels = static_cast<uint32_t>(rng.next());
         i.category = static_cast<Category>(
             rng.below(static_cast<uint64_t>(Category::kNumCategories)));
         Instruction back = decode(encode(i));
@@ -131,17 +132,25 @@ TEST(Assembler, FormatParseRoundTrip)
     std::string text = format(i);
     Instruction back = parse(text);
     EXPECT_EQ(back, i) << text;
+    // The channel-set attribute must survive the text round trip too
+    // (it formats as hex and parses base-0).
+    i.hbmChannels = 0xA0000005u;
+    text = format(i);
+    back = parse(text);
+    EXPECT_EQ(back, i) << text;
 }
 
 TEST(Assembler, ParsesHandWritten)
 {
     Instruction i = parse(
         "masked_mm v[96], hbm[0x4000], imm[11878] -> v[192] "
-        "len=64 cols=17 aux=16 pitch=64 flags=mask|scale|wt cat=attn");
+        "len=64 cols=17 aux=16 pitch=64 flags=mask|scale|wt "
+        "chan=0x30 cat=attn");
     EXPECT_EQ(i.op, Opcode::kMaskedMm);
     EXPECT_EQ(i.src2.addr, 0x4000u);
     EXPECT_EQ(i.cols, 17u);
     EXPECT_EQ(i.flags, kFlagMask | kFlagScale | kFlagWeightRowIsCol);
+    EXPECT_EQ(i.hbmChannels, 0x30u);
     EXPECT_EQ(i.category, Category::kAttention);
 }
 
@@ -166,7 +175,7 @@ class CodegenTest : public ::testing::Test
 {
   protected:
     void
-    build(size_t n_cores)
+    build(size_t n_cores, size_t kv_contexts = 1)
     {
         config = GptConfig::toy();
         geometry = ClusterGeometry{n_cores};
@@ -174,7 +183,8 @@ class CodegenTest : public ::testing::Test
                                               false);
         ddr = std::make_unique<OffchipMemory>("d", 1ull << 32, 38e9, 0.7,
                                               false);
-        layout = MemoryLayout::build(config, geometry, 16, *hbm, *ddr);
+        layout = MemoryLayout::build(config, geometry, 16, *hbm, *ddr,
+                                     kv_contexts);
         builder = std::make_unique<ProgramBuilder>(config, geometry,
                                                    layout, 0);
     }
@@ -241,6 +251,42 @@ TEST_F(CodegenTest, AllInstructionsValidate)
     }
     for (const auto &inst : builder->lmHeadPhase().program)
         EXPECT_TRUE(validate(inst, &err)) << err;
+}
+
+TEST_F(CodegenTest, KvOperandsCarryTheirLayoutChannelSets)
+{
+    build(2, /*kv_contexts=*/2);
+    for (size_t ctx : {size_t{0}, size_t{1}}) {
+        auto phases = builder->layerPhases(0, 2, ctx);
+        const Program &p = phases[0].program;
+        size_t masked = 0;
+        for (const auto &inst : p) {
+            if (inst.op == Opcode::kMaskedMm) {
+                // Q.K^T streams the K region's pinned channels.
+                EXPECT_EQ(inst.hbmChannels, layout.keyChannelMask(0, ctx));
+                ++masked;
+            } else if (inst.op == Opcode::kMm) {
+                EXPECT_EQ(inst.hbmChannels, layout.vtChannelMask(0, ctx));
+                ++masked;
+            } else if (inst.op == Opcode::kDmaStoreKv) {
+                EXPECT_EQ(inst.hbmChannels,
+                          (inst.flags & kFlagTranspose)
+                              ? layout.vtChannelMask(0, ctx)
+                              : layout.keyChannelMask(0, ctx));
+                ++masked;
+            } else if (inst.op == Opcode::kConv1d) {
+                // Weight operands stripe across all channels.
+                EXPECT_EQ(inst.hbmChannels, 0u);
+            }
+        }
+        EXPECT_EQ(masked, 4u);  // K store, V^T store, Q.K^T, score.V
+        EXPECT_EQ(channelCount(layout.keyChannelMask(0, ctx)),
+                  layout.kvStreamChannels);
+        EXPECT_NE(layout.keyChannelMask(0, ctx),
+                  layout.vtChannelMask(0, ctx));
+    }
+    // Distinct resident contexts are threaded onto distinct sets.
+    EXPECT_NE(layout.keyChannelMask(0, 0), layout.keyChannelMask(0, 1));
 }
 
 TEST_F(CodegenTest, MaskedMmUsesScaleAndCausalMask)

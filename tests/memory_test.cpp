@@ -128,6 +128,45 @@ TEST(MemoryLayout, KvAddressing)
               c.maxSeq * 2);
 }
 
+TEST(MemoryLayout, KvChannelSetsSpreadAndStayDisjointUntilWrap)
+{
+    GptConfig c = GptConfig::mini();
+    ClusterGeometry g{2};
+    OffchipMemory h("h", 1ull << 33, 460e9, 0.6, false);
+    OffchipMemory d("d", 1ull << 33, 38e9, 0.7, false);
+    MemoryLayout ml = MemoryLayout::build(c, g, 16, h, d,
+                                          /*kv_contexts=*/4,
+                                          /*hbm_channels=*/32,
+                                          /*kv_stream_channels=*/2);
+    const size_t local_heads = g.localHeads(c);
+    // Every set has the configured width...
+    for (size_t ctx = 0; ctx < 4; ++ctx) {
+        for (size_t lh = 0; lh < local_heads; ++lh) {
+            EXPECT_EQ(channelCount(ml.keyChannelMask(lh, ctx)), 2u);
+            EXPECT_EQ(channelCount(ml.vtChannelMask(lh, ctx)), 2u);
+        }
+    }
+    // ...K and V^T of one head are distinct, and distinct contexts
+    // occupy disjoint channels while sets remain available.
+    EXPECT_FALSE(channelsOverlap(ml.keyChannelMask(0, 0),
+                                 ml.vtChannelMask(0, 0)));
+    EXPECT_FALSE(channelsOverlap(ml.keyChannelMask(0, 0),
+                                 ml.keyChannelMask(0, 1)));
+    // 4 contexts x localHeads x {K, V^T} x 2 channels fills 32 exactly
+    // when localHeads == 2: the next context would wrap back onto
+    // context 0's channels.
+    if (local_heads == 2) {
+        uint32_t all = 0;
+        for (size_t ctx = 0; ctx < 4; ++ctx) {
+            for (size_t lh = 0; lh < local_heads; ++lh) {
+                all |= ml.keyChannelMask(lh, ctx);
+                all |= ml.vtChannelMask(lh, ctx);
+            }
+        }
+        EXPECT_EQ(channelCount(all), 32u);
+    }
+}
+
 TEST(MemoryLayout, FullModelsFitDevices)
 {
     // The paper's three models must fit 8 GB HBM / 32 GB DDR at their

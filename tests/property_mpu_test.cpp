@@ -10,6 +10,7 @@
 
 #include "common/random.hpp"
 #include "core/core.hpp"
+#include "memory/hbm_channels.hpp"
 #include "numeric/functions.hpp"
 
 namespace dfx {
@@ -102,6 +103,58 @@ TEST_P(MpuShapeProperty, TimingInvariants)
     EXPECT_GE(s.cycles, (rows + d - 1) / d * ((cols + l - 1) / l));
     // (3) FLOPs are the model's true work.
     EXPECT_DOUBLE_EQ(s.flops, 2.0 * rows * cols);
+}
+
+TEST_P(MpuShapeProperty, TimingMatchesPreChannelModelClosedForm)
+{
+    // The per-channel model must reproduce the pre-refactor timing
+    // bit-for-bit in the degenerate cases: a weight operand striped
+    // across all channels streams at aggregate bandwidth, and a
+    // K/V operand pinned to a kvStreamChannels-wide set streams at
+    // exactly the old static derating — whether the set is explicit
+    // (annotated instruction) or the legacy flag-only fallback.
+    const auto [rows, cols] = GetParam();
+    CoreParams params = CoreParams::defaults();
+    OffchipMemory hbm = makeHbm(0, params.hbmEfficiency, false);
+    OffchipMemory ddr = makeDdr(0, params.ddrEfficiency, false);
+    Mpu mpu(params, &hbm, &ddr);
+
+    const size_t d = params.tileRows, l = params.lanes;
+    const uint64_t row_tiles = (rows + d - 1) / d;
+    const uint64_t col_tiles = (cols + l - 1) / l;
+    const uint64_t tiles = row_tiles * col_tiles;
+    const uint64_t padded = row_tiles * d * col_tiles * l * 2;
+
+    Instruction inst;
+    inst.op = Opcode::kMm;
+    inst.src1 = Operand::vrf(0);
+    inst.src2 = Operand::hbm(0);
+    inst.dst = Operand::vrf(200);
+    inst.len = static_cast<uint32_t>(rows);
+    inst.cols = static_cast<uint32_t>(cols);
+    inst.pitch = static_cast<uint32_t>(cols);
+
+    // (1) Striped weight operand: old full-bandwidth closed form.
+    const Cycles weight_stream = static_cast<Cycles>(
+        std::ceil(static_cast<double>(padded) /
+                  params.hbmBytesPerCycle()));
+    EXPECT_EQ(mpu.timing(inst).occupancy,
+              std::max<Cycles>(tiles, weight_stream));
+
+    // (2) Pinned K/V operand: old static-derating closed form,
+    //     identical for the legacy flag-only path and an explicit
+    //     kvStreamChannels-wide set.
+    double derated = params.hbmBytesPerCycle();
+    derated *= static_cast<double>(params.kvStreamChannels) /
+               static_cast<double>(params.hbmChannels);
+    const Cycles kv_stream = static_cast<Cycles>(
+        std::ceil(static_cast<double>(padded) / derated));
+    inst.flags = isa::kFlagWeightRowIsCol;
+    const Cycles legacy = mpu.timing(inst).occupancy;
+    EXPECT_EQ(legacy, std::max<Cycles>(tiles, kv_stream));
+    inst.hbmChannels = contiguousChannels(7, params.kvStreamChannels,
+                                          params.hbmChannels);
+    EXPECT_EQ(mpu.timing(inst).occupancy, legacy);
 }
 
 INSTANTIATE_TEST_SUITE_P(

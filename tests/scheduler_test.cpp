@@ -237,6 +237,31 @@ TEST(Scheduler, BatchRoundStatsStayConsistent)
     EXPECT_NEAR(sum, batch.seconds, batch.seconds * 1e-6);
 }
 
+TEST(Scheduler, BatchChargeMatchesChannelRoofline)
+{
+    // The batched charge is exactly what combineBatchRound derives
+    // from the individual steps' stats: solo steps of the two
+    // contexts (same positions, timing-only, so their stats are what
+    // the batch observes internally) combined through the per-channel
+    // roofline must reproduce stepTokenBatch's total.
+    DfxSystemConfig cfg = timingConfig(2);
+    DfxCluster cluster(cfg);
+    std::vector<TokenStats> solo(2);
+    cluster.stepToken(0, 0, &solo[0]);
+    cluster.stepToken(1, 0, &solo[1]);
+    cluster.resetContext(0);
+    cluster.resetContext(1);
+    const BatchRoundTiming round = combineBatchRound(solo);
+    EXPECT_GT(round.channelBoundSeconds, 0.0);
+    TokenStats batch;
+    cluster.stepTokenBatch({{0, 0}, {1, 0}}, &batch);
+    EXPECT_NEAR(batch.seconds, round.chargedSeconds,
+                round.chargedSeconds * 1e-9);
+    // Contexts 0 and 1 land on disjoint channel sets here, so the
+    // amortized serial sum governs the round.
+    EXPECT_DOUBLE_EQ(round.chargedSeconds, round.serialSeconds);
+}
+
 TEST(Scheduler, SubmitIsThreadSafe)
 {
     // Hammer submit() from several host threads; every request must

@@ -78,7 +78,9 @@ TEST(DfxServer, UnevenQueueMakespanIsLongestQueue)
 TEST(DfxServer, EmptyServeReturnsZeroStats)
 {
     // Regression: throughput/mean-latency used to divide by zero on
-    // an empty request vector; both must come back as a clean 0.0.
+    // an empty request vector, and makespan reported whatever the
+    // per-cluster simulated clocks held instead of 0.0 — drain() must
+    // not trust the clocks when no request completed this epoch.
     DfxServer server(timingConfig(), 2);
     ServerStats s = server.serve({});
     EXPECT_EQ(s.requests, 0u);
@@ -86,6 +88,14 @@ TEST(DfxServer, EmptyServeReturnsZeroStats)
     EXPECT_EQ(s.makespanSeconds, 0.0);
     EXPECT_EQ(s.throughputTokensPerSec(), 0.0);
     EXPECT_EQ(s.meanLatencySeconds(), 0.0);
+    EXPECT_EQ(s.p99LatencySeconds, 0.0);
+    // The same must hold for an empty epoch *after* a busy one (the
+    // clocks were non-zero mid-epoch and reset on drain).
+    ServerStats busy = server.serve(makeRequests(3));
+    EXPECT_GT(busy.makespanSeconds, 0.0);
+    ServerStats again = server.serve({});
+    EXPECT_EQ(again.makespanSeconds, 0.0);
+    EXPECT_EQ(again.throughputTokensPerSec(), 0.0);
 }
 
 TEST(DfxServer, FunctionalClustersProduceIdenticalTokens)
