@@ -2,27 +2,46 @@
  * @file
  * Serving benchmark: concurrent-request throughput and latency.
  *
- * The batching counterpart to `bench_sim_speed`: a fixed pool of
- * requests is served by one cluster while the number of in-flight
- * requests (resident KV contexts) sweeps 1..8. Reports the *modeled*
- * aggregate throughput (output tokens per simulated second), mean and
- * p99 service latency, and the host wall time, writing
- * `BENCH_serving.json` as the second cross-PR perf record.
+ * Three sections, all written into `BENCH_serving.json` (a cross-PR
+ * perf record gated by scripts/check_bench.py):
  *
- * Two invariants are enforced here (the bench fails hard on either):
+ *  1. Closed-loop sweep — a fixed pool of requests (all arrived at
+ *     t=0) served by one cluster while the number of in-flight
+ *     requests (resident KV contexts) sweeps 1..8. Reports modeled
+ *     aggregate throughput, mean/p99 service latency, host wall time.
+ *     Plus a timing-only GPT-2 345M counterpart ("paper_scale").
+ *
+ *  2. Open-loop latency-vs-load sweep — Poisson arrivals replayed on
+ *     the simulated clock while the offered load (requests per
+ *     simulated second) sweeps from light traffic past saturation.
+ *     Reports time-to-first-token mean/p99, queueing delay, and p99
+ *     service latency per load point ("latency_vs_load").
+ *
+ *  3. Work-stealing scenario — an imbalanced pool (one cluster's
+ *     round-robin share is 8x longer) served by two clusters with
+ *     static placement vs. cross-cluster stealing
+ *     ("work_stealing").
+ *
+ * Invariants enforced here (the bench fails hard on any):
  *  - per-request tokens are bit-identical to serial single-request
- *    runs at every in-flight level;
- *  - aggregate throughput grows monotonically with in-flight count
+ *    runs at every in-flight level AND at every offered load;
+ *  - closed-loop throughput grows monotonically with in-flight count
  *    (weight streams amortize across batch-mates; each request's K/V
  *    streams run on the HBM channels its contexts' regions are pinned
  *    to, and a round is floored by the per-channel occupancy bound —
- *    see DfxCluster::stepTokenBatch / combineBatchRound).
+ *    see DfxCluster::stepTokenBatch / combineBatchRound);
+ *  - open-loop TTFT p99 is finite and non-decreasing with offered
+ *    load (the same seed scales one arrival pattern, so heavier
+ *    traffic can only queue longer);
+ *  - work stealing strictly improves the imbalanced makespan.
  */
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "appliance/server.hpp"
+#include "appliance/workload.hpp"
 #include "bench_common.hpp"
 #include "perf/report.hpp"
 
@@ -41,6 +60,16 @@ struct Sample
     double hostWallSec;          ///< host time for the whole serve
 };
 
+struct LoadSample
+{
+    double offeredRps;        ///< offered load, requests/sim-second
+    double ttftMeanSec;       ///< mean time-to-first-token
+    double ttftP99Sec;        ///< p99 time-to-first-token
+    double queueDelayMeanSec; ///< mean arrival->admission wait
+    double p99LatencySec;     ///< p99 service latency
+    double throughputTokPerSec;
+};
+
 std::vector<ServerRequest>
 requestPool(size_t n, size_t n_in, size_t n_out, size_t vocab)
 {
@@ -54,6 +83,18 @@ requestPool(size_t n, size_t n_in, size_t n_out, size_t vocab)
         reqs.push_back(std::move(r));
     }
     return reqs;
+}
+
+std::vector<std::vector<int32_t>>
+serialReference(const DfxSystemConfig &cfg, const GptWeights &weights,
+                const std::vector<ServerRequest> &reqs)
+{
+    DfxAppliance serial(cfg);
+    serial.loadWeights(weights);
+    std::vector<std::vector<int32_t>> expected;
+    for (const auto &r : reqs)
+        expected.push_back(serial.generate(r.prompt, r.nOut).tokens);
+    return expected;
 }
 
 }  // namespace
@@ -84,13 +125,7 @@ main()
     cfg.nThreads = 0;  // host hardware concurrency (bit-transparent)
 
     // Serial single-request reference: the determinism baseline.
-    std::vector<std::vector<int32_t>> expected;
-    {
-        DfxAppliance serial(cfg);
-        serial.loadWeights(weights);
-        for (const auto &r : reqs)
-            expected.push_back(serial.generate(r.prompt, r.nOut).tokens);
-    }
+    auto expected = serialReference(cfg, weights, reqs);
 
     std::vector<Sample> samples;
     Table t({"in-flight", "tok/s (modeled)", "mean lat (ms)",
@@ -138,6 +173,130 @@ main()
         }
     }
 
+    // --- Open-loop latency vs offered load ---------------------------
+    // Poisson arrivals on the simulated clock, one cluster, 4 KV
+    // contexts: light traffic sees pure service TTFT, loads past
+    // saturation (~225 req/s at this service rate) queue. One seed
+    // scales one arrival pattern across all loads, so the curve is a
+    // deterministic function of the model — check_bench.py gates it.
+    const size_t open_kv = 4;
+    WorkloadSpec open_spec;
+    open_spec.nRequests = n_requests;
+    open_spec.nIn = n_in;
+    open_spec.nOut = n_out;
+    open_spec.vocab = model.vocabSize;
+    open_spec.seed = 42;
+    const std::vector<double> offered_loads = {30.0, 120.0, 240.0,
+                                               480.0};
+
+    std::vector<LoadSample> load_samples;
+    {
+        // The serial reference runs one request at a time: give it a
+        // true single-context configuration, not the closed-loop
+        // sweep's leftover kvContexts.
+        DfxSystemConfig serial_cfg = cfg;
+        serial_cfg.kvContexts = 1;
+        auto open_expected = serialReference(
+            serial_cfg, weights,
+            poissonWorkload(open_spec, offered_loads[0]));
+        Table lt({"offered req/s", "ttft mean (ms)", "ttft p99 (ms)",
+                  "queue delay (ms)", "p99 lat (ms)"});
+        cfg.kvContexts = open_kv;
+        for (double rps : offered_loads) {
+            auto open_reqs = poissonWorkload(open_spec, rps);
+            DfxServer server(cfg, 1);
+            server.loadWeights(weights);
+            ServerStats stats = server.serve(open_reqs);
+            for (size_t i = 0; i < open_reqs.size(); ++i) {
+                if (stats.results[i].tokens != open_expected[i]) {
+                    std::fprintf(stderr,
+                                 "FATAL: request %zu tokens diverge "
+                                 "from serial run at %.0f req/s\n",
+                                 i, rps);
+                    return 1;
+                }
+            }
+            if (!std::isfinite(stats.ttftP99Seconds) ||
+                !std::isfinite(stats.p99LatencySeconds)) {
+                std::fprintf(stderr,
+                             "FATAL: non-finite tail latency at "
+                             "%.0f req/s\n",
+                             rps);
+                return 1;
+            }
+            load_samples.push_back({rps, stats.ttftMeanSeconds,
+                                    stats.ttftP99Seconds,
+                                    stats.queueDelayMeanSeconds,
+                                    stats.p99LatencySeconds,
+                                    stats.throughputTokensPerSec()});
+            const LoadSample &s = load_samples.back();
+            lt.addRow({fmt(s.offeredRps, 0), fmt(s.ttftMeanSec * 1e3, 2),
+                       fmt(s.ttftP99Sec * 1e3, 2),
+                       fmt(s.queueDelayMeanSec * 1e3, 2),
+                       fmt(s.p99LatencySec * 1e3, 2)});
+        }
+        std::printf("\nopen-loop Poisson arrivals, %zu KV contexts "
+                    "(tokens identical to serial at every load):\n%s\n",
+                    open_kv, lt.render().c_str());
+        for (size_t i = 1; i < load_samples.size(); ++i) {
+            if (load_samples[i].ttftP99Sec <
+                load_samples[i - 1].ttftP99Sec) {
+                std::fprintf(stderr,
+                             "FATAL: ttft p99 decreased with offered "
+                             "load: %.0f req/s %.4f < %.0f req/s %.4f\n",
+                             load_samples[i].offeredRps,
+                             load_samples[i].ttftP99Sec,
+                             load_samples[i - 1].offeredRps,
+                             load_samples[i - 1].ttftP99Sec);
+                return 1;
+            }
+        }
+    }
+
+    // --- Cross-cluster work stealing ---------------------------------
+    // Imbalanced pool on GPT-2 345M (timing model): the long requests
+    // all land on cluster 0's round-robin share, so under static
+    // placement cluster 1 idles while cluster 0 straggles.
+    double steal_static = 0.0, steal_on = 0.0;
+    size_t steals = 0;
+    {
+        DfxSystemConfig scfg;
+        scfg.model = GptConfig::gpt2_345M();
+        scfg.nCores = 4;
+        scfg.functional = false;
+        scfg.kvContexts = 1;
+        WorkloadSpec sspec;
+        sspec.nRequests = 8;
+        sspec.nIn = 32;
+        sspec.nOut = 16;
+        sspec.vocab = scfg.model.vocabSize;
+        sspec.seed = 5;
+        auto sreqs = imbalancedWorkload(sspec, 2, 8);  // longs: 128 out
+
+        DfxServer pinned(scfg, 2);
+        steal_static = pinned.serve(sreqs).makespanSeconds;
+
+        ServerOptions opts;
+        opts.workStealing = true;
+        DfxServer stealing(scfg, 2, opts);
+        ServerStats sstats = stealing.serve(sreqs);
+        steal_on = sstats.makespanSeconds;
+        steals = sstats.totalSteals;
+
+        std::printf("work stealing (345M, 2 clusters, imbalanced "
+                    "8x pool): makespan %.3fs static -> %.3fs with "
+                    "%zu steals (%.2fx)\n\n",
+                    steal_static, steal_on, steals,
+                    steal_static / steal_on);
+        if (steal_on >= steal_static) {
+            std::fprintf(stderr,
+                         "FATAL: work stealing did not improve the "
+                         "imbalanced makespan (%.4fs >= %.4fs)\n",
+                         steal_on, steal_static);
+            return 1;
+        }
+    }
+
     // Paper-scale sweep (timing-only, so it costs host milliseconds):
     // on GPT-2 345M the weight streams are the dominant per-step cost,
     // so batching amortizes a much larger share than on the petite
@@ -173,7 +332,7 @@ main()
                 return 1;
             }
         }
-        std::printf("\nGPT-2 345M on 4 cores (timing model), "
+        std::printf("GPT-2 345M on 4 cores (timing model), "
                     "8 requests of 32:64:\n%s\n",
                     pt.render().c_str());
     }
@@ -206,6 +365,33 @@ main()
                      i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"latency_vs_load\": {\"kv_contexts\": %zu, "
+                 "\"seed\": %llu, \"sweep\": [\n",
+                 open_kv,
+                 static_cast<unsigned long long>(open_spec.seed));
+    for (size_t i = 0; i < load_samples.size(); ++i) {
+        const LoadSample &s = load_samples[i];
+        std::fprintf(f,
+                     "    {\"offered_rps\": %.1f, "
+                     "\"ttft_mean_sec\": %.6f, "
+                     "\"ttft_p99_sec\": %.6f, "
+                     "\"queue_delay_mean_sec\": %.6f, "
+                     "\"p99_latency_sec\": %.6f, "
+                     "\"throughput_tok_per_sec\": %.4f}%s\n",
+                     s.offeredRps, s.ttftMeanSec, s.ttftP99Sec,
+                     s.queueDelayMeanSec, s.p99LatencySec,
+                     s.throughputTokPerSec,
+                     i + 1 < load_samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]},\n");
+    std::fprintf(f,
+                 "  \"work_stealing\": {\"model\": \"345M\", "
+                 "\"n_clusters\": 2, "
+                 "\"makespan_static_sec\": %.6f, "
+                 "\"makespan_steal_sec\": %.6f, "
+                 "\"steals\": %zu},\n",
+                 steal_static, steal_on, steals);
     std::fprintf(f, "  \"paper_scale\": {\"model\": \"345M\", "
                     "\"n_cores\": 4, \"workload\": {\"n_requests\": 8, "
                     "\"n_in\": 32, \"n_out\": 64}, \"sweep\": [\n");

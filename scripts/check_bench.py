@@ -5,7 +5,12 @@ Runs the host-perf benches (``bench_sim_speed``, ``bench_serving``) in
 the build directory, compares the fresh numbers against the committed
 ``BENCH_*.json`` baselines at the repo root, and fails on a
 steps-per-second (or tokens-per-second) regression beyond the
-threshold. Modeled serving throughput is deterministic, so any drop
+threshold. The serving record is also checked for a non-monotonic
+batching sweep, an open-loop TTFT regression (``latency_vs_load``:
+TTFT beyond (1+threshold) x baseline at any offered load, or a TTFT
+p99 curve that stopped being monotone in offered load), and a
+work-stealing makespan that no longer strictly beats static
+placement. Modeled serving metrics are deterministic, so any drop
 there is a real model/scheduler regression; host steps/sec vary with
 the machine, which is what the (generous) threshold absorbs.
 
@@ -62,6 +67,19 @@ def check_metric(name: str, base: float, fresh: float,
                         f"(baseline {base:.2f})")
 
 
+def check_metric_lower_better(name: str, base: float, fresh: float,
+                              threshold: float, failures: list) -> None:
+    """Latency-style metric: regression means the fresh number grew
+    past (1 + threshold) x baseline."""
+    ceiling = base * (1.0 + threshold)
+    verdict = "ok" if fresh <= ceiling else "REGRESSION"
+    print(f"  {name:40s} base {base:10.4f}  fresh {fresh:10.4f}  "
+          f"ceil {ceiling:10.4f}  {verdict}")
+    if fresh > ceiling:
+        failures.append(f"{name}: {fresh:.4f} > {ceiling:.4f} "
+                        f"(baseline {base:.4f})")
+
+
 def check_sim_speed(base: dict, fresh: dict, threshold: float,
                     failures: list) -> None:
     """Host steps/sec: machine-dependent, so CI passes a looser
@@ -100,6 +118,59 @@ def check_serving_sweep(label: str, base_sweep: list, fresh_sweep: list,
                             f"{in_flight} in-flight "
                             f"({tp:.1f} <= {prev_tp:.1f})")
         prev_tp = tp
+
+
+def check_latency_vs_load(base: dict, fresh: dict, threshold: float,
+                          failures: list) -> None:
+    """Open-loop serving gate: TTFT must not regress beyond the
+    threshold at any offered load, and the fresh TTFT p99 curve must
+    be monotone non-decreasing with offered load (the arrival pattern
+    is seed-fixed and rate-scaled, so heavier traffic can only queue
+    longer — a dip means the scheduler's clock accounting broke)."""
+    print("bench_serving latency_vs_load (open-loop TTFT):")
+    fresh_by_rps = {e["offered_rps"]: e for e in fresh["sweep"]}
+    for entry in base["sweep"]:
+        rps = entry["offered_rps"]
+        f = fresh_by_rps.get(rps)
+        if f is None:
+            failures.append(f"latency_vs_load: no fresh sample for "
+                            f"{rps} req/s")
+            continue
+        check_metric_lower_better(
+            f"ttft mean (s) @ {rps:g} req/s",
+            entry["ttft_mean_sec"], f["ttft_mean_sec"], threshold,
+            failures)
+        check_metric_lower_better(
+            f"ttft p99 (s) @ {rps:g} req/s",
+            entry["ttft_p99_sec"], f["ttft_p99_sec"], threshold,
+            failures)
+    prev_rps, prev_p99 = None, None
+    for e in sorted(fresh["sweep"], key=lambda e: e["offered_rps"]):
+        if prev_p99 is not None and e["ttft_p99_sec"] < prev_p99:
+            failures.append(
+                f"latency_vs_load: ttft p99 not monotone with offered "
+                f"load ({e['offered_rps']:g} req/s "
+                f"{e['ttft_p99_sec']:.4f} < {prev_rps:g} req/s "
+                f"{prev_p99:.4f})")
+        prev_rps, prev_p99 = e["offered_rps"], e["ttft_p99_sec"]
+
+
+def check_work_stealing(base: dict, fresh: dict, threshold: float,
+                        failures: list) -> None:
+    """Work stealing must strictly beat static placement on the
+    imbalanced scenario, and the stolen makespan must not regress."""
+    print("bench_serving work_stealing (imbalanced makespan):")
+    static_s = fresh["makespan_static_sec"]
+    steal_s = fresh["makespan_steal_sec"]
+    print(f"  static {static_s:.4f}s -> steal {steal_s:.4f}s "
+          f"({fresh['steals']} steals)")
+    if steal_s >= static_s:
+        failures.append(f"work_stealing: stealing did not improve the "
+                        f"imbalanced makespan ({steal_s:.4f}s >= "
+                        f"{static_s:.4f}s)")
+    check_metric_lower_better("steal makespan (s)",
+                              base["makespan_steal_sec"], steal_s,
+                              threshold, failures)
 
 
 def main() -> int:
@@ -156,6 +227,15 @@ def main() -> int:
         else:
             failures.append("serving: fresh JSON lacks the "
                             "'paper_scale' sweep the baseline has")
+    for section, checker in (("latency_vs_load", check_latency_vs_load),
+                             ("work_stealing", check_work_stealing)):
+        if section in base_serving:
+            if section in fresh_serving:
+                checker(base_serving[section], fresh_serving[section],
+                        args.threshold, failures)
+            else:
+                failures.append(f"serving: fresh JSON lacks the "
+                                f"'{section}' section the baseline has")
 
     if failures:
         print("\nPERF GATE FAILED:")

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation layer.
+
+Scans ``README.md``, ``ROADMAP.md`` and everything under ``docs/`` for
+markdown links and validates the ones CI can check offline:
+
+- relative file links must point at an existing file or directory
+  (resolved against the linking file's own directory);
+- ``#fragment`` anchors — bare or attached to a relative ``.md``
+  link — must match a heading in the target file (GitHub slug rules:
+  lowercase, spaces to dashes, punctuation stripped);
+- ``http(s)``/``mailto`` links are skipped (CI runs offline).
+
+Exit status is non-zero if any link is broken, listing every offender.
+
+Usage:
+  scripts/check_links.py [--root REPO_ROOT]
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Inline links: [text](target) — target may carry a #fragment and an
+# optional "title"; space-containing targets must be <>-wrapped (as
+# on GitHub). Images (![alt](target)) are matched too.
+LINK_RE = re.compile(
+    r"\[[^\]]*\]\((?:<([^>]+)>|([^)\s]+))(?:\s+\"[^\"]*\")?\)")
+# A link-ish construct whose target has unwrapped spaces: LINK_RE
+# cannot parse it, and silently skipping would hide a broken link.
+UNPARSEABLE_RE = re.compile(r"\[[^\]]*\]\((?!<)[^)]*\s[^)]*\)")
+# Fenced code blocks must not contribute false links.
+FENCE_RE = re.compile(r"^(```|~~~)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown emphasis/code markers and
+    punctuation, lowercase, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked text
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(md_path: Path) -> set:
+    slugs = set()
+    counts: dict = {}
+    in_fence = False
+    for line in md_path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def iter_links(md_path: Path, failures: list):
+    in_fence = False
+    for lineno, line in enumerate(
+            md_path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        stripped = LINK_RE.sub("", line)
+        m = UNPARSEABLE_RE.search(stripped)
+        if m:
+            failures.append(f"{md_path.relative_to(REPO_ROOT)}:"
+                            f"{lineno}: unparseable link target "
+                            f"'{m.group(0)}' (wrap space-containing "
+                            f"targets in <>)")
+        for m in LINK_RE.finditer(line):
+            yield lineno, m.group(1) or m.group(2)
+
+
+def check_file(md_path: Path, failures: list) -> int:
+    checked = 0
+    for lineno, target in iter_links(md_path, failures):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        checked += 1
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = (md_path.parent / path_part).resolve()
+            if not resolved.exists():
+                failures.append(f"{md_path.relative_to(REPO_ROOT)}:"
+                                f"{lineno}: broken link '{target}' "
+                                f"({resolved} does not exist)")
+                continue
+        else:
+            resolved = md_path
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors into non-markdown: not checkable
+            if fragment.lower() not in heading_slugs(resolved):
+                failures.append(f"{md_path.relative_to(REPO_ROOT)}:"
+                                f"{lineno}: anchor '#{fragment}' not "
+                                f"found in {resolved.name}")
+    return checked
+
+
+def main() -> int:
+    global REPO_ROOT
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=REPO_ROOT)
+    args = parser.parse_args()
+    REPO_ROOT = args.root.resolve()
+
+    targets = []
+    for name in ("README.md", "ROADMAP.md"):
+        p = REPO_ROOT / name
+        if p.exists():
+            targets.append(p)
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        targets.extend(sorted(docs.rglob("*.md")))
+    if not targets:
+        print("error: no markdown files found to check")
+        return 1
+
+    failures: list = []
+    total = 0
+    for md in targets:
+        n = check_file(md, failures)
+        total += n
+        print(f"  {md.relative_to(REPO_ROOT)}: {n} offline link(s) "
+              f"checked")
+    if failures:
+        print("\nBROKEN LINKS:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nlink check passed ({total} links over {len(targets)} "
+          f"files).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

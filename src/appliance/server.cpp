@@ -1,21 +1,60 @@
 /**
  * @file
- * Concurrent multi-cluster server implementation.
+ * Continuously-batched multi-cluster server implementation.
  *
- * One scheduler thread per cluster. Shared state (per-cluster FIFO
- * queues, simulated clocks, results, epoch counters) lives behind a
- * single mutex; the expensive part of a scheduling round — the
- * batched token step — runs unlocked, since each worker owns its
- * appliance exclusively.
+ * With work stealing enabled, one scheduler thread runs a
+ * deterministic discrete-event loop over the clusters: it repeatedly
+ * picks the cluster whose next round boundary is earliest in
+ * simulated time (ties broken by cluster index) and processes that
+ * boundary — admit arrived requests into free KV slots, steal from
+ * saturated clusters, run one batched token round, retire completed
+ * requests. With stealing off, boundaries on different clusters are
+ * causally independent, so each cluster gets its own scheduler
+ * thread processing only its own boundaries and clusters' rounds run
+ * host-parallel. Shared state (pending queues, in-flight sets,
+ * simulated clocks, results, epoch counters) lives behind a single
+ * mutex in both modes; the expensive part of a round — the batched
+ * token step — runs unlocked, since each scheduler thread owns its
+ * appliance(s) exclusively.
+ *
+ * Processing boundaries in simulated-time order is what makes
+ * admission and stealing decisions deterministic: a steal at
+ * simulated time t observes exactly the queue state every other
+ * cluster had produced by its boundaries at times <= t, regardless of
+ * host thread timing. One deliberate approximation: a cluster's
+ * retirements are applied when its round is processed (at the round's
+ * *start* time in the event order), so a thief whose boundary falls
+ * inside a victim's in-progress round sees the victim's
+ * post-retirement slot count slightly early and may decline a steal
+ * it could have made — under-stealing conservatively, never stealing
+ * a request whose home cluster had capacity.
  */
 #include "appliance/server.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace dfx {
 
-DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters)
+double
+interpolatedPercentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    q = std::min(1.0, std::max(0.0, q));
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    if (lo + 1 >= values.size())
+        return values.back();
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters,
+                     ServerOptions options)
+    : options_(options)
 {
     DFX_ASSERT(n_clusters >= 1, "server needs at least one cluster");
     DFX_ASSERT(config.kvContexts >= 1,
@@ -25,10 +64,16 @@ DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters)
     for (size_t i = 0; i < n_clusters; ++i)
         clusters_.push_back(std::make_unique<DfxAppliance>(config));
     pending_.resize(n_clusters);
+    inflight_.resize(n_clusters);
     simTime_.assign(n_clusters, 0.0);
-    workers_.reserve(n_clusters);
-    for (size_t i = 0; i < n_clusters; ++i)
-        workers_.emplace_back([this, i] { workerLoop(i); });
+    clusterStats_.assign(n_clusters, ClusterEpochStats{});
+    if (options_.workStealing) {
+        schedulers_.emplace_back([this] { schedulerLoop(); });
+    } else {
+        schedulers_.reserve(n_clusters);
+        for (size_t c = 0; c < n_clusters; ++c)
+            schedulers_.emplace_back([this, c] { workerLoop(c); });
+    }
 }
 
 DfxServer::~DfxServer()
@@ -38,8 +83,8 @@ DfxServer::~DfxServer()
         stop_ = true;
     }
     workCv_.notify_all();
-    for (auto &w : workers_)
-        w.join();
+    for (std::thread &t : schedulers_)
+        t.join();
 }
 
 void
@@ -54,18 +99,30 @@ DfxServer::submitLocked(ServerRequest request)
 {
     DFX_ASSERT(!request.prompt.empty(), "empty prompt");
     DFX_ASSERT(request.nOut >= 1, "need at least one output token");
+    DFX_ASSERT(std::isfinite(request.arrivalSeconds) &&
+                   request.arrivalSeconds >= 0.0,
+               "arrival timestamp must be finite and non-negative");
     const size_t max_seq = clusters_[0]->config().model.maxSeq;
     DFX_ASSERT(request.prompt.size() + request.nOut <= max_seq,
                "request %zu+%zu exceeds max context %zu",
                request.prompt.size(), request.nOut, max_seq);
     const uint64_t id = submitted_++;
-    // Deterministic round-robin dispatch: per-request tokens and
-    // per-cluster schedules are reproducible regardless of
-    // host-thread interleaving.
+    // Deterministic round-robin home assignment; stealing (when
+    // enabled) may relocate the request later, at a deterministic
+    // simulated-time boundary.
     InFlight f;
     f.id = id;
     f.request = std::move(request);
-    pending_[id % clusters_.size()].push_back(std::move(f));
+    f.home = id % clusters_.size();
+    // Pending queues are kept sorted by (arrival, id): generators
+    // emit non-decreasing arrivals, but an explicit trace may not.
+    auto &queue = pending_[f.home];
+    auto pos = std::upper_bound(
+        queue.begin(), queue.end(), f,
+        [](const InFlight &a, const InFlight &b) {
+            return a.request.arrivalSeconds < b.request.arrivalSeconds;
+        });
+    queue.insert(pos, std::move(f));
     return id;
 }
 
@@ -81,80 +138,207 @@ DfxServer::submit(ServerRequest request)
     return id;
 }
 
+size_t
+DfxServer::arrivedWaitingLocked(size_t c, double t) const
+{
+    size_t n = 0;
+    for (const InFlight &f : pending_[c]) {
+        if (f.request.arrivalSeconds > t)
+            break;  // sorted by arrival
+        ++n;
+    }
+    return n;
+}
+
+double
+DfxServer::nextEventTimeLocked(size_t c) const
+{
+    // A cluster with requests in flight has a round to run right now.
+    if (!inflight_[c].empty())
+        return simTime_[c];
+    double t = std::numeric_limits<double>::infinity();
+    // Idle cluster: its next event is the earliest of its own
+    // arrivals (the clock jumps forward to the arrival) ...
+    if (!pending_[c].empty())
+        t = std::max(simTime_[c],
+                     pending_[c].front().request.arrivalSeconds);
+    // ... or, with stealing on, the earliest arrival waiting behind a
+    // saturated cluster. (Only saturated victims are stealable: if
+    // the home cluster has a free slot it admits the request itself
+    // at the same instant, and home placement wins.)
+    if (options_.workStealing) {
+        for (size_t d = 0; d < clusters_.size(); ++d) {
+            if (d == c || inflight_[d].size() < maxInFlight_ ||
+                pending_[d].empty())
+                continue;
+            t = std::min(
+                t, std::max(simTime_[c],
+                            pending_[d].front().request.arrivalSeconds));
+        }
+    }
+    return t;
+}
+
+void
+DfxServer::admitLocked(size_t c, InFlight f)
+{
+    // Admission pays the host->device PCIe upload (input ids + system
+    // configuration) on the cluster's simulated clock and takes
+    // ownership of a KV context slot.
+    f.admitSim = simTime_[c];
+    simTime_[c] +=
+        clusters_[c]->pcieSeconds(f.request.prompt.size() * 4 + 64);
+    f.ctx = clusters_[c]->acquireContext();
+    inflight_[c].push_back(std::move(f));
+}
+
+void
+DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
+                           double t)
+{
+    DfxAppliance &appliance = *clusters_[c];
+    simTime_[c] = std::max(simTime_[c], t);
+
+    // Admission: claim arrived requests from the home queue up to the
+    // KV residency limit, oldest first — the moment a slot frees, the
+    // next round picks up the waiter (continuous batching, no epoch
+    // barrier).
+    while (inflight_[c].size() < maxInFlight_ && !pending_[c].empty() &&
+           pending_[c].front().request.arrivalSeconds <= simTime_[c]) {
+        InFlight f = std::move(pending_[c].front());
+        pending_[c].pop_front();
+        admitLocked(c, std::move(f));
+    }
+
+    // Work stealing: fill remaining slots with the oldest waiting
+    // request of the most-loaded saturated cluster.
+    if (options_.workStealing) {
+        while (inflight_[c].size() < maxInFlight_) {
+            size_t victim = clusters_.size();
+            size_t depth = 0;
+            for (size_t d = 0; d < clusters_.size(); ++d) {
+                if (d == c || inflight_[d].size() < maxInFlight_)
+                    continue;
+                const size_t waiting =
+                    arrivedWaitingLocked(d, simTime_[c]);
+                if (waiting > depth) {
+                    depth = waiting;
+                    victim = d;
+                }
+            }
+            if (victim == clusters_.size())
+                break;
+            InFlight f = std::move(pending_[victim].front());
+            pending_[victim].pop_front();
+            f.stolen = true;
+            ++clusterStats_[c].requestsStolen;
+            admitLocked(c, std::move(f));
+        }
+    }
+
+    if (inflight_[c].empty())
+        return;
+
+    // One scheduling round: every in-flight request advances one
+    // token step (prompt token while summarizing, fed-back argmax
+    // while generating — exactly DfxAppliance::generate's order).
+    std::vector<ContextStep> round;
+    round.reserve(inflight_[c].size());
+    for (InFlight &f : inflight_[c]) {
+        int32_t tok;
+        if (f.fed < f.request.prompt.size()) {
+            tok = f.request.prompt[f.fed];
+        } else {
+            tok = f.next >= 0 ? f.next : 0;
+            f.out.push_back(tok);
+        }
+        round.push_back({f.ctx, tok});
+    }
+    lock.unlock();
+    TokenStats batch;
+    std::vector<int32_t> next = appliance.stepBatch(round, &batch);
+    lock.lock();
+
+    simTime_[c] += batch.seconds;
+    clusterStats_[c].busySeconds += batch.seconds;
+    const double round_end = simTime_[c];
+
+    // Retirement: completed requests release their KV context
+    // immediately (the slot is re-acquired by the next admission),
+    // pay the PCIe download and record their result.
+    size_t keep = 0;
+    for (size_t i = 0; i < inflight_[c].size(); ++i) {
+        InFlight &f = inflight_[c][i];
+        if (f.fed < f.request.prompt.size())
+            ++f.fed;
+        f.next = next[i];
+        // The round that consumed the final prompt token produced the
+        // request's first generated token (its argmax).
+        if (f.fed == f.request.prompt.size() && f.firstTokenSim < 0.0)
+            f.firstTokenSim = round_end;
+        if (f.out.size() >= f.request.nOut) {
+            simTime_[c] += appliance.pcieSeconds(f.request.nOut * 4);
+            appliance.releaseContext(f.ctx);
+            RequestResult r;
+            r.id = f.id;
+            r.cluster = c;
+            r.stolen = f.stolen;
+            r.tokens = std::move(f.out);
+            r.arrivalSeconds = f.request.arrivalSeconds;
+            r.admitSimSeconds = f.admitSim;
+            r.firstTokenSimSeconds = f.firstTokenSim;
+            r.finishSimSeconds = simTime_[c];
+            results_.push_back(std::move(r));
+            ++clusterStats_[c].requestsServed;
+            ++completed_;
+        } else {
+            if (keep != i)
+                inflight_[c][keep] = std::move(f);
+            ++keep;
+        }
+    }
+    inflight_[c].resize(keep);
+}
+
 void
 DfxServer::workerLoop(size_t c)
 {
-    DfxAppliance &appliance = *clusters_[c];
-    std::vector<InFlight> inflight;  // kept in admission (FIFO) order
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        // Admission: claim queued requests up to the KV residency
-        // limit, FIFO. Each admitted request pays its PCIe upload and
-        // takes ownership of a KV context.
-        while (inflight.size() < maxInFlight_ && !pending_[c].empty()) {
-            InFlight f = std::move(pending_[c].front());
-            pending_[c].pop_front();
-            f.admitSim = simTime_[c];
-            simTime_[c] += appliance.pcieSeconds(
-                f.request.prompt.size() * 4 + 64);
-            f.ctx = appliance.acquireContext();
-            inflight.push_back(std::move(f));
-        }
-        if (inflight.empty()) {
+        const double t = nextEventTimeLocked(c);
+        if (t == std::numeric_limits<double>::infinity()) {
             if (stop_)
                 return;
             workCv_.wait(lock);
             continue;
         }
-        lock.unlock();
+        runClusterRound(lock, c, t);
+        if (completed_ == submitted_)
+            idleCv_.notify_all();
+    }
+}
 
-        // One scheduling round: every in-flight request advances one
-        // token step (prompt token while summarizing, fed-back argmax
-        // while generating — exactly DfxAppliance::generate's order).
-        std::vector<ContextStep> round;
-        round.reserve(inflight.size());
-        for (InFlight &f : inflight) {
-            int32_t tok;
-            if (f.fed < f.request.prompt.size()) {
-                tok = f.request.prompt[f.fed];
-            } else {
-                tok = f.next >= 0 ? f.next : 0;
-                f.out.push_back(tok);
-            }
-            round.push_back({f.ctx, tok});
-        }
-        TokenStats batch;
-        std::vector<int32_t> next = appliance.stepBatch(round, &batch);
-
-        lock.lock();
-        simTime_[c] += batch.seconds;
-        // Retirement: completed requests release their KV context,
-        // pay the PCIe download and record their result.
-        size_t keep = 0;
-        for (size_t i = 0; i < inflight.size(); ++i) {
-            InFlight &f = inflight[i];
-            if (f.fed < f.request.prompt.size())
-                ++f.fed;
-            f.next = next[i];
-            if (f.out.size() >= f.request.nOut) {
-                simTime_[c] +=
-                    appliance.pcieSeconds(f.request.nOut * 4);
-                appliance.releaseContext(f.ctx);
-                RequestResult r;
-                r.id = f.id;
-                r.cluster = c;
-                r.tokens = std::move(f.out);
-                r.admitSimSeconds = f.admitSim;
-                r.finishSimSeconds = simTime_[c];
-                results_.push_back(std::move(r));
-                ++completed_;
-            } else {
-                if (keep != i)
-                    inflight[keep] = std::move(f);
-                ++keep;
+void
+DfxServer::schedulerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        size_t best = clusters_.size();
+        double best_t = std::numeric_limits<double>::infinity();
+        for (size_t c = 0; c < clusters_.size(); ++c) {
+            const double t = nextEventTimeLocked(c);
+            if (t < best_t) {
+                best_t = t;
+                best = c;
             }
         }
-        inflight.resize(keep);
+        if (best == clusters_.size()) {
+            if (stop_)
+                return;
+            workCv_.wait(lock);
+            continue;
+        }
+        runClusterRound(lock, best, best_t);
         if (completed_ == submitted_)
             idleCv_.notify_all();
     }
@@ -172,9 +356,16 @@ DfxServer::drain()
                   return a.id < b.id;
               });
     stats.requests = results_.size();
+    std::vector<double> lat, ttft, qdelay;
+    lat.reserve(results_.size());
+    ttft.reserve(results_.size());
+    qdelay.reserve(results_.size());
     for (const RequestResult &r : results_) {
         stats.totalOutputTokens += r.tokens.size();
         stats.totalLatencySeconds += r.latencySeconds();
+        lat.push_back(r.latencySeconds());
+        ttft.push_back(r.ttftSeconds());
+        qdelay.push_back(r.queueDelaySeconds());
     }
     // An empty epoch has no makespan: don't report whatever the
     // simulated clocks happen to hold (admission bumps them before
@@ -184,15 +375,22 @@ DfxServer::drain()
             ? 0.0
             : *std::max_element(simTime_.begin(), simTime_.end());
     if (!results_.empty()) {
-        std::vector<double> lat;
-        lat.reserve(results_.size());
-        for (const RequestResult &r : results_)
-            lat.push_back(r.latencySeconds());
-        std::sort(lat.begin(), lat.end());
-        const size_t n = lat.size();
-        const size_t idx =
-            (99 * n + 99) / 100 - 1;  // ceil(0.99 n) - 1
-        stats.p99LatencySeconds = lat[idx];
+        const double n = static_cast<double>(results_.size());
+        stats.p99LatencySeconds = interpolatedPercentile(lat, 0.99);
+        stats.ttftP99Seconds = interpolatedPercentile(ttft, 0.99);
+        stats.queueDelayP99Seconds =
+            interpolatedPercentile(qdelay, 0.99);
+        for (size_t i = 0; i < results_.size(); ++i) {
+            stats.ttftMeanSeconds += ttft[i] / n;
+            stats.queueDelayMeanSeconds += qdelay[i] / n;
+        }
+    }
+    stats.clusters = clusterStats_;
+    for (ClusterEpochStats &cs : stats.clusters) {
+        cs.utilization = stats.makespanSeconds > 0.0
+                             ? cs.busySeconds / stats.makespanSeconds
+                             : 0.0;
+        stats.totalSteals += cs.requestsStolen;
     }
     stats.results = std::move(results_);
 
@@ -201,16 +399,17 @@ DfxServer::drain()
     submitted_ = 0;
     completed_ = 0;
     std::fill(simTime_.begin(), simTime_.end(), 0.0);
+    clusterStats_.assign(clusters_.size(), ClusterEpochStats{});
     return stats;
 }
 
 ServerStats
 DfxServer::serve(const std::vector<ServerRequest> &requests)
 {
-    // Enqueue the whole batch before waking any scheduler, so round
+    // Enqueue the whole batch before waking the scheduler, so round
     // composition (and therefore the batch-amortized timing) does not
-    // depend on how submission interleaves with the first rounds —
-    // serve() sweeps are bit-reproducible.
+    // depend on how host-time submission interleaves with the first
+    // rounds — serve() sweeps are bit-reproducible.
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (const ServerRequest &r : requests)

@@ -4,27 +4,64 @@
  *
  * The paper's appliance computes "an independent workload" per
  * cluster: one stream at a time. This server turns that into a
- * concurrent serving system: a thread-safe admission queue
- * (`submit()`/`drain()`), a scheduler thread per cluster that
- * interleaves token steps across its in-flight requests between ring
- * syncs, and multi-context KV management — each admitted request owns
- * an isolated KV region in off-chip memory (allocate at admission,
- * step while resident, retire at completion), so contexts persist
- * across interleaved steps.
+ * continuously-batched serving system driven by a simulated clock:
+ *
+ *  - **Admission queue.** `submit()` is thread-safe and assigns each
+ *    request a home cluster (round-robin by submission id). A request
+ *    carries an *arrival timestamp* in simulated seconds
+ *    (`ServerRequest::arrivalSeconds`); it becomes admissible only
+ *    once its home cluster's simulated clock reaches that time, so
+ *    open-loop traffic (Poisson/trace generators in workload.hpp) can
+ *    be replayed and time-to-first-token / queueing delay measured.
+ *
+ *  - **Continuous (iteration-level) batching.** A cluster admits a
+ *    waiting request into the very next token round after a KV
+ *    context slot frees — there is no epoch barrier. Completed
+ *    requests retire at the end of the round that produced their last
+ *    token, release their slot immediately, and the slot is
+ *    re-acquired mid-stream by the oldest admissible waiter. An idle
+ *    cluster jumps its clock forward to the next arrival.
+ *
+ *  - **Cross-cluster work stealing** (opt-in, `workStealing` in
+ *    ServerOptions). At every round boundary a cluster first admits
+ *    from its own queue; if KV slots remain free and another cluster
+ *    is *saturated* (every slot busy) with arrived requests still
+ *    waiting, the under-utilized cluster steals the oldest waiting
+ *    request from the most-loaded victim. Tokens are bit-identical
+ *    regardless of placement — every cluster holds the same weights
+ *    and a request's KV context is private — so stealing changes
+ *    *when and where* a request runs, never *what* it generates.
+ *
+ * Scheduling is deterministic either way, by two strategies:
+ *
+ *  - **Stealing off (default):** clusters share no schedule-relevant
+ *    state, so each cluster gets its own scheduler thread processing
+ *    its own round boundaries — per-cluster schedules are independent
+ *    deterministic functions of the submitted workload, and clusters'
+ *    token rounds run host-parallel (the PR-2 execution model).
+ *  - **Stealing on:** steal decisions read other clusters' queues, so
+ *    one scheduler thread processes *all* clusters' round boundaries
+ *    in global simulated-time order (ties broken by cluster index) —
+ *    a discrete-event simulation. Placement, latencies and clocks
+ *    are reproducible run to run regardless of host scheduling, at
+ *    the cost of serializing rounds across clusters on the host.
+ *
+ * In both modes the expensive part of a round (the batched token
+ * step) executes with the server mutex released, so `submit()` and
+ * `drain()` never block behind compute, and host parallelism inside
+ * a round comes from the cluster (`DfxSystemConfig::nThreads` steps
+ * cores concurrently between ring syncs).
  *
  * Batching model: concurrent steps on one cluster share the weight
  * streams (the dominant HBM traffic of a decode step is the same for
  * every resident request), so a round of B interleaved steps costs
  * the first step in full and only the non-amortizable remainder
  * (MAC-array passes, per-request K/V streams, ring syncs) for each
- * batch-mate. Per-request tokens are bit-identical to serial
- * execution: functionally each step runs exactly as it would alone,
- * against its private KV context.
- *
- * Dispatch is deterministic: requests go to clusters round-robin by
- * submission id, and each cluster admits its queue FIFO — so the
- * simulated clocks, latencies and tokens are reproducible run to run
- * regardless of host-thread interleaving.
+ * batch-mate, floored by the per-channel HBM occupancy roofline
+ * (see DfxCluster::stepTokenBatch / combineBatchRound). Per-request
+ * tokens are bit-identical to serial execution: functionally each
+ * step runs exactly as it would alone, against its private KV
+ * context.
  */
 #ifndef DFX_APPLIANCE_SERVER_HPP
 #define DFX_APPLIANCE_SERVER_HPP
@@ -40,11 +77,19 @@
 
 namespace dfx {
 
-/** One queued text-generation request. */
+/**
+ * One queued text-generation request. `arrivalSeconds` places the
+ * request on the epoch's simulated timeline (0 = start of the drain
+ * epoch): it cannot be admitted before that simulated instant, and
+ * queueing delay / TTFT are measured from it. The default of 0.0
+ * reproduces closed-loop "pool" serving where every request is
+ * already waiting when the epoch starts.
+ */
 struct ServerRequest
 {
     std::vector<int32_t> prompt;
     size_t nOut = 0;
+    double arrivalSeconds = 0.0;  ///< simulated arrival timestamp
 };
 
 /** Outcome of one served request. */
@@ -52,10 +97,16 @@ struct RequestResult
 {
     uint64_t id = 0;          ///< submission order (0-based per epoch)
     size_t cluster = 0;       ///< cluster that served the request
+    bool stolen = false;      ///< served away from its home cluster
     std::vector<int32_t> tokens;  ///< generated ids (functional mode)
+    /** Simulated arrival timestamp (copied from the request). */
+    double arrivalSeconds = 0.0;
     /** Cluster-simulated time when the request was admitted (its PCIe
-     *  upload began); includes time spent waiting in the queue. */
+     *  upload began); `admit - arrival` is the queueing delay. */
     double admitSimSeconds = 0.0;
+    /** Cluster-simulated time when the first generated token existed
+     *  (end of the round that consumed the final prompt token). */
+    double firstTokenSimSeconds = 0.0;
     /** Cluster-simulated time when the last token left over PCIe. */
     double finishSimSeconds = 0.0;
 
@@ -64,7 +115,41 @@ struct RequestResult
     {
         return finishSimSeconds - admitSimSeconds;
     }
+
+    /** Arrival-to-admission wait in the queue. */
+    double queueDelaySeconds() const
+    {
+        return admitSimSeconds - arrivalSeconds;
+    }
+
+    /** Time to first token: arrival to first generated token (queue
+     *  wait + upload + prefill). */
+    double ttftSeconds() const
+    {
+        return firstTokenSimSeconds - arrivalSeconds;
+    }
 };
+
+/** Per-cluster counters for one drain epoch. */
+struct ClusterEpochStats
+{
+    size_t requestsServed = 0;
+    size_t requestsStolen = 0;  ///< served here, homed elsewhere
+    /** Simulated seconds this cluster spent inside token rounds. */
+    double busySeconds = 0.0;
+    /** busySeconds / epoch makespan (0 for an empty epoch). */
+    double utilization = 0.0;
+};
+
+/**
+ * Linearly-interpolated percentile of a sample (numpy's "linear"
+ * method): rank q*(n-1) interpolated between the two neighbouring
+ * order statistics. Unlike index-clamping, the result moves
+ * continuously with the sample values, so p99 is stable for small
+ * request counts (n=3 does not silently degenerate to the maximum).
+ * `values` need not be sorted; returns 0.0 for an empty sample.
+ */
+double interpolatedPercentile(std::vector<double> values, double q);
 
 /** Result of serving a batch of requests (one drain epoch). */
 struct ServerStats
@@ -75,8 +160,19 @@ struct ServerStats
     double makespanSeconds = 0.0;
     /** Sum of individual request service latencies. */
     double totalLatencySeconds = 0.0;
-    /** 99th-percentile service latency across the epoch's requests. */
+    /** 99th-percentile service latency across the epoch's requests
+     *  (interpolated, see interpolatedPercentile). */
     double p99LatencySeconds = 0.0;
+    /** Time-to-first-token (arrival -> first generated token). */
+    double ttftMeanSeconds = 0.0;
+    double ttftP99Seconds = 0.0;
+    /** Arrival-to-admission queueing delay. */
+    double queueDelayMeanSeconds = 0.0;
+    double queueDelayP99Seconds = 0.0;
+    /** Requests served on a cluster other than their home cluster. */
+    size_t totalSteals = 0;
+    /** Per-cluster utilization / steal counters. */
+    std::vector<ClusterEpochStats> clusters;
     /** Per-request outcomes, ordered by submission id. */
     std::vector<RequestResult> results;
 
@@ -99,10 +195,21 @@ struct ServerStats
     }
 };
 
+/** Serving policy knobs (beyond the per-cluster DfxSystemConfig). */
+struct ServerOptions
+{
+    /**
+     * Idle-capacity clusters steal the oldest arrived-and-waiting
+     * request from the most-loaded saturated cluster. Off by default:
+     * static round-robin placement, the PR-2 behavior.
+     */
+    bool workStealing = false;
+};
+
 /**
- * A DFX server appliance: one or more independent clusters, each
- * driven by its own scheduler thread that serves up to
- * `config.kvContexts` requests concurrently.
+ * A DFX server appliance: one or more independent clusters serving a
+ * shared request stream, each holding up to `config.kvContexts`
+ * requests in flight concurrently.
  */
 class DfxServer
 {
@@ -111,8 +218,10 @@ class DfxServer
      * @param config per-cluster configuration (model, core count,
      *        kvContexts = max in-flight requests per cluster, ...)
      * @param n_clusters independent FPGA clusters in the chassis
+     * @param options serving policy (work stealing, ...)
      */
-    DfxServer(const DfxSystemConfig &config, size_t n_clusters);
+    DfxServer(const DfxSystemConfig &config, size_t n_clusters,
+              ServerOptions options = {});
     ~DfxServer();
 
     DfxServer(const DfxServer &) = delete;
@@ -127,15 +236,17 @@ class DfxServer
      * immediately. Returns the request id — its index into
      * `ServerStats::results` of the enclosing drain epoch. Tokens are
      * always deterministic, but the timing of incrementally-submitted
-     * requests depends on how arrival interleaves with the running
-     * rounds; use serve() for bit-reproducible sweeps.
+     * requests depends on how host-time submission interleaves with
+     * the running rounds; use serve() (or submit everything, then
+     * drain()) for bit-reproducible sweeps.
      */
     uint64_t submit(ServerRequest request);
 
     /**
      * Blocks until every submitted request has completed, returns the
      * epoch's statistics and resets the epoch (ids and simulated
-     * clocks start over).
+     * clocks start over at 0, so the next epoch's arrival timestamps
+     * are again relative to 0).
      */
     ServerStats drain();
 
@@ -146,39 +257,71 @@ class DfxServer
     DfxAppliance &cluster(size_t i) { return *clusters_[i]; }
     /** Requests a cluster's scheduler keeps in flight concurrently. */
     size_t maxInFlight() const { return maxInFlight_; }
+    const ServerOptions &options() const { return options_; }
 
   private:
     /** Enqueue under mutex_; caller notifies workCv_. */
     uint64_t submitLocked(ServerRequest request);
 
-    /** A request admitted onto a cluster, mid-generation. */
+    /** A request admitted onto a cluster, mid-generation — or still
+     *  waiting in a pending queue (then only id/request/arrival/home
+     *  are meaningful). */
     struct InFlight
     {
         uint64_t id = 0;
         ServerRequest request;
+        size_t home = 0;      ///< round-robin home cluster
+        bool stolen = false;  ///< admitted away from `home`
         size_t ctx = 0;       ///< KV context owned by this request
         size_t fed = 0;       ///< prompt tokens consumed so far
         int32_t next = -1;    ///< last argmax (fed back once prompt ends)
         std::vector<int32_t> out;  ///< generated ids so far
         double admitSim = 0.0;
+        double firstTokenSim = -1.0;  ///< <0 while still prefilling
     };
 
+    /** Stealing mode: deterministic simulated-time event loop over
+     *  all clusters (see file header). */
+    void schedulerLoop();
+    /** Static mode: per-cluster scheduler loop — cluster `c`'s events
+     *  only, so independent clusters run host-parallel. */
     void workerLoop(size_t c);
+    /** Earliest simulated time cluster `c` can make a scheduling
+     *  decision (round boundary / admission / steal); +inf if it has
+     *  nothing to do. Call with mutex_ held. */
+    double nextEventTimeLocked(size_t c) const;
+    /** Process cluster `c`'s round boundary at simulated time `t`:
+     *  admit, steal, run one batched round, retire. Drops the lock
+     *  around the batched step. */
+    void runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
+                         double t);
+    /** Count of cluster `c`'s pending requests with arrival <= t. */
+    size_t arrivedWaitingLocked(size_t c, double t) const;
+    /** Move `f` into cluster `c`'s in-flight set at the current clock
+     *  (charges the PCIe upload, acquires a KV slot). */
+    void admitLocked(size_t c, InFlight f);
 
     std::vector<std::unique_ptr<DfxAppliance>> clusters_;
     size_t maxInFlight_ = 1;
+    ServerOptions options_;
 
     std::mutex mutex_;
-    std::condition_variable workCv_;  ///< workers: new work or stop
+    std::condition_variable workCv_;  ///< schedulers: new work or stop
     std::condition_variable idleCv_;  ///< drain: epoch complete
-    std::vector<std::deque<InFlight>> pending_;  ///< per-cluster FIFO
+    /** Per-cluster pending queues, sorted by (arrival, id). */
+    std::vector<std::deque<InFlight>> pending_;
+    /** Per-cluster in-flight sets, in admission order. */
+    std::vector<std::vector<InFlight>> inflight_;
     std::vector<double> simTime_;     ///< per-cluster simulated clock
+    std::vector<ClusterEpochStats> clusterStats_;
     std::vector<RequestResult> results_;
     uint64_t submitted_ = 0;
     uint64_t completed_ = 0;
     bool stop_ = false;
 
-    std::vector<std::thread> workers_;
+    /** One global DES thread (stealing) or one thread per cluster
+     *  (static placement). */
+    std::vector<std::thread> schedulers_;
 };
 
 }  // namespace dfx

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Serving workload generator implementations.
+ */
+#include "appliance/workload.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+namespace dfx {
+
+namespace {
+
+/** Deterministic prompts: `spec.nRequests` requests of `spec.nIn`
+ *  uniform ids below `spec.vocab`, no arrival times yet. */
+std::vector<ServerRequest>
+basePrompts(const WorkloadSpec &spec, Rng &rng, size_t n_requests)
+{
+    DFX_ASSERT(spec.nIn >= 1, "workload needs at least one prompt token");
+    DFX_ASSERT(spec.nOut >= 1,
+               "workload needs at least one output token");
+    DFX_ASSERT(spec.vocab >= 1, "workload needs a non-empty vocabulary");
+    std::vector<ServerRequest> reqs;
+    reqs.reserve(n_requests);
+    for (size_t i = 0; i < n_requests; ++i) {
+        ServerRequest r;
+        r.prompt.reserve(spec.nIn);
+        for (size_t j = 0; j < spec.nIn; ++j)
+            r.prompt.push_back(
+                static_cast<int32_t>(rng.below(spec.vocab)));
+        r.nOut = spec.nOut;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+}  // namespace
+
+std::vector<ServerRequest>
+poissonWorkload(const WorkloadSpec &spec, double offered_rps)
+{
+    DFX_ASSERT(offered_rps > 0.0, "offered load must be positive");
+    Rng rng(spec.seed);
+    std::vector<ServerRequest> reqs =
+        basePrompts(spec, rng, spec.nRequests);
+    // Exponential gaps from inverse-transform sampling. The uniform
+    // draws happen after the prompt draws, in request order, so the
+    // gap sequence is a pure function of the seed. Accumulate at unit
+    // rate and divide each arrival once, so arrival_i(rate) ==
+    // arrival_i(1.0) / rate holds *exactly* (bit-for-bit), not just
+    // up to summation rounding — load sweeps rescale one pattern.
+    double t = 0.0;
+    for (ServerRequest &r : reqs) {
+        const double u = rng.uniform();  // in [0, 1): log(1-u) is safe
+        t -= std::log(1.0 - u);
+        r.arrivalSeconds = t / offered_rps;
+    }
+    return reqs;
+}
+
+std::vector<ServerRequest>
+traceWorkload(const WorkloadSpec &spec,
+              const std::vector<double> &arrival_seconds)
+{
+    Rng rng(spec.seed);
+    std::vector<ServerRequest> reqs =
+        basePrompts(spec, rng, arrival_seconds.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        DFX_ASSERT(std::isfinite(arrival_seconds[i]) &&
+                       arrival_seconds[i] >= 0.0,
+                   "trace arrival %zu must be finite and non-negative",
+                   i);
+        reqs[i].arrivalSeconds = arrival_seconds[i];
+    }
+    return reqs;
+}
+
+std::vector<ServerRequest>
+batchWorkload(const WorkloadSpec &spec)
+{
+    Rng rng(spec.seed);
+    return basePrompts(spec, rng, spec.nRequests);
+}
+
+std::vector<ServerRequest>
+imbalancedWorkload(const WorkloadSpec &spec, size_t n_clusters,
+                   size_t long_factor)
+{
+    DFX_ASSERT(n_clusters >= 1, "need at least one cluster");
+    DFX_ASSERT(long_factor >= 2,
+               "long requests must be at least 2x the short ones");
+    Rng rng(spec.seed);
+    std::vector<ServerRequest> reqs =
+        basePrompts(spec, rng, spec.nRequests);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        if (i % n_clusters == 0)
+            reqs[i].nOut = spec.nOut * long_factor;
+    }
+    return reqs;
+}
+
+}  // namespace dfx

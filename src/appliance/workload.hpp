@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Serving workload generators: synthetic request streams with
+ * simulated arrival timestamps for the open-loop serving benchmarks
+ * and tests.
+ *
+ * Everything here is deterministic: prompts and arrival gaps are
+ * drawn from the repo's portable PRNG (`dfx::Rng`), so the same
+ * `WorkloadSpec` always produces bit-identical requests on every
+ * platform. The Poisson generator additionally draws its exponential
+ * inter-arrival gaps from the same uniform sequence at every offered
+ * load, so sweeping the rate rescales one fixed arrival pattern —
+ * latency-vs-load curves compare the *same* traffic at different
+ * intensities instead of resampling noise per point.
+ */
+#ifndef DFX_APPLIANCE_WORKLOAD_HPP
+#define DFX_APPLIANCE_WORKLOAD_HPP
+
+#include <vector>
+
+#include "appliance/server.hpp"
+
+namespace dfx {
+
+/** Shape and seed of a synthetic serving workload. */
+struct WorkloadSpec
+{
+    size_t nRequests = 8;
+    size_t nIn = 8;    ///< prompt tokens per request
+    size_t nOut = 16;  ///< output tokens per request
+    size_t vocab = 50257;  ///< prompt ids drawn uniformly below this
+    uint64_t seed = 1;     ///< same seed -> bit-identical workload
+};
+
+/**
+ * Open-loop Poisson traffic: exponential inter-arrival gaps at
+ * `offered_rps` requests per simulated second (the first request
+ * arrives after the first gap). Arrivals are non-decreasing. With a
+ * fixed seed the underlying uniform draws are fixed, so
+ * `arrival_i(rate) == arrival_i(1.0) / rate` exactly.
+ */
+std::vector<ServerRequest> poissonWorkload(const WorkloadSpec &spec,
+                                           double offered_rps);
+
+/**
+ * Workload replaying an explicit arrival-time trace: one request per
+ * entry of `arrival_seconds` (overriding `spec.nRequests`). Arrivals
+ * may be in any order; each must be finite and non-negative.
+ */
+std::vector<ServerRequest> traceWorkload(
+    const WorkloadSpec &spec,
+    const std::vector<double> &arrival_seconds);
+
+/**
+ * Closed-loop pool: every request arrives at t=0 (the pre-arrival
+ * serving model — PR-2-style batch drains).
+ */
+std::vector<ServerRequest> batchWorkload(const WorkloadSpec &spec);
+
+/**
+ * Imbalanced pool for the work-stealing scenario: all requests
+ * arrive at t=0, but requests whose submission id lands on cluster 0
+ * of an `n_clusters`-wide round-robin (id % n_clusters == 0) ask for
+ * `long_factor * spec.nOut` output tokens while the rest ask for
+ * `spec.nOut`. Under static placement cluster 0 becomes the
+ * straggler while the other clusters sit idle — the gap work
+ * stealing exists to close.
+ */
+std::vector<ServerRequest> imbalancedWorkload(const WorkloadSpec &spec,
+                                              size_t n_clusters,
+                                              size_t long_factor);
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_WORKLOAD_HPP

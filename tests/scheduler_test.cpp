@@ -2,14 +2,19 @@
  * @file
  * Concurrent-serving scheduler tests: interleaved-vs-serial token
  * determinism, KV context isolation, FIFO fairness under saturation,
- * and the batching timing model (throughput grows with in-flight
- * requests; single in-flight reproduces serial timing exactly).
+ * the batching timing model (throughput grows with in-flight
+ * requests; single in-flight reproduces serial timing exactly),
+ * continuous admission under simulated arrivals, and cross-cluster
+ * work stealing (token determinism, makespan improvement,
+ * run-to-run reproducibility).
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "appliance/server.hpp"
+#include "appliance/workload.hpp"
 #include "model/weights.hpp"
 
 namespace dfx {
@@ -291,6 +296,243 @@ TEST(Scheduler, DrainWithoutSubmitsIsEmpty)
     EXPECT_EQ(stats.requests, 0u);
     EXPECT_EQ(stats.throughputTokensPerSec(), 0.0);
     EXPECT_EQ(stats.meanLatencySeconds(), 0.0);
+    EXPECT_EQ(stats.ttftMeanSeconds, 0.0);
+    EXPECT_EQ(stats.queueDelayMeanSeconds, 0.0);
+    EXPECT_EQ(stats.totalSteals, 0u);
+    ASSERT_EQ(stats.clusters.size(), 2u);
+    EXPECT_EQ(stats.clusters[0].utilization, 0.0);
+}
+
+TEST(Scheduler, ContinuousAdmissionReusesSlotMidEpoch)
+{
+    // One cluster, two KV slots, one long and two short requests: the
+    // short request's retirement must free its slot for the third
+    // request *while the long request is still mid-generation* — no
+    // epoch barrier between retirement and the next admission.
+    std::vector<ServerRequest> reqs = {
+        {std::vector<int32_t>(4, 1), 24, 0.0},  // r0: long
+        {std::vector<int32_t>(4, 2), 4, 0.0},   // r1: short
+        {std::vector<int32_t>(4, 3), 4, 0.0},   // r2: waits for a slot
+    };
+    DfxServer server(timingConfig(2), 1);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), 3u);
+    const RequestResult &r0 = stats.results[0];
+    const RequestResult &r1 = stats.results[1];
+    const RequestResult &r2 = stats.results[2];
+    // r2 takes over r1's slot the moment it frees ...
+    EXPECT_GE(r2.admitSimSeconds, r1.finishSimSeconds);
+    EXPECT_NEAR(r2.admitSimSeconds, r1.finishSimSeconds,
+                r1.finishSimSeconds * 1e-9);
+    // ... which happens strictly before the long request completes.
+    EXPECT_LT(r2.admitSimSeconds, r0.finishSimSeconds);
+    EXPECT_LT(r2.finishSimSeconds, r0.finishSimSeconds);
+}
+
+TEST(Scheduler, ArrivalTimestampsGateAdmission)
+{
+    // A request cannot be admitted before its simulated arrival; an
+    // idle cluster jumps its clock forward to the arrival instant, so
+    // a late arrival into an empty system sees zero queueing delay.
+    std::vector<ServerRequest> reqs = {
+        {std::vector<int32_t>(4, 1), 4, 0.0},
+        {std::vector<int32_t>(4, 2), 4, 10.0},
+    };
+    DfxServer server(timingConfig(4), 1);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), 2u);
+    const RequestResult &early = stats.results[0];
+    const RequestResult &late = stats.results[1];
+    EXPECT_LT(early.finishSimSeconds, 10.0);
+    EXPECT_DOUBLE_EQ(early.queueDelaySeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(late.admitSimSeconds, 10.0);
+    EXPECT_DOUBLE_EQ(late.queueDelaySeconds(), 0.0);
+    EXPECT_GT(late.ttftSeconds(), 0.0);
+    EXPECT_LT(late.ttftSeconds(), late.latencySeconds());
+    EXPECT_GT(stats.makespanSeconds, 10.0);
+}
+
+TEST(Scheduler, TtftAndQueueDelayMetrics)
+{
+    // Saturated single-slot cluster: the second request's TTFT is its
+    // queue wait plus service prefill, strictly beyond the first's.
+    std::vector<ServerRequest> reqs = {
+        {std::vector<int32_t>(4, 1), 4, 0.0},
+        {std::vector<int32_t>(4, 2), 4, 0.0},
+    };
+    DfxServer server(timingConfig(1), 1);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), 2u);
+    const RequestResult &first = stats.results[0];
+    const RequestResult &second = stats.results[1];
+    EXPECT_DOUBLE_EQ(first.queueDelaySeconds(), 0.0);
+    EXPECT_GT(second.queueDelaySeconds(), 0.0);
+    EXPECT_NEAR(second.queueDelaySeconds(), first.finishSimSeconds,
+                first.finishSimSeconds * 1e-9);
+    EXPECT_GT(first.ttftSeconds(), 0.0);
+    EXPECT_LT(first.ttftSeconds(), first.latencySeconds());
+    EXPECT_GT(second.ttftSeconds(), first.ttftSeconds());
+    EXPECT_GT(stats.ttftMeanSeconds, 0.0);
+    EXPECT_GE(stats.ttftP99Seconds, stats.ttftMeanSeconds);
+    EXPECT_GT(stats.queueDelayMeanSeconds, 0.0);
+}
+
+TEST(Scheduler, StolenTokensMatchUnstolenExecution)
+{
+    // The work-stealing determinism claim: a request generates
+    // bit-identical tokens whether it runs on its home cluster or on
+    // the thief — every cluster holds the same weights and the KV
+    // context is private to the request.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 103);
+    WorkloadSpec spec;
+    spec.nRequests = 4;
+    spec.nIn = 4;
+    spec.nOut = 4;
+    spec.vocab = 97;
+    spec.seed = 13;
+    auto reqs = imbalancedWorkload(spec, 2, 4);  // even ids: nOut 16
+
+    DfxAppliance serial(functionalConfig(1));
+    serial.loadWeights(w);
+    std::vector<std::vector<int32_t>> expected;
+    for (const auto &r : reqs)
+        expected.push_back(serial.generate(r.prompt, r.nOut).tokens);
+
+    ServerOptions steal_on;
+    steal_on.workStealing = true;
+    DfxServer stealing(functionalConfig(1), 2, steal_on);
+    stealing.loadWeights(w);
+    ServerStats stolen = stealing.serve(reqs);
+
+    DfxServer immobile(functionalConfig(1), 2);
+    immobile.loadWeights(w);
+    ServerStats pinned = immobile.serve(reqs);
+
+    ASSERT_EQ(stolen.results.size(), reqs.size());
+    EXPECT_GE(stolen.totalSteals, 1u);
+    EXPECT_EQ(pinned.totalSteals, 0u);
+    bool any_relocated = false;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(stolen.results[i].tokens, expected[i])
+            << "request " << i << " diverged under stealing";
+        EXPECT_EQ(pinned.results[i].tokens, expected[i])
+            << "request " << i << " diverged under static placement";
+        if (stolen.results[i].stolen) {
+            any_relocated = true;
+            EXPECT_NE(stolen.results[i].cluster, i % 2)
+                << "request " << i
+                << " marked stolen but served at home";
+        }
+    }
+    EXPECT_TRUE(any_relocated);
+}
+
+TEST(Scheduler, WorkStealingImprovesImbalancedMakespan)
+{
+    // Imbalanced pool: the home cluster of the long requests becomes
+    // the straggler under static placement while its neighbour idles;
+    // stealing must strictly shrink the makespan and raise the
+    // thief's utilization.
+    WorkloadSpec spec;
+    spec.nRequests = 6;
+    spec.nIn = 4;
+    spec.nOut = 4;
+    spec.vocab = 211;
+    spec.seed = 17;
+    auto reqs = imbalancedWorkload(spec, 2, 8);  // even ids: nOut 32
+
+    DfxServer static_rr(timingConfig(1), 2);
+    ServerStats pinned = static_rr.serve(reqs);
+
+    ServerOptions steal_on;
+    steal_on.workStealing = true;
+    DfxServer stealing(timingConfig(1), 2, steal_on);
+    ServerStats stolen = stealing.serve(reqs);
+
+    EXPECT_LT(stolen.makespanSeconds, pinned.makespanSeconds);
+    EXPECT_GE(stolen.totalSteals, 1u);
+    ASSERT_EQ(stolen.clusters.size(), 2u);
+    EXPECT_EQ(stolen.clusters[0].requestsServed +
+                  stolen.clusters[1].requestsServed,
+              reqs.size());
+    EXPECT_EQ(stolen.clusters[0].requestsStolen +
+                  stolen.clusters[1].requestsStolen,
+              stolen.totalSteals);
+    // The non-straggler picks up extra work: higher utilization than
+    // it had under static placement.
+    EXPECT_GT(stolen.clusters[1].utilization,
+              pinned.clusters[1].utilization);
+    for (const ClusterEpochStats &cs : stolen.clusters) {
+        EXPECT_GT(cs.utilization, 0.0);
+        EXPECT_LE(cs.utilization, 1.0 + 1e-9);
+    }
+}
+
+TEST(Scheduler, StealingScheduleIsReproducible)
+{
+    // Placement under stealing is decided by the simulated-time event
+    // order, not host thread timing: two fresh servers produce
+    // identical placements, clocks and makespans.
+    WorkloadSpec spec;
+    spec.nRequests = 6;
+    spec.nIn = 4;
+    spec.nOut = 4;
+    spec.vocab = 211;
+    spec.seed = 23;
+    auto reqs = imbalancedWorkload(spec, 2, 6);
+    ServerOptions steal_on;
+    steal_on.workStealing = true;
+
+    DfxServer a(timingConfig(2), 2, steal_on);
+    ServerStats sa = a.serve(reqs);
+    DfxServer b(timingConfig(2), 2, steal_on);
+    ServerStats sb = b.serve(reqs);
+
+    ASSERT_EQ(sa.results.size(), sb.results.size());
+    EXPECT_DOUBLE_EQ(sa.makespanSeconds, sb.makespanSeconds);
+    EXPECT_EQ(sa.totalSteals, sb.totalSteals);
+    for (size_t i = 0; i < sa.results.size(); ++i) {
+        EXPECT_EQ(sa.results[i].cluster, sb.results[i].cluster);
+        EXPECT_EQ(sa.results[i].stolen, sb.results[i].stolen);
+        EXPECT_DOUBLE_EQ(sa.results[i].admitSimSeconds,
+                         sb.results[i].admitSimSeconds);
+        EXPECT_DOUBLE_EQ(sa.results[i].firstTokenSimSeconds,
+                         sb.results[i].firstTokenSimSeconds);
+        EXPECT_DOUBLE_EQ(sa.results[i].finishSimSeconds,
+                         sb.results[i].finishSimSeconds);
+    }
+}
+
+TEST(Scheduler, InterpolatedPercentileIsStableForSmallSamples)
+{
+    // Regression: p99 used to index-clamp to the maximum, so with
+    // n=3 it reported the max outright. The interpolated helper
+    // blends the neighbouring order statistics instead.
+    EXPECT_NEAR(interpolatedPercentile({1.0, 2.0, 3.0}, 0.99), 2.98,
+                1e-12);
+    EXPECT_NEAR(interpolatedPercentile({3.0, 1.0, 2.0}, 0.5), 2.0,
+                1e-12);  // unsorted input is sorted internally
+    EXPECT_DOUBLE_EQ(interpolatedPercentile({1.0, 2.0, 3.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(interpolatedPercentile({1.0, 2.0, 3.0}, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(interpolatedPercentile({7.5}, 0.99), 7.5);
+    EXPECT_DOUBLE_EQ(interpolatedPercentile({}, 0.99), 0.0);
+
+    // End to end with n=3: the epoch's p99 latency lies strictly
+    // between the second-largest and largest request latencies.
+    std::vector<ServerRequest> reqs = {
+        {std::vector<int32_t>(4, 1), 4, 0.0},
+        {std::vector<int32_t>(4, 2), 8, 0.0},
+        {std::vector<int32_t>(4, 3), 16, 0.0},
+    };
+    DfxServer server(timingConfig(1), 1);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), 3u);
+    std::vector<double> lat;
+    for (const auto &r : stats.results)
+        lat.push_back(r.latencySeconds());
+    std::sort(lat.begin(), lat.end());
+    EXPECT_GT(stats.p99LatencySeconds, lat[1]);
+    EXPECT_LT(stats.p99LatencySeconds, lat[2]);
 }
 
 }  // namespace
