@@ -9,6 +9,8 @@
 #ifndef DFX_BENCH_COMMON_HPP
 #define DFX_BENCH_COMMON_HPP
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <vector>
 
@@ -25,6 +27,23 @@ now()
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+/**
+ * Peak resident set size of this process so far, in bytes. The benches
+ * record it next to steps/sec so weight-image duplication (the thing
+ * the shared `WeightStore` exists to prevent) cannot regress silently.
+ */
+inline uint64_t
+peakRssBytes()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+#ifdef __APPLE__
+    return static_cast<uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;  // KB on Linux
+#endif
 }
 
 /**

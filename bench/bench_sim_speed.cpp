@@ -13,6 +13,13 @@
  * so a full run finishes in seconds; the per-step arithmetic exercises
  * exactly the hot paths the full models do (MPU MAC trees, VPU
  * vector chains, KV streaming, ring exchange).
+ *
+ * Weights come from the shared `WeightStore`: one image serves every
+ * appliance across the thread sweep (tokens are bit-identical to the
+ * eager loadWeights path by construction). The JSON records the
+ * process peak RSS next to steps/sec — `scripts/check_bench.py` gates
+ * it, so re-introducing per-core or per-appliance weight copies fails
+ * CI instead of silently doubling memory.
  */
 #include <chrono>
 #include <cstdio>
@@ -35,16 +42,16 @@ struct Sample
 };
 
 Sample
-run(const GptWeights &weights, size_t n_cores, size_t n_threads,
-    size_t n_in, size_t n_out)
+run(const std::shared_ptr<WeightStore> &store, size_t n_cores,
+    size_t n_threads, size_t n_in, size_t n_out)
 {
     DfxSystemConfig cfg;
-    cfg.model = weights.config;
+    cfg.model = store->spec().config;
     cfg.nCores = n_cores;
     cfg.functional = true;
     cfg.nThreads = n_threads;
+    cfg.weightStore = store;
     DfxAppliance appliance(cfg);
-    appliance.loadWeights(weights);
 
     std::vector<int32_t> prompt(n_in, 1);
     appliance.generate(prompt, 2);  // warm-up (touches all backings)
@@ -75,14 +82,23 @@ main()
                 model.name.c_str(), model.embedding, model.heads,
                 model.layers, model.vocabSize, n_cores, n_in, n_out);
 
+    // One shared weight image for the whole sweep; materialized up
+    // front so the timed sections measure stepping, not generation.
+    DfxSystemConfig scfg;
+    scfg.model = model;
+    scfg.nCores = n_cores;
+    std::shared_ptr<WeightStore> store = makeWeightStore(scfg, 7);
     const double tw0 = now();
-    GptWeights weights = GptWeights::random(model, 7);
-    std::printf("weight generation: %.2fs\n", now() - tw0);
+    store->materializeAll();
+    std::printf("weight image: %.1f MB%s, generated in %.2fs\n",
+                static_cast<double>(store->imageBytes()) / (1 << 20),
+                store->cacheBacked() ? " (file cache)" : "",
+                now() - tw0);
 
     std::vector<Sample> samples;
     Table t({"host threads", "decode steps/s", "speedup vs 1 thread"});
     for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
-        samples.push_back(run(weights, n_cores, threads, n_in, n_out));
+        samples.push_back(run(store, n_cores, threads, n_in, n_out));
         const Sample &s = samples.back();
         t.addRow({std::to_string(s.nThreads), fmt(s.stepsPerSec, 3),
                   fmt(s.stepsPerSec / samples[0].stepsPerSec, 2) + "x"});
@@ -98,6 +114,13 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("tokens identical across all thread counts.\n");
 
+    const uint64_t peak_rss = bench::peakRssBytes();
+    std::printf("peak RSS: %.1f MB (weight image %.1f MB, shared by "
+                "all %zu cores and every appliance in the sweep)\n",
+                static_cast<double>(peak_rss) / (1 << 20),
+                static_cast<double>(store->imageBytes()) / (1 << 20),
+                n_cores);
+
     FILE *f = std::fopen("BENCH_sim_speed.json", "w");
     if (!f) {
         std::fprintf(stderr, "cannot write BENCH_sim_speed.json\n");
@@ -109,6 +132,10 @@ main()
     std::fprintf(f, "  \"n_cores\": %zu,\n", n_cores);
     std::fprintf(f, "  \"workload\": {\"n_in\": %zu, \"n_out\": %zu},\n",
                  n_in, n_out);
+    std::fprintf(f, "  \"weight_image_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(store->imageBytes()));
+    std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",
+                 static_cast<unsigned long long>(peak_rss));
     std::fprintf(f, "  \"decode_steps_per_sec\": [\n");
     for (size_t i = 0; i < samples.size(); ++i) {
         std::fprintf(f,

@@ -20,16 +20,18 @@ main()
 {
     // 1. Pick a model and a cluster size (heads must divide evenly).
     GptConfig model = GptConfig::mini();
-    GptWeights weights = GptWeights::random(model, /*seed=*/2022);
 
     // 2. Configure the appliance: 2 simulated U280 FPGAs in a ring,
-    //    functional mode (real data plane).
+    //    functional mode (real data plane). Weights come from the
+    //    shared on-demand store — one image for the whole appliance,
+    //    tensors generated on first touch (set DFX_WEIGHT_CACHE to a
+    //    directory to reuse the image across runs).
     DfxSystemConfig config;
     config.model = model;
     config.nCores = 2;
     config.functional = true;
+    config.weightStore = makeWeightStore(config, /*seed=*/2022);
     DfxAppliance appliance(config);
-    appliance.loadWeights(weights);
 
     // 3. Tokenize a prompt and run the text-generation service.
     Tokenizer tokenizer(model.vocabSize);

@@ -36,8 +36,13 @@ BENCHES = ["bench_sim_speed", "bench_serving"]
 # Run-only smoke benches: no committed baseline to compare against,
 # but they must keep executing successfully (a non-zero exit fails the
 # gate). bench_fig08 exercises the per-channel HBM timing path of the
-# tiling DSE, which no unit test sweeps end to end.
-SMOKE_BENCHES = ["bench_fig08_tiling_dse"]
+# tiling DSE, which no unit test sweeps end to end. bench_fig18 is the
+# large-model gate: it decodes GPT-2 774M functionally (tokens must
+# match across cluster sizes) and runs a 1.5B spot-functional step,
+# hard-failing when peak RSS exceeds 1.5x the model's parameter bytes
+# (i.e. when the shared weight image gets duplicated). Set
+# DFX_WEIGHT_CACHE to skip weight regeneration across runs.
+SMOKE_BENCHES = ["bench_fig08_tiling_dse", "bench_fig18_scalability"]
 
 
 def run_benches(build_dir: Path) -> None:
@@ -96,6 +101,18 @@ def check_sim_speed(base: dict, fresh: dict, threshold: float,
         check_metric(f"steps/sec @ {threads} host threads",
                      entry["steps_per_sec"], fresh_by_threads[threads],
                      threshold, failures)
+    # Peak RSS rides next to steps/sec so weight-image duplication
+    # (per-core or per-appliance weight copies creeping back in)
+    # cannot regress silently. Lower is better; the host threshold
+    # absorbs allocator noise across machines.
+    if "peak_rss_bytes" in base:
+        if "peak_rss_bytes" not in fresh:
+            failures.append("sim_speed: fresh JSON lacks the "
+                            "'peak_rss_bytes' record the baseline has")
+        else:
+            check_metric_lower_better(
+                "peak RSS (MB)", base["peak_rss_bytes"] / 2**20,
+                fresh["peak_rss_bytes"] / 2**20, threshold, failures)
 
 
 def check_serving_sweep(label: str, base_sweep: list, fresh_sweep: list,

@@ -18,6 +18,7 @@ Usage:
 """
 
 import argparse
+import functools
 import re
 import sys
 from pathlib import Path
@@ -47,6 +48,7 @@ def github_slug(heading: str) -> str:
     return text.replace(" ", "-")
 
 
+@functools.lru_cache(maxsize=None)
 def heading_slugs(md_path: Path) -> set:
     slugs = set()
     counts: dict = {}

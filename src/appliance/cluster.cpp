@@ -66,6 +66,13 @@ combineBatchRound(const std::vector<TokenStats> &steps)
     return round;
 }
 
+std::shared_ptr<WeightStore>
+makeWeightStore(const DfxSystemConfig &config, uint64_t seed)
+{
+    return WeightStore::create(WeightSpec{config.model, seed},
+                               config.nCores, config.core.lanes);
+}
+
 DfxCluster::DfxCluster(const DfxSystemConfig &config)
     : config_(config), ring_(config.ring, config.nCores)
 {
@@ -95,6 +102,19 @@ DfxCluster::DfxCluster(const DfxSystemConfig &config)
                        other.wte == layout_.wte,
                    "layout divergence across cores");
     }
+    // Shared weight image: alias every core's weight regions into the
+    // appliance-wide store — one physical copy, generated on demand.
+    if (config_.weightStore && !config_.functional) {
+        DFX_FATAL("weightStore set on a timing-only cluster; set "
+                  "functional=true (timing-only runs need no weights)");
+    }
+    if (config_.functional && config_.weightStore) {
+        for (size_t i = 0; i < config_.nCores; ++i) {
+            layout_.bindWeightStore(config_.weightStore,
+                                    cores_[i]->hbm(), cores_[i]->ddr(),
+                                    i);
+        }
+    }
     positions_.assign(config_.kvContexts, 0);
     ctxInUse_.assign(config_.kvContexts, false);
     builders_.reserve(config_.nCores);
@@ -116,6 +136,12 @@ DfxCluster::loadWeights(const GptWeights &weights)
 {
     DFX_ASSERT(config_.functional,
                "loadWeights requires a functional-mode cluster");
+    if (config_.weightStore) {
+        DFX_FATAL("cluster is backed by a shared weight store; eager "
+                  "loadWeights would duplicate the image (drop "
+                  "DfxSystemConfig::weightStore to load weights "
+                  "explicitly)");
+    }
     ClusterGeometry geometry{config_.nCores};
     Partitioner part(weights, geometry, config_.core.lanes);
     for (size_t i = 0; i < config_.nCores; ++i)

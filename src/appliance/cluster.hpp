@@ -19,6 +19,7 @@
 #include "common/threadpool.hpp"
 #include "core/core.hpp"
 #include "isa/codegen.hpp"
+#include "model/weight_store.hpp"
 #include "network/ring.hpp"
 
 namespace dfx {
@@ -56,7 +57,27 @@ struct DfxSystemConfig
      * carries full semantics. Off by default.
      */
     bool binaryInstructionPath = false;
+    /**
+     * Shared on-demand weight image (functional mode). When set, every
+     * cluster built from this config binds its weight regions to the
+     * store at construction — no `loadWeights` call, no per-core or
+     * per-cluster weight copies, and tensors are generated on first
+     * touch (bit-identical to the eager `GptWeights::random` +
+     * `loadWeights` path). Create with `makeWeightStore`; clusters of
+     * one server share the image through their config copies. Must
+     * match `model`, `nCores` and `core.lanes`.
+     */
+    std::shared_ptr<WeightStore> weightStore;
 };
+
+/**
+ * Builds the shared weight store for `config`'s model and geometry,
+ * seeded with `seed`. Assign the result to
+ * `DfxSystemConfig::weightStore` before constructing the appliance;
+ * appliances/servers sharing the pointer share one weight image.
+ */
+std::shared_ptr<WeightStore> makeWeightStore(const DfxSystemConfig &config,
+                                             uint64_t seed);
 
 /** Timing/attribution record for one token step. */
 struct TokenStats

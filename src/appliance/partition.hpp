@@ -9,6 +9,12 @@
  * shards, and the embedding tables are placed in DDR per the memory
  * mapping. Each core receives only its shard — summed over cores the
  * partitions reconstruct the full model exactly (tested).
+ *
+ * This is the *eager copy* loader for `GptWeights`. The shared-store
+ * path (`MemoryLayout::bindWeightStore`) produces the same per-core
+ * bytes without copying: each core's regions alias the appliance's
+ * weight image, whose shard-major layout mirrors exactly what this
+ * partitioner writes.
  */
 #ifndef DFX_APPLIANCE_PARTITION_HPP
 #define DFX_APPLIANCE_PARTITION_HPP

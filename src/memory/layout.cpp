@@ -5,6 +5,7 @@
 #include "memory/layout.hpp"
 
 #include "common/logging.hpp"
+#include "model/weight_store.hpp"
 
 namespace dfx {
 
@@ -163,6 +164,78 @@ MemoryLayout::build(const GptConfig &config,
     ml.hbmBytes_ = hbm.allocated() - hbm_before;
     ml.ddrBytes_ = ddr.allocated() - ddr_before;
     return ml;
+}
+
+void
+MemoryLayout::bindWeightStore(const std::shared_ptr<WeightStore> &store,
+                              OffchipMemory &hbm, OffchipMemory &ddr,
+                              size_t core_id) const
+{
+    DFX_ASSERT(store != nullptr, "bindWeightStore: null store");
+    const GptConfig &sc = store->spec().config;
+    DFX_ASSERT(store->nShards() == geometry.nCores &&
+                   store->lanes() == lanes,
+               "weight store geometry (%zu shards, %zu lanes) does not "
+               "match layout (%zu cores, %zu lanes)",
+               store->nShards(), store->lanes(), geometry.nCores, lanes);
+    DFX_ASSERT(sc.embedding == config.embedding &&
+                   sc.layers == config.layers &&
+                   sc.vocabSize == config.vocabSize &&
+                   sc.maxSeq == config.maxSeq &&
+                   sc.heads == config.heads,
+               "weight store model '%s' does not match layout model '%s'",
+               sc.name.c_str(), config.name.c_str());
+    DFX_ASSERT(core_id < geometry.nCores, "core %zu out of %zu", core_id,
+               geometry.nCores);
+    // The store derives its LM-head block stride independently; it
+    // must agree with this layout's lane-padded vocab shard or cores
+    // would read logits from a neighbouring shard's bytes.
+    DFX_ASSERT(store->vocabShardCols() ==
+                   geometry.vocabShard(config, lanes),
+               "weight store vocab shard %zu != layout vocab shard %zu",
+               store->vocabShardCols(),
+               geometry.vocabShard(config, lanes));
+
+    // Every lambda captures the shared_ptr: the image outlives every
+    // device bound to it. Resolution happens on the region's first
+    // access, which is what defers generation to first touch.
+    auto bind = [&](OffchipMemory &mem, uint64_t addr, uint64_t halves,
+                    int layer, WeightId id) {
+        std::shared_ptr<WeightStore> s = store;
+        mem.bindRegion(addr, halves * 2, [s, layer, id, core_id]() {
+            return s->shardPtr(layer, id, core_id);
+        });
+    };
+
+    const uint64_t emb = config.embedding;
+    const uint64_t emb_shard = geometry.embShard(config);
+    const uint64_t ffn_shard = geometry.ffnShard(config);
+    const uint64_t vocab_shard = geometry.vocabShard(config, lanes);
+    for (size_t l = 0; l < config.layers; ++l) {
+        const LayerAddrs &a = layers[l];
+        const int li = static_cast<int>(l);
+        bind(hbm, a.wq, emb * emb_shard, li, WeightId::kWq);
+        bind(hbm, a.wk, emb * emb_shard, li, WeightId::kWk);
+        bind(hbm, a.wv, emb * emb_shard, li, WeightId::kWv);
+        bind(hbm, a.wproj, emb * emb_shard, li, WeightId::kWproj);
+        bind(hbm, a.wfc1, emb * ffn_shard, li, WeightId::kWfc1);
+        bind(hbm, a.wfc2, 4 * emb * emb_shard, li, WeightId::kWfc2);
+        bind(ddr, a.bq, emb_shard, li, WeightId::kBq);
+        bind(ddr, a.bk, emb_shard, li, WeightId::kBk);
+        bind(ddr, a.bv, emb_shard, li, WeightId::kBv);
+        bind(ddr, a.bproj, emb_shard, li, WeightId::kBproj);
+        bind(ddr, a.bfc1, ffn_shard, li, WeightId::kBfc1);
+        bind(ddr, a.bfc2, emb_shard, li, WeightId::kBfc2);
+        bind(ddr, a.ln1Gamma, emb, li, WeightId::kLn1Gamma);
+        bind(ddr, a.ln1Beta, emb, li, WeightId::kLn1Beta);
+        bind(ddr, a.ln2Gamma, emb, li, WeightId::kLn2Gamma);
+        bind(ddr, a.ln2Beta, emb, li, WeightId::kLn2Beta);
+    }
+    bind(hbm, lmHeadW, emb * vocab_shard, -1, WeightId::kLmHead);
+    bind(ddr, wte, config.vocabSize * emb, -1, WeightId::kWte);
+    bind(ddr, wpe, config.maxSeq * emb, -1, WeightId::kWpe);
+    bind(ddr, lnfGamma, emb, -1, WeightId::kLnfGamma);
+    bind(ddr, lnfBeta, emb, -1, WeightId::kLnfBeta);
 }
 
 }  // namespace dfx

@@ -26,6 +26,7 @@
 #ifndef DFX_MEMORY_LAYOUT_HPP
 #define DFX_MEMORY_LAYOUT_HPP
 
+#include <memory>
 #include <vector>
 
 #include "memory/hbm_channels.hpp"
@@ -33,6 +34,8 @@
 #include "model/config.hpp"
 
 namespace dfx {
+
+class WeightStore;
 
 /** How the model is split across the cluster (paper Fig. 6). */
 struct ClusterGeometry
@@ -136,6 +139,18 @@ struct MemoryLayout
         size_t kv_contexts = 1,
         size_t hbm_channels = static_cast<size_t>(HbmSpec::kChannels),
         size_t kv_stream_channels = 1);
+
+    /**
+     * Binds every weight region of this layout — HBM weight shards and
+     * the LM head, DDR biases, LN parameters and embedding tables — to
+     * core `core_id`'s lazily materialized slice of the shared weight
+     * image (`OffchipMemory::bindRegion`). KV cache regions stay
+     * private. The store must match this layout's config, geometry and
+     * lane count; the bound regions keep the store alive.
+     */
+    void bindWeightStore(const std::shared_ptr<WeightStore> &store,
+                         OffchipMemory &hbm, OffchipMemory &ddr,
+                         size_t core_id) const;
 
   private:
     /** Channel set of KV stream `index` in the round-robin order

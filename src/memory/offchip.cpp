@@ -4,11 +4,31 @@
  */
 #include "memory/offchip.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 
 #include "common/logging.hpp"
 
 namespace dfx {
+namespace {
+
+/** Human-readable byte count for allocation diagnostics. */
+std::string
+fmtBytes(uint64_t b)
+{
+    if (b >= (uint64_t{1} << 30))
+        return strFormat("%.2f GB", static_cast<double>(b) / (1 << 30));
+    if (b >= (uint64_t{1} << 20))
+        return strFormat("%.2f MB", static_cast<double>(b) / (1 << 20));
+    if (b >= (uint64_t{1} << 10))
+        return strFormat("%.2f KB", static_cast<double>(b) / (1 << 10));
+    return strFormat("%llu B", static_cast<unsigned long long>(b));
+}
+
+}  // namespace
 
 OffchipMemory::OffchipMemory(std::string name, uint64_t capacity_bytes,
                              double peak_bw_bytes_per_sec,
@@ -26,20 +46,58 @@ OffchipMemory::alloc(uint64_t bytes, const char *tag)
 {
     uint64_t addr = (next_ + 15) & ~uint64_t{15};
     if (addr + bytes > capacity_) {
-        DFX_FATAL("%s: allocation '%s' of %llu bytes exceeds capacity "
-                  "(%llu used of %llu)",
-                  name_.c_str(), tag,
-                  static_cast<unsigned long long>(bytes),
-                  static_cast<unsigned long long>(addr),
-                  static_cast<unsigned long long>(capacity_));
+        // Name the culprits: aggregate existing allocations by tag and
+        // report the largest, so a 1.5B bring-up failure says "K and
+        // VT want 12 GB" instead of a bare number.
+        std::map<std::string, uint64_t> by_tag;
+        for (const Segment &s : segments_)
+            by_tag[s.tag] += s.bytes;
+        std::vector<std::pair<std::string, uint64_t>> top(by_tag.begin(),
+                                                          by_tag.end());
+        std::sort(top.begin(), top.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        std::string detail;
+        const size_t n = std::min<size_t>(top.size(), 5);
+        for (size_t i = 0; i < n; ++i) {
+            detail += strFormat("%s%s %s", i ? ", " : "",
+                                top[i].first.c_str(),
+                                fmtBytes(top[i].second).c_str());
+        }
+        DFX_FATAL("%s: allocation '%s' of %s exceeds capacity "
+                  "(%s used of %s); top allocations: %s",
+                  name_.c_str(), tag, fmtBytes(bytes).c_str(),
+                  fmtBytes(addr).c_str(), fmtBytes(capacity_).c_str(),
+                  detail.empty() ? "none" : detail.c_str());
     }
     next_ = addr + bytes;
-    // Grow the functional backing eagerly to the watermark: spans
-    // handed out between allocations then never dangle, and steady-
-    // state accesses never pay a resize check.
-    if (functional_)
-        ensureBacking(next_);
+    Segment seg;
+    seg.base = addr;
+    seg.bytes = bytes;
+    seg.tag = tag;
+    segments_.push_back(std::move(seg));
     return addr;
+}
+
+void
+OffchipMemory::bindRegion(uint64_t addr, uint64_t bytes,
+                          std::function<const Half *()> provider)
+{
+    DFX_ASSERT(functional_, "%s: bindRegion in timing-only mode",
+               name_.c_str());
+    Segment &seg = find(addr, bytes);
+    DFX_ASSERT(seg.base == addr && seg.bytes == bytes,
+               "%s: binding [0x%llx, +%llu) does not match allocated "
+               "region '%s' [0x%llx, +%llu)",
+               name_.c_str(), static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(bytes), seg.tag,
+               static_cast<unsigned long long>(seg.base),
+               static_cast<unsigned long long>(seg.bytes));
+    DFX_ASSERT(!seg.local && !seg.provider,
+               "%s: region '%s' already has data", name_.c_str(),
+               seg.tag);
+    seg.provider = std::move(provider);
 }
 
 double
@@ -54,41 +112,137 @@ OffchipMemory::streamCycles(uint64_t bytes, double freq_hz) const
     return units::secondsToCycles(streamSeconds(bytes), freq_hz);
 }
 
+OffchipMemory::Segment *
+OffchipMemory::findOrNull(uint64_t addr)
+{
+    // Segments are created by a bump allocator, so they are sorted by
+    // base; binary-search the last segment starting at or before addr.
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), addr,
+        [](uint64_t a, const Segment &s) { return a < s.base; });
+    if (it == segments_.begin())
+        return nullptr;
+    --it;
+    return addr < it->base + it->bytes ? &*it : nullptr;
+}
+
+OffchipMemory::Segment &
+OffchipMemory::find(uint64_t addr, uint64_t bytes)
+{
+    Segment *seg = findOrNull(addr);
+    DFX_ASSERT(seg != nullptr && addr + bytes <= seg->base + seg->bytes,
+               "%s: access [0x%llx, +%llu) outside any allocated region",
+               name_.c_str(), static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(bytes));
+    return *seg;
+}
+
 void
-OffchipMemory::ensureBacking(uint64_t addr_end)
+OffchipMemory::allocLocal(Segment &seg)
+{
+    // calloc: the kernel hands out zero pages lazily, so untouched
+    // parts of a big KV region never become resident.
+    auto *p = static_cast<Half *>(
+        std::calloc(seg.bytes / 2 + (seg.bytes % 2 != 0), sizeof(Half)));
+    DFX_ASSERT(p != nullptr, "%s: cannot back region '%s' (%llu bytes)",
+               name_.c_str(), seg.tag,
+               static_cast<unsigned long long>(seg.bytes));
+    seg.local.reset(p);
+}
+
+const Half *
+OffchipMemory::readPtr(Segment &seg)
 {
     DFX_ASSERT(functional_, "%s: data access in timing-only mode",
                name_.c_str());
-    size_t words = static_cast<size_t>((addr_end + 1) / 2);
-    if (backing_.size() < words)
-        backing_.resize(words, Half::zero());
+    if (seg.local)
+        return seg.local.get();
+    if (seg.provider) {
+        if (seg.shared == nullptr)
+            seg.shared = seg.provider();
+        return seg.shared;
+    }
+    allocLocal(seg);
+    return seg.local.get();
+}
+
+Half *
+OffchipMemory::writePtr(Segment &seg)
+{
+    DFX_ASSERT(functional_, "%s: data access in timing-only mode",
+               name_.c_str());
+    if (!seg.local) {
+        if (seg.provider) {
+            // Copy-on-write: pull the shared bytes into private
+            // storage; the shared image stays untouched.
+            const Half *src = seg.shared ? seg.shared : seg.provider();
+            allocLocal(seg);
+            std::memcpy(seg.local.get(), src, seg.bytes);
+            seg.provider = nullptr;
+            seg.shared = nullptr;
+        } else {
+            allocLocal(seg);
+        }
+    }
+    return seg.local.get();
 }
 
 void
 OffchipMemory::writeHalf(uint64_t addr, const Half *src, size_t n)
 {
+    DFX_ASSERT(functional_, "%s: data access in timing-only mode",
+               name_.c_str());
     DFX_ASSERT(addr % 2 == 0, "%s: unaligned half write at 0x%llx",
                name_.c_str(), static_cast<unsigned long long>(addr));
-    ensureBacking(addr + 2 * n);
-    for (size_t i = 0; i < n; ++i)
-        backing_[addr / 2 + i] = src[i];
+    Segment &seg = find(addr, 2 * n);
+    Half *base = writePtr(seg);
+    std::memcpy(base + (addr - seg.base) / 2, src, 2 * n);
 }
 
 void
-OffchipMemory::readHalf(uint64_t addr, Half *dst, size_t n) const
+OffchipMemory::readHalf(uint64_t addr, Half *dst, size_t n)
 {
     DFX_ASSERT(functional_, "%s: data access in timing-only mode",
                name_.c_str());
     DFX_ASSERT(addr % 2 == 0, "%s: unaligned half read at 0x%llx",
                name_.c_str(), static_cast<unsigned long long>(addr));
-    for (size_t i = 0; i < n; ++i) {
-        size_t word = addr / 2 + i;
-        dst[i] = word < backing_.size() ? backing_[word] : Half::zero();
+    // Reads tolerate unallocated / unwritten addresses and return
+    // zero, like real DRAM after init — tests probe layouts this way.
+    // Semantics are element-wise: a read straddling a region's end
+    // returns the stored prefix and zeros beyond it.
+    while (n > 0) {
+        Segment *seg = findOrNull(addr);
+        if (seg == nullptr) {
+            *dst++ = Half::zero();
+            addr += 2;
+            --n;
+            continue;
+        }
+        const size_t in_seg = std::min<uint64_t>(
+            n, (seg->base + seg->bytes - addr) / 2);
+        if (in_seg == 0) {
+            // Trailing odd byte of an odd-sized region: no room for a
+            // half there, so it reads as zero like unallocated space.
+            *dst++ = Half::zero();
+            addr += 2;
+            --n;
+            continue;
+        }
+        if (!seg->local && !seg->provider) {
+            for (size_t i = 0; i < in_seg; ++i)
+                dst[i] = Half::zero();
+        } else {
+            const Half *base = readPtr(*seg);
+            std::memcpy(dst, base + (addr - seg->base) / 2, 2 * in_seg);
+        }
+        dst += in_seg;
+        addr += 2 * in_seg;
+        n -= in_seg;
     }
 }
 
 Half
-OffchipMemory::loadHalf(uint64_t addr) const
+OffchipMemory::loadHalf(uint64_t addr)
 {
     Half h;
     readHalf(addr, &h, 1);
@@ -104,16 +258,23 @@ OffchipMemory::storeHalf(uint64_t addr, Half value)
 const Half *
 OffchipMemory::loadSpan(uint64_t addr, size_t n)
 {
-    return storeSpan(addr, n);
+    DFX_ASSERT(functional_, "%s: data access in timing-only mode",
+               name_.c_str());
+    DFX_ASSERT(addr % 2 == 0, "%s: unaligned span at 0x%llx",
+               name_.c_str(), static_cast<unsigned long long>(addr));
+    Segment &seg = find(addr, 2 * n);
+    return readPtr(seg) + (addr - seg.base) / 2;
 }
 
 Half *
 OffchipMemory::storeSpan(uint64_t addr, size_t n)
 {
+    DFX_ASSERT(functional_, "%s: data access in timing-only mode",
+               name_.c_str());
     DFX_ASSERT(addr % 2 == 0, "%s: unaligned span at 0x%llx",
                name_.c_str(), static_cast<unsigned long long>(addr));
-    ensureBacking(addr + 2 * n);
-    return backing_.data() + addr / 2;
+    Segment &seg = find(addr, 2 * n);
+    return writePtr(seg) + (addr - seg.base) / 2;
 }
 
 OffchipMemory

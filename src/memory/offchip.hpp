@@ -12,11 +12,23 @@
  *    the 1.5B model do not allocate gigabytes;
  *  - timing: peak bandwidth derated by a measured-efficiency factor,
  *    exposed as bytes-per-core-cycle for the DMA cost model.
+ *
+ * The functional plane is segmented: every `alloc` names a region, and
+ * a region's data lives in exactly one of two places —
+ *  - a private, lazily allocated zero-initialized block (KV caches,
+ *    eagerly loaded weights): pages become resident on first touch;
+ *  - the appliance's shared weight image, via `bindRegion`: the region
+ *    aliases immutable bytes owned by a `WeightStore`, so every core
+ *    and cluster reads the same physical copy. A write to a bound
+ *    region copies it out first (copy-on-write) — the shared image is
+ *    never modified through a device.
  */
 #ifndef DFX_MEMORY_OFFCHIP_HPP
 #define DFX_MEMORY_OFFCHIP_HPP
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -40,8 +52,25 @@ class OffchipMemory
                   double peak_bw_bytes_per_sec, double efficiency,
                   bool functional);
 
-    /** Reserves `bytes` (16-byte aligned); returns the byte address. */
+    OffchipMemory(OffchipMemory &&) = default;
+    OffchipMemory &operator=(OffchipMemory &&) = default;
+
+    /**
+     * Reserves `bytes` (16-byte aligned); returns the byte address.
+     * On capacity overflow the failure report lists the largest
+     * allocation tags so an oversized model names its culprit regions.
+     */
     uint64_t alloc(uint64_t bytes, const char *tag);
+
+    /**
+     * Aliases the allocated region at `addr` (exactly `bytes` long, as
+     * allocated) onto shared immutable data. `provider` is resolved on
+     * the region's first access — a lazily materialized weight shard —
+     * and the resolved pointer must stay valid for this device's
+     * lifetime and cover `bytes`. Functional mode only.
+     */
+    void bindRegion(uint64_t addr, uint64_t bytes,
+                    std::function<const Half *()> provider);
 
     /** Bytes allocated so far. */
     uint64_t allocated() const { return next_; }
@@ -66,18 +95,19 @@ class OffchipMemory
     /** Writes n halves at byte address `addr` (must be 2-aligned). */
     void writeHalf(uint64_t addr, const Half *src, size_t n);
     /** Reads n halves from byte address `addr`. */
-    void readHalf(uint64_t addr, Half *dst, size_t n) const;
+    void readHalf(uint64_t addr, Half *dst, size_t n);
     /** Reads one half. */
-    Half loadHalf(uint64_t addr) const;
+    Half loadHalf(uint64_t addr);
     /** Writes one half. */
     void storeHalf(uint64_t addr, Half value);
 
     // --- bulk span access (the hot-loop API) --------------------------
-    // Spans expose the backing store directly so per-element loads in
+    // Spans expose a region's storage directly so per-element loads in
     // the MPU/VPU inner loops cost a pointer index instead of a
-    // function call with assertions. The backing is pre-grown to the
-    // allocation watermark, so a span stays valid until the next
-    // alloc() (which may reallocate the store).
+    // function call with assertions. A span must lie inside a single
+    // allocated region (every ISA operand does); the pointer stays
+    // valid until the region is written through storeSpan/writeHalf
+    // (copy-on-write may move a bound region to private storage).
     /** Read-only view of n halves starting at byte address `addr`. */
     const Half *loadSpan(uint64_t addr, size_t n);
     /** Mutable view of n halves starting at byte address `addr`. */
@@ -86,7 +116,33 @@ class OffchipMemory
     const std::string &name() const { return name_; }
 
   private:
-    void ensureBacking(uint64_t addr_end);
+    struct FreeDeleter
+    {
+        void operator()(Half *p) const { std::free(p); }
+    };
+
+    /** One allocated region and where its bytes live. */
+    struct Segment
+    {
+        uint64_t base = 0;
+        uint64_t bytes = 0;
+        const char *tag = "";
+        /** Private storage, calloc'ed on first touch (or by COW). */
+        std::unique_ptr<Half[], FreeDeleter> local;
+        /** Shared-image resolver; null for private regions. */
+        std::function<const Half *()> provider;
+        /** Cached resolved provider pointer. */
+        const Half *shared = nullptr;
+    };
+
+    /** Segment containing [addr, addr + bytes); fatal if none. */
+    Segment &find(uint64_t addr, uint64_t bytes);
+    Segment *findOrNull(uint64_t addr);
+    /** Read pointer to a segment's data (resolves/allocates lazily). */
+    const Half *readPtr(Segment &seg);
+    /** Write pointer; copies a bound segment out first (COW). */
+    Half *writePtr(Segment &seg);
+    void allocLocal(Segment &seg);
 
     std::string name_;
     uint64_t capacity_;
@@ -94,7 +150,7 @@ class OffchipMemory
     double efficiency_;
     bool functional_;
     uint64_t next_ = 0;
-    std::vector<Half> backing_;  ///< grows to the allocation watermark
+    std::vector<Segment> segments_;  ///< sorted by base (bump alloc)
 };
 
 /** HBM stack parameters for the Alveo U280. */

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Weight tensor table construction and spec accounting.
+ */
+#include "model/weight_spec.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+std::vector<WeightTensorDesc>
+weightTensorTable(const GptConfig &config)
+{
+    config.validate();
+    const size_t emb = config.embedding;
+    const size_t hidden = config.ffnHidden();
+    // GPT-2 init statistics; residual projections are scaled by
+    // 1/sqrt(2*layers) (see GptWeights::random, which must draw in
+    // exactly this order with exactly these parameters).
+    const double mat_std = 0.02;
+    const double resid_std =
+        0.02 / std::sqrt(2.0 * static_cast<double>(config.layers));
+
+    std::vector<WeightTensorDesc> table;
+    table.reserve(4 + config.layers * 16 + 1);
+    uint64_t offset = 0;
+    auto push = [&](WeightId id, int layer, size_t rows, size_t cols,
+                    double mean, double stddev, WeightSharding sharding) {
+        WeightTensorDesc d;
+        d.id = id;
+        d.layer = layer;
+        d.rows = rows;
+        d.cols = cols;
+        d.mean = mean;
+        d.stddev = stddev;
+        d.sharding = sharding;
+        d.streamOffset = offset;
+        // Even element counts keep Box-Muller pair boundaries aligned
+        // with tensor boundaries, which is what lets the stream be
+        // entered at any tensor's offset (see file comment in the hpp).
+        DFX_ASSERT(d.elements() % 2 == 0,
+                   "tensor with odd element count %zu breaks stream "
+                   "pair accounting",
+                   d.elements());
+        offset += d.elements();
+        table.push_back(d);
+    };
+
+    using S = WeightSharding;
+    push(WeightId::kWte, -1, config.vocabSize, emb, 0.0, mat_std,
+         S::kReplicated);
+    push(WeightId::kWpe, -1, config.maxSeq, emb, 0.0, 0.01,
+         S::kReplicated);
+    push(WeightId::kLnfGamma, -1, 1, emb, 1.0, 0.02, S::kReplicated);
+    push(WeightId::kLnfBeta, -1, 1, emb, 0.0, 0.002, S::kReplicated);
+    for (size_t l = 0; l < config.layers; ++l) {
+        const int li = static_cast<int>(l);
+        push(WeightId::kLn1Gamma, li, 1, emb, 1.0, 0.02, S::kReplicated);
+        push(WeightId::kLn1Beta, li, 1, emb, 0.0, 0.002, S::kReplicated);
+        push(WeightId::kWq, li, emb, emb, 0.0, mat_std, S::kColumns);
+        push(WeightId::kWk, li, emb, emb, 0.0, mat_std, S::kColumns);
+        push(WeightId::kWv, li, emb, emb, 0.0, mat_std, S::kColumns);
+        push(WeightId::kBq, li, 1, emb, 0.0, 0.002, S::kColumns);
+        push(WeightId::kBk, li, 1, emb, 0.0, 0.002, S::kColumns);
+        push(WeightId::kBv, li, 1, emb, 0.0, 0.002, S::kColumns);
+        push(WeightId::kWproj, li, emb, emb, 0.0, resid_std, S::kColumns);
+        push(WeightId::kBproj, li, 1, emb, 0.0, 0.002, S::kColumns);
+        push(WeightId::kLn2Gamma, li, 1, emb, 1.0, 0.02, S::kReplicated);
+        push(WeightId::kLn2Beta, li, 1, emb, 0.0, 0.002, S::kReplicated);
+        push(WeightId::kWfc1, li, emb, hidden, 0.0, mat_std, S::kColumns);
+        push(WeightId::kBfc1, li, 1, hidden, 0.0, 0.002, S::kColumns);
+        push(WeightId::kWfc2, li, hidden, emb, 0.0, resid_std,
+             S::kColumns);
+        push(WeightId::kBfc2, li, 1, emb, 0.0, 0.002, S::kColumns);
+    }
+
+    // LM head: transposed WTE, vocab-sharded — derived, no draws. Its
+    // stored width is geometry-dependent (lane-padded vocab shards),
+    // so rows/cols here are the logical emb x vocab shape.
+    WeightTensorDesc lm;
+    lm.id = WeightId::kLmHead;
+    lm.layer = -1;
+    lm.rows = emb;
+    lm.cols = config.vocabSize;
+    lm.sharding = WeightSharding::kLmHead;
+    lm.derived = true;
+    lm.streamOffset = offset;
+    table.push_back(lm);
+    return table;
+}
+
+size_t
+WeightSpec::parameterCount() const
+{
+    size_t total = 0;
+    for (const WeightTensorDesc &d : weightTensorTable(config)) {
+        if (!d.derived)
+            total += d.elements();
+    }
+    return total;
+}
+
+}  // namespace dfx

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Weight specification: the cheap, never-materialized description of a
+ * model's synthetic weights.
+ *
+ * A `WeightSpec` is just (config, seed). Everything else — which
+ * tensors exist, how many PRNG draws each consumes, how each is carved
+ * across cores — is derived arithmetic, captured in a
+ * `WeightTensorDesc` table. The table is the single source of truth
+ * for the weight *stream layout*: `GptWeights::random` walks it
+ * front-to-back with one PRNG, and `WeightStore` materializes
+ * individual entries on demand by fast-forwarding the same stream to
+ * `streamOffset` — which is what makes a shard bit-identical whether
+ * it is generated alone or in sequence (the shared-weight-store
+ * determinism invariant, see docs/ARCHITECTURE.md).
+ *
+ * Stream accounting relies on two properties of `Rng::normal`:
+ * Box-Muller consumes exactly two uniforms per pair of normals (the
+ * u1 > 0 rejection is replayed, not assumed away), and every tensor in
+ * the table has an even element count (asserted), so tensor boundaries
+ * never carry a cached spare across entries.
+ */
+#ifndef DFX_MODEL_WEIGHT_SPEC_HPP
+#define DFX_MODEL_WEIGHT_SPEC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "model/config.hpp"
+
+namespace dfx {
+
+/** Identity of one model tensor (per layer where applicable). */
+enum class WeightId : uint8_t {
+    // Model-global tensors, in generation order.
+    kWte,       ///< vocab x emb token embedding (DDR full copy)
+    kWpe,       ///< maxSeq x emb position embedding (DDR full copy)
+    kLnfGamma,  ///< final LN scale
+    kLnfBeta,   ///< final LN shift
+    // Per-layer tensors, in generation order.
+    kLn1Gamma, kLn1Beta,
+    kWq, kWk, kWv,
+    kBq, kBk, kBv,
+    kWproj, kBproj,
+    kLn2Gamma, kLn2Beta,
+    kWfc1, kBfc1,
+    kWfc2, kBfc2,
+    // Derived (not drawn from the stream): transposed-WTE LM head.
+    kLmHead,
+};
+
+/** How a tensor is carved across the cluster's cores (Fig. 6). */
+enum class WeightSharding : uint8_t {
+    kReplicated,  ///< full copy visible to every core (LN, WTE, WPE)
+    kColumns,     ///< contiguous column slice per core (matrices, biases)
+    kLmHead,      ///< vocab-sharded transposed WTE with zero padding
+};
+
+/** One entry of the weight generation stream. */
+struct WeightTensorDesc
+{
+    WeightId id;
+    int layer = -1;        ///< decoder layer, -1 for model-global
+    size_t rows = 1;       ///< 1 for vectors
+    size_t cols = 0;       ///< elements per row
+    double mean = 0.0;     ///< generation mean
+    double stddev = 0.0;   ///< generation standard deviation
+    WeightSharding sharding = WeightSharding::kReplicated;
+    bool derived = false;  ///< computed from other tensors, not drawn
+    uint64_t streamOffset = 0;  ///< normals drawn before this tensor
+
+    size_t elements() const { return rows * cols; }
+};
+
+/**
+ * The full tensor table for `config`, in exact generation order:
+ * wte, wpe, lnfGamma, lnfBeta, then for each layer ln1{g,b}, wq, wk,
+ * wv, bq, bk, bv, wproj, bproj, ln2{g,b}, wfc1, bfc1, wfc2, bfc2 —
+ * matching `GptWeights::random` draw for draw — and finally the
+ * derived LM head (stream offset equal to the total draw count).
+ */
+std::vector<WeightTensorDesc> weightTensorTable(const GptConfig &config);
+
+/**
+ * A model's synthetic weights, by description only: the config and the
+ * PRNG seed. Carrying a WeightSpec costs nothing; a `WeightStore`
+ * turns it into an on-demand weight image.
+ */
+struct WeightSpec
+{
+    GptConfig config;
+    uint64_t seed = 0;
+
+    /**
+     * Total stored parameters, accounted from the tensor table (the
+     * derived LM head re-reads WTE and is not counted, matching
+     * `GptConfig::parameterCount`). Pure arithmetic — nothing is
+     * materialized.
+     */
+    size_t parameterCount() const;
+
+    /** Parameter bytes at FP16. */
+    size_t parameterBytes() const { return parameterCount() * 2; }
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MODEL_WEIGHT_SPEC_HPP

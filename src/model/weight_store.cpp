@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Shared weight store implementation.
+ */
+#include "model/weight_store.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/threadpool.hpp"
+
+namespace dfx {
+namespace {
+
+static_assert(sizeof(Half) == 2 && std::is_trivially_copyable_v<Half>,
+              "the weight image stores raw Half words");
+
+/** Bump when the stream layout or image format changes. */
+constexpr uint64_t kFormatVersion = 1;
+/** Cache file: header + validity flags, then the image. */
+constexpr size_t kHeaderBytes = 4096;
+constexpr size_t kFlagsOffset = 64;
+
+struct CacheHeader
+{
+    char magic[8];
+    uint64_t key;
+    uint64_t imageBytes;
+    uint64_t nTensors;
+};
+constexpr char kMagic[8] = {'D', 'F', 'X', 'W', 'I', 'M', 'G', '1'};
+
+uint64_t
+fnv1a(uint64_t h, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/**
+ * Advances `rng` past `normals` normal draws by replaying the exact
+ * uniform consumption of `Rng::normal` (one Box-Muller pair per two
+ * normals, including the u1 > 0 rejection loop) without paying for
+ * log/sqrt/sin — the fast-forward that makes per-tensor streams
+ * enterable at any even offset.
+ */
+void
+skipDraws(Rng &rng, uint64_t normals)
+{
+    DFX_ASSERT(normals % 2 == 0, "stream skip of odd draw count %llu",
+               static_cast<unsigned long long>(normals));
+    for (uint64_t i = 0; i < normals; i += 2) {
+        double u1;
+        do {
+            u1 = rng.uniform();
+        } while (u1 <= 0.0);
+        rng.uniform();
+    }
+}
+
+}  // namespace
+
+WeightStore::WeightStore(WeightSpec spec, size_t n_shards, size_t lanes)
+    : spec_(std::move(spec)), nShards_(n_shards), lanes_(lanes)
+{
+    spec_.config.validate();
+    DFX_ASSERT(nShards_ >= 1, "weight store needs at least one shard");
+    table_ = weightTensorTable(spec_.config);
+
+    const size_t vocab = spec_.config.vocabSize;
+    const size_t per_core = (vocab + nShards_ - 1) / nShards_;
+    vocabShard_ = (per_core + lanes_ - 1) / lanes_ * lanes_;
+
+    imageOff_.reserve(table_.size());
+    uint64_t halves = 0;
+    for (const WeightTensorDesc &d : table_) {
+        imageOff_.push_back(halves);
+        if (d.sharding == WeightSharding::kColumns) {
+            DFX_ASSERT(d.cols % nShards_ == 0,
+                       "tensor cols %zu not divisible by %zu shards",
+                       d.cols, nShards_);
+        }
+        halves += d.sharding == WeightSharding::kLmHead
+                      ? d.rows * vocabShard_ * nShards_
+                      : d.elements();
+    }
+    imageBytes_ = halves * 2;
+    streamStates_.emplace(0, Rng(spec_.seed));
+    openImage();
+}
+
+WeightStore::~WeightStore()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, mapBytes_);
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::shared_ptr<WeightStore>
+WeightStore::create(const WeightSpec &spec, size_t n_shards, size_t lanes)
+{
+    return std::make_shared<WeightStore>(spec, n_shards, lanes);
+}
+
+void
+WeightStore::openImage()
+{
+    const char *dir = std::getenv("DFX_WEIGHT_CACHE");
+    if (dir != nullptr && dir[0] != '\0') {
+        uint64_t key = 0xcbf29ce484222325ull;
+        const GptConfig &c = spec_.config;
+        for (uint64_t v :
+             {static_cast<uint64_t>(c.vocabSize),
+              static_cast<uint64_t>(c.embedding),
+              static_cast<uint64_t>(c.heads),
+              static_cast<uint64_t>(c.headDim),
+              static_cast<uint64_t>(c.layers),
+              static_cast<uint64_t>(c.maxSeq), spec_.seed,
+              static_cast<uint64_t>(nShards_),
+              static_cast<uint64_t>(lanes_), kFormatVersion})
+            key = fnv1a(key, v);
+        cachePath_ = strFormat("%s/dfx-weights-%s-%zuc-%016llx.img", dir,
+                               c.name.c_str(), nShards_,
+                               static_cast<unsigned long long>(key));
+        DFX_ASSERT(kFlagsOffset + table_.size() <= kHeaderBytes,
+                   "tensor count %zu overflows the cache header",
+                   table_.size());
+        const uint64_t total = kHeaderBytes + imageBytes_;
+        int fd = ::open(cachePath_.c_str(), O_RDWR | O_CREAT, 0644);
+        struct stat st{};
+        if (fd >= 0 && ::fstat(fd, &st) == 0) {
+            if (static_cast<uint64_t>(st.st_size) != total &&
+                (::ftruncate(fd, 0) != 0 ||
+                 ::ftruncate(fd, static_cast<off_t>(total)) != 0)) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+        void *map = fd >= 0 ? ::mmap(nullptr, total,
+                                     PROT_READ | PROT_WRITE, MAP_SHARED,
+                                     fd, 0)
+                            : MAP_FAILED;
+        if (map != MAP_FAILED) {
+            fd_ = fd;
+            map_ = map;
+            mapBytes_ = total;
+            auto *base = static_cast<uint8_t *>(map);
+            auto *h = reinterpret_cast<CacheHeader *>(base);
+            flags_ = base + kFlagsOffset;
+            image_ = reinterpret_cast<Half *>(base + kHeaderBytes);
+            cacheBacked_ = true;
+            if (std::memcmp(h->magic, kMagic, sizeof(kMagic)) != 0 ||
+                h->key != key || h->imageBytes != imageBytes_ ||
+                h->nTensors != table_.size()) {
+                // Fresh or stale file: reset the validity flags and
+                // stamp the header (the image region is rewritten as
+                // tensors materialize).
+                std::memset(flags_, 0, table_.size());
+                std::memcpy(h->magic, kMagic, sizeof(kMagic));
+                h->key = key;
+                h->imageBytes = imageBytes_;
+                h->nTensors = table_.size();
+            }
+            return;
+        }
+        DFX_WARN("weight cache '%s' unavailable; generating in memory",
+                 cachePath_.c_str());
+        if (fd >= 0)
+            ::close(fd);
+        cachePath_.clear();
+    }
+
+    // Anonymous zero-fill-on-demand image: pages become resident only
+    // as tensors materialize, so a partially-touched large model costs
+    // only what it reads.
+    void *map = ::mmap(nullptr, imageBytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    DFX_ASSERT(map != MAP_FAILED, "cannot map %llu-byte weight image",
+               static_cast<unsigned long long>(imageBytes_));
+    map_ = map;
+    mapBytes_ = imageBytes_;
+    image_ = static_cast<Half *>(map);
+    flagsLocal_.assign(table_.size(), 0);
+    flags_ = flagsLocal_.data();
+}
+
+size_t
+WeightStore::tensorIndex(int layer, WeightId id) const
+{
+    size_t idx;
+    if (id == WeightId::kLmHead) {
+        idx = table_.size() - 1;
+    } else if (layer < 0) {
+        idx = static_cast<size_t>(id);
+    } else {
+        idx = 4 +
+              static_cast<size_t>(layer) * 16 +
+              (static_cast<size_t>(id) -
+               static_cast<size_t>(WeightId::kLn1Gamma));
+    }
+    DFX_ASSERT(idx < table_.size() && table_[idx].id == id &&
+                   table_[idx].layer == (id == WeightId::kLmHead ? -1
+                                                                 : layer),
+               "bad tensor lookup (layer %d, id %d)", layer,
+               static_cast<int>(id));
+    return idx;
+}
+
+const WeightTensorDesc &
+WeightStore::desc(int layer, WeightId id) const
+{
+    return table_[tensorIndex(layer, id)];
+}
+
+const Half *
+WeightStore::shardPtr(int layer, WeightId id, size_t shard)
+{
+    DFX_ASSERT(shard < nShards_, "shard %zu out of %zu", shard, nShards_);
+    const size_t idx = tensorIndex(layer, id);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        materializeLocked(idx);
+    }
+    const WeightTensorDesc &d = table_[idx];
+    const Half *base = image_ + imageOff_[idx];
+    switch (d.sharding) {
+    case WeightSharding::kReplicated:
+        return base;
+    case WeightSharding::kColumns:
+        return base + shard * d.rows * (d.cols / nShards_);
+    case WeightSharding::kLmHead:
+        return base + shard * d.rows * vocabShard_;
+    }
+    DFX_PANIC("unreachable sharding kind");
+}
+
+void
+WeightStore::materializeLocked(size_t index)
+{
+    if (flagSet(index))
+        return;
+    const WeightTensorDesc &d = table_[index];
+    if (d.derived) {
+        materializeLocked(tensorIndex(-1, WeightId::kWte));
+        deriveLmHead();
+        setFlag(index);
+        ++generated_;
+        return;
+    }
+    // Enter the stream at this tensor: copy the nearest earlier
+    // checkpointed PRNG state and fast-forward the difference.
+    auto it = streamStates_.upper_bound(d.streamOffset);
+    DFX_ASSERT(it != streamStates_.begin(), "no stream state at 0");
+    --it;
+    Rng rng = it->second;
+    skipDraws(rng, d.streamOffset - it->first);
+    generateTensor(d, rng);
+    streamStates_.emplace(d.streamOffset + d.elements(), rng);
+    setFlag(index);
+    ++generated_;
+}
+
+void
+WeightStore::generateTensor(const WeightTensorDesc &d, Rng &rng)
+{
+    const size_t idx = tensorIndex(d.layer, d.id);
+    Half *base = image_ + imageOff_[idx];
+    // Draw in canonical (row, col) order — the eager path's order —
+    // scattering into shard-major storage so each core's column slice
+    // is one contiguous block. Replicated tensors are the one-shard
+    // case of the same formula.
+    const size_t shards =
+        d.sharding == WeightSharding::kColumns ? nShards_ : 1;
+    const size_t shard_w = d.cols / shards;
+    for (size_t r = 0; r < d.rows; ++r) {
+        for (size_t c = 0; c < d.cols; ++c) {
+            const Half v =
+                Half::fromDouble(rng.normal(d.mean, d.stddev));
+            base[(c / shard_w) * d.rows * shard_w + r * shard_w +
+                 c % shard_w] = v;
+        }
+    }
+}
+
+void
+WeightStore::deriveLmHead()
+{
+    const size_t wte_idx = tensorIndex(-1, WeightId::kWte);
+    const size_t lm_idx = tensorIndex(-1, WeightId::kLmHead);
+    const Half *wte = image_ + imageOff_[wte_idx];
+    Half *lm = image_ + imageOff_[lm_idx];
+    const size_t emb = spec_.config.embedding;
+    const size_t vocab = spec_.config.vocabSize;
+    // Per shard: emb rows x vocabShard_ cols of WTE^T, zero-padded past
+    // the real vocabulary (identical to Partitioner's LM-head layout).
+    for (size_t s = 0; s < nShards_; ++s) {
+        const size_t off = s * vocabShard_;
+        Half *block = lm + s * emb * vocabShard_;
+        for (size_t r = 0; r < emb; ++r) {
+            for (size_t c = 0; c < vocabShard_; ++c) {
+                block[r * vocabShard_ + c] =
+                    off + c < vocab ? wte[(off + c) * emb + r]
+                                    : Half::zero();
+            }
+        }
+    }
+}
+
+void
+WeightStore::materializeAll(ThreadPool *pool)
+{
+    // The lock spans the whole fan-out: pool workers write disjoint
+    // image ranges without synchronization among themselves, and any
+    // concurrent shardPtr caller blocks here until every range is
+    // complete — which is what keeps the header's "all accessors may
+    // be called concurrently" contract true for this path too.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const size_t lm_idx = table_.size() - 1;
+    if (pool != nullptr && pool->threads() > 1) {
+        // Partition the stream into contiguous ranges balanced by draw
+        // count; each worker fast-forwards from the seed to its range
+        // start and generates in stream order. Tensors already present
+        // (cache hits) are skipped over cheaply. All workers write
+        // disjoint image blocks, so the result is bit-identical to the
+        // sequential walk.
+        const uint64_t total_draws =
+            table_[lm_idx].streamOffset;  // lm head draws nothing
+        const size_t n_ranges = pool->threads();
+        std::vector<size_t> range_begin(n_ranges + 1, lm_idx);
+        size_t t = 0;
+        for (size_t r = 0; r < n_ranges; ++r) {
+            range_begin[r] = t;
+            const uint64_t target =
+                total_draws * (r + 1) / n_ranges;
+            while (t < lm_idx && table_[t].streamOffset < target)
+                ++t;
+        }
+        // Pre-position one PRNG per range with a single forward pass
+        // (skips are cheap but not free; per-worker skips from the
+        // seed would replay ~half the stream per worker).
+        std::vector<Rng> range_rng;
+        range_rng.reserve(n_ranges);
+        Rng cursor(spec_.seed);
+        uint64_t cursor_at = 0;
+        for (size_t r = 0; r < n_ranges; ++r) {
+            const uint64_t begin_off =
+                range_begin[r] < lm_idx
+                    ? table_[range_begin[r]].streamOffset
+                    : total_draws;
+            skipDraws(cursor, begin_off - cursor_at);
+            cursor_at = begin_off;
+            range_rng.push_back(cursor);
+        }
+        pool->run(n_ranges, [&](size_t r) {
+            const size_t begin = range_begin[r], end = range_begin[r + 1];
+            if (begin >= end)
+                return;
+            Rng rng = range_rng[r];
+            for (size_t i = begin; i < end; ++i) {
+                if (flagSet(i))
+                    skipDraws(rng, table_[i].elements());
+                else
+                    generateTensor(table_[i], rng);
+            }
+        });
+        for (size_t i = 0; i < lm_idx; ++i) {
+            if (!flagSet(i)) {
+                setFlag(i);
+                ++generated_;
+            }
+        }
+        materializeLocked(lm_idx);
+        return;
+    }
+    for (size_t i = 0; i < table_.size(); ++i)
+        materializeLocked(i);
+}
+
+size_t
+WeightStore::materializedTensors() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t n = 0;
+    for (size_t i = 0; i < table_.size(); ++i)
+        n += flagSet(i);
+    return n;
+}
+
+size_t
+WeightStore::generatedTensors() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return generated_;
+}
+
+}  // namespace dfx

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared on-demand weight store: one immutable FP16 weight image per
+ * appliance, materialized lazily per (layer, tensor) shard.
+ *
+ * The eager path (`GptWeights::random` + `Partitioner`) materializes
+ * the full model as host tensors and then *copies* every core's shard
+ * into that core's off-chip backing — ~2x the model size per cluster.
+ * The store replaces both copies with a single image:
+ *
+ *  - **One image.** All weight bytes live in one mmap'd region, laid
+ *    out shard-major (each core's column slice of each tensor is a
+ *    contiguous block), so every core's `OffchipMemory` weight region
+ *    aliases directly into the image (`OffchipMemory::bindRegion`) —
+ *    cores, clusters and appliances sharing the store share the bytes.
+ *
+ *  - **Lazy, order-independent generation.** A tensor is generated on
+ *    first touch by entering the model's single weight stream at the
+ *    tensor's precomputed offset (`WeightTensorDesc::streamOffset`),
+ *    fast-forwarding the PRNG by replaying its uniform-consumption
+ *    pattern. A shard is therefore bit-identical whether it is
+ *    generated alone, in sequence, or concurrently — and identical to
+ *    the eager `GptWeights::random` values (regression-tested).
+ *
+ *  - **Optional file cache.** When `DFX_WEIGHT_CACHE` names a
+ *    directory, the image is backed by a file there (keyed on
+ *    config + seed + geometry), with a per-tensor validity bitmap, so
+ *    repeated runs mmap the finished image instead of regenerating.
+ *    The cache is not safe against *concurrent* writers; CI runs the
+ *    benches sequentially.
+ *
+ * Thread safety: all accessors may be called concurrently (cluster
+ * worker threads fault tensors in during a phase); materialization is
+ * serialized on an internal mutex. The image itself is immutable once
+ * a tensor is materialized — writers (tests poking weights) go through
+ * `OffchipMemory`'s copy-on-write instead.
+ */
+#ifndef DFX_MODEL_WEIGHT_STORE_HPP
+#define DFX_MODEL_WEIGHT_STORE_HPP
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/fp16.hpp"
+#include "common/random.hpp"
+#include "model/weight_spec.hpp"
+
+namespace dfx {
+
+class ThreadPool;
+
+/** Lazily generated, shard-major, shared weight image. */
+class WeightStore
+{
+  public:
+    /**
+     * @param spec model config + seed
+     * @param n_shards cores the column-parallel tensors split across
+     * @param lanes MPU lane count (LM-head vocab shard padding)
+     */
+    WeightStore(WeightSpec spec, size_t n_shards, size_t lanes);
+    ~WeightStore();
+
+    WeightStore(const WeightStore &) = delete;
+    WeightStore &operator=(const WeightStore &) = delete;
+
+    /** Convenience factory (the config-level hook is
+     *  `makeWeightStore` in appliance/cluster.hpp). */
+    static std::shared_ptr<WeightStore> create(const WeightSpec &spec,
+                                               size_t n_shards,
+                                               size_t lanes);
+
+    const WeightSpec &spec() const { return spec_; }
+    size_t nShards() const { return nShards_; }
+    size_t lanes() const { return lanes_; }
+    /** Lane-padded LM-head vocab columns per shard. */
+    size_t vocabShardCols() const { return vocabShard_; }
+    /** Total image size (all tensors + derived LM head), in bytes. */
+    uint64_t imageBytes() const { return imageBytes_; }
+
+    /**
+     * Pointer to shard `shard` of tensor (`layer`, `id`) inside the
+     * image, materializing the tensor on first touch. Replicated
+     * tensors ignore `shard`. The pointer stays valid for the store's
+     * lifetime and the data behind it never changes.
+     */
+    const Half *shardPtr(int layer, WeightId id, size_t shard);
+
+    /** Tensor descriptor lookup (layer = -1 for globals). */
+    const WeightTensorDesc &desc(int layer, WeightId id) const;
+
+    /**
+     * Materializes every tensor. With a pool, generation fans out over
+     * contiguous stream ranges (each worker fast-forwards to its range
+     * start); the resulting bytes are identical to sequential
+     * generation by construction.
+     */
+    void materializeAll(ThreadPool *pool = nullptr);
+
+    /** Tensors whose data is present (generated or cache-loaded). */
+    size_t materializedTensors() const;
+    /** Tensors this instance actually generated (cache hits excluded). */
+    size_t generatedTensors() const;
+    /** True when the image is backed by a DFX_WEIGHT_CACHE file. */
+    bool cacheBacked() const { return cacheBacked_; }
+    const std::string &cachePath() const { return cachePath_; }
+
+  private:
+    size_t tensorIndex(int layer, WeightId id) const;
+    bool flagSet(size_t index) const { return flags_[index] != 0; }
+    void setFlag(size_t index) { flags_[index] = 1; }
+    void materializeLocked(size_t index);
+    /** Draws tensor `d` from `rng` and scatters it shard-major. */
+    void generateTensor(const WeightTensorDesc &d, Rng &rng);
+    void deriveLmHead();
+    void openImage();
+
+    WeightSpec spec_;
+    size_t nShards_;
+    size_t lanes_;
+    size_t vocabShard_ = 0;
+    std::vector<WeightTensorDesc> table_;
+    std::vector<uint64_t> imageOff_;  ///< per-tensor halves offset
+    uint64_t imageBytes_ = 0;
+
+    // Image mapping: either a DFX_WEIGHT_CACHE file (header + flags +
+    // image) or an anonymous zero-fill-on-demand region.
+    void *map_ = nullptr;
+    size_t mapBytes_ = 0;
+    int fd_ = -1;
+    Half *image_ = nullptr;
+    uint8_t *flags_ = nullptr;           ///< per-tensor validity
+    std::vector<uint8_t> flagsLocal_;    ///< backing when anonymous
+    bool cacheBacked_ = false;
+    std::string cachePath_;
+
+    mutable std::mutex mutex_;
+    std::map<uint64_t, Rng> streamStates_;  ///< offset -> PRNG state
+    size_t generated_ = 0;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MODEL_WEIGHT_STORE_HPP

@@ -11,6 +11,16 @@
  *
  * Weights are stored in FP16, exactly as DFX keeps them in HBM/DDR and
  * as the GPU baseline keeps them for FP16 kernels.
+ *
+ * This is the *eager* container: it materializes every tensor as host
+ * vectors, which the reference model and small-model tests need. The
+ * serving/bench path uses `WeightSpec` + `WeightStore`
+ * (model/weight_store.hpp) instead — one lazily generated image shared
+ * by every core — with values bit-identical to this path: `random()`
+ * is the reference implementation of the weight stream whose layout
+ * `weightTensorTable` (model/weight_spec.hpp) describes, and the
+ * equivalence is regression-tested. Changing the draw order or
+ * statistics here requires the same change in the table.
  */
 #ifndef DFX_MODEL_WEIGHTS_HPP
 #define DFX_MODEL_WEIGHTS_HPP

@@ -83,6 +83,43 @@ TEST(Failure, LoadWeightsRequiresFunctionalMode)
     EXPECT_DEATH(appliance.loadWeights(w), "functional");
 }
 
+TEST(Failure, EagerLoadConflictsWithWeightStore)
+{
+    // A store-backed cluster shares the appliance image; an eager
+    // loadWeights on top would duplicate every region.
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 1;
+    cfg.functional = true;
+    cfg.weightStore = makeWeightStore(cfg, 1);
+    DfxAppliance appliance(cfg);
+    GptWeights w = GptWeights::random(cfg.model, 1);
+    EXPECT_DEATH(appliance.loadWeights(w), "shared weight store");
+}
+
+TEST(Failure, WeightStoreRequiresFunctionalMode)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 1;
+    cfg.functional = false;  // forgot functional=true
+    cfg.weightStore = makeWeightStore(cfg, 1);
+    EXPECT_DEATH({ DfxAppliance appliance(cfg); }, "timing-only");
+}
+
+TEST(Failure, WeightStoreGeometryMustMatchCluster)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 2;
+    cfg.functional = true;
+    DfxSystemConfig other = cfg;
+    other.nCores = 1;
+    cfg.weightStore = makeWeightStore(other, 1);  // 1-shard store
+    EXPECT_DEATH({ DfxAppliance appliance(cfg); },
+                 "does not match layout");
+}
+
 TEST(Failure, MalformedInstructionRejectedByCore)
 {
     ComputeCore core(0, CoreParams::defaults(), false);

@@ -167,6 +167,91 @@ TEST(MemoryLayout, KvChannelSetsSpreadAndStayDisjointUntilWrap)
     }
 }
 
+TEST(OffchipMemory, BoundRegionAliasesSharedDataLazily)
+{
+    OffchipMemory mem("m", 1 << 20, 460e9, 0.6, true);
+    uint64_t addr = mem.alloc(32, "w");
+    static std::vector<Half> image(16, Half::fromDouble(2.5));
+    int resolves = 0;
+    mem.bindRegion(addr, 32, [&resolves]() {
+        ++resolves;
+        return image.data();
+    });
+    EXPECT_EQ(resolves, 0);  // binding alone materializes nothing
+    const Half *span = mem.loadSpan(addr, 16);
+    EXPECT_EQ(span, image.data());  // true aliasing, not a copy
+    EXPECT_EQ(resolves, 1);
+    mem.loadSpan(addr + 8, 4);
+    EXPECT_EQ(resolves, 1);  // resolved pointer is cached
+    EXPECT_EQ(mem.loadHalf(addr + 2).bits(), Half::fromDouble(2.5).bits());
+}
+
+TEST(OffchipMemory, CopyOnWriteLeavesSharedImageIntact)
+{
+    std::vector<Half> image(16, Half::fromDouble(1.0));
+    OffchipMemory a("a", 1 << 20, 460e9, 0.6, true);
+    OffchipMemory b("b", 1 << 20, 460e9, 0.6, true);
+    uint64_t addr_a = a.alloc(32, "w");
+    uint64_t addr_b = b.alloc(32, "w");
+    a.bindRegion(addr_a, 32, [&image]() { return image.data(); });
+    b.bindRegion(addr_b, 32, [&image]() { return image.data(); });
+
+    a.storeHalf(addr_a + 4, Half::fromDouble(-3.0));
+    // Device a sees its write, with the rest of the region preserved.
+    EXPECT_EQ(a.loadHalf(addr_a + 4).bits(),
+              Half::fromDouble(-3.0).bits());
+    EXPECT_EQ(a.loadHalf(addr_a).bits(), Half::fromDouble(1.0).bits());
+    // The image and every other device bound to it are untouched.
+    EXPECT_EQ(image[2].bits(), Half::fromDouble(1.0).bits());
+    EXPECT_EQ(b.loadHalf(addr_b + 4).bits(),
+              Half::fromDouble(1.0).bits());
+    EXPECT_NE(a.loadSpan(addr_a, 16), image.data());
+    EXPECT_EQ(b.loadSpan(addr_b, 16), image.data());
+}
+
+TEST(OffchipMemory, ReadsOutsideAllocationsReturnZero)
+{
+    OffchipMemory mem("m", 1 << 20, 460e9, 0.6, true);
+    uint64_t addr = mem.alloc(16, "a");
+    EXPECT_TRUE(mem.loadHalf(addr + 4096).isZero());
+    EXPECT_TRUE(mem.loadHalf(addr).isZero());  // allocated, unwritten
+}
+
+TEST(OffchipMemory, StraddlingReadKeepsStoredPrefix)
+{
+    // readHalf is element-wise: a read running past a region's end
+    // returns the stored prefix and zeros beyond it (spans, the hot
+    // path, assert containment instead).
+    OffchipMemory mem("m", 1 << 20, 460e9, 0.6, true);
+    uint64_t addr = mem.alloc(32, "a");
+    Half v = Half::fromDouble(4.5);
+    mem.writeHalf(addr + 30, &v, 1);
+    Half out[2];
+    mem.readHalf(addr + 30, out, 2);
+    EXPECT_EQ(out[0].bits(), v.bits());
+    EXPECT_TRUE(out[1].isZero());
+}
+
+TEST(OffchipMemory, SpansMustStayInsideOneRegion)
+{
+    OffchipMemory mem("m", 1 << 20, 460e9, 0.6, true);
+    uint64_t a = mem.alloc(32, "a");
+    mem.alloc(32, "b");
+    EXPECT_DEATH(mem.loadSpan(a, 64), "outside any allocated region");
+}
+
+TEST(OffchipMemory, OomReportsTopAllocationTags)
+{
+    OffchipMemory mem("m", 4096, 460e9, 0.6, false);
+    mem.alloc(2048, "K");
+    mem.alloc(1024, "wq");
+    mem.alloc(512, "bias");
+    // The overflow report must name the biggest existing regions so a
+    // failed large-model bring-up points at its culprit.
+    EXPECT_DEATH(mem.alloc(4096, "VT"),
+                 "top allocations: K .*wq .*bias");
+}
+
 TEST(MemoryLayout, FullModelsFitDevices)
 {
     // The paper's three models must fit 8 GB HBM / 32 GB DDR at their

@@ -69,6 +69,13 @@ TEST(GptConfig, TestConfigsConsistent)
     GptConfig::mini().validate();
 }
 
+TEST(GptConfig, ByNameRejectsUnknownNames)
+{
+    EXPECT_DEATH(GptConfig::byName("gpt5"), "unknown model config");
+    EXPECT_DEATH(GptConfig::byName(""), "unknown model config");
+    EXPECT_DEATH(GptConfig::byName("345m"), "unknown model config");
+}
+
 TEST(GptWeights, CountMatchesConfig)
 {
     GptConfig c = GptConfig::toy();

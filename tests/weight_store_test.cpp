@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Shared weight store tests: the lazily generated, shard-major image
+ * must be bit-identical to the eager `GptWeights::random` path no
+ * matter which tensor is touched first (the per-shard seeding
+ * determinism invariant), accounting must match the config without
+ * materializing anything, and the DFX_WEIGHT_CACHE file must round-trip
+ * the image across store instances.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unistd.h>
+
+#include "common/threadpool.hpp"
+#include "model/weight_store.hpp"
+#include "model/weights.hpp"
+
+namespace dfx {
+namespace {
+
+/** Compares every tensor of `store` against eager weights `w`. */
+void
+expectStoreMatchesEager(WeightStore &store, const GptWeights &w)
+{
+    const GptConfig &cfg = w.config;
+    const size_t n = store.nShards();
+    const size_t emb = cfg.embedding;
+    const size_t emb_shard = emb / n;
+    const size_t ffn_shard = cfg.ffnHidden() / n;
+    auto expect_matrix = [&](int layer, WeightId id, const MatH &m) {
+        const size_t shard_w = m.cols() / n;
+        for (size_t s = 0; s < n; ++s) {
+            const Half *p = store.shardPtr(layer, id, s);
+            for (size_t r = 0; r < m.rows(); r += 7) {
+                for (size_t c = 0; c < shard_w; c += 5) {
+                    ASSERT_EQ(p[r * shard_w + c].bits(),
+                              m.at(r, s * shard_w + c).bits())
+                        << "layer " << layer << " id "
+                        << static_cast<int>(id) << " shard " << s;
+                }
+            }
+        }
+    };
+    auto expect_matrix_full = [&](int layer, WeightId id, const MatH &m) {
+        // Replicated matrices (WTE, WPE) store the canonical row-major
+        // full tensor once, shared by every core.
+        const Half *p = store.shardPtr(layer, id, 0);
+        for (size_t r = 0; r < m.rows(); r += 7) {
+            for (size_t c = 0; c < m.cols(); c += 5) {
+                ASSERT_EQ(p[r * m.cols() + c].bits(), m.at(r, c).bits())
+                    << "id " << static_cast<int>(id);
+            }
+        }
+    };
+    auto expect_vec_sharded = [&](int layer, WeightId id, const VecH &v,
+                                  size_t shard_w) {
+        for (size_t s = 0; s < n; ++s) {
+            const Half *p = store.shardPtr(layer, id, s);
+            for (size_t c = 0; c < shard_w; c += 3)
+                ASSERT_EQ(p[c].bits(), v[s * shard_w + c].bits());
+        }
+    };
+    auto expect_vec_full = [&](int layer, WeightId id, const VecH &v) {
+        const Half *p = store.shardPtr(layer, id, 0);
+        for (size_t i = 0; i < v.size(); i += 3)
+            ASSERT_EQ(p[i].bits(), v[i].bits());
+    };
+
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        const LayerWeights &lw = w.layers[l];
+        const int li = static_cast<int>(l);
+        expect_matrix(li, WeightId::kWq, lw.wq);
+        expect_matrix(li, WeightId::kWk, lw.wk);
+        expect_matrix(li, WeightId::kWv, lw.wv);
+        expect_matrix(li, WeightId::kWproj, lw.wproj);
+        expect_matrix(li, WeightId::kWfc1, lw.wfc1);
+        expect_matrix(li, WeightId::kWfc2, lw.wfc2);
+        expect_vec_sharded(li, WeightId::kBq, lw.bq, emb_shard);
+        expect_vec_sharded(li, WeightId::kBk, lw.bk, emb_shard);
+        expect_vec_sharded(li, WeightId::kBv, lw.bv, emb_shard);
+        expect_vec_sharded(li, WeightId::kBproj, lw.bproj, emb_shard);
+        expect_vec_sharded(li, WeightId::kBfc1, lw.bfc1, ffn_shard);
+        expect_vec_sharded(li, WeightId::kBfc2, lw.bfc2, emb_shard);
+        expect_vec_full(li, WeightId::kLn1Gamma, lw.ln1Gamma);
+        expect_vec_full(li, WeightId::kLn1Beta, lw.ln1Beta);
+        expect_vec_full(li, WeightId::kLn2Gamma, lw.ln2Gamma);
+        expect_vec_full(li, WeightId::kLn2Beta, lw.ln2Beta);
+    }
+    expect_matrix_full(-1, WeightId::kWte, w.wte);
+    expect_matrix_full(-1, WeightId::kWpe, w.wpe);
+    expect_vec_full(-1, WeightId::kLnfGamma, w.lnfGamma);
+    expect_vec_full(-1, WeightId::kLnfBeta, w.lnfBeta);
+
+    // LM head: transposed WTE per vocab shard, zero-padded.
+    const size_t vshard = store.vocabShardCols();
+    for (size_t s = 0; s < n; ++s) {
+        const Half *p = store.shardPtr(-1, WeightId::kLmHead, s);
+        const size_t off = s * vshard;
+        for (size_t r = 0; r < emb; r += 31) {
+            for (size_t c = 0; c < vshard; c += 97) {
+                const Half expect = off + c < cfg.vocabSize
+                                        ? w.wte.at(off + c, r)
+                                        : Half::zero();
+                ASSERT_EQ(p[r * vshard + c].bits(), expect.bits())
+                    << "lm head shard " << s;
+            }
+        }
+    }
+}
+
+TEST(WeightStore, BitIdenticalToEagerGeneration)
+{
+    // The store's lazily entered per-tensor streams must reproduce the
+    // eager single-stream generation draw for draw — this is the
+    // anchor that keeps store-backed tokens identical to the PR-4
+    // loadWeights path.
+    const GptConfig cfg = GptConfig::mini();
+    GptWeights w = GptWeights::random(cfg, 61);
+    WeightStore store(WeightSpec{cfg, 61}, /*n_shards=*/2, /*lanes=*/16);
+    expectStoreMatchesEager(store, w);
+}
+
+TEST(WeightStore, SingleShardToyMatchesEager)
+{
+    const GptConfig cfg = GptConfig::toy();
+    GptWeights w = GptWeights::random(cfg, 42);
+    WeightStore store(WeightSpec{cfg, 42}, 1, 16);
+    expectStoreMatchesEager(store, w);
+}
+
+TEST(WeightStore, MaterializationOrderIsIrrelevant)
+{
+    // Touching a late tensor first must produce the same bytes as
+    // sequential materialization: the stream is entered at the
+    // tensor's offset either way.
+    const GptConfig cfg = GptConfig::mini();
+    WeightSpec spec{cfg, 7};
+    WeightStore seq(spec, 2, 16);
+    seq.materializeAll();
+
+    WeightStore lazy(spec, 2, 16);
+    const WeightTensorDesc &d = lazy.desc(2, WeightId::kWfc2);
+    const Half *p_lazy = lazy.shardPtr(2, WeightId::kWfc2, 1);
+    const Half *p_seq = seq.shardPtr(2, WeightId::kWfc2, 1);
+    const size_t shard_elems = d.rows * d.cols / 2;
+    for (size_t i = 0; i < shard_elems; ++i)
+        ASSERT_EQ(p_lazy[i].bits(), p_seq[i].bits()) << "elem " << i;
+    // Earlier tensors generated afterwards also agree.
+    const Half *q_lazy = lazy.shardPtr(0, WeightId::kWq, 0);
+    const Half *q_seq = seq.shardPtr(0, WeightId::kWq, 0);
+    for (size_t i = 0; i < cfg.embedding; ++i)
+        ASSERT_EQ(q_lazy[i].bits(), q_seq[i].bits());
+}
+
+TEST(WeightStore, ParallelMaterializationMatchesSequential)
+{
+    const GptConfig cfg = GptConfig::mini();
+    WeightSpec spec{cfg, 19};
+    WeightStore seq(spec, 2, 16);
+    seq.materializeAll();
+    WeightStore par(spec, 2, 16);
+    ThreadPool pool(4);
+    par.materializeAll(&pool);
+    EXPECT_EQ(par.materializedTensors(), seq.materializedTensors());
+    for (size_t l = 0; l < cfg.layers; ++l) {
+        const Half *a = seq.shardPtr(static_cast<int>(l), WeightId::kWfc1,
+                                     1);
+        const Half *b = par.shardPtr(static_cast<int>(l), WeightId::kWfc1,
+                                     1);
+        for (size_t i = 0; i < 64; ++i)
+            ASSERT_EQ(a[i].bits(), b[i].bits()) << "layer " << l;
+    }
+}
+
+TEST(WeightStore, LazySpotTouchMaterializesOnlyWhatItReads)
+{
+    // Touching one matrix must not materialize the model — the
+    // property that makes 1.5B spot-functional runs affordable.
+    const GptConfig cfg = GptConfig::mini();
+    WeightStore store(WeightSpec{cfg, 3}, 2, 16);
+    EXPECT_EQ(store.materializedTensors(), 0u);
+    store.shardPtr(1, WeightId::kWv, 0);
+    EXPECT_EQ(store.materializedTensors(), 1u);
+    // The LM head pulls in WTE (it derives from it), nothing else.
+    store.shardPtr(-1, WeightId::kLmHead, 1);
+    EXPECT_EQ(store.materializedTensors(), 3u);
+}
+
+TEST(WeightStore, SpecAccountingNeedsNoMaterialization)
+{
+    // WeightSpec accounts parameters from the tensor table alone; the
+    // totals must agree with the config's closed-form accounting for
+    // the big paper models (and the image adds only the derived
+    // lane-padded LM head on top).
+    for (const GptConfig &cfg :
+         {GptConfig::gpt2_774M(), GptConfig::gpt2_1_5B()}) {
+        WeightSpec spec{cfg, 0};
+        EXPECT_EQ(spec.parameterCount(), cfg.parameterCount())
+            << cfg.name;
+        EXPECT_EQ(spec.parameterBytes(), cfg.parameterBytes())
+            << cfg.name;
+    }
+    // Sanity: a store sized for 1.5B reports image bytes close to the
+    // parameter bytes (the delta is the derived LM head copy).
+    const GptConfig big = GptConfig::gpt2_1_5B();
+    WeightStore store(WeightSpec{big, 0}, 4, 16);
+    EXPECT_GE(store.imageBytes(), big.parameterBytes());
+    EXPECT_LT(store.imageBytes(),
+              big.parameterBytes() +
+                  uint64_t{2} * big.embedding *
+                      (big.vocabSize + 4 * 16));
+    EXPECT_EQ(store.materializedTensors(), 0u);
+}
+
+class WeightStoreCacheTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/dfx-weight-cache-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        ::setenv("DFX_WEIGHT_CACHE", dir_.c_str(), 1);
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("DFX_WEIGHT_CACHE");
+        // Best-effort cleanup of the cache files + dir.
+        std::string cmd = "rm -rf '" + dir_ + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+
+    std::string dir_;
+};
+
+TEST_F(WeightStoreCacheTest, CacheRoundTripSkipsRegeneration)
+{
+    const GptConfig cfg = GptConfig::toy();
+    WeightSpec spec{cfg, 99};
+    std::string path;
+    {
+        WeightStore first(spec, 2, 16);
+        ASSERT_TRUE(first.cacheBacked());
+        path = first.cachePath();
+        first.materializeAll();
+        EXPECT_GT(first.generatedTensors(), 0u);
+    }
+    // A second store over the same (config, seed, geometry) must adopt
+    // the finished image without generating anything.
+    WeightStore second(spec, 2, 16);
+    ASSERT_TRUE(second.cacheBacked());
+    EXPECT_EQ(second.cachePath(), path);
+    EXPECT_EQ(second.materializedTensors(),
+              4 + cfg.layers * 16 + 1);  // everything already valid
+    second.materializeAll();
+    EXPECT_EQ(second.generatedTensors(), 0u);
+
+    GptWeights w = GptWeights::random(cfg, 99);
+    expectStoreMatchesEager(second, w);
+}
+
+TEST_F(WeightStoreCacheTest, CacheKeyedOnSeedAndGeometry)
+{
+    const GptConfig cfg = GptConfig::toy();
+    WeightStore a(WeightSpec{cfg, 1}, 2, 16);
+    WeightStore b(WeightSpec{cfg, 2}, 2, 16);   // different seed
+    WeightStore c(WeightSpec{cfg, 1}, 1, 16);   // different geometry
+    EXPECT_NE(a.cachePath(), b.cachePath());
+    EXPECT_NE(a.cachePath(), c.cachePath());
+    // Distinct seeds generate distinct values.
+    const Half *pa = a.shardPtr(-1, WeightId::kWte, 0);
+    const Half *pb = b.shardPtr(-1, WeightId::kWte, 0);
+    bool any_diff = false;
+    for (size_t i = 0; i < 64; ++i)
+        any_diff |= pa[i].bits() != pb[i].bits();
+    EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace dfx
