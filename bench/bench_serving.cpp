@@ -22,9 +22,22 @@
  *     static placement vs. cross-cluster stealing
  *     ("work_stealing").
  *
+ *  4. Fault injection + failover ("faults") — kill 1 of 2 clusters
+ *     mid-pool on the petite functional model and on GPT-2 345M
+ *     (timing), a 4x straggler window on 345M, and an SLO-shedding
+ *     scenario where a fail-stop halves capacity under a fixed TTFT
+ *     budget. Records recovery makespan vs. the healthy run and the
+ *     naive no-failover bound (the surviving cluster draining
+ *     everything from scratch), failover/retry/requeued-token
+ *     counters, TTFT inflation and shed counts.
+ *
  * Invariants enforced here (the bench fails hard on any):
  *  - per-request tokens are bit-identical to serial single-request
  *    runs at every in-flight level AND at every offered load;
+ *  - an empty FaultPlan leaves the closed-loop serve bit-identical
+ *    (timestamps and tokens), and under the kill-one-of-two plan
+ *    every request completes with serial-identical tokens while the
+ *    recovery makespan beats the naive no-failover bound;
  *  - closed-loop throughput grows monotonically with in-flight count
  *    (weight streams amortize across batch-mates; each request's K/V
  *    streams run on the HBM channels its contexts' regions are pinned
@@ -337,6 +350,222 @@ main()
                     pt.render().c_str());
     }
 
+    // --- Fault injection + failover ----------------------------------
+    struct KillRecord
+    {
+        double healthy = 0.0, faulted = 0.0, naive = 0.0;
+        size_t failovers = 0, retries = 0, requeuedTokens = 0;
+        size_t completed = 0;
+        double ttftP99Healthy = 0.0, ttftP99Faulted = 0.0;
+    };
+    KillRecord kill_petite, kill_345m;
+    double strag_healthy = 0.0, strag_faulted = 0.0;
+    size_t shed_shed = 0, shed_completed = 0, shed_failed = 0;
+    bool empty_plan_identical = true;
+    {
+        // (a) Empty-plan bit-identity: arming the fault machinery
+        // with nothing to inject must leave the closed-loop serve's
+        // timestamps and tokens untouched (determinism invariant 7).
+        cfg.kvContexts = open_kv;
+        DfxServer plain(cfg, 1);
+        plain.loadWeights(weights);
+        ServerStats base_stats = plain.serve(reqs);
+        ServerOptions armed_opts;
+        armed_opts.faultPlan = FaultPlan{};
+        armed_opts.drainDeadlineHostSeconds = 300.0;
+        DfxServer armed(cfg, 1, armed_opts);
+        armed.loadWeights(weights);
+        ServerStats armed_stats = armed.serve(reqs);
+        empty_plan_identical =
+            base_stats.makespanSeconds == armed_stats.makespanSeconds;
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            const RequestResult &a = base_stats.results[i];
+            const RequestResult &b = armed_stats.results[i];
+            if (a.tokens != b.tokens ||
+                a.admitSimSeconds != b.admitSimSeconds ||
+                a.firstTokenSimSeconds != b.firstTokenSimSeconds ||
+                a.finishSimSeconds != b.finishSimSeconds)
+                empty_plan_identical = false;
+        }
+        if (!empty_plan_identical) {
+            std::fprintf(stderr,
+                         "FATAL: an empty fault plan perturbed the "
+                         "closed-loop serve\n");
+            return 1;
+        }
+
+        // (b) Kill 1 of 2 clusters mid-pool. Healthy run sets the
+        // kill time (45% of the healthy makespan, mid-generation);
+        // naive bound = the surviving cluster draining the whole pool
+        // from scratch. expected != nullptr adds the functional
+        // bit-identity check.
+        auto runKill =
+            [](const DfxSystemConfig &kcfg, const GptWeights *kweights,
+               const std::vector<ServerRequest> &kreqs,
+               const std::vector<std::vector<int32_t>> *expected,
+               KillRecord &rec) -> bool {
+            DfxServer healthy(kcfg, 2);
+            if (kweights)
+                healthy.loadWeights(*kweights);
+            ServerStats hstats = healthy.serve(kreqs);
+            rec.healthy = hstats.makespanSeconds;
+            rec.ttftP99Healthy = hstats.ttftP99Seconds;
+
+            ServerOptions kopts;
+            kopts.faultPlan.failStops.push_back(
+                {0, 0.45 * rec.healthy});
+            kopts.drainDeadlineHostSeconds = 300.0;
+            DfxServer faulted(kcfg, 2, kopts);
+            if (kweights)
+                faulted.loadWeights(*kweights);
+            ServerStats fstats = faulted.serve(kreqs);
+            rec.faulted = fstats.makespanSeconds;
+            rec.ttftP99Faulted = fstats.ttftP99Seconds;
+            rec.failovers = fstats.totalFailovers;
+            rec.retries = fstats.totalRetries;
+            rec.requeuedTokens = fstats.requeuedTokens;
+            rec.completed = fstats.completedRequests;
+
+            DfxServer naive(kcfg, 1);
+            if (kweights)
+                naive.loadWeights(*kweights);
+            rec.naive = naive.serve(kreqs).makespanSeconds;
+
+            if (fstats.completedRequests != kreqs.size() ||
+                fstats.totalFailed != 0 || fstats.totalShed != 0)
+                return false;
+            if (expected)
+                for (size_t i = 0; i < kreqs.size(); ++i)
+                    if (fstats.results[i].tokens != (*expected)[i])
+                        return false;
+            return rec.failovers >= 1 && rec.faulted > rec.healthy &&
+                   rec.faulted < rec.naive;
+        };
+
+        DfxSystemConfig pk_cfg = cfg;
+        pk_cfg.kvContexts = 2;
+        auto pk_reqs = requestPool(12, n_in, n_out, model.vocabSize);
+        DfxSystemConfig pk_serial = pk_cfg;
+        pk_serial.kvContexts = 1;
+        auto pk_expected = serialReference(pk_serial, weights, pk_reqs);
+        if (!runKill(pk_cfg, &weights, pk_reqs, &pk_expected,
+                     kill_petite)) {
+            std::fprintf(stderr,
+                         "FATAL: petite kill-one-of-two scenario broke "
+                         "an invariant (completion, bit-identity, or "
+                         "the recovery bound)\n");
+            return 1;
+        }
+
+        DfxSystemConfig mk_cfg;
+        mk_cfg.model = GptConfig::gpt2_345M();
+        mk_cfg.nCores = 4;
+        mk_cfg.functional = false;
+        mk_cfg.kvContexts = 2;
+        // 12 requests (6 per cluster, kv 2): the first batch pair
+        // completes before the 0.45-makespan kill, so the dead
+        // cluster's finished work survives and failover strictly
+        // beats the naive bound. With 4 per cluster the kill lands
+        // before any completion and faulted degenerates to exactly
+        // the naive makespan.
+        auto mk_reqs = requestPool(12, 32, 64, mk_cfg.model.vocabSize);
+        if (!runKill(mk_cfg, nullptr, mk_reqs, nullptr, kill_345m)) {
+            std::fprintf(stderr,
+                         "FATAL: 345M kill-one-of-two scenario broke "
+                         "an invariant (completion or the recovery "
+                         "bound)\n");
+            return 1;
+        }
+
+        Table ft({"scenario", "healthy (s)", "faulted (s)", "naive (s)",
+                  "failovers", "retries"});
+        ft.addRow({"kill 1/2 petite", fmt(kill_petite.healthy, 4),
+                   fmt(kill_petite.faulted, 4),
+                   fmt(kill_petite.naive, 4),
+                   std::to_string(kill_petite.failovers),
+                   std::to_string(kill_petite.retries)});
+        ft.addRow({"kill 1/2 345M", fmt(kill_345m.healthy, 4),
+                   fmt(kill_345m.faulted, 4), fmt(kill_345m.naive, 4),
+                   std::to_string(kill_345m.failovers),
+                   std::to_string(kill_345m.retries)});
+
+        // (c) Straggler: a 4x slowdown window over the middle half of
+        // the healthy 345M run. Timing-only, so only the makespan
+        // moves — and it must stay inside (healthy, 4 x healthy).
+        {
+            DfxServer healthy(mk_cfg, 2);
+            strag_healthy = healthy.serve(mk_reqs).makespanSeconds;
+            ServerOptions topts;
+            topts.faultPlan.slowdowns.push_back(
+                {0, 0.25 * strag_healthy, 0.75 * strag_healthy, 4.0});
+            topts.drainDeadlineHostSeconds = 300.0;
+            DfxServer slow(mk_cfg, 2, topts);
+            strag_faulted = slow.serve(mk_reqs).makespanSeconds;
+            if (!(strag_faulted > strag_healthy &&
+                  strag_faulted < 4.0 * strag_healthy)) {
+                std::fprintf(stderr,
+                             "FATAL: straggler makespan %.4fs outside "
+                             "(%.4fs, %.4fs)\n",
+                             strag_faulted, strag_healthy,
+                             4.0 * strag_healthy);
+                return 1;
+            }
+            ft.addRow({"straggler 4x 345M", fmt(strag_healthy, 4),
+                       fmt(strag_faulted, 4), "-", "-", "-"});
+        }
+
+        // (d) SLO shedding: a fail-stop halves capacity under a pool
+        // of identical requests and a fixed TTFT budget — the newest
+        // waiters shed, the rest finish with serial tokens, nothing
+        // fails or vanishes.
+        {
+            DfxSystemConfig sc_cfg = cfg;
+            sc_cfg.kvContexts = 1;
+            auto one_req = requestPool(1, n_in, n_out, model.vocabSize);
+            auto sexp = serialReference(sc_cfg, weights, one_req);
+            std::vector<ServerRequest> sreqs(12, one_req[0]);
+            DfxServer probe(sc_cfg, 1);
+            probe.loadWeights(weights);
+            const double single_lat =
+                probe.serve(one_req).results[0].latencySeconds();
+            DfxServer healthy2(sc_cfg, 2);
+            healthy2.loadWeights(weights);
+            const double h2 = healthy2.serve(sreqs).makespanSeconds;
+
+            ServerOptions sopts;
+            sopts.faultPlan.failStops.push_back({0, 0.25 * h2});
+            sopts.sloTtftBudgetSeconds = 6.0 * single_lat;
+            sopts.drainDeadlineHostSeconds = 300.0;
+            DfxServer shedding(sc_cfg, 2, sopts);
+            shedding.loadWeights(weights);
+            ServerStats sstats = shedding.serve(sreqs);
+            shed_shed = sstats.totalShed;
+            shed_completed = sstats.completedRequests;
+            shed_failed = sstats.totalFailed;
+            bool ok = shed_shed >= 1 && shed_failed == 0 &&
+                      shed_completed + shed_shed == sreqs.size();
+            for (const RequestResult &r : sstats.results)
+                if (r.outcome == RequestOutcome::Completed &&
+                    r.tokens != sexp[0])
+                    ok = false;
+            if (!ok) {
+                std::fprintf(stderr,
+                             "FATAL: shed scenario broke an invariant "
+                             "(%zu shed, %zu completed, %zu failed of "
+                             "%zu)\n",
+                             shed_shed, shed_completed, shed_failed,
+                             sreqs.size());
+                return 1;
+            }
+            ft.addRow({"shed petite", "-", "-", "-",
+                       std::to_string(shed_shed) + " shed",
+                       std::to_string(shed_completed) + " done"});
+        }
+        std::printf("fault injection (kill at 45%% of the healthy "
+                    "makespan; naive = survivor from scratch):\n%s\n",
+                    ft.render().c_str());
+    }
+
     FILE *f = std::fopen("BENCH_serving.json", "w");
     if (!f) {
         std::fprintf(stderr, "cannot write BENCH_serving.json\n");
@@ -406,7 +635,48 @@ main()
                      s.p99LatencySec,
                      i + 1 < paper.size() ? "," : "");
     }
-    std::fprintf(f, "  ]}\n}\n");
+    std::fprintf(f, "  ]},\n");
+    std::fprintf(f, "  \"faults\": {\n");
+    std::fprintf(f, "    \"empty_plan_identical\": %s,\n",
+                 empty_plan_identical ? "true" : "false");
+    std::fprintf(f,
+                 "    \"kill_petite\": {\"n_clusters\": 2, "
+                 "\"makespan_healthy_sec\": %.6f, "
+                 "\"makespan_faulted_sec\": %.6f, "
+                 "\"makespan_naive_sec\": %.6f, "
+                 "\"failovers\": %zu, \"retries\": %zu, "
+                 "\"requeued_tokens\": %zu, "
+                 "\"ttft_p99_healthy_sec\": %.6f, "
+                 "\"ttft_p99_faulted_sec\": %.6f, "
+                 "\"tokens_match_serial\": true},\n",
+                 kill_petite.healthy, kill_petite.faulted,
+                 kill_petite.naive, kill_petite.failovers,
+                 kill_petite.retries, kill_petite.requeuedTokens,
+                 kill_petite.ttftP99Healthy, kill_petite.ttftP99Faulted);
+    std::fprintf(f,
+                 "    \"kill_345m\": {\"n_clusters\": 2, "
+                 "\"makespan_healthy_sec\": %.6f, "
+                 "\"makespan_faulted_sec\": %.6f, "
+                 "\"makespan_naive_sec\": %.6f, "
+                 "\"failovers\": %zu, \"retries\": %zu, "
+                 "\"requeued_tokens\": %zu, \"completed\": %zu, "
+                 "\"ttft_p99_healthy_sec\": %.6f, "
+                 "\"ttft_p99_faulted_sec\": %.6f},\n",
+                 kill_345m.healthy, kill_345m.faulted, kill_345m.naive,
+                 kill_345m.failovers, kill_345m.retries,
+                 kill_345m.requeuedTokens, kill_345m.completed,
+                 kill_345m.ttftP99Healthy, kill_345m.ttftP99Faulted);
+    std::fprintf(f,
+                 "    \"straggler_345m\": {\"slowdown_factor\": 4.0, "
+                 "\"makespan_healthy_sec\": %.6f, "
+                 "\"makespan_faulted_sec\": %.6f},\n",
+                 strag_healthy, strag_faulted);
+    std::fprintf(f,
+                 "    \"shed_petite\": {\"shed\": %zu, "
+                 "\"completed\": %zu, \"failed\": %zu, "
+                 "\"tokens_match_serial\": true}\n",
+                 shed_shed, shed_completed, shed_failed);
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_serving.json\n");
     return 0;

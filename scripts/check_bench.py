@@ -8,9 +8,13 @@ steps-per-second (or tokens-per-second) regression beyond the
 threshold. The serving record is also checked for a non-monotonic
 batching sweep, an open-loop TTFT regression (``latency_vs_load``:
 TTFT beyond (1+threshold) x baseline at any offered load, or a TTFT
-p99 curve that stopped being monotone in offered load), and a
+p99 curve that stopped being monotone in offered load), a
 work-stealing makespan that no longer strictly beats static
-placement. Modeled serving metrics are deterministic, so any drop
+placement, and the fault-injection section (``faults``: empty-plan
+bit-identity, every kill-scenario request completed with
+serial-identical tokens, recovery makespan beating the naive
+no-failover bound, shed requests reported). Modeled serving metrics
+are deterministic, so any drop
 there is a real model/scheduler regression; host steps/sec vary with
 the machine, which is what the (generous) threshold absorbs.
 
@@ -190,6 +194,78 @@ def check_work_stealing(base: dict, fresh: dict, threshold: float,
                               threshold, failures)
 
 
+def check_faults(base: dict, fresh: dict, threshold: float,
+                 failures: list) -> None:
+    """Fault-injection gate: an empty plan must leave the serve
+    bit-identical, every kill-one-of-two request must complete with
+    serial-identical tokens, recovery makespan must beat the naive
+    no-failover bound (survivor draining everything from scratch) and
+    not regress vs. baseline, the straggler window must cost between
+    1x and the slowdown factor x the healthy makespan, and the shed
+    scenario must shed (reported, never failed or dropped)."""
+    print("bench_serving faults (failover + degradation):")
+    if not fresh.get("empty_plan_identical", False):
+        failures.append("faults: an empty FaultPlan perturbed the "
+                        "closed-loop serve (bit-identity broken)")
+    for name in ("kill_petite", "kill_345m"):
+        if name not in fresh:
+            failures.append(f"faults: fresh JSON lacks '{name}'")
+            continue
+        k = fresh[name]
+        print(f"  {name}: healthy {k['makespan_healthy_sec']:.4f}s -> "
+              f"faulted {k['makespan_faulted_sec']:.4f}s "
+              f"(naive {k['makespan_naive_sec']:.4f}s, "
+              f"{k['failovers']} failovers, {k['retries']} retries)")
+        if not k["makespan_faulted_sec"] < k["makespan_naive_sec"]:
+            failures.append(
+                f"faults: {name} recovery makespan "
+                f"{k['makespan_faulted_sec']:.4f}s does not beat the "
+                f"naive no-failover bound "
+                f"{k['makespan_naive_sec']:.4f}s")
+        if k["failovers"] < 1:
+            failures.append(f"faults: {name} recorded no failovers")
+        if "tokens_match_serial" in k and not k["tokens_match_serial"]:
+            failures.append(f"faults: {name} tokens diverged from the "
+                            f"serial reference")
+        if name in base:
+            check_metric_lower_better(
+                f"{name} recovery makespan (s)",
+                base[name]["makespan_faulted_sec"],
+                k["makespan_faulted_sec"], threshold, failures)
+    if "straggler_345m" in fresh:
+        s = fresh["straggler_345m"]
+        lo = s["makespan_healthy_sec"]
+        hi = s["slowdown_factor"] * lo
+        print(f"  straggler_345m: healthy {lo:.4f}s -> "
+              f"faulted {s['makespan_faulted_sec']:.4f}s")
+        if not lo < s["makespan_faulted_sec"] < hi:
+            failures.append(
+                f"faults: straggler makespan "
+                f"{s['makespan_faulted_sec']:.4f}s outside "
+                f"({lo:.4f}s, {hi:.4f}s)")
+        if "straggler_345m" in base:
+            check_metric_lower_better(
+                "straggler makespan (s)",
+                base["straggler_345m"]["makespan_faulted_sec"],
+                s["makespan_faulted_sec"], threshold, failures)
+    else:
+        failures.append("faults: fresh JSON lacks 'straggler_345m'")
+    if "shed_petite" in fresh:
+        d = fresh["shed_petite"]
+        print(f"  shed_petite: {d['shed']} shed, {d['completed']} "
+              f"completed, {d['failed']} failed")
+        if d["shed"] < 1:
+            failures.append("faults: shed scenario shed nothing")
+        if d["failed"] != 0:
+            failures.append(f"faults: shed scenario failed "
+                            f"{d['failed']} requests")
+        if not d.get("tokens_match_serial", False):
+            failures.append("faults: shed scenario's completed tokens "
+                            "diverged from the serial reference")
+    else:
+        failures.append("faults: fresh JSON lacks 'shed_petite'")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", type=Path,
@@ -245,7 +321,8 @@ def main() -> int:
             failures.append("serving: fresh JSON lacks the "
                             "'paper_scale' sweep the baseline has")
     for section, checker in (("latency_vs_load", check_latency_vs_load),
-                             ("work_stealing", check_work_stealing)):
+                             ("work_stealing", check_work_stealing),
+                             ("faults", check_faults)):
         if section in base_serving:
             if section in fresh_serving:
                 checker(base_serving[section], fresh_serving[section],

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Fault-plan validation, window lookups and the seeded generator.
+ */
+#include "appliance/faults.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+namespace dfx {
+
+const char *
+toString(ClusterHealth health)
+{
+    switch (health) {
+    case ClusterHealth::Healthy:
+        return "healthy";
+    case ClusterHealth::Degraded:
+        return "degraded";
+    case ClusterHealth::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+void
+FaultPlan::validate(size_t n_clusters) const
+{
+    for (const ClusterFailStop &ev : failStops) {
+        if (ev.cluster >= n_clusters)
+            DFX_FATAL("fault plan: fail-stop cluster %zu out of range "
+                      "(%zu clusters)",
+                      ev.cluster, n_clusters);
+        if (!std::isfinite(ev.atSeconds) || ev.atSeconds < 0.0)
+            DFX_FATAL("fault plan: fail-stop time %f must be finite "
+                      "and non-negative",
+                      ev.atSeconds);
+    }
+    for (const ClusterSlowdown &ev : slowdowns) {
+        if (ev.cluster >= n_clusters)
+            DFX_FATAL("fault plan: slowdown cluster %zu out of range "
+                      "(%zu clusters)",
+                      ev.cluster, n_clusters);
+        if (!std::isfinite(ev.fromSeconds) ||
+            !std::isfinite(ev.toSeconds) || ev.fromSeconds < 0.0 ||
+            ev.toSeconds <= ev.fromSeconds)
+            DFX_FATAL("fault plan: slowdown window [%f, %f) is empty "
+                      "or ill-formed",
+                      ev.fromSeconds, ev.toSeconds);
+        if (!std::isfinite(ev.factor) || ev.factor < 1.0)
+            DFX_FATAL("fault plan: slowdown factor %f must be >= 1",
+                      ev.factor);
+    }
+    for (const LinkDegrade &ev : linkDegrades) {
+        if (!std::isfinite(ev.fromSeconds) ||
+            !std::isfinite(ev.toSeconds) || ev.fromSeconds < 0.0 ||
+            ev.toSeconds <= ev.fromSeconds)
+            DFX_FATAL("fault plan: link-degrade window [%f, %f) is "
+                      "empty or ill-formed",
+                      ev.fromSeconds, ev.toSeconds);
+        if (!std::isfinite(ev.factor) || ev.factor < 1.0)
+            DFX_FATAL("fault plan: link-degrade factor %f must be >= 1",
+                      ev.factor);
+    }
+}
+
+double
+FaultPlan::slowdownFactor(size_t cluster, double at) const
+{
+    double factor = 1.0;
+    for (const ClusterSlowdown &ev : slowdowns) {
+        if (ev.cluster == cluster && at >= ev.fromSeconds &&
+            at < ev.toSeconds)
+            factor *= ev.factor;
+    }
+    return factor;
+}
+
+double
+FaultPlan::linkFactor(double at) const
+{
+    double factor = 1.0;
+    for (const LinkDegrade &ev : linkDegrades) {
+        if (at >= ev.fromSeconds && at < ev.toSeconds)
+            factor *= ev.factor;
+    }
+    return factor;
+}
+
+FaultPlan
+FaultPlan::random(uint64_t seed, size_t n_clusters,
+                  double horizon_seconds, size_t n_events)
+{
+    DFX_ASSERT(n_clusters >= 1, "fault plan needs at least one cluster");
+    DFX_ASSERT(std::isfinite(horizon_seconds) && horizon_seconds > 0.0,
+               "fault horizon must be finite and positive");
+    Rng rng(seed);
+    // One survivor cluster is exempt from fail-stops so a generated
+    // plan can always finish the workload via failover.
+    const size_t survivor = rng.below(n_clusters);
+    FaultPlan plan;
+    for (size_t i = 0; i < n_events; ++i) {
+        const uint64_t kind = rng.below(3);
+        if (kind == 0 && n_clusters > 1) {
+            size_t victim = rng.below(n_clusters);
+            if (victim == survivor)
+                victim = (victim + 1) % n_clusters;
+            plan.failStops.push_back(
+                {victim, rng.uniform(0.0, horizon_seconds)});
+        } else if (kind == 1) {
+            const double a = rng.uniform(0.0, horizon_seconds);
+            const double len =
+                rng.uniform(0.05 * horizon_seconds,
+                            0.5 * horizon_seconds);
+            plan.slowdowns.push_back({rng.below(n_clusters), a, a + len,
+                                      rng.uniform(1.5, 6.0)});
+        } else {
+            const double a = rng.uniform(0.0, horizon_seconds);
+            const double len =
+                rng.uniform(0.05 * horizon_seconds,
+                            0.5 * horizon_seconds);
+            plan.linkDegrades.push_back(
+                {a, a + len, rng.uniform(1.5, 4.0)});
+        }
+    }
+    return plan;
+}
+
+}  // namespace dfx

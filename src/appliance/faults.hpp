@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving subsystem.
+ *
+ * A real multi-FPGA appliance loses devices: a board wedges and
+ * fail-stops, a bitstream bug or thermal throttle turns a cluster
+ * into a straggler, a PCIe link trains down to fewer lanes. The
+ * serving scheduler treats all of these as *simulated-clock events*
+ * described by a `FaultPlan`:
+ *
+ *  - `ClusterFailStop` — the cluster dies at `atSeconds`. Its
+ *    in-flight requests lose their KV contexts and are requeued on a
+ *    healthy cluster (with a bounded retry budget); its waiters are
+ *    rerouted.
+ *  - `ClusterSlowdown` — a timing-side straggler: every round the
+ *    cluster runs inside [fromSeconds, toSeconds) is charged
+ *    `factor`x its modeled time. Functional outputs are untouched.
+ *  - `LinkDegrade` — the modeled host link degrades: PCIe transfers
+ *    started inside the window cost `factor`x their modeled time.
+ *
+ * Because events are expressed in simulated seconds and the scheduler
+ * applies them at deterministic round boundaries (see
+ * `DfxServer::schedulerLoop`), a faulted run is bit-reproducible from
+ * (plan, workload): same failover placement, same retries, same
+ * clocks, on every host. An empty plan leaves the server's behavior
+ * bit-identical to a fault-free build (determinism invariant 7 in
+ * docs/ARCHITECTURE.md).
+ */
+#ifndef DFX_APPLIANCE_FAULTS_HPP
+#define DFX_APPLIANCE_FAULTS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfx {
+
+/** Serving-visible condition of one cluster. */
+enum class ClusterHealth
+{
+    Healthy,   ///< serving at full modeled speed
+    Degraded,  ///< serving, but inside a slowdown window
+    Failed,    ///< fail-stopped; holds no requests, receives none
+};
+
+/** Human-readable health name (diagnostics, JSON). */
+const char *toString(ClusterHealth health);
+
+/** Cluster `cluster` fail-stops at simulated time `atSeconds`. */
+struct ClusterFailStop
+{
+    size_t cluster = 0;
+    double atSeconds = 0.0;
+};
+
+/** Cluster `cluster` runs `factor`x slower inside [from, to). */
+struct ClusterSlowdown
+{
+    size_t cluster = 0;
+    double fromSeconds = 0.0;
+    double toSeconds = 0.0;
+    double factor = 1.0;  ///< >= 1; 4.0 = rounds take 4x as long
+};
+
+/** PCIe transfers inside [from, to) cost `factor`x as much. */
+struct LinkDegrade
+{
+    double fromSeconds = 0.0;
+    double toSeconds = 0.0;
+    double factor = 1.0;  ///< >= 1; 2.0 = half the link bandwidth
+};
+
+/**
+ * A deterministic schedule of fault events on the simulated clock,
+ * applied per drain epoch (times are relative to the epoch's t=0,
+ * like `ServerRequest::arrivalSeconds`). Construct explicitly or via
+ * `FaultPlan::random(seed, ...)`; either way the faulted schedule is
+ * a pure function of (plan, workload).
+ */
+struct FaultPlan
+{
+    std::vector<ClusterFailStop> failStops;
+    std::vector<ClusterSlowdown> slowdowns;
+    std::vector<LinkDegrade> linkDegrades;
+
+    /** True when the plan injects nothing. */
+    bool
+    empty() const
+    {
+        return failStops.empty() && slowdowns.empty() &&
+               linkDegrades.empty();
+    }
+
+    /**
+     * Fatal on an ill-formed plan: out-of-range cluster indices,
+     * non-finite or negative times, empty windows, factors < 1.
+     * The server validates its plan at construction.
+     */
+    void validate(size_t n_clusters) const;
+
+    /**
+     * Combined slowdown multiplier for a round `cluster` starts at
+     * simulated time `at` (overlapping windows multiply). Exactly 1.0
+     * outside every window, so an empty plan never perturbs timing.
+     */
+    double slowdownFactor(size_t cluster, double at) const;
+
+    /** Combined PCIe cost multiplier at simulated time `at`. */
+    double linkFactor(double at) const;
+
+    /**
+     * Seedable plan generator for fuzz-style robustness runs: draws
+     * `n_events` events (fail-stops, slowdowns, link degrades) with
+     * times inside [0, horizon_seconds) from the repo's portable PRNG.
+     * The same (seed, n_clusters, horizon, n_events) always yields the
+     * same plan on every platform. At least one cluster is never
+     * fail-stopped, so a generated plan cannot strand the whole fleet.
+     */
+    static FaultPlan random(uint64_t seed, size_t n_clusters,
+                            double horizon_seconds, size_t n_events);
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_FAULTS_HPP

@@ -17,6 +17,13 @@
  * token step — runs unlocked, since each scheduler thread owns its
  * appliance(s) exclusively.
  *
+ * A non-empty fault plan forces the same discrete-event loop even
+ * with stealing off: fail-stop events are merged into the event order
+ * by simulated time (ties: fault before round), so failover routing
+ * observes a deterministic queue state. Slowdown windows and link
+ * degrades need no event of their own — they are pure multipliers
+ * sampled when a round (or PCIe transfer) is charged.
+ *
  * Processing boundaries in simulated-time order is what makes
  * admission and stealing decisions deterministic: a steal at
  * simulated time t observes exactly the queue state every other
@@ -32,7 +39,9 @@
 #include "appliance/server.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 namespace dfx {
@@ -59,6 +68,7 @@ DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters,
     DFX_ASSERT(n_clusters >= 1, "server needs at least one cluster");
     DFX_ASSERT(config.kvContexts >= 1,
                "server needs at least one KV context per cluster");
+    options_.faultPlan.validate(n_clusters);
     maxInFlight_ = config.kvContexts;
     clusters_.reserve(n_clusters);
     for (size_t i = 0; i < n_clusters; ++i)
@@ -67,7 +77,13 @@ DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters,
     inflight_.resize(n_clusters);
     simTime_.assign(n_clusters, 0.0);
     clusterStats_.assign(n_clusters, ClusterEpochStats{});
-    if (options_.workStealing) {
+    health_.assign(n_clusters, ClusterHealth::Healthy);
+    failStopApplied_.assign(options_.faultPlan.failStops.size(), false);
+    serviceSum_.assign(n_clusters, 0.0);
+    // Failover reads other clusters' queues, just like stealing: a
+    // non-empty plan forces the deterministic single-threaded DES.
+    useDes_ = options_.workStealing || !options_.faultPlan.empty();
+    if (useDes_) {
         schedulers_.emplace_back([this] { schedulerLoop(); });
     } else {
         schedulers_.reserve(n_clusters);
@@ -114,27 +130,57 @@ DfxServer::submitLocked(ServerRequest request)
     f.id = id;
     f.request = std::move(request);
     f.home = id % clusters_.size();
+    // A submission addressed to a failed cluster reroutes by the
+    // failover rule; with no healthy cluster left it fails outright.
+    if (health_[f.home] == ClusterHealth::Failed) {
+        const size_t target = routeTargetLocked();
+        if (target == clusters_.size()) {
+            const size_t home = f.home;
+            const double at = f.request.arrivalSeconds;
+            recordTerminalLocked(std::move(f), home,
+                                 RequestOutcome::Failed, at);
+            return id;
+        }
+        ++failovers_;
+        f.home = target;
+    }
+    insertPendingLocked(f.home, std::move(f));
+    return id;
+}
+
+void
+DfxServer::insertPendingLocked(size_t c, InFlight f)
+{
     // Pending queues are kept sorted by (arrival, id): generators
-    // emit non-decreasing arrivals, but an explicit trace may not.
-    auto &queue = pending_[f.home];
+    // emit non-decreasing arrivals, but an explicit trace may not,
+    // and failover requeues insert old arrivals behind a new home.
+    auto &queue = pending_[c];
     auto pos = std::upper_bound(
         queue.begin(), queue.end(), f,
         [](const InFlight &a, const InFlight &b) {
-            return a.request.arrivalSeconds < b.request.arrivalSeconds;
+            if (a.request.arrivalSeconds != b.request.arrivalSeconds)
+                return a.request.arrivalSeconds <
+                       b.request.arrivalSeconds;
+            return a.id < b.id;
         });
     queue.insert(pos, std::move(f));
-    return id;
 }
 
 uint64_t
 DfxServer::submit(ServerRequest request)
 {
     uint64_t id;
+    bool idle;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         id = submitLocked(std::move(request));
+        // submitLocked can terminate the request on the spot (every
+        // cluster failed): a concurrent drain() must wake up.
+        idle = completed_ == submitted_;
     }
     workCv_.notify_all();
+    if (idle)
+        idleCv_.notify_all();
     return id;
 }
 
@@ -153,6 +199,10 @@ DfxServer::arrivedWaitingLocked(size_t c, double t) const
 double
 DfxServer::nextEventTimeLocked(size_t c) const
 {
+    // A failed cluster holds no requests and schedules nothing; its
+    // queues were emptied by applyFailStopLocked.
+    if (health_[c] == ClusterHealth::Failed)
+        return std::numeric_limits<double>::infinity();
     // A cluster with requests in flight has a round to run right now.
     if (!inflight_[c].empty())
         return simTime_[c];
@@ -184,12 +234,184 @@ DfxServer::admitLocked(size_t c, InFlight f)
 {
     // Admission pays the host->device PCIe upload (input ids + system
     // configuration) on the cluster's simulated clock and takes
-    // ownership of a KV context slot.
+    // ownership of a KV context slot. A degraded link costs
+    // `linkFactor`x — exactly 1.0 on an empty plan, so the charge is
+    // bit-identical to a fault-free build.
     f.admitSim = simTime_[c];
     simTime_[c] +=
+        options_.faultPlan.linkFactor(simTime_[c]) *
         clusters_[c]->pcieSeconds(f.request.prompt.size() * 4 + 64);
     f.ctx = clusters_[c]->acquireContext();
     inflight_[c].push_back(std::move(f));
+}
+
+size_t
+DfxServer::routeTargetLocked() const
+{
+    // Least-loaded healthy cluster (a Degraded cluster still serves),
+    // ties by cluster index — a pure function of simulated state, so
+    // failover placement is reproducible.
+    size_t best = clusters_.size();
+    size_t best_load = std::numeric_limits<size_t>::max();
+    for (size_t c = 0; c < clusters_.size(); ++c) {
+        if (health_[c] == ClusterHealth::Failed)
+            continue;
+        const size_t load = inflight_[c].size() + pending_[c].size();
+        if (load < best_load) {
+            best_load = load;
+            best = c;
+        }
+    }
+    return best;
+}
+
+void
+DfxServer::recordTerminalLocked(InFlight f, size_t c,
+                                RequestOutcome outcome, double t)
+{
+    RequestResult r;
+    r.id = f.id;
+    r.cluster = c;
+    r.stolen = f.stolen;
+    r.outcome = outcome;
+    r.retries = f.retries;
+    r.arrivalSeconds = f.request.arrivalSeconds;
+    r.admitSimSeconds = t;
+    r.firstTokenSimSeconds = t;
+    r.finishSimSeconds = t;
+    results_.push_back(std::move(r));
+    if (outcome == RequestOutcome::Shed)
+        ++shed_;
+    else if (outcome == RequestOutcome::Failed)
+        ++failed_;
+    ++completed_;
+}
+
+void
+DfxServer::applyFailStopLocked(size_t ev)
+{
+    const ClusterFailStop &fs = options_.faultPlan.failStops[ev];
+    failStopApplied_[ev] = true;
+    const size_t c = fs.cluster;
+    if (health_[c] == ClusterHealth::Failed)
+        return;  // a double fail-stop on one cluster is idempotent
+    health_[c] = ClusterHealth::Failed;
+    clusterStats_[c].health = ClusterHealth::Failed;
+    // The cluster dies at the event instant: freeze its clock there
+    // so diagnostics and terminal timestamps are coherent.
+    simTime_[c] = std::max(simTime_[c], fs.atSeconds);
+
+    // Displace in-flight requests: their KV contexts are gone, their
+    // partial output is discarded, and each consumes one retry.
+    // (releaseContext keeps the appliance's slot bookkeeping balanced
+    // for the next epoch, when the cluster is healthy again.)
+    std::vector<InFlight> displaced;
+    displaced.reserve(inflight_[c].size() + pending_[c].size());
+    for (InFlight &f : inflight_[c]) {
+        clusters_[c]->releaseContext(f.ctx);
+        requeuedTokens_ += f.out.size();
+        f.out.clear();
+        f.fed = 0;
+        f.next = -1;
+        f.firstTokenSim = -1.0;
+        ++f.retries;
+        ++retries_;
+        displaced.push_back(std::move(f));
+    }
+    inflight_[c].clear();
+    // Waiters never started: rerouted without consuming a retry.
+    for (InFlight &f : pending_[c])
+        displaced.push_back(std::move(f));
+    pending_[c].clear();
+
+    // Failover routing: oldest arrival first (ties by id), each onto
+    // the least-loaded healthy cluster at this instant.
+    std::sort(displaced.begin(), displaced.end(),
+              [](const InFlight &a, const InFlight &b) {
+                  if (a.request.arrivalSeconds !=
+                      b.request.arrivalSeconds)
+                      return a.request.arrivalSeconds <
+                             b.request.arrivalSeconds;
+                  return a.id < b.id;
+              });
+    for (InFlight &f : displaced) {
+        if (f.retries > options_.retryBudget) {
+            recordTerminalLocked(std::move(f), c,
+                                 RequestOutcome::Failed, fs.atSeconds);
+            continue;
+        }
+        const size_t target = routeTargetLocked();
+        if (target == clusters_.size()) {
+            recordTerminalLocked(std::move(f), c,
+                                 RequestOutcome::Failed, fs.atSeconds);
+            continue;
+        }
+        ++failovers_;
+        f.home = target;
+        f.stolen = false;  // the new home is a real home, not a steal
+        insertPendingLocked(target, std::move(f));
+    }
+}
+
+void
+DfxServer::shedOverBudgetLocked(size_t c, double t)
+{
+    if (pending_[c].empty())
+        return;
+    // Projected TTFT for the waiter at (0-based) queue rank p:
+    // wait-so-far + (p+1) slot-frees at the cluster's observed mean
+    // per-slot turnaround (global fallback before this cluster's
+    // first completion; never shed blind before any completion).
+    double sum = serviceSum_[c];
+    size_t served = clusterStats_[c].requestsServed;
+    if (served == 0) {
+        sum = 0.0;
+        for (size_t d = 0; d < clusters_.size(); ++d) {
+            sum += serviceSum_[d];
+            served += clusterStats_[d].requestsServed;
+        }
+    }
+    if (served == 0)
+        return;
+    const double per_slot = sum / static_cast<double>(served) /
+                            static_cast<double>(maxInFlight_);
+    std::deque<InFlight> keep;
+    size_t rank = 0;  // rank among surviving arrived waiters
+    for (InFlight &f : pending_[c]) {
+        if (f.request.arrivalSeconds > t) {
+            keep.push_back(std::move(f));
+            continue;
+        }
+        const double projected =
+            (t - f.request.arrivalSeconds) +
+            static_cast<double>(rank + 1) * per_slot;
+        if (projected > options_.sloTtftBudgetSeconds) {
+            recordTerminalLocked(std::move(f), c,
+                                 RequestOutcome::Shed, t);
+        } else {
+            ++rank;
+            keep.push_back(std::move(f));
+        }
+    }
+    pending_[c] = std::move(keep);
+}
+
+std::string
+DfxServer::wedgeReportLocked() const
+{
+    std::string report;
+    char line[160];
+    for (size_t c = 0; c < clusters_.size(); ++c) {
+        std::snprintf(line, sizeof line,
+                      "  cluster %zu: %s, %zu in flight, %zu pending "
+                      "(%zu arrived), sim time %.6fs\n",
+                      c, toString(health_[c]), inflight_[c].size(),
+                      pending_[c].size(),
+                      arrivedWaitingLocked(c, simTime_[c]),
+                      simTime_[c]);
+        report += line;
+    }
+    return report;
 }
 
 void
@@ -197,6 +419,8 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
                            double t)
 {
     DfxAppliance &appliance = *clusters_[c];
+    DFX_ASSERT(health_[c] != ClusterHealth::Failed,
+               "round scheduled on failed cluster %zu", c);
     simTime_[c] = std::max(simTime_[c], t);
 
     // Admission: claim arrived requests from the home queue up to the
@@ -236,8 +460,23 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
         }
     }
 
+    // SLO-aware shedding: whoever is still waiting after this
+    // admission pass and cannot meet the TTFT budget is dropped now,
+    // before their wait grows further.
+    if (options_.sloTtftBudgetSeconds > 0.0)
+        shedOverBudgetLocked(c, simTime_[c]);
+
     if (inflight_[c].empty())
         return;
+
+    // Slowdown windows are sampled once, at the round's start: the
+    // whole round is charged `slow`x. Exactly 1.0 outside every
+    // window, so an empty plan charges bit-identical times.
+    const double slow =
+        options_.faultPlan.slowdownFactor(c, simTime_[c]);
+    health_[c] = slow > 1.0 ? ClusterHealth::Degraded
+                            : ClusterHealth::Healthy;
+    clusterStats_[c].health = health_[c];
 
     // One scheduling round: every in-flight request advances one
     // token step (prompt token while summarizing, fed-back argmax
@@ -259,8 +498,11 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
     std::vector<int32_t> next = appliance.stepBatch(round, &batch);
     lock.lock();
 
-    simTime_[c] += batch.seconds;
-    clusterStats_[c].busySeconds += batch.seconds;
+    const double charged = batch.seconds * slow;
+    simTime_[c] += charged;
+    clusterStats_[c].busySeconds += charged;
+    if (slow > 1.0)
+        clusterStats_[c].busyDegradedSeconds += charged;
     const double round_end = simTime_[c];
 
     // Retirement: completed requests release their KV context
@@ -277,12 +519,16 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
         if (f.fed == f.request.prompt.size() && f.firstTokenSim < 0.0)
             f.firstTokenSim = round_end;
         if (f.out.size() >= f.request.nOut) {
-            simTime_[c] += appliance.pcieSeconds(f.request.nOut * 4);
+            simTime_[c] +=
+                options_.faultPlan.linkFactor(simTime_[c]) *
+                appliance.pcieSeconds(f.request.nOut * 4);
             appliance.releaseContext(f.ctx);
+            serviceSum_[c] += simTime_[c] - f.admitSim;
             RequestResult r;
             r.id = f.id;
             r.cluster = c;
             r.stolen = f.stolen;
+            r.retries = f.retries;
             r.tokens = std::move(f.out);
             r.arrivalSeconds = f.request.arrivalSeconds;
             r.admitSimSeconds = f.admitSim;
@@ -322,6 +568,7 @@ void
 DfxServer::schedulerLoop()
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    const FaultPlan &plan = options_.faultPlan;
     for (;;) {
         size_t best = clusters_.size();
         double best_t = std::numeric_limits<double>::infinity();
@@ -330,6 +577,28 @@ DfxServer::schedulerLoop()
             if (t < best_t) {
                 best_t = t;
                 best = c;
+            }
+        }
+        // Fail-stop events merge into the event order by simulated
+        // time (ties: fault before round, earliest plan index first).
+        // They fire only while work is outstanding: an epoch that
+        // never reaches atSeconds leaves the plan dormant, and
+        // drain()'s reset re-arms it for the next epoch.
+        if (submitted_ > completed_) {
+            size_t ev = plan.failStops.size();
+            double ev_t = std::numeric_limits<double>::infinity();
+            for (size_t e = 0; e < plan.failStops.size(); ++e) {
+                if (!failStopApplied_[e] &&
+                    plan.failStops[e].atSeconds < ev_t) {
+                    ev_t = plan.failStops[e].atSeconds;
+                    ev = e;
+                }
+            }
+            if (ev < plan.failStops.size() && ev_t <= best_t) {
+                applyFailStopLocked(ev);
+                if (completed_ == submitted_)
+                    idleCv_.notify_all();
+                continue;
             }
         }
         if (best == clusters_.size()) {
@@ -348,7 +617,29 @@ ServerStats
 DfxServer::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
-    idleCv_.wait(lock, [this] { return completed_ == submitted_; });
+    const auto done = [this] { return completed_ == submitted_; };
+    if (options_.drainDeadlineHostSeconds > 0.0) {
+        // Round-progress watchdog: a wedged scheduler (a bug, not a
+        // modeled fault) fails loudly with diagnostics instead of
+        // hanging the calling test or bench forever.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(
+                    options_.drainDeadlineHostSeconds));
+        if (!idleCv_.wait_until(lock, deadline, done))
+            DFX_FATAL(
+                "drain deadline: %.1f host seconds elapsed with "
+                "%llu of %llu requests outstanding\n%s",
+                options_.drainDeadlineHostSeconds,
+                static_cast<unsigned long long>(submitted_ -
+                                                completed_),
+                static_cast<unsigned long long>(submitted_),
+                wedgeReportLocked().c_str());
+    } else {
+        idleCv_.wait(lock, done);
+    }
 
     ServerStats stats;
     std::sort(results_.begin(), results_.end(),
@@ -356,11 +647,16 @@ DfxServer::drain()
                   return a.id < b.id;
               });
     stats.requests = results_.size();
+    // Latency/TTFT/queue-delay aggregates cover completed requests
+    // only; Shed/Failed results carry no meaningful timings.
     std::vector<double> lat, ttft, qdelay;
     lat.reserve(results_.size());
     ttft.reserve(results_.size());
     qdelay.reserve(results_.size());
     for (const RequestResult &r : results_) {
+        if (r.outcome != RequestOutcome::Completed)
+            continue;
+        ++stats.completedRequests;
         stats.totalOutputTokens += r.tokens.size();
         stats.totalLatencySeconds += r.latencySeconds();
         lat.push_back(r.latencySeconds());
@@ -374,32 +670,53 @@ DfxServer::drain()
         results_.empty()
             ? 0.0
             : *std::max_element(simTime_.begin(), simTime_.end());
-    if (!results_.empty()) {
-        const double n = static_cast<double>(results_.size());
+    if (!lat.empty()) {
+        const double n = static_cast<double>(lat.size());
         stats.p99LatencySeconds = interpolatedPercentile(lat, 0.99);
         stats.ttftP99Seconds = interpolatedPercentile(ttft, 0.99);
         stats.queueDelayP99Seconds =
             interpolatedPercentile(qdelay, 0.99);
-        for (size_t i = 0; i < results_.size(); ++i) {
+        for (size_t i = 0; i < lat.size(); ++i) {
             stats.ttftMeanSeconds += ttft[i] / n;
             stats.queueDelayMeanSeconds += qdelay[i] / n;
         }
     }
+    stats.totalFailovers = failovers_;
+    stats.totalRetries = retries_;
+    stats.totalShed = shed_;
+    stats.totalFailed = failed_;
+    stats.requeuedTokens = requeuedTokens_;
     stats.clusters = clusterStats_;
     for (ClusterEpochStats &cs : stats.clusters) {
         cs.utilization = stats.makespanSeconds > 0.0
                              ? cs.busySeconds / stats.makespanSeconds
                              : 0.0;
+        cs.utilizationDegraded =
+            stats.makespanSeconds > 0.0
+                ? cs.busyDegradedSeconds / stats.makespanSeconds
+                : 0.0;
+        cs.utilizationHealthy =
+            cs.utilization - cs.utilizationDegraded;
         stats.totalSteals += cs.requestsStolen;
     }
     stats.results = std::move(results_);
 
-    // Reset the epoch: ids and simulated clocks start over.
+    // Reset the epoch: ids, simulated clocks, health and the fault
+    // plan start over (the plan replays in the next epoch).
     results_.clear();
     submitted_ = 0;
     completed_ = 0;
+    failovers_ = 0;
+    retries_ = 0;
+    shed_ = 0;
+    failed_ = 0;
+    requeuedTokens_ = 0;
     std::fill(simTime_.begin(), simTime_.end(), 0.0);
     clusterStats_.assign(clusters_.size(), ClusterEpochStats{});
+    health_.assign(clusters_.size(), ClusterHealth::Healthy);
+    failStopApplied_.assign(options_.faultPlan.failStops.size(),
+                            false);
+    std::fill(serviceSum_.begin(), serviceSum_.end(), 0.0);
     return stats;
 }
 

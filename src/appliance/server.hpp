@@ -32,19 +32,48 @@
  *    and a request's KV context is private — so stealing changes
  *    *when and where* a request runs, never *what* it generates.
  *
- * Scheduling is deterministic either way, by two strategies:
+ *  - **Fault injection and failover** (opt-in, `faultPlan` in
+ *    ServerOptions — see appliance/faults.hpp). Fail-stops,
+ *    slowdown windows and link degrades are simulated-clock events
+ *    applied deterministically at round boundaries. On a fail-stop
+ *    the cluster's in-flight requests lose their KV contexts and are
+ *    requeued — oldest arrival first, each onto the least-loaded
+ *    healthy cluster (ties by cluster index), re-prefilled from
+ *    scratch (placement transparency keeps their tokens bit-identical
+ *    to a healthy run) — within a bounded per-request retry budget;
+ *    budget exhaustion, or the death of every cluster, surfaces a
+ *    `RequestOutcome::Failed` result instead of hanging drain().
+ *    The same routing rule re-homes a failed cluster's waiters and
+ *    any later submission addressed to a failed cluster, identically
+ *    in static and stealing modes.
  *
- *  - **Stealing off (default):** clusters share no schedule-relevant
- *    state, so each cluster gets its own scheduler thread processing
- *    its own round boundaries — per-cluster schedules are independent
- *    deterministic functions of the submitted workload, and clusters'
- *    token rounds run host-parallel (the PR-2 execution model).
- *  - **Stealing on:** steal decisions read other clusters' queues, so
- *    one scheduler thread processes *all* clusters' round boundaries
- *    in global simulated-time order (ties broken by cluster index) —
- *    a discrete-event simulation. Placement, latencies and clocks
- *    are reproducible run to run regardless of host scheduling, at
- *    the cost of serializing rounds across clusters on the host.
+ *  - **SLO-aware shedding** (opt-in, `sloTtftBudgetSeconds`). When
+ *    capacity can no longer hold the offered load — typically after a
+ *    fail-stop — a waiter whose *projected* time-to-first-token
+ *    exceeds the budget is shed at the round boundary (reported as
+ *    `RequestOutcome::Shed`, never silently dropped). The projection
+ *    is wait-so-far plus queue-position times the cluster's observed
+ *    per-slot turnaround, so under overload the newest waiters at the
+ *    back of the queue are shed while the oldest still finish — TTFT
+ *    p99 stays bounded instead of growing with queue depth.
+ *
+ * Scheduling is deterministic in every mode, by two strategies:
+ *
+ *  - **Stealing off, no faults (default):** clusters share no
+ *    schedule-relevant state, so each cluster gets its own scheduler
+ *    thread processing its own round boundaries — per-cluster
+ *    schedules are independent deterministic functions of the
+ *    submitted workload, and clusters' token rounds run host-parallel
+ *    (the PR-2 execution model).
+ *  - **Stealing on, or a non-empty fault plan:** steal decisions and
+ *    failover read other clusters' queues, so one scheduler thread
+ *    processes *all* clusters' round boundaries and fault events in
+ *    global simulated-time order (ties broken by cluster index;
+ *    fault events before the round at the same instant) — a
+ *    discrete-event simulation. Placement, failover, latencies and
+ *    clocks are reproducible run to run regardless of host
+ *    scheduling, at the cost of serializing rounds across clusters
+ *    on the host.
  *
  * In both modes the expensive part of a round (the batched token
  * step) executes with the server mutex released, so `submit()` and
@@ -70,10 +99,12 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "appliance/appliance.hpp"
+#include "appliance/faults.hpp"
 
 namespace dfx {
 
@@ -92,12 +123,27 @@ struct ServerRequest
     double arrivalSeconds = 0.0;  ///< simulated arrival timestamp
 };
 
+/** Terminal state of one submitted request. */
+enum class RequestOutcome
+{
+    Completed,  ///< generated all requested tokens
+    Shed,       ///< dropped by SLO-aware admission (never admitted)
+    Failed,     ///< fail-stop retry budget exhausted / no healthy cluster
+};
+
 /** Outcome of one served request. */
 struct RequestResult
 {
     uint64_t id = 0;          ///< submission order (0-based per epoch)
     size_t cluster = 0;       ///< cluster that served the request
     bool stolen = false;      ///< served away from its home cluster
+    /** How the request terminated. For Shed/Failed, `tokens` is empty
+     *  and the timestamps all equal the simulated drop instant. */
+    RequestOutcome outcome = RequestOutcome::Completed;
+    /** Fail-stop re-prefills this request survived: each time its
+     *  cluster died mid-generation, its partial output was discarded
+     *  and it restarted from the prompt on a healthy cluster. */
+    size_t retries = 0;
     std::vector<int32_t> tokens;  ///< generated ids (functional mode)
     /** Simulated arrival timestamp (copied from the request). */
     double arrivalSeconds = 0.0;
@@ -137,8 +183,16 @@ struct ClusterEpochStats
     size_t requestsStolen = 0;  ///< served here, homed elsewhere
     /** Simulated seconds this cluster spent inside token rounds. */
     double busySeconds = 0.0;
+    /** Portion of busySeconds spent inside a slowdown window. */
+    double busyDegradedSeconds = 0.0;
     /** busySeconds / epoch makespan (0 for an empty epoch). */
     double utilization = 0.0;
+    /** Per-health-state utilization split: utilization while serving
+     *  at full speed vs. while degraded (they sum to `utilization`). */
+    double utilizationHealthy = 0.0;
+    double utilizationDegraded = 0.0;
+    /** Health at epoch end (Failed once a fail-stop was applied). */
+    ClusterHealth health = ClusterHealth::Healthy;
 };
 
 /**
@@ -154,7 +208,10 @@ double interpolatedPercentile(std::vector<double> values, double q);
 /** Result of serving a batch of requests (one drain epoch). */
 struct ServerStats
 {
-    size_t requests = 0;
+    size_t requests = 0;  ///< every terminal request, any outcome
+    /** Requests that generated all their tokens; latency/TTFT/queue
+     *  aggregates below cover only these. */
+    size_t completedRequests = 0;
     size_t totalOutputTokens = 0;
     /** Wall time: per-cluster schedules advance in parallel. */
     double makespanSeconds = 0.0;
@@ -171,6 +228,20 @@ struct ServerStats
     double queueDelayP99Seconds = 0.0;
     /** Requests served on a cluster other than their home cluster. */
     size_t totalSteals = 0;
+    /** Requests rerouted off a failed cluster (waiters and displaced
+     *  in-flight requests alike; counted once per reroute). */
+    size_t totalFailovers = 0;
+    /** Fail-stop re-prefills: in-flight requests displaced by a
+     *  fail-stop and restarted from the prompt elsewhere. */
+    size_t totalRetries = 0;
+    /** Requests shed by SLO-aware admission. */
+    size_t totalShed = 0;
+    /** Requests that exhausted their retry budget (or found no
+     *  healthy cluster) and surfaced RequestOutcome::Failed. */
+    size_t totalFailed = 0;
+    /** Generated tokens discarded by fail-stops: work that had to be
+     *  re-done from the prompt on another cluster. */
+    size_t requeuedTokens = 0;
     /** Per-cluster utilization / steal counters. */
     std::vector<ClusterEpochStats> clusters;
     /** Per-request outcomes, ordered by submission id. */
@@ -188,9 +259,9 @@ struct ServerStats
     double
     meanLatencySeconds() const
     {
-        return requests > 0
+        return completedRequests > 0
                    ? totalLatencySeconds /
-                         static_cast<double>(requests)
+                         static_cast<double>(completedRequests)
                    : 0.0;
     }
 };
@@ -204,6 +275,37 @@ struct ServerOptions
      * static round-robin placement, the PR-2 behavior.
      */
     bool workStealing = false;
+
+    /**
+     * Deterministic fault schedule, applied once per drain epoch on
+     * the simulated clock. An empty plan (the default) leaves every
+     * schedule, token and timestamp bit-identical to a fault-free
+     * server; a non-empty plan forces the single-threaded DES
+     * scheduler so failover placement is reproducible.
+     */
+    FaultPlan faultPlan;
+
+    /**
+     * Fail-stop re-prefills a request may survive before it is
+     * surfaced as RequestOutcome::Failed. 2 tolerates a double
+     * fail-stop along a request's failover path.
+     */
+    size_t retryBudget = 2;
+
+    /**
+     * SLO-aware shedding (off when 0): at each round boundary a
+     * waiter whose projected TTFT exceeds this budget is shed. See
+     * the file header for the projection rule.
+     */
+    double sloTtftBudgetSeconds = 0.0;
+
+    /**
+     * Wall-clock (host) deadline for drain(), in seconds; 0 disables.
+     * A wedged scheduler then fails loudly — DFX_FATAL with
+     * per-cluster health and queue-depth diagnostics — instead of
+     * blocking forever. Enabled in tests and benches, off by default.
+     */
+    double drainDeadlineHostSeconds = 0.0;
 };
 
 /**
@@ -276,6 +378,7 @@ class DfxServer
         size_t fed = 0;       ///< prompt tokens consumed so far
         int32_t next = -1;    ///< last argmax (fed back once prompt ends)
         std::vector<int32_t> out;  ///< generated ids so far
+        size_t retries = 0;   ///< fail-stop re-prefills survived
         double admitSim = 0.0;
         double firstTokenSim = -1.0;  ///< <0 while still prefilling
     };
@@ -300,10 +403,31 @@ class DfxServer
     /** Move `f` into cluster `c`'s in-flight set at the current clock
      *  (charges the PCIe upload, acquires a KV slot). */
     void admitLocked(size_t c, InFlight f);
+    /** Apply fail-stop event `ev` (index into the plan): mark the
+     *  cluster Failed, displace its in-flight requests and reroute
+     *  them plus its waiters per the failover rule. */
+    void applyFailStopLocked(size_t ev);
+    /** Least-loaded healthy cluster (fewest in-flight + pending),
+     *  ties by cluster index; nClusters() when none is healthy. */
+    size_t routeTargetLocked() const;
+    /** Insert `f` into cluster `c`'s pending queue keeping it sorted
+     *  by (arrival, id). */
+    void insertPendingLocked(size_t c, InFlight f);
+    /** Surface `f` as a Shed/Failed result at simulated time `t` on
+     *  cluster `c` (all timestamps = t, counts toward completion). */
+    void recordTerminalLocked(InFlight f, size_t c,
+                              RequestOutcome outcome, double t);
+    /** Shed cluster `c`'s arrived waiters whose projected TTFT at
+     *  time `t` exceeds the SLO budget (newest first). */
+    void shedOverBudgetLocked(size_t c, double t);
+    /** Diagnostic dump for a wedged or deadline-blown drain(). */
+    std::string wedgeReportLocked() const;
 
     std::vector<std::unique_ptr<DfxAppliance>> clusters_;
     size_t maxInFlight_ = 1;
     ServerOptions options_;
+    /** Single-threaded DES scheduling (stealing or non-empty plan). */
+    bool useDes_ = false;
 
     std::mutex mutex_;
     std::condition_variable workCv_;  ///< schedulers: new work or stop
@@ -315,8 +439,18 @@ class DfxServer
     std::vector<double> simTime_;     ///< per-cluster simulated clock
     std::vector<ClusterEpochStats> clusterStats_;
     std::vector<RequestResult> results_;
+    std::vector<ClusterHealth> health_;   ///< per-cluster, per epoch
+    std::vector<bool> failStopApplied_;   ///< per plan event, per epoch
+    /** Per-cluster sum of completed-request service latencies (drives
+     *  the shedding projection's observed per-slot turnaround). */
+    std::vector<double> serviceSum_;
     uint64_t submitted_ = 0;
     uint64_t completed_ = 0;
+    size_t failovers_ = 0;
+    size_t retries_ = 0;
+    size_t shed_ = 0;
+    size_t failed_ = 0;
+    size_t requeuedTokens_ = 0;
     bool stop_ = false;
 
     /** One global DES thread (stealing) or one thread per cluster

@@ -55,7 +55,12 @@ ThreadPool::workerLoop()
             const size_t i = nextIndex_.fetch_add(1);
             if (i >= batchSize_)
                 break;
-            (*fn)(i);
+            try {
+                (*fn)(i);
+            } catch (...) {
+                recordErrorAndCancel();
+                break;
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -89,11 +94,36 @@ ThreadPool::run(size_t n, const std::function<void(size_t)> &fn)
         const size_t i = nextIndex_.fetch_add(1);
         if (i >= batchSize_)
             break;
-        fn(i);
+        try {
+            fn(i);
+        } catch (...) {
+            recordErrorAndCancel();
+            break;
+        }
     }
     std::unique_lock<std::mutex> lock(mutex_);
     done_.wait(lock, [&] { return active_ == 0; });
     fn_ = nullptr;
+    // Propagate the batch's first exception once every worker is back
+    // at the barrier; the pool is reusable for the next run().
+    if (firstError_) {
+        std::exception_ptr err = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+ThreadPool::recordErrorAndCancel()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    // Best-effort cancellation: bump the shared index past the end so
+    // idle claimers stop early. Indices already claimed still finish.
+    nextIndex_.store(batchSize_);
 }
 
 }  // namespace dfx

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -51,8 +52,12 @@ class ThreadPool
      * Invokes `fn(i)` for every i in [0, n) across the workers and
      * the calling thread; returns when all calls completed. Indices
      * are claimed atomically, one at a time (core steps are coarse
-     * enough that chunking would only hurt balance). Exceptions in
-     * `fn` are not supported (the simulator aborts on error instead).
+     * enough that chunking would only hurt balance). If any call
+     * throws, the first exception (by completion order) is rethrown
+     * on the calling thread after the batch barrier, remaining
+     * indices may be skipped, and the pool stays usable for the next
+     * `run`. Which indices ran is unspecified on error — callers
+     * treat the batch as failed wholesale.
      */
     void run(size_t n, const std::function<void(size_t)> &fn);
 
@@ -61,6 +66,8 @@ class ThreadPool
 
   private:
     void workerLoop();
+    /** Store the batch's first exception, cancel remaining indices. */
+    void recordErrorAndCancel();
 
     size_t nThreads_;
     std::vector<std::thread> workers_;
@@ -69,6 +76,7 @@ class ThreadPool
     std::condition_variable wake_;   ///< workers wait for a batch
     std::condition_variable done_;   ///< run() waits for completion
     const std::function<void(size_t)> *fn_ = nullptr;
+    std::exception_ptr firstError_;  ///< first throw of the batch
     size_t batchSize_ = 0;
     uint64_t generation_ = 0;        ///< batch sequence number
     std::atomic<size_t> nextIndex_{0};

@@ -170,5 +170,103 @@ TEST(Failure, ServerNeedsClusters)
     EXPECT_DEATH(DfxServer(cfg, 0), "at least one cluster");
 }
 
+namespace {
+
+/** Store-backed functional config: clusters share one weight image. */
+DfxSystemConfig
+storeBackedConfig(size_t kv_contexts)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 2;
+    cfg.functional = true;
+    cfg.kvContexts = kv_contexts;
+    cfg.weightStore = makeWeightStore(cfg, 1);
+    return cfg;
+}
+
+std::vector<ServerRequest>
+storeRequests(size_t n, size_t n_in, size_t n_out)
+{
+    std::vector<ServerRequest> reqs;
+    for (size_t i = 0; i < n; ++i) {
+        ServerRequest r;
+        for (size_t j = 0; j < n_in; ++j)
+            r.prompt.push_back(
+                static_cast<int32_t>((i * 13 + j * 5 + 2) % 97));
+        r.nOut = n_out;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+}  // namespace
+
+TEST(Failure, StoreBackedRetryExhaustionSurfacesFailedResult)
+{
+    // On the shared-weight-store path a retry-budget-exhausted
+    // request must surface RequestOutcome::Failed — not crash, not
+    // corrupt the store's context bookkeeping for the survivors.
+    auto reqs = storeRequests(8, 4, 12);
+    DfxServer healthy(storeBackedConfig(2), 2);
+    const double mid = 0.5 * healthy.serve(reqs).makespanSeconds;
+
+    ServerOptions opts;
+    opts.retryBudget = 0;
+    opts.faultPlan.failStops.push_back({0, mid});
+    opts.drainDeadlineHostSeconds = 120.0;
+    DfxServer server(storeBackedConfig(2), 2, opts);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_GE(stats.totalFailed, 1u);
+    EXPECT_EQ(stats.completedRequests + stats.totalFailed,
+              reqs.size());
+    for (const RequestResult &r : stats.results)
+        if (r.outcome == RequestOutcome::Failed)
+            EXPECT_TRUE(r.tokens.empty());
+}
+
+TEST(Failure, StoreBackedDoubleFailStopIsIdempotent)
+{
+    auto reqs = storeRequests(8, 4, 10);
+    ServerOptions opts;
+    opts.faultPlan.failStops.push_back({1, 0.001});
+    opts.faultPlan.failStops.push_back({1, 0.003});
+    opts.drainDeadlineHostSeconds = 120.0;
+    DfxServer server(storeBackedConfig(2), 2, opts);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_EQ(stats.completedRequests, reqs.size());
+    EXPECT_EQ(stats.totalFailed, 0u);
+    EXPECT_EQ(stats.clusters[1].health, ClusterHealth::Failed);
+    // A second serve replays the plan against a reset store-backed
+    // fleet — double fail-stop twice over must still be harmless.
+    ServerStats again = server.serve(reqs);
+    EXPECT_EQ(again.completedRequests, reqs.size());
+}
+
+TEST(Failure, StoreBackedShedRequestsAreReportedNotDropped)
+{
+    auto reqs = storeRequests(1, 4, 8);
+    reqs.assign(10, reqs[0]);
+    DfxServer probe(storeBackedConfig(1), 1);
+    const double one =
+        probe.serve({reqs[0]}).results[0].latencySeconds();
+
+    ServerOptions opts;
+    opts.sloTtftBudgetSeconds = 2.5 * one;
+    opts.drainDeadlineHostSeconds = 120.0;
+    DfxServer server(storeBackedConfig(1), 1, opts);
+    ServerStats stats = server.serve(reqs);
+    // Every submitted request comes back with a terminal outcome:
+    // completed or shed, never silently dropped.
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_GE(stats.totalShed, 1u);
+    EXPECT_EQ(stats.completedRequests + stats.totalShed, reqs.size());
+    for (const RequestResult &r : stats.results)
+        EXPECT_TRUE(r.outcome == RequestOutcome::Completed ||
+                    r.outcome == RequestOutcome::Shed);
+}
+
 }  // namespace
 }  // namespace dfx

@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Fault-injection and failover tests: plan validation, deterministic
+ * fail-stop failover (tokens bit-identical to serial, every request
+ * finishes), straggler and link-degrade timing, SLO shedding,
+ * retry-budget exhaustion, whole-fleet death, the drain watchdog,
+ * and determinism invariant 7 (empty-plan bit-identity; faulted-run
+ * reproducibility from (plan, seed)).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "appliance/faults.hpp"
+#include "appliance/server.hpp"
+#include "appliance/workload.hpp"
+#include "model/weights.hpp"
+
+namespace dfx {
+namespace {
+
+DfxSystemConfig
+functionalConfig(size_t kv_contexts)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 2;
+    cfg.functional = true;
+    cfg.kvContexts = kv_contexts;
+    return cfg;
+}
+
+DfxSystemConfig
+timingConfig(size_t kv_contexts)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::mini();
+    cfg.nCores = 2;
+    cfg.functional = false;
+    cfg.kvContexts = kv_contexts;
+    return cfg;
+}
+
+/** Distinct deterministic prompts, all within the toy vocab (97). */
+std::vector<ServerRequest>
+distinctRequests(size_t n, size_t n_in, size_t n_out)
+{
+    std::vector<ServerRequest> reqs;
+    for (size_t i = 0; i < n; ++i) {
+        ServerRequest r;
+        for (size_t j = 0; j < n_in; ++j)
+            r.prompt.push_back(
+                static_cast<int32_t>((i * 31 + j * 7 + 3) % 97));
+        r.nOut = n_out;
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+/** Serial single-request reference tokens for `reqs`. */
+std::vector<std::vector<int32_t>>
+serialTokens(const GptWeights &w,
+             const std::vector<ServerRequest> &reqs)
+{
+    DfxAppliance serial(functionalConfig(1));
+    serial.loadWeights(w);
+    std::vector<std::vector<int32_t>> expected;
+    for (const auto &r : reqs)
+        expected.push_back(serial.generate(r.prompt, r.nOut).tokens);
+    return expected;
+}
+
+TEST(FaultPlanValidation, RejectsMalformedPlans)
+{
+    {
+        FaultPlan p;
+        p.failStops.push_back({3, 1.0});  // only 2 clusters
+        EXPECT_DEATH(p.validate(2), "out of range");
+    }
+    {
+        FaultPlan p;
+        p.failStops.push_back({0, -1.0});
+        EXPECT_DEATH(p.validate(2), "finite and non-negative");
+    }
+    {
+        FaultPlan p;
+        p.slowdowns.push_back({0, 2.0, 2.0, 4.0});  // empty window
+        EXPECT_DEATH(p.validate(2), "empty or ill-formed");
+    }
+    {
+        FaultPlan p;
+        p.slowdowns.push_back({0, 0.0, 1.0, 0.5});  // speedup
+        EXPECT_DEATH(p.validate(2), "must be >= 1");
+    }
+    {
+        FaultPlan p;
+        p.linkDegrades.push_back({1.0, 0.5, 2.0});  // backwards
+        EXPECT_DEATH(p.validate(2), "empty or ill-formed");
+    }
+    // The server validates its plan at construction.
+    FaultPlan bad;
+    bad.failStops.push_back({7, 1.0});
+    ServerOptions opts;
+    opts.faultPlan = bad;
+    EXPECT_DEATH(DfxServer(functionalConfig(1), 2, opts),
+                 "out of range");
+}
+
+TEST(FaultPlanValidation, WindowLookups)
+{
+    FaultPlan p;
+    p.slowdowns.push_back({0, 1.0, 2.0, 4.0});
+    p.slowdowns.push_back({0, 1.5, 3.0, 2.0});  // overlaps the first
+    p.slowdowns.push_back({1, 0.0, 10.0, 8.0});
+    p.linkDegrades.push_back({5.0, 6.0, 3.0});
+    // Outside every window the factor is exactly 1 (bit-identity).
+    EXPECT_EQ(p.slowdownFactor(0, 0.5), 1.0);
+    EXPECT_EQ(p.slowdownFactor(0, 2.0), 2.0);  // half-open: [from, to)
+    EXPECT_EQ(p.slowdownFactor(0, 1.0), 4.0);
+    EXPECT_EQ(p.slowdownFactor(0, 1.75), 8.0);  // windows multiply
+    EXPECT_EQ(p.slowdownFactor(1, 1.75), 8.0);
+    EXPECT_EQ(p.linkFactor(4.9), 1.0);
+    EXPECT_EQ(p.linkFactor(5.0), 3.0);
+    EXPECT_EQ(p.linkFactor(6.0), 1.0);
+}
+
+TEST(FaultPlanValidation, RandomPlanIsSeedStable)
+{
+    const FaultPlan a = FaultPlan::random(9, 4, 10.0, 12);
+    const FaultPlan b = FaultPlan::random(9, 4, 10.0, 12);
+    ASSERT_EQ(a.failStops.size(), b.failStops.size());
+    for (size_t i = 0; i < a.failStops.size(); ++i) {
+        EXPECT_EQ(a.failStops[i].cluster, b.failStops[i].cluster);
+        EXPECT_EQ(a.failStops[i].atSeconds, b.failStops[i].atSeconds);
+    }
+    ASSERT_EQ(a.slowdowns.size(), b.slowdowns.size());
+    for (size_t i = 0; i < a.slowdowns.size(); ++i) {
+        EXPECT_EQ(a.slowdowns[i].cluster, b.slowdowns[i].cluster);
+        EXPECT_EQ(a.slowdowns[i].factor, b.slowdowns[i].factor);
+    }
+    ASSERT_EQ(a.linkDegrades.size(), b.linkDegrades.size());
+    a.validate(4);
+    // A generated plan never fail-stops every cluster: at least one
+    // survivor exists so failover always has a target.
+    std::vector<bool> killed(4, false);
+    for (const auto &fs : a.failStops)
+        killed[fs.cluster] = true;
+    EXPECT_TRUE(std::find(killed.begin(), killed.end(), false) !=
+                killed.end());
+}
+
+TEST(Faults, FailStopFailoverFinishesEveryRequestBitIdentical)
+{
+    // Kill 1 of 2 clusters mid-pool: every displaced or waiting
+    // request re-homes onto the survivor and the tokens still match
+    // the serial single-request reference bit for bit.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 301);
+    auto reqs = distinctRequests(10, 4, 12);
+    auto expected = serialTokens(w, reqs);
+
+    DfxServer healthy(functionalConfig(2), 2);
+    healthy.loadWeights(w);
+    const double healthy_makespan =
+        healthy.serve(reqs).makespanSeconds;
+    ASSERT_GT(healthy_makespan, 0.0);
+
+    ServerOptions opts;
+    opts.faultPlan.failStops.push_back({0, 0.45 * healthy_makespan});
+    opts.drainDeadlineHostSeconds = 120.0;
+    DfxServer server(functionalConfig(2), 2, opts);
+    server.loadWeights(w);
+    ServerStats stats = server.serve(reqs);
+
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_EQ(stats.completedRequests, reqs.size());
+    EXPECT_EQ(stats.totalFailed, 0u);
+    EXPECT_EQ(stats.totalShed, 0u);
+    EXPECT_GE(stats.totalFailovers, 1u);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(stats.results[i].outcome, RequestOutcome::Completed);
+        EXPECT_EQ(stats.results[i].tokens, expected[i])
+            << "request " << i << " diverged across failover";
+        // The dead cluster serves nothing after the fail-stop; any
+        // request that finished after it must have run on cluster 1.
+        if (stats.results[i].finishSimSeconds >
+            0.45 * healthy_makespan)
+            EXPECT_EQ(stats.results[i].cluster, 1u);
+    }
+    ASSERT_EQ(stats.clusters.size(), 2u);
+    EXPECT_EQ(stats.clusters[0].health, ClusterHealth::Failed);
+    EXPECT_EQ(stats.clusters[1].health, ClusterHealth::Healthy);
+    // Losing half the fleet mid-serve must cost simulated time, but
+    // failover must beat serving the whole pool on one cluster from
+    // scratch (the naive no-failover bound).
+    EXPECT_GT(stats.makespanSeconds, healthy_makespan);
+    DfxServer naive(functionalConfig(2), 1);
+    naive.loadWeights(w);
+    EXPECT_LT(stats.makespanSeconds,
+              naive.serve(reqs).makespanSeconds);
+}
+
+TEST(Faults, FaultedRunIsReproducible)
+{
+    // Invariant 7, second half: a faulted run is a pure function of
+    // (plan, workload) — same placements, clocks and counters on
+    // every run.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 302);
+    auto reqs = distinctRequests(8, 4, 10);
+    ServerOptions opts;
+    opts.faultPlan.failStops.push_back({1, 0.002});
+    opts.faultPlan.slowdowns.push_back({0, 0.0, 0.01, 3.0});
+
+    auto run = [&] {
+        DfxServer server(functionalConfig(2), 2, opts);
+        server.loadWeights(w);
+        return server.serve(reqs);
+    };
+    ServerStats a = run();
+    ServerStats b = run();
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); ++i) {
+        EXPECT_EQ(a.results[i].cluster, b.results[i].cluster);
+        EXPECT_EQ(a.results[i].outcome, b.results[i].outcome);
+        EXPECT_EQ(a.results[i].retries, b.results[i].retries);
+        EXPECT_EQ(a.results[i].tokens, b.results[i].tokens);
+        EXPECT_EQ(a.results[i].admitSimSeconds,
+                  b.results[i].admitSimSeconds);
+        EXPECT_EQ(a.results[i].finishSimSeconds,
+                  b.results[i].finishSimSeconds);
+    }
+    EXPECT_EQ(a.makespanSeconds, b.makespanSeconds);
+    EXPECT_EQ(a.totalFailovers, b.totalFailovers);
+    EXPECT_EQ(a.totalRetries, b.totalRetries);
+    EXPECT_EQ(a.requeuedTokens, b.requeuedTokens);
+}
+
+TEST(Faults, EmptyPlanIsBitIdentical)
+{
+    // Invariant 7, first half: an explicitly-empty plan (plus the
+    // other fault knobs at rest, plus the drain watchdog) leaves
+    // every timestamp and token bit-identical to the default server.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 303);
+    WorkloadSpec spec;
+    spec.nRequests = 8;
+    spec.nIn = 4;
+    spec.nOut = 10;
+    spec.vocab = 97;
+    spec.seed = 11;
+    auto reqs = poissonWorkload(spec, 500.0);
+
+    DfxServer plain(functionalConfig(2), 2);
+    plain.loadWeights(w);
+    ServerStats base = plain.serve(reqs);
+
+    ServerOptions opts;
+    opts.faultPlan = FaultPlan{};
+    opts.retryBudget = 5;
+    opts.drainDeadlineHostSeconds = 120.0;
+    DfxServer armed(functionalConfig(2), 2, opts);
+    armed.loadWeights(w);
+    ServerStats same = armed.serve(reqs);
+
+    ASSERT_EQ(base.results.size(), same.results.size());
+    for (size_t i = 0; i < base.results.size(); ++i) {
+        EXPECT_EQ(base.results[i].cluster, same.results[i].cluster);
+        EXPECT_EQ(base.results[i].tokens, same.results[i].tokens);
+        EXPECT_EQ(base.results[i].admitSimSeconds,
+                  same.results[i].admitSimSeconds);
+        EXPECT_EQ(base.results[i].firstTokenSimSeconds,
+                  same.results[i].firstTokenSimSeconds);
+        EXPECT_EQ(base.results[i].finishSimSeconds,
+                  same.results[i].finishSimSeconds);
+    }
+    EXPECT_EQ(base.makespanSeconds, same.makespanSeconds);
+    EXPECT_EQ(same.totalFailovers, 0u);
+    EXPECT_EQ(same.totalShed, 0u);
+    for (const auto &cs : same.clusters) {
+        EXPECT_EQ(cs.health, ClusterHealth::Healthy);
+        EXPECT_EQ(cs.busyDegradedSeconds, 0.0);
+        EXPECT_EQ(cs.utilizationHealthy, cs.utilization);
+    }
+}
+
+TEST(Faults, SlowdownWindowInflatesMakespanOnly)
+{
+    // A straggler window charges time, never changes tokens: the
+    // faulted makespan lands strictly between healthy and the naive
+    // factor x healthy bound, and busyDegradedSeconds accounts for
+    // the degraded rounds.
+    auto run = [&](const FaultPlan &plan) {
+        ServerOptions opts;
+        opts.faultPlan = plan;
+        DfxServer server(timingConfig(2), 1, opts);
+        return server.serve(distinctRequests(6, 8, 16));
+    };
+    ServerStats healthy = run(FaultPlan{});
+    FaultPlan plan;
+    plan.slowdowns.push_back(
+        {0, 0.25 * healthy.makespanSeconds,
+         0.75 * healthy.makespanSeconds, 4.0});
+    ServerStats slow = run(plan);
+    EXPECT_GT(slow.makespanSeconds, healthy.makespanSeconds);
+    EXPECT_LT(slow.makespanSeconds, 4.0 * healthy.makespanSeconds);
+    EXPECT_GT(slow.clusters[0].busyDegradedSeconds, 0.0);
+    EXPECT_GT(slow.clusters[0].utilizationDegraded, 0.0);
+    EXPECT_EQ(healthy.clusters[0].busyDegradedSeconds, 0.0);
+    EXPECT_EQ(slow.completedRequests, healthy.completedRequests);
+}
+
+TEST(Faults, LinkDegradeChargesPcieTransfers)
+{
+    auto run = [&](const FaultPlan &plan) {
+        ServerOptions opts;
+        opts.faultPlan = plan;
+        DfxServer server(timingConfig(2), 1, opts);
+        return server.serve(distinctRequests(6, 8, 16)).makespanSeconds;
+    };
+    const double healthy = run(FaultPlan{});
+    FaultPlan plan;
+    plan.linkDegrades.push_back({0.0, 1e9, 50.0});
+    EXPECT_GT(run(plan), healthy);
+}
+
+TEST(Faults, ShedsNewestWaitersUnderOverload)
+{
+    // One cluster, one slot, a pool of identical requests and a tight
+    // TTFT budget: the oldest waiters still finish (bit-identical
+    // tokens), the newest are shed — and reported, never dropped.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 304);
+    auto reqs = distinctRequests(1, 4, 8);
+    reqs.assign(12, reqs[0]);  // identical requests, all arrive at t=0
+    auto expected = serialTokens(w, {reqs[0]});
+
+    DfxServer probe(functionalConfig(1), 1);
+    probe.loadWeights(w);
+    const double one =
+        probe.serve({reqs[0]}).results[0].latencySeconds();
+
+    ServerOptions opts;
+    opts.sloTtftBudgetSeconds = 3.0 * one;
+    DfxServer server(functionalConfig(1), 1, opts);
+    server.loadWeights(w);
+    ServerStats stats = server.serve(reqs);
+
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_GE(stats.totalShed, 1u);
+    EXPECT_EQ(stats.totalFailed, 0u);
+    EXPECT_EQ(stats.completedRequests + stats.totalShed, reqs.size());
+    uint64_t max_completed = 0, min_shed = UINT64_MAX;
+    for (const RequestResult &r : stats.results) {
+        if (r.outcome == RequestOutcome::Completed) {
+            EXPECT_EQ(r.tokens, expected[0]);
+            max_completed = std::max(max_completed, r.id);
+        } else {
+            ASSERT_EQ(r.outcome, RequestOutcome::Shed);
+            EXPECT_TRUE(r.tokens.empty());
+            min_shed = std::min(min_shed, r.id);
+        }
+    }
+    // Newest-first: every shed request is newer than every completed
+    // one (equal arrivals tie-break by submission id).
+    EXPECT_GT(min_shed, max_completed);
+}
+
+TEST(Faults, RetryBudgetZeroSurfacesFailedResults)
+{
+    // With no retries allowed, requests displaced mid-generation by
+    // the fail-stop surface as Failed results; untouched requests and
+    // never-started waiters still complete.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 305);
+    auto reqs = distinctRequests(10, 4, 12);
+
+    DfxServer healthy(functionalConfig(2), 2);
+    healthy.loadWeights(w);
+    const double mid = 0.5 * healthy.serve(reqs).makespanSeconds;
+
+    ServerOptions opts;
+    opts.retryBudget = 0;
+    opts.faultPlan.failStops.push_back({0, mid});
+    DfxServer server(functionalConfig(2), 2, opts);
+    server.loadWeights(w);
+    ServerStats stats = server.serve(reqs);
+
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_GE(stats.totalFailed, 1u);
+    EXPECT_EQ(stats.completedRequests + stats.totalFailed,
+              reqs.size());
+    for (const RequestResult &r : stats.results) {
+        if (r.outcome == RequestOutcome::Failed) {
+            EXPECT_EQ(r.retries, 1u);  // the one displacement
+            EXPECT_TRUE(r.tokens.empty());
+        }
+    }
+}
+
+TEST(Faults, WholeFleetDeathFailsEveryRequestWithoutHanging)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 306);
+    auto reqs = distinctRequests(6, 4, 8);
+    ServerOptions opts;
+    opts.faultPlan.failStops.push_back({0, 0.0});
+    opts.faultPlan.failStops.push_back({1, 0.0});
+    opts.drainDeadlineHostSeconds = 60.0;
+    DfxServer server(functionalConfig(2), 2, opts);
+    server.loadWeights(w);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_EQ(stats.totalFailed, reqs.size());
+    EXPECT_EQ(stats.completedRequests, 0u);
+    for (const RequestResult &r : stats.results)
+        EXPECT_EQ(r.outcome, RequestOutcome::Failed);
+}
+
+TEST(Faults, DoubleFailStopIsIdempotent)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 307);
+    auto reqs = distinctRequests(8, 4, 10);
+    auto expected = serialTokens(w, reqs);
+
+    ServerOptions opts;
+    opts.faultPlan.failStops.push_back({0, 0.001});
+    opts.faultPlan.failStops.push_back({0, 0.002});  // same cluster
+    DfxServer server(functionalConfig(2), 2, opts);
+    server.loadWeights(w);
+    ServerStats stats = server.serve(reqs);
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    EXPECT_EQ(stats.completedRequests, reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i)
+        EXPECT_EQ(stats.results[i].tokens, expected[i]);
+    // The second event on an already-dead cluster must not double-
+    // count displacements.
+    EXPECT_EQ(stats.clusters[0].health, ClusterHealth::Failed);
+}
+
+TEST(Faults, EpochResetReplaysThePlan)
+{
+    // The plan re-arms per drain epoch: a second serve on the same
+    // server sees the same fail-stop and the same failover behavior.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 308);
+    auto reqs = distinctRequests(8, 4, 10);
+    ServerOptions opts;
+    opts.faultPlan.failStops.push_back({0, 0.002});
+    DfxServer server(functionalConfig(2), 2, opts);
+    server.loadWeights(w);
+    ServerStats first = server.serve(reqs);
+    ServerStats second = server.serve(reqs);
+    EXPECT_EQ(first.makespanSeconds, second.makespanSeconds);
+    EXPECT_EQ(first.totalFailovers, second.totalFailovers);
+    ASSERT_EQ(first.results.size(), second.results.size());
+    for (size_t i = 0; i < first.results.size(); ++i) {
+        EXPECT_EQ(first.results[i].cluster, second.results[i].cluster);
+        EXPECT_EQ(first.results[i].finishSimSeconds,
+                  second.results[i].finishSimSeconds);
+    }
+}
+
+TEST(Faults, DrainDeadlineFailsLoudlyWithDiagnostics)
+{
+    // A deadline far too short for the workload must die with the
+    // watchdog report, not hang: the message names the deadline and
+    // carries per-cluster health.
+    EXPECT_DEATH(
+        {
+            ServerOptions opts;
+            opts.drainDeadlineHostSeconds = 1e-4;
+            DfxServer server(functionalConfig(1), 1, opts);
+            GptWeights w = GptWeights::random(GptConfig::toy(), 309);
+            server.loadWeights(w);
+            server.serve(distinctRequests(16, 8, 40));
+        },
+        "drain deadline");
+}
+
+}  // namespace
+}  // namespace dfx

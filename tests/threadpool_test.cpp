@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Thread-pool tests: every index runs exactly once across workers,
+ * the sequential degenerate path, and exception propagation — the
+ * first worker throw reaches the caller of run() and the pool stays
+ * usable afterwards.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "common/threadpool.hpp"
+
+namespace dfx {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::vector<std::atomic<int>> hits(257);
+    for (auto &h : hits)
+        h.store(0);
+    pool.run(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, SequentialPathPropagatesExceptions)
+{
+    ThreadPool pool(1);  // no workers: run() is a plain loop
+    EXPECT_THROW(
+        pool.run(4,
+                 [](size_t i) {
+                     if (i == 2)
+                         throw std::runtime_error("boom");
+                 }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerExceptionReachesCaller)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    try {
+        pool.run(64, [&](size_t i) {
+            if (i == 7)
+                throw std::runtime_error("index 7 failed");
+            ran.fetch_add(1);
+        });
+        FAIL() << "run() swallowed the worker exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "index 7 failed");
+    }
+    // Cancellation is best-effort: some indices may have been skipped,
+    // but never more than the batch size ran.
+    EXPECT_LE(ran.load(), 63);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterAnException)
+{
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.run(8,
+                          [](size_t) {
+                              throw std::runtime_error("first batch");
+                          }),
+                 std::runtime_error);
+    // The next batch must run cleanly: the stored exception was
+    // consumed and every worker is back at the barrier.
+    std::atomic<int> hits{0};
+    pool.run(100, [&](size_t) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ThreadPool, FirstExceptionWinsUnderConcurrentThrows)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 10; ++round) {
+        try {
+            pool.run(32, [](size_t) {
+                throw std::runtime_error("every index throws");
+            });
+            FAIL() << "run() swallowed the exceptions";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "every index throws");
+        }
+    }
+}
+
+}  // namespace
+}  // namespace dfx
