@@ -31,6 +31,14 @@
  *     everything from scratch), failover/retry/requeued-token
  *     counters, TTFT inflation and shed counts.
  *
+ *  5. Paged-KV capacity ("capacity") — a shared-system-prompt pool
+ *     served by one paged cluster whose block pool matches the HBM
+ *     footprint of 4 unpaged contexts: block tables + prefix sharing
+ *     must hold at least 2x the unpaged resident-context count at the
+ *     same HBM (the bench fails below 2x), with the prefix hit rate
+ *     and shared-token fraction recorded, and every request's tokens
+ *     bit-identical to the serial reference.
+ *
  * Invariants enforced here (the bench fails hard on any):
  *  - per-request tokens are bit-identical to serial single-request
  *    runs at every in-flight level AND at every offered load;
@@ -566,6 +574,118 @@ main()
                     ft.render().c_str());
     }
 
+    // --- Paged-KV capacity: shared-system-prompt consolidation -------
+    // One paged cluster whose block pool occupies exactly the HBM the
+    // unpaged layout spends on 4 full-maxSeq contexts. Every request
+    // carries the same 96-token system prompt plus 8 distinct user
+    // tokens; prefix sharing aliases the system prompt's 6 full blocks
+    // across residents, so each borrower pins ~1 private block instead
+    // of a whole context — residency is bounded by the virtual context
+    // count, not the pool.
+    const size_t cap_block_tokens = 16;
+    const size_t cap_parity = 4;  // unpaged contexts at the same HBM
+    const size_t cap_virtual = 16;
+    const size_t cap_phys_blocks =
+        cap_parity * (model.maxSeq / cap_block_tokens);
+    const size_t cap_n = 16, cap_sys = 96, cap_user = 8, cap_out = 8;
+    size_t cap_peak_paged = 0;
+    double cap_hit_rate = 0.0, cap_shared_fraction = 0.0;
+    double cap_makespan_paged = 0.0, cap_makespan_unpaged = 0.0;
+    double cap_ttft_paged = 0.0, cap_ttft_unpaged = 0.0;
+    double cap_tp_paged = 0.0, cap_tp_unpaged = 0.0;
+    {
+        std::vector<int32_t> system_prompt;
+        for (size_t j = 0; j < cap_sys; ++j)
+            system_prompt.push_back(
+                static_cast<int32_t>((j * 29 + 11) % model.vocabSize));
+        std::vector<ServerRequest> creqs;
+        for (size_t i = 0; i < cap_n; ++i) {
+            ServerRequest r;
+            r.prompt = system_prompt;
+            for (size_t j = 0; j < cap_user; ++j)
+                r.prompt.push_back(static_cast<int32_t>(
+                    (i * 131 + j * 17 + 1) % model.vocabSize));
+            r.nOut = cap_out;
+            creqs.push_back(std::move(r));
+        }
+
+        DfxSystemConfig ser_cfg = cfg;
+        ser_cfg.kvContexts = 1;
+        auto cexpected = serialReference(ser_cfg, weights, creqs);
+
+        DfxSystemConfig ucfg = cfg;
+        ucfg.kvContexts = cap_parity;
+        DfxServer unpaged(ucfg, 1);
+        unpaged.loadWeights(weights);
+        ServerStats ustats = unpaged.serve(creqs);
+        cap_makespan_unpaged = ustats.makespanSeconds;
+        cap_ttft_unpaged = ustats.ttftMeanSeconds;
+        cap_tp_unpaged = ustats.throughputTokensPerSec();
+
+        DfxSystemConfig pcfg = cfg;
+        pcfg.kvContexts = cap_virtual;
+        pcfg.pagedKv.enabled = true;
+        pcfg.pagedKv.blockTokens = cap_block_tokens;
+        pcfg.pagedKv.physBlocks = cap_phys_blocks;
+        pcfg.pagedKv.maxPrefixEntries = 4;
+        ServerOptions copts;
+        copts.drainDeadlineHostSeconds = 300.0;
+        DfxServer paged(pcfg, 1, copts);
+        paged.loadWeights(weights);
+        ServerStats pstats = paged.serve(creqs);
+        cap_makespan_paged = pstats.makespanSeconds;
+        cap_ttft_paged = pstats.ttftMeanSeconds;
+        cap_tp_paged = pstats.throughputTokensPerSec();
+
+        for (size_t i = 0; i < creqs.size(); ++i) {
+            if (ustats.results[i].tokens != cexpected[i] ||
+                pstats.results[i].tokens != cexpected[i]) {
+                std::fprintf(stderr,
+                             "FATAL: capacity request %zu tokens "
+                             "diverge from the serial reference\n",
+                             i);
+                return 1;
+            }
+        }
+
+        const KvPager *pager = paged.cluster(0).cluster().pager();
+        cap_peak_paged = pager->peakActiveContexts();
+        // Per admitted request, not per lookup: the admission loop
+        // retries tryOpen every scheduling pass while the pool is
+        // full, and those retries would dilute the rate.
+        cap_hit_rate = static_cast<double>(pager->prefixHits()) /
+                       static_cast<double>(creqs.size());
+        cap_shared_fraction =
+            pager->promptTokensTotal() > 0
+                ? static_cast<double>(pager->sharedTokensTotal()) /
+                      static_cast<double>(pager->promptTokensTotal())
+                : 0.0;
+
+        std::printf(
+            "paged-KV capacity (%zu-token blocks, %zu-block pool = "
+            "%zu unpaged contexts of HBM, shared %zu-token system "
+            "prompt):\n"
+            "  peak resident contexts %zu paged vs %zu unpaged "
+            "(%.2fx), prefix hit rate %.1f%%, shared tokens %.1f%%\n"
+            "  makespan %.4fs paged vs %.4fs unpaged, mean TTFT "
+            "%.4fs vs %.4fs\n\n",
+            cap_block_tokens, cap_phys_blocks, cap_parity, cap_sys,
+            cap_peak_paged, cap_parity,
+            static_cast<double>(cap_peak_paged) /
+                static_cast<double>(cap_parity),
+            cap_hit_rate * 100.0, cap_shared_fraction * 100.0,
+            cap_makespan_paged, cap_makespan_unpaged, cap_ttft_paged,
+            cap_ttft_unpaged);
+
+        if (cap_peak_paged < 2 * cap_parity) {
+            std::fprintf(stderr,
+                         "FATAL: paged residency %zu below 2x the "
+                         "unpaged parity of %zu contexts\n",
+                         cap_peak_paged, cap_parity);
+            return 1;
+        }
+    }
+
     FILE *f = std::fopen("BENCH_serving.json", "w");
     if (!f) {
         std::fprintf(stderr, "cannot write BENCH_serving.json\n");
@@ -676,7 +796,34 @@ main()
                  "\"completed\": %zu, \"failed\": %zu, "
                  "\"tokens_match_serial\": true}\n",
                  shed_shed, shed_completed, shed_failed);
-    std::fprintf(f, "  }\n}\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"capacity\": {\n"
+                 "    \"block_tokens\": %zu, \"phys_blocks\": %zu,\n"
+                 "    \"hbm_parity_contexts\": %zu, "
+                 "\"virtual_contexts\": %zu,\n"
+                 "    \"workload\": \"%zu reqs, %zu-token shared "
+                 "system prompt + %zu user tokens, %zu out\",\n"
+                 "    \"peak_resident_paged\": %zu, "
+                 "\"resident_ratio\": %.4f,\n"
+                 "    \"prefix_hit_rate\": %.4f, "
+                 "\"shared_token_fraction\": %.4f,\n"
+                 "    \"makespan_paged_sec\": %.6f, "
+                 "\"makespan_unpaged_sec\": %.6f,\n"
+                 "    \"ttft_mean_paged_sec\": %.6f, "
+                 "\"ttft_mean_unpaged_sec\": %.6f,\n"
+                 "    \"throughput_paged_tok_per_sec\": %.3f, "
+                 "\"throughput_unpaged_tok_per_sec\": %.3f,\n"
+                 "    \"tokens_match_serial\": true\n"
+                 "  }\n}\n",
+                 cap_block_tokens, cap_phys_blocks, cap_parity,
+                 cap_virtual, cap_n, cap_sys, cap_user, cap_out,
+                 cap_peak_paged,
+                 static_cast<double>(cap_peak_paged) /
+                     static_cast<double>(cap_parity),
+                 cap_hit_rate, cap_shared_fraction, cap_makespan_paged,
+                 cap_makespan_unpaged, cap_ttft_paged, cap_ttft_unpaged,
+                 cap_tp_paged, cap_tp_unpaged);
     std::fclose(f);
     std::printf("wrote BENCH_serving.json\n");
     return 0;

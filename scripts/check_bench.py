@@ -13,7 +13,10 @@ work-stealing makespan that no longer strictly beats static
 placement, and the fault-injection section (``faults``: empty-plan
 bit-identity, every kill-scenario request completed with
 serial-identical tokens, recovery makespan beating the naive
-no-failover bound, shed requests reported). Modeled serving metrics
+no-failover bound, shed requests reported), and the paged-KV
+capacity section (``capacity``: at least 2x the unpaged resident
+contexts at the same HBM, prefix cache hitting, serial-identical
+tokens). Modeled serving metrics
 are deterministic, so any drop
 there is a real model/scheduler regression; host steps/sec vary with
 the machine, which is what the (generous) threshold absorbs.
@@ -266,6 +269,48 @@ def check_faults(base: dict, fresh: dict, threshold: float,
         failures.append("faults: fresh JSON lacks 'shed_petite'")
 
 
+def check_capacity(base: dict, fresh: dict, threshold: float,
+                   failures: list) -> None:
+    """Paged-KV capacity gate: at an HBM budget that holds
+    ``hbm_parity_contexts`` unpaged contexts, block tables plus prefix
+    sharing must keep at least 2x that many contexts resident under the
+    shared-system-prompt workload (hard floor, not thresholded), the
+    prefix cache must actually hit, tokens must stay serial-identical,
+    and the modeled throughput/makespan must not regress."""
+    print("bench_serving capacity (paged-KV consolidation):")
+    peak = fresh["peak_resident_paged"]
+    parity = fresh["hbm_parity_contexts"]
+    print(f"  peak resident {peak} paged vs {parity} unpaged "
+          f"({fresh['resident_ratio']:.2f}x), prefix hit rate "
+          f"{fresh['prefix_hit_rate']:.3f}, shared tokens "
+          f"{fresh['shared_token_fraction']:.3f}")
+    if fresh["resident_ratio"] < 2.0:
+        failures.append(
+            f"capacity: resident ratio {fresh['resident_ratio']:.2f}x "
+            f"below the 2x consolidation floor ({peak} paged vs "
+            f"{parity} unpaged contexts at the same HBM)")
+    if peak < base["peak_resident_paged"]:
+        failures.append(
+            f"capacity: peak resident contexts dropped to {peak} from "
+            f"the baseline {base['peak_resident_paged']}")
+    if "prefix_hit_rate" not in fresh:
+        failures.append("capacity: fresh JSON lacks 'prefix_hit_rate'")
+    elif fresh["prefix_hit_rate"] <= 0.0:
+        failures.append("capacity: the prefix cache never hit under a "
+                        "fully shared system prompt")
+    if not fresh.get("tokens_match_serial", False):
+        failures.append("capacity: paged tokens diverged from the "
+                        "serial reference")
+    check_metric("capacity paged tok/s",
+                 base["throughput_paged_tok_per_sec"],
+                 fresh["throughput_paged_tok_per_sec"], threshold,
+                 failures)
+    check_metric_lower_better("capacity paged makespan (s)",
+                              base["makespan_paged_sec"],
+                              fresh["makespan_paged_sec"], threshold,
+                              failures)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", type=Path,
@@ -322,7 +367,8 @@ def main() -> int:
                             "'paper_scale' sweep the baseline has")
     for section, checker in (("latency_vs_load", check_latency_vs_load),
                              ("work_stealing", check_work_stealing),
-                             ("faults", check_faults)):
+                             ("faults", check_faults),
+                             ("capacity", check_capacity)):
         if section in base_serving:
             if section in fresh_serving:
                 checker(base_serving[section], fresh_serving[section],

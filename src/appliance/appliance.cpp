@@ -32,6 +32,29 @@ DfxAppliance::prefill(size_t ctx, const std::vector<int32_t> &prompt)
 }
 
 StepOutcome
+DfxAppliance::prefill(const KvLease &lease,
+                      const std::vector<int32_t> &prompt)
+{
+    DFX_ASSERT(!prompt.empty(), "empty prompt");
+    size_t ctx = lease.ctx();
+    size_t start = cluster_.position(ctx);
+    DFX_ASSERT(start == lease.sharedTokens(),
+               "lease context %zu at position %zu, expected the %zu "
+               "shared prompt tokens (prefill must run first)",
+               ctx, start, lease.sharedTokens());
+    DFX_ASSERT(start < prompt.size(),
+               "%zu shared tokens but only a %zu-token prompt", start,
+               prompt.size());
+    StepOutcome out;
+    for (size_t i = start; i < prompt.size(); ++i) {
+        TokenStats stats;
+        out.next = cluster_.stepToken(ctx, prompt[i], &stats);
+        out.stats.accumulate(stats);
+    }
+    return out;
+}
+
+StepOutcome
 DfxAppliance::decodeStep(size_t ctx, int32_t token)
 {
     StepOutcome out;
@@ -61,8 +84,15 @@ DfxAppliance::generate(const std::vector<int32_t> &prompt, size_t n_out)
     result.pcieSeconds +=
         pcie_.transferSeconds(prompt.size() * 4 + 64);
 
+    // Whole-request execution leases a context like any scheduler
+    // would, but without prefix sharing: generate() is the canonical
+    // timing path, so every prompt token is stepped and charged.
+    KvLease lease = cluster_.acquireLease(
+        {prompt, n_out, /*sharePrefix=*/false});
+    size_t ctx = lease.ctx();
+
     // --- Summarization stage: the input context, token by token ------
-    StepOutcome pre = prefill(0, prompt);
+    StepOutcome pre = prefill(lease, prompt);
     int32_t next = pre.next;
     result.summarizationSeconds = pre.stats.seconds;
     result.summarizationFlops = pre.stats.flops;
@@ -77,7 +107,7 @@ DfxAppliance::generate(const std::vector<int32_t> &prompt, size_t n_out)
         // id (timing is token-value independent).
         int32_t tok = next >= 0 ? next : 0;
         result.tokens.push_back(tok);
-        StepOutcome step = decodeStep(0, tok);
+        StepOutcome step = decodeStep(ctx, tok);
         next = step.next;
         result.generationSeconds += step.stats.seconds;
         result.generationFlops += step.stats.flops;

@@ -86,26 +86,58 @@ class DfxAppliance
      * Runs a full text-generation request. In functional mode the
      * returned tokens are the greedy continuation; in timing-only
      * mode token values are synthetic but the timing is exact.
-     * Implemented on top of prefill/decodeStep against context 0, so
-     * stepwise and whole-request execution are identical by
-     * construction.
+     * Implemented on top of prefill/decodeStep against an internally
+     * leased context (no prefix sharing — the canonical timing path
+     * steps every prompt token), so stepwise and whole-request
+     * execution are identical by construction.
      */
     GenerationResult generate(const std::vector<int32_t> &prompt,
                               size_t n_out);
 
     // --- stepwise serving API (scheduler-facing) ----------------------
-    // A scheduler acquires a KV context per admitted request, drives
-    // it one token step at a time (round-robinning contexts between
-    // ring syncs), and releases the context on completion. Contexts
-    // persist in off-chip memory across interleaved steps.
+    // A scheduler leases a KV context per admitted request, drives it
+    // one token step at a time (round-robinning contexts between ring
+    // syncs), and the lease returns the context on destruction.
+    // Contexts persist in off-chip memory across interleaved steps.
     size_t kvContexts() const { return cluster_.kvContexts(); }
     size_t freeContexts() const { return cluster_.freeContexts(); }
+
+    /** See DfxCluster::tryAcquireLease. */
+    KvLease tryAcquireLease(const KvLeaseRequest &request)
+    {
+        return cluster_.tryAcquireLease(request);
+    }
+    /** See DfxCluster::acquireLease. */
+    KvLease acquireLease(const KvLeaseRequest &request)
+    {
+        return cluster_.acquireLease(request);
+    }
+
+    /**
+     * @deprecated Raw index protocol, kept for one PR: use
+     * tryAcquireLease()/KvLease instead (RAII release, block-pool
+     * capacity accounting, shared-prefix admission). Fatal on a paged
+     * cluster.
+     */
     size_t acquireContext() { return cluster_.acquireContext(); }
+    /** @deprecated Counterpart of acquireContext(); leases release
+     *  themselves. */
     void releaseContext(size_t ctx) { cluster_.releaseContext(ctx); }
 
     /** Runs the whole prompt through context `ctx` (summarization
      *  stage); the context must be fresh. Stats are the summed steps. */
     StepOutcome prefill(size_t ctx, const std::vector<int32_t> &prompt);
+
+    /**
+     * Prefill against a lease: steps the prompt starting at the
+     * context's current position — the lease's `sharedTokens()`
+     * leading tokens are already resident via prefix sharing and are
+     * skipped (their K/V is aliased, so the result is identical to
+     * stepping them; only the charged time shrinks). Stats cover the
+     * stepped suffix.
+     */
+    StepOutcome prefill(const KvLease &lease,
+                        const std::vector<int32_t> &prompt);
 
     /** One generation step of context `ctx`. */
     StepOutcome decodeStep(size_t ctx, int32_t token);

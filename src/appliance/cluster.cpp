@@ -82,6 +82,26 @@ DfxCluster::DfxCluster(const DfxSystemConfig &config)
     ClusterGeometry geometry{config_.nCores};
     geometry.validateFor(config_.model);
 
+    // Paged KV: one pager drives every core's block translation (the
+    // cores are KV mirrors — same addresses, same block tables).
+    if (config_.pagedKv.enabled) {
+        KvPager::Config pc;
+        pc.blockTokens = config_.pagedKv.blockTokens;
+        pc.maxContexts = config_.kvContexts;
+        pc.maxSeq = config_.model.maxSeq;
+        pc.localHeads = geometry.localHeads(config_.model);
+        pc.headDim = config_.model.headDim;
+        pc.layers = config_.model.layers;
+        pc.prefixSharing = config_.pagedKv.prefixSharing;
+        pc.maxPrefixEntries = config_.pagedKv.maxPrefixEntries;
+        pc.physBlocks =
+            config_.pagedKv.physBlocks != 0
+                ? config_.pagedKv.physBlocks
+                : config_.kvContexts *
+                      (config_.model.maxSeq / pc.blockTokens);
+        pager_ = std::make_unique<KvPager>(pc);
+    }
+
     cores_.reserve(config_.nCores);
     for (size_t i = 0; i < config_.nCores; ++i) {
         cores_.push_back(std::make_unique<ComputeCore>(
@@ -92,15 +112,24 @@ DfxCluster::DfxCluster(const DfxSystemConfig &config)
     layout_ = MemoryLayout::build(
         config_.model, geometry, config_.core.lanes, cores_[0]->hbm(),
         cores_[0]->ddr(), config_.kvContexts, config_.core.hbmChannels,
-        config_.core.kvStreamChannels);
+        config_.core.kvStreamChannels, pager_.get());
+    if (pager_) {
+        pager_->addMirror(&cores_[0]->hbm(), layout_.keyPoolBase,
+                          layout_.vtPoolBase);
+    }
     for (size_t i = 1; i < config_.nCores; ++i) {
         MemoryLayout other = MemoryLayout::build(
             config_.model, geometry, config_.core.lanes, cores_[i]->hbm(),
             cores_[i]->ddr(), config_.kvContexts,
-            config_.core.hbmChannels, config_.core.kvStreamChannels);
+            config_.core.hbmChannels, config_.core.kvStreamChannels,
+            pager_.get());
         DFX_ASSERT(other.lmHeadW == layout_.lmHeadW &&
                        other.wte == layout_.wte,
                    "layout divergence across cores");
+        if (pager_) {
+            pager_->addMirror(&cores_[i]->hbm(), other.keyPoolBase,
+                              other.vtPoolBase);
+        }
     }
     // Shared weight image: alias every core's weight regions into the
     // appliance-wide store — one physical copy, generated on demand.
@@ -333,9 +362,67 @@ DfxCluster::freeContexts() const
     return n;
 }
 
+KvLease
+DfxCluster::tryAcquireLease(const KvLeaseRequest &request)
+{
+    DFX_ASSERT(!request.prompt.empty(), "lease request needs a prompt");
+    DFX_ASSERT(request.prompt.size() + request.newTokens <=
+                   config_.model.maxSeq,
+               "request %zu+%zu exceeds max context %zu",
+               request.prompt.size(), request.newTokens,
+               config_.model.maxSeq);
+    size_t slot = ctxInUse_.size();
+    for (size_t c = 0; c < ctxInUse_.size(); ++c) {
+        if (!ctxInUse_[c]) {
+            slot = c;
+            break;
+        }
+    }
+    if (slot == ctxInUse_.size())
+        return KvLease{};
+    size_t shared = 0;
+    if (pager_ &&
+        !pager_->tryOpen(slot, request.prompt, request.newTokens,
+                         request.sharePrefix, &shared))
+        return KvLease{};
+    ctxInUse_[slot] = true;
+    positions_[slot] = shared;
+    return KvLease(this, slot, shared);
+}
+
+KvLease
+DfxCluster::acquireLease(const KvLeaseRequest &request)
+{
+    KvLease lease = tryAcquireLease(request);
+    if (!lease) {
+        DFX_FATAL("no KV capacity for a %zu+%zu-token request "
+                  "(%zu of %zu context slots free%s)",
+                  request.prompt.size(), request.newTokens,
+                  freeContexts(), ctxInUse_.size(),
+                  pager_ ? ", paged pool exhausted" : "");
+    }
+    return lease;
+}
+
+void
+DfxCluster::closeLease(size_t ctx)
+{
+    DFX_ASSERT(ctx < ctxInUse_.size() && ctxInUse_[ctx],
+               "closing KV context %zu that is not leased", ctx);
+    if (pager_)
+        pager_->close(ctx);
+    ctxInUse_[ctx] = false;
+    positions_[ctx] = 0;
+}
+
 size_t
 DfxCluster::acquireContext()
 {
+    if (pager_) {
+        DFX_FATAL("paged KV requires the lease API: "
+                  "tryAcquireLease(KvLeaseRequest) reserves blocks for "
+                  "the request; raw acquireContext() cannot");
+    }
     for (size_t c = 0; c < ctxInUse_.size(); ++c) {
         if (!ctxInUse_[c]) {
             ctxInUse_[c] = true;
@@ -351,6 +438,8 @@ DfxCluster::releaseContext(size_t ctx)
 {
     DFX_ASSERT(ctx < ctxInUse_.size(), "KV context %zu out of %zu", ctx,
                ctxInUse_.size());
+    if (pager_ && ctxInUse_[ctx])
+        pager_->close(ctx);
     ctxInUse_[ctx] = false;
     positions_[ctx] = 0;
 }
@@ -437,6 +526,14 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
                "token %d out of vocabulary", token);
     lastArgmax_ = -1;
 
+    // Paged KV: make the block this token's K/V lands in privately
+    // writable before any phase runs — allocate it if unmapped, fork
+    // it copy-on-write if a prefix sibling still shares it. This runs
+    // on the scheduler thread; the worker threads only read the block
+    // table afterwards.
+    if (pager_)
+        pager_->ensureWritable(ctx, position);
+
     // Embedding (identical on every core — token ids are broadcast).
     isa::Phase embed = builders_[0].embedPhase(token, position);
     runPhase(embed, 0, stats);
@@ -453,6 +550,10 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
             runPhase(phase, 0, stats);
     }
     position += 1;
+    // The token's K/V is final: when it completed the prompt, the
+    // pager registers the prefix for sharing with later requests.
+    if (pager_)
+        pager_->onTokenWritten(ctx, position - 1);
 
     // LM head: programs differ per core in the ReduMax length, but the
     // matrix work is identical; execute core-specific programs. The

@@ -15,14 +15,46 @@
 #include <memory>
 #include <vector>
 
+#include "appliance/kv_lease.hpp"
 #include "appliance/partition.hpp"
 #include "common/threadpool.hpp"
 #include "core/core.hpp"
 #include "isa/codegen.hpp"
+#include "memory/kv_pager.hpp"
 #include "model/weight_store.hpp"
 #include "network/ring.hpp"
 
 namespace dfx {
+
+/**
+ * Paged-KV configuration. When enabled, the per-context K/V^T regions
+ * become fixed-size token blocks drawn from a per-layer pool, mapped
+ * through per-context block tables (see memory/kv_pager.hpp):
+ * capacity follows actual request lengths instead of kvContexts *
+ * maxSeq, and requests sharing a prompt prefix alias physical blocks
+ * copy-on-write. Tokens and 1-in-flight timing are bit-identical to
+ * the unpaged layout — codegen's virtual KV addressing (and the
+ * PR-3 channel pinning) is unchanged; only the functional backing
+ * store indirects through the block table.
+ */
+struct PagedKvConfig
+{
+    bool enabled = false;
+    /** Tokens per block; must divide the model's maxSeq. */
+    size_t blockTokens = 16;
+    /**
+     * Physical blocks per layer per core. 0 sizes the pool at
+     * kvContexts * maxSeq / blockTokens — the same HBM footprint the
+     * unpaged layout would allocate (kvContexts then counts virtual
+     * block tables, so more can be configured than the pool could
+     * hold fully expanded).
+     */
+    size_t physBlocks = 0;
+    /** Alias identical prompt prefixes across contexts (CoW). */
+    bool prefixSharing = true;
+    /** Registered shared prefixes kept resident (FIFO). */
+    size_t maxPrefixEntries = 8;
+};
 
 /** Configuration of a DFX system (cluster + cores + ring). */
 struct DfxSystemConfig
@@ -57,6 +89,11 @@ struct DfxSystemConfig
      * carries full semantics. Off by default.
      */
     bool binaryInstructionPath = false;
+    /**
+     * Paged KV cache (see PagedKvConfig). Off by default: the unpaged
+     * per-context regions of the earlier PRs.
+     */
+    PagedKvConfig pagedKv;
     /**
      * Shared on-demand weight image (functional mode). When set, every
      * cluster built from this config binds its weight regions to the
@@ -164,13 +201,38 @@ class DfxCluster
     /** Clears one context's conversation. */
     void resetContext(size_t ctx);
 
-    // --- KV context slots (multi-request residency) -------------------
+    // --- KV context leases (multi-request residency) ------------------
     size_t kvContexts() const { return positions_.size(); }
     size_t freeContexts() const;
-    /** Claims a free context slot (reset to position 0); fatal when
-     *  none is free — check freeContexts() first. */
+
+    /**
+     * Claims a KV context for the described request. Unpaged: takes
+     * the first free slot (position 0, no shared prefix). Paged: also
+     * reserves enough pool blocks for prompt + newTokens, aliasing a
+     * registered shared prefix when possible — the lease's
+     * `sharedTokens()` prompt tokens are already resident and the
+     * context's position starts after them. Returns an empty (falsy)
+     * lease when slots or blocks are exhausted.
+     */
+    KvLease tryAcquireLease(const KvLeaseRequest &request);
+
+    /** tryAcquireLease, but fatal instead of empty on exhaustion. */
+    KvLease acquireLease(const KvLeaseRequest &request);
+
+    /** Block pager of a paged cluster (stats/tests); null unpaged. */
+    KvPager *pager() { return pager_.get(); }
+    const KvPager *pager() const { return pager_.get(); }
+
+    /**
+     * @deprecated Raw index protocol, kept for one PR to ease
+     * migration: use tryAcquireLease()/KvLease instead — RAII release,
+     * capacity accounting and shared-prefix admission. Unpaged
+     * clusters only; a paged cluster fatals here (it cannot reserve
+     * blocks without knowing the request).
+     */
     size_t acquireContext();
-    /** Returns a slot to the free pool and clears its conversation. */
+    /** @deprecated Counterpart of acquireContext(); leases release
+     *  themselves. */
     void releaseContext(size_t ctx);
 
     size_t position() const { return positions_[0]; }
@@ -210,6 +272,10 @@ class DfxCluster
         const std::vector<ContextStep> &steps, TokenStats *batch_stats);
 
   private:
+    friend class KvLease;
+    /** Returns a leased context (KvLease::release's target). */
+    void closeLease(size_t ctx);
+
     /** Runs one phase on all cores; adds time and handles its sync. */
     void runPhase(const isa::Phase &phase, size_t builder_core,
                   TokenStats *stats);
@@ -226,6 +292,9 @@ class DfxCluster
     int32_t argmaxExchange(const isa::Instruction &sync);
 
     DfxSystemConfig config_;
+    /** Paged-KV block pager; the cores' HBM translators point into it
+     *  (declared first so it outlives them). Null when unpaged. */
+    std::unique_ptr<KvPager> pager_;
     std::vector<std::unique_ptr<ComputeCore>> cores_;
     MemoryLayout layout_;
     std::vector<isa::ProgramBuilder> builders_;

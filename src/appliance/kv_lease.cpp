@@ -1,0 +1,59 @@
+/**
+ * @file
+ * KvLease implementation (out of line: the lease releases through
+ * DfxCluster, which includes this header).
+ */
+#include "appliance/kv_lease.hpp"
+
+#include "appliance/cluster.hpp"
+#include "common/logging.hpp"
+
+namespace dfx {
+
+KvLease::KvLease(DfxCluster *cluster, size_t ctx, size_t shared_tokens)
+    : cluster_(cluster), ctx_(ctx), sharedTokens_(shared_tokens)
+{
+}
+
+KvLease::KvLease(KvLease &&other) noexcept
+    : cluster_(other.cluster_), ctx_(other.ctx_),
+      sharedTokens_(other.sharedTokens_)
+{
+    other.cluster_ = nullptr;
+}
+
+KvLease &
+KvLease::operator=(KvLease &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        cluster_ = other.cluster_;
+        ctx_ = other.ctx_;
+        sharedTokens_ = other.sharedTokens_;
+        other.cluster_ = nullptr;
+    }
+    return *this;
+}
+
+KvLease::~KvLease()
+{
+    release();
+}
+
+size_t
+KvLease::ctx() const
+{
+    DFX_ASSERT(cluster_ != nullptr, "ctx() on an empty KV lease");
+    return ctx_;
+}
+
+void
+KvLease::release()
+{
+    if (cluster_ == nullptr)
+        return;
+    cluster_->closeLease(ctx_);
+    cluster_ = nullptr;
+}
+
+}  // namespace dfx

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RAII lease on one KV context of a DfxCluster.
+ *
+ * The lease API replaces the raw `acquireContext()`/`releaseContext`
+ * index protocol. A `KvLeaseRequest` describes the request up front
+ * (prompt tokens, how many new tokens it may generate, whether it may
+ * alias a shared prefix), so admission can do real capacity
+ * accounting: on a paged cluster the lease is granted only when the
+ * block pool can hold the whole request, and the granted lease
+ * carries `sharedTokens()` — how many leading prompt tokens are
+ * already resident via prefix sharing, which prefill may skip.
+ *
+ * The lease releases its context on destruction, so failover and
+ * error paths cannot leak KV slots the way hand-maintained index
+ * bookkeeping could.
+ */
+#ifndef DFX_APPLIANCE_KV_LEASE_HPP
+#define DFX_APPLIANCE_KV_LEASE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dfx {
+
+class DfxCluster;
+
+/** What a request needs from a KV context, stated at admission. */
+struct KvLeaseRequest
+{
+    std::vector<int32_t> prompt;
+    size_t newTokens = 0;    ///< output tokens the request may generate
+    /** Allow aliasing a previously registered prompt prefix (paged
+     *  clusters only; purely a capacity/TTFT optimization — tokens
+     *  are identical either way). */
+    bool sharePrefix = true;
+};
+
+/**
+ * Move-only owner of one KV context. Falsy when empty (moved-from,
+ * default-constructed, or a failed tryAcquireLease).
+ */
+class KvLease
+{
+  public:
+    KvLease() = default;
+    KvLease(KvLease &&other) noexcept;
+    KvLease &operator=(KvLease &&other) noexcept;
+    KvLease(const KvLease &) = delete;
+    KvLease &operator=(const KvLease &) = delete;
+    ~KvLease();
+
+    explicit operator bool() const { return cluster_ != nullptr; }
+
+    /** Leased context index (for stepToken/ContextStep); fatal when
+     *  empty. */
+    size_t ctx() const;
+
+    /** Leading prompt tokens already resident via prefix sharing; the
+     *  context's position starts here, so prefill resumes after them. */
+    size_t sharedTokens() const { return sharedTokens_; }
+
+    /** Returns the context to the cluster now; idempotent. */
+    void release();
+
+  private:
+    friend class DfxCluster;
+    KvLease(DfxCluster *cluster, size_t ctx, size_t shared_tokens);
+
+    DfxCluster *cluster_ = nullptr;
+    size_t ctx_ = 0;
+    size_t sharedTokens_ = 0;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_KV_LEASE_HPP

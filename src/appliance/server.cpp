@@ -122,6 +122,21 @@ DfxServer::submitLocked(ServerRequest request)
     DFX_ASSERT(request.prompt.size() + request.nOut <= max_seq,
                "request %zu+%zu exceeds max context %zu",
                request.prompt.size(), request.nOut, max_seq);
+    // Paged clusters: a request larger than the whole block pool could
+    // never be admitted (an idle cluster can always evict down to an
+    // empty pool, but not below it) — reject it at submission instead
+    // of letting admission spin on it forever.
+    if (const KvPager *pager = clusters_[0]->cluster().pager()) {
+        const size_t blocks =
+            (request.prompt.size() + request.nOut +
+             pager->blockTokens() - 1) /
+            pager->blockTokens();
+        DFX_ASSERT(blocks <= pager->physBlocks(),
+                   "request needs %zu KV blocks (prompt %zu + %zu new "
+                   "tokens, %zu-token blocks) but the pool holds %zu",
+                   blocks, request.prompt.size(), request.nOut,
+                   pager->blockTokens(), pager->physBlocks());
+    }
     const uint64_t id = submitted_++;
     // Deterministic round-robin home assignment; stealing (when
     // enabled) may relocate the request later, at a deterministic
@@ -229,20 +244,35 @@ DfxServer::nextEventTimeLocked(size_t c) const
     return t;
 }
 
-void
-DfxServer::admitLocked(size_t c, InFlight f)
+bool
+DfxServer::tryAdmitLocked(size_t c, std::deque<InFlight> &queue)
 {
+    // Lease first: on a paged cluster the lease is granted only when
+    // the block pool can hold prompt + nOut, so admission is real
+    // capacity accounting, not just a slot count. A granted lease may
+    // alias a registered shared prompt prefix — those tokens are
+    // already resident, so prefill starts after them (`fed`).
+    InFlight &front = queue.front();
+    KvLeaseRequest req;
+    req.prompt = front.request.prompt;
+    req.newTokens = front.request.nOut;
+    KvLease lease = clusters_[c]->tryAcquireLease(req);
+    if (!lease)
+        return false;
+    InFlight f = std::move(queue.front());
+    queue.pop_front();
     // Admission pays the host->device PCIe upload (input ids + system
-    // configuration) on the cluster's simulated clock and takes
-    // ownership of a KV context slot. A degraded link costs
-    // `linkFactor`x — exactly 1.0 on an empty plan, so the charge is
-    // bit-identical to a fault-free build.
+    // configuration) on the cluster's simulated clock. A degraded
+    // link costs `linkFactor`x — exactly 1.0 on an empty plan, so the
+    // charge is bit-identical to a fault-free build.
     f.admitSim = simTime_[c];
     simTime_[c] +=
         options_.faultPlan.linkFactor(simTime_[c]) *
         clusters_[c]->pcieSeconds(f.request.prompt.size() * 4 + 64);
-    f.ctx = clusters_[c]->acquireContext();
+    f.fed = lease.sharedTokens();
+    f.lease = std::move(lease);
     inflight_[c].push_back(std::move(f));
+    return true;
 }
 
 size_t
@@ -303,12 +333,13 @@ DfxServer::applyFailStopLocked(size_t ev)
 
     // Displace in-flight requests: their KV contexts are gone, their
     // partial output is discarded, and each consumes one retry.
-    // (releaseContext keeps the appliance's slot bookkeeping balanced
-    // for the next epoch, when the cluster is healthy again.)
+    // (Releasing the lease keeps the appliance's slot and block-pool
+    // bookkeeping balanced for the next epoch, when the cluster is
+    // healthy again.)
     std::vector<InFlight> displaced;
     displaced.reserve(inflight_[c].size() + pending_[c].size());
     for (InFlight &f : inflight_[c]) {
-        clusters_[c]->releaseContext(f.ctx);
+        f.lease.release();
         requeuedTokens_ += f.out.size();
         f.out.clear();
         f.fed = 0;
@@ -429,9 +460,8 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
     // barrier).
     while (inflight_[c].size() < maxInFlight_ && !pending_[c].empty() &&
            pending_[c].front().request.arrivalSeconds <= simTime_[c]) {
-        InFlight f = std::move(pending_[c].front());
-        pending_[c].pop_front();
-        admitLocked(c, std::move(f));
+        if (!tryAdmitLocked(c, pending_[c]))
+            break;  // paged pool full until a retirement frees blocks
     }
 
     // Work stealing: fill remaining slots with the oldest waiting
@@ -452,11 +482,10 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
             }
             if (victim == clusters_.size())
                 break;
-            InFlight f = std::move(pending_[victim].front());
-            pending_[victim].pop_front();
-            f.stolen = true;
+            if (!tryAdmitLocked(c, pending_[victim]))
+                break;  // thief's pool full: stop stealing this round
+            inflight_[c].back().stolen = true;
             ++clusterStats_[c].requestsStolen;
-            admitLocked(c, std::move(f));
         }
     }
 
@@ -491,7 +520,7 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
             tok = f.next >= 0 ? f.next : 0;
             f.out.push_back(tok);
         }
-        round.push_back({f.ctx, tok});
+        round.push_back({f.lease.ctx(), tok});
     }
     lock.unlock();
     TokenStats batch;
@@ -522,7 +551,7 @@ DfxServer::runClusterRound(std::unique_lock<std::mutex> &lock, size_t c,
             simTime_[c] +=
                 options_.faultPlan.linkFactor(simTime_[c]) *
                 appliance.pcieSeconds(f.request.nOut * 4);
-            appliance.releaseContext(f.ctx);
+            f.lease.release();
             serviceSum_[c] += simTime_[c] - f.admitSim;
             RequestResult r;
             r.id = f.id;

@@ -374,7 +374,9 @@ class DfxServer
         ServerRequest request;
         size_t home = 0;      ///< round-robin home cluster
         bool stolen = false;  ///< admitted away from `home`
-        size_t ctx = 0;       ///< KV context owned by this request
+        /** KV context leased at admission (empty while pending);
+         *  releases itself wherever the InFlight dies. */
+        KvLease lease;
         size_t fed = 0;       ///< prompt tokens consumed so far
         int32_t next = -1;    ///< last argmax (fed back once prompt ends)
         std::vector<int32_t> out;  ///< generated ids so far
@@ -400,9 +402,16 @@ class DfxServer
                          double t);
     /** Count of cluster `c`'s pending requests with arrival <= t. */
     size_t arrivedWaitingLocked(size_t c, double t) const;
-    /** Move `f` into cluster `c`'s in-flight set at the current clock
-     *  (charges the PCIe upload, acquires a KV slot). */
-    void admitLocked(size_t c, InFlight f);
+    /**
+     * Try to admit `queue`'s front request onto cluster `c`: lease a
+     * KV context (on a paged cluster this also reserves pool blocks
+     * and may alias a shared prompt prefix — the lease's shared
+     * tokens skip prefill), charge the PCIe upload, move it into the
+     * in-flight set. Returns false — queue untouched — when the
+     * cluster cannot hold the request yet; admission then stops until
+     * a retirement frees capacity (head-of-line, keeps arrival order).
+     */
+    bool tryAdmitLocked(size_t c, std::deque<InFlight> &queue);
     /** Apply fail-stop event `ev` (index into the plan): mark the
      *  cluster Failed, displace its in-flight requests and reroute
      *  them plus its waiters per the failover rule. */

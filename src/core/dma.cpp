@@ -58,12 +58,25 @@ DmaUnit::execute(const isa::Instruction &inst,
         // transposed region whose row length is `pitch`. One span
         // covers the whole scatter footprint.
         DFX_ASSERT(inst.pitch > 0, "transpose store needs pitch");
-        Half *dst = hbm_->storeSpan(
-            inst.dst.addr,
-            (static_cast<uint64_t>(inst.len - 1) * inst.pitch +
-             inst.aux) + 1);
-        for (size_t j = 0; j < inst.len; ++j)
-            dst[static_cast<uint64_t>(j) * inst.pitch + inst.aux] = v[j];
+        if (hbm_->isPaged(inst.dst.addr)) {
+            // A paged window has no contiguous mutable view; scatter
+            // the (few, headDim-sized) elements one at a time through
+            // the translator instead.
+            for (size_t j = 0; j < inst.len; ++j)
+                hbm_->storeHalf(
+                    inst.dst.addr +
+                        2 * (static_cast<uint64_t>(j) * inst.pitch +
+                             inst.aux),
+                    v[j]);
+        } else {
+            Half *dst = hbm_->storeSpan(
+                inst.dst.addr,
+                (static_cast<uint64_t>(inst.len - 1) * inst.pitch +
+                 inst.aux) + 1);
+            for (size_t j = 0; j < inst.len; ++j)
+                dst[static_cast<uint64_t>(j) * inst.pitch + inst.aux] =
+                    v[j];
+        }
     } else {
         // K row append: contiguous write at the row address.
         hbm_->writeHalf(inst.dst.addr, v, inst.len);

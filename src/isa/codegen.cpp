@@ -204,8 +204,21 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
     DFX_ASSERT(layer < config_.layers, "layer %zu out of %zu", layer,
                config_.layers);
     DFX_ASSERT(pos < config_.maxSeq, "position %zu exceeds context", pos);
-    DFX_ASSERT(ctx < layout_.kvContexts, "KV context %zu out of %zu",
-               ctx, layout_.kvContexts);
+    DFX_ASSERT(ctx < layout_.kvContexts,
+               "KV context %zu out of %zu (layer %zu, core %zu)", ctx,
+               layout_.kvContexts, layer, coreId_);
+    if (layout_.paged()) {
+        // Paged layouts address K/V through a per-context block
+        // table; the token's block index must fit it (the table is
+        // sized for maxSeq, so this only fires on pager/layout
+        // disagreement).
+        DFX_ASSERT(pos / layout_.kvBlockTokens <
+                       layout_.kvBlocksPerContext(),
+                   "token %zu maps to block %zu beyond the %zu-entry "
+                   "block table (ctx %zu, layer %zu, core %zu)",
+                   pos, pos / layout_.kvBlockTokens,
+                   layout_.kvBlocksPerContext(), ctx, layer, coreId_);
+    }
     const auto &a = layout_.layers[layer];
     const uint32_t emb = static_cast<uint32_t>(config_.embedding);
     const uint32_t emb_shard =

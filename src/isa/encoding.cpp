@@ -60,9 +60,6 @@ encode(const Instruction &inst)
     DFX_ASSERT(inst.src3.addr <= UINT32_MAX,
                "src3 addr 0x%llx exceeds 32-bit encoding",
                static_cast<unsigned long long>(inst.src3.addr));
-    DFX_ASSERT(inst.dst.addr <= UINT32_MAX,
-               "dst addr 0x%llx exceeds 32-bit encoding",
-               static_cast<unsigned long long>(inst.dst.addr));
     EncodedInstruction b{};
     b[0] = static_cast<uint8_t>(inst.op);
     b[1] = static_cast<uint8_t>(inst.category);
@@ -83,6 +80,7 @@ encode(const Instruction &inst)
     put32(b, 40, static_cast<uint32_t>(inst.src3.addr));
     put32(b, 44, static_cast<uint32_t>(inst.dst.addr));
     put32(b, 48, inst.hbmChannels);
+    put32(b, 52, static_cast<uint32_t>(inst.dst.addr >> 32));
     return b;
 }
 
@@ -108,7 +106,8 @@ decode(const EncodedInstruction &b)
     inst.src1.addr = get64(b, 24);
     inst.src2.addr = get64(b, 32);
     inst.src3.addr = get32(b, 40);
-    inst.dst.addr = get32(b, 44);
+    inst.dst.addr = get32(b, 44) |
+                    (static_cast<uint64_t>(get32(b, 52)) << 32);
     inst.hbmChannels = get32(b, 48);
     return inst;
 }

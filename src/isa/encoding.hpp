@@ -21,13 +21,16 @@
  *   bytes 24-31  src1.addr
  *   bytes 32-39  src2.addr
  *   bytes 40-43  src3.addr (low 32 bits; biases/imms fit)
- *   bytes 44-47  dst.addr (low 32 bits... see note)
+ *   bytes 44-47  dst.addr (low 32 bits)
  *   bytes 48-51  hbmChannels (pseudo-channel set of the HBM operand)
- *   bytes 52-55  reserved (zero)
+ *   bytes 52-55  dst.addr (high 32 bits)
  *
- * Note: src3 and dst addresses are stored as 32-bit fields; register
- * file indices and DDR bias offsets fit comfortably. Encoding checks
- * this invariant and refuses to encode out-of-range values.
+ * Note: src3 addresses are stored as a 32-bit field; register file
+ * indices and DDR bias offsets fit comfortably, and encoding refuses
+ * out-of-range values. dst grew to a full 64-bit address (split
+ * across the formerly reserved tail bytes, so every pre-existing
+ * encoding is byte-identical): paged-KV virtual windows place DMA
+ * store destinations above 4 GB.
  */
 #ifndef DFX_ISA_ENCODING_HPP
 #define DFX_ISA_ENCODING_HPP

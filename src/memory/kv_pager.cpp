@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Paged KV-cache block pager implementation.
+ */
+#include "memory/kv_pager.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+
+KvPager::KvPager(const Config &cfg) : cfg_(cfg)
+{
+    DFX_ASSERT(cfg_.blockTokens >= 1, "block needs at least one token");
+    DFX_ASSERT(cfg_.maxSeq > 0 && cfg_.maxSeq % cfg_.blockTokens == 0,
+               "block size %zu must divide maxSeq %zu (translation "
+               "runs must not straddle heads)",
+               cfg_.blockTokens, cfg_.maxSeq);
+    DFX_ASSERT(cfg_.physBlocks >= blocksPerContext(),
+               "pool of %zu blocks cannot hold even one full context "
+               "(%zu blocks)",
+               cfg_.physBlocks, blocksPerContext());
+    DFX_ASSERT(cfg_.maxContexts >= 1, "pager needs a context");
+    table_.assign(cfg_.maxContexts,
+                  std::vector<int32_t>(blocksPerContext(), -1));
+    refcount_.assign(cfg_.physBlocks, 0);
+    freeCount_ = cfg_.physBlocks;
+    active_.assign(cfg_.maxContexts, false);
+    promptLen_.assign(cfg_.maxContexts, 0);
+    prompt_.assign(cfg_.maxContexts, {});
+    reservedRemaining_.assign(cfg_.maxContexts, 0);
+}
+
+void
+KvPager::addMirror(OffchipMemory *hbm, std::vector<uint64_t> key_pool,
+                   std::vector<uint64_t> vt_pool)
+{
+    DFX_ASSERT(hbm != nullptr, "pager mirror needs a device");
+    DFX_ASSERT(key_pool.size() == cfg_.layers &&
+                   vt_pool.size() == cfg_.layers,
+               "mirror pool count (%zu K, %zu VT) != %zu layers",
+               key_pool.size(), vt_pool.size(), cfg_.layers);
+    mirrors_.push_back(
+        Mirror{hbm, std::move(key_pool), std::move(vt_pool)});
+}
+
+int32_t
+KvPager::allocBlock()
+{
+    DFX_ASSERT(freeCount_ > 0, "block pool exhausted (%zu blocks, "
+               "%zu reserved) — admission accounting is broken",
+               cfg_.physBlocks, reservedTotal_);
+    // Test-set preference order first, then lowest-free-first (the
+    // deterministic default keeps paged layouts reproducible).
+    for (int32_t b : freeOrder_) {
+        if (b >= 0 && static_cast<size_t>(b) < cfg_.physBlocks &&
+            refcount_[b] == 0) {
+            refcount_[b] = 1;
+            --freeCount_;
+            return b;
+        }
+    }
+    for (size_t b = 0; b < cfg_.physBlocks; ++b) {
+        if (refcount_[b] == 0) {
+            refcount_[b] = 1;
+            --freeCount_;
+            return static_cast<int32_t>(b);
+        }
+    }
+    DFX_FATAL("free count %zu but no free block", freeCount_);
+}
+
+void
+KvPager::incref(int32_t block)
+{
+    DFX_ASSERT(block >= 0 &&
+                   static_cast<size_t>(block) < cfg_.physBlocks &&
+               refcount_[block] > 0,
+               "incref of invalid block %d", block);
+    ++refcount_[block];
+}
+
+void
+KvPager::decref(int32_t block)
+{
+    DFX_ASSERT(block >= 0 &&
+                   static_cast<size_t>(block) < cfg_.physBlocks &&
+               refcount_[block] > 0,
+               "decref of invalid block %d", block);
+    if (--refcount_[block] == 0)
+        ++freeCount_;
+}
+
+void
+KvPager::copyBlock(int32_t from, int32_t to)
+{
+    // One block's chunk per pool: [localHead][token][headDim] halves
+    // in the K pool, [localHead][headDim][token] in the V^T pool —
+    // both the same size, both contiguous, so a fork is two memcpy-
+    // sized copies per layer per mirror.
+    const uint64_t chunk_halves = static_cast<uint64_t>(
+        cfg_.localHeads * cfg_.blockTokens * cfg_.headDim);
+    std::vector<Half> tmp(chunk_halves);
+    for (Mirror &m : mirrors_) {
+        if (!m.hbm->functional())
+            continue;  // timing-only mirrors carry no data
+        for (size_t l = 0; l < cfg_.layers; ++l) {
+            const uint64_t src_k =
+                m.keyPool[l] + 2 * chunk_halves * from;
+            const uint64_t dst_k = m.keyPool[l] + 2 * chunk_halves * to;
+            m.hbm->readHalf(src_k, tmp.data(), chunk_halves);
+            m.hbm->writeHalf(dst_k, tmp.data(), chunk_halves);
+            const uint64_t src_v = m.vtPool[l] + 2 * chunk_halves * from;
+            const uint64_t dst_v = m.vtPool[l] + 2 * chunk_halves * to;
+            m.hbm->readHalf(src_v, tmp.data(), chunk_halves);
+            m.hbm->writeHalf(dst_v, tmp.data(), chunk_halves);
+        }
+    }
+}
+
+void
+KvPager::evictPrefixEntry(size_t index)
+{
+    for (int32_t b : prefixIndex_[index].blocks)
+        decref(b);
+    prefixIndex_.erase(prefixIndex_.begin() +
+                       static_cast<ptrdiff_t>(index));
+}
+
+void
+KvPager::consumeReservation(size_t ctx)
+{
+    if (reservedRemaining_[ctx] > 0) {
+        --reservedRemaining_[ctx];
+        DFX_ASSERT(reservedTotal_ > 0, "reservation accounting broken");
+        --reservedTotal_;
+    }
+}
+
+bool
+KvPager::tryOpen(size_t ctx, const std::vector<int32_t> &prompt,
+                 size_t new_tokens, bool share_prefix,
+                 size_t *shared_tokens)
+{
+    DFX_ASSERT(ctx < cfg_.maxContexts, "context %zu out of %zu", ctx,
+               cfg_.maxContexts);
+    DFX_ASSERT(!active_[ctx], "context %zu already open", ctx);
+    DFX_ASSERT(!prompt.empty(), "cannot open a context on an empty "
+               "prompt");
+    DFX_ASSERT(prompt.size() + new_tokens <= cfg_.maxSeq,
+               "request of %zu + %zu tokens exceeds maxSeq %zu",
+               prompt.size(), new_tokens, cfg_.maxSeq);
+    const size_t B = cfg_.blockTokens;
+
+    // Longest-common-prefix match against the index. Capped at
+    // prompt.size() - 1: the last prompt token must be processed
+    // fresh so prefill still produces the logits that pick the first
+    // generated token.
+    size_t shared = 0;
+    ptrdiff_t matched = -1;  // index of the matched prefix entry
+    if (share_prefix && cfg_.prefixSharing) {
+        ++prefixLookups_;
+        for (size_t e = 0; e < prefixIndex_.size(); ++e) {
+            const std::vector<int32_t> &tok = prefixIndex_[e].tokens;
+            const size_t limit = std::min(
+                {tok.size(), prompt.size() - 1});
+            size_t lcp = 0;
+            while (lcp < limit && tok[lcp] == prompt[lcp])
+                ++lcp;
+            if (lcp > shared) {
+                shared = lcp;
+                matched = static_cast<ptrdiff_t>(e);
+            }
+        }
+    }
+
+    const size_t total_blocks = (prompt.size() + new_tokens + B - 1) / B;
+    size_t shared_blocks = (shared + B - 1) / B;
+    DFX_ASSERT(shared_blocks <= total_blocks, "prefix accounting broken");
+    // Only *full* shared blocks reduce the reservation: a partially-
+    // filled shared tail block is aliased too, but the borrower forks
+    // it at its first write (pos == shared lies inside it), which
+    // costs one fresh block.
+    size_t needed = total_blocks - shared / B;
+
+    // If the reservation does not fit, evict index entries (FIFO,
+    // sparing the match) — but *plan first*: an entry's blocks may
+    // still be held by active contexts, in which case evicting it
+    // frees nothing. A failed tryOpen must leave the index intact —
+    // the sharing it carries is exactly what lets the next admission
+    // (after a context closes) fit in one block instead of a full
+    // context's worth.
+    if (freeCount_ - reservedTotal_ < needed) {
+        // Simulated blocks freed by evicting FIFO entries [0, e),
+        // optionally sparing the match. Entries can pin the same
+        // block, so count a block freed only when the planned decrefs
+        // reach its whole refcount.
+        auto plannedGain = [&](bool spare_match,
+                               size_t need) -> ptrdiff_t {
+            std::vector<uint32_t> decs(refcount_.size(), 0);
+            size_t freed = 0;
+            for (size_t e = 0; e < prefixIndex_.size(); ++e) {
+                if (spare_match &&
+                    static_cast<ptrdiff_t>(e) == matched)
+                    continue;
+                for (int32_t b : prefixIndex_[e].blocks) {
+                    if (++decs[static_cast<size_t>(b)] ==
+                        refcount_[static_cast<size_t>(b)])
+                        ++freed;
+                }
+                if (freeCount_ + freed - reservedTotal_ >= need)
+                    return static_cast<ptrdiff_t>(e) + 1;
+            }
+            return -1;
+        };
+        bool spare_match = true;
+        if (plannedGain(true, needed) < 0) {
+            // Last resort: sharing is an optimization, capacity is
+            // correctness. Drop the match too — the matched entry may
+            // pin more blocks than the prefix it would save.
+            if (matched < 0 ||
+                plannedGain(false, total_blocks) < 0)
+                return false;
+            spare_match = false;
+            matched = -1;
+            shared = 0;
+            shared_blocks = 0;
+            needed = total_blocks;
+        }
+        size_t e = 0;
+        while (freeCount_ - reservedTotal_ < needed &&
+               e < prefixIndex_.size()) {
+            if (spare_match && static_cast<ptrdiff_t>(e) == matched) {
+                ++e;
+                continue;
+            }
+            evictPrefixEntry(e);
+            if (matched > static_cast<ptrdiff_t>(e))
+                --matched;
+            // Do not advance: erase shifted the next entry into slot e.
+        }
+        DFX_ASSERT(freeCount_ - reservedTotal_ >= needed,
+                   "eviction plan promised %zu blocks the evictions "
+                   "did not free", needed);
+    }
+
+    // Map the shared blocks. Aliasing may include a partially-filled
+    // tail block: the borrower's first divergent write forks it, paid
+    // for out of the reservation made here.
+    if (shared > 0) {
+        ++prefixHits_;
+        const std::vector<int32_t> &blocks =
+            prefixIndex_[static_cast<size_t>(matched)].blocks;
+        DFX_ASSERT(shared_blocks <= blocks.size(),
+                   "prefix entry of %zu blocks cannot cover %zu shared",
+                   blocks.size(), shared_blocks);
+        for (size_t bi = 0; bi < shared_blocks; ++bi) {
+            incref(blocks[bi]);
+            table_[ctx][bi] = blocks[bi];
+        }
+    }
+
+    reservedRemaining_[ctx] = needed;
+    reservedTotal_ += needed;
+    active_[ctx] = true;
+    promptLen_[ctx] = prompt.size();
+    prompt_[ctx] = prompt;
+    ++activeCount_;
+    peakActive_ = std::max(peakActive_, activeCount_);
+    sharedTokensTotal_ += shared;
+    promptTokensTotal_ += prompt.size();
+    if (shared_tokens != nullptr)
+        *shared_tokens = shared;
+    return true;
+}
+
+void
+KvPager::ensureWritable(size_t ctx, size_t pos)
+{
+    DFX_ASSERT(ctx < cfg_.maxContexts && active_[ctx],
+               "ensureWritable on closed context %zu", ctx);
+    DFX_ASSERT(pos < cfg_.maxSeq, "token %zu beyond maxSeq %zu", pos,
+               cfg_.maxSeq);
+    const size_t bi = pos / cfg_.blockTokens;
+    int32_t b = table_[ctx][bi];
+    if (b < 0) {
+        table_[ctx][bi] = allocBlock();
+        consumeReservation(ctx);
+        return;
+    }
+    if (refcount_[b] > 1) {
+        // Copy-on-write fork: this context diverges from its prefix
+        // siblings inside block `b` — give it a private copy and
+        // leave every other holder untouched.
+        const int32_t fresh = allocBlock();
+        copyBlock(b, fresh);
+        decref(b);
+        table_[ctx][bi] = fresh;
+        consumeReservation(ctx);
+    }
+}
+
+void
+KvPager::onTokenWritten(size_t ctx, size_t pos)
+{
+    DFX_ASSERT(ctx < cfg_.maxContexts && active_[ctx],
+               "onTokenWritten on closed context %zu", ctx);
+    if (!cfg_.prefixSharing || pos + 1 != promptLen_[ctx])
+        return;
+    // The prompt's K/V just became fully resident — registration
+    // happens here (not at open) so the index only ever references
+    // blocks whose contents are final.
+    const size_t B = cfg_.blockTokens;
+    const size_t len = promptLen_[ctx];
+    size_t reg_tokens = len;
+    size_t reg_blocks = (len + B - 1) / B;
+    if (len % B != 0) {
+        // Pinning the partially-filled tail block means this context
+        // itself forks it on its next write. That costs one extra
+        // block beyond the admission reservation — take it only if
+        // the pool can spare it, else register full blocks only.
+        if (freeCount_ - reservedTotal_ >= 1) {
+            ++reservedRemaining_[ctx];
+            ++reservedTotal_;
+        } else {
+            reg_blocks = len / B;
+            reg_tokens = reg_blocks * B;
+        }
+    }
+    if (reg_blocks == 0)
+        return;
+
+    PrefixEntry entry;
+    entry.tokens.assign(prompt_[ctx].begin(),
+                        prompt_[ctx].begin() +
+                            static_cast<ptrdiff_t>(reg_tokens));
+    // Identical registration already present? Keep the older entry —
+    // its blocks are the ones later requests already alias.
+    for (const PrefixEntry &existing : prefixIndex_) {
+        if (existing.tokens == entry.tokens)
+            return;
+    }
+    entry.blocks.reserve(reg_blocks);
+    for (size_t bi = 0; bi < reg_blocks; ++bi) {
+        const int32_t b = table_[ctx][bi];
+        DFX_ASSERT(b >= 0, "prompt block %zu of context %zu unmapped "
+                   "at registration", bi, ctx);
+        incref(b);
+        entry.blocks.push_back(b);
+    }
+    prefixIndex_.push_back(std::move(entry));
+    while (prefixIndex_.size() > cfg_.maxPrefixEntries)
+        evictPrefixEntry(0);
+}
+
+void
+KvPager::close(size_t ctx)
+{
+    DFX_ASSERT(ctx < cfg_.maxContexts && active_[ctx],
+               "close of context %zu that is not open", ctx);
+    for (int32_t &b : table_[ctx]) {
+        if (b >= 0)
+            decref(b);
+        b = -1;
+    }
+    DFX_ASSERT(reservedTotal_ >= reservedRemaining_[ctx],
+               "reservation accounting broken");
+    reservedTotal_ -= reservedRemaining_[ctx];
+    reservedRemaining_[ctx] = 0;
+    promptLen_[ctx] = 0;
+    prompt_[ctx].clear();
+    active_[ctx] = false;
+    --activeCount_;
+}
+
+int32_t
+KvPager::blockAt(size_t ctx, size_t token_block) const
+{
+    DFX_ASSERT(ctx < cfg_.maxContexts &&
+                   token_block < blocksPerContext(),
+               "block lookup (ctx %zu, block %zu) out of (%zu, %zu)",
+               ctx, token_block, cfg_.maxContexts, blocksPerContext());
+    return table_[ctx][token_block];
+}
+
+void
+KvPager::debugSetFreeOrder(std::vector<int32_t> order)
+{
+    freeOrder_ = std::move(order);
+}
+
+}  // namespace dfx

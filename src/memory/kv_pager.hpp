@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Paged KV-cache block pager.
+ *
+ * The unpaged layout gives every resident context a full maxSeq-deep
+ * K/V^T region per layer, so capacity is `kvContexts` regardless of
+ * how long requests actually are. The pager replaces that with a pool
+ * of fixed-size token blocks (vLLM-style): each context owns a block
+ * table mapping token-block index -> physical block id, blocks are
+ * refcounted, and contexts whose prompts share a token prefix alias
+ * the same physical blocks, forking copy-on-write on the first
+ * divergent write.
+ *
+ * Division of labour:
+ *  - codegen keeps emitting the *virtual* per-context KV addresses of
+ *    the unpaged layout (instruction streams — and therefore tokens
+ *    and modeled timing — are bit-identical to unpaged);
+ *  - `OffchipMemory` virtual windows translate those addresses
+ *    through this pager's block tables on every functional access;
+ *  - the cluster drives the lifecycle: `tryOpen` at admission,
+ *    `ensureWritable` before each token step (CoW fork point),
+ *    `onTokenWritten` after it (prefix registration), `close` at
+ *    release.
+ *
+ * One pager instance serves all cores of a cluster: cores hold
+ * *mirrored* copies of the KV data (each core's HBM has its own block
+ * pools at identical addresses), so the block table is shared and a
+ * CoW fork copies the forked chunk on every mirror. All mutating
+ * calls happen on the cluster's scheduler thread between phases;
+ * translators only read the table from worker threads while it is
+ * quiescent.
+ */
+#ifndef DFX_MEMORY_KV_PAGER_HPP
+#define DFX_MEMORY_KV_PAGER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "memory/offchip.hpp"
+
+namespace dfx {
+
+class KvPager
+{
+  public:
+    struct Config
+    {
+        size_t blockTokens = 16;  ///< tokens per block (divides maxSeq)
+        size_t physBlocks = 1;    ///< pool size, in blocks, per layer
+        size_t maxContexts = 1;   ///< virtual contexts (block tables)
+        size_t maxSeq = 0;
+        size_t localHeads = 1;
+        size_t headDim = 0;
+        size_t layers = 1;
+        bool prefixSharing = true;
+        size_t maxPrefixEntries = 8;  ///< prefix-index FIFO bound
+    };
+
+    explicit KvPager(const Config &cfg);
+
+    /**
+     * Registers one core's HBM as a KV mirror. `key_pool` / `vt_pool`
+     * hold the per-layer physical pool base addresses on that device;
+     * a CoW fork copies the forked block's chunk on every mirror.
+     * The device must outlive this pager.
+     */
+    void addMirror(OffchipMemory *hbm, std::vector<uint64_t> key_pool,
+                   std::vector<uint64_t> vt_pool);
+
+    /**
+     * Tries to open context `ctx` for a request of `prompt` plus up to
+     * `new_tokens` generated tokens. On success, maps any shared
+     * prefix blocks (when `share_prefix` and the prefix index has a
+     * match), reserves enough free blocks for the rest, and returns
+     * true with `*shared_tokens` set to the number of leading prompt
+     * tokens whose K/V is already resident (prefill may skip them).
+     * Returns false — with no state change beyond possible prefix-
+     * index eviction — when even after evicting unpinned index
+     * entries the pool cannot cover the request.
+     */
+    bool tryOpen(size_t ctx, const std::vector<int32_t> &prompt,
+                 size_t new_tokens, bool share_prefix,
+                 size_t *shared_tokens);
+
+    /**
+     * Makes the block holding token `pos` privately writable for
+     * `ctx`: allocates it if unmapped, forks it copy-on-write if
+     * shared. Must run on the scheduler thread before the step's
+     * phases execute.
+     */
+    void ensureWritable(size_t ctx, size_t pos);
+
+    /**
+     * Notes that `ctx` finished writing K/V for token `pos`. When the
+     * prompt just completed, registers its blocks in the prefix index
+     * so later requests with the same system prompt can alias them.
+     */
+    void onTokenWritten(size_t ctx, size_t pos);
+
+    /** Releases every block `ctx` maps and its unused reservation. */
+    void close(size_t ctx);
+
+    /**
+     * Physical block holding token-block `token_block` of `ctx`, or
+     * -1 while unmapped. Called by the address translators (worker
+     * threads) and the fatal-path bounds checks.
+     */
+    int32_t blockAt(size_t ctx, size_t token_block) const;
+
+    size_t blockTokens() const { return cfg_.blockTokens; }
+    size_t physBlocks() const { return cfg_.physBlocks; }
+    size_t blocksPerContext() const
+    {
+        return cfg_.maxSeq / cfg_.blockTokens;
+    }
+    /** Blocks neither mapped nor held by the prefix index. */
+    size_t freeBlocks() const { return freeCount_; }
+    /** Contexts currently open. */
+    size_t activeContexts() const { return activeCount_; }
+    /** High-water mark of concurrently open contexts. */
+    size_t peakActiveContexts() const { return peakActive_; }
+
+    // Prefix-sharing counters (for the bench capacity section).
+    size_t prefixLookups() const { return prefixLookups_; }
+    size_t prefixHits() const { return prefixHits_; }
+    uint64_t sharedTokensTotal() const { return sharedTokensTotal_; }
+    uint64_t promptTokensTotal() const { return promptTokensTotal_; }
+
+    /**
+     * Test hook: overrides the allocator's block preference order so
+     * property tests can force arbitrary physical permutations. Ids
+     * not listed fall back to lowest-free-first.
+     */
+    void debugSetFreeOrder(std::vector<int32_t> order);
+
+  private:
+    struct Mirror
+    {
+        OffchipMemory *hbm = nullptr;
+        std::vector<uint64_t> keyPool;  ///< per-layer pool base
+        std::vector<uint64_t> vtPool;
+    };
+
+    /** One registered shared prefix: its tokens and pinned blocks. */
+    struct PrefixEntry
+    {
+        std::vector<int32_t> tokens;
+        std::vector<int32_t> blocks;  ///< refs held by this entry
+    };
+
+    int32_t allocBlock();
+    void incref(int32_t block);
+    void decref(int32_t block);
+    /** Copies block `from`'s chunk to `to` on every mirror. */
+    void copyBlock(int32_t from, int32_t to);
+    /** Drops one prefix-index entry and its block refs. */
+    void evictPrefixEntry(size_t index);
+    /** Consumes one reserved block from `ctx`'s admission budget. */
+    void consumeReservation(size_t ctx);
+
+    Config cfg_;
+    std::vector<Mirror> mirrors_;
+    std::vector<std::vector<int32_t>> table_;  ///< [ctx][tokenBlock]
+    std::vector<uint32_t> refcount_;           ///< [physBlock]
+    size_t freeCount_ = 0;
+    std::vector<int32_t> freeOrder_;  ///< test-set preference order
+
+    std::vector<bool> active_;
+    std::vector<size_t> promptLen_;
+    std::vector<std::vector<int32_t>> prompt_;  ///< kept for registration
+    std::vector<size_t> reservedRemaining_;  ///< per-ctx unclaimed blocks
+    size_t reservedTotal_ = 0;
+    size_t activeCount_ = 0;
+    size_t peakActive_ = 0;
+
+    std::deque<PrefixEntry> prefixIndex_;  ///< FIFO, oldest in front
+    size_t prefixLookups_ = 0;
+    size_t prefixHits_ = 0;
+    uint64_t sharedTokensTotal_ = 0;
+    uint64_t promptTokensTotal_ = 0;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_MEMORY_KV_PAGER_HPP

@@ -5,6 +5,7 @@
 #include "memory/layout.hpp"
 
 #include "common/logging.hpp"
+#include "memory/kv_pager.hpp"
 #include "model/weight_store.hpp"
 
 namespace dfx {
@@ -85,12 +86,91 @@ MemoryLayout::vtChannelMask(size_t lh, size_t ctx) const
                         1);
 }
 
+namespace {
+
+/**
+ * Installs the K and V^T virtual windows for one layer. The windows
+ * keep the unpaged virtual layout ([ctx][localHead][seq][headDim] for
+ * K, [ctx][localHead][headDim][maxSeq] for V^T); the translators map
+ * each access onto the layer's block pools through the pager's block
+ * table. Physical chunk order inside a block: K [lh][tok][headDim],
+ * V^T [lh][headDim][tok].
+ */
+void
+allocPagedKvWindows(LayerAddrs &a, OffchipMemory &hbm, KvPager *pager,
+                    uint64_t kv_contexts, uint64_t local_heads,
+                    uint64_t max_seq, uint64_t hd,
+                    uint64_t *key_pool_out, uint64_t *vt_pool_out)
+{
+    const uint64_t B = pager->blockTokens();
+    const uint64_t blocks = pager->physBlocks();
+    const uint64_t key_pool =
+        hbm.alloc(blocks * local_heads * B * hd * 2, "Kpool");
+    const uint64_t vt_pool =
+        hbm.alloc(blocks * local_heads * hd * B * 2, "VTpool");
+    *key_pool_out = key_pool;
+    *vt_pool_out = vt_pool;
+    a.keyBase = hbm.allocVirtual(
+        kv_contexts * local_heads * max_seq * hd * 2, "K",
+        [pager, key_pool, local_heads, max_seq, hd,
+         B](uint64_t off, bool) {
+            OffchipMemory::PagedRun run;
+            const uint64_t d = off % hd;
+            const uint64_t t = off / hd % max_seq;
+            const uint64_t lh = off / (hd * max_seq) % local_heads;
+            const uint64_t ctx = off / (hd * max_seq * local_heads);
+            run.halves = (B - t % B) * hd - d;
+            const int32_t b = pager->blockAt(ctx, t / B);
+            if (b < 0) {
+                run.mapped = false;
+                return run;
+            }
+            run.physAddr =
+                key_pool +
+                2 * (((static_cast<uint64_t>(b) * local_heads + lh) *
+                          B +
+                      t % B) *
+                         hd +
+                     d);
+            return run;
+        });
+    a.vtBase = hbm.allocVirtual(
+        kv_contexts * local_heads * hd * max_seq * 2, "VT",
+        [pager, vt_pool, local_heads, max_seq, hd,
+         B](uint64_t off, bool) {
+            OffchipMemory::PagedRun run;
+            const uint64_t t = off % max_seq;
+            const uint64_t j = off / max_seq % hd;
+            const uint64_t lh = off / (max_seq * hd) % local_heads;
+            const uint64_t ctx = off / (max_seq * hd * local_heads);
+            run.halves = B - t % B;
+            const int32_t b = pager->blockAt(ctx, t / B);
+            if (b < 0) {
+                run.mapped = false;
+                return run;
+            }
+            run.physAddr =
+                vt_pool +
+                2 * (((static_cast<uint64_t>(b) * local_heads + lh) *
+                          hd +
+                      j) *
+                         B +
+                     t % B);
+            return run;
+        });
+    // Note the two pools store a block's chunk at the same offset
+    // (chunks are equal-sized), which is what lets the pager fork a
+    // block with two flat chunk copies.
+}
+
+}  // namespace
+
 MemoryLayout
 MemoryLayout::build(const GptConfig &config,
                     const ClusterGeometry &geometry, size_t lanes,
                     OffchipMemory &hbm, OffchipMemory &ddr,
                     size_t kv_contexts, size_t hbm_channels,
-                    size_t kv_stream_channels)
+                    size_t kv_stream_channels, KvPager *pager)
 {
     config.validate();
     geometry.validateFor(config);
@@ -111,6 +191,14 @@ MemoryLayout::build(const GptConfig &config,
     ml.kvContexts = kv_contexts;
     ml.hbmChannels = hbm_channels;
     ml.kvStreamChannels = kv_stream_channels;
+    if (pager != nullptr) {
+        DFX_ASSERT(pager->blockTokens() > 0 &&
+                       config.maxSeq % pager->blockTokens() == 0,
+                   "block size %zu must divide maxSeq %zu",
+                   pager->blockTokens(), config.maxSeq);
+        ml.pager = pager;
+        ml.kvBlockTokens = pager->blockTokens();
+    }
 
     const uint64_t emb = config.embedding;
     const uint64_t emb_shard = geometry.embShard(config);
@@ -134,12 +222,25 @@ MemoryLayout::build(const GptConfig &config,
         // FFN: fc1 column split; fc2 column split with full 4emb input.
         a.wfc1 = hbm.alloc(emb * ffn_shard * 2, "wfc1");
         a.wfc2 = hbm.alloc(4 * emb * emb_shard * 2, "wfc2");
-        // KV cache regions for the local heads: one full region per
-        // resident context, stacked contiguously.
-        a.keyBase = hbm.alloc(
-            kv_contexts * local_heads * config.maxSeq * hd * 2, "K");
-        a.vtBase = hbm.alloc(
-            kv_contexts * local_heads * hd * config.maxSeq * 2, "VT");
+        // KV cache regions for the local heads: either one full
+        // region per resident context, stacked contiguously, or (in
+        // paged mode) block pools behind virtual windows with the
+        // same per-context virtual layout.
+        if (pager != nullptr) {
+            uint64_t key_pool = 0, vt_pool = 0;
+            allocPagedKvWindows(a, hbm, pager, kv_contexts,
+                                local_heads, config.maxSeq, hd,
+                                &key_pool, &vt_pool);
+            ml.keyPoolBase.push_back(key_pool);
+            ml.vtPoolBase.push_back(vt_pool);
+        } else {
+            a.keyBase = hbm.alloc(
+                kv_contexts * local_heads * config.maxSeq * hd * 2,
+                "K");
+            a.vtBase = hbm.alloc(
+                kv_contexts * local_heads * hd * config.maxSeq * 2,
+                "VT");
+        }
         // DDR: bias shards and LN parameters.
         a.bq = ddr.alloc(emb_shard * 2, "bq");
         a.bk = ddr.alloc(emb_shard * 2, "bk");

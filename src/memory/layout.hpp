@@ -36,6 +36,7 @@
 namespace dfx {
 
 class WeightStore;
+class KvPager;
 
 /** How the model is split across the cluster (paper Fig. 6). */
 struct ClusterGeometry
@@ -91,6 +92,23 @@ struct MemoryLayout
     size_t hbmChannels = static_cast<size_t>(HbmSpec::kChannels);
     size_t kvStreamChannels = 1;  ///< channels one K / V^T region spans
 
+    // Paged-KV mode (pager != nullptr): keyBase/vtBase become virtual
+    // windows whose accesses indirect through the pager's block
+    // tables, and the physical blocks live in per-layer pools below.
+    // The virtual-address formulas — and therefore every generated
+    // instruction — are identical to the unpaged layout.
+    KvPager *pager = nullptr;     ///< non-owning; outlives the devices
+    size_t kvBlockTokens = 0;     ///< tokens per block (0 = unpaged)
+    std::vector<uint64_t> keyPoolBase;  ///< per-layer K block pool
+    std::vector<uint64_t> vtPoolBase;   ///< per-layer V^T block pool
+
+    bool paged() const { return pager != nullptr; }
+    /** Block-table entries each context owns (paged mode). */
+    size_t kvBlocksPerContext() const
+    {
+        return kvBlockTokens == 0 ? 0 : config.maxSeq / kvBlockTokens;
+    }
+
     std::vector<LayerAddrs> layers;
     uint64_t lmHeadW = 0;     ///< HBM: WTE^T shard, emb x vocabShard
     uint64_t wte = 0;         ///< DDR: full WTE (embedding lookups)
@@ -132,13 +150,19 @@ struct MemoryLayout
      * to that many requests can be resident concurrently.
      * `hbm_channels`/`kv_stream_channels` shape the channel sets the
      * K and V^T regions are pinned to (see the file comment).
+     *
+     * With a `pager`, the KV cache is paged: K/V^T become virtual
+     * windows over per-layer block pools sized by the pager's
+     * physBlocks, `kv_contexts` counts *virtual* contexts (block
+     * tables, no HBM charge), and this core's HBM is registered as a
+     * pager mirror. The pager must outlive `hbm`.
      */
     static MemoryLayout build(
         const GptConfig &config, const ClusterGeometry &geometry,
         size_t lanes, OffchipMemory &hbm, OffchipMemory &ddr,
         size_t kv_contexts = 1,
         size_t hbm_channels = static_cast<size_t>(HbmSpec::kChannels),
-        size_t kv_stream_channels = 1);
+        size_t kv_stream_channels = 1, KvPager *pager = nullptr);
 
     /**
      * Binds every weight region of this layout — HBM weight shards and

@@ -100,6 +100,24 @@ OffchipMemory::bindRegion(uint64_t addr, uint64_t bytes,
     seg.provider = std::move(provider);
 }
 
+uint64_t
+OffchipMemory::allocVirtual(uint64_t bytes, const char *tag,
+                            PageTranslator translate)
+{
+    DFX_ASSERT(translate != nullptr,
+               "%s: virtual region '%s' needs a translator",
+               name_.c_str(), tag);
+    uint64_t addr = (virtualNext_ + 15) & ~uint64_t{15};
+    virtualNext_ = addr + bytes;
+    VirtualSegment seg;
+    seg.base = addr;
+    seg.bytes = bytes;
+    seg.tag = tag;
+    seg.translate = std::move(translate);
+    virtualSegments_.push_back(std::move(seg));
+    return addr;
+}
+
 double
 OffchipMemory::streamSeconds(uint64_t bytes) const
 {
@@ -135,6 +153,73 @@ OffchipMemory::find(uint64_t addr, uint64_t bytes)
                name_.c_str(), static_cast<unsigned long long>(addr),
                static_cast<unsigned long long>(bytes));
     return *seg;
+}
+
+OffchipMemory::VirtualSegment &
+OffchipMemory::findVirtual(uint64_t addr, uint64_t bytes)
+{
+    auto it = std::upper_bound(
+        virtualSegments_.begin(), virtualSegments_.end(), addr,
+        [](uint64_t a, const VirtualSegment &s) { return a < s.base; });
+    DFX_ASSERT(it != virtualSegments_.begin(),
+               "%s: paged access at 0x%llx below any virtual window",
+               name_.c_str(), static_cast<unsigned long long>(addr));
+    --it;
+    DFX_ASSERT(addr + bytes <= it->base + it->bytes,
+               "%s: paged access [0x%llx, +%llu) outside virtual "
+               "window '%s' [0x%llx, +%llu)",
+               name_.c_str(), static_cast<unsigned long long>(addr),
+               static_cast<unsigned long long>(bytes), it->tag,
+               static_cast<unsigned long long>(it->base),
+               static_cast<unsigned long long>(it->bytes));
+    return *it;
+}
+
+void
+OffchipMemory::readPaged(uint64_t addr, Half *dst, size_t n)
+{
+    VirtualSegment &seg = findVirtual(addr, 2 * n);
+    uint64_t off = (addr - seg.base) / 2;
+    while (n > 0) {
+        PagedRun run = seg.translate(off, /*for_write=*/false);
+        DFX_ASSERT(run.halves > 0, "%s: empty run in window '%s'",
+                   name_.c_str(), seg.tag);
+        const size_t take = std::min<size_t>(n, run.halves);
+        if (run.mapped) {
+            readHalf(run.physAddr, dst, take);
+        } else {
+            // Never-written space inside a paged window — the dead
+            // tail of a context's K/V beyond its sequence — reads
+            // zero like unallocated DRAM.
+            for (size_t i = 0; i < take; ++i)
+                dst[i] = Half::zero();
+        }
+        dst += take;
+        off += take;
+        n -= take;
+    }
+}
+
+void
+OffchipMemory::writePaged(uint64_t addr, const Half *src, size_t n)
+{
+    VirtualSegment &seg = findVirtual(addr, 2 * n);
+    uint64_t off = (addr - seg.base) / 2;
+    while (n > 0) {
+        PagedRun run = seg.translate(off, /*for_write=*/true);
+        DFX_ASSERT(run.halves > 0, "%s: empty run in window '%s'",
+                   name_.c_str(), seg.tag);
+        DFX_ASSERT(run.mapped,
+                   "%s: write at half offset %llu of window '%s' hit "
+                   "an unmapped block (ensureWritable not called?)",
+                   name_.c_str(), static_cast<unsigned long long>(off),
+                   seg.tag);
+        const size_t take = std::min<size_t>(n, run.halves);
+        writeHalf(run.physAddr, src, take);
+        src += take;
+        off += take;
+        n -= take;
+    }
 }
 
 void
@@ -194,6 +279,10 @@ OffchipMemory::writeHalf(uint64_t addr, const Half *src, size_t n)
                name_.c_str());
     DFX_ASSERT(addr % 2 == 0, "%s: unaligned half write at 0x%llx",
                name_.c_str(), static_cast<unsigned long long>(addr));
+    if (isPaged(addr)) {
+        writePaged(addr, src, n);
+        return;
+    }
     Segment &seg = find(addr, 2 * n);
     Half *base = writePtr(seg);
     std::memcpy(base + (addr - seg.base) / 2, src, 2 * n);
@@ -206,6 +295,10 @@ OffchipMemory::readHalf(uint64_t addr, Half *dst, size_t n)
                name_.c_str());
     DFX_ASSERT(addr % 2 == 0, "%s: unaligned half read at 0x%llx",
                name_.c_str(), static_cast<unsigned long long>(addr));
+    if (isPaged(addr)) {
+        readPaged(addr, dst, n);
+        return;
+    }
     // Reads tolerate unallocated / unwritten addresses and return
     // zero, like real DRAM after init — tests probe layouts this way.
     // Semantics are element-wise: a read straddling a region's end
@@ -262,6 +355,13 @@ OffchipMemory::loadSpan(uint64_t addr, size_t n)
                name_.c_str());
     DFX_ASSERT(addr % 2 == 0, "%s: unaligned span at 0x%llx",
                name_.c_str(), static_cast<unsigned long long>(addr));
+    if (isPaged(addr)) {
+        // Gather the window's runs into scratch so the caller still
+        // sees one contiguous span; valid until the next loadSpan.
+        gather_.resize(n);
+        readPaged(addr, gather_.data(), n);
+        return gather_.data();
+    }
     Segment &seg = find(addr, 2 * n);
     return readPtr(seg) + (addr - seg.base) / 2;
 }
@@ -273,6 +373,10 @@ OffchipMemory::storeSpan(uint64_t addr, size_t n)
                name_.c_str());
     DFX_ASSERT(addr % 2 == 0, "%s: unaligned span at 0x%llx",
                name_.c_str(), static_cast<unsigned long long>(addr));
+    DFX_ASSERT(!isPaged(addr),
+               "%s: storeSpan cannot expose a mutable view of a paged "
+               "window (runs are discontiguous); use writeHalf",
+               name_.c_str());
     Segment &seg = find(addr, 2 * n);
     return writePtr(seg) + (addr - seg.base) / 2;
 }

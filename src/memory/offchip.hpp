@@ -42,6 +42,34 @@ class OffchipMemory
 {
   public:
     /**
+     * Virtual (paged) regions live far above any physical allocation;
+     * addresses at or beyond this base are translated per access.
+     */
+    static constexpr uint64_t kVirtualBase = uint64_t{1} << 40;
+
+    /**
+     * One maximal contiguous physical run backing a virtual offset.
+     * `physAddr` is the byte address of the first half; `halves` is
+     * how many consecutive halves the run covers before the next
+     * translation boundary. An unmapped run (`mapped == false`) reads
+     * as zero and is fatal to write.
+     */
+    struct PagedRun
+    {
+        uint64_t physAddr = 0;
+        size_t halves = 0;
+        bool mapped = true;
+    };
+
+    /**
+     * Maps a half offset inside a virtual region to its physical run.
+     * `for_write` distinguishes stores (which must hit mapped, private
+     * blocks) from loads (which may fall in never-written space).
+     */
+    using PageTranslator =
+        std::function<PagedRun(uint64_t half_offset, bool for_write)>;
+
+    /**
      * @param name device name for diagnostics ("hbm0", "ddr0")
      * @param capacity_bytes device capacity (allocation limit)
      * @param peak_bw_bytes_per_sec theoretical peak bandwidth
@@ -71,6 +99,19 @@ class OffchipMemory
      */
     void bindRegion(uint64_t addr, uint64_t bytes,
                     std::function<const Half *()> provider);
+
+    /**
+     * Reserves a virtual window of `bytes` whose accesses indirect
+     * through `translate`. Virtual windows carry no capacity charge —
+     * their storage is whatever physical regions the translator maps
+     * runs onto (the paged-KV block pools). Returns the window's base
+     * address, always >= kVirtualBase.
+     */
+    uint64_t allocVirtual(uint64_t bytes, const char *tag,
+                          PageTranslator translate);
+
+    /** True when `addr` falls in translated (paged) address space. */
+    bool isPaged(uint64_t addr) const { return addr >= kVirtualBase; }
 
     /** Bytes allocated so far. */
     uint64_t allocated() const { return next_; }
@@ -135,9 +176,22 @@ class OffchipMemory
         const Half *shared = nullptr;
     };
 
+    /** One virtual window and its address translator. */
+    struct VirtualSegment
+    {
+        uint64_t base = 0;
+        uint64_t bytes = 0;
+        const char *tag = "";
+        PageTranslator translate;
+    };
+
     /** Segment containing [addr, addr + bytes); fatal if none. */
     Segment &find(uint64_t addr, uint64_t bytes);
     Segment *findOrNull(uint64_t addr);
+    /** Virtual window containing [addr, addr + bytes); fatal if none. */
+    VirtualSegment &findVirtual(uint64_t addr, uint64_t bytes);
+    void readPaged(uint64_t addr, Half *dst, size_t n);
+    void writePaged(uint64_t addr, const Half *src, size_t n);
     /** Read pointer to a segment's data (resolves/allocates lazily). */
     const Half *readPtr(Segment &seg);
     /** Write pointer; copies a bound segment out first (COW). */
@@ -151,6 +205,15 @@ class OffchipMemory
     bool functional_;
     uint64_t next_ = 0;
     std::vector<Segment> segments_;  ///< sorted by base (bump alloc)
+    uint64_t virtualNext_ = kVirtualBase;
+    /// Virtual windows, sorted by base; kept apart from segments_ so
+    /// interleaved alloc/allocVirtual cannot break its sortedness.
+    std::vector<VirtualSegment> virtualSegments_;
+    /// Scratch for loadSpan over a paged window: runs are gathered
+    /// here so callers still see one contiguous span. Only one span
+    /// is live at a time per device (each core owns its devices and
+    /// executes one instruction's operand fetch at a time).
+    std::vector<Half> gather_;
 };
 
 /** HBM stack parameters for the Alveo U280. */

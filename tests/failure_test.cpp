@@ -153,11 +153,14 @@ TEST(Failure, VrfRangeChecked)
 
 TEST(Failure, EncoderRejectsOversizedFields)
 {
+    // dst carries a full 64-bit address (paged-KV virtual windows live
+    // above 1<<40); src3 is still a 32-bit field.
     isa::Instruction i;
     i.op = isa::Opcode::kAdd;
     i.src1 = isa::Operand::vrf(0);
     i.src2 = isa::Operand::vrf(1);
-    i.dst = isa::Operand::vrf(uint64_t{1} << 40);  // beyond 32-bit dst
+    i.dst = isa::Operand::vrf(2);
+    i.src3 = isa::Operand::vrf(uint64_t{1} << 40);
     i.len = 64;
     EXPECT_DEATH(isa::encode(i), "32-bit");
 }
@@ -221,9 +224,11 @@ TEST(Failure, StoreBackedRetryExhaustionSurfacesFailedResult)
     EXPECT_GE(stats.totalFailed, 1u);
     EXPECT_EQ(stats.completedRequests + stats.totalFailed,
               reqs.size());
-    for (const RequestResult &r : stats.results)
-        if (r.outcome == RequestOutcome::Failed)
+    for (const RequestResult &r : stats.results) {
+        if (r.outcome == RequestOutcome::Failed) {
             EXPECT_TRUE(r.tokens.empty());
+        }
+    }
 }
 
 TEST(Failure, StoreBackedDoubleFailStopIsIdempotent)

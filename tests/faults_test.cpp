@@ -183,8 +183,9 @@ TEST(Faults, FailStopFailoverFinishesEveryRequestBitIdentical)
         // The dead cluster serves nothing after the fail-stop; any
         // request that finished after it must have run on cluster 1.
         if (stats.results[i].finishSimSeconds >
-            0.45 * healthy_makespan)
+            0.45 * healthy_makespan) {
             EXPECT_EQ(stats.results[i].cluster, 1u);
+        }
     }
     ASSERT_EQ(stats.clusters.size(), 2u);
     EXPECT_EQ(stats.clusters[0].health, ClusterHealth::Failed);

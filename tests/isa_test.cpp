@@ -101,6 +101,7 @@ TEST(Isa, EncodeDecodeRandomizedRoundTrip)
         i.src3 = rand_operand();
         i.dst = rand_operand();
         i.src2.addr = rng.next();  // full 64-bit address field
+        i.dst.addr = rng.next();   // dst too (paged-KV virtual windows)
         i.len = static_cast<uint32_t>(rng.next());
         i.cols = static_cast<uint32_t>(rng.next());
         i.aux = static_cast<uint32_t>(rng.next());

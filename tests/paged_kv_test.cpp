@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Paged KV-cache tests: the pager's block/reservation/prefix
+ * accounting in isolation, and the cluster-level invariants the
+ * design is built on — paged execution produces bit-identical tokens
+ * (and 1-in-flight timing) to the unpaged layout under arbitrary
+ * physical block permutations, copy-on-write forks exactly the
+ * divergent block, and prefix-sharing admission skips resident prompt
+ * tokens without changing any generated id.
+ */
+#include <gtest/gtest.h>
+
+#include "appliance/server.hpp"
+#include "memory/kv_pager.hpp"
+#include "model/weights.hpp"
+
+namespace dfx {
+namespace {
+
+// --- pager unit tests (no cluster, no mirrors) -----------------------
+
+KvPager::Config
+pagerConfig(size_t block_tokens, size_t phys_blocks, size_t contexts)
+{
+    KvPager::Config cfg;
+    cfg.blockTokens = block_tokens;
+    cfg.physBlocks = phys_blocks;
+    cfg.maxContexts = contexts;
+    cfg.maxSeq = 16;
+    cfg.localHeads = 1;
+    cfg.headDim = 4;
+    cfg.layers = 1;
+    return cfg;
+}
+
+/** Drives `ctx` through its whole prompt like the cluster would. */
+void
+writePrompt(KvPager &pager, size_t ctx, size_t prompt_len)
+{
+    for (size_t pos = 0; pos < prompt_len; ++pos) {
+        pager.ensureWritable(ctx, pos);
+        pager.onTokenWritten(ctx, pos);
+    }
+}
+
+TEST(KvPager, ReservationAndPrefixLifecycle)
+{
+    // B=4, 8-block pool, maxSeq 16 (4 blocks per context).
+    KvPager pager(pagerConfig(4, 8, 4));
+    const std::vector<int32_t> prompt = {1, 2, 3, 4, 5, 6};
+
+    size_t shared = 99;
+    ASSERT_TRUE(pager.tryOpen(0, prompt, 2, true, &shared));
+    EXPECT_EQ(shared, 0u);  // empty index: nothing to alias
+    EXPECT_EQ(pager.activeContexts(), 1u);
+
+    writePrompt(pager, 0, prompt.size());
+    // Prompt registered: ceil(6/4) = 2 blocks pinned by the index.
+    EXPECT_EQ(pager.prefixLookups(), 1u);
+    EXPECT_EQ(pager.prefixHits(), 0u);
+    const int32_t b0 = pager.blockAt(0, 0);
+    const int32_t b1 = pager.blockAt(0, 1);
+    ASSERT_GE(b0, 0);
+    ASSERT_GE(b1, 0);
+
+    // A second request with the same prompt aliases the prefix. The
+    // share is capped at prompt.size() - 1 = 5 tokens: the final
+    // prompt token is always stepped fresh so prefill still produces
+    // the logits that choose the first generated token.
+    ASSERT_TRUE(pager.tryOpen(1, prompt, 2, true, &shared));
+    EXPECT_EQ(shared, 5u);
+    EXPECT_EQ(pager.prefixHits(), 1u);
+    EXPECT_EQ(pager.blockAt(1, 0), b0);
+    EXPECT_EQ(pager.blockAt(1, 1), b1);
+
+    // First divergent write (pos 5 lies in the shared partial tail
+    // block): context 1 forks exactly that block; context 0 and the
+    // index keep theirs.
+    pager.ensureWritable(1, 5);
+    EXPECT_EQ(pager.blockAt(1, 0), b0);
+    EXPECT_NE(pager.blockAt(1, 1), b1);
+    EXPECT_EQ(pager.blockAt(0, 0), b0);
+    EXPECT_EQ(pager.blockAt(0, 1), b1);
+
+    pager.close(0);
+    pager.close(1);
+    EXPECT_EQ(pager.activeContexts(), 0u);
+    // Everything returned except the 2 blocks the index still pins.
+    EXPECT_EQ(pager.freeBlocks(), 6u);
+}
+
+TEST(KvPager, EvictsPrefixEntriesUnderPressure)
+{
+    KvPager pager(pagerConfig(4, 8, 4));
+    // Register two disjoint 8-token prompts: 2 pinned blocks each.
+    for (size_t r = 0; r < 2; ++r) {
+        std::vector<int32_t> prompt(8);
+        for (size_t j = 0; j < prompt.size(); ++j)
+            prompt[j] = static_cast<int32_t>(100 * r + j);
+        size_t shared = 0;
+        ASSERT_TRUE(pager.tryOpen(0, prompt, 4, true, &shared));
+        writePrompt(pager, 0, prompt.size());
+        pager.close(0);
+    }
+    EXPECT_EQ(pager.freeBlocks(), 4u);
+
+    // A 16-token request needs all 4 context blocks; with only 4 free
+    // the pager evicts index entries (FIFO) until it fits.
+    std::vector<int32_t> big(12, 7);
+    size_t shared = 0;
+    ASSERT_TRUE(pager.tryOpen(0, big, 4, true, &shared));
+    EXPECT_EQ(shared, 0u);
+    writePrompt(pager, 0, big.size());
+    pager.close(0);
+
+    // A request larger than the whole pool can never be admitted.
+    KvPager small(pagerConfig(4, 4, 2));
+    std::vector<int32_t> full(12, 3);
+    ASSERT_TRUE(small.tryOpen(0, full, 4, false, &shared));
+    std::vector<int32_t> more(12, 5);
+    EXPECT_FALSE(small.tryOpen(1, more, 4, false, &shared));
+    small.close(0);
+    // Once the holder leaves, the same request fits.
+    EXPECT_TRUE(small.tryOpen(1, more, 4, false, &shared));
+    small.close(1);
+}
+
+TEST(KvPager, FailedOpenLeavesPrefixIndexIntact)
+{
+    // Two live contexts fill the whole 8-block pool (4 blocks each),
+    // both prompts registered in the index.
+    KvPager pager(pagerConfig(4, 8, 4));
+    std::vector<int32_t> prompt(8);
+    for (size_t j = 0; j < prompt.size(); ++j)
+        prompt[j] = static_cast<int32_t>(j + 1);
+    size_t shared = 0;
+    ASSERT_TRUE(pager.tryOpen(0, prompt, 8, true, &shared));
+    writePrompt(pager, 0, prompt.size());
+    for (size_t pos = prompt.size(); pos < 16; ++pos)
+        pager.ensureWritable(0, pos);
+    std::vector<int32_t> other(8);
+    for (size_t j = 0; j < other.size(); ++j)
+        other[j] = static_cast<int32_t>(200 + j);
+    ASSERT_TRUE(pager.tryOpen(1, other, 8, true, &shared));
+    EXPECT_EQ(shared, 0u);  // disjoint prompts
+    writePrompt(pager, 1, other.size());
+
+    // A prefix-sharing request cannot fit, and evicting the index
+    // would free *nothing* — every pinned block is still held by a
+    // live context. The failed open must leave the index untouched;
+    // wiping it here was the bug that zeroed the prefix hit rate
+    // whenever admission ran into a momentarily full pool.
+    std::vector<int32_t> big = prompt;
+    big.resize(12, 42);
+    EXPECT_FALSE(pager.tryOpen(2, big, 4, true, &shared));
+
+    pager.close(0);
+    // The surviving index still serves the prefix: the same request
+    // now admits against context 0's registered blocks, not from
+    // scratch.
+    ASSERT_TRUE(pager.tryOpen(2, big, 4, true, &shared));
+    EXPECT_EQ(shared, prompt.size());
+    EXPECT_EQ(pager.prefixHits(), 1u);
+    pager.close(1);
+    pager.close(2);
+}
+
+// --- cluster-level invariants ----------------------------------------
+
+DfxSystemConfig
+toyConfig(size_t kv_contexts, bool paged)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();  // maxSeq 64
+    cfg.nCores = 2;
+    cfg.functional = true;
+    cfg.kvContexts = kv_contexts;
+    cfg.pagedKv.enabled = paged;
+    cfg.pagedKv.blockTokens = 16;
+    return cfg;
+}
+
+std::vector<int32_t>
+toyPrompt(size_t n, int32_t seed)
+{
+    std::vector<int32_t> p(n);
+    for (size_t j = 0; j < n; ++j)
+        p[j] = static_cast<int32_t>((seed * 31 + j * 7 + 3) % 97);
+    return p;
+}
+
+/** Drives a leased request exactly like DfxAppliance::generate. */
+std::vector<int32_t>
+driveLease(DfxAppliance &ap, const KvLease &lease,
+           const std::vector<int32_t> &prompt, size_t n_out)
+{
+    StepOutcome pre = ap.prefill(lease, prompt);
+    std::vector<int32_t> out;
+    int32_t next = pre.next;
+    for (size_t i = 0; i < n_out; ++i) {
+        out.push_back(next);
+        next = ap.decodeStep(lease.ctx(), next).next;
+    }
+    return out;
+}
+
+TEST(PagedKv, TokensAndTimingMatchUnpaged)
+{
+    // The tentpole invariant: paging changes where KV bytes live, not
+    // what any request computes or how long the model says it takes.
+    // codegen emits the same virtual addresses either way, so tokens
+    // AND modeled seconds are bit-identical — not merely close.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 301);
+    DfxAppliance unpaged(toyConfig(2, false));
+    DfxAppliance paged(toyConfig(2, true));
+    unpaged.loadWeights(w);
+    paged.loadWeights(w);
+
+    for (int32_t seed = 0; seed < 3; ++seed) {
+        const auto prompt = toyPrompt(12, seed);
+        GenerationResult a = unpaged.generate(prompt, 10);
+        GenerationResult b = paged.generate(prompt, 10);
+        EXPECT_EQ(a.tokens, b.tokens) << "seed " << seed;
+        EXPECT_EQ(a.summarizationSeconds, b.summarizationSeconds);
+        EXPECT_EQ(a.generationSeconds, b.generationSeconds);
+        EXPECT_EQ(a.hbmBytes, b.hbmBytes);
+        EXPECT_EQ(a.instructions, b.instructions);
+    }
+}
+
+TEST(PagedKv, TokensMatchUnpagedAcross1_2_4Cores)
+{
+    // mini has 4 heads, so 1/2/4 cores all divide; the paged==unpaged
+    // identity must hold at every intra-layer parallelism degree.
+    GptWeights w = GptWeights::random(GptConfig::mini(), 302);
+    const auto prompt = toyPrompt(9, 5);
+    for (size_t cores : {1u, 2u, 4u}) {
+        DfxSystemConfig cfg;
+        cfg.model = GptConfig::mini();
+        cfg.nCores = cores;
+        cfg.functional = true;
+        cfg.kvContexts = 2;
+
+        DfxAppliance unpaged(cfg);
+        unpaged.loadWeights(w);
+        auto expected = unpaged.generate(prompt, 6).tokens;
+
+        cfg.pagedKv.enabled = true;
+        cfg.pagedKv.blockTokens = 16;
+        DfxAppliance paged(cfg);
+        paged.loadWeights(w);
+        EXPECT_EQ(paged.generate(prompt, 6).tokens, expected)
+            << cores << " cores diverged";
+    }
+}
+
+TEST(PagedKv, ArbitraryBlockPermutationDecodesIdentically)
+{
+    // Property: the physical placement of blocks is invisible. Force
+    // the allocator through an arbitrary permutation of the pool and
+    // require bit-identical tokens to both the default paged order
+    // and the linear unpaged layout.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 303);
+    const std::vector<int32_t> permutation = {7, 2, 5, 0, 6, 1, 3, 4};
+
+    // The permutation really takes effect: first allocation lands on
+    // physical block 7, not 0.
+    {
+        DfxAppliance probe(toyConfig(2, true));
+        probe.loadWeights(w);
+        probe.cluster().pager()->debugSetFreeOrder(permutation);
+        KvLease lease = probe.acquireLease({toyPrompt(4, 9), 2, false});
+        probe.prefill(lease, toyPrompt(4, 9));
+        EXPECT_EQ(probe.cluster().pager()->blockAt(lease.ctx(), 0), 7);
+    }
+
+    DfxAppliance unpaged(toyConfig(2, false));
+    DfxAppliance linear(toyConfig(2, true));
+    DfxAppliance permuted(toyConfig(2, true));
+    unpaged.loadWeights(w);
+    linear.loadWeights(w);
+    permuted.loadWeights(w);
+    permuted.cluster().pager()->debugSetFreeOrder(permutation);
+
+    for (int32_t seed = 0; seed < 4; ++seed) {
+        const auto prompt = toyPrompt(10 + static_cast<size_t>(seed),
+                                      seed);
+        auto expected = unpaged.generate(prompt, 8).tokens;
+        EXPECT_EQ(linear.generate(prompt, 8).tokens, expected);
+        EXPECT_EQ(permuted.generate(prompt, 8).tokens, expected)
+            << "permuted layout diverged at seed " << seed;
+    }
+}
+
+TEST(PagedKv, CowForksExactlyTheDivergentBlock)
+{
+    GptWeights w = GptWeights::random(GptConfig::toy(), 304);
+    DfxAppliance ap(toyConfig(2, true));
+    ap.loadWeights(w);
+    KvPager *pager = ap.cluster().pager();
+    ASSERT_NE(pager, nullptr);
+
+    // Baseline run registers the 20-token prompt in the prefix index
+    // (generate() itself never aliases, but it does register).
+    const auto prompt = toyPrompt(20, 1);
+    const auto expected = ap.generate(prompt, 4).tokens;
+
+    // Two borrowers alias the registered blocks: 19 shared tokens
+    // (cap: prompt len - 1), i.e. block 0 fully and block 1 partially.
+    KvLease lc = ap.acquireLease({prompt, 4, true});
+    KvLease ld = ap.acquireLease({prompt, 4, true});
+    EXPECT_EQ(lc.sharedTokens(), 19u);
+    EXPECT_EQ(ld.sharedTokens(), 19u);
+    const int32_t b0 = pager->blockAt(lc.ctx(), 0);
+    const int32_t b1 = pager->blockAt(lc.ctx(), 1);
+    EXPECT_EQ(pager->blockAt(ld.ctx(), 0), b0);
+    EXPECT_EQ(pager->blockAt(ld.ctx(), 1), b1);
+
+    // C's prefill resumes at pos 19, inside shared block 1: the write
+    // forks block 1 and only block 1, leaving D's view untouched.
+    const auto c_tokens = driveLease(ap, lc, prompt, 4);
+    EXPECT_EQ(pager->blockAt(lc.ctx(), 0), b0);
+    EXPECT_NE(pager->blockAt(lc.ctx(), 1), b1);
+    EXPECT_EQ(pager->blockAt(ld.ctx(), 0), b0);
+    EXPECT_EQ(pager->blockAt(ld.ctx(), 1), b1);
+
+    // Both borrowers reproduce the baseline bit-for-bit: the aliased
+    // prefix K/V is the real data, and C's fork did not leak into D.
+    EXPECT_EQ(c_tokens, expected);
+    EXPECT_EQ(driveLease(ap, ld, prompt, 4), expected);
+}
+
+TEST(PagedKv, OversubscribedServerBackpressuresAndMatchesUnpaged)
+{
+    // 4 virtual contexts over a pool that holds only 2 fully-expanded
+    // contexts: admission must wait for blocks, never wedge, and every
+    // request's tokens must match the unpaged server's.
+    GptWeights w = GptWeights::random(GptConfig::toy(), 305);
+    std::vector<ServerRequest> reqs;
+    for (int32_t i = 0; i < 6; ++i) {
+        ServerRequest r;
+        r.prompt = toyPrompt(24, i);
+        r.nOut = 6;
+        reqs.push_back(std::move(r));
+    }
+
+    DfxSystemConfig up = toyConfig(4, false);
+    DfxServer unpaged(up, 1);
+    unpaged.loadWeights(w);
+    ServerStats expected = unpaged.serve(reqs);
+
+    DfxSystemConfig pp = toyConfig(4, true);
+    pp.pagedKv.physBlocks = 8;  // 2 contexts' worth (64/16 * 2)
+    ServerOptions opts;
+    opts.drainDeadlineHostSeconds = 120.0;
+    DfxServer paged(pp, 1, opts);
+    paged.loadWeights(w);
+    ServerStats stats = paged.serve(reqs);
+
+    ASSERT_EQ(stats.results.size(), reqs.size());
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(stats.results[i].outcome, RequestOutcome::Completed);
+        EXPECT_EQ(stats.results[i].tokens, expected.results[i].tokens)
+            << "request " << i << " diverged under block backpressure";
+    }
+}
+
+TEST(PagedKv, PagedClusterRejectsRawContextProtocol)
+{
+    DfxAppliance ap(toyConfig(2, true));
+    EXPECT_DEATH(ap.acquireContext(), "lease");
+}
+
+}  // namespace
+}  // namespace dfx

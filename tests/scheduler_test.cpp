@@ -98,17 +98,17 @@ TEST(Scheduler, KvContextsAreIsolated)
 
     DfxAppliance shared(cfg);
     shared.loadWeights(w);
-    const size_t ca = shared.acquireContext();
-    const size_t cb = shared.acquireContext();
-    StepOutcome sa = shared.prefill(ca, {5, 10, 15});
-    StepOutcome sb = shared.prefill(cb, {80, 40, 20});
+    KvLease la = shared.acquireLease({{5, 10, 15}, 8});
+    KvLease lb = shared.acquireLease({{80, 40, 20}, 8});
+    StepOutcome sa = shared.prefill(la, {5, 10, 15});
+    StepOutcome sb = shared.prefill(lb, {80, 40, 20});
     std::vector<int32_t> a_mixed, b_mixed;
     int32_t na = sa.next, nb = sb.next;
     for (size_t i = 0; i < 8; ++i) {
         a_mixed.push_back(na);
         b_mixed.push_back(nb);
-        na = shared.decodeStep(ca, na).next;  // strict interleaving
-        nb = shared.decodeStep(cb, nb).next;
+        na = shared.decodeStep(la.ctx(), na).next;  // strict interleave
+        nb = shared.decodeStep(lb.ctx(), nb).next;
     }
     EXPECT_EQ(a_mixed, a_alone);
     EXPECT_EQ(b_mixed, b_alone);
@@ -144,18 +144,52 @@ TEST(Scheduler, ContextSlotsRecycle)
     DfxAppliance appliance(timingConfig(3));
     EXPECT_EQ(appliance.kvContexts(), 3u);
     EXPECT_EQ(appliance.freeContexts(), 3u);
-    size_t a = appliance.acquireContext();
-    size_t b = appliance.acquireContext();
-    size_t c = appliance.acquireContext();
+    KvLease a = appliance.acquireLease({{1, 2}, 4});
+    KvLease b = appliance.acquireLease({{3, 4}, 4});
+    KvLease c = appliance.acquireLease({{5, 6}, 4});
     EXPECT_EQ(appliance.freeContexts(), 0u);
-    EXPECT_NE(a, b);
-    EXPECT_NE(b, c);
-    appliance.releaseContext(b);
+    // Exhaustion is an empty (falsy) lease, not a crash.
+    EXPECT_FALSE(appliance.tryAcquireLease({{7, 8}, 4}));
+    EXPECT_NE(a.ctx(), b.ctx());
+    EXPECT_NE(b.ctx(), c.ctx());
+    const size_t freed = b.ctx();
+    b.release();
     EXPECT_EQ(appliance.freeContexts(), 1u);
     // The freed slot is reused and starts a fresh conversation.
-    size_t d = appliance.acquireContext();
-    EXPECT_EQ(d, b);
-    EXPECT_EQ(appliance.cluster().position(d), 0u);
+    KvLease d = appliance.acquireLease({{9, 10}, 4});
+    EXPECT_EQ(d.ctx(), freed);
+    EXPECT_EQ(appliance.cluster().position(d.ctx()), 0u);
+}
+
+TEST(Scheduler, LeaseReleasesOnDestructionAndMove)
+{
+    DfxAppliance appliance(timingConfig(1));
+    {
+        KvLease l = appliance.acquireLease({{1, 2, 3}, 2});
+        EXPECT_TRUE(static_cast<bool>(l));
+        EXPECT_EQ(appliance.freeContexts(), 0u);
+        // Ownership transfers on move; the context stays leased.
+        KvLease moved = std::move(l);
+        EXPECT_FALSE(static_cast<bool>(l));
+        EXPECT_EQ(appliance.freeContexts(), 0u);
+    }
+    // Scope exit returned the context — no explicit release call.
+    EXPECT_EQ(appliance.freeContexts(), 1u);
+}
+
+TEST(Scheduler, DeprecatedContextShimStillWorks)
+{
+    // The raw index protocol is kept for one PR (unpaged clusters
+    // only); new code should lease via acquireLease/tryAcquireLease.
+    DfxAppliance appliance(timingConfig(2));
+    size_t a = appliance.acquireContext();
+    size_t b = appliance.acquireContext();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(appliance.freeContexts(), 0u);
+    appliance.releaseContext(a);
+    EXPECT_EQ(appliance.acquireContext(), a);
+    appliance.releaseContext(a);
+    appliance.releaseContext(b);
 }
 
 TEST(Scheduler, FifoFairnessUnderSaturatedQueue)
