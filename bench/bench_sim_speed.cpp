@@ -23,6 +23,8 @@
  */
 #include <chrono>
 #include <cstdio>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -39,11 +41,13 @@ struct Sample
     size_t nThreads;
     double stepsPerSec;
     std::vector<int32_t> tokens;
+    perf::HostStepProfile profile;  ///< warm-run host breakdown
 };
 
 Sample
 run(const std::shared_ptr<WeightStore> &store, size_t n_cores,
-    size_t n_threads, size_t n_in, size_t n_out)
+    size_t n_threads, size_t n_in, size_t n_out,
+    bool program_cache = true)
 {
     DfxSystemConfig cfg;
     cfg.model = store->spec().config;
@@ -51,10 +55,12 @@ run(const std::shared_ptr<WeightStore> &store, size_t n_cores,
     cfg.functional = true;
     cfg.nThreads = n_threads;
     cfg.weightStore = store;
+    cfg.programCache = program_cache;
     DfxAppliance appliance(cfg);
 
     std::vector<int32_t> prompt(n_in, 1);
     appliance.generate(prompt, 2);  // warm-up (touches all backings)
+    appliance.cluster().resetHostProfile();
 
     const double t0 = now();
     GenerationResult r = appliance.generate(prompt, n_out);
@@ -62,7 +68,94 @@ run(const std::shared_ptr<WeightStore> &store, size_t n_cores,
     // Every token (input or generated) is one full decode step through
     // all layers + LM head.
     const double steps = static_cast<double>(n_in + n_out);
-    return {n_threads, steps / wall, r.tokens};
+    return {n_threads, steps / wall, r.tokens,
+            appliance.cluster().hostProfile()};
+}
+
+/**
+ * Timing-only A/B (the design-space-sweep / fleet-DES path): a step
+ * is host bookkeeping, not math, so codegen is a visible share of
+ * step cost and the program cache's effect is directly measurable.
+ * Runs with the binary instruction path on — the host-to-
+ * instruction-buffer PCIe model — so the cached path also gets credit
+ * for patching encoded bytes in place instead of re-encoding.
+ *
+ * Cached and fresh generations are interleaved rep by rep so slow
+ * drift in host load cancels out of the comparison instead of
+ * landing on whichever variant ran second.
+ *
+ * @return {cached sample, fresh sample}
+ */
+std::pair<Sample, Sample>
+runTimingAb(const GptConfig &model, size_t n_cores, size_t n_in,
+            size_t n_out)
+{
+    auto mk = [&](bool program_cache) {
+        DfxSystemConfig cfg;
+        cfg.model = model;
+        cfg.nCores = n_cores;
+        cfg.functional = false;
+        cfg.binaryInstructionPath = true;
+        cfg.programCache = program_cache;
+        return std::make_unique<DfxAppliance>(cfg);
+    };
+    auto cached = mk(true);
+    auto fresh = mk(false);
+
+    std::vector<int32_t> prompt(n_in, 1);
+    cached->generate(prompt, 2);  // warm-up (compiles templates)
+    fresh->generate(prompt, 2);
+    cached->cluster().resetHostProfile();
+    fresh->cluster().resetHostProfile();
+
+    // Timing-only steps are tens of microseconds; repeat the workload
+    // so each timed side is long enough to measure stably.
+    const size_t reps = 60;
+    double cached_wall = 0.0, fresh_wall = 0.0;
+    GenerationResult rc, rf;
+    for (size_t i = 0; i < reps; ++i) {
+        double t0 = now();
+        rc = cached->generate(prompt, n_out);
+        cached_wall += now() - t0;
+        t0 = now();
+        rf = fresh->generate(prompt, n_out);
+        fresh_wall += now() - t0;
+    }
+    const double steps = static_cast<double>(reps * (n_in + n_out));
+    return {Sample{1, steps / cached_wall, rc.tokens,
+                   cached->cluster().hostProfile()},
+            Sample{1, steps / fresh_wall, rf.tokens,
+                   fresh->cluster().hostProfile()}};
+}
+
+/** Writes one A/B record of the JSON "codegen" section. */
+void
+writeCodegenRecord(FILE *f, const char *name, const Sample &cached,
+                   const Sample &fresh, bool last)
+{
+    const perf::HostStepProfile &cp = cached.profile;
+    std::fprintf(f, "    \"%s\": {\n", name);
+    std::fprintf(f, "      \"cache_enabled_steps_per_sec\": %.4f,\n",
+                 cached.stepsPerSec);
+    std::fprintf(f, "      \"cache_disabled_steps_per_sec\": %.4f,\n",
+                 fresh.stepsPerSec);
+    std::fprintf(f, "      \"speedup\": %.4f,\n",
+                 cached.stepsPerSec / fresh.stepsPerSec);
+    std::fprintf(f, "      \"warm_hit_rate\": %.6f,\n",
+                 cp.cacheHitRate());
+    std::fprintf(f, "      \"codegen_share_fresh\": %.6f,\n",
+                 fresh.profile.codegenShare());
+    std::fprintf(f, "      \"codegen_share_cached\": %.6f,\n",
+                 cp.codegenShare());
+    std::fprintf(f,
+                 "      \"phase_seconds_per_step\": {\"codegen\": %.9f, "
+                 "\"patch\": %.9f, \"encode\": %.9f, \"execute\": "
+                 "%.9f}\n",
+                 cp.steps ? cp.codegenSeconds / cp.steps : 0.0,
+                 cp.steps ? cp.patchSeconds / cp.steps : 0.0,
+                 cp.steps ? cp.encodeSeconds / cp.steps : 0.0,
+                 cp.steps ? cp.executeSeconds / cp.steps : 0.0);
+    std::fprintf(f, "    }%s\n", last ? "" : ",");
 }
 
 }  // namespace
@@ -112,7 +205,57 @@ main()
         }
     }
     std::printf("%s\n", t.render().c_str());
-    std::printf("tokens identical across all thread counts.\n");
+    std::printf("tokens identical across all thread counts.\n\n");
+
+    // Program-cache A/B at 1 host thread: same workload with fresh
+    // per-token codegen. Tokens must not move; only host time may.
+    const Sample fresh =
+        run(store, n_cores, 1, n_in, n_out, /*program_cache=*/false);
+    if (fresh.tokens != samples[0].tokens) {
+        std::fprintf(stderr, "FATAL: cache-disabled tokens diverge "
+                             "from cache-enabled tokens\n");
+        return 1;
+    }
+    const Sample &cachedS = samples[0];
+
+    // Timing-only A/B: the design-space-sweep / fleet-DES path, where
+    // a step is host bookkeeping rather than FP16 math, so codegen is
+    // a major share of step cost. This is the regime the program
+    // cache targets; functional mode only has to stay transparent.
+    const size_t t_in = 8, t_out = 120;
+    const auto [tCached, tFresh] =
+        runTimingAb(model, n_cores, t_in, t_out);
+    if (tCached.tokens != tFresh.tokens) {
+        std::fprintf(stderr, "FATAL: timing-mode cached tokens diverge "
+                             "from fresh-codegen tokens\n");
+        return 1;
+    }
+
+    std::printf("program cache A/B (1 host thread, tokens identical "
+                "per mode):\n");
+    Table ab({"path", "steps/s", "codegen share", "cache hit",
+              "speedup"});
+    ab.addRow({"functional, fresh codegen", fmt(fresh.stepsPerSec, 3),
+               fmt(100.0 * fresh.profile.codegenShare(), 2) + "%", "-",
+               "1.00x"});
+    ab.addRow({"functional, cached+patched",
+               fmt(cachedS.stepsPerSec, 3),
+               fmt(100.0 * cachedS.profile.codegenShare(), 2) + "%",
+               fmt(100.0 * cachedS.profile.cacheHitRate(), 1) + "%",
+               fmt(cachedS.stepsPerSec / fresh.stepsPerSec, 2) + "x"});
+    ab.addRow({"timing-only, fresh codegen", fmt(tFresh.stepsPerSec, 1),
+               fmt(100.0 * tFresh.profile.codegenShare(), 2) + "%", "-",
+               "1.00x"});
+    ab.addRow({"timing-only, cached+patched",
+               fmt(tCached.stepsPerSec, 1),
+               fmt(100.0 * tCached.profile.codegenShare(), 2) + "%",
+               fmt(100.0 * tCached.profile.cacheHitRate(), 1) + "%",
+               fmt(tCached.stepsPerSec / tFresh.stepsPerSec, 2) + "x"});
+    std::printf("%s\n", ab.render().c_str());
+    std::printf("  functional:  %s\n",
+                perf::renderHostProfile(cachedS.profile).c_str());
+    std::printf("  timing-only: %s\n",
+                perf::renderHostProfile(tCached.profile).c_str());
 
     const uint64_t peak_rss = bench::peakRssBytes();
     std::printf("peak RSS: %.1f MB (weight image %.1f MB, shared by "
@@ -144,7 +287,15 @@ main()
                      samples[i].nThreads, samples[i].stepsPerSec,
                      i + 1 < samples.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ],\n");
+    // Warm-run (post-warm-up) host breakdowns and the cache A/B per
+    // execution mode: the compile-once/patch-per-token win, measured.
+    // Gated by scripts/check_bench.py.
+    std::fprintf(f, "  \"codegen\": {\n");
+    writeCodegenRecord(f, "functional", cachedS, fresh,
+                       /*last=*/false);
+    writeCodegenRecord(f, "timing", tCached, tFresh, /*last=*/true);
+    std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_sim_speed.json\n");
     return 0;

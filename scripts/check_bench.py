@@ -5,7 +5,10 @@ Runs the host-perf benches (``bench_sim_speed``, ``bench_serving``) in
 the build directory, compares the fresh numbers against the committed
 ``BENCH_*.json`` baselines at the repo root, and fails on a
 steps-per-second (or tokens-per-second) regression beyond the
-threshold. The serving record is also checked for a non-monotonic
+threshold. The sim-speed record also carries the program-cache A/B
+(``codegen``: warm cache hit rate >= 0.95, cached steps/sec vs.
+baseline, and the timing-only codegen share at most half the
+fresh-codegen share). The serving record is also checked for a non-monotonic
 batching sweep, an open-loop TTFT regression (``latency_vs_load``:
 TTFT beyond (1+threshold) x baseline at any offered load, or a TTFT
 p99 curve that stopped being monotone in offered load), a
@@ -120,6 +123,50 @@ def check_sim_speed(base: dict, fresh: dict, threshold: float,
             check_metric_lower_better(
                 "peak RSS (MB)", base["peak_rss_bytes"] / 2**20,
                 fresh["peak_rss_bytes"] / 2**20, threshold, failures)
+
+
+def check_codegen(base: dict, fresh: dict, host_threshold: float,
+                  failures: list) -> None:
+    """Program-cache gate (``codegen`` section): the warm decode loop
+    must run from the template cache (hit rate >= 0.95 — below that,
+    templates are being recompiled per step and the compile-once/
+    patch-per-token contract is broken), cached steps/sec must not
+    regress vs. baseline, and on the timing-only path — where host
+    codegen is a visible share of a step — the cached share must stay
+    at most half the fresh share (the within-run ratio is machine-
+    independent, unlike the absolute steps/sec)."""
+    print("bench_sim_speed codegen (program cache A/B):")
+    for mode in ("functional", "timing"):
+        if mode not in base:
+            continue
+        if mode not in fresh:
+            failures.append(f"codegen: fresh JSON lacks the '{mode}' "
+                            f"A/B record the baseline has")
+            continue
+        f = fresh[mode]
+        print(f"  {mode}: warm hit {f['warm_hit_rate']:.3f}, codegen "
+              f"share {f['codegen_share_fresh']:.4f} fresh -> "
+              f"{f['codegen_share_cached']:.4f} cached, "
+              f"{f['speedup']:.3f}x steps/sec")
+        if f["warm_hit_rate"] < 0.95:
+            failures.append(
+                f"codegen: {mode} warm hit rate "
+                f"{f['warm_hit_rate']:.3f} below the 0.95 floor "
+                f"(templates are being recompiled inside the decode "
+                f"loop)")
+        check_metric(f"codegen {mode} cached steps/sec",
+                     base[mode]["cache_enabled_steps_per_sec"],
+                     f["cache_enabled_steps_per_sec"], host_threshold,
+                     failures)
+    if "timing" in fresh:
+        f = fresh["timing"]
+        if f["codegen_share_cached"] > 0.5 * f["codegen_share_fresh"]:
+            failures.append(
+                f"codegen: timing-only cached codegen share "
+                f"{f['codegen_share_cached']:.4f} is more than half "
+                f"the fresh share {f['codegen_share_fresh']:.4f} — "
+                f"the cache is no longer removing codegen from the "
+                f"step")
 
 
 def check_serving_sweep(label: str, base_sweep: list, fresh_sweep: list,
@@ -347,9 +394,16 @@ def main() -> int:
                       else args.threshold)
 
     failures: list = []
-    check_sim_speed(load(REPO_ROOT / "BENCH_sim_speed.json"),
-                    load(args.build_dir / "BENCH_sim_speed.json"),
-                    host_threshold, failures)
+    base_sim = load(REPO_ROOT / "BENCH_sim_speed.json")
+    fresh_sim = load(args.build_dir / "BENCH_sim_speed.json")
+    check_sim_speed(base_sim, fresh_sim, host_threshold, failures)
+    if "codegen" in base_sim:
+        if "codegen" in fresh_sim:
+            check_codegen(base_sim["codegen"], fresh_sim["codegen"],
+                          host_threshold, failures)
+        else:
+            failures.append("sim_speed: fresh JSON lacks the 'codegen' "
+                            "section the baseline has")
 
     base_serving = load(REPO_ROOT / "BENCH_serving.json")
     fresh_serving = load(args.build_dir / "BENCH_serving.json")

@@ -113,17 +113,6 @@ class DfxAppliance
         return cluster_.acquireLease(request);
     }
 
-    /**
-     * @deprecated Raw index protocol, kept for one PR: use
-     * tryAcquireLease()/KvLease instead (RAII release, block-pool
-     * capacity accounting, shared-prefix admission). Fatal on a paged
-     * cluster.
-     */
-    size_t acquireContext() { return cluster_.acquireContext(); }
-    /** @deprecated Counterpart of acquireContext(); leases release
-     *  themselves. */
-    void releaseContext(size_t ctx) { cluster_.releaseContext(ctx); }
-
     /** Runs the whole prompt through context `ctx` (summarization
      *  stage); the context must be fresh. Stats are the summed steps. */
     StepOutcome prefill(size_t ctx, const std::vector<int32_t> &prompt);

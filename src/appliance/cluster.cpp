@@ -5,12 +5,25 @@
 #include "appliance/cluster.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "isa/encoding.hpp"
 #include "network/router.hpp"
 
 namespace dfx {
+namespace {
+
+/** Wall-clock for the host step profile (negligible vs. phase cost). */
+double
+hostNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace
 
 void
 TokenStats::accumulate(const TokenStats &other)
@@ -158,6 +171,12 @@ DfxCluster::DfxCluster(const DfxSystemConfig &config)
         ThreadPool::resolveThreads(config_.nThreads), config_.nCores);
     if (config_.functional && threads > 1 && config_.nCores > 1)
         pool_ = std::make_unique<ThreadPool>(threads);
+
+    // Open the template cache's generation: any layout or model change
+    // produces a different hash, so a reconfigured cluster can never
+    // replay stale programs.
+    layoutHash_ = layout_.addressingHash();
+    programCache_.beginGeneration(layoutHash_);
 }
 
 void
@@ -303,19 +322,30 @@ DfxCluster::executeOnCores(
 
 void
 DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
-                     TokenStats *stats)
+                     TokenStats *stats, std::vector<uint8_t> *encoded)
 {
     (void)builder_core;
     // Optionally push the program through the binary instruction
     // encoding, as the host's PCIe upload into the instruction buffer
-    // does (§IV-C).
+    // does (§IV-C). A cached phase encodes once and is patched in
+    // place afterwards (patchProgram), so only the decode side of the
+    // round-trip recurs.
     isa::Program decoded;
     const isa::Program *program = &phase.program;
     if (config_.binaryInstructionPath) {
-        decoded = isa::decodeProgram(isa::encodeProgram(phase.program));
+        const double t0 = hostNow();
+        if (encoded) {
+            if (encoded->empty())
+                *encoded = isa::encodeProgram(phase.program);
+            decoded = isa::decodeProgram(*encoded);
+        } else {
+            decoded = isa::decodeProgram(isa::encodeProgram(phase.program));
+        }
+        hostProfile_.encodeSeconds += hostNow() - t0;
         program = &decoded;
     }
     // Every core runs the same program (different shard contents).
+    const double t1 = hostNow();
     executeOnCores(
         std::vector<const isa::Program *>(config_.nCores, program),
         stats);
@@ -337,6 +367,7 @@ DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
                 isa::Category::kSync)] += sync_sec;
         }
     }
+    hostProfile_.executeSeconds += hostNow() - t1;
 }
 
 void
@@ -415,35 +446,6 @@ DfxCluster::closeLease(size_t ctx)
     positions_[ctx] = 0;
 }
 
-size_t
-DfxCluster::acquireContext()
-{
-    if (pager_) {
-        DFX_FATAL("paged KV requires the lease API: "
-                  "tryAcquireLease(KvLeaseRequest) reserves blocks for "
-                  "the request; raw acquireContext() cannot");
-    }
-    for (size_t c = 0; c < ctxInUse_.size(); ++c) {
-        if (!ctxInUse_[c]) {
-            ctxInUse_[c] = true;
-            positions_[c] = 0;
-            return c;
-        }
-    }
-    DFX_FATAL("all %zu KV contexts in use", ctxInUse_.size());
-}
-
-void
-DfxCluster::releaseContext(size_t ctx)
-{
-    DFX_ASSERT(ctx < ctxInUse_.size(), "KV context %zu out of %zu", ctx,
-               ctxInUse_.size());
-    if (pager_ && ctxInUse_[ctx])
-        pager_->close(ctx);
-    ctxInUse_[ctx] = false;
-    positions_[ctx] = 0;
-}
-
 int32_t
 DfxCluster::stepToken(int32_t token, TokenStats *stats)
 {
@@ -513,6 +515,58 @@ DfxCluster::stepTokenBatch(const std::vector<ContextStep> &steps,
     return next;
 }
 
+isa::CachedProgram &
+DfxCluster::fetchProgram(isa::ProgramKind kind, size_t layer, size_t core)
+{
+    isa::ProgramCacheKey key;
+    key.configHash = layoutHash_;
+    key.kind = kind;
+    key.layer = static_cast<uint32_t>(layer);
+    key.positionClass = 0;  // one skeleton serves every position today
+    key.core = static_cast<uint32_t>(core);
+    return programCache_.fetch(key, [&]() {
+        const double t0 = hostNow();
+        isa::CachedProgram built;
+        switch (kind) {
+          case isa::ProgramKind::kEmbed:
+            built.tpl = builders_[core].embedTemplate();
+            break;
+          case isa::ProgramKind::kLayer:
+            built.tpl = builders_[core].layerTemplate(layer);
+            break;
+          case isa::ProgramKind::kLmHead:
+            built.tpl = builders_[core].lmHeadTemplate();
+            break;
+        }
+        built.encoded.resize(built.tpl.phases.size());
+        hostProfile_.codegenSeconds += hostNow() - t0;
+        return built;
+    });
+}
+
+void
+DfxCluster::patchProgram(isa::CachedProgram &cached,
+                         const isa::PatchInputs &in, size_t core)
+{
+    const double t0 = hostNow();
+    builders_[core].applyPatches(cached.tpl, in);
+    hostProfile_.patchSeconds += hostNow() - t0;
+    if (config_.binaryInstructionPath) {
+        // Keep any already-encoded phase streams valid: rewrite the
+        // same slots in the 56-byte words. Streams not yet encoded
+        // are built from the patched template on first use (runPhase).
+        const double t1 = hostNow();
+        for (const isa::PatchSlot &slot : cached.tpl.patches) {
+            std::vector<uint8_t> &bytes = cached.encoded[slot.phase];
+            if (bytes.empty())
+                continue;
+            isa::patchEncodedField(bytes, slot.index, slot.field,
+                                   builders_[core].patchValue(slot, in));
+        }
+        hostProfile_.encodeSeconds += hostNow() - t1;
+    }
+}
+
 int32_t
 DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
 {
@@ -525,6 +579,7 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
                    static_cast<size_t>(token) < config_.model.vocabSize,
                "token %d out of vocabulary", token);
     lastArgmax_ = -1;
+    hostProfile_.steps += 1;
 
     // Paged KV: make the block this token's K/V lands in privately
     // writable before any phase runs — allocate it if unmapped, fork
@@ -534,9 +589,20 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
     if (pager_)
         pager_->ensureWritable(ctx, position);
 
+    const bool cached = config_.programCache;
+
     // Embedding (identical on every core — token ids are broadcast).
-    isa::Phase embed = builders_[0].embedPhase(token, position);
-    runPhase(embed, 0, stats);
+    if (cached) {
+        isa::CachedProgram &embed =
+            fetchProgram(isa::ProgramKind::kEmbed, 0, 0);
+        patchProgram(embed, {token, position, ctx}, 0);
+        runPhase(embed.tpl.phases[0], 0, stats, &embed.encoded[0]);
+    } else {
+        const double t0 = hostNow();
+        isa::Phase embed = builders_[0].embedPhase(token, position);
+        hostProfile_.codegenSeconds += hostNow() - t0;
+        runPhase(embed, 0, stats);
+    }
 
     // Decoder layers. Phases differ per core only in shard-resident
     // data; the builders emit structurally identical programs, so we
@@ -544,10 +610,21 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
     // path executes each core's own stream. (Programs are identical
     // in structure and addresses; only the LM-head tail differs.)
     for (size_t layer = 0; layer < config_.model.layers; ++layer) {
-        std::vector<isa::Phase> phases =
-            builders_[0].layerPhases(layer, position, ctx);
-        for (const auto &phase : phases)
-            runPhase(phase, 0, stats);
+        if (cached) {
+            isa::CachedProgram &prog =
+                fetchProgram(isa::ProgramKind::kLayer, layer, 0);
+            patchProgram(prog, {token, position, ctx}, 0);
+            for (size_t p = 0; p < prog.tpl.phases.size(); ++p)
+                runPhase(prog.tpl.phases[p], 0, stats,
+                         &prog.encoded[p]);
+        } else {
+            const double t0 = hostNow();
+            std::vector<isa::Phase> phases =
+                builders_[0].layerPhases(layer, position, ctx);
+            hostProfile_.codegenSeconds += hostNow() - t0;
+            for (const auto &phase : phases)
+                runPhase(phase, 0, stats);
+        }
     }
     position += 1;
     // The token's K/V is final: when it completed the prompt, the
@@ -557,20 +634,37 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
 
     // LM head: programs differ per core in the ReduMax length, but the
     // matrix work is identical; execute core-specific programs. The
-    // phases are built on this thread before the parallel dispatch.
+    // phases are built (or fetched — the program is static per core)
+    // on this thread before the parallel dispatch. This path never
+    // round-trips the binary encoding, cached or not.
     {
         std::vector<isa::Phase> heads;
-        heads.reserve(config_.nCores);
-        for (size_t i = 0; i < config_.nCores; ++i)
-            heads.push_back(builders_[i].lmHeadPhase());
         std::vector<const isa::Program *> programs;
         programs.reserve(config_.nCores);
-        for (const isa::Phase &head : heads)
-            programs.push_back(&head.program);
+        const isa::Instruction *sync = nullptr;
+        if (cached) {
+            for (size_t i = 0; i < config_.nCores; ++i) {
+                isa::CachedProgram &head =
+                    fetchProgram(isa::ProgramKind::kLmHead, 0, i);
+                programs.push_back(&head.tpl.phases[0].program);
+                if (i == 0)
+                    sync = &head.tpl.phases[0].sync();
+            }
+        } else {
+            const double t0 = hostNow();
+            heads.reserve(config_.nCores);
+            for (size_t i = 0; i < config_.nCores; ++i)
+                heads.push_back(builders_[i].lmHeadPhase());
+            hostProfile_.codegenSeconds += hostNow() - t0;
+            for (const isa::Phase &head : heads)
+                programs.push_back(&head.program);
+            sync = &heads[0].sync();
+        }
+        const double t1 = hostNow();
         executeOnCores(programs, stats);
-        const isa::Instruction &sync = heads[0].sync();
         double sync_sec = ring_.argmaxReduceSeconds();
-        lastArgmax_ = argmaxExchange(sync);
+        lastArgmax_ = argmaxExchange(*sync);
+        hostProfile_.executeSeconds += hostNow() - t1;
         if (stats) {
             stats->seconds += sync_sec;
             stats->categorySeconds[static_cast<size_t>(
@@ -578,6 +672,22 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
         }
     }
     return lastArgmax_;
+}
+
+perf::HostStepProfile
+DfxCluster::hostProfile() const
+{
+    perf::HostStepProfile p = hostProfile_;
+    p.cacheHits = programCache_.stats().hits;
+    p.cacheMisses = programCache_.stats().misses;
+    return p;
+}
+
+void
+DfxCluster::resetHostProfile()
+{
+    hostProfile_ = perf::HostStepProfile{};
+    programCache_.resetStats();
 }
 
 }  // namespace dfx

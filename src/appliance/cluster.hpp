@@ -20,9 +20,11 @@
 #include "common/threadpool.hpp"
 #include "core/core.hpp"
 #include "isa/codegen.hpp"
+#include "isa/program_cache.hpp"
 #include "memory/kv_pager.hpp"
 #include "model/weight_store.hpp"
 #include "network/ring.hpp"
+#include "perf/host_profile.hpp"
 
 namespace dfx {
 
@@ -89,6 +91,15 @@ struct DfxSystemConfig
      * carries full semantics. Off by default.
      */
     bool binaryInstructionPath = false;
+    /**
+     * Compile once, patch per token: fetch each (phase kind, layer,
+     * core) program from a keyed template cache and rewrite only the
+     * step-dependent operand slots, instead of re-running codegen
+     * every decode step. Patched programs are bit-identical to fresh
+     * codegen for any (position, context, block) permutation —
+     * disabling this is the A/B reference, not a semantic change.
+     */
+    bool programCache = true;
     /**
      * Paged KV cache (see PagedKvConfig). Off by default: the unpaged
      * per-context regions of the earlier PRs.
@@ -223,18 +234,6 @@ class DfxCluster
     KvPager *pager() { return pager_.get(); }
     const KvPager *pager() const { return pager_.get(); }
 
-    /**
-     * @deprecated Raw index protocol, kept for one PR to ease
-     * migration: use tryAcquireLease()/KvLease instead — RAII release,
-     * capacity accounting and shared-prefix admission. Unpaged
-     * clusters only; a paged cluster fatals here (it cannot reserve
-     * blocks without knowing the request).
-     */
-    size_t acquireContext();
-    /** @deprecated Counterpart of acquireContext(); leases release
-     *  themselves. */
-    void releaseContext(size_t ctx);
-
     size_t position() const { return positions_[0]; }
     size_t position(size_t ctx) const { return positions_.at(ctx); }
     size_t nCores() const { return config_.nCores; }
@@ -271,14 +270,42 @@ class DfxCluster
     std::vector<int32_t> stepTokenBatch(
         const std::vector<ContextStep> &steps, TokenStats *batch_stats);
 
+    /**
+     * Host wall-time breakdown accumulated over the cluster's decode
+     * steps (codegen vs. patch vs. encode vs. execute) with the
+     * program-cache hit counters folded in. Reset with
+     * `resetHostProfile`.
+     */
+    perf::HostStepProfile hostProfile() const;
+    void resetHostProfile();
+
+    /** Program-template cache counters (hits/misses/evictions). */
+    const isa::ProgramCache::Stats &programCacheStats() const
+    {
+        return programCache_.stats();
+    }
+
   private:
     friend class KvLease;
     /** Returns a leased context (KvLease::release's target). */
     void closeLease(size_t ctx);
 
-    /** Runs one phase on all cores; adds time and handles its sync. */
+    /**
+     * Runs one phase on all cores; adds time and handles its sync.
+     * `encoded`, when given, is the phase's cached binary stream:
+     * built on first use, reused (already patched) afterwards — the
+     * fresh path passes null and re-encodes.
+     */
     void runPhase(const isa::Phase &phase, size_t builder_core,
-                  TokenStats *stats);
+                  TokenStats *stats,
+                  std::vector<uint8_t> *encoded = nullptr);
+    /** Fetches (or compiles) the template for (kind, layer, core). */
+    isa::CachedProgram &fetchProgram(isa::ProgramKind kind, size_t layer,
+                                     size_t core);
+    /** Patches a cached template (and its encoded streams) for a
+     *  step's inputs. */
+    void patchProgram(isa::CachedProgram &cached,
+                      const isa::PatchInputs &in, size_t core);
     /**
      * Executes per-core programs concurrently (thread pool) or
      * sequentially, then reduces timing/attribution into `stats` in
@@ -304,6 +331,11 @@ class DfxCluster
     std::vector<size_t> positions_;      ///< per-context KV position
     std::vector<bool> ctxInUse_;         ///< context slot occupancy
     int32_t lastArgmax_ = -1;
+    /** Keyed template cache (compile once, patch per token). Touched
+     *  only from the serialized stepping thread. */
+    isa::ProgramCache programCache_;
+    uint64_t layoutHash_ = 0;  ///< MemoryLayout::addressingHash()
+    perf::HostStepProfile hostProfile_;
 };
 
 }  // namespace dfx

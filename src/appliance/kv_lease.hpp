@@ -2,8 +2,9 @@
  * @file
  * RAII lease on one KV context of a DfxCluster.
  *
- * The lease API replaces the raw `acquireContext()`/`releaseContext`
- * index protocol. A `KvLeaseRequest` describes the request up front
+ * The lease is the only way to claim a KV context (the raw
+ * acquire/release index protocol of earlier PRs is gone). A
+ * `KvLeaseRequest` describes the request up front
  * (prompt tokens, how many new tokens it may generate, whether it may
  * alias a shared prefix), so admission can do real capacity
  * accounting: on a paged cluster the lease is granted only when the

@@ -150,30 +150,52 @@ ProgramBuilder::emitLayerNorm(Program &prog, size_t src_line,
 }
 
 void
-ProgramBuilder::emitSoftmax(Program &prog, size_t line, size_t len) const
+ProgramBuilder::emitSoftmax(Program &prog, size_t line, size_t len,
+                            uint32_t phase_idx, uint32_t layer,
+                            PatchTable *rec) const
 {
     const uint32_t n = static_cast<uint32_t>(len);
     auto v = [](size_t l) { return Operand::vrf(l); };
     auto s = [](uint64_t reg) { return Operand::srf(reg); };
     const Category cat = Category::kAttention;
+    // The softmax runs over the `seq = pos + 1` live scores, so every
+    // element count below is a per-step patch slot.
+    auto note_len = [&]() {
+        if (rec)
+            rec->push_back({phase_idx,
+                            static_cast<uint32_t>(prog.size() - 1),
+                            InstrField::kLen, PatchValue::kSeqLen, 0,
+                            layer});
+    };
 
     // Numerically-stable softmax: x -= max; e = exp(x); e /= sum(e).
     prog.push_back({Opcode::kReduMax, v(line), {}, {}, s(kSrfRowMax), n, 0,
                     0, 0, kFlagNone, cat});
+    note_len();
     prog.push_back({Opcode::kSubScalar, v(line), s(kSrfRowMax), {},
                     v(line), n, 0, 0, 0, kFlagNone, cat});
+    note_len();
     prog.push_back({Opcode::kExp, v(line), {}, {}, v(line), n, 0, 0, 0,
                     kFlagNone, cat});
+    note_len();
     prog.push_back({Opcode::kAccum, v(line), {}, {}, s(kSrfExpSum), n, 0,
                     0, 0, kFlagNone, cat});
+    note_len();
     prog.push_back({Opcode::kScalarRecip, s(kSrfExpSum), {}, {},
                     s(kSrfInvSum), 0, 0, 0, 0, kFlagNone, cat});
     prog.push_back({Opcode::kMulScalar, v(line), s(kSrfInvSum), {},
                     v(line), n, 0, 0, 0, kFlagNone, cat});
+    note_len();
 }
 
 Phase
 ProgramBuilder::embedPhase(int32_t token, size_t pos) const
+{
+    return emitEmbed(token, pos, nullptr);
+}
+
+Phase
+ProgramBuilder::emitEmbed(int32_t token, size_t pos, PatchTable *rec) const
 {
     DFX_ASSERT(pos < config_.maxSeq, "position %zu exceeds context %zu",
                pos, config_.maxSeq);
@@ -186,12 +208,20 @@ ProgramBuilder::embedPhase(int32_t token, size_t pos) const
         layout_.wte + static_cast<uint64_t>(token) * emb * 2;
     const uint64_t wpe_row =
         layout_.wpe + static_cast<uint64_t>(pos) * emb * 2;
+    auto note = [&](InstrField f, PatchValue pv) {
+        if (rec)
+            rec->push_back(
+                {0, static_cast<uint32_t>(phase.program.size() - 1), f,
+                 pv, 0, 0});
+    };
     phase.program.push_back({Opcode::kLoad, Operand::ddr(wte_row), {}, {},
                              v(map_.embedTok), emb, 0, 0, 0, kFlagNone,
                              Category::kEmbed});
+    note(InstrField::kSrc1Addr, PatchValue::kWteRowAddr);
     phase.program.push_back({Opcode::kLoad, Operand::ddr(wpe_row), {}, {},
                              v(map_.embedPos), emb, 0, 0, 0, kFlagNone,
                              Category::kEmbed});
+    note(InstrField::kSrc1Addr, PatchValue::kWpeRowAddr);
     phase.program.push_back({Opcode::kAdd, v(map_.embedTok),
                              v(map_.embedPos), {}, v(map_.x), emb, 0, 0, 0,
                              kFlagNone, Category::kEmbed});
@@ -200,6 +230,13 @@ ProgramBuilder::embedPhase(int32_t token, size_t pos) const
 
 std::vector<Phase>
 ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
+{
+    return emitLayer(layer, pos, ctx, nullptr);
+}
+
+std::vector<Phase>
+ProgramBuilder::emitLayer(size_t layer, size_t pos, size_t ctx,
+                          PatchTable *rec) const
 {
     DFX_ASSERT(layer < config_.layers, "layer %zu out of %zu", layer,
                config_.layers);
@@ -238,6 +275,16 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
 
     // ---- Phase A: LN1, QKV, per-head attention; sync attn' ---------
     Phase pa;
+    // Phase A is the only phase with step-dependent operands; every
+    // site below notes its slot when a recorder is attached (template
+    // emission), so the skeleton stays the single source of truth.
+    const uint32_t lyr = static_cast<uint32_t>(layer);
+    auto note = [&](InstrField f, PatchValue pv, size_t lh) {
+        if (rec)
+            rec->push_back(
+                {0, static_cast<uint32_t>(pa.program.size() - 1), f, pv,
+                 static_cast<uint32_t>(lh), lyr});
+    };
     emitLayerNorm(pa.program, map_.x, map_.ln, a.ln1Gamma, a.ln1Beta,
                   Category::kLayerNorm);
     // Value first so the transpose store is hidden behind K/Q
@@ -257,6 +304,9 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
             static_cast<uint32_t>(pos), max_seq, kFlagTranspose, attn};
         store.hbmChannels = layout_.vtChannelMask(lh, ctx);
         pa.program.push_back(store);
+        note(InstrField::kDstAddr, PatchValue::kVtHeadBase, lh);
+        note(InstrField::kAux, PatchValue::kPos, lh);
+        note(InstrField::kHbmChannels, PatchValue::kVtChannelMask, lh);
     }
     pa.program.push_back({Opcode::kConv1d, v(map_.ln),
                           Operand::hbm(a.wk), Operand::ddr(a.bk),
@@ -269,6 +319,8 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
             0, 0, 0, kFlagNone, attn};
         store.hbmChannels = layout_.keyChannelMask(lh, ctx);
         pa.program.push_back(store);
+        note(InstrField::kDstAddr, PatchValue::kKeyRowAddr, lh);
+        note(InstrField::kHbmChannels, PatchValue::kKeyChannelMask, lh);
     }
     pa.program.push_back({Opcode::kConv1d, v(map_.ln),
                           Operand::hbm(a.wq), Operand::ddr(a.bq),
@@ -288,7 +340,11 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
             attn};
         mm1.hbmChannels = layout_.keyChannelMask(lh, ctx);
         pa.program.push_back(mm1);
-        emitSoftmax(pa.program, map_.scores, seq);
+        note(InstrField::kSrc2Addr, PatchValue::kKeyHeadBase, lh);
+        note(InstrField::kCols, PatchValue::kSeqLen, lh);
+        note(InstrField::kAux, PatchValue::kPos, lh);
+        note(InstrField::kHbmChannels, PatchValue::kKeyChannelMask, lh);
+        emitSoftmax(pa.program, map_.scores, seq, 0, lyr, rec);
         // attn'[head] = score x Value (V^T streamed row-wise).
         Instruction mm2{
             Opcode::kMm, v(map_.scores),
@@ -297,6 +353,9 @@ ProgramBuilder::layerPhases(size_t layer, size_t pos, size_t ctx) const
             kFlagWeightRowIsCol, attn};
         mm2.hbmChannels = layout_.vtChannelMask(lh, ctx);
         pa.program.push_back(mm2);
+        note(InstrField::kSrc2Addr, PatchValue::kVtHeadBase, lh);
+        note(InstrField::kLen, PatchValue::kSeqLen, lh);
+        note(InstrField::kHbmChannels, PatchValue::kVtChannelMask, lh);
     }
     pa.program.push_back({Opcode::kSync, v(map_.attnLocal), {}, {},
                           v(map_.attnFull), emb_shard, 0, 0, 0, kFlagNone,
@@ -381,6 +440,98 @@ ProgramBuilder::lmHeadPhase() const
                              vocab_shard, 0, kFlagArgmax,
                              Category::kSync});
     return phase;
+}
+
+ProgramTemplate
+ProgramBuilder::embedTemplate() const
+{
+    ProgramTemplate tpl;
+    tpl.kind = ProgramKind::kEmbed;
+    tpl.phases.push_back(emitEmbed(0, 0, &tpl.patches));
+    return tpl;
+}
+
+ProgramTemplate
+ProgramBuilder::layerTemplate(size_t layer) const
+{
+    ProgramTemplate tpl;
+    tpl.kind = ProgramKind::kLayer;
+    tpl.layer = static_cast<uint32_t>(layer);
+    tpl.phases = emitLayer(layer, 0, 0, &tpl.patches);
+    return tpl;
+}
+
+ProgramTemplate
+ProgramBuilder::lmHeadTemplate() const
+{
+    ProgramTemplate tpl;
+    tpl.kind = ProgramKind::kLmHead;
+    tpl.phases.push_back(lmHeadPhase());
+    return tpl;
+}
+
+uint64_t
+ProgramBuilder::patchValue(const PatchSlot &slot,
+                           const PatchInputs &in) const
+{
+    const uint32_t emb = static_cast<uint32_t>(config_.embedding);
+    switch (slot.value) {
+      case PatchValue::kWteRowAddr:
+        return layout_.wte + static_cast<uint64_t>(in.token) * emb * 2;
+      case PatchValue::kWpeRowAddr:
+        return layout_.wpe + static_cast<uint64_t>(in.pos) * emb * 2;
+      case PatchValue::kSeqLen:
+        return in.pos + 1;
+      case PatchValue::kPos:
+        return in.pos;
+      case PatchValue::kKeyRowAddr:
+        return layout_.keyRowAddr(slot.layer, slot.lh, in.pos, in.ctx);
+      case PatchValue::kKeyHeadBase:
+        return layout_.keyHeadBase(slot.layer, slot.lh, in.ctx);
+      case PatchValue::kVtHeadBase:
+        return layout_.vtHeadBase(slot.layer, slot.lh, in.ctx);
+      case PatchValue::kKeyChannelMask:
+        return layout_.keyChannelMask(slot.lh, in.ctx);
+      case PatchValue::kVtChannelMask:
+        return layout_.vtChannelMask(slot.lh, in.ctx);
+    }
+    DFX_FATAL("bad PatchValue %u", static_cast<unsigned>(slot.value));
+}
+
+void
+ProgramBuilder::applyPatches(ProgramTemplate &tpl,
+                             const PatchInputs &in) const
+{
+    // Replicate fresh codegen's bounds checks: a cached template must
+    // reject exactly the inputs layerPhases/embedPhase would.
+    DFX_ASSERT(in.pos < config_.maxSeq, "position %zu exceeds context",
+               in.pos);
+    if (tpl.kind == ProgramKind::kLayer) {
+        DFX_ASSERT(tpl.layer < config_.layers, "layer %u out of %zu",
+                   tpl.layer, config_.layers);
+        DFX_ASSERT(in.ctx < layout_.kvContexts,
+                   "KV context %zu out of %zu (layer %u, core %zu)",
+                   in.ctx, layout_.kvContexts, tpl.layer, coreId_);
+        if (layout_.paged()) {
+            DFX_ASSERT(in.pos / layout_.kvBlockTokens <
+                           layout_.kvBlocksPerContext(),
+                       "token %zu maps to block %zu beyond the "
+                       "%zu-entry block table (ctx %zu, layer %u, "
+                       "core %zu)",
+                       in.pos, in.pos / layout_.kvBlockTokens,
+                       layout_.kvBlocksPerContext(), in.ctx, tpl.layer,
+                       coreId_);
+        }
+    }
+    for (const PatchSlot &slot : tpl.patches) {
+        DFX_ASSERT(slot.phase < tpl.phases.size(),
+                   "patch phase %u out of %zu", slot.phase,
+                   tpl.phases.size());
+        Program &prog = tpl.phases[slot.phase].program;
+        DFX_ASSERT(slot.index < prog.size(),
+                   "patch index %u out of %zu", slot.index, prog.size());
+        setField(prog[slot.index], slot.field, patchValue(slot, in));
+    }
 }
 
 }  // namespace isa

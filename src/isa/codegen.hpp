@@ -84,6 +84,69 @@ struct Phase
     const Instruction &sync() const;
 };
 
+/**
+ * What kind of per-token program a template describes. Layer
+ * templates are additionally parameterized by the layer index (layer
+ * weight addresses are structural — baked into the skeleton — so each
+ * layer gets its own template).
+ */
+enum class ProgramKind : uint8_t { kEmbed = 0, kLayer, kLmHead };
+
+/**
+ * The symbolic source of a patched operand — the per-step value a
+ * patch slot is recomputed from. Everything else in an instruction is
+ * structural: fixed by (model config, layer, core) and identical
+ * across steps.
+ */
+enum class PatchValue : uint8_t
+{
+    kWteRowAddr = 0,  ///< layout.wte + token * emb * 2
+    kWpeRowAddr,      ///< layout.wpe + pos * emb * 2
+    kSeqLen,          ///< pos + 1 (score/softmax/MM stream length)
+    kPos,             ///< pos (KV append row, causal-mask bound)
+    kKeyRowAddr,      ///< layout.keyRowAddr(layer, lh, pos, ctx)
+    kKeyHeadBase,     ///< layout.keyHeadBase(layer, lh, ctx)
+    kVtHeadBase,      ///< layout.vtHeadBase(layer, lh, ctx)
+    kKeyChannelMask,  ///< layout.keyChannelMask(lh, ctx)
+    kVtChannelMask,   ///< layout.vtChannelMask(lh, ctx)
+};
+
+/** One operand slot that varies per step: which instruction field of
+ *  which instruction, and the symbolic value to recompute it from. */
+struct PatchSlot
+{
+    uint32_t phase;     ///< index into ProgramTemplate::phases
+    uint32_t index;     ///< instruction index within that phase
+    InstrField field;   ///< which field to overwrite
+    PatchValue value;   ///< what to overwrite it with
+    uint32_t lh;        ///< local head (per-head KV addresses/channels)
+    uint32_t layer;     ///< decoder layer (0 for embed/LM-head slots)
+};
+
+using PatchTable = std::vector<PatchSlot>;
+
+/**
+ * An immutable instruction skeleton plus the table of slots that vary
+ * per step. Emitted once per (config, kind, layer, core) and reused
+ * across tokens: applying the patch table for a step's inputs makes
+ * the phases bit-identical to fresh codegen for those inputs.
+ */
+struct ProgramTemplate
+{
+    ProgramKind kind = ProgramKind::kLayer;
+    uint32_t layer = 0;
+    std::vector<Phase> phases;
+    PatchTable patches;
+};
+
+/** The per-step values a patch table is evaluated against. */
+struct PatchInputs
+{
+    int32_t token = 0;  ///< embed only
+    size_t pos = 0;
+    size_t ctx = 0;
+};
+
 /** Builds the per-token instruction phases for one core. */
 class ProgramBuilder
 {
@@ -108,15 +171,43 @@ class ProgramBuilder
     /** Final LN + LM-head logits + argmax; ends in an argmax sync. */
     Phase lmHeadPhase() const;
 
+    /**
+     * Compile-once entry points: the same emission path as the
+     * per-token methods above, run at reference inputs (token 0,
+     * pos 0, ctx 0) with a recorder attached, so the returned skeleton
+     * plus patch table reproduces any step's phases bit-for-bit.
+     */
+    ProgramTemplate embedTemplate() const;
+    ProgramTemplate layerTemplate(size_t layer) const;
+    ProgramTemplate lmHeadTemplate() const;  ///< static; empty table
+
+    /** The concrete value of one patch slot for a step's inputs. */
+    uint64_t patchValue(const PatchSlot &slot,
+                        const PatchInputs &in) const;
+
+    /**
+     * Rewrites `tpl`'s patched operand slots in place for a step's
+     * inputs. Every slot is fully determined by `in`, so repeated
+     * patching of a shared (cached) template is safe. Performs the
+     * same position/context/paged-block bounds checks as fresh
+     * codegen.
+     */
+    void applyPatches(ProgramTemplate &tpl, const PatchInputs &in) const;
+
     const VrfMap &map() const { return map_; }
     /** Real (unpadded) vocabulary columns this core's LM head owns. */
     size_t vocabRealCols() const { return vocabReal_; }
 
   private:
+    Phase emitEmbed(int32_t token, size_t pos, PatchTable *rec) const;
+    std::vector<Phase> emitLayer(size_t layer, size_t pos, size_t ctx,
+                                 PatchTable *rec) const;
     void emitLayerNorm(Program &prog, size_t src_line, size_t dst_line,
                        uint64_t gamma_addr, uint64_t beta_addr,
                        Category cat) const;
-    void emitSoftmax(Program &prog, size_t line, size_t len) const;
+    void emitSoftmax(Program &prog, size_t line, size_t len,
+                     uint32_t phase_idx, uint32_t layer,
+                     PatchTable *rec) const;
 
     const GptConfig &config_;
     ClusterGeometry geometry_;

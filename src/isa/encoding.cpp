@@ -140,5 +140,48 @@ decodeProgram(const std::vector<uint8_t> &bytes)
     return prog;
 }
 
+void
+patchEncodedField(std::vector<uint8_t> &bytes, size_t index,
+                  InstrField field, uint64_t value)
+{
+    DFX_ASSERT(bytes.size() % kEncodedSize == 0,
+               "program byte stream size %zu not a multiple of %zu",
+               bytes.size(), kEncodedSize);
+    DFX_ASSERT((index + 1) * kEncodedSize <= bytes.size(),
+               "patch index %zu out of range (%zu instructions)", index,
+               bytes.size() / kEncodedSize);
+    uint8_t *w = bytes.data() + index * kEncodedSize;
+    auto put32At = [w](size_t off, uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            w[off + i] = static_cast<uint8_t>(v >> (8 * i));
+    };
+    auto put64At = [w](size_t off, uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            w[off + i] = static_cast<uint8_t>(v >> (8 * i));
+    };
+    auto narrow32 = [&](const char *name) {
+        DFX_ASSERT(value <= UINT32_MAX,
+                   "%s value 0x%llx exceeds 32-bit encoding", name,
+                   static_cast<unsigned long long>(value));
+        return static_cast<uint32_t>(value);
+    };
+    switch (field) {
+      case InstrField::kLen: put32At(8, narrow32("len")); return;
+      case InstrField::kCols: put32At(12, narrow32("cols")); return;
+      case InstrField::kAux: put32At(16, narrow32("aux")); return;
+      case InstrField::kSrc1Addr: put64At(24, value); return;
+      case InstrField::kSrc2Addr: put64At(32, value); return;
+      case InstrField::kSrc3Addr: put32At(40, narrow32("src3 addr")); return;
+      case InstrField::kDstAddr:
+        put32At(44, static_cast<uint32_t>(value));
+        put32At(52, static_cast<uint32_t>(value >> 32));
+        return;
+      case InstrField::kHbmChannels:
+        put32At(48, narrow32("hbmChannels"));
+        return;
+    }
+    DFX_FATAL("bad InstrField %u", static_cast<unsigned>(field));
+}
+
 }  // namespace isa
 }  // namespace dfx

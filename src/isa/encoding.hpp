@@ -58,6 +58,18 @@ std::vector<uint8_t> encodeProgram(const Program &prog);
 /** Decodes a byte stream back into a program. */
 Program decodeProgram(const std::vector<uint8_t> &bytes);
 
+/**
+ * Patches one instruction field inside an already-encoded program byte
+ * stream, in place, without re-encoding the word. `index` selects the
+ * instruction (56-byte word); the bytes written are exactly the bytes
+ * `encode()` would have produced for the new value, so a patched
+ * stream stays bit-identical to fresh encoding. Fatal if the index is
+ * out of range or a value exceeds its field's encoded width (src3 is
+ * stored as 32 bits).
+ */
+void patchEncodedField(std::vector<uint8_t> &bytes, size_t index,
+                       InstrField field, uint64_t value);
+
 }  // namespace isa
 }  // namespace dfx
 

@@ -77,6 +77,40 @@ opcodeFromName(const std::string &name)
     DFX_FATAL("unknown opcode mnemonic '%s'", name.c_str());
 }
 
+void
+setField(Instruction &inst, InstrField field, uint64_t value)
+{
+    switch (field) {
+      case InstrField::kLen: inst.len = static_cast<uint32_t>(value); return;
+      case InstrField::kCols: inst.cols = static_cast<uint32_t>(value); return;
+      case InstrField::kAux: inst.aux = static_cast<uint32_t>(value); return;
+      case InstrField::kSrc1Addr: inst.src1.addr = value; return;
+      case InstrField::kSrc2Addr: inst.src2.addr = value; return;
+      case InstrField::kSrc3Addr: inst.src3.addr = value; return;
+      case InstrField::kDstAddr: inst.dst.addr = value; return;
+      case InstrField::kHbmChannels:
+        inst.hbmChannels = static_cast<uint32_t>(value);
+        return;
+    }
+    DFX_FATAL("bad InstrField %u", static_cast<unsigned>(field));
+}
+
+uint64_t
+getField(const Instruction &inst, InstrField field)
+{
+    switch (field) {
+      case InstrField::kLen: return inst.len;
+      case InstrField::kCols: return inst.cols;
+      case InstrField::kAux: return inst.aux;
+      case InstrField::kSrc1Addr: return inst.src1.addr;
+      case InstrField::kSrc2Addr: return inst.src2.addr;
+      case InstrField::kSrc3Addr: return inst.src3.addr;
+      case InstrField::kDstAddr: return inst.dst.addr;
+      case InstrField::kHbmChannels: return inst.hbmChannels;
+    }
+    DFX_FATAL("bad InstrField %u", static_cast<unsigned>(field));
+}
+
 const char *
 spaceName(Space s)
 {

@@ -167,6 +167,32 @@ struct Instruction
     bool operator==(const Instruction &) const = default;
 };
 
+/**
+ * Mutable scalar fields of an instruction, named so a patch slot can
+ * address one without knowing the opcode. These are exactly the
+ * fields program templates patch per use (operand addresses, stream
+ * lengths, the KV row index, the channel set) — opcode, spaces,
+ * flags and category are structural and never patched.
+ */
+enum class InstrField : uint8_t
+{
+    kLen = 0,
+    kCols,
+    kAux,
+    kSrc1Addr,
+    kSrc2Addr,
+    kSrc3Addr,
+    kDstAddr,
+    kHbmChannels,
+};
+
+/** Writes `value` into `field` of `inst` (widths are narrowed to the
+ *  field's storage exactly as direct assignment would). */
+void setField(Instruction &inst, InstrField field, uint64_t value);
+
+/** Reads `field` of `inst` (widened to 64 bits). */
+uint64_t getField(const Instruction &inst, InstrField field);
+
 /** Execution engine for an opcode. */
 Engine engineOf(Opcode op);
 

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * LRU program-template cache implementation.
+ */
+#include "isa/program_cache.hpp"
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace isa {
+
+size_t
+ProgramCache::KeyHash::operator()(const ProgramCacheKey &k) const
+{
+    // FNV-1a over the key fields (the config hash already diffuses
+    // well; the rest are small integers).
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(k.configHash);
+    mix(static_cast<uint64_t>(k.kind));
+    mix(k.layer);
+    mix(k.positionClass);
+    mix(k.core);
+    return static_cast<size_t>(h);
+}
+
+CachedProgram &
+ProgramCache::fetch(const ProgramCacheKey &key,
+                    const std::function<CachedProgram()> &build)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->program;
+    }
+    ++stats_.misses;
+    if (capacity_ > 0 && map_.size() >= capacity_) {
+        // Evict the least recently fetched entry.
+        DFX_ASSERT(!lru_.empty(), "cache map/list out of sync");
+        map_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+    lru_.push_front(Entry{key, build()});
+    map_[key] = lru_.begin();
+    return lru_.front().program;
+}
+
+void
+ProgramCache::beginGeneration(uint64_t configHash)
+{
+    if (haveGeneration_ && generationHash_ == configHash)
+        return;
+    if (haveGeneration_)
+        clear();
+    haveGeneration_ = true;
+    generationHash_ = configHash;
+}
+
+void
+ProgramCache::clear()
+{
+    stats_.invalidations += map_.size();
+    map_.clear();
+    lru_.clear();
+}
+
+}  // namespace isa
+}  // namespace dfx

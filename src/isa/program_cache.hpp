@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Keyed cache of compiled program templates (compile once, patch per
+ * token).
+ *
+ * Every decode step used to re-run codegen from scratch even though
+ * consecutive steps differ only in KV position/context operands. DFX's
+ * controller argues the opposite design — a fixed instruction program
+ * parameterized by configuration registers — so the cluster now
+ * compiles each (config, phase kind, layer, core) program once into a
+ * `ProgramTemplate` and re-parameterizes it per step through its patch
+ * table.
+ *
+ * The key carries:
+ *  - `configHash`: `MemoryLayout::addressingHash()` — any model,
+ *    geometry, provisioning or base-address change misses (and
+ *    `beginGeneration` drops the stale generation wholesale);
+ *  - `kind` + `layer`: which program (layer weight addresses are
+ *    structural, so each layer is its own template);
+ *  - `positionClass`: the equivalence class of positions sharing one
+ *    skeleton. Today every position patches the same skeleton, so this
+ *    is always 0 — it exists so a future codegen whose instruction
+ *    *structure* depends on position (e.g. per-block attention loops)
+ *    can split classes without changing the key or callers;
+ *  - `core`: cores share instruction structure but not the LM-head
+ *    tail length, and a per-core entry keeps templates patchable
+ *    without cross-core races.
+ *
+ * Entries optionally carry the encoded byte stream per phase so the
+ * binary-encoding round-trip path can patch bytes in place
+ * (`patchEncodedField`) instead of re-encoding the whole program.
+ *
+ * The cache is not thread-safe; it is owned by the cluster and only
+ * touched from the (serialized) stepping thread.
+ */
+#ifndef DFX_ISA_PROGRAM_CACHE_HPP
+#define DFX_ISA_PROGRAM_CACHE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "isa/codegen.hpp"
+
+namespace dfx {
+namespace isa {
+
+/** Identity of one cached template. */
+struct ProgramCacheKey
+{
+    uint64_t configHash = 0;
+    ProgramKind kind = ProgramKind::kLayer;
+    uint32_t layer = 0;
+    uint32_t positionClass = 0;
+    uint32_t core = 0;
+
+    bool operator==(const ProgramCacheKey &) const = default;
+};
+
+/** A cached template plus its lazily-encoded phase byte streams. */
+struct CachedProgram
+{
+    ProgramTemplate tpl;
+    /**
+     * Per-phase encoded bytes (`encodeProgram`), built on first use by
+     * the binary round-trip path and patched in place afterwards.
+     * Empty until that path touches the entry.
+     */
+    std::vector<std::vector<uint8_t>> encoded;
+};
+
+/**
+ * LRU cache of compiled program templates.
+ *
+ * `capacity` 0 means unbounded — the cluster's working set is
+ * O(layers x cores) and references returned by `fetch` must stay
+ * valid for the duration of a step, so the cluster uses an unbounded
+ * cache and relies on `beginGeneration` for invalidation. A bounded
+ * capacity (tests, future multi-model hosts) evicts least recently
+ * fetched entries; eviction invalidates references to the evicted
+ * entry only.
+ */
+class ProgramCache
+{
+  public:
+    explicit ProgramCache(size_t capacity = 0) : capacity_(capacity) {}
+
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+        uint64_t invalidations = 0;  ///< entries dropped by generation/clear
+    };
+
+    /**
+     * Returns the entry for `key`, building it via `build` on a miss.
+     * The reference is valid until the entry is evicted or the cache
+     * is cleared.
+     */
+    CachedProgram &fetch(const ProgramCacheKey &key,
+                         const std::function<CachedProgram()> &build);
+
+    /**
+     * Declares the config generation the next fetches belong to: if
+     * `configHash` differs from the previous generation's, every entry
+     * is dropped (counted as invalidations). Idempotent for an
+     * unchanged hash.
+     */
+    void beginGeneration(uint64_t configHash);
+
+    /** Drops every entry (counted as invalidations). */
+    void clear();
+
+    size_t size() const { return map_.size(); }
+    const Stats &stats() const { return stats_; }
+    void resetStats() { stats_ = Stats{}; }
+
+  private:
+    struct KeyHash
+    {
+        size_t operator()(const ProgramCacheKey &k) const;
+    };
+    struct Entry
+    {
+        ProgramCacheKey key;
+        CachedProgram program;
+    };
+
+    size_t capacity_;
+    uint64_t generationHash_ = 0;
+    bool haveGeneration_ = false;
+    std::list<Entry> lru_;  ///< front = most recently used
+    std::unordered_map<ProgramCacheKey, std::list<Entry>::iterator,
+                       KeyHash>
+        map_;
+    Stats stats_;
+};
+
+}  // namespace isa
+}  // namespace dfx
+
+#endif  // DFX_ISA_PROGRAM_CACHE_HPP

@@ -58,6 +58,7 @@ KvPager::allocBlock()
             refcount_[b] == 0) {
             refcount_[b] = 1;
             --freeCount_;
+            peakMapped_ = std::max(peakMapped_, mappedBlocks());
             return b;
         }
     }
@@ -65,6 +66,7 @@ KvPager::allocBlock()
         if (refcount_[b] == 0) {
             refcount_[b] = 1;
             --freeCount_;
+            peakMapped_ = std::max(peakMapped_, mappedBlocks());
             return static_cast<int32_t>(b);
         }
     }

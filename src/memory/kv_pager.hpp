@@ -116,6 +116,14 @@ class KvPager
     }
     /** Blocks neither mapped nor held by the prefix index. */
     size_t freeBlocks() const { return freeCount_; }
+    /** Blocks currently holding data (context-mapped or prefix-
+     *  pinned). */
+    size_t mappedBlocks() const
+    {
+        return cfg_.physBlocks - freeCount_;
+    }
+    /** High-water mark of mapped blocks (pool pressure at peak). */
+    size_t peakMappedBlocks() const { return peakMapped_; }
     /** Contexts currently open. */
     size_t activeContexts() const { return activeCount_; }
     /** High-water mark of concurrently open contexts. */
@@ -173,6 +181,7 @@ class KvPager
     size_t reservedTotal_ = 0;
     size_t activeCount_ = 0;
     size_t peakActive_ = 0;
+    size_t peakMapped_ = 0;
 
     std::deque<PrefixEntry> prefixIndex_;  ///< FIFO, oldest in front
     size_t prefixLookups_ = 0;

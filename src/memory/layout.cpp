@@ -4,6 +4,8 @@
  */
 #include "memory/layout.hpp"
 
+#include <cstring>
+
 #include "common/logging.hpp"
 #include "memory/kv_pager.hpp"
 #include "model/weight_store.hpp"
@@ -337,6 +339,56 @@ MemoryLayout::bindWeightStore(const std::shared_ptr<WeightStore> &store,
     bind(ddr, wpe, config.maxSeq * emb, -1, WeightId::kWpe);
     bind(ddr, lnfGamma, emb, -1, WeightId::kLnfGamma);
     bind(ddr, lnfBeta, emb, -1, WeightId::kLnfBeta);
+}
+
+uint64_t
+MemoryLayout::addressingHash() const
+{
+    // FNV-1a, 64-bit.
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(config.vocabSize);
+    mix(config.embedding);
+    mix(config.heads);
+    mix(config.headDim);
+    mix(config.layers);
+    mix(config.maxSeq);
+    // lnEpsilon reaches the instruction stream as an immediate.
+    uint32_t eps_bits;
+    static_assert(sizeof(eps_bits) == sizeof(config.lnEpsilon));
+    std::memcpy(&eps_bits, &config.lnEpsilon, sizeof(eps_bits));
+    mix(eps_bits);
+    mix(geometry.nCores);
+    mix(lanes);
+    mix(kvContexts);
+    mix(hbmChannels);
+    mix(kvStreamChannels);
+    mix(paged() ? 1 : 0);
+    mix(kvBlockTokens);
+    for (uint64_t b : keyPoolBase)
+        mix(b);
+    for (uint64_t b : vtPoolBase)
+        mix(b);
+    for (const LayerAddrs &a : layers) {
+        mix(a.wq); mix(a.wk); mix(a.wv); mix(a.wproj);
+        mix(a.wfc1); mix(a.wfc2);
+        mix(a.keyBase); mix(a.vtBase);
+        mix(a.bq); mix(a.bk); mix(a.bv); mix(a.bproj);
+        mix(a.bfc1); mix(a.bfc2);
+        mix(a.ln1Gamma); mix(a.ln1Beta);
+        mix(a.ln2Gamma); mix(a.ln2Beta);
+    }
+    mix(lmHeadW);
+    mix(wte);
+    mix(wpe);
+    mix(lnfGamma);
+    mix(lnfBeta);
+    return h;
 }
 
 }  // namespace dfx

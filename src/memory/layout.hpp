@@ -144,6 +144,17 @@ struct MemoryLayout
     uint64_t ddrBytes() const { return ddrBytes_; }
 
     /**
+     * FNV-1a digest of everything that determines generated
+     * instructions: model hyperparameters, cluster geometry, lane
+     * count, context/channel provisioning, paging parameters and every
+     * allocated base address. Two layouts with equal hashes produce
+     * bit-identical programs from the same (core, phase, inputs), so
+     * this is the program-cache key component that detects config or
+     * layout changes.
+     */
+    uint64_t addressingHash() const;
+
+    /**
      * Runs the allocation sequence against a core's HBM and DDR.
      * The same sequence yields the same addresses on every core.
      * `kv_contexts` independent KV cache regions are allocated so up

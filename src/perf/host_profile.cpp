@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Host step-profile rendering.
+ */
+#include "perf/host_profile.hpp"
+
+#include <cstdio>
+
+namespace dfx {
+namespace perf {
+
+HostStepProfile &
+HostStepProfile::operator+=(const HostStepProfile &o)
+{
+    codegenSeconds += o.codegenSeconds;
+    patchSeconds += o.patchSeconds;
+    encodeSeconds += o.encodeSeconds;
+    executeSeconds += o.executeSeconds;
+    cacheHits += o.cacheHits;
+    cacheMisses += o.cacheMisses;
+    steps += o.steps;
+    return *this;
+}
+
+std::string
+renderHostProfile(const HostStepProfile &p)
+{
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "host/step: codegen %.1f%% patch %.1f%% encode %.1f%% "
+        "execute %.1f%% | cache hit %.1f%% (%llu/%llu)",
+        100.0 * (p.totalSeconds() > 0
+                     ? p.codegenSeconds / p.totalSeconds()
+                     : 0),
+        100.0 * (p.totalSeconds() > 0
+                     ? p.patchSeconds / p.totalSeconds()
+                     : 0),
+        100.0 * (p.totalSeconds() > 0
+                     ? p.encodeSeconds / p.totalSeconds()
+                     : 0),
+        100.0 * (p.totalSeconds() > 0
+                     ? p.executeSeconds / p.totalSeconds()
+                     : 0),
+        100.0 * p.cacheHitRate(),
+        static_cast<unsigned long long>(p.cacheHits),
+        static_cast<unsigned long long>(p.cacheHits + p.cacheMisses));
+    return buf;
+}
+
+}  // namespace perf
+}  // namespace dfx

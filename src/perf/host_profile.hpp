@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Host-side wall-time breakdown of a decode step.
+ *
+ * The simulator models *device* time analytically; this profile
+ * measures where the *host* spends real time per step — program
+ * generation (fresh codegen), patching (cache path), binary
+ * encode/decode round-trips, and functional/timing execution — plus
+ * the program-cache hit rate. `bench_sim_speed` reports it so the
+ * compile-once/patch-per-token win is measured, not guessed.
+ */
+#ifndef DFX_PERF_HOST_PROFILE_HPP
+#define DFX_PERF_HOST_PROFILE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace dfx {
+namespace perf {
+
+/** Accumulated host wall time by pipeline stage, in seconds. */
+struct HostStepProfile
+{
+    double codegenSeconds = 0;  ///< fresh template/phase emission
+    double patchSeconds = 0;    ///< patch-table application
+    double encodeSeconds = 0;   ///< binary encode/patch/decode
+    double executeSeconds = 0;  ///< functional + timing execution
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t steps = 0;  ///< decode steps accumulated
+
+    double totalSeconds() const
+    {
+        return codegenSeconds + patchSeconds + encodeSeconds +
+               executeSeconds;
+    }
+    /** Share of host time spent producing programs (codegen+patch). */
+    double codegenShare() const
+    {
+        const double t = totalSeconds();
+        return t > 0 ? (codegenSeconds + patchSeconds) / t : 0;
+    }
+    double cacheHitRate() const
+    {
+        const uint64_t n = cacheHits + cacheMisses;
+        return n > 0 ? static_cast<double>(cacheHits) / n : 0;
+    }
+
+    HostStepProfile &operator+=(const HostStepProfile &o);
+};
+
+/** One-line human-readable rendering (for bench/tool stderr). */
+std::string renderHostProfile(const HostStepProfile &p);
+
+}  // namespace perf
+}  // namespace dfx
+
+#endif  // DFX_PERF_HOST_PROFILE_HPP

@@ -365,11 +365,5 @@ TEST(PagedKv, OversubscribedServerBackpressuresAndMatchesUnpaged)
     }
 }
 
-TEST(PagedKv, PagedClusterRejectsRawContextProtocol)
-{
-    DfxAppliance ap(toyConfig(2, true));
-    EXPECT_DEATH(ap.acquireContext(), "lease");
-}
-
 }  // namespace
 }  // namespace dfx

@@ -177,21 +177,6 @@ TEST(Scheduler, LeaseReleasesOnDestructionAndMove)
     EXPECT_EQ(appliance.freeContexts(), 1u);
 }
 
-TEST(Scheduler, DeprecatedContextShimStillWorks)
-{
-    // The raw index protocol is kept for one PR (unpaged clusters
-    // only); new code should lease via acquireLease/tryAcquireLease.
-    DfxAppliance appliance(timingConfig(2));
-    size_t a = appliance.acquireContext();
-    size_t b = appliance.acquireContext();
-    EXPECT_NE(a, b);
-    EXPECT_EQ(appliance.freeContexts(), 0u);
-    appliance.releaseContext(a);
-    EXPECT_EQ(appliance.acquireContext(), a);
-    appliance.releaseContext(a);
-    appliance.releaseContext(b);
-}
-
 TEST(Scheduler, FifoFairnessUnderSaturatedQueue)
 {
     // 8 requests onto one cluster with 2 KV contexts: the queue stays
