@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Fleet-scale serving benchmark: saturation throughput and TTFT-p99
+ * vs offered load per fleet topology, written into `BENCH_fleet.json`
+ * (a cross-PR perf record gated by scripts/check_bench.py).
+ *
+ * Two sections:
+ *
+ *  1. Token identity ("identity") — the functional toy model serves
+ *     a request pool through real fleets (colocated two-node,
+ *     single-node two-cluster, disaggregated prefill+decode, and
+ *     every routing policy) at several offered loads; every
+ *     request's tokens must be bit-identical to the serial
+ *     single-node reference (`DfxAppliance::generate`) at every
+ *     load, and the disaggregated run must match the colocated one.
+ *     This is determinism invariant 10 measured end to end; the
+ *     bench exits non-zero on any divergence.
+ *
+ *  2. Calibrated sweeps ("calibrated") — a `RoundCostModel` fitted
+ *     from timing-only probes of a gpt2-petite cluster drives
+ *     10^5-request Poisson sweeps over four topologies (1x2, 2x2,
+ *     4x2, and disaggregated 2p+2d), each at offered loads from 25%
+ *     to 200% of the topology's estimated capacity. Records
+ *     saturation throughput (tokens/sec at the heaviest load), the
+ *     TTFT-p99-vs-load curve, KV-transfer counters and host wall
+ *     time per sweep. The 4-node sweep must finish inside 60 host
+ *     seconds — the indexed event queue is the thing under test.
+ */
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "appliance/fleet.hpp"
+#include "appliance/workload.hpp"
+#include "bench_common.hpp"
+#include "perf/report.hpp"
+
+using namespace dfx;
+
+namespace {
+
+using bench::now;
+
+struct LoadPoint
+{
+    double loadFraction;  ///< offered / estimated capacity
+    double offeredRps;
+    double ttftP99Sec;
+    double ttftMeanSec;
+    double queueDelayMeanSec;
+    double throughputTokPerSec;
+};
+
+struct TopologySweep
+{
+    std::string name;
+    size_t nodes;
+    size_t clustersPerNode;
+    bool disaggregated;
+    double saturationTokPerSec;
+    size_t kvTransfers;
+    uint64_t eventsProcessed;
+    double hostWallSec;
+    std::vector<LoadPoint> points;
+};
+
+DfxSystemConfig
+toyConfig(size_t kv_contexts)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 2;
+    cfg.functional = true;
+    cfg.kvContexts = kv_contexts;
+    cfg.weightStore = makeWeightStore(cfg, 1209);
+    return cfg;
+}
+
+/** Estimated capacity of a topology in requests per simulated
+ *  second: every request needs nIn prefill + nOut decode rounds, a
+ *  full batch advances kv requests per round, and a mid-context
+ *  round costs roundSeconds(kv, maxSeq/4). Disaggregated stages are
+ *  each limited by their own pool; the tighter one binds. */
+double
+estimatedCapacityRps(const RoundCostModel &model,
+                     const FleetTopology &topo, size_t n_in,
+                     size_t n_out)
+{
+    const double kv = static_cast<double>(model.kvContexts);
+    const double round =
+        model.roundSeconds(model.kvContexts,
+                           static_cast<double>(model.maxSeq) / 4.0);
+    size_t prefill_cl = 0, decode_cl = 0;
+    for (size_t n = 0; n < topo.nNodes; ++n) {
+        const FleetNodeRole role =
+            topo.roles.empty() ? FleetNodeRole::Both : topo.roles[n];
+        if (role != FleetNodeRole::Decode)
+            prefill_cl += topo.clustersPerNode;
+        if (role != FleetNodeRole::Prefill)
+            decode_cl += topo.clustersPerNode;
+    }
+    if (!topo.disaggregated()) {
+        return static_cast<double>(prefill_cl) * kv /
+               (round * static_cast<double>(n_in + n_out));
+    }
+    const double prefill_rps = static_cast<double>(prefill_cl) * kv /
+                               (round * static_cast<double>(n_in));
+    const double decode_rps = static_cast<double>(decode_cl) * kv /
+                              (round * static_cast<double>(n_out));
+    return std::min(prefill_rps, decode_rps);
+}
+
+/** Serves `reqs` through `fleet` and checks every completed token
+ *  stream against the serial reference. */
+bool
+tokensMatchSerial(DfxFleet &fleet,
+                  const std::vector<ServerRequest> &reqs,
+                  const std::vector<std::vector<int32_t>> &expected,
+                  const char *label, FleetStats *out = nullptr)
+{
+    FleetStats stats = fleet.serve(reqs);
+    bool ok = stats.completedRequests == reqs.size();
+    if (!ok)
+        std::fprintf(stderr,
+                     "FAIL[%s]: %zu of %zu requests completed\n",
+                     label, stats.completedRequests, reqs.size());
+    for (size_t i = 0; ok && i < reqs.size(); ++i) {
+        if (stats.results[i].tokens != expected[i]) {
+            std::fprintf(stderr,
+                         "FAIL[%s]: request %zu tokens diverged from "
+                         "the serial reference\n",
+                         label, i);
+            ok = false;
+        }
+    }
+    if (out != nullptr)
+        *out = std::move(stats);
+    return ok;
+}
+
+}  // namespace
+
+int
+main()
+{
+    printHeader("Fleet serving: topology sweeps",
+                "paper §VIII (cloud-scale serving)");
+
+    // ---- Section 1: functional token identity -----------------------
+    const DfxSystemConfig toy = toyConfig(2);
+    WorkloadSpec id_spec;
+    id_spec.nRequests = 10;
+    id_spec.nIn = 6;
+    id_spec.nOut = 10;
+    id_spec.vocab = 97;
+    id_spec.seed = 31;
+
+    DfxAppliance serial(toy);
+    bool identity_ok = true;
+    bool disagg_matches_colocated = true;
+    const std::vector<double> id_loads = {50.0, 500.0, 5000.0};
+    for (double rps : id_loads) {
+        const auto reqs = poissonWorkload(id_spec, rps);
+        std::vector<std::vector<int32_t>> expected;
+        for (const auto &r : reqs)
+            expected.push_back(serial.generate(r.prompt, r.nOut).tokens);
+
+        FleetTopology two;
+        two.nNodes = 2;
+        for (FleetRoutePolicy policy :
+             {FleetRoutePolicy::RoundRobin, FleetRoutePolicy::LeastLoaded,
+              FleetRoutePolicy::ProjectedTtft}) {
+            FleetOptions opt;
+            opt.policy = policy;
+            DfxFleet fleet(toy, two, opt);
+            identity_ok &= tokensMatchSerial(fleet, reqs, expected,
+                                             toString(policy));
+        }
+
+        FleetTopology one_by_two;
+        one_by_two.nNodes = 1;
+        one_by_two.clustersPerNode = 2;
+        DfxFleet single(toy, one_by_two);
+        identity_ok &=
+            tokensMatchSerial(single, reqs, expected, "1x2");
+
+        FleetTopology colocated;
+        colocated.nNodes = 2;
+        DfxFleet co(toy, colocated);
+        FleetStats co_stats;
+        identity_ok &= tokensMatchSerial(co, reqs, expected,
+                                         "colocated", &co_stats);
+
+        FleetTopology disagg;
+        disagg.nNodes = 2;
+        disagg.roles = {FleetNodeRole::Prefill, FleetNodeRole::Decode};
+        DfxFleet pd(toy, disagg);
+        FleetStats pd_stats;
+        identity_ok &= tokensMatchSerial(pd, reqs, expected,
+                                         "prefill+decode", &pd_stats);
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            if (pd_stats.results[i].tokens !=
+                co_stats.results[i].tokens) {
+                std::fprintf(stderr,
+                             "FAIL: disaggregated tokens diverged "
+                             "from colocated at %g rps, request %zu\n",
+                             rps, i);
+                disagg_matches_colocated = false;
+            }
+        }
+        std::printf("identity @ %6.0f rps: %s\n", rps,
+                    identity_ok && disagg_matches_colocated ? "ok"
+                                                            : "FAIL");
+    }
+
+    // ---- Section 2: calibrated 10^5-request topology sweeps ---------
+    DfxSystemConfig cal;
+    cal.model = bench::gpt2Petite();
+    cal.nCores = 4;
+    cal.kvContexts = 8;
+    const double t_cal = now();
+    const RoundCostModel model = RoundCostModel::calibrate(cal);
+    std::printf("calibrated %zu batch sizes in %.2fs host "
+                "(alpha_1 %.3e s, beta_1 %.3e s/pos)\n",
+                model.kvContexts, now() - t_cal, model.alpha[0],
+                model.beta[0]);
+
+    WorkloadSpec spec;
+    spec.nRequests = 100000;
+    spec.nIn = 8;
+    spec.nOut = 16;
+    spec.vocab = cal.model.vocabSize;
+    spec.seed = 17;
+
+    struct TopoDef
+    {
+        const char *name;
+        size_t nodes;
+        size_t clusters;
+        std::vector<FleetNodeRole> roles;
+    };
+    const std::vector<TopoDef> defs = {
+        {"1x2", 1, 2, {}},
+        {"2x2", 2, 2, {}},
+        {"4x2", 4, 2, {}},
+        {"2p+2d", 4, 2,
+         {FleetNodeRole::Prefill, FleetNodeRole::Prefill,
+          FleetNodeRole::Decode, FleetNodeRole::Decode}},
+    };
+    const std::vector<double> fractions = {0.25, 0.5, 1.0, 2.0};
+
+    std::vector<TopologySweep> sweeps;
+    bool sweep_ok = true;
+    for (const TopoDef &def : defs) {
+        FleetTopology topo;
+        topo.nNodes = def.nodes;
+        topo.clustersPerNode = def.clusters;
+        topo.roles = def.roles;
+        const double capacity =
+            estimatedCapacityRps(model, topo, spec.nIn, spec.nOut);
+
+        TopologySweep sweep;
+        sweep.name = def.name;
+        sweep.nodes = def.nodes;
+        sweep.clustersPerNode = def.clusters;
+        sweep.disaggregated = topo.disaggregated();
+        const double t0 = now();
+        for (double frac : fractions) {
+            const double rps = frac * capacity;
+            const auto reqs = poissonWorkload(spec, rps);
+            FleetOptions opt;
+            opt.serveDeadlineHostSeconds = 60.0;
+            DfxFleet fleet(model, topo, opt);
+            FleetStats stats = fleet.serve(reqs);
+            if (stats.completedRequests != spec.nRequests) {
+                std::fprintf(stderr,
+                             "FAIL[%s]: %zu of %zu completed at "
+                             "%.0f rps\n",
+                             def.name, stats.completedRequests,
+                             spec.nRequests, rps);
+                sweep_ok = false;
+            }
+            LoadPoint p;
+            p.loadFraction = frac;
+            p.offeredRps = rps;
+            p.ttftP99Sec = stats.ttftP99Seconds;
+            p.ttftMeanSec = stats.ttftMeanSeconds;
+            p.queueDelayMeanSec = stats.queueDelayMeanSeconds;
+            p.throughputTokPerSec = stats.throughputTokensPerSec();
+            sweep.points.push_back(p);
+            sweep.kvTransfers = stats.kvTransfers;
+            sweep.eventsProcessed = stats.eventsProcessed;
+            sweep.saturationTokPerSec = p.throughputTokPerSec;
+        }
+        sweep.hostWallSec = now() - t0;
+        std::printf("%-6s %zu nodes x %zu clusters: saturation "
+                    "%9.0f tok/s, ttft p99 %.4fs..%.4fs, %.2fs host "
+                    "(%llu events)\n",
+                    sweep.name.c_str(), sweep.nodes,
+                    sweep.clustersPerNode, sweep.saturationTokPerSec,
+                    sweep.points.front().ttftP99Sec,
+                    sweep.points.back().ttftP99Sec, sweep.hostWallSec,
+                    static_cast<unsigned long long>(
+                        sweep.eventsProcessed));
+        if (def.nodes >= 4 && sweep.hostWallSec > 60.0) {
+            std::fprintf(stderr,
+                         "FAIL[%s]: %.1fs host for the 4-node sweep "
+                         "(must stay under 60s)\n",
+                         def.name, sweep.hostWallSec);
+            sweep_ok = false;
+        }
+        sweeps.push_back(std::move(sweep));
+    }
+
+    // ---- JSON record ------------------------------------------------
+    FILE *f = std::fopen("BENCH_fleet.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_fleet.json\n");
+        return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fleet\",\n");
+    std::fprintf(f, "  \"identity\": {\"model\": \"toy\", "
+                    "\"n_requests\": %zu, \"loads_rps\": [",
+                 id_spec.nRequests);
+    for (size_t i = 0; i < id_loads.size(); ++i)
+        std::fprintf(f, "%g%s", id_loads[i],
+                     i + 1 < id_loads.size() ? ", " : "");
+    std::fprintf(f,
+                 "], \"tokens_match_serial\": %s, "
+                 "\"disagg_matches_colocated\": %s},\n",
+                 identity_ok ? "true" : "false",
+                 disagg_matches_colocated ? "true" : "false");
+    std::fprintf(f,
+                 "  \"calibrated\": {\"model\": \"%s\", "
+                 "\"kv_contexts\": %zu, \"n_requests\": %zu, "
+                 "\"n_in\": %zu, \"n_out\": %zu, \"seed\": %llu,\n",
+                 cal.model.name.c_str(), cal.kvContexts, spec.nRequests,
+                 spec.nIn, spec.nOut,
+                 static_cast<unsigned long long>(spec.seed));
+    std::fprintf(f, "  \"topologies\": [\n");
+    for (size_t t = 0; t < sweeps.size(); ++t) {
+        const TopologySweep &s = sweeps[t];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"nodes\": %zu, "
+                     "\"clusters_per_node\": %zu, "
+                     "\"disaggregated\": %s, "
+                     "\"saturation_throughput_tok_per_sec\": %.4f, "
+                     "\"kv_transfers\": %zu, "
+                     "\"events_processed\": %llu, "
+                     "\"host_wall_sec\": %.3f, \"ttft_vs_load\": [\n",
+                     s.name.c_str(), s.nodes, s.clustersPerNode,
+                     s.disaggregated ? "true" : "false",
+                     s.saturationTokPerSec, s.kvTransfers,
+                     static_cast<unsigned long long>(s.eventsProcessed),
+                     s.hostWallSec);
+        for (size_t i = 0; i < s.points.size(); ++i) {
+            const LoadPoint &p = s.points[i];
+            std::fprintf(f,
+                         "      {\"load_fraction\": %.2f, "
+                         "\"offered_rps\": %.2f, "
+                         "\"ttft_p99_sec\": %.6f, "
+                         "\"ttft_mean_sec\": %.6f, "
+                         "\"queue_delay_mean_sec\": %.6f, "
+                         "\"throughput_tok_per_sec\": %.4f}%s\n",
+                         p.loadFraction, p.offeredRps, p.ttftP99Sec,
+                         p.ttftMeanSec, p.queueDelayMeanSec,
+                         p.throughputTokPerSec,
+                         i + 1 < s.points.size() ? "," : "");
+        }
+        std::fprintf(f, "    ]}%s\n",
+                     t + 1 < sweeps.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]}\n");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_fleet.json\n");
+
+    if (!identity_ok || !disagg_matches_colocated || !sweep_ok) {
+        std::fprintf(stderr, "bench_fleet FAILED\n");
+        return 1;
+    }
+    return 0;
+}

@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """Perf-trajectory gate for the cross-PR benchmark records.
 
-Runs the host-perf benches (``bench_sim_speed``, ``bench_serving``) in
-the build directory, compares the fresh numbers against the committed
-``BENCH_*.json`` baselines at the repo root, and fails on a
-steps-per-second (or tokens-per-second) regression beyond the
-threshold. The sim-speed record also carries the program-cache A/B
+Runs the host-perf benches (``bench_sim_speed``, ``bench_serving``,
+``bench_fleet``) in the build directory, compares the fresh numbers
+against the committed ``BENCH_*.json`` baselines at the repo root, and
+fails on a steps-per-second (or tokens-per-second) regression beyond
+the threshold. The sim-speed record also carries the program-cache A/B
 (``codegen``: warm cache hit rate >= 0.95, cached steps/sec vs.
 baseline, and the timing-only codegen share at most half the
 fresh-codegen share). The serving record is also checked for a non-monotonic
@@ -19,7 +19,11 @@ serial-identical tokens, recovery makespan beating the naive
 no-failover bound, shed requests reported), and the paged-KV
 capacity section (``capacity``: at least 2x the unpaged resident
 contexts at the same HBM, prefix cache hitting, serial-identical
-tokens). Modeled serving metrics
+tokens). The fleet record (``bench_fleet``) is gated on the
+functional token-identity booleans (serial-identical and
+disaggregated == colocated at every load), per-topology saturation
+throughput, a monotone TTFT-p99-vs-load curve, and KV transfers
+actually happening on the disaggregated topology. Modeled serving metrics
 are deterministic, so any drop
 there is a real model/scheduler regression; host steps/sec vary with
 the machine, which is what the (generous) threshold absorbs.
@@ -41,7 +45,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-BENCHES = ["bench_sim_speed", "bench_serving"]
+BENCHES = ["bench_sim_speed", "bench_serving", "bench_fleet"]
 
 # Run-only smoke benches: no committed baseline to compare against,
 # but they must keep executing successfully (a non-zero exit fails the
@@ -358,6 +362,53 @@ def check_capacity(base: dict, fresh: dict, threshold: float,
                               failures)
 
 
+def check_fleet(base: dict, fresh: dict, threshold: float,
+                failures: list) -> None:
+    """Fleet-scale serving gate: the functional identity section must
+    report serial-identical tokens (and disaggregated == colocated)
+    at every offered load, each topology's saturation throughput must
+    not regress beyond the threshold, the fresh TTFT-p99 curve must
+    be monotone non-decreasing with offered load (one seed-fixed
+    arrival pattern at different intensities — a dip means the event
+    queue or router clock accounting broke), and the disaggregated
+    topology must actually move KV over the modeled link."""
+    print("bench_fleet (fleet topology sweeps):")
+    ident = fresh.get("identity", {})
+    if not ident.get("tokens_match_serial", False):
+        failures.append("fleet: tokens diverged from the serial "
+                        "single-node reference (invariant 10)")
+    if not ident.get("disagg_matches_colocated", False):
+        failures.append("fleet: disaggregated tokens diverged from "
+                        "the colocated run")
+    fresh_topos = {t["name"]: t
+                   for t in fresh["calibrated"]["topologies"]}
+    for entry in base["calibrated"]["topologies"]:
+        name = entry["name"]
+        t = fresh_topos.get(name)
+        if t is None:
+            failures.append(f"fleet: no fresh sweep for topology "
+                            f"{name}")
+            continue
+        check_metric(f"fleet {name} saturation tok/s",
+                     entry["saturation_throughput_tok_per_sec"],
+                     t["saturation_throughput_tok_per_sec"],
+                     threshold, failures)
+        prev_frac, prev_p99 = None, None
+        for p in sorted(t["ttft_vs_load"],
+                        key=lambda p: p["load_fraction"]):
+            if prev_p99 is not None and p["ttft_p99_sec"] < prev_p99:
+                failures.append(
+                    f"fleet: {name} ttft p99 not monotone with load "
+                    f"({p['load_fraction']:g}x "
+                    f"{p['ttft_p99_sec']:.4f} < {prev_frac:g}x "
+                    f"{prev_p99:.4f})")
+            prev_frac = p["load_fraction"]
+            prev_p99 = p["ttft_p99_sec"]
+        if t.get("disaggregated", False) and t["kv_transfers"] < 1:
+            failures.append(f"fleet: disaggregated topology {name} "
+                            f"recorded no KV transfers")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", type=Path,
@@ -384,7 +435,8 @@ def main() -> int:
         run_benches(args.build_dir)
 
     if args.update:
-        for name in ("BENCH_sim_speed.json", "BENCH_serving.json"):
+        for name in ("BENCH_sim_speed.json", "BENCH_serving.json",
+                     "BENCH_fleet.json"):
             shutil.copy(args.build_dir / name, REPO_ROOT / name)
             print(f"updated {REPO_ROOT / name}")
         return 0
@@ -430,6 +482,10 @@ def main() -> int:
             else:
                 failures.append(f"serving: fresh JSON lacks the "
                                 f"'{section}' section the baseline has")
+
+    base_fleet = load(REPO_ROOT / "BENCH_fleet.json")
+    fresh_fleet = load(args.build_dir / "BENCH_fleet.json")
+    check_fleet(base_fleet, fresh_fleet, args.threshold, failures)
 
     if failures:
         print("\nPERF GATE FAILED:")

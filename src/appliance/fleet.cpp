@@ -1,0 +1,1007 @@
+/**
+ * @file
+ * DfxFleet implementation: one indexed-event-queue DES driving N
+ * serving nodes, a front-end router, fleet-scope faults, and optional
+ * prefill/decode disaggregation. See fleet.hpp for the model.
+ *
+ * Event-loop shape: every mutation of fleet state happens while
+ * handling one popped event, and every path that makes new work
+ * admissible (an arrival, a KV handoff landing, a failover requeue, a
+ * retirement freeing a slot) schedules the round boundaries that will
+ * pick that work up. The loop therefore never scans nodes for
+ * something to do — if the heap is empty while requests are
+ * outstanding, that is a scheduler bug and serve() fails loudly with
+ * a per-node report rather than spinning.
+ */
+#include "appliance/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "perf/percentile.hpp"
+
+namespace dfx {
+
+const char *
+toString(FleetNodeRole role)
+{
+    switch (role) {
+        case FleetNodeRole::Both: return "both";
+        case FleetNodeRole::Prefill: return "prefill";
+        case FleetNodeRole::Decode: return "decode";
+    }
+    return "?";
+}
+
+const char *
+toString(FleetRoutePolicy policy)
+{
+    switch (policy) {
+        case FleetRoutePolicy::RoundRobin: return "round-robin";
+        case FleetRoutePolicy::LeastLoaded: return "least-loaded";
+        case FleetRoutePolicy::ProjectedTtft: return "projected-ttft";
+    }
+    return "?";
+}
+
+bool
+FleetTopology::disaggregated() const
+{
+    for (FleetNodeRole r : roles)
+        if (r != FleetNodeRole::Both)
+            return true;
+    return false;
+}
+
+void
+FleetTopology::validate() const
+{
+    DFX_ASSERT(nNodes >= 1, "fleet needs at least one node");
+    DFX_ASSERT(clustersPerNode >= 1,
+               "fleet nodes need at least one cluster");
+    DFX_ASSERT(roles.empty() || roles.size() == nNodes,
+               "role list must be empty or name every node (%zu roles, "
+               "%zu nodes)",
+               roles.size(), nNodes);
+    if (!roles.empty() && disaggregated()) {
+        bool prefill = false, decode = false;
+        for (FleetNodeRole r : roles) {
+            prefill |= r != FleetNodeRole::Decode;
+            decode |= r != FleetNodeRole::Prefill;
+        }
+        DFX_ASSERT(prefill && decode,
+                   "a disaggregated fleet needs at least one "
+                   "prefill-eligible and one decode-eligible node");
+    }
+}
+
+// --- RoundCostModel --------------------------------------------------
+
+double
+RoundCostModel::roundSeconds(size_t batch, double meanPosition) const
+{
+    DFX_ASSERT(batch >= 1, "empty round");
+    const size_t b = std::min(batch, alpha.size()) - 1;
+    const double p =
+        std::min(std::max(meanPosition, 0.0),
+                 static_cast<double>(maxSeq > 0 ? maxSeq : 1));
+    // A fitted slope can be slightly negative at tiny scales (batch
+    // roofline noise); never charge a non-positive round.
+    return std::max(alpha[b] + beta[b] * p, 1e-12);
+}
+
+double
+RoundCostModel::pcieSeconds(uint64_t bytes) const
+{
+    return pcieLatencySeconds +
+           static_cast<double>(bytes) / pcieBytesPerSec;
+}
+
+void
+RoundCostModel::validate() const
+{
+    DFX_ASSERT(kvContexts >= 1, "model needs at least one slot");
+    DFX_ASSERT(alpha.size() == kvContexts && beta.size() == kvContexts,
+               "model must be fitted for every batch size 1..%zu",
+               kvContexts);
+    DFX_ASSERT(maxSeq >= 2, "model needs a context length");
+    DFX_ASSERT(perTokenKvBytes > 0, "model needs KV byte accounting");
+    DFX_ASSERT(blockTokens >= 1, "bad KV block granularity");
+    DFX_ASSERT(pcieBytesPerSec > 0.0 && pcieLatencySeconds >= 0.0,
+               "bad PCIe parameters");
+    for (size_t b = 0; b < kvContexts; ++b)
+        DFX_ASSERT(std::isfinite(alpha[b]) && std::isfinite(beta[b]) &&
+                       alpha[b] > 0.0,
+                   "unfitted round cost at batch %zu", b + 1);
+}
+
+RoundCostModel
+RoundCostModel::calibrate(const DfxSystemConfig &config)
+{
+    DFX_ASSERT(config.kvContexts >= 1, "need at least one KV context");
+    DfxSystemConfig probe = config;
+    probe.functional = false;  // timing-only: no data planes
+    probe.weightStore.reset();
+    DfxAppliance appliance(probe);
+
+    RoundCostModel m;
+    m.kvContexts = config.kvContexts;
+    m.maxSeq = config.model.maxSeq;
+    m.perTokenKvBytes =
+        static_cast<uint64_t>(4 * config.model.layers *
+                              config.model.embedding);
+    m.blockTokens =
+        config.pagedKv.enabled ? config.pagedKv.blockTokens : 1;
+    m.alpha.assign(m.kvContexts, 0.0);
+    m.beta.assign(m.kvContexts, 0.0);
+
+    // One lease per slot, kept for the whole calibration. Every
+    // context advances in lockstep through full-batch rounds; batch
+    // sizes below the maximum are probed on context subsets (the
+    // probe advances those contexts one extra position — a <=
+    // kvContexts skew against a maxSeq/2 baseline, folded into the
+    // fit by using the exact measured positions).
+    const size_t kv = m.kvContexts;
+    const size_t hi = std::max<size_t>(m.maxSeq / 2, 2);
+    std::vector<KvLease> leases;
+    leases.reserve(kv);
+    KvLeaseRequest req;
+    req.prompt = {0};
+    req.newTokens = std::min(m.maxSeq - 1, hi + kv + 2);
+    req.sharePrefix = false;
+    for (size_t i = 0; i < kv; ++i) {
+        leases.push_back(appliance.tryAcquireLease(req));
+        DFX_ASSERT(static_cast<bool>(leases.back()),
+                   "calibration lease %zu denied", i);
+    }
+    DfxCluster &cluster = appliance.cluster();
+
+    auto probeRound = [&](size_t batch, double *mean_pos) {
+        std::vector<ContextStep> steps;
+        steps.reserve(batch);
+        double pos = 0.0;
+        for (size_t i = 0; i < batch; ++i) {
+            pos += static_cast<double>(
+                cluster.position(leases[i].ctx()));
+            steps.push_back({leases[i].ctx(), 0});
+        }
+        *mean_pos = pos / static_cast<double>(batch);
+        TokenStats stats;
+        appliance.stepBatch(steps, &stats);
+        return stats.seconds;
+    };
+
+    std::vector<double> posLo(kv), secLo(kv);
+    for (size_t b = 1; b <= kv; ++b)
+        secLo[b - 1] = probeRound(b, &posLo[b - 1]);
+    // Advance every context to ~maxSeq/2 with full-batch rounds.
+    while (cluster.position(leases[0].ctx()) < hi) {
+        double unused;
+        probeRound(kv, &unused);
+    }
+    for (size_t b = 1; b <= kv; ++b) {
+        double posHi;
+        const double secHi = probeRound(b, &posHi);
+        const double dp = posHi - posLo[b - 1];
+        DFX_ASSERT(dp > 0.0, "degenerate calibration span");
+        m.beta[b - 1] = (secHi - secLo[b - 1]) / dp;
+        m.alpha[b - 1] = secLo[b - 1] - m.beta[b - 1] * posLo[b - 1];
+        // Guard tiny-model noise: keep the intercept positive.
+        if (m.alpha[b - 1] <= 0.0)
+            m.alpha[b - 1] = secLo[b - 1];
+    }
+    m.validate();
+    return m;
+}
+
+// --- DfxFleet construction -------------------------------------------
+
+DfxFleet::DfxFleet(const DfxSystemConfig &config,
+                   const FleetTopology &topology, FleetOptions options)
+    : topology_(topology), options_(std::move(options)),
+      calibrated_(false)
+{
+    DFX_ASSERT(config.kvContexts >= 1,
+               "fleet needs at least one KV context per cluster");
+    maxInFlight_ = config.kvContexts;
+    perTokenKvBytes_ = static_cast<uint64_t>(
+        4 * config.model.layers * config.model.embedding);
+    kvBlockTokens_ =
+        config.pagedKv.enabled ? config.pagedKv.blockTokens : 1;
+    construct(topology, &config);
+}
+
+DfxFleet::DfxFleet(const RoundCostModel &model,
+                   const FleetTopology &topology, FleetOptions options)
+    : topology_(topology), options_(std::move(options)),
+      calibrated_(true), model_(model)
+{
+    model_.validate();
+    maxInFlight_ = model_.kvContexts;
+    perTokenKvBytes_ = model_.perTokenKvBytes;
+    kvBlockTokens_ = model_.blockTokens;
+    construct(topology, nullptr);
+}
+
+void
+DfxFleet::construct(const FleetTopology &topology,
+                    const DfxSystemConfig *config)
+{
+    topology_.validate();
+    options_.faultPlan.validate(topology.nNodes);
+    DFX_ASSERT(options_.retryBudget < 64, "absurd retry budget");
+    DFX_ASSERT(options_.kvLinkBytesPerSec > 0.0 &&
+                   options_.kvLinkLatencySeconds >= 0.0,
+               "bad KV link parameters");
+    nodes_.resize(topology.nNodes);
+    for (size_t n = 0; n < topology.nNodes; ++n) {
+        NodeState &node = nodes_[n];
+        node.role = topology.roles.empty() ? FleetNodeRole::Both
+                                           : topology.roles[n];
+        node.clusters.resize(topology.clustersPerNode);
+        if (config != nullptr)
+            for (ClusterState &cl : node.clusters)
+                cl.appliance = std::make_unique<DfxAppliance>(*config);
+    }
+    failStopApplied_.assign(options_.faultPlan.failStops.size(), false);
+}
+
+void
+DfxFleet::loadWeights(const GptWeights &weights)
+{
+    DFX_ASSERT(!calibrated_,
+               "the calibrated backend holds no appliances");
+    for (NodeState &node : nodes_)
+        for (ClusterState &cl : node.clusters)
+            cl.appliance->loadWeights(weights);
+}
+
+void
+DfxFleet::resetEpoch()
+{
+    for (NodeState &node : nodes_) {
+        node.health = ClusterHealth::Healthy;
+        node.pending.clear();
+        node.served = 0;
+        node.serviceSum = 0.0;
+        node.rerouted = 0;
+        node.kvTransfersOut = 0;
+        node.kvTransfersIn = 0;
+        for (ClusterState &cl : node.clusters) {
+            cl.inflight.clear();  // leases release on destruction
+            cl.clock = 0.0;
+            cl.roundScheduled = false;
+            cl.busySeconds = 0.0;
+        }
+    }
+    queue_ = FleetEventQueue();
+    transit_.clear();
+    results_.clear();
+    failStopApplied_.assign(options_.faultPlan.failStops.size(), false);
+    submitted_ = completed_ = 0;
+    failovers_ = retries_ = shed_ = failed_ = requeuedTokens_ = 0;
+    kvTransfers_ = 0;
+    kvTransferBytes_ = 0;
+    kvTransferSeconds_ = 0.0;
+    eventsProcessed_ = 0;
+    rrArrival_ = rrDecode_ = 0;
+}
+
+// --- helpers ---------------------------------------------------------
+
+uint64_t
+DfxFleet::kvBytes(size_t tokens) const
+{
+    const size_t blocks =
+        (tokens + kvBlockTokens_ - 1) / kvBlockTokens_;
+    return static_cast<uint64_t>(blocks) * kvBlockTokens_ *
+           perTokenKvBytes_;
+}
+
+double
+DfxFleet::pcieSeconds(uint64_t bytes) const
+{
+    if (calibrated_)
+        return model_.pcieSeconds(bytes);
+    return nodes_[0].clusters[0].appliance->pcieSeconds(bytes);
+}
+
+size_t
+DfxFleet::nodeLoad(size_t n) const
+{
+    size_t load = nodes_[n].pending.size();
+    for (const ClusterState &cl : nodes_[n].clusters)
+        load += cl.inflight.size();
+    return load;
+}
+
+size_t
+DfxFleet::routeTarget(bool decode)
+{
+    const FleetNodeRole excluded =
+        decode ? FleetNodeRole::Prefill : FleetNodeRole::Decode;
+    std::vector<size_t> eligible;
+    eligible.reserve(nodes_.size());
+    for (size_t n = 0; n < nodes_.size(); ++n)
+        if (nodes_[n].health != ClusterHealth::Failed &&
+            nodes_[n].role != excluded)
+            eligible.push_back(n);
+    if (eligible.empty())
+        return nodes_.size();
+
+    switch (options_.policy) {
+        case FleetRoutePolicy::RoundRobin: {
+            size_t &cursor = decode ? rrDecode_ : rrArrival_;
+            return eligible[cursor++ % eligible.size()];
+        }
+        case FleetRoutePolicy::LeastLoaded: {
+            size_t best = eligible[0];
+            size_t best_load = std::numeric_limits<size_t>::max();
+            for (size_t n : eligible) {
+                const size_t load = nodeLoad(n);
+                if (load < best_load) {
+                    best_load = load;
+                    best = n;
+                }
+            }
+            return best;
+        }
+        case FleetRoutePolicy::ProjectedTtft: {
+            // Projected wait = load / slots * observed per-request
+            // turnaround (node history; fleet-wide fallback before a
+            // node's first completion). With no history anywhere this
+            // degenerates to slot-normalized least-loaded — still a
+            // pure function of simulated state.
+            double fleet_sum = 0.0;
+            size_t fleet_served = 0;
+            for (const NodeState &node : nodes_) {
+                fleet_sum += node.serviceSum;
+                fleet_served += node.served;
+            }
+            size_t best = eligible[0];
+            double best_proj =
+                std::numeric_limits<double>::infinity();
+            for (size_t n : eligible) {
+                const double sum = nodes_[n].served > 0
+                                       ? nodes_[n].serviceSum
+                                       : fleet_sum;
+                const size_t served = nodes_[n].served > 0
+                                          ? nodes_[n].served
+                                          : fleet_served;
+                const double turnaround =
+                    served > 0 ? sum / static_cast<double>(served)
+                               : 1.0;
+                const double slots = static_cast<double>(
+                    nodes_[n].clusters.size() * maxInFlight_);
+                const double proj =
+                    static_cast<double>(nodeLoad(n)) / slots *
+                    turnaround;
+                if (proj < best_proj) {
+                    best_proj = proj;
+                    best = n;
+                }
+            }
+            return best;
+        }
+    }
+    return nodes_.size();
+}
+
+void
+DfxFleet::scheduleRound(size_t n, size_t c, double t)
+{
+    ClusterState &cl = nodes_[n].clusters[c];
+    if (cl.roundScheduled || nodes_[n].health == ClusterHealth::Failed)
+        return;
+    cl.roundScheduled = true;
+    queue_.push(std::max(t, cl.clock), FleetEventKind::Round,
+                static_cast<uint32_t>(n), static_cast<uint32_t>(c));
+}
+
+void
+DfxFleet::enqueueOnNode(size_t n, Slot slot)
+{
+    const double ready = slot.readySim;
+    auto &queue = nodes_[n].pending;
+    auto pos = std::upper_bound(
+        queue.begin(), queue.end(), slot,
+        [](const Slot &a, const Slot &b) {
+            if (a.readySim != b.readySim)
+                return a.readySim < b.readySim;
+            return a.id < b.id;
+        });
+    slot.node = n;
+    queue.insert(pos, std::move(slot));
+    for (size_t c = 0; c < nodes_[n].clusters.size(); ++c)
+        scheduleRound(n, c, ready);
+}
+
+void
+DfxFleet::recordTerminal(Slot slot, size_t n, RequestOutcome outcome,
+                         double t)
+{
+    RequestResult r;
+    r.id = slot.id;
+    r.cluster = n;
+    r.stolen = slot.rerouted;
+    r.outcome = outcome;
+    r.retries = slot.retries;
+    r.arrivalSeconds = slot.request.arrivalSeconds;
+    r.admitSimSeconds = t;
+    r.firstTokenSimSeconds = t;
+    r.finishSimSeconds = t;
+    results_.push_back(std::move(r));
+    if (outcome == RequestOutcome::Shed)
+        ++shed_;
+    else if (outcome == RequestOutcome::Failed)
+        ++failed_;
+    ++completed_;
+}
+
+// --- event handlers --------------------------------------------------
+
+void
+DfxFleet::handleArrival(const FleetEvent &ev)
+{
+    Slot slot = std::move(transit_.at(ev.payload));
+    transit_.erase(ev.payload);
+    const size_t target = routeTarget(/*decode=*/false);
+    if (target == nodes_.size()) {
+        recordTerminal(std::move(slot), 0, RequestOutcome::Failed,
+                       ev.time);
+        return;
+    }
+    enqueueOnNode(target, std::move(slot));
+}
+
+void
+DfxFleet::handleTransferDone(const FleetEvent &ev)
+{
+    Slot slot = std::move(transit_.at(ev.payload));
+    transit_.erase(ev.payload);
+    const size_t target = routeTarget(/*decode=*/true);
+    if (target == nodes_.size()) {
+        // Every decode-eligible node died while the KV was on the
+        // wire; the transfer has nowhere to land.
+        recordTerminal(std::move(slot), ev.node,
+                       RequestOutcome::Failed, ev.time);
+        return;
+    }
+    ++nodes_[target].kvTransfersIn;
+    slot.readySim = ev.time;
+    enqueueOnNode(target, std::move(slot));
+}
+
+void
+DfxFleet::handleFailStop(const FleetEvent &ev)
+{
+    const ClusterFailStop &fs =
+        options_.faultPlan.failStops[ev.payload];
+    failStopApplied_[ev.payload] = true;
+    const size_t n = fs.cluster;
+    NodeState &node = nodes_[n];
+    if (node.health == ClusterHealth::Failed)
+        return;  // double fail-stop is idempotent
+    node.health = ClusterHealth::Failed;
+
+    // Displace everything the node holds. In-flight (and handed-off)
+    // requests lose their KV state and restart from the prompt,
+    // consuming one retry; plain waiters reroute for free.
+    std::vector<Slot> displaced;
+    for (ClusterState &cl : node.clusters) {
+        cl.clock = std::max(cl.clock, fs.atSeconds);
+        for (Slot &s : cl.inflight) {
+            s.lease.release();
+            requeuedTokens_ += s.outCount;
+            s.out.clear();
+            s.outCount = 0;
+            s.fed = 0;
+            s.position = 0;
+            s.next = -1;
+            s.firstTokenSim = -1.0;
+            s.handedOff = false;
+            ++s.retries;
+            ++retries_;
+            displaced.push_back(std::move(s));
+        }
+        cl.inflight.clear();
+    }
+    for (Slot &s : node.pending) {
+        if (s.handedOff) {
+            // Its KV landed here but was never admitted into a
+            // lease: the state dies with the node, like in-flight.
+            s.fed = 0;
+            s.position = 0;
+            s.next = -1;
+            s.firstTokenSim = -1.0;
+            s.handedOff = false;
+            ++s.retries;
+            ++retries_;
+        }
+        displaced.push_back(std::move(s));
+    }
+    node.pending.clear();
+
+    // Failover: oldest arrival first (ties by id) back through the
+    // router. A displaced request cannot restart before the instant
+    // the node died.
+    std::sort(displaced.begin(), displaced.end(),
+              [](const Slot &a, const Slot &b) {
+                  if (a.request.arrivalSeconds !=
+                      b.request.arrivalSeconds)
+                      return a.request.arrivalSeconds <
+                             b.request.arrivalSeconds;
+                  return a.id < b.id;
+              });
+    for (Slot &s : displaced) {
+        if (s.retries > options_.retryBudget) {
+            recordTerminal(std::move(s), n, RequestOutcome::Failed,
+                           fs.atSeconds);
+            continue;
+        }
+        const size_t target = routeTarget(/*decode=*/false);
+        if (target == nodes_.size()) {
+            recordTerminal(std::move(s), n, RequestOutcome::Failed,
+                           fs.atSeconds);
+            continue;
+        }
+        ++failovers_;
+        s.rerouted = true;
+        ++nodes_[target].rerouted;
+        s.readySim = std::max(s.request.arrivalSeconds, fs.atSeconds);
+        enqueueOnNode(target, std::move(s));
+    }
+}
+
+bool
+DfxFleet::tryAdmit(size_t n, size_t c)
+{
+    NodeState &node = nodes_[n];
+    ClusterState &cl = node.clusters[c];
+    Slot &front = node.pending.front();
+    KvLease lease;
+    if (!calibrated_) {
+        KvLeaseRequest req;
+        req.prompt = front.request.prompt;
+        req.newTokens = front.request.nOut;
+        // A handed-off request must replay its entire prompt to
+        // rebuild the transferred KV contents; prefix aliasing would
+        // skip tokens the wire "moved" and leave the replay partial.
+        req.sharePrefix = !front.handedOff;
+        lease = cl.appliance->tryAcquireLease(req);
+        if (!lease)
+            return false;  // paged pool full until a retirement
+    }
+    Slot slot = std::move(node.pending.front());
+    node.pending.pop_front();
+    if (slot.handedOff) {
+        // The KV state arrived over the modeled fabric (already
+        // charged as transfer seconds); there is no host upload and
+        // no prefill compute here. The full backend replays the
+        // prompt to materialize the identical KV contents — the
+        // simulator's mechanism for the bytes the wire moved, charged
+        // zero simulated time.
+        if (!calibrated_) {
+            const StepOutcome replay =
+                cl.appliance->prefill(lease, slot.request.prompt);
+            DFX_ASSERT(replay.next == slot.next,
+                       "KV handoff replay diverged for request %llu",
+                       static_cast<unsigned long long>(slot.id));
+        }
+        slot.fed = slot.request.prompt.size();
+        slot.position = slot.request.prompt.size();
+    } else {
+        slot.admitSim = cl.clock;
+        cl.clock +=
+            options_.faultPlan.linkFactor(cl.clock) *
+            pcieSeconds(slot.request.prompt.size() * 4 + 64);
+        slot.fed = calibrated_ ? 0 : lease.sharedTokens();
+        slot.position = 0;
+    }
+    slot.lease = std::move(lease);
+    slot.node = n;
+    cl.inflight.push_back(std::move(slot));
+    return true;
+}
+
+void
+DfxFleet::shedOverBudget(size_t n, double t)
+{
+    NodeState &node = nodes_[n];
+    if (node.pending.empty())
+        return;
+    // DfxServer's projection rule at node granularity: wait-so-far
+    // plus queue-rank slot-frees at the node's observed per-slot
+    // turnaround (fleet-wide fallback; never shed before any
+    // completion anywhere).
+    double sum = node.serviceSum;
+    size_t served = node.served;
+    if (served == 0) {
+        sum = 0.0;
+        for (const NodeState &other : nodes_) {
+            sum += other.serviceSum;
+            served += other.served;
+        }
+    }
+    if (served == 0)
+        return;
+    const double per_slot =
+        sum / static_cast<double>(served) /
+        static_cast<double>(node.clusters.size() * maxInFlight_);
+    std::deque<Slot> keep;
+    size_t rank = 0;
+    for (Slot &s : node.pending) {
+        if (s.readySim > t || s.handedOff) {
+            // Handed-off requests already consumed prefill compute
+            // and wire bytes; shedding them would waste fleet work
+            // for no admission-queue relief.
+            keep.push_back(std::move(s));
+            continue;
+        }
+        const double projected =
+            (t - s.request.arrivalSeconds) +
+            static_cast<double>(rank + 1) * per_slot;
+        if (projected > options_.sloTtftBudgetSeconds) {
+            recordTerminal(std::move(s), n, RequestOutcome::Shed, t);
+        } else {
+            ++rank;
+            keep.push_back(std::move(s));
+        }
+    }
+    node.pending = std::move(keep);
+}
+
+void
+DfxFleet::startHandoff(size_t n, size_t c, Slot slot, double t)
+{
+    slot.lease.release();
+    slot.handedOff = true;
+    ++nodes_[n].kvTransfersOut;
+    const uint64_t bytes = kvBytes(slot.request.prompt.size());
+    const double seconds =
+        options_.faultPlan.linkFactor(t) *
+        (options_.kvLinkLatencySeconds +
+         static_cast<double>(bytes) / options_.kvLinkBytesPerSec);
+    ++kvTransfers_;
+    kvTransferBytes_ += bytes;
+    kvTransferSeconds_ += seconds;
+    const uint64_t id = slot.id;
+    transit_.emplace(id, std::move(slot));
+    queue_.push(t + seconds, FleetEventKind::TransferDone,
+                static_cast<uint32_t>(n), static_cast<uint32_t>(c), id);
+}
+
+void
+DfxFleet::retire(size_t n, size_t c, Slot slot)
+{
+    NodeState &node = nodes_[n];
+    ClusterState &cl = node.clusters[c];
+    cl.clock += options_.faultPlan.linkFactor(cl.clock) *
+                pcieSeconds(slot.request.nOut * 4);
+    slot.lease.release();
+    node.serviceSum += cl.clock - slot.admitSim;
+    ++node.served;
+    RequestResult r;
+    r.id = slot.id;
+    r.cluster = n;
+    r.stolen = slot.rerouted;
+    r.retries = slot.retries;
+    r.tokens = std::move(slot.out);
+    r.arrivalSeconds = slot.request.arrivalSeconds;
+    r.admitSimSeconds = slot.admitSim;
+    r.firstTokenSimSeconds = slot.firstTokenSim;
+    r.finishSimSeconds = cl.clock;
+    results_.push_back(std::move(r));
+    ++completed_;
+}
+
+void
+DfxFleet::handleRound(const FleetEvent &ev)
+{
+    const size_t n = ev.node;
+    const size_t c = ev.sub;
+    NodeState &node = nodes_[n];
+    ClusterState &cl = node.clusters[c];
+    cl.roundScheduled = false;
+    if (node.health == ClusterHealth::Failed)
+        return;  // stale boundary of a node that died meanwhile
+    cl.clock = std::max(cl.clock, ev.time);
+
+    // Admission: continuous batching — claim ready waiters up to the
+    // slot limit, oldest first.
+    while (cl.inflight.size() < maxInFlight_ &&
+           !node.pending.empty() &&
+           node.pending.front().readySim <= cl.clock) {
+        if (!tryAdmit(n, c))
+            break;
+    }
+
+    if (options_.sloTtftBudgetSeconds > 0.0)
+        shedOverBudget(n, cl.clock);
+
+    if (cl.inflight.empty()) {
+        if (!node.pending.empty()) {
+            // Waiters remain (future arrivals, or a sibling cluster's
+            // backlog): keep a boundary scheduled so they are picked
+            // up. An idle cluster's clock jumps to the work.
+            const double next =
+                std::max(cl.clock, node.pending.front().readySim);
+            DFX_ASSERT(next > ev.time ||
+                           node.pending.front().readySim > cl.clock,
+                       "admission made no progress on node %zu", n);
+            scheduleRound(n, c, next);
+        }
+        return;
+    }
+
+    const double slow =
+        options_.faultPlan.slowdownFactor(n, cl.clock);
+    node.health = slow > 1.0 ? ClusterHealth::Degraded
+                             : ClusterHealth::Healthy;
+
+    // One batched round: every in-flight request advances one token
+    // step, exactly DfxServer's order (prompt token while
+    // summarizing, fed-back argmax while generating).
+    double charged;
+    std::vector<int32_t> next_tokens;
+    if (calibrated_) {
+        double pos = 0.0;
+        for (Slot &s : cl.inflight) {
+            if (s.fed >= s.request.prompt.size())
+                ++s.outCount;
+            pos += static_cast<double>(s.position);
+        }
+        charged = model_.roundSeconds(
+                      cl.inflight.size(),
+                      pos / static_cast<double>(cl.inflight.size())) *
+                  slow;
+        next_tokens.assign(cl.inflight.size(), -1);
+    } else {
+        std::vector<ContextStep> round;
+        round.reserve(cl.inflight.size());
+        for (Slot &s : cl.inflight) {
+            int32_t tok;
+            if (s.fed < s.request.prompt.size()) {
+                tok = s.request.prompt[s.fed];
+            } else {
+                tok = s.next >= 0 ? s.next : 0;
+                s.out.push_back(tok);
+                ++s.outCount;
+            }
+            round.push_back({s.lease.ctx(), tok});
+        }
+        TokenStats batch;
+        next_tokens = cl.appliance->stepBatch(round, &batch);
+        charged = batch.seconds * slow;
+    }
+    cl.clock += charged;
+    cl.busySeconds += charged;
+    const double round_end = cl.clock;
+
+    // Advance, hand off finished prefills (disaggregated prefill
+    // nodes), retire completed requests.
+    const bool hands_off = node.role == FleetNodeRole::Prefill;
+    size_t keep = 0;
+    for (size_t i = 0; i < cl.inflight.size(); ++i) {
+        Slot &s = cl.inflight[i];
+        if (s.fed < s.request.prompt.size())
+            ++s.fed;
+        ++s.position;
+        s.next = next_tokens[i];
+        const bool first_token =
+            s.fed == s.request.prompt.size() && s.firstTokenSim < 0.0;
+        if (first_token)
+            s.firstTokenSim = round_end;
+        if (s.outCount >= s.request.nOut) {
+            retire(n, c, std::move(s));
+        } else if (hands_off && first_token && s.outCount == 0) {
+            startHandoff(n, c, std::move(s), round_end);
+        } else {
+            if (keep != i)
+                cl.inflight[keep] = std::move(s);
+            ++keep;
+        }
+    }
+    cl.inflight.resize(keep);
+
+    if (!cl.inflight.empty())
+        scheduleRound(n, c, cl.clock);
+    else if (!node.pending.empty())
+        scheduleRound(n, c, std::max(cl.clock,
+                                     node.pending.front().readySim));
+}
+
+// --- serve -----------------------------------------------------------
+
+std::string
+DfxFleet::wedgeReport() const
+{
+    std::string report;
+    char line[192];
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+        size_t inflight = 0;
+        double clock = 0.0;
+        for (const ClusterState &cl : nodes_[n].clusters) {
+            inflight += cl.inflight.size();
+            clock = std::max(clock, cl.clock);
+        }
+        std::snprintf(line, sizeof line,
+                      "  node %zu (%s): %s, %zu in flight, %zu "
+                      "pending, sim time %.6fs\n",
+                      n, toString(nodes_[n].role),
+                      toString(nodes_[n].health), inflight,
+                      nodes_[n].pending.size(), clock);
+        report += line;
+    }
+    std::snprintf(line, sizeof line,
+                  "  %zu in transit, %llu events queued\n",
+                  transit_.size(),
+                  static_cast<unsigned long long>(queue_.size()));
+    report += line;
+    return report;
+}
+
+FleetStats
+DfxFleet::serve(const std::vector<ServerRequest> &requests)
+{
+    resetEpoch();
+    const size_t max_seq =
+        calibrated_ ? model_.maxSeq
+                    : nodes_[0].clusters[0].appliance->config().model
+                          .maxSeq;
+    for (const ServerRequest &request : requests) {
+        DFX_ASSERT(!request.prompt.empty(), "empty prompt");
+        DFX_ASSERT(request.nOut >= 1, "need at least one output token");
+        DFX_ASSERT(std::isfinite(request.arrivalSeconds) &&
+                       request.arrivalSeconds >= 0.0,
+                   "arrival timestamp must be finite and non-negative");
+        DFX_ASSERT(request.prompt.size() + request.nOut <= max_seq,
+                   "request %zu+%zu exceeds max context %zu",
+                   request.prompt.size(), request.nOut, max_seq);
+        // A request larger than a whole paged block pool could never
+        // be admitted anywhere: reject at submission (the DfxServer
+        // rule), not by wedging admission.
+        if (!calibrated_) {
+            if (const KvPager *pager =
+                    nodes_[0].clusters[0].appliance->cluster().pager()) {
+                const size_t blocks =
+                    (request.prompt.size() + request.nOut +
+                     pager->blockTokens() - 1) /
+                    pager->blockTokens();
+                DFX_ASSERT(blocks <= pager->physBlocks(),
+                           "request needs %zu KV blocks but the pool "
+                           "holds %zu",
+                           blocks, pager->physBlocks());
+            }
+        }
+        Slot slot;
+        slot.id = submitted_++;
+        slot.request = request;
+        slot.readySim = request.arrivalSeconds;
+        const uint64_t id = slot.id;
+        transit_.emplace(id, std::move(slot));
+        // Routing happens when the arrival fires, against the fleet
+        // state at that instant. Same-time arrivals fire in
+        // submission order (the queue's seq tie-break).
+        queue_.push(request.arrivalSeconds, FleetEventKind::Arrival, 0,
+                    0, id);
+    }
+    // Fault events merge into the same timeline; at an equal instant
+    // a fail-stop fires before arrivals and boundaries (event-kind
+    // tie-break), preserving the server's fault-before-round rule.
+    for (size_t e = 0; e < options_.faultPlan.failStops.size(); ++e)
+        queue_.push(options_.faultPlan.failStops[e].atSeconds,
+                    FleetEventKind::FailStop,
+                    static_cast<uint32_t>(
+                        options_.faultPlan.failStops[e].cluster),
+                    0, e);
+
+    const auto host_start = std::chrono::steady_clock::now();
+    while (completed_ < submitted_) {
+        DFX_ASSERT(!queue_.empty(),
+                   "event queue drained with %llu of %llu requests "
+                   "outstanding\n%s",
+                   static_cast<unsigned long long>(submitted_ -
+                                                   completed_),
+                   static_cast<unsigned long long>(submitted_),
+                   wedgeReport().c_str());
+        const FleetEvent ev = queue_.pop();
+        ++eventsProcessed_;
+        switch (ev.kind) {
+            case FleetEventKind::FailStop: handleFailStop(ev); break;
+            case FleetEventKind::Arrival: handleArrival(ev); break;
+            case FleetEventKind::TransferDone:
+                handleTransferDone(ev);
+                break;
+            case FleetEventKind::Round: handleRound(ev); break;
+        }
+        if (options_.serveDeadlineHostSeconds > 0.0 &&
+            (eventsProcessed_ & 1023) == 0) {
+            const std::chrono::duration<double> host =
+                std::chrono::steady_clock::now() - host_start;
+            if (host.count() > options_.serveDeadlineHostSeconds)
+                DFX_FATAL("serve deadline: %.1f host seconds elapsed "
+                          "with %llu of %llu requests outstanding\n%s",
+                          options_.serveDeadlineHostSeconds,
+                          static_cast<unsigned long long>(submitted_ -
+                                                          completed_),
+                          static_cast<unsigned long long>(submitted_),
+                          wedgeReport().c_str());
+        }
+    }
+
+    FleetStats stats;
+    std::sort(results_.begin(), results_.end(),
+              [](const RequestResult &a, const RequestResult &b) {
+                  return a.id < b.id;
+              });
+    stats.requests = results_.size();
+    std::vector<double> lat, ttft, qdelay;
+    lat.reserve(results_.size());
+    ttft.reserve(results_.size());
+    qdelay.reserve(results_.size());
+    for (const RequestResult &r : results_) {
+        if (r.outcome != RequestOutcome::Completed)
+            continue;
+        ++stats.completedRequests;
+        stats.totalLatencySeconds += r.latencySeconds();
+        lat.push_back(r.latencySeconds());
+        ttft.push_back(r.ttftSeconds());
+        qdelay.push_back(r.queueDelaySeconds());
+    }
+    // Token counts are exact in both backends (the calibrated one
+    // holds no token values, but every completed request generated
+    // exactly nOut).
+    for (size_t i = 0; i < results_.size(); ++i)
+        if (results_[i].outcome == RequestOutcome::Completed)
+            stats.totalOutputTokens += requests[results_[i].id].nOut;
+    double makespan = 0.0;
+    for (const NodeState &node : nodes_)
+        for (const ClusterState &cl : node.clusters)
+            makespan = std::max(makespan, cl.clock);
+    stats.makespanSeconds = results_.empty() ? 0.0 : makespan;
+    if (!lat.empty()) {
+        const double count = static_cast<double>(lat.size());
+        stats.p99LatencySeconds = perf::percentile(lat, 0.99);
+        stats.ttftP99Seconds = perf::percentile(ttft, 0.99);
+        stats.queueDelayP99Seconds = perf::percentile(qdelay, 0.99);
+        for (size_t i = 0; i < lat.size(); ++i) {
+            stats.ttftMeanSeconds += ttft[i] / count;
+            stats.queueDelayMeanSeconds += qdelay[i] / count;
+        }
+    }
+    stats.totalFailovers = failovers_;
+    stats.totalRetries = retries_;
+    stats.totalShed = shed_;
+    stats.totalFailed = failed_;
+    stats.requeuedTokens = requeuedTokens_;
+    stats.kvTransfers = kvTransfers_;
+    stats.kvTransferBytes = kvTransferBytes_;
+    stats.kvTransferSeconds = kvTransferSeconds_;
+    stats.eventsProcessed = eventsProcessed_;
+    stats.nodes.resize(nodes_.size());
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+        FleetNodeStats &ns = stats.nodes[n];
+        ns.role = nodes_[n].role;
+        ns.health = nodes_[n].health;
+        ns.requestsServed = nodes_[n].served;
+        ns.requestsRerouted = nodes_[n].rerouted;
+        ns.kvTransfersOut = nodes_[n].kvTransfersOut;
+        ns.kvTransfersIn = nodes_[n].kvTransfersIn;
+        for (const ClusterState &cl : nodes_[n].clusters)
+            ns.busySeconds += cl.busySeconds;
+        ns.utilization =
+            stats.makespanSeconds > 0.0
+                ? ns.busySeconds /
+                      (stats.makespanSeconds *
+                       static_cast<double>(nodes_[n].clusters.size()))
+                : 0.0;
+    }
+    stats.results = std::move(results_);
+    return stats;
+}
+
+}  // namespace dfx

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Fleet-scale serving simulation: N server-equivalent nodes behind a
+ * front-end router, driven by one indexed event queue.
+ *
+ * `DfxServer` models one chassis — a few clusters draining a shared
+ * queue, every scheduling decision found by scanning all clusters for
+ * their next round boundary. That linear scan is fine at chassis
+ * scale and hopeless at fleet scale: the cloud deployment the paper
+ * argues for (§VIII, "serving heavy traffic from millions of users")
+ * needs 10^5–10^6-request sweeps across many nodes. `DfxFleet`
+ * restructures the whole simulation as a discrete-event loop over a
+ * binary-heap event queue (appliance/event_queue.hpp): round
+ * boundaries, request arrivals, fault events and KV-transfer
+ * completions are heap entries popped in deterministic global order,
+ * so per-event cost is O(log outstanding-events) regardless of fleet
+ * size or request count.
+ *
+ * **Front-end router.** Every request enters through the fleet router
+ * at its arrival instant and is placed on a node by policy:
+ * round-robin, least-loaded (fewest in-flight + waiting, ties by node
+ * index), or projected-TTFT (least projected wait from the node's
+ * observed per-slot turnaround). Fail-stops from the fleet-scope
+ * `FaultPlan` (the `cluster` field indexes *nodes* here) displace a
+ * dead node's requests back through the same router under the retry
+ * budget, exactly like `DfxServer` failover but across nodes.
+ *
+ * **Prefill/decode disaggregation** (optional, per-node roles). A
+ * `Prefill` node runs requests only through their summarization
+ * stage; the finished KV cache is then handed to a decode-eligible
+ * node over a modeled PCIe/ring link, charging transfer seconds from
+ * the KV byte count (block-table granularity on paged clusters). The
+ * decode node continues generation from the first token on. The
+ * handoff is pure scheduling: the decode node rebuilds the identical
+ * KV state (charged zero simulated time — the modeled machine moved
+ * bytes, the simulator replays the prompt), so tokens are
+ * bit-identical to a colocated run by construction.
+ *
+ * **Determinism invariant 10 (routing transparency).** For every
+ * routing policy, every topology, and every fault plan that lets a
+ * request complete, the request's tokens are bit-identical to a
+ * serial single-node reference (`DfxAppliance::generate`): routing,
+ * batching, disaggregation and failover decide *when and where* a
+ * request runs, never *what* it generates. The DES runs entirely in
+ * the calling thread of `serve()`, so placement, timestamps and stats
+ * are a pure function of (workload, topology, options) — no host
+ * thread timing anywhere.
+ *
+ * **Two node backends, one scheduler.**
+ *  - *Full*: every node owns real `DfxAppliance` clusters
+ *    (functional or timing-only). This is the reference backend:
+ *    token identity is checked against it.
+ *  - *Calibrated*: rounds charge `RoundCostModel` — a per-batch-size
+ *    linear fit `seconds(B, position) = alpha_B + beta_B * position`
+ *    measured once from timing-only probes of a real cluster. A
+ *    10^5-request Poisson sweep is then pure event arithmetic and
+ *    completes in host seconds; the scheduler code path (router,
+ *    admission, rounds, faults, disaggregation) is shared with the
+ *    full backend, so the calibrated sweep exercises the same logic
+ *    the token-identity tests pin down.
+ */
+#ifndef DFX_APPLIANCE_FLEET_HPP
+#define DFX_APPLIANCE_FLEET_HPP
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "appliance/event_queue.hpp"
+#include "appliance/server.hpp"
+
+namespace dfx {
+
+/** What stage(s) of a request a node serves. */
+enum class FleetNodeRole : uint8_t
+{
+    Both,     ///< colocated prefill + decode (the DfxServer behavior)
+    Prefill,  ///< summarization only; hands finished KV to a decoder
+    Decode,   ///< generation only; receives KV from prefill nodes
+};
+
+const char *toString(FleetNodeRole role);
+
+/** Front-end placement policy for new arrivals (and for decode-node
+ *  selection at each KV handoff). All are deterministic. */
+enum class FleetRoutePolicy : uint8_t
+{
+    RoundRobin,     ///< cycle through eligible nodes in index order
+    LeastLoaded,    ///< fewest in-flight + waiting; ties by node index
+    ProjectedTtft,  ///< least projected wait (observed turnaround)
+};
+
+const char *toString(FleetRoutePolicy policy);
+
+/** Shape of the fleet: `nNodes` nodes of `clustersPerNode` clusters
+ *  each, optionally role-tagged for disaggregation. */
+struct FleetTopology
+{
+    size_t nNodes = 1;
+    size_t clustersPerNode = 1;
+    /** Per-node role; empty = every node serves both stages. */
+    std::vector<FleetNodeRole> roles;
+
+    /** True when any node is stage-pinned. */
+    bool disaggregated() const;
+    /** Fatal on an ill-formed topology (zero sizes, role count
+     *  mismatch, a disaggregated fleet missing either stage). */
+    void validate() const;
+};
+
+/** Fleet serving policy knobs. */
+struct FleetOptions
+{
+    FleetRoutePolicy policy = FleetRoutePolicy::LeastLoaded;
+
+    /**
+     * Fleet-scope fault schedule: `ClusterFailStop::cluster` (and the
+     * slowdown `cluster` field) index *nodes* of the fleet, and a
+     * fail-stop kills the whole node. Displaced requests re-enter the
+     * router; an empty plan leaves the serve bit-identical to a
+     * fault-free fleet.
+     */
+    FaultPlan faultPlan;
+
+    /** Fail-stop re-prefills a request may survive before it surfaces
+     *  as RequestOutcome::Failed (see ServerOptions::retryBudget). */
+    size_t retryBudget = 2;
+
+    /** SLO-aware shedding at round boundaries (off when 0); the
+     *  DfxServer projection rule, applied per node. */
+    double sloTtftBudgetSeconds = 0.0;
+
+    /** Modeled prefill->decode KV handoff link (PCIe-class default,
+     *  matching PcieModel). */
+    double kvLinkBytesPerSec = 16e9;
+    double kvLinkLatencySeconds = 5e-6;
+
+    /** Host wall-clock ceiling for serve(), seconds; 0 disables. A
+     *  wedged event loop fails loudly instead of spinning forever. */
+    double serveDeadlineHostSeconds = 0.0;
+};
+
+/**
+ * Calibrated per-round service model for the fast fleet backend:
+ * `roundSeconds(B, p) = alpha[B-1] + beta[B-1] * p`, a linear fit in
+ * mean KV position per batch size, measured from timing-only
+ * `stepBatch` probes of a real cluster (attention cost is linear in
+ * position; batch amortization is captured per B by construction).
+ */
+struct RoundCostModel
+{
+    size_t kvContexts = 1;  ///< slots per cluster (max batch size)
+    size_t maxSeq = 0;
+    std::vector<double> alpha;  ///< [B-1] intercept, seconds
+    std::vector<double> beta;   ///< [B-1] slope, seconds per position
+    /** Host-link cost parameters (admission upload, retirement
+     *  download), matching PcieModel. */
+    double pcieBytesPerSec = 16e9;
+    double pcieLatencySeconds = 5e-6;
+    /** Resident KV bytes per token (K row + V^T column per layer,
+     *  FP16): 4 * layers * embedding. */
+    uint64_t perTokenKvBytes = 0;
+    /** KV block granularity for transfer byte counts (1 = unpaged). */
+    size_t blockTokens = 1;
+
+    /** Charged seconds of a batched round of `batch` steps at mean KV
+     *  position `meanPosition`. */
+    double roundSeconds(size_t batch, double meanPosition) const;
+    /** Host PCIe charge for `bytes` (latency + bandwidth). */
+    double pcieSeconds(uint64_t bytes) const;
+    /** Fatal unless the model is well-formed and fully fitted. */
+    void validate() const;
+
+    /**
+     * Fits the model by probing a timing-only cluster built from
+     * `config` (functional data planes are never allocated): for each
+     * batch size B in 1..kvContexts, one batched round is measured
+     * near position 0 and one near maxSeq/2, and the two-point fit
+     * gives (alpha_B, beta_B). Deterministic: same config, same model.
+     */
+    static RoundCostModel calibrate(const DfxSystemConfig &config);
+};
+
+/** Per-node counters for one serve. */
+struct FleetNodeStats
+{
+    FleetNodeRole role = FleetNodeRole::Both;
+    ClusterHealth health = ClusterHealth::Healthy;
+    size_t requestsServed = 0;  ///< retired on this node
+    /** Requests this node received through failover rerouting. */
+    size_t requestsRerouted = 0;
+    /** Simulated seconds inside token rounds, summed over clusters. */
+    double busySeconds = 0.0;
+    /** busySeconds / (makespan * clustersPerNode); 0 when empty. */
+    double utilization = 0.0;
+    size_t kvTransfersOut = 0;  ///< prefill handoffs initiated here
+    size_t kvTransfersIn = 0;   ///< handoffs admitted here
+};
+
+/** Result of one fleet serve. */
+struct FleetStats
+{
+    size_t requests = 0;
+    size_t completedRequests = 0;
+    size_t totalOutputTokens = 0;
+    double makespanSeconds = 0.0;
+    double totalLatencySeconds = 0.0;
+    double p99LatencySeconds = 0.0;
+    double ttftMeanSeconds = 0.0;
+    double ttftP99Seconds = 0.0;
+    double queueDelayMeanSeconds = 0.0;
+    double queueDelayP99Seconds = 0.0;
+    size_t totalFailovers = 0;
+    size_t totalRetries = 0;
+    size_t totalShed = 0;
+    size_t totalFailed = 0;
+    size_t requeuedTokens = 0;
+    /** Prefill->decode KV handoffs: count, modeled bytes moved, and
+     *  summed modeled transfer seconds. */
+    size_t kvTransfers = 0;
+    uint64_t kvTransferBytes = 0;
+    double kvTransferSeconds = 0.0;
+    /** Events popped from the indexed queue (DES work measure). */
+    uint64_t eventsProcessed = 0;
+    std::vector<FleetNodeStats> nodes;
+    /**
+     * Per-request outcomes by submission id. `RequestResult::cluster`
+     * holds the *node* that retired the request; `stolen` marks a
+     * failover reroute. In the calibrated backend `tokens` is empty
+     * (token counts are still exact).
+     */
+    std::vector<RequestResult> results;
+
+    double
+    throughputTokensPerSec() const
+    {
+        return makespanSeconds > 0.0
+                   ? static_cast<double>(totalOutputTokens) /
+                         makespanSeconds
+                   : 0.0;
+    }
+
+    double
+    meanLatencySeconds() const
+    {
+        return completedRequests > 0
+                   ? totalLatencySeconds /
+                         static_cast<double>(completedRequests)
+                   : 0.0;
+    }
+};
+
+/**
+ * A fleet of serving nodes behind one front-end router, simulated by
+ * a single-threaded discrete-event loop (see file header). Not
+ * thread-safe; serve() runs in the calling thread.
+ */
+class DfxFleet
+{
+  public:
+    /** Full backend: every node owns `topology.clustersPerNode` real
+     *  appliances built from `config`. Share a weight store through
+     *  the config to keep one weight image fleet-wide. */
+    DfxFleet(const DfxSystemConfig &config, const FleetTopology &topology,
+             FleetOptions options = {});
+
+    /** Calibrated backend: rounds charge `model`; no appliances. */
+    DfxFleet(const RoundCostModel &model, const FleetTopology &topology,
+             FleetOptions options = {});
+
+    DfxFleet(const DfxFleet &) = delete;
+    DfxFleet &operator=(const DfxFleet &) = delete;
+
+    /** Loads the same weights into every cluster of every node (full
+     *  functional backend only). */
+    void loadWeights(const GptWeights &weights);
+
+    /**
+     * Serves `requests` (arrival timestamps relative to t=0) to
+     * completion and returns the epoch's statistics. Resets all
+     * simulated state first, so repeated calls are independent
+     * epochs; results are a pure function of the arguments.
+     */
+    FleetStats serve(const std::vector<ServerRequest> &requests);
+
+    size_t nNodes() const { return nodes_.size(); }
+    size_t clustersPerNode() const { return topology_.clustersPerNode; }
+    bool calibratedBackend() const { return calibrated_; }
+    const FleetTopology &topology() const { return topology_; }
+    const FleetOptions &options() const { return options_; }
+
+  private:
+    /** A request anywhere in the fleet: waiting, in flight, or in
+     *  KV transit between nodes. */
+    struct Slot
+    {
+        uint64_t id = 0;
+        ServerRequest request;
+        size_t node = 0;        ///< current placement
+        bool rerouted = false;  ///< moved by failover at least once
+        /** Earliest simulated instant the slot may be admitted at its
+         *  current node (arrival; transfer completion; failure time
+         *  for displaced requests). */
+        double readySim = 0.0;
+        KvLease lease;  ///< full backend, while in flight
+        size_t fed = 0;
+        int32_t next = -1;
+        std::vector<int32_t> out;  ///< full backend
+        size_t outCount = 0;       ///< tokens generated (both backends)
+        size_t position = 0;       ///< KV position (calibrated backend)
+        size_t retries = 0;
+        bool handedOff = false;  ///< decode stage, KV arrived by wire
+        double admitSim = 0.0;
+        double firstTokenSim = -1.0;
+    };
+
+    struct ClusterState
+    {
+        std::unique_ptr<DfxAppliance> appliance;  ///< null calibrated
+        std::vector<Slot> inflight;
+        double clock = 0.0;
+        bool roundScheduled = false;
+        double busySeconds = 0.0;
+    };
+
+    struct NodeState
+    {
+        FleetNodeRole role = FleetNodeRole::Both;
+        ClusterHealth health = ClusterHealth::Healthy;
+        std::vector<ClusterState> clusters;
+        /** Waiting requests, sorted by (readySim, id). */
+        std::deque<Slot> pending;
+        size_t served = 0;
+        double serviceSum = 0.0;
+        size_t rerouted = 0;
+        size_t kvTransfersOut = 0;
+        size_t kvTransfersIn = 0;
+    };
+
+    void construct(const FleetTopology &topology,
+                   const DfxSystemConfig *config);
+    void resetEpoch();
+    /** Slots per cluster: kvContexts of the backing config/model. */
+    size_t maxInFlight() const { return maxInFlight_; }
+    size_t nodeLoad(size_t n) const;
+    /** Router: pick a healthy node eligible for `role` work by the
+     *  configured policy; nNodes() when none qualifies. `decode`
+     *  selects decode-eligible nodes (KV handoff), otherwise
+     *  prefill-eligible (new arrivals, failover). */
+    size_t routeTarget(bool decode);
+    /** Insert into `n`'s pending queue (sorted) and make sure each of
+     *  its clusters has a round scheduled to pick the work up. */
+    void enqueueOnNode(size_t n, Slot slot);
+    void scheduleRound(size_t n, size_t c, double t);
+    void handleArrival(const FleetEvent &ev);
+    void handleFailStop(const FleetEvent &ev);
+    void handleTransferDone(const FleetEvent &ev);
+    void handleRound(const FleetEvent &ev);
+    bool tryAdmit(size_t n, size_t c);
+    void shedOverBudget(size_t n, double t);
+    /** Begin the KV handoff of a just-prefilled slot. */
+    void startHandoff(size_t n, size_t c, Slot slot, double t);
+    void recordTerminal(Slot slot, size_t n, RequestOutcome outcome,
+                        double t);
+    void retire(size_t n, size_t c, Slot slot);
+    /** Modeled resident KV bytes of a `tokens`-token context, at
+     *  block granularity when paged. */
+    uint64_t kvBytes(size_t tokens) const;
+    double pcieSeconds(uint64_t bytes) const;
+    std::string wedgeReport() const;
+
+    FleetTopology topology_;
+    FleetOptions options_;
+    bool calibrated_ = false;
+    RoundCostModel model_;  ///< calibrated backend only
+    size_t maxInFlight_ = 1;
+    uint64_t perTokenKvBytes_ = 0;
+    size_t kvBlockTokens_ = 1;
+
+    /** Deque, not vector: NodeState holds a std::deque (whose move
+     *  ctor is not noexcept on libstdc++), and deque growth never
+     *  relocates elements, so no move/copy is ever required. */
+    std::deque<NodeState> nodes_;
+    FleetEventQueue queue_;
+    /** Slots mid-handoff, keyed by request id (deterministic order). */
+    std::map<uint64_t, Slot> transit_;
+    std::vector<RequestResult> results_;
+    std::vector<bool> failStopApplied_;
+    uint64_t submitted_ = 0;
+    uint64_t completed_ = 0;
+    size_t failovers_ = 0;
+    size_t retries_ = 0;
+    size_t shed_ = 0;
+    size_t failed_ = 0;
+    size_t requeuedTokens_ = 0;
+    size_t kvTransfers_ = 0;
+    uint64_t kvTransferBytes_ = 0;
+    double kvTransferSeconds_ = 0.0;
+    uint64_t eventsProcessed_ = 0;
+    size_t rrArrival_ = 0;  ///< round-robin cursors (deterministic)
+    size_t rrDecode_ = 0;
+};
+
+}  // namespace dfx
+
+#endif  // DFX_APPLIANCE_FLEET_HPP

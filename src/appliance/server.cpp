@@ -38,6 +38,8 @@
  */
 #include "appliance/server.hpp"
 
+#include "perf/percentile.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -45,21 +47,6 @@
 #include <limits>
 
 namespace dfx {
-
-double
-interpolatedPercentile(std::vector<double> values, double q)
-{
-    if (values.empty())
-        return 0.0;
-    std::sort(values.begin(), values.end());
-    q = std::min(1.0, std::max(0.0, q));
-    const double pos = q * static_cast<double>(values.size() - 1);
-    const size_t lo = static_cast<size_t>(pos);
-    if (lo + 1 >= values.size())
-        return values.back();
-    const double frac = pos - static_cast<double>(lo);
-    return values[lo] + frac * (values[lo + 1] - values[lo]);
-}
 
 DfxServer::DfxServer(const DfxSystemConfig &config, size_t n_clusters,
                      ServerOptions options)
@@ -701,10 +688,9 @@ DfxServer::drain()
             : *std::max_element(simTime_.begin(), simTime_.end());
     if (!lat.empty()) {
         const double n = static_cast<double>(lat.size());
-        stats.p99LatencySeconds = interpolatedPercentile(lat, 0.99);
-        stats.ttftP99Seconds = interpolatedPercentile(ttft, 0.99);
-        stats.queueDelayP99Seconds =
-            interpolatedPercentile(qdelay, 0.99);
+        stats.p99LatencySeconds = perf::percentile(lat, 0.99);
+        stats.ttftP99Seconds = perf::percentile(ttft, 0.99);
+        stats.queueDelayP99Seconds = perf::percentile(qdelay, 0.99);
         for (size_t i = 0; i < lat.size(); ++i) {
             stats.ttftMeanSeconds += ttft[i] / n;
             stats.queueDelayMeanSeconds += qdelay[i] / n;

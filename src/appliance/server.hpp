@@ -195,16 +195,6 @@ struct ClusterEpochStats
     ClusterHealth health = ClusterHealth::Healthy;
 };
 
-/**
- * Linearly-interpolated percentile of a sample (numpy's "linear"
- * method): rank q*(n-1) interpolated between the two neighbouring
- * order statistics. Unlike index-clamping, the result moves
- * continuously with the sample values, so p99 is stable for small
- * request counts (n=3 does not silently degenerate to the maximum).
- * `values` need not be sorted; returns 0.0 for an empty sample.
- */
-double interpolatedPercentile(std::vector<double> values, double q);
-
 /** Result of serving a batch of requests (one drain epoch). */
 struct ServerStats
 {
@@ -218,7 +208,7 @@ struct ServerStats
     /** Sum of individual request service latencies. */
     double totalLatencySeconds = 0.0;
     /** 99th-percentile service latency across the epoch's requests
-     *  (interpolated, see interpolatedPercentile). */
+     *  (interpolated, see perf::percentile). */
     double p99LatencySeconds = 0.0;
     /** Time-to-first-token (arrival -> first generated token). */
     double ttftMeanSeconds = 0.0;

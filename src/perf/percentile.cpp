@@ -1,0 +1,22 @@
+#include "perf/percentile.hpp"
+
+#include <algorithm>
+
+namespace dfx::perf {
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    q = std::min(1.0, std::max(0.0, q));
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    if (lo + 1 >= values.size())
+        return values.back();
+    const double frac = pos - static_cast<double>(lo);
+    return values[lo] + frac * (values[lo + 1] - values[lo]);
+}
+
+}  // namespace dfx::perf

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared percentile estimator for serving statistics.
+ *
+ * One definition used by DfxServer, DfxFleet, and the benches, so the
+ * p99 figures in ServerStats, FleetStats, and the BENCH_*.json records
+ * are computed identically and can be compared across layers.
+ */
+#ifndef DFX_PERF_PERCENTILE_HPP
+#define DFX_PERF_PERCENTILE_HPP
+
+#include <vector>
+
+namespace dfx::perf {
+
+/**
+ * Linearly-interpolated percentile of a sample (numpy's "linear"
+ * method): rank q*(n-1) interpolated between the two neighbouring
+ * order statistics. Unlike index-clamping, the result moves
+ * continuously with the sample values, so p99 is stable for small
+ * request counts (n=3 does not silently degenerate to the maximum).
+ * `values` need not be sorted; returns 0.0 for an empty sample and
+ * clamps `q` into [0, 1].
+ */
+double percentile(std::vector<double> values, double q);
+
+}  // namespace dfx::perf
+
+#endif  // DFX_PERF_PERCENTILE_HPP

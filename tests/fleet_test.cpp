@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Fleet serving tests: router determinism (same seed + topology =>
+ * bit-identical placement and tokens), determinism invariant 10
+ * (every routing policy yields tokens bit-identical to a serial
+ * single-node reference), disaggregated == colocated token identity
+ * with exact KV-transfer accounting, fleet fail-stop rerouting that
+ * completes every request, deterministic same-instant tie-breaks, a
+ * calibrated 10^4-request smoke sweep under a wall-clock ceiling, and
+ * the zero-request epoch with faults armed.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "appliance/fleet.hpp"
+#include "appliance/workload.hpp"
+#include "model/weights.hpp"
+
+namespace dfx {
+namespace {
+
+/** Functional toy config with a shared weight image: every appliance
+ *  built from it (fleet nodes, serial reference) maps the same
+ *  weights, so token comparisons are meaningful and cheap. */
+DfxSystemConfig
+functionalConfig(size_t kv_contexts)
+{
+    DfxSystemConfig cfg;
+    cfg.model = GptConfig::toy();
+    cfg.nCores = 2;
+    cfg.functional = true;
+    cfg.kvContexts = kv_contexts;
+    cfg.weightStore = makeWeightStore(cfg, 901);
+    return cfg;
+}
+
+/** Distinct deterministic prompts within the toy vocab (97), arrivals
+ *  staggered so admission interleaves across rounds. */
+std::vector<ServerRequest>
+distinctRequests(size_t n, size_t n_in, size_t n_out,
+                 double inter_arrival = 0.0)
+{
+    std::vector<ServerRequest> reqs;
+    for (size_t i = 0; i < n; ++i) {
+        ServerRequest r;
+        for (size_t j = 0; j < n_in; ++j)
+            r.prompt.push_back(
+                static_cast<int32_t>((i * 31 + j * 7 + 3) % 97));
+        r.nOut = n_out;
+        r.arrivalSeconds = inter_arrival * static_cast<double>(i);
+        reqs.push_back(std::move(r));
+    }
+    return reqs;
+}
+
+/** The invariant-10 reference: each request generated alone on one
+ *  appliance sharing the fleet's weight image. */
+std::vector<std::vector<int32_t>>
+serialReference(const DfxSystemConfig &cfg,
+                const std::vector<ServerRequest> &reqs)
+{
+    DfxAppliance serial(cfg);
+    std::vector<std::vector<int32_t>> tokens;
+    for (const ServerRequest &r : reqs)
+        tokens.push_back(serial.generate(r.prompt, r.nOut).tokens);
+    return tokens;
+}
+
+TEST(Fleet, IdenticalRunsAreBitIdentical)
+{
+    // Same config, topology, options and workload => identical
+    // placement, timestamps, tokens and event counts — across two
+    // fleet instances AND across epochs of the same instance.
+    const DfxSystemConfig cfg = functionalConfig(2);
+    FleetTopology topo;
+    topo.nNodes = 2;
+    const auto reqs = distinctRequests(6, 5, 8, 1e-4);
+
+    DfxFleet a(cfg, topo), b(cfg, topo);
+    FleetStats sa = a.serve(reqs);
+    FleetStats sb = b.serve(reqs);
+    FleetStats sa2 = a.serve(reqs);  // epoch reset determinism
+
+    for (const FleetStats *s : {&sb, &sa2}) {
+        ASSERT_EQ(s->results.size(), sa.results.size());
+        EXPECT_EQ(s->eventsProcessed, sa.eventsProcessed);
+        EXPECT_DOUBLE_EQ(s->makespanSeconds, sa.makespanSeconds);
+        for (size_t i = 0; i < sa.results.size(); ++i) {
+            const RequestResult &x = sa.results[i];
+            const RequestResult &y = s->results[i];
+            EXPECT_EQ(y.id, x.id);
+            EXPECT_EQ(y.cluster, x.cluster) << "placement diverged";
+            EXPECT_EQ(y.stolen, x.stolen);
+            EXPECT_EQ(y.tokens, x.tokens);
+            EXPECT_DOUBLE_EQ(y.admitSimSeconds, x.admitSimSeconds);
+            EXPECT_DOUBLE_EQ(y.firstTokenSimSeconds,
+                             x.firstTokenSimSeconds);
+            EXPECT_DOUBLE_EQ(y.finishSimSeconds, x.finishSimSeconds);
+        }
+    }
+}
+
+TEST(Fleet, EveryPolicyMatchesSerialReference)
+{
+    // Determinism invariant 10: routing decides where and when a
+    // request runs, never what it generates.
+    const DfxSystemConfig cfg = functionalConfig(2);
+    const auto reqs = distinctRequests(6, 4, 8, 5e-5);
+    const auto expected = serialReference(cfg, reqs);
+
+    for (FleetRoutePolicy policy : {FleetRoutePolicy::RoundRobin,
+                                    FleetRoutePolicy::LeastLoaded,
+                                    FleetRoutePolicy::ProjectedTtft}) {
+        FleetTopology topo;
+        topo.nNodes = 2;
+        FleetOptions opt;
+        opt.policy = policy;
+        DfxFleet fleet(cfg, topo, opt);
+        FleetStats stats = fleet.serve(reqs);
+        ASSERT_EQ(stats.results.size(), reqs.size());
+        EXPECT_EQ(stats.completedRequests, reqs.size());
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            EXPECT_EQ(stats.results[i].id, i);
+            EXPECT_EQ(stats.results[i].outcome,
+                      RequestOutcome::Completed);
+            EXPECT_EQ(stats.results[i].tokens, expected[i])
+                << "request " << i << " diverged under "
+                << toString(policy);
+        }
+    }
+}
+
+TEST(Fleet, DisaggregatedMatchesColocatedTokens)
+{
+    const DfxSystemConfig cfg = functionalConfig(2);
+    const size_t n = 6, n_in = 6, n_out = 8;
+    const auto reqs = distinctRequests(n, n_in, n_out, 1e-4);
+    const auto expected = serialReference(cfg, reqs);
+
+    FleetTopology colocated;
+    colocated.nNodes = 2;
+    DfxFleet co(cfg, colocated);
+    FleetStats co_stats = co.serve(reqs);
+    EXPECT_EQ(co_stats.kvTransfers, 0u);
+    EXPECT_EQ(co_stats.kvTransferBytes, 0u);
+
+    FleetTopology disagg;
+    disagg.nNodes = 2;
+    disagg.roles = {FleetNodeRole::Prefill, FleetNodeRole::Decode};
+    ASSERT_TRUE(disagg.disaggregated());
+    DfxFleet pd(cfg, disagg);
+    FleetStats pd_stats = pd.serve(reqs);
+
+    ASSERT_EQ(pd_stats.results.size(), n);
+    EXPECT_EQ(pd_stats.completedRequests, n);
+    for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(pd_stats.results[i].tokens, expected[i])
+            << "request " << i << " diverged under disaggregation";
+        EXPECT_EQ(pd_stats.results[i].tokens,
+                  co_stats.results[i].tokens);
+        // Decode (and thus retirement) happens on the decode node.
+        EXPECT_EQ(pd_stats.results[i].cluster, 1u);
+    }
+
+    // Exact transfer accounting: one handoff per request, bytes =
+    // prompt tokens * 4 * layers * embedding (unpaged => block
+    // granularity 1), strictly positive modeled wire time.
+    const GptConfig &m = cfg.model;
+    const uint64_t per_token =
+        static_cast<uint64_t>(4 * m.layers * m.embedding);
+    EXPECT_EQ(pd_stats.kvTransfers, n);
+    EXPECT_EQ(pd_stats.kvTransferBytes, n * n_in * per_token);
+    EXPECT_GT(pd_stats.kvTransferSeconds, 0.0);
+    EXPECT_EQ(pd_stats.nodes[0].kvTransfersOut, n);
+    EXPECT_EQ(pd_stats.nodes[1].kvTransfersIn, n);
+    EXPECT_EQ(pd_stats.nodes[0].kvTransfersIn, 0u);
+    EXPECT_EQ(pd_stats.nodes[1].kvTransfersOut, 0u);
+}
+
+TEST(Fleet, FailStopReroutesAndCompletesEveryRequest)
+{
+    const DfxSystemConfig cfg = functionalConfig(2);
+    const auto reqs = distinctRequests(8, 4, 10, 1e-5);
+    const auto expected = serialReference(cfg, reqs);
+
+    FleetTopology topo;
+    topo.nNodes = 2;
+    DfxFleet baseline(cfg, topo);
+    const double makespan = baseline.serve(reqs).makespanSeconds;
+    ASSERT_GT(makespan, 0.0);
+
+    // Kill node 0 mid-serve: before the fault the run is identical to
+    // the baseline, so node 0 still holds work at 40% of its makespan.
+    FleetOptions opt;
+    opt.faultPlan.failStops.push_back({0, 0.4 * makespan});
+    DfxFleet fleet(cfg, topo, opt);
+    FleetStats stats = fleet.serve(reqs);
+
+    EXPECT_EQ(stats.completedRequests, reqs.size());
+    EXPECT_EQ(stats.totalFailed, 0u);
+    EXPECT_GE(stats.totalFailovers, 1u);
+    EXPECT_EQ(stats.nodes[0].health, ClusterHealth::Failed);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(stats.results[i].tokens, expected[i])
+            << "request " << i << " diverged across failover";
+        // Everything that retired after the fault retired on node 1.
+        if (stats.results[i].finishSimSeconds > 0.4 * makespan) {
+            EXPECT_EQ(stats.results[i].cluster, 1u);
+        }
+    }
+    // Rerouted requests surface in the per-node and stolen counters.
+    size_t stolen = 0;
+    for (const RequestResult &r : stats.results)
+        stolen += r.stolen ? 1 : 0;
+    EXPECT_EQ(stolen, stats.nodes[1].requestsRerouted);
+    EXPECT_GE(stolen, 1u);
+}
+
+TEST(Fleet, SameInstantArrivalsPlaceDeterministically)
+{
+    // Four arrivals at the exact same instant: the event queue's
+    // (kind, node, seq) tie-break fires them in submission order, so
+    // round-robin placement is the alternating pattern — on every run.
+    const DfxSystemConfig cfg = functionalConfig(2);
+    const auto reqs = distinctRequests(4, 4, 6, 0.0);
+    FleetTopology topo;
+    topo.nNodes = 2;
+    FleetOptions opt;
+    opt.policy = FleetRoutePolicy::RoundRobin;
+
+    DfxFleet fleet(cfg, topo, opt);
+    FleetStats first = fleet.serve(reqs);
+    FleetStats second = fleet.serve(reqs);
+    ASSERT_EQ(first.results.size(), 4u);
+    for (size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(first.results[i].cluster, i % 2)
+            << "same-instant arrival " << i
+            << " broke round-robin order";
+        EXPECT_EQ(second.results[i].cluster, first.results[i].cluster);
+    }
+}
+
+TEST(Fleet, CalibratedSweepCompletesTenThousandRequests)
+{
+    // The fleet-scale smoke test: calibrate a round-cost model from a
+    // timing-only toy cluster, then sweep 10^4 Poisson requests over
+    // a 4-node x 2-cluster fleet. The DES must finish well inside the
+    // wall-clock ceiling (the bench runs 10x this volume).
+    DfxSystemConfig cal;
+    cal.model = GptConfig::toy();
+    cal.nCores = 2;
+    cal.kvContexts = 4;
+    const RoundCostModel model = RoundCostModel::calibrate(cal);
+    EXPECT_EQ(model.alpha.size(), 4u);
+    EXPECT_GT(model.roundSeconds(4, 16.0), model.roundSeconds(1, 16.0));
+
+    WorkloadSpec spec;
+    spec.nRequests = 10000;
+    spec.nIn = 8;
+    spec.nOut = 16;
+    spec.vocab = 97;
+    spec.seed = 7;
+    const auto reqs = poissonWorkload(spec, 2000.0);
+
+    FleetTopology topo;
+    topo.nNodes = 4;
+    topo.clustersPerNode = 2;
+    FleetOptions opt;
+    opt.serveDeadlineHostSeconds = 30.0;
+    DfxFleet fleet(model, topo, opt);
+
+    const auto start = std::chrono::steady_clock::now();
+    FleetStats stats = fleet.serve(reqs);
+    const std::chrono::duration<double> host =
+        std::chrono::steady_clock::now() - start;
+
+    EXPECT_EQ(stats.requests, spec.nRequests);
+    EXPECT_EQ(stats.completedRequests, spec.nRequests);
+    EXPECT_EQ(stats.totalOutputTokens, spec.nRequests * spec.nOut);
+    EXPECT_GT(stats.makespanSeconds, 0.0);
+    EXPECT_GE(stats.eventsProcessed, spec.nRequests);
+    EXPECT_LT(host.count(), 30.0) << "DES too slow for fleet scale";
+    // Every node took a share of the load.
+    for (const FleetNodeStats &node : stats.nodes)
+        EXPECT_GT(node.requestsServed, 0u);
+}
+
+TEST(Fleet, ZeroRequestServeWithFaultsArmedReturnsEmptyStats)
+{
+    const DfxSystemConfig cfg = functionalConfig(2);
+    FleetTopology topo;
+    topo.nNodes = 2;
+    FleetOptions opt;
+    opt.faultPlan.failStops.push_back({0, 0.0});
+    opt.faultPlan.failStops.push_back({1, 1.0});
+    DfxFleet fleet(cfg, topo, opt);
+    FleetStats stats = fleet.serve({});
+    EXPECT_EQ(stats.requests, 0u);
+    EXPECT_EQ(stats.completedRequests, 0u);
+    EXPECT_EQ(stats.totalOutputTokens, 0u);
+    EXPECT_DOUBLE_EQ(stats.makespanSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(stats.throughputTokensPerSec(), 0.0);
+    EXPECT_EQ(stats.eventsProcessed, 0u);
+    // The armed plan must not wedge the next (real) epoch either.
+    FleetStats real = fleet.serve(distinctRequests(3, 4, 6));
+    EXPECT_EQ(real.completedRequests + real.totalFailed, 3u);
+}
+
+}  // namespace
+}  // namespace dfx

@@ -6,6 +6,7 @@
 
 #include "perf/cost.hpp"
 #include "perf/energy.hpp"
+#include "perf/percentile.hpp"
 #include "perf/report.hpp"
 #include "perf/resource.hpp"
 
@@ -91,6 +92,23 @@ TEST(ResourceModel, D64L16IsCheapestEqualThroughputPoint)
     EXPECT_GT(b.total().ff, c.total().ff);
     // DSP stays roughly constant (same MAC count).
     EXPECT_NEAR(a.total().dsp / c.total().dsp, 1.0, 0.1);
+}
+
+TEST(Percentile, InterpolatedPercentileIsStableForSmallSamples)
+{
+    // Regression: p99 used to index-clamp to the maximum, so with
+    // n=3 it reported the max outright. The interpolated helper
+    // blends the neighbouring order statistics instead.
+    EXPECT_NEAR(perf::percentile({1.0, 2.0, 3.0}, 0.99), 2.98, 1e-12);
+    EXPECT_NEAR(perf::percentile({3.0, 1.0, 2.0}, 0.5), 2.0,
+                1e-12);  // unsorted input is sorted internally
+    EXPECT_DOUBLE_EQ(perf::percentile({1.0, 2.0, 3.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(perf::percentile({1.0, 2.0, 3.0}, 1.0), 3.0);
+    EXPECT_DOUBLE_EQ(perf::percentile({7.5}, 0.99), 7.5);
+    EXPECT_DOUBLE_EQ(perf::percentile({}, 0.99), 0.0);
+    // Out-of-range quantiles clamp instead of indexing out of bounds.
+    EXPECT_DOUBLE_EQ(perf::percentile({1.0, 2.0}, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(perf::percentile({1.0, 2.0}, 1.5), 2.0);
 }
 
 TEST(Report, TableRendersAligned)

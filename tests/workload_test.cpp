@@ -87,6 +87,36 @@ TEST(Workload, PoissonRateExactlyRescalesOneArrivalPattern)
     }
 }
 
+TEST(Workload, PoissonRescalingHoldsForPerNodeSplitStreams)
+{
+    // A fleet front-end that splits one Poisson stream across nodes
+    // (here: request i to node i mod N) must keep the rescaling
+    // property per sub-stream: node n's k-th arrival at `rate` is its
+    // k-th arrival at unit rate divided by `rate`, bit-exactly. A
+    // TTFT-vs-load sweep therefore stresses every node with one
+    // traffic pattern at different intensities, not N new patterns.
+    const size_t n_nodes = 4;
+    auto unit = poissonWorkload(spec(40, 13), 1.0);
+    for (double rate : {3.0, 64.0, 9.7}) {
+        auto scaled = poissonWorkload(spec(40, 13), rate);
+        for (size_t node = 0; node < n_nodes; ++node) {
+            for (size_t i = node; i < unit.size(); i += n_nodes) {
+                EXPECT_EQ(unit[i].prompt, scaled[i].prompt);
+                EXPECT_DOUBLE_EQ(scaled[i].arrivalSeconds,
+                                 unit[i].arrivalSeconds / rate)
+                    << "node " << node << " rate " << rate
+                    << " request " << i;
+            }
+            // The sub-stream stays arrival-ordered after the split.
+            for (size_t i = node + n_nodes; i < scaled.size();
+                 i += n_nodes) {
+                EXPECT_GE(scaled[i].arrivalSeconds,
+                          scaled[i - n_nodes].arrivalSeconds);
+            }
+        }
+    }
+}
+
 TEST(Workload, PromptIdsStayWithinVocabulary)
 {
     auto reqs = poissonWorkload(spec(50, 5), 100.0);
