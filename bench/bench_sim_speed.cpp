@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "numeric/simd.hpp"
 #include "perf/report.hpp"
+#include "perf/trace.hpp"
 
 using namespace dfx;
 
@@ -207,6 +209,60 @@ main()
     std::printf("%s\n", t.render().c_str());
     std::printf("tokens identical across all thread counts.\n\n");
 
+    // SIMD kernel A/B at 1 host thread: rerun with the scalar
+    // reference kernels forced and compare. Tokens must be
+    // bit-identical whichever way dispatch resolved (the kernel
+    // equivalence contract, docs/ARCHITECTURE.md).
+    const simd::Kernel active_kernel = simd::activeKernel();
+    Sample scalarS = samples[0];
+    const bool have_vector = active_kernel != simd::Kernel::kScalar;
+    if (have_vector) {
+        const simd::Kernel prev =
+            simd::setKernelForTesting(simd::Kernel::kScalar);
+        scalarS = run(store, n_cores, 1, n_in, n_out);
+        simd::setKernelForTesting(prev);
+        if (scalarS.tokens != samples[0].tokens) {
+            std::fprintf(stderr, "FATAL: scalar-kernel tokens diverge "
+                                 "from vector-kernel tokens\n");
+            return 1;
+        }
+        std::printf("simd A/B (1 host thread, tokens identical):\n");
+        Table st({"kernel", "decode steps/s", "speedup"});
+        st.addRow({"scalar", fmt(scalarS.stepsPerSec, 3), "1.00x"});
+        st.addRow({simd::kernelName(active_kernel),
+                   fmt(samples[0].stepsPerSec, 3),
+                   fmt(samples[0].stepsPerSec / scalarS.stepsPerSec, 2) +
+                       "x"});
+        std::printf("%s\n", st.render().c_str());
+    } else {
+        std::printf("simd: %s dispatch (no vector kernel on this "
+                    "host/build)\n\n",
+                    simd::kernelName(active_kernel));
+    }
+
+    // With DFX_TRACE set, quote the measured per-unit shares from the
+    // timeline profiler (this is the number the SIMD work is aimed
+    // by; the trace file itself is written at exit).
+    if (perf::traceEnabled()) {
+        double unit_total = 0.0;
+        std::vector<perf::TraceTotal> totals = perf::traceTotals();
+        for (const perf::TraceTotal &tt : totals)
+            if (tt.category == "unit")
+                unit_total += tt.seconds;
+        if (unit_total > 0) {
+            std::printf("trace unit shares (all runs so far):\n");
+            for (const perf::TraceTotal &tt : totals) {
+                if (tt.category != "unit")
+                    continue;
+                std::printf("  %-4s %6.2f%%  (%.3fs over %llu events)\n",
+                            tt.name.c_str(),
+                            100.0 * tt.seconds / unit_total, tt.seconds,
+                            static_cast<unsigned long long>(tt.count));
+            }
+            std::printf("\n");
+        }
+    }
+
     // Program-cache A/B at 1 host thread: same workload with fresh
     // per-token codegen. Tokens must not move; only host time may.
     const Sample fresh =
@@ -275,6 +331,22 @@ main()
     std::fprintf(f, "  \"n_cores\": %zu,\n", n_cores);
     std::fprintf(f, "  \"workload\": {\"n_in\": %zu, \"n_out\": %zu},\n",
                  n_in, n_out);
+    // Active FP16 kernel and the scalar-vs-vector A/B: check_bench.py
+    // compares the headline steps/s only against a baseline recorded
+    // with the same kernel, and the scalar reference always against
+    // scalar.
+    std::fprintf(f, "  \"simd\": {\n");
+    std::fprintf(f, "    \"kernel\": \"%s\",\n",
+                 simd::kernelName(active_kernel));
+    std::fprintf(f, "    \"scalar_steps_per_sec\": %.4f%s\n",
+                 scalarS.stepsPerSec, have_vector ? "," : "");
+    if (have_vector) {
+        std::fprintf(f, "    \"vector_steps_per_sec\": %.4f,\n",
+                     samples[0].stepsPerSec);
+        std::fprintf(f, "    \"speedup\": %.4f\n",
+                     samples[0].stepsPerSec / scalarS.stepsPerSec);
+    }
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"weight_image_bytes\": %llu,\n",
                  static_cast<unsigned long long>(store->imageBytes()));
     std::fprintf(f, "  \"peak_rss_bytes\": %llu,\n",

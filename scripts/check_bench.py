@@ -5,7 +5,11 @@ Runs the host-perf benches (``bench_sim_speed``, ``bench_serving``,
 ``bench_fleet``) in the build directory, compares the fresh numbers
 against the committed ``BENCH_*.json`` baselines at the repo root, and
 fails on a steps-per-second (or tokens-per-second) regression beyond
-the threshold. The sim-speed record also carries the program-cache A/B
+the threshold. Sim-speed host numbers are gated like-for-like on the
+SIMD kernel (``simd`` section): the forced-scalar A/B steps/sec is
+compared on every machine, while the headline sweep and the vector
+number are compared only when the fresh run resolved the same kernel
+as the baseline. The sim-speed record also carries the program-cache A/B
 (``codegen``: warm cache hit rate >= 0.95, cached steps/sec vs.
 baseline, and the timing-only codegen share at most half the
 fresh-codegen share). The serving record is also checked for a non-monotonic
@@ -99,22 +103,68 @@ def check_metric_lower_better(name: str, base: float, fresh: float,
                         f"(baseline {base:.4f})")
 
 
+def simd_kernel(record: dict) -> str:
+    """Kernel the record's headline numbers were measured with.
+    Records predating the SIMD dispatch are scalar by construction."""
+    return record.get("simd", {}).get("kernel", "scalar")
+
+
+def check_simd(base: dict, fresh: dict, threshold: float,
+               failures: list) -> None:
+    """SIMD A/B gate (``simd`` section): the forced-scalar steps/sec is
+    the one host-speed number that is comparable on every machine and
+    under every dispatch outcome, so it is gated unconditionally.
+    The vector number is gated only when both records ran the same
+    vector kernel (a scalar-only host or a DFX_FORCE_SCALAR=1 CI leg
+    legitimately has none)."""
+    print("bench_sim_speed simd (kernel A/B):")
+    b, f = base.get("simd"), fresh.get("simd")
+    if b is None:
+        return
+    if f is None:
+        failures.append("simd: fresh JSON lacks the 'simd' section "
+                        "the baseline has")
+        return
+    print(f"  kernel: baseline {b['kernel']}, fresh {f['kernel']}")
+    check_metric("simd forced-scalar steps/sec",
+                 b["scalar_steps_per_sec"], f["scalar_steps_per_sec"],
+                 threshold, failures)
+    if b["kernel"] == f["kernel"] and "vector_steps_per_sec" in b:
+        if "vector_steps_per_sec" not in f:
+            failures.append(f"simd: fresh JSON lacks the vector A/B "
+                            f"for kernel {f['kernel']}")
+        else:
+            check_metric(f"simd {f['kernel']} steps/sec",
+                         b["vector_steps_per_sec"],
+                         f["vector_steps_per_sec"], threshold, failures)
+    elif b["kernel"] != f["kernel"]:
+        print(f"  (kernels differ — vector A/B not compared)")
+
+
 def check_sim_speed(base: dict, fresh: dict, threshold: float,
-                    failures: list) -> None:
+                    failures: list, like_for_like: bool) -> None:
     """Host steps/sec: machine-dependent, so CI passes a looser
-    --host-threshold than the local default."""
+    --host-threshold than the local default. The headline sweep is
+    compared only like-for-like (fresh kernel == baseline kernel);
+    a forced-scalar or scalar-only-host run is gated through the
+    ``simd`` section's scalar A/B number instead."""
     print("bench_sim_speed (host decode steps/sec):")
-    fresh_by_threads = {e["host_threads"]: e["steps_per_sec"]
-                        for e in fresh["decode_steps_per_sec"]}
-    for entry in base["decode_steps_per_sec"]:
-        threads = entry["host_threads"]
-        if threads not in fresh_by_threads:
-            failures.append(f"sim_speed: no fresh sample for "
-                            f"{threads} host threads")
-            continue
-        check_metric(f"steps/sec @ {threads} host threads",
-                     entry["steps_per_sec"], fresh_by_threads[threads],
-                     threshold, failures)
+    if not like_for_like:
+        print(f"  (baseline kernel {simd_kernel(base)} != fresh kernel "
+              f"{simd_kernel(fresh)} — sweep gated via the simd "
+              f"section's scalar A/B instead)")
+    else:
+        fresh_by_threads = {e["host_threads"]: e["steps_per_sec"]
+                            for e in fresh["decode_steps_per_sec"]}
+        for entry in base["decode_steps_per_sec"]:
+            threads = entry["host_threads"]
+            if threads not in fresh_by_threads:
+                failures.append(f"sim_speed: no fresh sample for "
+                                f"{threads} host threads")
+                continue
+            check_metric(f"steps/sec @ {threads} host threads",
+                         entry["steps_per_sec"],
+                         fresh_by_threads[threads], threshold, failures)
     # Peak RSS rides next to steps/sec so weight-image duplication
     # (per-core or per-appliance weight copies creeping back in)
     # cannot regress silently. Lower is better; the host threshold
@@ -130,7 +180,7 @@ def check_sim_speed(base: dict, fresh: dict, threshold: float,
 
 
 def check_codegen(base: dict, fresh: dict, host_threshold: float,
-                  failures: list) -> None:
+                  failures: list, like_for_like: bool) -> None:
     """Program-cache gate (``codegen`` section): the warm decode loop
     must run from the template cache (hit rate >= 0.95 — below that,
     templates are being recompiled per step and the compile-once/
@@ -158,10 +208,14 @@ def check_codegen(base: dict, fresh: dict, host_threshold: float,
                 f"{f['warm_hit_rate']:.3f} below the 0.95 floor "
                 f"(templates are being recompiled inside the decode "
                 f"loop)")
-        check_metric(f"codegen {mode} cached steps/sec",
-                     base[mode]["cache_enabled_steps_per_sec"],
-                     f["cache_enabled_steps_per_sec"], host_threshold,
-                     failures)
+        if like_for_like:
+            check_metric(f"codegen {mode} cached steps/sec",
+                         base[mode]["cache_enabled_steps_per_sec"],
+                         f["cache_enabled_steps_per_sec"], host_threshold,
+                         failures)
+        else:
+            print(f"  (kernels differ — {mode} cached steps/sec not "
+                  f"compared; hit-rate and share gates still apply)")
     if "timing" in fresh:
         f = fresh["timing"]
         if f["codegen_share_cached"] > 0.5 * f["codegen_share_fresh"]:
@@ -448,11 +502,14 @@ def main() -> int:
     failures: list = []
     base_sim = load(REPO_ROOT / "BENCH_sim_speed.json")
     fresh_sim = load(args.build_dir / "BENCH_sim_speed.json")
-    check_sim_speed(base_sim, fresh_sim, host_threshold, failures)
+    like_for_like = simd_kernel(base_sim) == simd_kernel(fresh_sim)
+    check_sim_speed(base_sim, fresh_sim, host_threshold, failures,
+                    like_for_like)
+    check_simd(base_sim, fresh_sim, host_threshold, failures)
     if "codegen" in base_sim:
         if "codegen" in fresh_sim:
             check_codegen(base_sim["codegen"], fresh_sim["codegen"],
-                          host_threshold, failures)
+                          host_threshold, failures, like_for_like)
         else:
             failures.append("sim_speed: fresh JSON lacks the 'codegen' "
                             "section the baseline has")

@@ -10,6 +10,7 @@
 
 #include "isa/encoding.hpp"
 #include "network/router.hpp"
+#include "perf/trace.hpp"
 
 namespace dfx {
 namespace {
@@ -333,6 +334,7 @@ DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
     isa::Program decoded;
     const isa::Program *program = &phase.program;
     if (config_.binaryInstructionPath) {
+        DFX_TRACE_SCOPE("encode", "host", perf::kTraceHostTid);
         const double t0 = hostNow();
         if (encoded) {
             if (encoded->empty())
@@ -346,11 +348,15 @@ DfxCluster::runPhase(const isa::Phase &phase, size_t builder_core,
     }
     // Every core runs the same program (different shard contents).
     const double t1 = hostNow();
-    executeOnCores(
-        std::vector<const isa::Program *>(config_.nCores, program),
-        stats);
+    {
+        DFX_TRACE_SCOPE("execute", "host", perf::kTraceHostTid);
+        executeOnCores(
+            std::vector<const isa::Program *>(config_.nCores, program),
+            stats);
+    }
 
     if (phase.hasSync()) {
+        DFX_TRACE_SCOPE("ring-sync", "host", perf::kTraceHostTid);
         const isa::Instruction &sync = phase.sync();
         double sync_sec;
         if (sync.flags & isa::kFlagArgmax) {
@@ -525,6 +531,7 @@ DfxCluster::fetchProgram(isa::ProgramKind kind, size_t layer, size_t core)
     key.positionClass = 0;  // one skeleton serves every position today
     key.core = static_cast<uint32_t>(core);
     return programCache_.fetch(key, [&]() {
+        DFX_TRACE_SCOPE("codegen", "host", perf::kTraceHostTid);
         const double t0 = hostNow();
         isa::CachedProgram built;
         switch (kind) {
@@ -548,13 +555,17 @@ void
 DfxCluster::patchProgram(isa::CachedProgram &cached,
                          const isa::PatchInputs &in, size_t core)
 {
-    const double t0 = hostNow();
-    builders_[core].applyPatches(cached.tpl, in);
-    hostProfile_.patchSeconds += hostNow() - t0;
+    {
+        DFX_TRACE_SCOPE("patch", "host", perf::kTraceHostTid);
+        const double t0 = hostNow();
+        builders_[core].applyPatches(cached.tpl, in);
+        hostProfile_.patchSeconds += hostNow() - t0;
+    }
     if (config_.binaryInstructionPath) {
         // Keep any already-encoded phase streams valid: rewrite the
         // same slots in the 56-byte words. Streams not yet encoded
         // are built from the patched template on first use (runPhase).
+        DFX_TRACE_SCOPE("encode", "host", perf::kTraceHostTid);
         const double t1 = hostNow();
         for (const isa::PatchSlot &slot : cached.tpl.patches) {
             std::vector<uint8_t> &bytes = cached.encoded[slot.phase];
@@ -599,7 +610,10 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
         runPhase(embed.tpl.phases[0], 0, stats, &embed.encoded[0]);
     } else {
         const double t0 = hostNow();
-        isa::Phase embed = builders_[0].embedPhase(token, position);
+        isa::Phase embed = [&] {
+            DFX_TRACE_SCOPE("codegen", "host", perf::kTraceHostTid);
+            return builders_[0].embedPhase(token, position);
+        }();
         hostProfile_.codegenSeconds += hostNow() - t0;
         runPhase(embed, 0, stats);
     }
@@ -619,8 +633,10 @@ DfxCluster::stepToken(size_t ctx, int32_t token, TokenStats *stats)
                          &prog.encoded[p]);
         } else {
             const double t0 = hostNow();
-            std::vector<isa::Phase> phases =
-                builders_[0].layerPhases(layer, position, ctx);
+            std::vector<isa::Phase> phases = [&] {
+                DFX_TRACE_SCOPE("codegen", "host", perf::kTraceHostTid);
+                return builders_[0].layerPhases(layer, position, ctx);
+            }();
             hostProfile_.codegenSeconds += hostNow() - t0;
             for (const auto &phase : phases)
                 runPhase(phase, 0, stats);

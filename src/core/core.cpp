@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "perf/trace.hpp"
+
 namespace dfx {
 namespace {
 
@@ -269,16 +271,24 @@ ComputeCore::executePhase(const isa::Program &prog)
 
         // --- functional ----------------------------------------------
         if (functional_) {
+            [[maybe_unused]] const uint32_t tid =
+                static_cast<uint32_t>(coreId_);
             switch (engine) {
-              case isa::Engine::kMpu:
+              case isa::Engine::kMpu: {
+                DFX_TRACE_SCOPE("mpu", "unit", tid);
                 mpu_.execute(inst, vrf_);
                 break;
-              case isa::Engine::kVpu:
+              }
+              case isa::Engine::kVpu: {
+                DFX_TRACE_SCOPE("vpu", "unit", tid);
                 vpu_.execute(inst, vrf_, srf_, irf_);
                 break;
-              case isa::Engine::kDma:
+              }
+              case isa::Engine::kDma: {
+                DFX_TRACE_SCOPE("dma", "unit", tid);
                 dmaUnit_.execute(inst, vrf_);
                 break;
+              }
               case isa::Engine::kRouter:
                 break;  // the cluster performs the exchange
             }

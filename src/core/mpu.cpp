@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "memory/hbm_channels.hpp"
+#include "numeric/simd.hpp"
 
 namespace dfx {
 
@@ -32,12 +33,7 @@ Mpu::reduceInPlace(Half *v, size_t width)
 float
 Mpu::reduceInPlaceF(float *v, size_t width)
 {
-    while (width > 1) {
-        width /= 2;
-        for (size_t i = 0; i < width; ++i)
-            v[i] = fp16::quantize(v[2 * i] + v[2 * i + 1]);
-    }
-    return v[0];
+    return simd::treeReduceQuantized(v, width);
 }
 
 Half
@@ -150,12 +146,12 @@ Mpu::execute(const isa::Instruction &inst, VectorRegFile &vrf) const
 
     // Widen the input vector out of the VRF once (it is broadcast
     // across lanes in hardware); the copy also protects against the
-    // destination window aliasing it.
+    // destination window aliasing it. The scratch persists across
+    // instructions, so steady-state decode never reallocates.
     {
         const Half *xin = vrf.readSpan(in_base, rows);
         x_.resize(rows);
-        for (size_t r = 0; r < rows; ++r)
-            x_[r] = xin[r].toFloat();
+        simd::toFloatSpan(xin, x_.data(), rows);
     }
 
     // One span covers the whole weight operand: its last element is
@@ -171,12 +167,13 @@ Mpu::execute(const isa::Instruction &inst, VectorRegFile &vrf) const
     size_t width = 1;
     while (width < d)
         width <<= 1;
-    products_.resize(width);
 
     acc_.assign(cols, 0.0f);
     if (transposed) {
         // Stored (c, r): each output column reads a contiguous run of
-        // the span — stream column by column.
+        // the span — stream column by column through the fused
+        // product kernel and the level-wise requantizing tree.
+        products_.resize(width);
         for (size_t c = 0; c < cols; ++c) {
             if (masked && c > inst.aux)
                 continue;  // overwritten by the mask below
@@ -184,35 +181,24 @@ Mpu::execute(const isa::Instruction &inst, VectorRegFile &vrf) const
             float acc = 0.0f;
             for (size_t r0 = 0; r0 < rows; r0 += d) {
                 const size_t chunk = std::min(d, rows - r0);
-                for (size_t i = 0; i < chunk; ++i)
-                    products_[i] = fp16::quantize(col[r0 + i].toFloat() *
-                                                  x_[r0 + i]);
-                for (size_t i = chunk; i < width; ++i)
-                    products_[i] = 0.0f;
-                acc = fp16::quantize(
-                    acc + reduceInPlaceF(products_.data(), width));
+                simd::productQuantizedSpan(col + r0, x_.data() + r0,
+                                           products_.data(), chunk);
+                std::fill(products_.begin() +
+                              static_cast<ptrdiff_t>(chunk),
+                          products_.begin() + static_cast<ptrdiff_t>(width),
+                          0.0f);
+                acc = simd::quantizedAdd(
+                    acc, simd::treeReduceQuantized(products_.data(),
+                                                   width));
             }
             acc_[c] = acc;
         }
     } else {
-        // Stored (r, c): advance d weight-row cursors in lockstep
-        // across the columns so the big matmuls walk memory row-major.
-        rows_.resize(d);
-        for (size_t r0 = 0; r0 < rows; r0 += d) {
-            const size_t chunk = std::min(d, rows - r0);
-            for (size_t i = 0; i < chunk; ++i)
-                rows_[i] = w + (r0 + i) * size_t{pitch};
-            const float *xc = x_.data() + r0;
-            for (size_t c = 0; c < cols; ++c) {
-                for (size_t i = 0; i < chunk; ++i)
-                    products_[i] =
-                        fp16::quantize(rows_[i][c].toFloat() * xc[i]);
-                for (size_t i = chunk; i < width; ++i)
-                    products_[i] = 0.0f;
-                acc_[c] = fp16::quantize(
-                    acc_[c] + reduceInPlaceF(products_.data(), width));
-            }
-        }
+        // Stored (r, c): the kernel walks d weight rows in lockstep
+        // across the columns so the big matmuls hit memory row-major
+        // (eight columns per step on the vector path).
+        simd::macRowMajor(w, pitch, x_.data(), rows, cols, d,
+                          acc_.data());
     }
 
     // SFU_M tail: bias, scale, mask, GELU — in hardware order. Runs in
@@ -227,6 +213,13 @@ Mpu::execute(const isa::Instruction &inst, VectorRegFile &vrf) const
         (inst.flags & isa::kFlagGelu) ? &GeluLut::instance() : nullptr;
 
     Half *out = vrf.writeSpan(out_base, cols);
+    if (bias == nullptr && !(inst.flags & isa::kFlagScale) && !masked &&
+        gelu == nullptr) {
+        // No SFU work: the accumulators are exact widened halves, so
+        // the span narrowing writes them back bit-for-bit.
+        simd::fromFloatSpan(acc_.data(), out, cols);
+        return;
+    }
     for (size_t c = 0; c < cols; ++c) {
         Half acc = Half::fromFloat(acc_[c]);
         if (bias)

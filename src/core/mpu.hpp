@@ -91,6 +91,8 @@ class Mpu
      * Float-domain variant: every element is an exact widened half,
      * and each tree node requantizes through fp16::quantize —
      * bit-identical rounding to the Half tree, no conversions.
+     * Forwards to `simd::treeReduceQuantized` (kept for tests and the
+     * VPU, which reduce in the Half domain or own their buffers).
      */
     static float reduceInPlaceF(float *v, size_t width);
 
@@ -100,11 +102,12 @@ class Mpu
     OffchipMemory *ddr_;
     // Reusable per-instruction scratch (sized on first use; execute is
     // logically const — the scratch carries no visible state). The
-    // accumulation runs in the float domain (exact widened halves).
+    // accumulation runs in the float domain (exact widened halves);
+    // the row-major MAC loop itself lives in simd::macRowMajor and
+    // needs no per-chunk cursor scratch.
     mutable std::vector<float> x_;         ///< widened input vector
     mutable std::vector<float> acc_;       ///< per-column accumulators
     mutable std::vector<float> products_;  ///< one padded MAC-tree chunk
-    mutable std::vector<const Half *> rows_;  ///< weight row cursors
 };
 
 }  // namespace dfx

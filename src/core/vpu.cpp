@@ -9,8 +9,26 @@
 
 #include "core/mpu.hpp"
 #include "memory/hbm_channels.hpp"
+#include "numeric/simd.hpp"
 
 namespace dfx {
+
+namespace {
+
+/**
+ * The span kernels process blocks of elements, which is equivalent to
+ * the historical per-element loop only when the destination window is
+ * identical to, or disjoint from, each source window. A partial
+ * overlap where an earlier write feeds a later read must keep the
+ * element-by-element order.
+ */
+inline bool
+spanSafe(size_t dst, size_t src, size_t n)
+{
+    return dst == src || dst + n <= src || src + n <= dst;
+}
+
+}  // namespace
 
 Vpu::Vpu(const CoreParams &params, OffchipMemory *hbm, OffchipMemory *ddr)
     : params_(params), hbm_(hbm), ddr_(ddr)
@@ -164,57 +182,90 @@ Vpu::execute(const isa::Instruction &inst, VectorRegFile &vrf,
     const size_t d_base = inst.dst.addr * VectorRegFile::kWidth;
     const size_t n = inst.len;
 
-    // Elementwise ops stream raw VRF spans: one bounds check per
-    // instruction. Reading element i strictly before writing element i
-    // preserves the previous per-element semantics when the
-    // destination window aliases a source.
+    // Elementwise ops stream raw VRF spans through the batched SIMD
+    // kernels: one bounds check per instruction, eight lanes per
+    // step, bit-identical to the per-element Half operators (with the
+    // NaN-propagation rule pinned by simd::quantizedAdd et al.). A
+    // partially-overlapping destination window falls back to the
+    // element loop, preserving its read-element-i-before-write-
+    // element-i semantics.
     switch (inst.op) {
       case Opcode::kAdd: {
         const Half *a = vrf.readSpan(a_base, n);
         const Half *b = vrf.readSpan(b_base, n);
         Half *dst = vrf.writeSpan(d_base, n);
+        if (spanSafe(d_base, a_base, n) && spanSafe(d_base, b_base, n)) {
+            simd::addHalfSpan(a, b, dst, n);
+            break;
+        }
         for (size_t i = 0; i < n; ++i)
-            dst[i] = a[i] + b[i];
+            dst[i] = Half::fromFloat(
+                simd::quantizedAdd(a[i].toFloat(), b[i].toFloat()));
         break;
       }
       case Opcode::kSub: {
         const Half *a = vrf.readSpan(a_base, n);
         const Half *b = vrf.readSpan(b_base, n);
         Half *dst = vrf.writeSpan(d_base, n);
+        if (spanSafe(d_base, a_base, n) && spanSafe(d_base, b_base, n)) {
+            simd::subHalfSpan(a, b, dst, n);
+            break;
+        }
         for (size_t i = 0; i < n; ++i)
-            dst[i] = a[i] - b[i];
+            dst[i] = Half::fromFloat(
+                simd::quantizedSub(a[i].toFloat(), b[i].toFloat()));
         break;
       }
       case Opcode::kMul: {
         const Half *a = vrf.readSpan(a_base, n);
         const Half *b = vrf.readSpan(b_base, n);
         Half *dst = vrf.writeSpan(d_base, n);
+        if (spanSafe(d_base, a_base, n) && spanSafe(d_base, b_base, n)) {
+            simd::mulHalfSpan(a, b, dst, n);
+            break;
+        }
         for (size_t i = 0; i < n; ++i)
-            dst[i] = a[i] * b[i];
+            dst[i] = Half::fromFloat(
+                simd::quantizedMul(a[i].toFloat(), b[i].toFloat()));
         break;
       }
       case Opcode::kAddScalar: {
         const Half s = scalarOperand(inst.src2, srf);
         const Half *a = vrf.readSpan(a_base, n);
         Half *dst = vrf.writeSpan(d_base, n);
+        if (spanSafe(d_base, a_base, n)) {
+            simd::addHalfScalarSpan(a, s, dst, n);
+            break;
+        }
         for (size_t i = 0; i < n; ++i)
-            dst[i] = a[i] + s;
+            dst[i] = Half::fromFloat(
+                simd::quantizedAdd(a[i].toFloat(), s.toFloat()));
         break;
       }
       case Opcode::kSubScalar: {
         const Half s = scalarOperand(inst.src2, srf);
         const Half *a = vrf.readSpan(a_base, n);
         Half *dst = vrf.writeSpan(d_base, n);
+        if (spanSafe(d_base, a_base, n)) {
+            simd::subHalfScalarSpan(a, s, dst, n);
+            break;
+        }
         for (size_t i = 0; i < n; ++i)
-            dst[i] = a[i] - s;
+            dst[i] = Half::fromFloat(
+                simd::quantizedSub(a[i].toFloat(), s.toFloat()));
         break;
       }
       case Opcode::kMulScalar: {
         const Half s = scalarOperand(inst.src2, srf);
         const Half *a = vrf.readSpan(a_base, n);
         Half *dst = vrf.writeSpan(d_base, n);
+        if (spanSafe(d_base, a_base, n)) {
+            simd::mulHalfScalarSpan(a, s, dst, n);
+            break;
+        }
         for (size_t i = 0; i < n; ++i)
-            dst[i] = a[i] * s;
+            dst[i] = Half::fromFloat(
+                simd::quantizedMul(a[i].toFloat(), s.toFloat()));
         break;
       }
       case Opcode::kExp: {
@@ -243,22 +294,26 @@ Vpu::execute(const isa::Instruction &inst, VectorRegFile &vrf,
       }
       case Opcode::kAccum: {
         // Tree-reduce each 64-wide line, accumulate partials in FP16.
+        // Runs in the float domain (exact widened halves) through the
+        // batched tree kernel — bit-identical to the Half-domain
+        // reduction, which rounds once per tree node and per add.
         const size_t width = params_.vectorWidth;
         size_t padded = 1;
         while (padded < width)
             padded <<= 1;
         line_.resize(padded);
         const Half *a = vrf.readSpan(a_base, n);
-        Half acc = Half::zero();
+        float acc = 0.0f;
         for (size_t i0 = 0; i0 < n; i0 += width) {
             const size_t chunk = std::min(width, n - i0);
-            for (size_t i = 0; i < chunk; ++i)
-                line_[i] = a[i0 + i];
-            for (size_t i = chunk; i < padded; ++i)
-                line_[i] = Half::zero();
-            acc = acc + Mpu::reduceInPlace(line_.data(), padded);
+            simd::toFloatSpan(a + i0, line_.data(), chunk);
+            std::fill(line_.begin() + static_cast<ptrdiff_t>(chunk),
+                      line_.begin() + static_cast<ptrdiff_t>(padded),
+                      0.0f);
+            acc = simd::quantizedAdd(
+                acc, simd::treeReduceQuantized(line_.data(), padded));
         }
-        srf.write(inst.dst.addr, acc);
+        srf.write(inst.dst.addr, Half::fromFloat(acc));
         break;
       }
       case Opcode::kReduMax: {

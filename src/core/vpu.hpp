@@ -56,8 +56,8 @@ class Vpu
     const CoreParams &params_;
     OffchipMemory *hbm_;
     OffchipMemory *ddr_;
-    /** Reusable line buffer for the kAccum adder tree. */
-    mutable std::vector<Half> line_;
+    /** Reusable line buffer for the kAccum adder tree (widened). */
+    mutable std::vector<float> line_;
 };
 
 }  // namespace dfx

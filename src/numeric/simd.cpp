@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Scalar FP16 span kernels and runtime kernel dispatch.
+ *
+ * This translation unit is compiled for the baseline ISA — it must
+ * run on any x86-64 (or non-x86) host, so the vector implementation
+ * lives in simd_avx2.cpp behind a cpuid check and per-file compiler
+ * flags. The scalar kernels here are the reference semantics; the
+ * exhaustive and randomized equivalence tests compare the vector
+ * kernels against them bit for bit.
+ */
+#include "numeric/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace simd {
+namespace {
+
+void
+toFloatSpanScalar(const Half *src, float *dst, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = src[i].toFloat();
+}
+
+void
+fromFloatSpanScalar(const float *src, Half *dst, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = Half::fromFloat(src[i]);
+}
+
+void
+quantizeSpanScalar(float *v, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        v[i] = fp16::quantize(v[i]);
+}
+
+void
+productQuantizedSpanScalar(const Half *w, const float *x, float *out,
+                           size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = quantizedMul(w[i].toFloat(), x[i]);
+}
+
+float
+treeReduceQuantizedScalar(float *v, size_t width)
+{
+    while (width > 1) {
+        width /= 2;
+        for (size_t i = 0; i < width; ++i)
+            v[i] = quantizedAdd(v[2 * i], v[2 * i + 1]);
+    }
+    return v[0];
+}
+
+void
+macRowMajorScalar(const Half *w, size_t pitch, const float *x, size_t rows,
+                  size_t cols, size_t tile, float *acc)
+{
+    size_t width = 1;
+    while (width < tile)
+        width <<= 1;
+    DFX_ASSERT(width <= kMaxTreeWidth, "MAC tree width %zu > %zu", width,
+               kMaxTreeWidth);
+    float prod[kMaxTreeWidth];
+    for (size_t r0 = 0; r0 < rows; r0 += tile) {
+        const size_t chunk = std::min(tile, rows - r0);
+        const Half *wc = w + r0 * pitch;
+        const float *xc = x + r0;
+        for (size_t c = 0; c < cols; ++c) {
+            for (size_t i = 0; i < chunk; ++i)
+                prod[i] = quantizedMul(wc[i * pitch + c].toFloat(), xc[i]);
+            for (size_t i = chunk; i < width; ++i)
+                prod[i] = 0.0f;
+            acc[c] = quantizedAdd(acc[c], treeReduceQuantizedScalar(prod,
+                                                                    width));
+        }
+    }
+}
+
+/** `dst[i] = a (op) b` in the Half domain with the pinned NaN rule. */
+inline Half
+halfFromQuantized(float q)
+{
+    // q is already a widened half (the quantized helpers guarantee
+    // it), so this conversion is exact — including the canonical NaN.
+    return Half::fromFloat(q);
+}
+
+void
+addHalfSpanScalar(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = halfFromQuantized(quantizedAdd(a[i].toFloat(),
+                                                b[i].toFloat()));
+}
+
+void
+subHalfSpanScalar(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = halfFromQuantized(quantizedSub(a[i].toFloat(),
+                                                b[i].toFloat()));
+}
+
+void
+mulHalfSpanScalar(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = halfFromQuantized(quantizedMul(a[i].toFloat(),
+                                                b[i].toFloat()));
+}
+
+void
+addHalfScalarSpanScalar(const Half *a, Half s, Half *dst, size_t n)
+{
+    const float sf = s.toFloat();
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = halfFromQuantized(quantizedAdd(a[i].toFloat(), sf));
+}
+
+void
+subHalfScalarSpanScalar(const Half *a, Half s, Half *dst, size_t n)
+{
+    const float sf = s.toFloat();
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = halfFromQuantized(quantizedSub(a[i].toFloat(), sf));
+}
+
+void
+mulHalfScalarSpanScalar(const Half *a, Half s, Half *dst, size_t n)
+{
+    const float sf = s.toFloat();
+    for (size_t i = 0; i < n; ++i)
+        dst[i] = halfFromQuantized(quantizedMul(a[i].toFloat(), sf));
+}
+
+constexpr detail::KernelTable kScalarTable = {
+    Kernel::kScalar,
+    &toFloatSpanScalar,
+    &fromFloatSpanScalar,
+    &quantizeSpanScalar,
+    &productQuantizedSpanScalar,
+    &treeReduceQuantizedScalar,
+    &macRowMajorScalar,
+    &addHalfSpanScalar,
+    &subHalfSpanScalar,
+    &mulHalfSpanScalar,
+    &addHalfScalarSpanScalar,
+    &subHalfScalarSpanScalar,
+    &mulHalfScalarSpanScalar,
+};
+
+/**
+ * Active kernel table. Starts scalar so span calls are valid even
+ * during static initialization; a constructor-time resolver upgrades
+ * it to the vector table when the host and the environment allow.
+ */
+std::atomic<const detail::KernelTable *> g_table{&kScalarTable};
+
+bool
+forceScalarFromEnv()
+{
+    const char *v = std::getenv("DFX_FORCE_SCALAR");
+    return v != nullptr && *v != '\0' && *v != '0';
+}
+
+const detail::KernelTable *
+tableFor(Kernel k)
+{
+    if (k == Kernel::kAvx2F16c)
+        return detail::avx2Table();
+    return &kScalarTable;
+}
+
+/** Resolves dispatch once at startup. */
+const bool g_dispatchResolved = [] {
+    if (!forceScalarFromEnv()) {
+        if (const detail::KernelTable *t = detail::avx2Table())
+            g_table.store(t, std::memory_order_relaxed);
+    }
+    return true;
+}();
+
+inline const detail::KernelTable &
+table()
+{
+    return *g_table.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Kernel
+activeKernel()
+{
+    return table().id;
+}
+
+const char *
+kernelName(Kernel k)
+{
+    return k == Kernel::kAvx2F16c ? "avx2_f16c" : "scalar";
+}
+
+const char *
+kernelName()
+{
+    return kernelName(activeKernel());
+}
+
+bool
+kernelSupported(Kernel k)
+{
+    return tableFor(k) != nullptr;
+}
+
+Kernel
+setKernelForTesting(Kernel k)
+{
+    const detail::KernelTable *t = tableFor(k);
+    DFX_ASSERT(t != nullptr, "kernel %s unavailable on this host",
+               kernelName(k));
+    const Kernel prev = table().id;
+    g_table.store(t, std::memory_order_relaxed);
+    return prev;
+}
+
+void
+toFloatSpan(const Half *src, float *dst, size_t n)
+{
+    table().toFloatSpan(src, dst, n);
+}
+
+void
+fromFloatSpan(const float *src, Half *dst, size_t n)
+{
+    table().fromFloatSpan(src, dst, n);
+}
+
+void
+quantizeSpan(float *v, size_t n)
+{
+    table().quantizeSpan(v, n);
+}
+
+void
+productQuantizedSpan(const Half *w, const float *x, float *out, size_t n)
+{
+    table().productQuantizedSpan(w, x, out, n);
+}
+
+float
+treeReduceQuantized(float *v, size_t width)
+{
+    return table().treeReduceQuantized(v, width);
+}
+
+void
+macRowMajor(const Half *w, size_t pitch, const float *x, size_t rows,
+            size_t cols, size_t tile, float *acc)
+{
+    table().macRowMajor(w, pitch, x, rows, cols, tile, acc);
+}
+
+void
+addHalfSpan(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    table().addHalfSpan(a, b, dst, n);
+}
+
+void
+subHalfSpan(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    table().subHalfSpan(a, b, dst, n);
+}
+
+void
+mulHalfSpan(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    table().mulHalfSpan(a, b, dst, n);
+}
+
+void
+addHalfScalarSpan(const Half *a, Half s, Half *dst, size_t n)
+{
+    table().addHalfScalarSpan(a, s, dst, n);
+}
+
+void
+subHalfScalarSpan(const Half *a, Half s, Half *dst, size_t n)
+{
+    table().subHalfScalarSpan(a, s, dst, n);
+}
+
+void
+mulHalfScalarSpan(const Half *a, Half s, Half *dst, size_t n)
+{
+    table().mulHalfScalarSpan(a, s, dst, n);
+}
+
+#ifndef DFX_SIMD_AVX2
+namespace detail {
+
+// Vector kernels compiled out (-DDFX_SIMD=OFF or non-x86 target):
+// dispatch stays scalar.
+const KernelTable *
+avx2Table()
+{
+    return nullptr;
+}
+
+}  // namespace detail
+#endif
+
+}  // namespace simd
+}  // namespace dfx

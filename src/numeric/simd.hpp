@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Batched FP16 kernels with runtime CPU dispatch.
+ *
+ * The functional simulator spends ~90% of a decode step in the MPU
+ * MAC tree: widen two halves, multiply, requantize, then requantize
+ * again at every adder-tree node (see `Mpu::execute`). This module
+ * provides span-sized versions of those primitives behind a function
+ * table resolved once at startup:
+ *
+ *  - on x86-64 hosts with AVX2 + F16C, 8-lane vector kernels that use
+ *    the hardware half<->float converters (`vcvtph2ps`/`vcvtps2ph`)
+ *    with fix-up blends so every lane is bit-identical to the scalar
+ *    soft-float path — including NaN canonicalization, subnormals,
+ *    RNE ties and the 65520 round-to-infinity threshold;
+ *  - everywhere else (or with `DFX_FORCE_SCALAR=1` in the
+ *    environment, or `-DDFX_SIMD=OFF` at configure time), portable
+ *    scalar kernels that are the definition of correct.
+ *
+ * Equivalence contract (docs/ARCHITECTURE.md): for every input span,
+ * scalar and vector kernels produce the same bits. The only inputs
+ * where IEEE leaves slack is NaN propagation through two-operand ops;
+ * the kernels pin the x86 rule — the result NaN is the first operand
+ * if it is NaN, else the second, else the negative default NaN
+ * (inf-inf, 0*inf) — and every requantize canonicalizes the payload
+ * (sign | 0x7e00 in half, sign | 0x7fc00000 widened), so the slack
+ * never reaches a register file. `quantizedAdd`/`quantizedMul` are
+ * the scalar statements of that rule.
+ *
+ * Dispatch is a single atomic pointer load per span call; the per-
+ * element hot loops never branch on it. Tests can force either path
+ * with `setKernelForTesting` regardless of how the process started.
+ */
+#ifndef DFX_NUMERIC_SIMD_HPP
+#define DFX_NUMERIC_SIMD_HPP
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/fp16.hpp"
+
+namespace dfx {
+namespace simd {
+
+/** Available kernel implementations. */
+enum class Kernel
+{
+    kScalar,    ///< portable soft-float loops (the reference)
+    kAvx2F16c,  ///< 8-lane AVX2 + F16C vector kernels
+};
+
+/** Largest MAC-tree width (padded power of two) the kernels accept. */
+inline constexpr size_t kMaxTreeWidth = 1024;
+
+/** The kernel selected at startup (cpuid + DFX_FORCE_SCALAR). */
+Kernel activeKernel();
+
+/** Stable identifier of a kernel ("scalar", "avx2_f16c"). */
+const char *kernelName(Kernel k);
+
+/** Identifier of the active kernel (for bench records and logs). */
+const char *kernelName();
+
+/** True when `k` can run on this host and build. */
+bool kernelSupported(Kernel k);
+
+/**
+ * Forces dispatch to `k` (which must be supported) and returns the
+ * previously active kernel. For tests and in-process A/B benches
+ * only; not thread-safe against concurrent span calls.
+ */
+Kernel setKernelForTesting(Kernel k);
+
+/**
+ * Widens `n` halves to float, bit-identical to
+ * `fp16::halfBitsToFloat` per element (NaN payloads preserved).
+ */
+void toFloatSpan(const Half *src, float *dst, size_t n);
+
+/**
+ * Rounds `n` floats to half with RNE, bit-identical to
+ * `fp16::floatToHalfBits` per element (NaN canonicalized).
+ */
+void fromFloatSpan(const float *src, Half *dst, size_t n);
+
+/** In-place `fp16::quantize` of `n` floats. */
+void quantizeSpan(float *v, size_t n);
+
+/**
+ * Fused MAC-tree product row: `out[i] = quantize(w[i] * x[i])`.
+ * `x` carries exact widened halves (the broadcast input vector).
+ */
+void productQuantizedSpan(const Half *w, const float *x, float *out,
+                          size_t n);
+
+/**
+ * Destructive pairwise tree reduction of `width` values (a power of
+ * two, <= kMaxTreeWidth), requantizing after every node exactly like
+ * `Mpu::reduceInPlaceF`. Returns the root.
+ */
+float treeReduceQuantized(float *v, size_t width);
+
+/**
+ * The full row-major MAC loop of `Mpu::execute`: for each chunk of
+ * `tile` rows, multiply-requantize the chunk against `x`, pad the
+ * tree to the next power of two with +0, reduce with per-node
+ * requantization, and accumulate `acc[c] = quantize(acc[c] + tree)`
+ * per column. `w` is row-major with row stride `pitch`.
+ */
+void macRowMajor(const Half *w, size_t pitch, const float *x, size_t rows,
+                 size_t cols, size_t tile, float *acc);
+
+/** Elementwise `dst[i] = a[i] + b[i]` in the Half domain. */
+void addHalfSpan(const Half *a, const Half *b, Half *dst, size_t n);
+/** Elementwise `dst[i] = a[i] - b[i]`. */
+void subHalfSpan(const Half *a, const Half *b, Half *dst, size_t n);
+/** Elementwise `dst[i] = a[i] * b[i]`. */
+void mulHalfSpan(const Half *a, const Half *b, Half *dst, size_t n);
+/** Broadcast `dst[i] = a[i] + s`. */
+void addHalfScalarSpan(const Half *a, Half s, Half *dst, size_t n);
+/** Broadcast `dst[i] = a[i] - s`. */
+void subHalfScalarSpan(const Half *a, Half s, Half *dst, size_t n);
+/** Broadcast `dst[i] = a[i] * s`. */
+void mulHalfScalarSpan(const Half *a, Half s, Half *dst, size_t n);
+
+/**
+ * `quantize(a + b)` with the pinned NaN rule (see the file comment):
+ * the scalar definition every kernel, vector included, must match.
+ */
+inline float
+quantizedAdd(float a, float b)
+{
+    const float s = a + b;
+    if (std::isnan(s)) [[unlikely]] {
+        const uint32_t src = std::isnan(a) ? std::bit_cast<uint32_t>(a)
+                             : std::isnan(b)
+                                 ? std::bit_cast<uint32_t>(b)
+                                 : 0xffc00000u;
+        return std::bit_cast<float>((src & 0x80000000u) | 0x7fc00000u);
+    }
+    return fp16::quantize(s);
+}
+
+/**
+ * `quantize(a - b)` with the pinned NaN rule. A NaN `b` propagates
+ * with its own sign bit (x86 `subps` quiets the operand, it does not
+ * negate it), which is why this is not `quantizedAdd(a, -b)`.
+ */
+inline float
+quantizedSub(float a, float b)
+{
+    const float s = a - b;
+    if (std::isnan(s)) [[unlikely]] {
+        const uint32_t src = std::isnan(a) ? std::bit_cast<uint32_t>(a)
+                             : std::isnan(b)
+                                 ? std::bit_cast<uint32_t>(b)
+                                 : 0xffc00000u;
+        return std::bit_cast<float>((src & 0x80000000u) | 0x7fc00000u);
+    }
+    return fp16::quantize(s);
+}
+
+/** `quantize(a * b)` with the pinned NaN rule. */
+inline float
+quantizedMul(float a, float b)
+{
+    const float p = a * b;
+    if (std::isnan(p)) [[unlikely]] {
+        const uint32_t src = std::isnan(a) ? std::bit_cast<uint32_t>(a)
+                             : std::isnan(b)
+                                 ? std::bit_cast<uint32_t>(b)
+                                 : 0xffc00000u;
+        return std::bit_cast<float>((src & 0x80000000u) | 0x7fc00000u);
+    }
+    return fp16::quantize(p);
+}
+
+namespace detail {
+
+/**
+ * One kernel implementation: plain function pointers so dispatch is a
+ * single relaxed atomic load at span granularity. Internal — the
+ * free functions above are the API.
+ */
+struct KernelTable
+{
+    Kernel id;
+    void (*toFloatSpan)(const Half *, float *, size_t);
+    void (*fromFloatSpan)(const float *, Half *, size_t);
+    void (*quantizeSpan)(float *, size_t);
+    void (*productQuantizedSpan)(const Half *, const float *, float *,
+                                 size_t);
+    float (*treeReduceQuantized)(float *, size_t);
+    void (*macRowMajor)(const Half *, size_t, const float *, size_t,
+                        size_t, size_t, float *);
+    void (*addHalfSpan)(const Half *, const Half *, Half *, size_t);
+    void (*subHalfSpan)(const Half *, const Half *, Half *, size_t);
+    void (*mulHalfSpan)(const Half *, const Half *, Half *, size_t);
+    void (*addHalfScalarSpan)(const Half *, Half, Half *, size_t);
+    void (*subHalfScalarSpan)(const Half *, Half, Half *, size_t);
+    void (*mulHalfScalarSpan)(const Half *, Half, Half *, size_t);
+};
+
+/** Defined in simd_avx2.cpp (null when compiled out of the build). */
+const KernelTable *avx2Table();
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace dfx
+
+#endif  // DFX_NUMERIC_SIMD_HPP

@@ -1,0 +1,437 @@
+/**
+ * @file
+ * AVX2 + F16C vector kernels, bit-identical to the scalar soft-float.
+ *
+ * This is the only translation unit compiled with `-mavx2 -mf16c`
+ * (see DFX_SIMD in CMakeLists.txt); it is entered exclusively through
+ * the dispatch table, after `avx2Table()` has verified the host CPU,
+ * so nothing here can raise #UD on older machines. The scalar tail
+ * loops below run only alongside the vector bodies and reuse the
+ * exact inline primitives of the scalar reference kernels.
+ *
+ * The hardware converters almost implement the simulator's soft-float
+ * exactly — `vcvtps2ph` rounds to nearest-even including subnormals,
+ * the 65520 overflow threshold and ties, and `vcvtph2ps` is an exact
+ * widening — except for NaN details, which two fix-up blends repair:
+ *
+ *  - `vcvtph2ps` quiets signaling NaNs; `toFloatSpan` must preserve
+ *    payloads bit-for-bit (the table-driven scalar path does), so NaN
+ *    lanes are rebuilt as sign | 0x7f800000 | (mantissa << 13).
+ *  - `vcvtps2ph` keeps the high NaN payload bits; the scalar path
+ *    canonicalizes every NaN to sign | 0x7e00, so NaN lanes are
+ *    overwritten with the canonical encoding.
+ *
+ * Inside the fused product/reduce kernels no payload fix-up is needed
+ * (every requantize canonicalizes payloads anyway); only the sign of
+ * a NaN must follow the pinned first-operand rule. The x86 mul/add/
+ * sub instructions implement that rule for the operand order they are
+ * issued with — but the compiler may commute commutative vector
+ * intrinsics (NaN selection is not part of their modeled semantics),
+ * so `pinNaN8` recomputes the canonical NaN from the original
+ * operands instead of trusting the instruction's pick.
+ */
+#include "numeric/simd.hpp"
+
+#ifdef DFX_SIMD_AVX2
+
+#include <immintrin.h>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace simd {
+namespace {
+
+/** Canonical quiet-NaN mantissa in float position. */
+inline __m256
+qnan32()
+{
+    return _mm256_castsi256_ps(_mm256_set1_epi32(0x7fc00000));
+}
+
+inline __m256
+signMask32()
+{
+    return _mm256_castsi256_ps(_mm256_set1_epi32(
+        static_cast<int32_t>(0x80000000u)));
+}
+
+/**
+ * `fp16::quantize` on 8 lanes: RNE round-trip through half precision,
+ * then canonicalize NaN lanes to sign(x) | 0x7fc00000 (the scalar
+ * path canonicalizes through floatToHalfBits/halfBitsToFloat).
+ */
+inline __m256
+quantize8(__m256 x)
+{
+    const __m256 r = _mm256_cvtph_ps(
+        _mm256_cvtps_ph(x, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    const __m256 unord = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+    const __m256 canon =
+        _mm256_or_ps(_mm256_and_ps(x, signMask32()), qnan32());
+    return _mm256_blendv_ps(r, canon, unord);
+}
+
+/**
+ * The pinned-rule canonical NaN for each lane of `r = op(a, b)`:
+ * sign of `a` if `a` is NaN, else of `b`, else negative (inf-inf,
+ * 0*inf) — independent of which operand the hardware instruction
+ * happened to pick after compiler commutation. `unord_r` marks the
+ * lanes where `r` is NaN; other lanes keep `r`.
+ */
+inline __m256
+pinnedNaN8(__m256 r, __m256 a, __m256 b, __m256 unord_r)
+{
+    const __m256 nan_a = _mm256_cmp_ps(a, a, _CMP_UNORD_Q);
+    const __m256 nan_b = _mm256_cmp_ps(b, b, _CMP_UNORD_Q);
+    __m256 sign = signMask32();
+    sign = _mm256_blendv_ps(sign, _mm256_and_ps(b, signMask32()), nan_b);
+    sign = _mm256_blendv_ps(sign, _mm256_and_ps(a, signMask32()), nan_a);
+    return _mm256_blendv_ps(r, _mm256_or_ps(sign, qnan32()), unord_r);
+}
+
+/** `pinnedNaN8` with its own NaN scan; early-outs when no lane is
+ * NaN (the overwhelmingly common case in real activations). */
+inline __m256
+pinNaN8(__m256 r, __m256 a, __m256 b)
+{
+    const __m256 unord_r = _mm256_cmp_ps(r, r, _CMP_UNORD_Q);
+    if (_mm256_movemask_ps(unord_r) == 0) [[likely]]
+        return r;
+    return pinnedNaN8(r, a, b, unord_r);
+}
+
+/**
+ * `quantize(r)` for `r = op(a, b)` with the pinned NaN rule. The
+ * fast path — no NaN lane — is just the converter round-trip plus
+ * one compare/movemask; the fix-up blends run only when a NaN is
+ * actually present.
+ */
+inline __m256
+opQuantized8(__m256 r, __m256 a, __m256 b)
+{
+    const __m256 q = _mm256_cvtph_ps(
+        _mm256_cvtps_ph(r, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC));
+    const __m256 unord_r = _mm256_cmp_ps(r, r, _CMP_UNORD_Q);
+    if (_mm256_movemask_ps(unord_r) == 0) [[likely]]
+        return q;
+    return pinnedNaN8(q, a, b, unord_r);
+}
+
+/** `quantizedAdd` on 8 lanes. */
+inline __m256
+addQuantized8(__m256 a, __m256 b)
+{
+    return opQuantized8(_mm256_add_ps(a, b), a, b);
+}
+
+/**
+ * Exact widening of 8 halves, `fp16::halfBitsToFloat` per lane.
+ * `vcvtph2ps` quiets signaling NaNs, so NaN lanes are rebuilt from
+ * the raw half bits to keep the payload.
+ */
+inline __m256
+toFloat8(__m128i h)
+{
+    const __m256 f = _mm256_cvtph_ps(h);
+    const __m256i h32 = _mm256_cvtepu16_epi32(h);
+    const __m256i mag = _mm256_and_si256(h32, _mm256_set1_epi32(0x7fff));
+    const __m256i isnan =
+        _mm256_cmpgt_epi32(mag, _mm256_set1_epi32(0x7c00));
+    const __m256i sign = _mm256_slli_epi32(
+        _mm256_and_si256(h32, _mm256_set1_epi32(0x8000)), 16);
+    const __m256i payload = _mm256_slli_epi32(
+        _mm256_and_si256(h32, _mm256_set1_epi32(0x03ff)), 13);
+    const __m256i fix = _mm256_or_si256(
+        _mm256_or_si256(sign, _mm256_set1_epi32(0x7f800000)), payload);
+    return _mm256_blendv_ps(f, _mm256_castsi256_ps(fix),
+                            _mm256_castsi256_ps(isnan));
+}
+
+/**
+ * RNE narrowing of 8 floats, `fp16::floatToHalfBits` per lane.
+ * `vcvtps2ph` preserves NaN payload bits; the scalar path
+ * canonicalizes, so NaN lanes are overwritten with sign | 0x7e00.
+ */
+inline __m128i
+fromFloat8(__m256 f)
+{
+    const __m128i h =
+        _mm256_cvtps_ph(f, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    const __m256i fi = _mm256_castps_si256(f);
+    const __m256i mag = _mm256_and_si256(fi, _mm256_set1_epi32(0x7fffffff));
+    const __m256i isnan =
+        _mm256_cmpgt_epi32(mag, _mm256_set1_epi32(0x7f800000));
+    const __m256i sign16 = _mm256_srli_epi32(
+        _mm256_and_si256(fi,
+                         _mm256_set1_epi32(static_cast<int32_t>(0x80000000u))),
+        16);
+    const __m256i canon32 =
+        _mm256_or_si256(sign16, _mm256_set1_epi32(0x7e00));
+    // Pack the 32-bit lanes down to 16. The canonical values need the
+    // unsigned pack (0xfe00 would saturate under a signed pack); the
+    // all-ones masks need the signed pack (-1 stays -1). Both packs
+    // work per 128-bit lane, so fix the qword order afterwards.
+    const __m128i canon16 = _mm256_castsi256_si128(_mm256_permute4x64_epi64(
+        _mm256_packus_epi32(canon32, canon32), 0xd8));
+    const __m128i mask16 = _mm256_castsi256_si128(_mm256_permute4x64_epi64(
+        _mm256_packs_epi32(isnan, isnan), 0xd8));
+    return _mm_blendv_epi8(h, canon16, mask16);
+}
+
+/**
+ * Fused product `quantize(w[i] * x)` on 8 lanes. No payload fix-up on
+ * the widened weights: a NaN product is canonicalized by quantize8
+ * with the pinned sign (the weight is the first operand).
+ */
+inline __m256
+productQuantized8(__m128i w, __m256 x)
+{
+    const __m256 wf = _mm256_cvtph_ps(w);
+    return opQuantized8(_mm256_mul_ps(wf, x), wf, x);
+}
+
+inline __m128i
+loadHalf8(const Half *p)
+{
+    return _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+}
+
+inline void
+storeHalf8(Half *p, __m128i v)
+{
+    _mm_storeu_si128(reinterpret_cast<__m128i *>(p), v);
+}
+
+void
+toFloatSpanVec(const Half *src, float *dst, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(dst + i, toFloat8(loadHalf8(src + i)));
+    for (; i < n; ++i)
+        dst[i] = src[i].toFloat();
+}
+
+void
+fromFloatSpanVec(const float *src, Half *dst, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        storeHalf8(dst + i, fromFloat8(_mm256_loadu_ps(src + i)));
+    for (; i < n; ++i)
+        dst[i] = Half::fromFloat(src[i]);
+}
+
+void
+quantizeSpanVec(float *v, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(v + i, quantize8(_mm256_loadu_ps(v + i)));
+    for (; i < n; ++i)
+        v[i] = fp16::quantize(v[i]);
+}
+
+void
+productQuantizedSpanVec(const Half *w, const float *x, float *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8)
+        _mm256_storeu_ps(
+            out + i,
+            productQuantized8(loadHalf8(w + i), _mm256_loadu_ps(x + i)));
+    for (; i < n; ++i)
+        out[i] = quantizedMul(w[i].toFloat(), x[i]);
+}
+
+float
+treeReduceQuantizedVec(float *v, size_t width)
+{
+    // Each level halves the width: v[i] = quantize(v[2i] + v[2i+1]).
+    // While a level still produces >= 8 outputs, deinterleave 16
+    // inputs into 8 even/odd pairs per step. Stores land strictly
+    // below the next loads, so the reduction stays in place.
+    const __m256i perm = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+    while (width >= 16) {
+        const size_t half = width / 2;
+        for (size_t j = 0; j < half; j += 8) {
+            const __m256 a = _mm256_loadu_ps(v + 2 * j);
+            const __m256 b = _mm256_loadu_ps(v + 2 * j + 8);
+            const __m256 even = _mm256_permutevar8x32_ps(
+                _mm256_shuffle_ps(a, b, 0x88), perm);
+            const __m256 odd = _mm256_permutevar8x32_ps(
+                _mm256_shuffle_ps(a, b, 0xdd), perm);
+            _mm256_storeu_ps(v + j, addQuantized8(even, odd));
+        }
+        width = half;
+    }
+    while (width > 1) {
+        width /= 2;
+        for (size_t i = 0; i < width; ++i)
+            v[i] = quantizedAdd(v[2 * i], v[2 * i + 1]);
+    }
+    return v[0];
+}
+
+void
+macRowMajorVec(const Half *w, size_t pitch, const float *x, size_t rows,
+               size_t cols, size_t tile, float *acc)
+{
+    size_t width = 1;
+    while (width < tile)
+        width <<= 1;
+    DFX_ASSERT(width <= kMaxTreeWidth, "MAC tree width %zu > %zu", width,
+               kMaxTreeWidth);
+    // Lane-parallel across 8 output columns: each lane of lvl[] runs
+    // its own column's MAC tree, so every vector op is exactly the
+    // scalar per-column sequence — same products, same tree pairing,
+    // same accumulate — just eight columns at once.
+    __m256 lvl[kMaxTreeWidth];
+    const size_t col_groups = cols & ~size_t{7};
+    float prod[kMaxTreeWidth];
+    for (size_t r0 = 0; r0 < rows; r0 += tile) {
+        const size_t chunk = std::min(tile, rows - r0);
+        const Half *wc = w + r0 * pitch;
+        const float *xc = x + r0;
+        for (size_t c = 0; c < col_groups; c += 8) {
+            for (size_t i = 0; i < chunk; ++i)
+                lvl[i] = productQuantized8(loadHalf8(wc + i * pitch + c),
+                                           _mm256_set1_ps(xc[i]));
+            const __m256 zero = _mm256_setzero_ps();
+            for (size_t i = chunk; i < width; ++i)
+                lvl[i] = zero;
+            for (size_t wd = width; wd > 1;) {
+                wd /= 2;
+                for (size_t i = 0; i < wd; ++i)
+                    lvl[i] = addQuantized8(lvl[2 * i], lvl[2 * i + 1]);
+            }
+            _mm256_storeu_ps(
+                acc + c,
+                addQuantized8(_mm256_loadu_ps(acc + c), lvl[0]));
+        }
+        for (size_t c = col_groups; c < cols; ++c) {
+            for (size_t i = 0; i < chunk; ++i)
+                prod[i] = quantizedMul(wc[i * pitch + c].toFloat(), xc[i]);
+            for (size_t i = chunk; i < width; ++i)
+                prod[i] = 0.0f;
+            acc[c] = quantizedAdd(acc[c],
+                                  treeReduceQuantizedVec(prod, width));
+        }
+    }
+}
+
+/** Elementwise Half-domain span op: widen, op, RNE-narrow per lane. */
+template <typename VecOp, typename ScalarOp>
+inline void
+halfBinarySpan(const Half *a, const Half *b, Half *dst, size_t n,
+               VecOp vec_op, ScalarOp scalar_op)
+{
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 af = _mm256_cvtph_ps(loadHalf8(a + i));
+        const __m256 bf = _mm256_cvtph_ps(loadHalf8(b + i));
+        storeHalf8(dst + i, fromFloat8(pinNaN8(vec_op(af, bf), af, bf)));
+    }
+    for (; i < n; ++i)
+        dst[i] = Half::fromFloat(scalar_op(a[i].toFloat(), b[i].toFloat()));
+}
+
+void
+addHalfSpanVec(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    halfBinarySpan(a, b, dst, n,
+                   [](__m256 x, __m256 y) { return _mm256_add_ps(x, y); },
+                   [](float x, float y) { return quantizedAdd(x, y); });
+}
+
+void
+subHalfSpanVec(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    halfBinarySpan(a, b, dst, n,
+                   [](__m256 x, __m256 y) { return _mm256_sub_ps(x, y); },
+                   [](float x, float y) { return quantizedSub(x, y); });
+}
+
+void
+mulHalfSpanVec(const Half *a, const Half *b, Half *dst, size_t n)
+{
+    halfBinarySpan(a, b, dst, n,
+                   [](__m256 x, __m256 y) { return _mm256_mul_ps(x, y); },
+                   [](float x, float y) { return quantizedMul(x, y); });
+}
+
+template <typename VecOp, typename ScalarOp>
+inline void
+halfScalarSpan(const Half *a, Half s, Half *dst, size_t n, VecOp vec_op,
+               ScalarOp scalar_op)
+{
+    const float sf = s.toFloat();
+    const __m256 sv = _mm256_set1_ps(sf);
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 af = _mm256_cvtph_ps(loadHalf8(a + i));
+        storeHalf8(dst + i, fromFloat8(pinNaN8(vec_op(af, sv), af, sv)));
+    }
+    for (; i < n; ++i)
+        dst[i] = Half::fromFloat(scalar_op(a[i].toFloat(), sf));
+}
+
+void
+addHalfScalarSpanVec(const Half *a, Half s, Half *dst, size_t n)
+{
+    halfScalarSpan(a, s, dst, n,
+                   [](__m256 x, __m256 y) { return _mm256_add_ps(x, y); },
+                   [](float x, float y) { return quantizedAdd(x, y); });
+}
+
+void
+subHalfScalarSpanVec(const Half *a, Half s, Half *dst, size_t n)
+{
+    halfScalarSpan(a, s, dst, n,
+                   [](__m256 x, __m256 y) { return _mm256_sub_ps(x, y); },
+                   [](float x, float y) { return quantizedSub(x, y); });
+}
+
+void
+mulHalfScalarSpanVec(const Half *a, Half s, Half *dst, size_t n)
+{
+    halfScalarSpan(a, s, dst, n,
+                   [](__m256 x, __m256 y) { return _mm256_mul_ps(x, y); },
+                   [](float x, float y) { return quantizedMul(x, y); });
+}
+
+constexpr detail::KernelTable kAvx2Table = {
+    Kernel::kAvx2F16c,
+    &toFloatSpanVec,
+    &fromFloatSpanVec,
+    &quantizeSpanVec,
+    &productQuantizedSpanVec,
+    &treeReduceQuantizedVec,
+    &macRowMajorVec,
+    &addHalfSpanVec,
+    &subHalfSpanVec,
+    &mulHalfSpanVec,
+    &addHalfScalarSpanVec,
+    &subHalfScalarSpanVec,
+    &mulHalfScalarSpanVec,
+};
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable *
+avx2Table()
+{
+    static const bool supported = __builtin_cpu_supports("avx2") &&
+                                  __builtin_cpu_supports("f16c");
+    return supported ? &kAvx2Table : nullptr;
+}
+
+}  // namespace detail
+
+}  // namespace simd
+}  // namespace dfx
+
+#endif  // DFX_SIMD_AVX2

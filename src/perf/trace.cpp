@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Timeline profiler implementation.
+ *
+ * Each thread appends to its own event buffer; the buffers are owned
+ * by a registry that is intentionally leaked (threads may record
+ * until the very end of the process, and the atexit flush must still
+ * find their events). Enabling via the DFX_TRACE environment
+ * variable happens from a static initializer so the whole process —
+ * including other static initializers' work — can be traced.
+ */
+#include "perf/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "common/logging.hpp"
+
+namespace dfx {
+namespace perf {
+namespace trace_detail {
+
+std::atomic<bool> g_on{false};
+
+namespace {
+
+struct Event
+{
+    const char *name;
+    const char *cat;
+    uint32_t tid;
+    uint64_t t0;
+    uint64_t t1;
+};
+
+struct Buffer
+{
+    std::vector<Event> events;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::vector<std::unique_ptr<Buffer>> buffers;
+    std::string path;
+};
+
+Registry &
+registry()
+{
+    // Leaked on purpose: worker threads and the atexit flush may
+    // outlive any static-destruction order.
+    static Registry *r = new Registry;
+    return *r;
+}
+
+thread_local Buffer *t_buffer = nullptr;
+
+Buffer &
+threadBuffer()
+{
+    if (t_buffer == nullptr) {
+        auto owned = std::make_unique<Buffer>();
+        owned->events.reserve(1 << 14);
+        t_buffer = owned.get();
+        std::lock_guard<std::mutex> lock(registry().mu);
+        registry().buffers.push_back(std::move(owned));
+    }
+    return *t_buffer;
+}
+
+}  // namespace
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+record(const char *name, const char *cat, uint32_t tid, uint64_t t0,
+       uint64_t t1)
+{
+    threadBuffer().events.push_back(Event{name, cat, tid, t0, t1});
+}
+
+}  // namespace trace_detail
+
+namespace {
+
+using trace_detail::g_on;
+using trace_detail::registry;
+
+/** Collects every buffered event, sorted by start time. */
+std::vector<trace_detail::Event>
+mergedEvents()
+{
+    std::vector<trace_detail::Event> all;
+    {
+        std::lock_guard<std::mutex> lock(registry().mu);
+        for (const auto &b : registry().buffers)
+            all.insert(all.end(), b->events.begin(), b->events.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const trace_detail::Event &a, const trace_detail::Event &b) {
+                  return a.t0 < b.t0;
+              });
+    return all;
+}
+
+void
+clearBuffers()
+{
+    std::lock_guard<std::mutex> lock(registry().mu);
+    for (auto &b : registry().buffers)
+        b->events.clear();
+}
+
+size_t
+flushToFile()
+{
+    const std::vector<trace_detail::Event> all = mergedEvents();
+    const std::string path = registry().path;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        DFX_WARN("trace: cannot open %s for writing", path.c_str());
+        return 0;
+    }
+    // Chrome trace_event JSON object format: complete ("X") events
+    // with microsecond timestamps, all in pid 0, one tid per core
+    // (plus the host-pipeline lane). Perfetto and chrome://tracing
+    // both accept it as-is.
+    std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", f);
+    const uint64_t origin = all.empty() ? 0 : all.front().t0;
+    bool first = true;
+    // Name the lanes so the UI shows "core N" / "host" instead of
+    // bare tids.
+    std::vector<uint32_t> tids;
+    for (const auto &e : all)
+        tids.push_back(e.tid);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    for (uint32_t tid : tids) {
+        std::fprintf(f,
+                     "%s{\"ph\":\"M\",\"pid\":0,\"tid\":%u,"
+                     "\"name\":\"thread_name\",\"args\":{\"name\":\"%s%u\"}}",
+                     first ? "" : ",\n", tid,
+                     tid == kTraceHostTid ? "host" : "core ",
+                     tid == kTraceHostTid ? 0 : tid);
+        first = false;
+    }
+    for (const auto &e : all) {
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                     "\"pid\":0,\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f}",
+                     first ? "" : ",\n", e.name, e.cat, e.tid,
+                     static_cast<double>(e.t0 - origin) / 1e3,
+                     static_cast<double>(e.t1 - e.t0) / 1e3);
+        first = false;
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+    return all.size();
+}
+
+/** DFX_TRACE=<file> traces the whole process and flushes at exit. */
+const bool g_env_init = [] {
+    const char *path = std::getenv("DFX_TRACE");
+    if (path != nullptr && *path != '\0') {
+        traceStart(path);
+        std::atexit([] { traceStop(); });
+    }
+    return true;
+}();
+
+}  // namespace
+
+void
+traceStart(const std::string &path)
+{
+    clearBuffers();
+    registry().path = path;
+    g_on.store(true, std::memory_order_relaxed);
+}
+
+size_t
+traceStop()
+{
+    if (!g_on.exchange(false, std::memory_order_relaxed))
+        return 0;
+    const size_t n = flushToFile();
+    clearBuffers();
+    return n;
+}
+
+std::vector<TraceTotal>
+traceTotals()
+{
+    std::map<std::pair<std::string, std::string>, TraceTotal> agg;
+    for (const auto &e : mergedEvents()) {
+        TraceTotal &t = agg[{e.name, e.cat}];
+        t.name = e.name;
+        t.category = e.cat;
+        t.seconds += static_cast<double>(e.t1 - e.t0) / 1e9;
+        t.count += 1;
+    }
+    std::vector<TraceTotal> out;
+    out.reserve(agg.size());
+    for (auto &kv : agg)
+        out.push_back(std::move(kv.second));
+    std::sort(out.begin(), out.end(),
+              [](const TraceTotal &a, const TraceTotal &b) {
+                  return a.seconds > b.seconds;
+              });
+    return out;
+}
+
+}  // namespace perf
+}  // namespace dfx

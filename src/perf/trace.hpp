@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Timeline profiler: Chrome trace_event JSON of host-side work.
+ *
+ * `perf::HostStepProfile` answers "how much time per pipeline stage";
+ * this profiler answers "when, on which core, doing what" — scoped
+ * begin/end events per core/unit/phase (codegen, patch, encode, MPU,
+ * VPU, DMA, ring-sync) written as a Chrome `trace_event` JSON array
+ * that loads directly in Perfetto (https://ui.perfetto.dev) or
+ * chrome://tracing. It exists to aim optimization work at measured
+ * shares instead of guesses (this is how the SIMD MAC-tree work was
+ * targeted).
+ *
+ * Enabling:
+ *  - `DFX_TRACE=<file>` in the environment traces the whole process
+ *    and flushes at exit;
+ *  - or call `traceStart(path)` / `traceStop()` around a region of
+ *    interest (bench harnesses, tests).
+ *
+ * Cost model: when tracing is off, every `DFX_TRACE_SCOPE` is one
+ * relaxed atomic load and a predictable branch — nothing else; build
+ * with `-DDFX_TRACE=OFF` (which defines `DFX_TRACE_DISABLED`) to
+ * compile even that out. When tracing is on, events go to unbounded
+ * thread-local buffers owned by a process-lifetime registry, so the
+ * hot path never takes a lock; `traceStop` (or process exit) merges
+ * and writes the JSON. Start/stop are not synchronized against
+ * concurrently-running scopes — flush between steps, not inside one
+ * (the appliance joins its worker pool at every phase boundary, so
+ * any inter-step point is quiescent).
+ */
+#ifndef DFX_PERF_TRACE_HPP
+#define DFX_PERF_TRACE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfx {
+namespace perf {
+
+/** Synthetic "thread" id for host-side (non-core) pipeline events. */
+inline constexpr uint32_t kTraceHostTid = 255;
+
+namespace trace_detail {
+
+extern std::atomic<bool> g_on;
+
+/** Monotonic nanoseconds (steady clock). */
+uint64_t nowNs();
+
+/** Appends one complete event to the calling thread's buffer. */
+void record(const char *name, const char *cat, uint32_t tid, uint64_t t0,
+            uint64_t t1);
+
+}  // namespace trace_detail
+
+/** True while a trace is being collected. */
+inline bool
+traceEnabled()
+{
+    return trace_detail::g_on.load(std::memory_order_relaxed);
+}
+
+/**
+ * Starts collecting into `path` (overwritten on flush). Clears any
+ * events buffered by a previous collection.
+ */
+void traceStart(const std::string &path);
+
+/**
+ * Stops collecting, merges all thread buffers and writes the JSON.
+ * Returns the number of events written (0 when tracing was off).
+ */
+size_t traceStop();
+
+/** Aggregate wall seconds and event count per event name. */
+struct TraceTotal
+{
+    std::string name;
+    std::string category;
+    double seconds = 0;
+    uint64_t count = 0;
+};
+
+/**
+ * Sums currently-buffered events by name (for in-process reporting,
+ * e.g. bench_sim_speed quoting the measured MPU share). Callable
+ * while tracing is on, at a quiescent point.
+ */
+std::vector<TraceTotal> traceTotals();
+
+/**
+ * RAII scope emitting one complete ("ph":"X") event. `name` and
+ * `cat` must be string literals (the buffer stores the pointers).
+ * `tid` is the lane the event renders on: a core id, or
+ * kTraceHostTid for host pipeline work.
+ */
+class TraceScope
+{
+  public:
+    TraceScope(const char *name, const char *cat, uint32_t tid)
+    {
+        if (traceEnabled()) {
+            name_ = name;
+            cat_ = cat;
+            tid_ = tid;
+            t0_ = trace_detail::nowNs();
+        }
+    }
+
+    ~TraceScope()
+    {
+        if (name_ != nullptr)
+            trace_detail::record(name_, cat_, tid_, t0_,
+                                 trace_detail::nowNs());
+    }
+
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    const char *name_ = nullptr;
+    const char *cat_ = nullptr;
+    uint32_t tid_ = 0;
+    uint64_t t0_ = 0;
+};
+
+}  // namespace perf
+}  // namespace dfx
+
+#ifndef DFX_TRACE_DISABLED
+#define DFX_TRACE_CONCAT2(a, b) a##b
+#define DFX_TRACE_CONCAT(a, b) DFX_TRACE_CONCAT2(a, b)
+/** Scoped timeline event; compiles to nothing under DFX_TRACE=OFF. */
+#define DFX_TRACE_SCOPE(name, cat, tid)                 \
+    ::dfx::perf::TraceScope DFX_TRACE_CONCAT(           \
+        dfx_trace_scope_, __LINE__)(name, cat, tid)
+#else
+#define DFX_TRACE_SCOPE(name, cat, tid) \
+    do {                                \
+    } while (0)
+#endif
+
+#endif  // DFX_PERF_TRACE_HPP

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Kernel-equivalence tests for the SIMD FP16 span kernels.
+ *
+ * The vector kernels claim bit-identity with the scalar soft-float
+ * path (docs/ARCHITECTURE.md), so they are tested the same way fp16
+ * itself is: exhaustively over all 65536 half encodings for the
+ * conversions, and with randomized NaN/Inf/subnormal-laced spans of
+ * awkward lengths for the fused product, tree reduction, MAC loop and
+ * elementwise ops — always comparing the forced-vector result bit for
+ * bit against the forced-scalar reference. A cluster-level test pins
+ * the end-to-end consequence: generated tokens and modeled timing do
+ * not depend on which kernel dispatch resolved.
+ */
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "appliance/appliance.hpp"
+#include "common/fp16.hpp"
+#include "common/random.hpp"
+#include "numeric/simd.hpp"
+
+namespace dfx {
+namespace {
+
+uint32_t
+bits(float f)
+{
+    return std::bit_cast<uint32_t>(f);
+}
+
+/** Runs `fn` with dispatch forced to `k`, restoring the previous
+ * kernel even when an assertion fails mid-call. */
+template <typename Fn>
+void
+withKernel(simd::Kernel k, Fn &&fn)
+{
+    const simd::Kernel prev = simd::setKernelForTesting(k);
+    fn();
+    simd::setKernelForTesting(prev);
+}
+
+/** Random half bit pattern with specials (NaN payloads, infinities,
+ * subnormals, zeros) forced in at a high rate. */
+uint16_t
+randomHalfBits(Rng &rng)
+{
+    switch (rng.below(8)) {
+      case 0:
+        return static_cast<uint16_t>(0x7c00 | rng.below(0x400));  // NaN/inf
+      case 1:
+        return static_cast<uint16_t>(0xfc00 | rng.below(0x400));
+      case 2:
+        return static_cast<uint16_t>(rng.below(0x400));  // subnormal/zero
+      default:
+        return static_cast<uint16_t>(rng.next() & 0xffff);
+    }
+}
+
+/** Both kernels must exist for an A/B; scalar-only hosts skip. */
+class SimdAB : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!simd::kernelSupported(simd::Kernel::kAvx2F16c))
+            GTEST_SKIP() << "AVX2+F16C kernels unavailable "
+                            "(host cpuid or -DDFX_SIMD=OFF)";
+    }
+};
+
+TEST(SimdDispatch, ScalarAlwaysSupported)
+{
+    EXPECT_TRUE(simd::kernelSupported(simd::Kernel::kScalar));
+    EXPECT_STREQ(simd::kernelName(simd::Kernel::kScalar), "scalar");
+    EXPECT_STREQ(simd::kernelName(simd::Kernel::kAvx2F16c), "avx2_f16c");
+    EXPECT_TRUE(simd::kernelSupported(simd::activeKernel()));
+    EXPECT_STREQ(simd::kernelName(),
+                 simd::kernelName(simd::activeKernel()));
+}
+
+TEST(SimdDispatch, SetKernelForTestingRoundTrips)
+{
+    const simd::Kernel active = simd::activeKernel();
+    const simd::Kernel prev =
+        simd::setKernelForTesting(simd::Kernel::kScalar);
+    EXPECT_EQ(prev, active);
+    EXPECT_EQ(simd::activeKernel(), simd::Kernel::kScalar);
+    simd::setKernelForTesting(active);
+    EXPECT_EQ(simd::activeKernel(), active);
+}
+
+TEST_F(SimdAB, ToFloatSpanExhaustive)
+{
+    // Every half encoding, in one span per kernel: value lanes must
+    // widen exactly and NaN lanes must keep their payload (SNaN
+    // included — the vector path rebuilds the payload the hardware
+    // converter would quiet).
+    std::vector<Half> src(0x10000);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = Half::fromBits(static_cast<uint16_t>(i));
+    std::vector<float> scalar(src.size()), vec(src.size());
+    withKernel(simd::Kernel::kScalar, [&] {
+        simd::toFloatSpan(src.data(), scalar.data(), src.size());
+    });
+    withKernel(simd::Kernel::kAvx2F16c, [&] {
+        simd::toFloatSpan(src.data(), vec.data(), src.size());
+    });
+    for (size_t i = 0; i < src.size(); ++i) {
+        ASSERT_EQ(bits(scalar[i]),
+                  bits(fp16::halfBitsToFloat(static_cast<uint16_t>(i))))
+            << "scalar span diverged from fp16 at half bits " << i;
+        ASSERT_EQ(bits(vec[i]), bits(scalar[i]))
+            << "vector widen diverged at half bits " << i;
+    }
+}
+
+TEST_F(SimdAB, FromFloatSpanExhaustiveRoundTrip)
+{
+    // Exact widened halves must round-trip; NaNs canonicalize to
+    // sign | 0x7e00 like fp16::floatToHalfBits.
+    std::vector<float> src(0x10000);
+    for (size_t i = 0; i < src.size(); ++i)
+        src[i] = fp16::halfBitsToFloat(static_cast<uint16_t>(i));
+    std::vector<Half> scalar(src.size()), vec(src.size());
+    withKernel(simd::Kernel::kScalar, [&] {
+        simd::fromFloatSpan(src.data(), scalar.data(), src.size());
+    });
+    withKernel(simd::Kernel::kAvx2F16c, [&] {
+        simd::fromFloatSpan(src.data(), vec.data(), src.size());
+    });
+    for (size_t i = 0; i < src.size(); ++i) {
+        ASSERT_EQ(scalar[i].bits(), fp16::floatToHalfBits(src[i]))
+            << "scalar span diverged from fp16 at half bits " << i;
+        ASSERT_EQ(vec[i].bits(), scalar[i].bits())
+            << "vector narrow diverged at half bits " << i;
+    }
+}
+
+TEST_F(SimdAB, FromFloatSpanRandomBitPatterns)
+{
+    // Arbitrary float bit patterns: denormal floats, every rounding
+    // position, overflow threshold (65520), NaN payloads. 1M lanes.
+    Rng rng(2024);
+    std::vector<float> src(1u << 20);
+    for (auto &f : src)
+        f = std::bit_cast<float>(static_cast<uint32_t>(rng.next()));
+    // Pin the documented boundaries explicitly.
+    src[0] = 65519.99f;
+    src[1] = 65520.0f;
+    src[2] = -65520.0f;
+    src[3] = std::bit_cast<float>(0x7f800001u);  // SNaN
+    src[4] = std::bit_cast<float>(0xffc00000u);  // -QNaN
+    src[5] = -0.0f;
+    std::vector<Half> scalar(src.size()), vec(src.size());
+    withKernel(simd::Kernel::kScalar, [&] {
+        simd::fromFloatSpan(src.data(), scalar.data(), src.size());
+    });
+    withKernel(simd::Kernel::kAvx2F16c, [&] {
+        simd::fromFloatSpan(src.data(), vec.data(), src.size());
+    });
+    for (size_t i = 0; i < src.size(); ++i)
+        ASSERT_EQ(vec[i].bits(), scalar[i].bits())
+            << "diverged at lane " << i << " float bits "
+            << bits(src[i]);
+}
+
+TEST_F(SimdAB, QuantizeSpanMatchesScalar)
+{
+    Rng rng(7);
+    for (size_t n : {1u, 7u, 8u, 9u, 64u, 1000u}) {
+        std::vector<float> src(n);
+        for (auto &f : src)
+            f = std::bit_cast<float>(static_cast<uint32_t>(rng.next()));
+        std::vector<float> scalar = src, vec = src;
+        withKernel(simd::Kernel::kScalar, [&] {
+            simd::quantizeSpan(scalar.data(), scalar.size());
+        });
+        withKernel(simd::Kernel::kAvx2F16c, [&] {
+            simd::quantizeSpan(vec.data(), vec.size());
+        });
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bits(vec[i]), bits(scalar[i]))
+                << "n=" << n << " lane " << i;
+    }
+}
+
+TEST_F(SimdAB, ProductQuantizedSpanMatchesScalar)
+{
+    Rng rng(11);
+    for (size_t n : {1u, 5u, 8u, 13u, 16u, 100u, 1024u}) {
+        std::vector<Half> w(n);
+        std::vector<float> x(n);
+        for (size_t i = 0; i < n; ++i) {
+            w[i] = Half::fromBits(randomHalfBits(rng));
+            x[i] = fp16::halfBitsToFloat(randomHalfBits(rng));
+        }
+        std::vector<float> scalar(n), vec(n);
+        withKernel(simd::Kernel::kScalar, [&] {
+            simd::productQuantizedSpan(w.data(), x.data(),
+                                       scalar.data(), n);
+        });
+        withKernel(simd::Kernel::kAvx2F16c, [&] {
+            simd::productQuantizedSpan(w.data(), x.data(), vec.data(),
+                                       n);
+        });
+        for (size_t i = 0; i < n; ++i)
+            ASSERT_EQ(bits(vec[i]), bits(scalar[i]))
+                << "n=" << n << " lane " << i << " w="
+                << w[i].bits() << " x=" << bits(x[i]);
+    }
+}
+
+TEST_F(SimdAB, TreeReduceQuantizedMatchesScalar)
+{
+    Rng rng(13);
+    for (size_t width = 1; width <= simd::kMaxTreeWidth; width *= 2) {
+        for (int rep = 0; rep < 8; ++rep) {
+            std::vector<float> src(width);
+            for (auto &f : src)
+                f = fp16::halfBitsToFloat(randomHalfBits(rng));
+            std::vector<float> scalar = src, vec = src;
+            float root_s = 0.0f, root_v = 0.0f;
+            withKernel(simd::Kernel::kScalar, [&] {
+                root_s =
+                    simd::treeReduceQuantized(scalar.data(), width);
+            });
+            withKernel(simd::Kernel::kAvx2F16c, [&] {
+                root_v = simd::treeReduceQuantized(vec.data(), width);
+            });
+            ASSERT_EQ(bits(root_v), bits(root_s))
+                << "width " << width << " rep " << rep;
+        }
+    }
+}
+
+TEST_F(SimdAB, MacRowMajorMatchesScalar)
+{
+    // Shapes mirror the DSE tilings (d x 128/d) plus ragged tails
+    // that exercise the scalar tail columns and partial last chunk.
+    struct Shape
+    {
+        size_t rows, cols, tile;
+    };
+    const Shape shapes[] = {{128, 64, 8},  {64, 64, 16}, {32, 32, 32},
+                            {37, 19, 8},   {100, 25, 64}, {8, 8, 128},
+                            {1, 1, 8},     {129, 65, 16}};
+    Rng rng(17);
+    for (const Shape &s : shapes) {
+        const size_t pitch = s.cols + 3;  // non-contiguous rows
+        std::vector<Half> w(s.rows * pitch);
+        for (auto &h : w)
+            h = Half::fromBits(randomHalfBits(rng));
+        std::vector<float> x(s.rows);
+        for (auto &f : x)
+            f = fp16::halfBitsToFloat(randomHalfBits(rng));
+        std::vector<float> acc0(s.cols);
+        for (auto &f : acc0)
+            f = fp16::halfBitsToFloat(randomHalfBits(rng));
+        std::vector<float> scalar = acc0, vec = acc0;
+        withKernel(simd::Kernel::kScalar, [&] {
+            simd::macRowMajor(w.data(), pitch, x.data(), s.rows,
+                              s.cols, s.tile, scalar.data());
+        });
+        withKernel(simd::Kernel::kAvx2F16c, [&] {
+            simd::macRowMajor(w.data(), pitch, x.data(), s.rows,
+                              s.cols, s.tile, vec.data());
+        });
+        for (size_t c = 0; c < s.cols; ++c)
+            ASSERT_EQ(bits(vec[c]), bits(scalar[c]))
+                << s.rows << "x" << s.cols << " tile " << s.tile
+                << " col " << c;
+    }
+}
+
+TEST_F(SimdAB, HalfSpanOpsMatchScalar)
+{
+    using BinOp = void (*)(const Half *, const Half *, Half *, size_t);
+    using ScOp = void (*)(const Half *, Half, Half *, size_t);
+    const BinOp bin_ops[] = {simd::addHalfSpan, simd::subHalfSpan,
+                             simd::mulHalfSpan};
+    const ScOp sc_ops[] = {simd::addHalfScalarSpan,
+                           simd::subHalfScalarSpan,
+                           simd::mulHalfScalarSpan};
+    Rng rng(23);
+    for (size_t n : {1u, 7u, 8u, 9u, 64u, 257u}) {
+        std::vector<Half> a(n), b(n);
+        for (size_t i = 0; i < n; ++i) {
+            a[i] = Half::fromBits(randomHalfBits(rng));
+            b[i] = Half::fromBits(randomHalfBits(rng));
+        }
+        const Half s = Half::fromBits(randomHalfBits(rng));
+        for (size_t op = 0; op < 3; ++op) {
+            std::vector<Half> scalar(n), vec(n);
+            withKernel(simd::Kernel::kScalar, [&] {
+                bin_ops[op](a.data(), b.data(), scalar.data(), n);
+            });
+            withKernel(simd::Kernel::kAvx2F16c, [&] {
+                bin_ops[op](a.data(), b.data(), vec.data(), n);
+            });
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(vec[i].bits(), scalar[i].bits())
+                    << "bin op " << op << " n=" << n << " lane " << i
+                    << " a=" << a[i].bits() << " b=" << b[i].bits();
+            withKernel(simd::Kernel::kScalar, [&] {
+                sc_ops[op](a.data(), s, scalar.data(), n);
+            });
+            withKernel(simd::Kernel::kAvx2F16c, [&] {
+                sc_ops[op](a.data(), s, vec.data(), n);
+            });
+            for (size_t i = 0; i < n; ++i)
+                ASSERT_EQ(vec[i].bits(), scalar[i].bits())
+                    << "scalar op " << op << " n=" << n << " lane "
+                    << i << " a=" << a[i].bits() << " s=" << s.bits();
+        }
+    }
+}
+
+TEST_F(SimdAB, ClusterTokensAndTimingIdenticalAcrossKernels)
+{
+    // End-to-end: the same appliance run must produce bit-identical
+    // tokens and modeled latency whichever kernel dispatch resolved.
+    GptWeights w = GptWeights::random(GptConfig::mini(), 99);
+    const std::vector<int32_t> prompt = {2, 3, 5, 7, 11};
+    auto run = [&](simd::Kernel k) {
+        GenerationResult r;
+        withKernel(k, [&] {
+            DfxSystemConfig cfg;
+            cfg.model = GptConfig::mini();
+            cfg.nCores = 4;
+            cfg.functional = true;
+            DfxAppliance appliance(cfg);
+            appliance.loadWeights(w);
+            r = appliance.generate(prompt, 8);
+        });
+        return r;
+    };
+    const GenerationResult scalar = run(simd::Kernel::kScalar);
+    const GenerationResult vec = run(simd::Kernel::kAvx2F16c);
+    EXPECT_EQ(vec.tokens, scalar.tokens);
+    EXPECT_EQ(vec.totalSeconds(), scalar.totalSeconds());
+}
+
+}  // namespace
+}  // namespace dfx
